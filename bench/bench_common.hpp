@@ -1,0 +1,69 @@
+/// \file bench_common.hpp
+/// \brief Shared scaffolding for the per-table/per-figure bench harnesses.
+///
+/// Every bench binary regenerates one table or figure of the paper: it
+/// prints the paper's reported rows/series next to our measured values, and
+/// writes the raw data as CSV into bench_out/ for external re-plotting.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/csv.hpp"
+#include "common/logging.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "driver/experiment.hpp"
+#include "driver/paper_matrices.hpp"
+#include "pselinv/engine.hpp"
+#include "pselinv/plan.hpp"
+#include "pselinv/volume_analysis.hpp"
+
+namespace psi::bench {
+
+/// Output directory for raw CSV data (created on demand).
+inline std::string out_dir() {
+  const std::string dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Analysis for a paper matrix at bench scale; prints a one-line inventory.
+inline SymbolicAnalysis analyze_paper_matrix(
+    driver::PaperMatrix which, double extra_scale, const AnalysisOptions& options) {
+  const double scale = driver::bench_scale() * extra_scale;
+  const GeneratedMatrix gen = driver::make_paper_matrix(which, scale);
+  const SymbolicAnalysis an = analyze(gen, options);
+  std::printf("# %-24s n=%d nnz(A)=%lld nnz(LU)=%lld supernodes=%d\n",
+              driver::paper_matrix_name(which), an.matrix.n(),
+              static_cast<long long>(an.matrix.nnz()),
+              static_cast<long long>(an.blocks.lu_nnz_fullblock()),
+              an.blocks.supernode_count());
+  return an;
+}
+
+inline SymbolicAnalysis analyze_paper_matrix(driver::PaperMatrix which,
+                                             double extra_scale = 1.0) {
+  return analyze_paper_matrix(which, extra_scale,
+                              driver::default_analysis_options());
+}
+
+inline pselinv::Plan make_plan(const SymbolicAnalysis& an, int pr, int pc,
+                               trees::TreeScheme scheme,
+                               std::uint64_t seed = 0x2016) {
+  return pselinv::Plan(an.blocks, dist::ProcessGrid(pr, pc),
+                       driver::tree_options_for(scheme, seed));
+}
+
+/// Adds a min/max/median/stddev row (the format of the paper's Tables I-II).
+inline void add_stats_row(TextTable& table, const std::string& label,
+                          const SampleStats& stats) {
+  table.add_row({label, TextTable::fmt(stats.min(), 3),
+                 TextTable::fmt(stats.max(), 3),
+                 TextTable::fmt(stats.median(), 3),
+                 TextTable::fmt(stats.stddev(), 3)});
+}
+
+}  // namespace psi::bench

@@ -1,0 +1,118 @@
+/// Google-benchmark microbenchmarks for the building blocks: tree
+/// construction (the per-collective overhead the paper's design keeps
+/// "very small"), dense kernels, symbolic analysis, plan construction and
+/// raw simulator event throughput.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "driver/experiment.hpp"
+#include "driver/paper_matrices.hpp"
+#include "pselinv/plan.hpp"
+#include "sim/engine.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/generators.hpp"
+#include "symbolic/analysis.hpp"
+#include "trees/comm_tree.hpp"
+
+namespace {
+
+using namespace psi;
+
+void BM_TreeBuild(benchmark::State& state, trees::TreeScheme scheme) {
+  const int receivers = static_cast<int>(state.range(0));
+  std::vector<int> list;
+  for (int r = 1; r <= receivers; ++r) list.push_back(r);
+  trees::TreeOptions opt;
+  opt.scheme = scheme;
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    const trees::CommTree tree = trees::CommTree::build(opt, 0, list, id++);
+    benchmark::DoNotOptimize(tree.participant_count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const Int n = static_cast<Int>(state.range(0));
+  Rng rng(1);
+  DenseMatrix a(n, n), b(n, n), c(n, n);
+  for (Int j = 0; j < n; ++j)
+    for (Int i = 0; i < n; ++i) {
+      a(i, j) = rng.uniform_double();
+      b(i, j) = rng.uniform_double();
+    }
+  for (auto _ : state) {
+    gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * gemm_flops(n, n, n));
+}
+
+void BM_SymbolicAnalysis(benchmark::State& state) {
+  const Int m = static_cast<Int>(state.range(0));
+  const GeneratedMatrix gen = fem3d(m, m, m, 3, 1);
+  const AnalysisOptions opt = driver::default_analysis_options();
+  for (auto _ : state) {
+    const SymbolicAnalysis an = analyze(gen, opt);
+    benchmark::DoNotOptimize(an.blocks.supernode_count());
+  }
+}
+
+void BM_PlanBuild(benchmark::State& state) {
+  const GeneratedMatrix gen = driver::make_paper_matrix(
+      driver::PaperMatrix::kDgWater, 0.6);
+  const SymbolicAnalysis an = analyze(gen, driver::default_analysis_options());
+  const dist::ProcessGrid grid(static_cast<int>(state.range(0)),
+                               static_cast<int>(state.range(0)));
+  const trees::TreeOptions opt =
+      driver::tree_options_for(trees::TreeScheme::kShiftedBinary);
+  for (auto _ : state) {
+    const pselinv::Plan plan(an.blocks, grid, opt);
+    benchmark::DoNotOptimize(plan.supernode_count());
+  }
+}
+
+/// Raw DES throughput: a ring of ranks passing a token many times.
+class RingRank : public sim::Rank {
+ public:
+  RingRank(int nranks, int hops) : nranks_(nranks), hops_(hops) {}
+  void on_start(sim::Context& ctx) override {
+    if (ctx.rank() == 0) ctx.send(1 % nranks_, 0, 64, 0);
+  }
+  void on_message(sim::Context& ctx, const sim::Message& msg) override {
+    if (msg.tag < hops_)
+      ctx.send((ctx.rank() + 1) % nranks_, msg.tag + 1, 64, 0);
+  }
+ private:
+  int nranks_;
+  int hops_;
+};
+
+void BM_SimulatorThroughput(benchmark::State& state) {
+  const int nranks = 64;
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const sim::Machine machine(driver::edison_config());
+    sim::Engine engine(machine, nranks, 1);
+    for (int r = 0; r < nranks; ++r)
+      engine.set_rank(r, std::make_unique<RingRank>(nranks, hops));
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_processed());
+  }
+  state.SetItemsProcessed(state.iterations() * (hops + nranks));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_TreeBuild, flat, psi::trees::TreeScheme::kFlat)
+    ->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_TreeBuild, binary, psi::trees::TreeScheme::kBinary)
+    ->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK_CAPTURE(BM_TreeBuild, shifted, psi::trees::TreeScheme::kShiftedBinary)
+    ->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(16)->Arg(48)->Arg(96);
+BENCHMARK(BM_SymbolicAnalysis)->Arg(6)->Arg(8);
+BENCHMARK(BM_PlanBuild)->Arg(8)->Arg(24);
+BENCHMARK(BM_SimulatorThroughput)->Arg(10000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,38 @@
+/// Regenerates **Table II** of the paper: per-rank volume RECEIVED during
+/// Row-Reduce (MB) — min / max / median / stddev — for all six evaluation
+/// matrices on a 46x46 grid, under Flat / Binary / Shifted Binary trees.
+///
+/// Paper shape to reproduce for every matrix: the Binary-Tree's min
+/// collapses (by 10-30x vs Flat) and its max/stddev inflate (3-5x), while
+/// the Shifted Binary-Tree restores a tight distribution with a stddev at or
+/// below the Flat-Tree's.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace psi;
+  using namespace psi::bench;
+
+  const int pr = 46, pc = 46;
+  std::printf("# grid %dx%d = %d ranks\n\n", pr, pc, pr * pc);
+  CsvWriter csv(out_dir() + "/table2_rowreduce.csv",
+                {"matrix", "scheme", "min_mb", "max_mb", "median_mb", "stddev_mb"});
+
+  std::printf("Table II: volume received during Row-Reduce (MB)\n");
+  for (driver::PaperMatrix which : driver::all_paper_matrices()) {
+    const SymbolicAnalysis an = analyze_paper_matrix(which);
+    TextTable table({"Communication tree", "Min", "Max", "Median", "Std. dev"});
+    for (trees::TreeScheme scheme : driver::paper_schemes()) {
+      const pselinv::Plan plan = make_plan(an, pr, pc, scheme);
+      const pselinv::VolumeReport report = pselinv::analyze_volume(plan);
+      const SampleStats stats =
+          pselinv::VolumeReport::summarize(report.row_reduce_received_mb());
+      add_stats_row(table, trees::scheme_name(scheme), stats);
+      csv.write_row({driver::paper_matrix_name(which), trees::scheme_name(scheme),
+                     TextTable::fmt(stats.min(), 4), TextTable::fmt(stats.max(), 4),
+                     TextTable::fmt(stats.median(), 4),
+                     TextTable::fmt(stats.stddev(), 4)});
+    }
+    std::printf("%s\n", table.render().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// \file comm_tree_explorer.cpp
+/// \brief Standalone exploration of the restricted-collective tree schemes,
+/// independent of the selected-inversion pipeline.
+///
+/// Emulates the paper's §III discussion: many concurrent broadcasts over
+/// the same 32-rank processor-column group, one tree per collective. Prints
+/// per-scheme per-rank sent volume (who forwards how much), the depth /
+/// internal-node statistics, and a drawing of one example tree per scheme.
+///
+///   ./comm_tree_explorer [receivers] [collectives]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/stats.hpp"
+#include "trees/comm_tree.hpp"
+#include "trees/volume.hpp"
+
+namespace {
+
+using namespace psi;
+
+void draw_tree(const trees::CommTree& tree, int rank, int depth) {
+  std::printf("%*sP%d\n", 2 * depth, "", rank);
+  for (int child : tree.children_of(rank)) draw_tree(tree, child, depth + 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psi;
+  const int receivers = argc > 1 ? std::atoi(argv[1]) : 15;
+  const int collectives = argc > 2 ? std::atoi(argv[2]) : 500;
+
+  std::vector<int> group;
+  for (int r = 1; r <= receivers; ++r) group.push_back(r);
+
+  for (trees::TreeScheme scheme :
+       {trees::TreeScheme::kFlat, trees::TreeScheme::kBinary,
+        trees::TreeScheme::kShiftedBinary, trees::TreeScheme::kRandomPerm,
+        trees::TreeScheme::kBinomial, trees::TreeScheme::kShiftedBinomial}) {
+    trees::TreeOptions options;
+    options.scheme = scheme;
+
+    // One example tree, drawn.
+    const trees::CommTree example = trees::CommTree::build(options, 0, group, 3);
+    std::printf("=== %s (root P0, %d receivers) ===\n",
+                trees::scheme_name(scheme), receivers);
+    draw_tree(example, 0, 0);
+    std::printf("depth %d, internal nodes %d\n", example.depth(),
+                example.internal_node_count());
+
+    // Aggregate volume over many concurrent collectives (1 MB payloads).
+    trees::VolumeAccumulator acc(receivers + 1);
+    for (int id = 0; id < collectives; ++id) {
+      const trees::CommTree tree =
+          trees::CommTree::build(options, 0, group,
+                                 static_cast<std::uint64_t>(id));
+      acc.add_bcast(tree, 1 << 20);
+    }
+    SampleStats stats;
+    std::printf("per-receiver forwarded MB over %d broadcasts: ", collectives);
+    for (int r = 1; r <= receivers; ++r) {
+      const double mb = static_cast<double>(
+                            acc.bytes_sent()[static_cast<std::size_t>(r)]) /
+                        (1 << 20);
+      stats.add(mb);
+      std::printf("%.0f ", mb);
+    }
+    std::printf("\n-> min %.0f, max %.0f, stddev %.1f MB "
+                "(root sent %.0f MB)\n\n",
+                stats.min(), stats.max(), stats.stddev(),
+                static_cast<double>(acc.bytes_sent()[0]) / (1 << 20));
+  }
+  std::printf(
+      "Observe the paper's §III story: Flat loads only the root; Binary\n"
+      "always promotes the lowest receivers to internal nodes (max load with\n"
+      "starved high ranks); the Shifted Binary-Tree spreads forwarding "
+      "evenly.\n");
+  return 0;
+}

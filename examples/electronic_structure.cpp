@@ -1,0 +1,105 @@
+/// \file electronic_structure.cpp
+/// \brief PEXSI-style electronic-structure workload: the application the
+/// paper's communication optimization was built for (§I, §V).
+///
+/// In the pole expansion and selected inversion (PEXSI) method, the density
+/// matrix of a Kohn-Sham Hamiltonian H is approximated as a sum over poles:
+///   P ≈ sum_l  Im( w_l * (H - z_l S)^{-1} )
+/// and only the SELECTED elements of each inverse are needed (those matching
+/// the sparsity of H). Each pole is an independent selected inversion —
+/// typically run simultaneously on different processor subgroups, which is
+/// why per-inversion scalability and low run-to-run variability matter so
+/// much (paper §V).
+///
+/// This example builds a DG-discretized model Hamiltonian, runs a loop of
+/// shifted selected inversions (real shifts stand in for the complex poles;
+/// psi is real-valued), accumulates a pole-summed density-like matrix, and
+/// reports per-pole simulated times on a distributed machine with the
+/// paper's Shifted Binary-Tree collectives.
+///
+///   ./electronic_structure
+#include <cstdio>
+#include <vector>
+
+#include "driver/experiment.hpp"
+#include "numeric/selinv.hpp"
+#include "pselinv/engine.hpp"
+#include "sparse/generators.hpp"
+
+int main() {
+  using namespace psi;
+
+  // Model DG Hamiltonian: 2-D element mesh, dense 8x8 element blocks.
+  GeneratedMatrix ham = dg2d(5, 5, 8, /*seed=*/7);
+  std::printf("DG Hamiltonian: n = %d, nnz = %lld\n", ham.matrix.n(),
+              static_cast<long long>(ham.matrix.nnz()));
+
+  // Shifts mimicking a pole expansion: H + sigma_l I, all diagonally
+  // dominant by construction of the generator plus positive shifts.
+  const std::vector<double> shifts{0.5, 1.0, 2.0, 4.0};
+  const std::vector<double> weights{0.4, 0.3, 0.2, 0.1};
+
+  AnalysisOptions options = driver::default_analysis_options();
+  const dist::ProcessGrid grid(6, 6);
+  const sim::Machine machine(driver::edison_config(/*jitter_sigma=*/0.2, 1));
+
+  // The sparsity pattern is shift-independent: analyze once, reuse the plan
+  // for every pole — exactly the preprocessing amortization the paper
+  // describes (§III: participant lists are fixed once L, U and the grid
+  // are known).
+  const SymbolicAnalysis analysis = analyze(ham, options);
+  const pselinv::Plan plan(
+      analysis.blocks, grid,
+      driver::tree_options_for(trees::TreeScheme::kShiftedBinary));
+  std::printf("plan: %d supernodes, %lld restricted collectives, "
+              "%lld distinct communicators would be needed with MPI groups\n",
+              analysis.blocks.supernode_count(),
+              static_cast<long long>(plan.total_collectives()),
+              static_cast<long long>(plan.distinct_communicators()));
+
+  // "Density matrix" accumulator over the selected pattern: we accumulate
+  // the diagonal blocks (the local density of states).
+  std::vector<double> density(static_cast<std::size_t>(ham.matrix.n()), 0.0);
+
+  double total_time = 0.0;
+  for (std::size_t pole = 0; pole < shifts.size(); ++pole) {
+    // Shifted matrix H + sigma I in the analyzed ordering.
+    SparseMatrix shifted = analysis.matrix;
+    for (Int j = 0; j < shifted.n(); ++j)
+      for (Int p = shifted.pattern.col_ptr[j]; p < shifted.pattern.col_ptr[j + 1];
+           ++p)
+        if (shifted.pattern.row_idx[p] == j)
+          shifted.values[static_cast<std::size_t>(p)] += shifts[pole];
+
+    SymbolicAnalysis pole_analysis = analysis;  // same structure, new values
+    pole_analysis.matrix = std::move(shifted);
+    SupernodalLU lu = SupernodalLU::factor(pole_analysis);
+
+    const pselinv::RunResult run =
+        run_pselinv(plan, machine, pselinv::ExecutionMode::kNumeric, &lu);
+    total_time += run.makespan;
+
+    // Accumulate weighted diagonal of the selected inverse.
+    const BlockStructure& bs = analysis.blocks;
+    for (Int k = 0; k < bs.supernode_count(); ++k) {
+      const DenseMatrix diag = run.ainv->block(k, k);
+      for (Int c = 0; c < diag.cols(); ++c) {
+        const Int col = bs.part.first_col(k) + c;
+        // Map back to the user's original row index.
+        const Int original = analysis.perm.old_of(col);
+        density[static_cast<std::size_t>(original)] +=
+            weights[pole] * diag(c, c);
+      }
+    }
+    std::printf("pole %zu (shift %.2f): simulated inversion time %.3f ms\n",
+                pole, shifts[pole], 1e3 * run.makespan);
+  }
+
+  double trace = 0.0;
+  for (double d : density) trace += d;
+  std::printf("\npole-summed density diagonal: trace = %.6f over n = %d\n",
+              trace, ham.matrix.n());
+  std::printf("total simulated selected-inversion time: %.3f ms for %zu poles\n",
+              1e3 * total_time, shifts.size());
+  return 0;
+}

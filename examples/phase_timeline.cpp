@@ -1,0 +1,52 @@
+/// \file phase_timeline.cpp
+/// \brief Visualizes WHEN each restricted-collective class is on the wire
+/// during a simulated selected inversion — the pipelining/overlap story of
+/// the paper's §II-B ("pipelining computations and overlapping communication
+/// with computations") made visible.
+///
+/// Prints an ASCII timeline (rows: communication classes, columns: time
+/// buckets, shading: bytes delivered) for the Flat vs the Shifted
+/// Binary-Tree runs of the same problem, plus per-class totals.
+///
+///   ./phase_timeline [buckets]
+#include <cstdio>
+#include <cstdlib>
+
+#include "driver/experiment.hpp"
+#include "driver/timeline.hpp"
+#include "pselinv/engine.hpp"
+#include "sparse/generators.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psi;
+  const auto buckets = static_cast<std::size_t>(argc > 1 ? std::atoi(argv[1]) : 64);
+
+  const GeneratedMatrix gen = fem3d(10, 10, 10, 3, 3);
+  AnalysisOptions options = driver::default_analysis_options();
+  options.supernodes.max_size = 32;
+  const SymbolicAnalysis analysis = analyze(gen, options);
+  std::printf("matrix %s: n = %d, %d supernodes, grid 16x16\n\n", gen.name.c_str(),
+              gen.matrix.n(), analysis.blocks.supernode_count());
+
+  for (trees::TreeScheme scheme :
+       {trees::TreeScheme::kFlat, trees::TreeScheme::kShiftedBinary}) {
+    const pselinv::Plan plan(analysis.blocks, dist::ProcessGrid(16, 16),
+                             driver::tree_options_for(scheme));
+    const sim::Machine machine(driver::timing_machine(/*jitter_sigma=*/0.0));
+    std::vector<sim::TraceEvent> trace;
+    const pselinv::RunResult run = run_pselinv(
+        plan, machine, pselinv::ExecutionMode::kTrace, nullptr, &trace);
+
+    std::printf("=== %s: makespan %.4f s, %zu messages ===\n",
+                trees::scheme_name(scheme), run.makespan, trace.size());
+    const driver::CommTimeline timeline(trace, run.makespan, buckets,
+                                        pselinv::kCommClassCount);
+    std::printf("%s\n", timeline.render(&pselinv::comm_class_name).c_str());
+  }
+  std::printf(
+      "Reading: all phases overlap (no barriers — the asynchronous task\n"
+      "model of the paper); under the Flat-Tree the Col-Bcast band stretches\n"
+      "out as root NICs serialize, under the Shifted Binary-Tree it drains\n"
+      "faster and the whole timeline shortens.\n");
+  return 0;
+}

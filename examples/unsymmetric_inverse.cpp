@@ -1,0 +1,96 @@
+/// \file unsymmetric_inverse.cpp
+/// \brief The paper's future-work extension in action: selected inversion of
+/// a matrix with UNSYMMETRIC VALUES over a symmetric pattern ("the same
+/// communication strategy can be naturally extended to asymmetric matrices",
+/// paper §V).
+///
+/// Demonstrates the mirrored U-side communication phases (Diag-Row-Bcast,
+/// Cross-Send-U, Row-Bcast, Col-Reduce-Up) that replace the symmetric
+/// transpose shortcut, verifies the distributed result against the
+/// sequential reference, and compares the per-class traffic of the symmetric
+/// and unsymmetric engines on the same pattern.
+///
+///   ./unsymmetric_inverse
+#include <cstdio>
+
+#include "driver/experiment.hpp"
+#include "numeric/selinv.hpp"
+#include "pselinv/engine.hpp"
+#include "pselinv/volume_analysis.hpp"
+#include "sparse/generators.hpp"
+
+int main() {
+  using namespace psi;
+
+  // A convection-diffusion-like operator: symmetric 3-D stencil pattern,
+  // unsymmetric values (as from upwinding).
+  const GeneratedMatrix gen = fem3d(4, 4, 3, 2, 77, ValueKind::kUnsymmetric);
+  std::printf("matrix: %s (unsymmetric values), n = %d, nnz = %lld\n",
+              gen.name.c_str(), gen.matrix.n(),
+              static_cast<long long>(gen.matrix.nnz()));
+
+  AnalysisOptions options;
+  options.ordering.method = OrderingMethod::kGeometricDissection;
+  options.supernodes.max_size = 16;
+  const SymbolicAnalysis analysis = analyze(gen, options);
+
+  // Sequential reference (Algorithm 1, general LU form).
+  SupernodalLU lu_seq = SupernodalLU::factor(analysis);
+  const BlockMatrix reference = selected_inversion(lu_seq);
+
+  // Distributed run with the mirrored U-side phases.
+  const dist::ProcessGrid grid(4, 4);
+  const pselinv::Plan plan(
+      analysis.blocks, grid,
+      driver::tree_options_for(trees::TreeScheme::kShiftedBinary),
+      pselinv::ValueSymmetry::kUnsymmetric);
+  SupernodalLU lu_dist = SupernodalLU::factor(analysis);
+  const sim::Machine machine(driver::edison_config());
+  const pselinv::RunResult run = run_pselinv(
+      plan, machine, pselinv::ExecutionMode::kNumeric, &lu_dist);
+
+  double max_err = 0.0;
+  const BlockStructure& bs = analysis.blocks;
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    max_err = std::max(max_err,
+                       max_abs_diff(run.ainv->block(k, k), reference.block(k, k)));
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)]) {
+      max_err = std::max(max_err,
+                         max_abs_diff(run.ainv->block(i, k), reference.block(i, k)));
+      max_err = std::max(max_err,
+                         max_abs_diff(run.ainv->block(k, i), reference.block(k, i)));
+    }
+  }
+  std::printf("distributed vs sequential max block error: %.2e (%s)\n", max_err,
+              max_err < 1e-10 ? "OK" : "MISMATCH");
+
+  // Asymmetry shows in A^{-1} too: compare one off-diagonal pair.
+  if (bs.supernode_count() > 1 && !bs.struct_of[0].empty()) {
+    const Int i = bs.struct_of[0][0];
+    const DenseMatrix lower = run.ainv->block(i, 0);
+    const DenseMatrix upper = run.ainv->block(0, i);
+    std::printf("|A^{-1}_{%d,0} - A^{-1T}_{0,%d}|_max = %.3e "
+                "(nonzero: the inverse is genuinely unsymmetric)\n",
+                i, i, max_abs_diff(lower, upper.transposed()));
+  }
+
+  // Traffic comparison: the unsymmetric engine roughly doubles the volume
+  // with the mirrored phases.
+  const pselinv::Plan plan_sym(
+      analysis.blocks, grid,
+      driver::tree_options_for(trees::TreeScheme::kShiftedBinary));
+  const auto vol_sym = pselinv::analyze_volume(plan_sym);
+  const auto vol_unsym = pselinv::analyze_volume(plan);
+  std::printf("\nper-class total traffic (MB):\n");
+  for (int c = 0; c < pselinv::kCommClassCount; ++c) {
+    Count sym_bytes = 0, unsym_bytes = 0;
+    for (Count b : vol_sym.of(c).bytes_sent()) sym_bytes += b;
+    for (Count b : vol_unsym.of(c).bytes_sent()) unsym_bytes += b;
+    if (sym_bytes == 0 && unsym_bytes == 0) continue;
+    std::printf("  %-16s symmetric %8.3f   unsymmetric %8.3f\n",
+                pselinv::comm_class_name(c),
+                static_cast<double>(sym_bytes) / (1 << 20),
+                static_cast<double>(unsym_bytes) / (1 << 20));
+  }
+  return max_err < 1e-10 ? 0 : 1;
+}

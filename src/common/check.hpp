@@ -1,0 +1,61 @@
+/// \file check.hpp
+/// \brief Error handling primitives used across the psi library.
+///
+/// psi distinguishes two failure classes:
+///  * programming errors (broken invariants) -> PSI_ASSERT, compiled out in
+///    release builds when PSI_DISABLE_ASSERTS is defined;
+///  * recoverable input/usage errors -> PSI_CHECK, always active, throws
+///    psi::Error with a formatted message.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace psi {
+
+/// Exception thrown for all recoverable library errors (bad input, I/O
+/// failures, inconsistent configuration).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* cond, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace psi
+
+/// Always-on invariant check; throws psi::Error on failure.
+#define PSI_CHECK(cond)                                                \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::psi::detail::throw_error(#cond, __FILE__, __LINE__, "");       \
+  } while (0)
+
+/// Always-on invariant check with a streamed message:
+///   PSI_CHECK_MSG(n > 0, "matrix dimension must be positive, got " << n);
+#define PSI_CHECK_MSG(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream psi_check_os_;                                \
+      psi_check_os_ << msg;                                            \
+      ::psi::detail::throw_error(#cond, __FILE__, __LINE__,            \
+                                 psi_check_os_.str());                 \
+    }                                                                  \
+  } while (0)
+
+/// Debug-only assertion for internal invariants (hot paths).
+#ifdef PSI_DISABLE_ASSERTS
+#define PSI_ASSERT(cond) ((void)0)
+#else
+#define PSI_ASSERT(cond) PSI_CHECK(cond)
+#endif

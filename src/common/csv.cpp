@@ -1,0 +1,35 @@
+#include "common/csv.hpp"
+
+#include "common/check.hpp"
+
+namespace psi {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  PSI_CHECK_MSG(out_.good(), "cannot open CSV file for writing: " << path);
+  PSI_CHECK(columns_ > 0);
+  write_row(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  PSI_CHECK_MSG(cells.size() == columns_,
+                "CSV row has " << cells.size() << " cells, expected " << columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace psi

@@ -1,0 +1,27 @@
+/// \file csv.hpp
+/// \brief Tiny CSV writer used to export raw experiment data next to the
+/// formatted tables, so results can be re-plotted outside the harness.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace psi {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; throws psi::Error if the file cannot be opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  void write_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Quote a cell if it contains a comma/quote/newline (RFC-4180 style).
+std::string csv_escape(const std::string& cell);
+
+}  // namespace psi

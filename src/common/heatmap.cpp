@@ -1,0 +1,68 @@
+#include "common/heatmap.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace psi {
+
+HeatMap::HeatMap(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  PSI_CHECK(rows > 0 && cols > 0);
+}
+
+double& HeatMap::at(std::size_t r, std::size_t c) {
+  PSI_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double HeatMap::at(std::size_t r, std::size_t c) const {
+  PSI_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double HeatMap::min_value() const {
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+double HeatMap::max_value() const {
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::string HeatMap::render() const { return render(min_value(), max_value()); }
+
+std::string HeatMap::render(double lo, double hi) const {
+  // 10-step shade ramp from cold to hot.
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kSteps = sizeof(kRamp) - 1;
+  const double span = hi > lo ? hi - lo : 1.0;
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      double t = (at(r, c) - lo) / span;
+      t = std::clamp(t, 0.0, 1.0);
+      auto idx = static_cast<std::size_t>(t * static_cast<double>(kSteps - 1) + 0.5);
+      os << kRamp[idx] << kRamp[idx];
+    }
+    os << '\n';
+  }
+  os << "scale: '" << kRamp[0] << "' = " << std::fixed << std::setprecision(2) << lo
+     << "  ..  '" << kRamp[kSteps - 1] << "' = " << hi << '\n';
+  return os.str();
+}
+
+std::string HeatMap::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c) os << ',';
+      os << at(r, c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace psi

@@ -1,0 +1,46 @@
+/// \file heatmap.hpp
+/// \brief 2-D scalar field over the processor grid with ASCII rendering.
+///
+/// Regenerates the communication-volume heat maps of Figures 5, 6 and 7:
+/// rows/columns are processor-grid rows/columns, the value is MB sent (or
+/// received) by the rank at that grid position. ASCII shading makes the
+/// paper's qualitative features (diagonal band for Flat-Tree, stripes for
+/// Binary-Tree, uniform field for Shifted Binary-Tree) visible in a
+/// terminal; to_csv() exports the exact field.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace psi {
+
+class HeatMap {
+ public:
+  HeatMap(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  double min_value() const;
+  double max_value() const;
+
+  /// ASCII shading with a fixed ramp; optional shared [lo, hi] scale so two
+  /// maps can be compared directly (the paper shares the colorbar between
+  /// Figures 5(a) and 5(c)).
+  std::string render() const;
+  std::string render(double lo, double hi) const;
+
+  /// CSV export (row per grid row).
+  std::string to_csv() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace psi

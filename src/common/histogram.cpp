@@ -1,0 +1,59 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace psi {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  PSI_CHECK_MSG(hi > lo, "histogram range must be non-empty: [" << lo << ", " << hi << "]");
+  PSI_CHECK(bins > 0);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  double pos = (x - lo_) / width;
+  auto bin = static_cast<std::ptrdiff_t>(std::floor(pos));
+  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(const std::vector<double>& xs) {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  PSI_CHECK(bin < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const {
+  return bin_lo(bin) + (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+std::size_t Histogram::max_count() const {
+  return counts_.empty() ? 0 : *std::max_element(counts_.begin(), counts_.end());
+}
+
+std::string Histogram::render(std::size_t width, const std::string& xlabel) const {
+  std::ostringstream os;
+  const std::size_t peak = std::max<std::size_t>(max_count(), 1);
+  if (!xlabel.empty()) os << xlabel << '\n';
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const std::size_t bar = counts_[b] * width / peak;
+    os << std::setw(9) << std::fixed << std::setprecision(2) << bin_lo(b) << " - "
+       << std::setw(9) << bin_hi(b) << " |" << std::string(bar, '#')
+       << ' ' << counts_[b] << '\n';
+  }
+  os << "total " << total_ << '\n';
+  return os.str();
+}
+
+}  // namespace psi

@@ -1,0 +1,41 @@
+/// \file histogram.hpp
+/// \brief Fixed-bin histogram with ASCII rendering.
+///
+/// Used to regenerate Figure 4 of the paper (distribution of per-rank
+/// Col-Bcast communication volume under the three tree schemes).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace psi {
+
+class Histogram {
+ public:
+  /// Equal-width bins over [lo, hi]; values outside are clamped into the
+  /// first/last bin so no sample is dropped.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t bin) const;
+  double bin_hi(std::size_t bin) const;
+  std::size_t max_count() const;
+
+  /// Multi-line ASCII rendering (one row per bin) resembling the paper's
+  /// per-scheme volume histograms. `width` is the bar width in characters.
+  std::string render(std::size_t width = 50, const std::string& xlabel = "") const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace psi

@@ -1,0 +1,60 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace psi {
+
+namespace {
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level = [] {
+    if (const char* env = std::getenv("PSI_LOG_LEVEL")) {
+      try {
+        return static_cast<int>(parse_log_level(env));
+      } catch (const Error&) {
+        // Ignore malformed environment values; fall through to default.
+      }
+    }
+    return static_cast<int>(LogLevel::kWarn);
+  }();
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kTrace: return "TRACE";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel log_level() { return static_cast<LogLevel>(level_storage().load()); }
+
+void set_log_level(LogLevel level) { level_storage().store(static_cast<int>(level)); }
+
+LogLevel parse_log_level(const std::string& name) {
+  if (name == "error") return LogLevel::kError;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "trace") return LogLevel::kTrace;
+  throw Error("unknown log level: " + name);
+}
+
+namespace detail {
+
+void log_line(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[psi %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace detail
+}  // namespace psi

@@ -1,0 +1,43 @@
+/// \file logging.hpp
+/// \brief Minimal leveled logger.
+///
+/// The simulator and the experiment harnesses emit progress information
+/// through this logger; the level is controlled programmatically or via the
+/// PSI_LOG_LEVEL environment variable (error|warn|info|debug|trace).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace psi {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3, kTrace = 4 };
+
+/// Global log level. Defaults to kWarn, overridable with PSI_LOG_LEVEL.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parse a level name ("info", "debug", ...); throws psi::Error on bad input.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& message);
+}
+
+}  // namespace psi
+
+#define PSI_LOG(level, expr)                                   \
+  do {                                                         \
+    if (static_cast<int>(level) <=                             \
+        static_cast<int>(::psi::log_level())) {                \
+      std::ostringstream psi_log_os_;                          \
+      psi_log_os_ << expr;                                     \
+      ::psi::detail::log_line(level, psi_log_os_.str());       \
+    }                                                          \
+  } while (0)
+
+#define PSI_LOG_ERROR(expr) PSI_LOG(::psi::LogLevel::kError, expr)
+#define PSI_LOG_WARN(expr) PSI_LOG(::psi::LogLevel::kWarn, expr)
+#define PSI_LOG_INFO(expr) PSI_LOG(::psi::LogLevel::kInfo, expr)
+#define PSI_LOG_DEBUG(expr) PSI_LOG(::psi::LogLevel::kDebug, expr)
+#define PSI_LOG_TRACE(expr) PSI_LOG(::psi::LogLevel::kTrace, expr)

@@ -1,0 +1,66 @@
+/// \file rng.hpp
+/// \brief Deterministic pseudo-random number generation.
+///
+/// All randomness in psi flows through Rng (xoshiro256**) so that every
+/// experiment is reproducible from a single seed. The shifted binary tree's
+/// circular-shift amounts are derived with hash_combine from (global seed,
+/// collective id), mirroring the paper's "seed communicated during
+/// preprocessing" so no runtime synchronization is needed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace psi {
+
+/// SplitMix64 step; also used to derive independent streams from a seed.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless mixing of a seed with a sequence of identifiers; gives each
+/// collective its own deterministic random value.
+std::uint64_t hash_combine(std::uint64_t seed, std::uint64_t value);
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()();
+
+  /// Uniform integer in [0, bound), bound > 0. Uses rejection sampling (no
+  /// modulo bias).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double normal();
+
+  /// Lognormal with underlying normal(mu, sigma).
+  double lognormal(double mu, double sigma);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace psi

@@ -1,0 +1,89 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace psi {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+SampleStats::SampleStats(std::vector<double> values) : values_(std::move(values)) {}
+
+void SampleStats::add(double x) {
+  values_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void SampleStats::ensure_sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+}
+
+double SampleStats::min() const {
+  PSI_CHECK(!values_.empty());
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double SampleStats::max() const {
+  PSI_CHECK(!values_.empty());
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double SampleStats::mean() const {
+  PSI_CHECK(!values_.empty());
+  return sum() / static_cast<double>(values_.size());
+}
+
+double SampleStats::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double SampleStats::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double SampleStats::median() const { return quantile(0.5); }
+
+double SampleStats::quantile(double q) const {
+  PSI_CHECK(!values_.empty());
+  PSI_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile must be in [0,1], got " << q);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_.front();
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+}  // namespace psi

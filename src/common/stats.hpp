@@ -1,0 +1,67 @@
+/// \file stats.hpp
+/// \brief Descriptive statistics used by the communication-volume analyses.
+///
+/// The paper reports min / max / median / standard deviation of per-rank
+/// communication volumes (Tables I and II) and mean +/- stddev of repeated
+/// timing runs (Figure 8 error bars). SampleStats collects a full sample and
+/// provides those summaries; OnlineStats is a Welford accumulator for
+/// streaming use inside the simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace psi {
+
+/// Streaming mean/variance (Welford). Suitable for per-rank counters that
+/// are updated millions of times.
+class OnlineStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch statistics over a retained sample; supports exact quantiles.
+class SampleStats {
+ public:
+  SampleStats() = default;
+  explicit SampleStats(std::vector<double> values);
+
+  void add(double x);
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  /// Sample standard deviation (n-1); 0 for fewer than 2 samples.
+  double stddev() const;
+  double median() const;
+  /// Linear-interpolated quantile, q in [0, 1].
+  double quantile(double q) const;
+  double sum() const;
+
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace psi

@@ -1,0 +1,30 @@
+/// \file table.hpp
+/// \brief ASCII table formatting for the benchmark harnesses.
+///
+/// Every bench binary prints the same rows the paper's tables report;
+/// TextTable keeps the formatting consistent across harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace psi {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string fmt(double value, int precision = 3);
+  static std::string fmt_int(long long value);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace psi

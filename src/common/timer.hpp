@@ -1,0 +1,25 @@
+/// \file timer.hpp
+/// \brief Wall-clock timer for harness self-reporting (host time, not the
+/// simulated time — simulated time lives in psi::sim::Engine).
+#pragma once
+
+#include <chrono>
+
+namespace psi {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace psi

@@ -1,0 +1,17 @@
+#include "dist/process_grid.hpp"
+
+#include "common/check.hpp"
+
+namespace psi::dist {
+
+ProcessGrid::ProcessGrid(int prows, int pcols) : prows_(prows), pcols_(pcols) {
+  PSI_CHECK_MSG(prows > 0 && pcols > 0,
+                "process grid must be positive, got " << prows << "x" << pcols);
+}
+
+int ProcessGrid::rank_of(int prow, int pcol) const {
+  PSI_CHECK(prow >= 0 && prow < prows_ && pcol >= 0 && pcol < pcols_);
+  return prow * pcols_ + pcol;
+}
+
+}  // namespace psi::dist

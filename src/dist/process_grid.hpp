@@ -1,0 +1,57 @@
+/// \file process_grid.hpp
+/// \brief Virtual 2-D processor grid and the supernodal block-cyclic
+/// distribution (paper §II-B, Figure 1).
+///
+/// Ranks are arranged row-major on a Pr x Pc grid (SuperLU_DIST convention):
+/// rank = prow * Pc + pcol. Block (I, K) of the factor / selected inverse is
+/// owned by rank (I mod Pr, K mod Pc). A "processor column" {(r, c) : r} is
+/// the group inside which Col-Bcast runs; a "processor row" {(r, c) : c}
+/// hosts Row-Reduce.
+#pragma once
+
+#include "sparse/types.hpp"
+
+namespace psi::dist {
+
+class ProcessGrid {
+ public:
+  ProcessGrid(int prows, int pcols);
+
+  int prows() const { return prows_; }
+  int pcols() const { return pcols_; }
+  int size() const { return prows_ * pcols_; }
+
+  int rank_of(int prow, int pcol) const;
+  int row_of(int rank) const { return rank / pcols_; }
+  int col_of(int rank) const { return rank % pcols_; }
+
+ private:
+  int prows_;
+  int pcols_;
+};
+
+/// Supernodal 2-D block-cyclic mapping.
+class BlockCyclicMap {
+ public:
+  explicit BlockCyclicMap(const ProcessGrid& grid) : grid_(&grid) {}
+
+  const ProcessGrid& grid() const { return *grid_; }
+
+  /// Processor-grid row owning block row I.
+  int prow_of(Int block_row) const {
+    return static_cast<int>(block_row % grid_->prows());
+  }
+  /// Processor-grid column owning block column K.
+  int pcol_of(Int block_col) const {
+    return static_cast<int>(block_col % grid_->pcols());
+  }
+  /// Rank owning block (I, K).
+  int owner(Int block_row, Int block_col) const {
+    return grid_->rank_of(prow_of(block_row), pcol_of(block_col));
+  }
+
+ private:
+  const ProcessGrid* grid_;
+};
+
+}  // namespace psi::dist

@@ -1,0 +1,59 @@
+/// \file experiment.hpp
+/// \brief Shared experiment scaffolding for the bench harnesses and the
+/// examples: default analysis options, machine presets, grid shapes, and
+/// rendering of per-rank volume fields as heat maps.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/heatmap.hpp"
+#include "dist/process_grid.hpp"
+#include "pselinv/plan.hpp"
+#include "pselinv/volume_analysis.hpp"
+#include "sim/machine.hpp"
+#include "symbolic/analysis.hpp"
+#include "trees/comm_tree.hpp"
+
+namespace psi::driver {
+
+/// Analysis defaults used by every experiment: geometric nested dissection
+/// (the generators provide coordinates) and SuperLU-like supernode sizing.
+AnalysisOptions default_analysis_options();
+
+/// Edison-like machine; `jitter_sigma` > 0 adds network inhomogeneity and
+/// `run_seed` selects a placement (vary per repetition for error bars).
+sim::MachineConfig edison_config(double jitter_sigma = 0.0,
+                                 std::uint64_t run_seed = 0);
+
+/// Edison-like machine calibrated for the scaled-down timing experiments
+/// (Figures 8-9): bandwidths and flop rate scaled by the analog matrices'
+/// payload deficit so the computation:communication balance matches the
+/// paper's full-size runs (see EXPERIMENTS.md, "Machine calibration").
+sim::MachineConfig timing_machine(double jitter_sigma = 0.25,
+                                  std::uint64_t run_seed = 0);
+
+/// Near-square grid with pr * pc == p and pr >= pc (the paper uses square
+/// counts: 64 = 8x8, ..., 12100 = 110x110).
+void square_grid(int p, int& pr, int& pc);
+
+/// Tree options for a scheme with the experiment's deterministic seed.
+trees::TreeOptions tree_options_for(trees::TreeScheme scheme,
+                                    std::uint64_t seed = 0x2016);
+
+/// The three schemes of the paper plus the two extensions, in display order.
+std::vector<trees::TreeScheme> paper_schemes();
+std::vector<trees::TreeScheme> all_schemes();
+
+/// Renders a per-rank scalar field (indexed by rank) as a Pr x Pc heat map.
+HeatMap rank_field_to_heatmap(const std::vector<double>& per_rank,
+                              const dist::ProcessGrid& grid);
+
+/// Scale factor for bench workloads: PSI_BENCH_SCALE env var (default 1.0).
+/// Lets CI run the full harness quickly (e.g. PSI_BENCH_SCALE=0.5).
+double bench_scale();
+
+/// Repetitions for timing error bars: PSI_BENCH_REPS (default 3).
+int bench_reps();
+
+}  // namespace psi::driver

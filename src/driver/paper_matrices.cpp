@@ -1,0 +1,63 @@
+#include "driver/paper_matrices.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace psi::driver {
+
+const char* paper_matrix_name(PaperMatrix which) {
+  switch (which) {
+    case PaperMatrix::kDgPnf14000: return "DG_PNF14000-like";
+    case PaperMatrix::kDgGraphene: return "DG_Graphene_32768-like";
+    case PaperMatrix::kDgWater: return "DG_Water_12888-like";
+    case PaperMatrix::kLuCBnC: return "LU_C_BN_C_4by2-like";
+    case PaperMatrix::kAudikw1: return "audikw_1-like";
+    case PaperMatrix::kFlan1565: return "Flan_1565-like";
+  }
+  return "unknown";
+}
+
+std::vector<PaperMatrix> all_paper_matrices() {
+  return {PaperMatrix::kDgGraphene, PaperMatrix::kDgPnf14000,
+          PaperMatrix::kDgWater, PaperMatrix::kLuCBnC, PaperMatrix::kAudikw1,
+          PaperMatrix::kFlan1565};
+}
+
+namespace {
+Int scaled(Int extent, double scale) {
+  return std::max<Int>(2, static_cast<Int>(std::lround(extent * scale)));
+}
+}  // namespace
+
+GeneratedMatrix make_paper_matrix(PaperMatrix which, double scale,
+                                  std::uint64_t seed) {
+  PSI_CHECK(scale > 0);
+  switch (which) {
+    case PaperMatrix::kDgPnf14000:
+      // 2-D phosphorene nanoflake, adaptive-local-basis DG: a 2-D element
+      // mesh with dense inter-element blocks ("relatively dense").
+      return dg2d(scaled(32, scale), scaled(32, scale), 16, seed);
+    case PaperMatrix::kDgGraphene:
+      // Larger 2-D DG sheet.
+      return dg2d(scaled(44, scale), scaled(44, scale), 16, seed);
+    case PaperMatrix::kDgWater:
+      // 3-D DG, small basis.
+      return dg3d(scaled(8, scale), scaled(8, scale), scaled(8, scale), 10, seed);
+    case PaperMatrix::kLuCBnC:
+      // 3-D DG slab.
+      return dg3d(scaled(12, scale), scaled(12, scale), scaled(6, scale), 12, seed);
+    case PaperMatrix::kAudikw1:
+      // 3-D solid mechanics, 3 dofs/node ("relatively sparse").
+      return fem3d(scaled(26, scale), scaled(26, scale), scaled(26, scale), 3,
+                   seed);
+    case PaperMatrix::kFlan1565:
+      // 3-D shell-like FEM, 3 dofs/node, flat in one dimension.
+      return fem3d(scaled(34, scale), scaled(34, scale), scaled(10, scale), 3,
+                   seed);
+  }
+  throw Error("unknown paper matrix");
+}
+
+}  // namespace psi::driver

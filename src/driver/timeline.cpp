@@ -1,0 +1,83 @@
+#include "driver/timeline.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace psi::driver {
+
+CommTimeline::CommTimeline(const std::vector<sim::TraceEvent>& trace,
+                           double makespan, std::size_t buckets,
+                           int comm_classes)
+    : buckets_(buckets),
+      comm_classes_(comm_classes),
+      bucket_seconds_(makespan > 0 ? makespan / static_cast<double>(buckets) : 1.0) {
+  PSI_CHECK(buckets > 0);
+  PSI_CHECK(comm_classes > 0);
+  bytes_.assign(buckets_ * static_cast<std::size_t>(comm_classes_), 0);
+  messages_.assign(bytes_.size(), 0);
+  for (const sim::TraceEvent& event : trace) {
+    if (event.comm_class < 0 || event.comm_class >= comm_classes_) continue;
+    auto bucket = static_cast<std::size_t>(event.time / bucket_seconds_);
+    bucket = std::min(bucket, buckets_ - 1);
+    bytes_[index(bucket, event.comm_class)] += event.bytes;
+    messages_[index(bucket, event.comm_class)] += 1;
+  }
+}
+
+std::size_t CommTimeline::index(std::size_t bucket, int comm_class) const {
+  return bucket * static_cast<std::size_t>(comm_classes_) +
+         static_cast<std::size_t>(comm_class);
+}
+
+Count CommTimeline::bytes_at(std::size_t bucket, int comm_class) const {
+  PSI_CHECK(bucket < buckets_ && comm_class >= 0 && comm_class < comm_classes_);
+  return bytes_[index(bucket, comm_class)];
+}
+
+Count CommTimeline::messages_at(std::size_t bucket, int comm_class) const {
+  PSI_CHECK(bucket < buckets_ && comm_class >= 0 && comm_class < comm_classes_);
+  return messages_[index(bucket, comm_class)];
+}
+
+std::string CommTimeline::render(const char* (*names)(int)) const {
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr int kSteps = sizeof(kRamp) - 1;
+  const Count peak = std::max<Count>(
+      1, *std::max_element(bytes_.begin(), bytes_.end()));
+  std::ostringstream os;
+  for (int c = 0; c < comm_classes_; ++c) {
+    Count total = 0;
+    for (std::size_t b = 0; b < buckets_; ++b) total += bytes_at(b, c);
+    if (total == 0) continue;  // silent classes skipped
+    os << std::left << std::setw(16) << names(c) << " |";
+    for (std::size_t b = 0; b < buckets_; ++b) {
+      const double t =
+          static_cast<double>(bytes_at(b, c)) / static_cast<double>(peak);
+      const auto idx =
+          static_cast<std::size_t>(t * static_cast<double>(kSteps - 1) + 0.5);
+      os << kRamp[idx];
+    }
+    os << "| " << std::fixed << std::setprecision(2)
+       << static_cast<double>(total) / (1024.0 * 1024.0) << " MB\n";
+  }
+  os << std::left << std::setw(16) << "(time)" << " |0"
+     << std::string(buckets_ > 2 ? buckets_ - 2 : 0, '.') << ">| "
+     << std::setprecision(4) << bucket_seconds_ * static_cast<double>(buckets_)
+     << " s\n";
+  return os.str();
+}
+
+std::string CommTimeline::to_csv(const char* (*names)(int)) const {
+  std::ostringstream os;
+  os << "bucket_start_s,class,bytes,messages\n";
+  for (std::size_t b = 0; b < buckets_; ++b)
+    for (int c = 0; c < comm_classes_; ++c)
+      os << bucket_seconds_ * static_cast<double>(b) << ',' << names(c) << ','
+         << bytes_at(b, c) << ',' << messages_at(b, c) << '\n';
+  return os.str();
+}
+
+}  // namespace psi::driver

@@ -1,0 +1,50 @@
+/// \file timeline.hpp
+/// \brief Communication-timeline analysis of a simulator trace.
+///
+/// Buckets the delivered messages of a traced run by time and communication
+/// class, producing the "what was on the wire when" view used to inspect
+/// phase overlap and hot periods (an observability aid beyond the paper's
+/// aggregate numbers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace psi::driver {
+
+class CommTimeline {
+ public:
+  /// Buckets `trace` (delivery times in [0, makespan]) into `buckets`
+  /// equal-width intervals per communication class.
+  CommTimeline(const std::vector<sim::TraceEvent>& trace, double makespan,
+               std::size_t buckets, int comm_classes);
+
+  std::size_t buckets() const { return buckets_; }
+  int comm_classes() const { return comm_classes_; }
+  double bucket_seconds() const { return bucket_seconds_; }
+
+  /// Bytes delivered in `bucket` for `comm_class`.
+  Count bytes_at(std::size_t bucket, int comm_class) const;
+  Count messages_at(std::size_t bucket, int comm_class) const;
+
+  /// ASCII rendering: one row per class, one column per bucket, shading by
+  /// bytes relative to the busiest (class, bucket) cell. `names(c)` labels
+  /// the rows.
+  std::string render(const char* (*names)(int)) const;
+
+  /// CSV export: bucket_start_s, class, bytes, messages.
+  std::string to_csv(const char* (*names)(int)) const;
+
+ private:
+  std::size_t index(std::size_t bucket, int comm_class) const;
+
+  std::size_t buckets_;
+  int comm_classes_;
+  double bucket_seconds_;
+  std::vector<Count> bytes_;
+  std::vector<Count> messages_;
+};
+
+}  // namespace psi::driver

@@ -1,0 +1,155 @@
+#include "numeric/block_matrix.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace psi {
+
+BlockMatrix::BlockMatrix(const BlockStructure& structure) : structure_(&structure) {
+  const Int nsup = structure.supernode_count();
+  cols_.resize(static_cast<std::size_t>(nsup));
+  offsets_.resize(static_cast<std::size_t>(nsup));
+  for (Int k = 0; k < nsup; ++k) {
+    const Int width = structure.part.size(k);
+    auto& offs = offsets_[static_cast<std::size_t>(k)];
+    const auto& str = structure.struct_of[static_cast<std::size_t>(k)];
+    offs.resize(str.size() + 1);
+    offs[0] = 0;
+    for (std::size_t t = 0; t < str.size(); ++t)
+      offs[t + 1] = offs[t] + structure.part.size(str[t]);
+    auto& col = cols_[static_cast<std::size_t>(k)];
+    col.diag.resize(width, width);
+    col.lpanel.resize(offs.back(), width);
+    col.upanel.resize(width, offs.back());
+  }
+}
+
+Int BlockMatrix::struct_position(Int k, Int i) const {
+  const auto& str = structure_->struct_of[static_cast<std::size_t>(k)];
+  const auto it = std::lower_bound(str.begin(), str.end(), i);
+  if (it == str.end() || *it != i) return -1;
+  return static_cast<Int>(it - str.begin());
+}
+
+Int BlockMatrix::block_offset(Int k, Int i) const {
+  const Int pos = struct_position(k, i);
+  PSI_CHECK_MSG(pos >= 0, "block (" << i << "," << k << ") not in structure");
+  return offsets_[static_cast<std::size_t>(k)][static_cast<std::size_t>(pos)];
+}
+
+Int BlockMatrix::panel_rows(Int k) const {
+  return offsets_[static_cast<std::size_t>(k)].back();
+}
+
+DenseMatrix BlockMatrix::block(Int i, Int k) const {
+  const auto& part = structure_->part;
+  if (i == k) return diag(k);
+  if (i > k) {
+    const Int off = block_offset(k, i);
+    DenseMatrix out(part.size(i), part.size(k));
+    const DenseMatrix& panel = lpanel(k);
+    for (Int c = 0; c < out.cols(); ++c)
+      for (Int r = 0; r < out.rows(); ++r) out(r, c) = panel(off + r, c);
+    return out;
+  }
+  // i < k: upper block, stored in upanel(i) at column offset of k.
+  const Int off = block_offset(i, k);
+  DenseMatrix out(part.size(i), part.size(k));
+  const DenseMatrix& panel = upanel(i);
+  for (Int c = 0; c < out.cols(); ++c)
+    for (Int r = 0; r < out.rows(); ++r) out(r, c) = panel(r, off + c);
+  return out;
+}
+
+void BlockMatrix::set_block(Int i, Int k, const DenseMatrix& value) {
+  const auto& part = structure_->part;
+  if (i == k) {
+    PSI_CHECK(value.rows() == part.size(k) && value.cols() == part.size(k));
+    diag(k) = value;
+    return;
+  }
+  if (i > k) {
+    PSI_CHECK(value.rows() == part.size(i) && value.cols() == part.size(k));
+    const Int off = block_offset(k, i);
+    DenseMatrix& panel = lpanel(k);
+    for (Int c = 0; c < value.cols(); ++c)
+      for (Int r = 0; r < value.rows(); ++r) panel(off + r, c) = value(r, c);
+    return;
+  }
+  PSI_CHECK(value.rows() == part.size(i) && value.cols() == part.size(k));
+  const Int off = block_offset(i, k);
+  DenseMatrix& panel = upanel(i);
+  for (Int c = 0; c < value.cols(); ++c)
+    for (Int r = 0; r < value.rows(); ++r) panel(r, off + c) = value(r, c);
+}
+
+void BlockMatrix::add_block(Int i, Int k, const DenseMatrix& value, double scale) {
+  const auto& part = structure_->part;
+  if (i == k) {
+    PSI_CHECK(value.rows() == part.size(k) && value.cols() == part.size(k));
+    DenseMatrix& d = diag(k);
+    for (Int c = 0; c < value.cols(); ++c)
+      for (Int r = 0; r < value.rows(); ++r) d(r, c) += scale * value(r, c);
+    return;
+  }
+  if (i > k) {
+    const Int off = block_offset(k, i);
+    DenseMatrix& panel = lpanel(k);
+    for (Int c = 0; c < value.cols(); ++c)
+      for (Int r = 0; r < value.rows(); ++r) panel(off + r, c) += scale * value(r, c);
+    return;
+  }
+  const Int off = block_offset(i, k);
+  DenseMatrix& panel = upanel(i);
+  for (Int c = 0; c < value.cols(); ++c)
+    for (Int r = 0; r < value.rows(); ++r) panel(r, off + c) += scale * value(r, c);
+}
+
+void BlockMatrix::load(const SparseMatrix& a) {
+  const auto& part = structure_->part;
+  PSI_CHECK(a.n() == part.n());
+  for (Int j = 0; j < a.n(); ++j) {
+    const Int k = part.sup_of_col[static_cast<std::size_t>(j)];
+    const Int jc = j - part.first_col(k);
+    for (Int p = a.pattern.col_ptr[j]; p < a.pattern.col_ptr[j + 1]; ++p) {
+      const Int row = a.pattern.row_idx[p];
+      const double v = a.values[static_cast<std::size_t>(p)];
+      const Int bi = part.sup_of_col[static_cast<std::size_t>(row)];
+      const Int ir = row - part.first_col(bi);
+      if (bi == k) {
+        diag(k)(ir, jc) = v;
+      } else if (bi > k) {
+        lpanel(k)(block_offset(k, bi) + ir, jc) = v;
+      } else {
+        upanel(bi)(ir, block_offset(bi, k) + jc) = v;
+      }
+    }
+  }
+}
+
+DenseMatrix BlockMatrix::to_dense() const {
+  const auto& part = structure_->part;
+  const Int n = part.n();
+  DenseMatrix out(n, n);
+  for (Int k = 0; k < supernode_count(); ++k) {
+    const Int col0 = part.first_col(k);
+    const Int width = part.size(k);
+    for (Int c = 0; c < width; ++c)
+      for (Int r = 0; r < width; ++r) out(col0 + r, col0 + c) = diag(k)(r, c);
+    const auto& str = structure_->struct_of[static_cast<std::size_t>(k)];
+    for (std::size_t t = 0; t < str.size(); ++t) {
+      const Int i = str[t];
+      const Int row0 = part.first_col(i);
+      const Int off = offsets_[static_cast<std::size_t>(k)][t];
+      for (Int c = 0; c < width; ++c)
+        for (Int r = 0; r < part.size(i); ++r) {
+          out(row0 + r, col0 + c) = lpanel(k)(off + r, c);
+          out(col0 + c, row0 + r) = upanel(k)(c, off + r);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace psi

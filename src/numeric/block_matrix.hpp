@@ -1,0 +1,71 @@
+/// \file block_matrix.hpp
+/// \brief Supernodal block-column storage shared by the factor and the
+/// selected inverse (sequential reference implementation).
+///
+/// For each supernode K the store holds:
+///  * diag   — the dense width(K) x width(K) diagonal block,
+///  * lpanel — the stacked dense blocks (I, K) for I in struct(K) (lower),
+///  * upanel — the dense blocks (K, I) side by side (upper).
+/// Blocks are dense over full supernode extents (see supernodes.hpp).
+#pragma once
+
+#include <vector>
+
+#include "sparse/dense.hpp"
+#include "sparse/sparse_matrix.hpp"
+#include "symbolic/supernodes.hpp"
+
+namespace psi {
+
+class BlockMatrix {
+ public:
+  /// Allocates zeroed storage shaped by `structure` (kept by reference; the
+  /// caller guarantees it outlives the BlockMatrix).
+  explicit BlockMatrix(const BlockStructure& structure);
+
+  const BlockStructure& structure() const { return *structure_; }
+  Int supernode_count() const { return structure_->supernode_count(); }
+
+  DenseMatrix& diag(Int k) { return cols_[static_cast<std::size_t>(k)].diag; }
+  const DenseMatrix& diag(Int k) const { return cols_[static_cast<std::size_t>(k)].diag; }
+  DenseMatrix& lpanel(Int k) { return cols_[static_cast<std::size_t>(k)].lpanel; }
+  const DenseMatrix& lpanel(Int k) const { return cols_[static_cast<std::size_t>(k)].lpanel; }
+  DenseMatrix& upanel(Int k) { return cols_[static_cast<std::size_t>(k)].upanel; }
+  const DenseMatrix& upanel(Int k) const { return cols_[static_cast<std::size_t>(k)].upanel; }
+
+  /// Row offset of block (i, k) inside lpanel(k) (also the column offset of
+  /// (k, i) inside upanel(k)). `i` must be in struct(k).
+  Int block_offset(Int k, Int i) const;
+  /// Index of supernode i within struct(k); -1 when absent.
+  Int struct_position(Int k, Int i) const;
+  /// Total stacked rows of lpanel(k).
+  Int panel_rows(Int k) const;
+
+  /// Copy of the dense block (i, k): i == k -> diagonal, i > k -> from
+  /// lpanel(k), i < k -> from upanel(i).
+  DenseMatrix block(Int i, Int k) const;
+  /// Writes `value` into block (i, k) (same addressing as block()).
+  void set_block(Int i, Int k, const DenseMatrix& value);
+  /// Accumulates `value` into block (i, k).
+  void add_block(Int i, Int k, const DenseMatrix& value, double scale = 1.0);
+
+  /// Loads the values of `a` (the analyzed, permuted matrix) into the block
+  /// storage; positions absent from `a` stay zero (full-block padding).
+  void load(const SparseMatrix& a);
+
+  /// Dense expansion (tests; small problems only).
+  DenseMatrix to_dense() const;
+
+ private:
+  struct BlockColumn {
+    DenseMatrix diag;
+    DenseMatrix lpanel;
+    DenseMatrix upanel;
+  };
+
+  const BlockStructure* structure_;
+  std::vector<BlockColumn> cols_;
+  std::vector<std::vector<Int>> offsets_;  ///< per supernode, per struct entry
+};
+
+}  // namespace psi

@@ -1,0 +1,75 @@
+#include "numeric/selinv.hpp"
+
+#include "common/check.hpp"
+
+namespace psi {
+
+BlockMatrix selected_inversion(SupernodalLU& lu) {
+  if (!lu.normalized()) lu.normalize_panels();
+  const BlockStructure& bs = lu.structure();
+  const auto& part = bs.part;
+  const BlockMatrix& f = lu.blocks();
+  BlockMatrix ainv(bs);
+
+  DenseMatrix lhat, uhat, contrib, acc;
+  for (Int k = bs.supernode_count() - 1; k >= 0; --k) {
+    const Int width = part.size(k);
+    // Seed the diagonal: U_KK^{-1} L_KK^{-1}.
+    DenseMatrix diag_inv(width, width);
+    for (Int i = 0; i < width; ++i) diag_inv(i, i) = 1.0;
+    trsm(Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0, f.diag(k), diag_inv);
+    trsm(Side::kLeft, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0, f.diag(k), diag_inv);
+
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    // A^{-1}_{J,K} = - sum_{I in C} A^{-1}_{J,I} L̂_{I,K}   (lower panel)
+    // A^{-1}_{K,J} = - sum_{I in C} Û_{K,I} A^{-1}_{I,J}   (upper panel)
+    for (Int j : str) {
+      acc.resize(part.size(j), width);
+      acc.set_zero();
+      for (Int i : str) {
+        lhat = f.block(i, k);                    // L̂_{I,K}
+        contrib = ainv.block(j, i);              // A^{-1}_{J,I}
+        gemm(Trans::kNo, Trans::kNo, -1.0, contrib, lhat, 1.0, acc);
+      }
+      ainv.set_block(j, k, acc);
+
+      acc.resize(width, part.size(j));
+      acc.set_zero();
+      for (Int i : str) {
+        uhat = f.block(k, i);                    // Û_{K,I}
+        contrib = ainv.block(i, j);              // A^{-1}_{I,J}
+        gemm(Trans::kNo, Trans::kNo, -1.0, uhat, contrib, 1.0, acc);
+      }
+      ainv.set_block(k, j, acc);
+    }
+
+    // A^{-1}_{K,K} = U_KK^{-1} L_KK^{-1} - Û_{K,C} A^{-1}_{C,K}.
+    for (Int j : str) {
+      uhat = f.block(k, j);
+      contrib = ainv.block(j, k);  // freshly computed above
+      gemm(Trans::kNo, Trans::kNo, -1.0, uhat, contrib, 1.0, diag_inv);
+    }
+    ainv.set_block(k, k, diag_inv);
+  }
+  return ainv;
+}
+
+Count selinv_flops(const BlockStructure& structure) {
+  const auto& part = structure.part;
+  Count total = 0;
+  for (Int k = 0; k < structure.supernode_count(); ++k) {
+    const Int width = part.size(k);
+    total += 2 * trsm_flops(width, width);  // diagonal seed
+    const auto& str = structure.struct_of[static_cast<std::size_t>(k)];
+    for (Int j : str) {
+      for (Int i : str) {
+        total += gemm_flops(part.size(j), width, part.size(i));  // lower
+        total += gemm_flops(width, part.size(j), part.size(i));  // upper
+      }
+      total += gemm_flops(width, width, part.size(j));  // diagonal update
+    }
+  }
+  return total;
+}
+
+}  // namespace psi

@@ -1,0 +1,24 @@
+/// \file selinv.hpp
+/// \brief Sequential selected inversion (Algorithm 1 of the paper).
+///
+/// Reference implementation used to validate the distributed PSelInv engine:
+/// given the supernodal LU factors, computes every block of A^{-1} on the
+/// factor's block pattern (both triangles), processing supernodes from last
+/// to first.
+#pragma once
+
+#include "numeric/supernodal_lu.hpp"
+
+namespace psi {
+
+/// Runs Algorithm 1. Normalizes the factor panels in place if the caller has
+/// not done so already (first loop of the algorithm), then executes the
+/// second loop sequentially. Returns the selected inverse in the same block
+/// layout as the factor.
+BlockMatrix selected_inversion(SupernodalLU& lu);
+
+/// Flops of the selected-inversion sweep over this structure (excludes the
+/// factorization; used by the simulator's compute model).
+Count selinv_flops(const BlockStructure& structure);
+
+}  // namespace psi

@@ -1,0 +1,140 @@
+#include "numeric/supernodal_lu.hpp"
+
+#include "common/check.hpp"
+
+namespace psi {
+
+SupernodalLU SupernodalLU::factor(const SymbolicAnalysis& analysis) {
+  SupernodalLU lu(analysis.blocks);
+  BlockMatrix& m = lu.storage_;
+  m.load(analysis.matrix);
+  const BlockStructure& bs = analysis.blocks;
+  const Int nsup = bs.supernode_count();
+
+  DenseMatrix lik, ukj, update;
+  for (Int k = 0; k < nsup; ++k) {
+    // 1. Factor the diagonal block: diag(k) <- packed L_KK \ U_KK.
+    getrf_nopivot(m.diag(k));
+
+    // 2. Panel solves.
+    //    lpanel: L_{I,K} = A_{I,K} U_KK^{-1}  (right solve with upper).
+    if (m.lpanel(k).rows() > 0)
+      trsm(Side::kRight, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0,
+           m.diag(k), m.lpanel(k));
+    //    upanel: U_{K,I} = L_KK^{-1} A_{K,I}  (left solve with unit lower).
+    if (m.upanel(k).cols() > 0)
+      trsm(Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0,
+           m.diag(k), m.upanel(k));
+
+    // 3. Right-looking trailing update: for I, J in struct(K),
+    //    A_{I,J} -= L_{I,K} U_{K,J}.
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    for (Int jt = 0; jt < static_cast<Int>(str.size()); ++jt) {
+      const Int j = str[static_cast<std::size_t>(jt)];
+      ukj = m.block(k, j);  // U_{K,J} slice of upanel(k)
+      for (Int it = 0; it < static_cast<Int>(str.size()); ++it) {
+        const Int i = str[static_cast<std::size_t>(it)];
+        lik = m.block(i, k);  // L_{I,K} slice of lpanel(k)
+        update.resize(bs.part.size(i), bs.part.size(j));
+        update.set_zero();
+        gemm(Trans::kNo, Trans::kNo, 1.0, lik, ukj, 0.0, update);
+        m.add_block(i, j, update, -1.0);
+      }
+    }
+  }
+  return lu;
+}
+
+std::vector<double> SupernodalLU::solve(const std::vector<double>& b) const {
+  PSI_CHECK(!normalized_);
+  const BlockStructure& bs = storage_.structure();
+  const auto& part = bs.part;
+  const Int n = part.n();
+  PSI_CHECK(static_cast<Int>(b.size()) == n);
+  std::vector<double> x = b;
+
+  // Forward solve L y = b (global unit-lower L).
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    const Int col0 = part.first_col(k);
+    const Int width = part.size(k);
+    const DenseMatrix& d = storage_.diag(k);
+    // Unit-lower triangle of the packed diagonal block.
+    for (Int c = 0; c < width; ++c)
+      for (Int r = c + 1; r < width; ++r)
+        x[static_cast<std::size_t>(col0 + r)] -=
+            d(r, c) * x[static_cast<std::size_t>(col0 + c)];
+    // Panel.
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    const DenseMatrix& panel = storage_.lpanel(k);
+    Int off = 0;
+    for (Int i : str) {
+      const Int row0 = part.first_col(i);
+      for (Int c = 0; c < width; ++c)
+        for (Int r = 0; r < part.size(i); ++r)
+          x[static_cast<std::size_t>(row0 + r)] -=
+              panel(off + r, c) * x[static_cast<std::size_t>(col0 + c)];
+      off += part.size(i);
+    }
+  }
+
+  // Backward solve U x = y.
+  for (Int k = bs.supernode_count() - 1; k >= 0; --k) {
+    const Int col0 = part.first_col(k);
+    const Int width = part.size(k);
+    // Upper panel contributions: x_K -= U_{K,I} x_I.
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    const DenseMatrix& panel = storage_.upanel(k);
+    Int off = 0;
+    for (Int i : str) {
+      const Int row0 = part.first_col(i);
+      for (Int cc = 0; cc < part.size(i); ++cc)
+        for (Int r = 0; r < width; ++r)
+          x[static_cast<std::size_t>(col0 + r)] -=
+              panel(r, off + cc) * x[static_cast<std::size_t>(row0 + cc)];
+      off += part.size(i);
+    }
+    // Diagonal block upper solve.
+    const DenseMatrix& d = storage_.diag(k);
+    for (Int c = width - 1; c >= 0; --c) {
+      x[static_cast<std::size_t>(col0 + c)] /= d(c, c);
+      for (Int r = 0; r < c; ++r)
+        x[static_cast<std::size_t>(col0 + r)] -=
+            d(r, c) * x[static_cast<std::size_t>(col0 + c)];
+    }
+  }
+  return x;
+}
+
+void SupernodalLU::normalize_panels() {
+  PSI_CHECK_MSG(!normalized_, "normalize_panels() called twice");
+  const BlockStructure& bs = storage_.structure();
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    if (storage_.lpanel(k).rows() > 0)
+      trsm(Side::kRight, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0,
+           storage_.diag(k), storage_.lpanel(k));
+    if (storage_.upanel(k).cols() > 0)
+      trsm(Side::kLeft, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0,
+           storage_.diag(k), storage_.upanel(k));
+  }
+  normalized_ = true;
+}
+
+Count factorization_flops(const BlockStructure& structure) {
+  Count total = 0;
+  const auto& part = structure.part;
+  for (Int k = 0; k < structure.supernode_count(); ++k) {
+    const Int width = part.size(k);
+    total += getrf_flops(width);
+    Int rows = 0;
+    for (Int i : structure.struct_of[static_cast<std::size_t>(k)])
+      rows += part.size(i);
+    total += 2 * trsm_flops(width, rows);  // both panels
+    // Trailing update GEMMs.
+    for (Int j : structure.struct_of[static_cast<std::size_t>(k)])
+      for (Int i : structure.struct_of[static_cast<std::size_t>(k)])
+        total += gemm_flops(part.size(i), part.size(j), width);
+  }
+  return total;
+}
+
+}  // namespace psi

@@ -1,0 +1,216 @@
+/// \file dissection.cpp
+/// \brief Nested dissection orderings (BFS level-set and geometric variants).
+///
+/// Recursive scheme: split the current vertex set into parts A, B and a
+/// vertex separator S with no A-B edges; order A, then B recursively, then S
+/// last. Separators ordered last produce the wide, shallow elimination trees
+/// whose top supernodes drive PSelInv's restricted collectives.
+#include <algorithm>
+#include <array>
+#include <cstdlib>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "ordering/ordering.hpp"
+
+namespace psi {
+
+namespace {
+
+/// Recursion context shared by both separator strategies.
+struct Dissector {
+  const Graph& graph;  // global graph
+  const std::vector<std::array<double, 3>>* coords;  // geometric only
+  Int leaf_size;
+  std::vector<Int> new_to_old;  // output order, appended to
+
+  /// Orders `vertices` (global ids) with minimum degree on the induced
+  /// subgraph and appends to the output.
+  void order_leaf(const std::vector<Int>& vertices) {
+    if (vertices.empty()) return;
+    std::vector<Int> local_of;
+    const Graph sub = graph.induced_subgraph(vertices, local_of);
+    const Permutation p = min_degree_ordering(sub);
+    std::vector<Int> slot(vertices.size());
+    for (std::size_t k = 0; k < vertices.size(); ++k)
+      slot[static_cast<std::size_t>(p.new_of(static_cast<Int>(k)))] =
+          vertices[k];
+    new_to_old.insert(new_to_old.end(), slot.begin(), slot.end());
+  }
+
+  /// Splits `vertices` into connected components of the induced subgraph.
+  /// Returns true (and fills `parts`) when there is more than one.
+  bool split_components(const std::vector<Int>& vertices,
+                        std::vector<std::vector<Int>>& parts) {
+    std::vector<Int> local_of;
+    const Graph sub = graph.induced_subgraph(vertices, local_of);
+    Int count = 0;
+    const std::vector<Int> comp = connected_components(sub, count);
+    if (count <= 1) return false;
+    parts.assign(static_cast<std::size_t>(count), {});
+    for (std::size_t k = 0; k < vertices.size(); ++k)
+      parts[static_cast<std::size_t>(comp[k])].push_back(vertices[k]);
+    return true;
+  }
+
+  /// BFS level-set separator on the induced subgraph. Returns false when the
+  /// subgraph is too shallow to split usefully.
+  bool levelset_separator(const std::vector<Int>& vertices,
+                          std::vector<Int>& a, std::vector<Int>& b,
+                          std::vector<Int>& sep) {
+    std::vector<Int> local_of;
+    const Graph sub = graph.induced_subgraph(vertices, local_of);
+    std::vector<Int> no_mask;
+    const Int root = pseudo_peripheral_vertex(sub, 0, no_mask, 0);
+    const LevelStructure ls = bfs_levels(sub, root, no_mask, 0);
+    if (ls.depth < 3) return false;
+
+    // Pick the level whose cut best balances the two sides.
+    std::vector<Int> level_count(static_cast<std::size_t>(ls.depth), 0);
+    for (Int v = 0; v < sub.n(); ++v)
+      ++level_count[static_cast<std::size_t>(ls.level[static_cast<std::size_t>(v)])];
+    Int best_level = 1;
+    Int best_imbalance = std::numeric_limits<Int>::max();
+    Int below = 0;
+    for (Int cut = 1; cut + 1 < ls.depth; ++cut) {
+      below += level_count[static_cast<std::size_t>(cut - 1)];
+      const Int above = sub.n() - below - level_count[static_cast<std::size_t>(cut)];
+      const Int imbalance = std::abs(below - above);
+      if (imbalance < best_imbalance) {
+        best_imbalance = imbalance;
+        best_level = cut;
+      }
+    }
+
+    a.clear();
+    b.clear();
+    sep.clear();
+    for (Int v = 0; v < sub.n(); ++v) {
+      const Int lv = ls.level[static_cast<std::size_t>(v)];
+      const Int global = vertices[static_cast<std::size_t>(v)];
+      if (lv < best_level)
+        a.push_back(global);
+      else if (lv == best_level)
+        sep.push_back(global);
+      else
+        b.push_back(global);
+    }
+    return !a.empty() && !b.empty();
+  }
+
+  /// Geometric separator: median split of the widest coordinate axis;
+  /// B-side vertices adjacent to A become the separator.
+  bool geometric_separator(const std::vector<Int>& vertices,
+                           std::vector<Int>& a, std::vector<Int>& b,
+                           std::vector<Int>& sep) {
+    PSI_CHECK(coords != nullptr);
+    // Pick the axis with the widest extent.
+    std::array<double, 3> lo{}, hi{};
+    lo.fill(std::numeric_limits<double>::infinity());
+    hi.fill(-std::numeric_limits<double>::infinity());
+    for (Int v : vertices)
+      for (int ax = 0; ax < 3; ++ax) {
+        const double c = (*coords)[static_cast<std::size_t>(v)][static_cast<std::size_t>(ax)];
+        lo[static_cast<std::size_t>(ax)] = std::min(lo[static_cast<std::size_t>(ax)], c);
+        hi[static_cast<std::size_t>(ax)] = std::max(hi[static_cast<std::size_t>(ax)], c);
+      }
+    int axis = 0;
+    double width = -1.0;
+    for (int ax = 0; ax < 3; ++ax) {
+      const double w = hi[static_cast<std::size_t>(ax)] - lo[static_cast<std::size_t>(ax)];
+      if (w > width) {
+        width = w;
+        axis = ax;
+      }
+    }
+    if (width <= 0.0) return false;  // all vertices coincide
+
+    std::vector<Int> sorted = vertices;
+    std::stable_sort(sorted.begin(), sorted.end(), [&](Int x, Int y) {
+      return (*coords)[static_cast<std::size_t>(x)][static_cast<std::size_t>(axis)] <
+             (*coords)[static_cast<std::size_t>(y)][static_cast<std::size_t>(axis)];
+    });
+    const std::size_t half = sorted.size() / 2;
+
+    // side: 0 = A (low half), 1 = B (high half), only for this subset.
+    std::vector<char> side(static_cast<std::size_t>(graph.n()), -1);
+    for (std::size_t k = 0; k < sorted.size(); ++k)
+      side[static_cast<std::size_t>(sorted[k])] = (k < half) ? 0 : 1;
+
+    a.clear();
+    b.clear();
+    sep.clear();
+    for (std::size_t k = 0; k < sorted.size(); ++k) {
+      const Int v = sorted[k];
+      if (k < half) {
+        a.push_back(v);
+        continue;
+      }
+      bool touches_a = false;
+      for (const Int* u = graph.neighbors_begin(v); u != graph.neighbors_end(v); ++u)
+        if (side[static_cast<std::size_t>(*u)] == 0) {
+          touches_a = true;
+          break;
+        }
+      (touches_a ? sep : b).push_back(v);
+    }
+    return !a.empty() && !b.empty();
+  }
+
+  void dissect(std::vector<Int> vertices, bool geometric) {
+    if (static_cast<Int>(vertices.size()) <= leaf_size) {
+      order_leaf(vertices);
+      return;
+    }
+    std::vector<std::vector<Int>> parts;
+    if (split_components(vertices, parts)) {
+      for (auto& part : parts) dissect(std::move(part), geometric);
+      return;
+    }
+    std::vector<Int> a, b, sep;
+    const bool ok = geometric ? geometric_separator(vertices, a, b, sep)
+                              : levelset_separator(vertices, a, b, sep);
+    if (!ok) {
+      order_leaf(vertices);
+      return;
+    }
+    dissect(std::move(a), geometric);
+    dissect(std::move(b), geometric);
+    order_leaf(sep);  // separator last
+  }
+};
+
+Permutation run_dissection(const Graph& graph,
+                           const std::vector<std::array<double, 3>>* coords,
+                           Int leaf_size, bool geometric) {
+  PSI_CHECK(leaf_size >= 1);
+  Dissector d{graph, coords, leaf_size, {}};
+  d.new_to_old.reserve(static_cast<std::size_t>(graph.n()));
+  std::vector<Int> all(static_cast<std::size_t>(graph.n()));
+  std::iota(all.begin(), all.end(), 0);
+  d.dissect(std::move(all), geometric);
+  PSI_CHECK(static_cast<Int>(d.new_to_old.size()) == graph.n());
+
+  std::vector<Int> old_to_new(static_cast<std::size_t>(graph.n()));
+  for (Int k = 0; k < graph.n(); ++k)
+    old_to_new[static_cast<std::size_t>(d.new_to_old[static_cast<std::size_t>(k)])] = k;
+  return Permutation(std::move(old_to_new));
+}
+
+}  // namespace
+
+Permutation nested_dissection_ordering(const Graph& graph, Int leaf_size) {
+  return run_dissection(graph, nullptr, leaf_size, /*geometric=*/false);
+}
+
+Permutation geometric_dissection_ordering(
+    const Graph& graph, const std::vector<std::array<double, 3>>& coords,
+    Int leaf_size) {
+  PSI_CHECK_MSG(static_cast<Int>(coords.size()) == graph.n(),
+                "geometric dissection needs one coordinate per vertex");
+  return run_dissection(graph, &coords, leaf_size, /*geometric=*/true);
+}
+
+}  // namespace psi

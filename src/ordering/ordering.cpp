@@ -1,0 +1,46 @@
+#include "ordering/ordering.hpp"
+
+#include "common/check.hpp"
+
+namespace psi {
+
+const char* ordering_method_name(OrderingMethod method) {
+  switch (method) {
+    case OrderingMethod::kNatural: return "natural";
+    case OrderingMethod::kRcm: return "rcm";
+    case OrderingMethod::kMinDegree: return "min-degree";
+    case OrderingMethod::kNestedDissection: return "nested-dissection";
+    case OrderingMethod::kGeometricDissection: return "geometric-dissection";
+  }
+  return "unknown";
+}
+
+Permutation compute_ordering(const SparsityPattern& pattern,
+                             const OrderingOptions& options,
+                             const std::vector<std::array<double, 3>>& coords) {
+  PSI_CHECK_MSG(pattern.is_structurally_symmetric(),
+                "ordering requires a structurally symmetric pattern; "
+                "symmetrize first");
+  const Graph graph(pattern);
+  switch (options.method) {
+    case OrderingMethod::kNatural:
+      return Permutation::identity(pattern.n);
+    case OrderingMethod::kRcm:
+      return rcm_ordering(graph);
+    case OrderingMethod::kMinDegree:
+      return min_degree_ordering(graph);
+    case OrderingMethod::kNestedDissection:
+      return nested_dissection_ordering(graph, options.dissection_leaf_size);
+    case OrderingMethod::kGeometricDissection:
+      return geometric_dissection_ordering(graph, coords,
+                                           options.dissection_leaf_size);
+  }
+  throw Error("unknown ordering method");
+}
+
+Permutation compute_ordering(const GeneratedMatrix& gen,
+                             const OrderingOptions& options) {
+  return compute_ordering(gen.matrix.pattern, options, gen.coords);
+}
+
+}  // namespace psi

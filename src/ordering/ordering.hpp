@@ -1,0 +1,66 @@
+/// \file ordering.hpp
+/// \brief Fill-reducing ordering front-end.
+///
+/// The paper's pipeline relies on SuperLU_DIST's pre-processing (typically
+/// (Par)METIS nested dissection). We implement from scratch:
+///  * nested dissection with BFS level-set separators (general graphs),
+///  * geometric nested dissection using mesh coordinates (generated meshes —
+///    same spirit as the spatial partitions METIS finds on these meshes),
+///  * minimum degree (used on dissection leaves and standalone),
+///  * reverse Cuthill-McKee (bandwidth reduction; mostly for comparison),
+///  * natural ordering.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "ordering/permutation.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/graph.hpp"
+
+namespace psi {
+
+enum class OrderingMethod {
+  kNatural,
+  kRcm,
+  kMinDegree,
+  kNestedDissection,   ///< BFS level-set separators
+  kGeometricDissection ///< coordinate-median separators (needs coords)
+};
+
+const char* ordering_method_name(OrderingMethod method);
+
+struct OrderingOptions {
+  OrderingMethod method = OrderingMethod::kNestedDissection;
+  /// Subgraphs at or below this size are ordered with minimum degree.
+  Int dissection_leaf_size = 64;
+};
+
+/// Orders the graph of a structurally symmetric pattern. `coords` may be
+/// empty unless method == kGeometricDissection (one coordinate per vertex).
+Permutation compute_ordering(const SparsityPattern& pattern,
+                             const OrderingOptions& options,
+                             const std::vector<std::array<double, 3>>& coords = {});
+
+/// Convenience: orders a generated matrix with its mesh coordinates.
+Permutation compute_ordering(const GeneratedMatrix& gen,
+                             const OrderingOptions& options);
+
+/// Reverse Cuthill-McKee over all components.
+Permutation rcm_ordering(const Graph& graph);
+
+/// Minimum-degree (quotient-clique variant) over all components.
+Permutation min_degree_ordering(const Graph& graph);
+
+/// Nested dissection; separator vertices are ordered last (post-order of the
+/// dissection tree), leaves ordered by minimum degree.
+Permutation nested_dissection_ordering(const Graph& graph, Int leaf_size);
+
+/// Geometric nested dissection using vertex coordinates: split the widest
+/// axis at the median; vertices with edges crossing the split form the
+/// separator.
+Permutation geometric_dissection_ordering(
+    const Graph& graph, const std::vector<std::array<double, 3>>& coords,
+    Int leaf_size);
+
+}  // namespace psi

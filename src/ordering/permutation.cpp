@@ -1,0 +1,38 @@
+#include "ordering/permutation.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace psi {
+
+Permutation::Permutation(std::vector<Int> old_to_new)
+    : old_to_new_(std::move(old_to_new)) {
+  const auto n = static_cast<Int>(old_to_new_.size());
+  new_to_old_.assign(static_cast<std::size_t>(n), -1);
+  for (Int old_index = 0; old_index < n; ++old_index) {
+    const Int nw = old_to_new_[static_cast<std::size_t>(old_index)];
+    PSI_CHECK_MSG(nw >= 0 && nw < n, "permutation image out of range: " << nw);
+    PSI_CHECK_MSG(new_to_old_[static_cast<std::size_t>(nw)] < 0,
+                  "permutation not injective at image " << nw);
+    new_to_old_[static_cast<std::size_t>(nw)] = old_index;
+  }
+}
+
+Permutation Permutation::identity(Int n) {
+  std::vector<Int> p(static_cast<std::size_t>(n));
+  std::iota(p.begin(), p.end(), 0);
+  return Permutation(std::move(p));
+}
+
+Permutation Permutation::compose_after(const Permutation& other) const {
+  PSI_CHECK(size() == other.size());
+  std::vector<Int> p(static_cast<std::size_t>(size()));
+  for (Int old_index = 0; old_index < size(); ++old_index)
+    p[static_cast<std::size_t>(old_index)] = new_of(other.new_of(old_index));
+  return Permutation(std::move(p));
+}
+
+Permutation Permutation::inverse() const { return Permutation(new_to_old_); }
+
+}  // namespace psi

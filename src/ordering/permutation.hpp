@@ -1,0 +1,39 @@
+/// \file permutation.hpp
+/// \brief Fill-reducing permutations: representation and validation.
+#pragma once
+
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace psi {
+
+/// A permutation of {0..n-1}. `perm[old] = new` (scatter convention), with
+/// the inverse available as `inv[new] = old`.
+class Permutation {
+ public:
+  Permutation() = default;
+  /// Builds from the scatter map old->new; validates bijectivity.
+  explicit Permutation(std::vector<Int> old_to_new);
+
+  static Permutation identity(Int n);
+
+  Int size() const { return static_cast<Int>(old_to_new_.size()); }
+
+  Int new_of(Int old_index) const { return old_to_new_[static_cast<std::size_t>(old_index)]; }
+  Int old_of(Int new_index) const { return new_to_old_[static_cast<std::size_t>(new_index)]; }
+
+  const std::vector<Int>& old_to_new() const { return old_to_new_; }
+  const std::vector<Int>& new_to_old() const { return new_to_old_; }
+
+  /// this ∘ other: applies `other` first, then this.
+  Permutation compose_after(const Permutation& other) const;
+
+  Permutation inverse() const;
+
+ private:
+  std::vector<Int> old_to_new_;
+  std::vector<Int> new_to_old_;
+};
+
+}  // namespace psi

@@ -1,0 +1,55 @@
+/// \file rcm.cpp
+/// \brief Reverse Cuthill-McKee ordering.
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+#include "ordering/ordering.hpp"
+
+namespace psi {
+
+Permutation rcm_ordering(const Graph& graph) {
+  const Int n = graph.n();
+  std::vector<Int> new_to_old;
+  new_to_old.reserve(static_cast<std::size_t>(n));
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::vector<Int> no_mask;  // empty mask = whole graph
+
+  for (Int seed = 0; seed < n; ++seed) {
+    if (visited[static_cast<std::size_t>(seed)]) continue;
+    // Skip seeds already absorbed into a previous component.
+    const Int root = pseudo_peripheral_vertex(graph, seed, no_mask, 0);
+    if (visited[static_cast<std::size_t>(root)]) continue;
+
+    // Cuthill-McKee BFS: visit neighbors in ascending degree order.
+    std::vector<Int> queue;
+    queue.push_back(root);
+    visited[static_cast<std::size_t>(root)] = 1;
+    std::size_t head = 0;
+    std::vector<Int> nbrs;
+    while (head < queue.size()) {
+      const Int v = queue[head++];
+      new_to_old.push_back(v);
+      nbrs.assign(graph.neighbors_begin(v), graph.neighbors_end(v));
+      std::sort(nbrs.begin(), nbrs.end(), [&](Int a, Int b) {
+        const Int da = graph.degree(a), db = graph.degree(b);
+        return da != db ? da < db : a < b;
+      });
+      for (Int u : nbrs) {
+        if (!visited[static_cast<std::size_t>(u)]) {
+          visited[static_cast<std::size_t>(u)] = 1;
+          queue.push_back(u);
+        }
+      }
+    }
+  }
+  PSI_CHECK(static_cast<Int>(new_to_old.size()) == n);
+  std::reverse(new_to_old.begin(), new_to_old.end());
+
+  std::vector<Int> old_to_new(static_cast<std::size_t>(n));
+  for (Int k = 0; k < n; ++k)
+    old_to_new[static_cast<std::size_t>(new_to_old[static_cast<std::size_t>(k)])] = k;
+  return Permutation(std::move(old_to_new));
+}
+
+}  // namespace psi

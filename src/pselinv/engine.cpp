@@ -1,0 +1,728 @@
+#include "pselinv/engine.hpp"
+
+#include <set>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "trees/protocol.hpp"
+
+namespace psi::pselinv {
+
+namespace {
+
+/// Message kinds (high bits of the tag).
+enum MsgKind : int {
+  kMsgDiagBcast = 0,
+  kMsgCross = 1,
+  kMsgColBcast = 2,
+  kMsgRowReduce = 3,
+  kMsgColReduce = 4,
+  kMsgCrossBack = 5,
+  /// Self-send: one GEMM task (k, ti, tj). Local tasks go through the event
+  /// queue one at a time instead of running as an inline batch, so a rank
+  /// interleaves computation with message forwarding — the analogue of
+  /// PSelInv polling MPI_Test between tasks. Without this, a long local
+  /// batch head-of-line-blocks every broadcast the rank should be relaying.
+  kMsgGemmTask = 6,
+  // Unsymmetric-values extension: the mirrored U-side phases (plan.hpp).
+  kMsgDiagRowBcast = 7,
+  kMsgCrossU = 8,
+  kMsgRowBcast = 9,
+  kMsgColReduceUp = 10,
+  kMsgGemmUTask = 11,
+};
+
+std::int64_t make_tag(int kind, Int k, Int t) {
+  return (static_cast<std::int64_t>(kind) << 48) |
+         (static_cast<std::int64_t>(k) << 24) | static_cast<std::int64_t>(t);
+}
+std::int64_t make_gemm_tag(int kind, Int k, Int ti, Int tj) {
+  return (static_cast<std::int64_t>(kind) << 48) |
+         (static_cast<std::int64_t>(k) << 24) |
+         (static_cast<std::int64_t>(ti) << 12) | static_cast<std::int64_t>(tj);
+}
+int tag_kind(std::int64_t tag) { return static_cast<int>(tag >> 48); }
+Int tag_supernode(std::int64_t tag) {
+  return static_cast<Int>((tag >> 24) & 0xffffff);
+}
+Int tag_index(std::int64_t tag) { return static_cast<Int>(tag & 0xffffff); }
+Int tag_ti(std::int64_t tag) { return static_cast<Int>((tag >> 12) & 0xfff); }
+Int tag_tj(std::int64_t tag) { return static_cast<Int>(tag & 0xfff); }
+
+std::uint64_t block_key(Int row, Int col) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << 32) |
+         static_cast<std::uint32_t>(col);
+}
+std::uint64_t kt_key(Int k, Int t) { return block_key(k, t); }
+
+/// Host-side state shared by every simulated rank (single-threaded DES; the
+/// distributed semantics are preserved because each entry is only touched by
+/// the handlers of the rank that owns it).
+struct Shared {
+  const Plan* plan = nullptr;
+  ExecutionMode mode = ExecutionMode::kTrace;
+  const SupernodalLU* factor = nullptr;
+  BlockMatrix* sink = nullptr;  // numeric gather target
+  Count blocks_finalized = 0;
+
+  const BlockStructure& bs() const { return plan->structure(); }
+  bool numeric() const { return mode == ExecutionMode::kNumeric; }
+  bool unsym() const { return plan->symmetry() == ValueSymmetry::kUnsymmetric; }
+};
+
+class PSelInvRank : public sim::Rank {
+ public:
+  PSelInvRank(Shared& shared, int rank)
+      : sh_(&shared),
+        me_(rank),
+        my_prow_(shared.plan->grid().row_of(rank)),
+        my_pcol_(shared.plan->grid().col_of(rank)) {}
+
+  void on_start(sim::Context& ctx) override {
+    const BlockStructure& bs = sh_->bs();
+    // Every diagonal owner launches its supernode's Diag-Bcast immediately;
+    // pipelining across supernodes is bounded only by data dependencies.
+    for (Int k = 0; k < bs.supernode_count(); ++k) {
+      const auto& sp = sh_->plan->supernode(k);
+      if (sh_->plan->map().owner(k, k) != me_) continue;
+      const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+      if (str.empty()) {
+        finalize_diag(ctx, k, /*acc=*/nullptr);
+        continue;
+      }
+      std::shared_ptr<const DenseMatrix> payload;
+      if (sh_->numeric())
+        payload = std::make_shared<DenseMatrix>(sh_->factor->blocks().diag(k));
+      diag_payload_[k] = payload;
+      trees::bcast_forward(ctx, sp.diag_bcast, make_tag(kMsgDiagBcast, k, 0),
+                           sh_->plan->block_bytes(k, k), kDiagBcast, payload);
+      // The owner may itself hold L-panel blocks of column K.
+      normalize_panel(ctx, k, payload);
+      if (sh_->unsym()) {
+        trees::bcast_forward(ctx, sp.diag_row_bcast,
+                             make_tag(kMsgDiagRowBcast, k, 0),
+                             sh_->plan->block_bytes(k, k), kDiagRowBcast, payload);
+        normalize_upanel(ctx, k, payload);
+      }
+    }
+  }
+
+  void on_message(sim::Context& ctx, const sim::Message& msg) override {
+    const Int k = tag_supernode(msg.tag);
+    const Int t = tag_index(msg.tag);
+    switch (tag_kind(msg.tag)) {
+      case kMsgDiagBcast: {
+        trees::bcast_forward(ctx, sh_->plan->supernode(k).diag_bcast, msg.tag,
+                             msg.bytes, kDiagBcast, msg.data);
+        normalize_panel(ctx, k, msg.data);
+        break;
+      }
+      case kMsgCross:
+        on_cross(ctx, k, t, msg.data);
+        break;
+      case kMsgColBcast: {
+        trees::bcast_forward(ctx, sh_->plan->supernode(k).col_bcast[
+                                 static_cast<std::size_t>(t)],
+                             msg.tag, msg.bytes, kColBcast, msg.data);
+        consume_ubcast(ctx, k, t, msg.data);
+        break;
+      }
+      case kMsgRowReduce: {
+        RowState& rs = row_state(k, t);
+        if (rs.reduce.add_child(msg.data)) row_reduce_complete(ctx, k, t);
+        break;
+      }
+      case kMsgColReduce: {
+        DiagState& ds = diag_state(k);
+        if (ds.reduce.add_child(msg.data)) col_reduce_complete(ctx, k);
+        break;
+      }
+      case kMsgGemmTask:
+        do_gemm(ctx, k, tag_ti(msg.tag), tag_tj(msg.tag));
+        break;
+      case kMsgDiagRowBcast: {
+        trees::bcast_forward(ctx, sh_->plan->supernode(k).diag_row_bcast,
+                             msg.tag, msg.bytes, kDiagRowBcast, msg.data);
+        normalize_upanel(ctx, k, msg.data);
+        break;
+      }
+      case kMsgCrossU:
+        on_cross_u(ctx, k, t, msg.data);
+        break;
+      case kMsgRowBcast: {
+        trees::bcast_forward(ctx, sh_->plan->supernode(k).row_bcast[
+                                 static_cast<std::size_t>(t)],
+                             msg.tag, msg.bytes, kRowBcast, msg.data);
+        consume_rowbcast(ctx, k, t, msg.data);
+        break;
+      }
+      case kMsgColReduceUp: {
+        UpperState& us = upper_state(k, t);
+        if (us.reduce.add_child(msg.data)) col_reduce_up_complete(ctx, k, t);
+        break;
+      }
+      case kMsgGemmUTask:
+        do_gemm_u(ctx, k, tag_ti(msg.tag), tag_tj(msg.tag));
+        break;
+      case kMsgCrossBack: {
+        // A^{-1}_{K,J}: upper block (row K, col J = struct_of[K][t]).
+        const Int j = sh_->bs().struct_of[static_cast<std::size_t>(k)]
+                                         [static_cast<std::size_t>(t)];
+        std::shared_ptr<const DenseMatrix> value = msg.data;
+        finalize_block(ctx, k, j, value);
+        break;
+      }
+      default:
+        PSI_CHECK_MSG(false, "unknown message kind");
+    }
+  }
+
+ private:
+  // ----- loop 1: panel normalization -------------------------------------
+  void normalize_panel(sim::Context& ctx, Int k,
+                       const std::shared_ptr<const DenseMatrix>& diag) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& sp = sh_->plan->supernode(k);
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    const Int wk = bs.part.size(k);
+    if (sh_->plan->map().pcol_of(k) != my_pcol_) return;
+
+    for (Int t = 0; t < static_cast<Int>(str.size()); ++t) {
+      const Int j = str[static_cast<std::size_t>(t)];
+      if (sh_->plan->map().prow_of(j) != my_prow_) continue;
+      const Int wj = bs.part.size(j);
+      ctx.compute_flops(trsm_flops(wk, wj));  // L̂_{J,K} = L_{J,K} L_KK^{-1}
+      // Symmetric values: the cross send carries Û_{K,J} = L̂_{J,K}^T.
+      // Unsymmetric values: it carries L̂_{J,K} itself (Û travels separately
+      // through the mirrored U-side phases).
+      std::shared_ptr<const DenseMatrix> payload;
+      if (sh_->numeric()) {
+        PSI_CHECK(diag != nullptr);
+        DenseMatrix lblock = sh_->factor->blocks().block(j, k);
+        trsm(Side::kRight, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0, *diag,
+             lblock);
+        payload = sh_->unsym()
+                      ? std::make_shared<DenseMatrix>(lblock)
+                      : std::make_shared<DenseMatrix>(lblock.transposed());
+        lhat_[block_key(j, k)] = std::move(lblock);
+      }
+      ctx.send(sp.cross_dst[static_cast<std::size_t>(t)], make_tag(kMsgCross, k, t),
+               sh_->plan->block_bytes(j, k), kCrossSend, payload);
+    }
+    panel_normalized_.insert(k);
+    // Drain diagonal contributions that were waiting for L̂ of this panel.
+    auto it = deferred_diag_.find(k);
+    if (it != deferred_diag_.end()) {
+      const std::vector<Int> pending = std::move(it->second);
+      deferred_diag_.erase(it);
+      for (Int t : pending) add_diag_contribution(ctx, k, t);
+    }
+  }
+
+  /// Loop 1 for the U factor (unsymmetric values only): normalize this
+  /// rank's U-panel blocks of supernode K and cross-send each Û_{K,I} to the
+  /// L-side owner, which roots the Row-Bcast and needs Û for the diagonal
+  /// update.
+  void normalize_upanel(sim::Context& ctx, Int k,
+                        const std::shared_ptr<const DenseMatrix>& diag) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& sp = sh_->plan->supernode(k);
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    const Int wk = bs.part.size(k);
+    if (sh_->plan->map().prow_of(k) != my_prow_) return;
+
+    for (Int t = 0; t < static_cast<Int>(str.size()); ++t) {
+      const Int i = str[static_cast<std::size_t>(t)];
+      if (sh_->plan->map().pcol_of(i) != my_pcol_) continue;
+      ctx.compute_flops(trsm_flops(wk, bs.part.size(i)));  // Û = U_KK^{-1} U
+      std::shared_ptr<const DenseMatrix> uhat;
+      if (sh_->numeric()) {
+        PSI_CHECK(diag != nullptr);
+        DenseMatrix ublock = sh_->factor->blocks().block(k, i);
+        trsm(Side::kLeft, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0, *diag,
+             ublock);
+        uhat = std::make_shared<DenseMatrix>(std::move(ublock));
+      }
+      ctx.send(sp.cross_src[static_cast<std::size_t>(t)],
+               make_tag(kMsgCrossU, k, t), sh_->plan->block_bytes(i, k),
+               kCrossSendU, uhat);
+    }
+  }
+
+  /// Û_{K,I} arrived at the L-side owner (pr(I),pc(K)): root the Row-Bcast
+  /// along processor row pr(I), keep the payload for the diagonal term, and
+  /// drain a Row-Reduce completion that was waiting for it.
+  void on_cross_u(sim::Context& ctx, Int k, Int t,
+                  const std::shared_ptr<const DenseMatrix>& uhat) {
+    const auto& sp = sh_->plan->supernode(k);
+    const Int i = sh_->bs().struct_of[static_cast<std::size_t>(k)]
+                                     [static_cast<std::size_t>(t)];
+    ucross_seen_.insert(kt_key(k, t));
+    if (sh_->numeric()) ucross_payload_[kt_key(k, t)] = uhat;
+    trees::bcast_forward(ctx, sp.row_bcast[static_cast<std::size_t>(t)],
+                         make_tag(kMsgRowBcast, k, t),
+                         sh_->plan->block_bytes(i, k), kRowBcast, uhat);
+    consume_rowbcast(ctx, k, t, uhat);
+    if (deferred_diag_u_.erase(kt_key(k, t)) > 0)
+      add_diag_contribution(ctx, k, t);
+  }
+
+  /// Local consumption of a Row-Bcast Û_{K,I}: one GEMM per target block
+  /// column J in C(K) that this rank owns in processor row pr(I).
+  void consume_rowbcast(sim::Context& ctx, Int k, Int t,
+                        const std::shared_ptr<const DenseMatrix>& uhat) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    const Int i = str[static_cast<std::size_t>(t)];
+
+    int targets = 0;
+    for (Int tj = 0; tj < static_cast<Int>(str.size()); ++tj)
+      if (sh_->plan->map().pcol_of(str[static_cast<std::size_t>(tj)]) == my_pcol_)
+        ++targets;
+    if (targets == 0) return;  // pure forwarder
+
+    UCache& cache = ucache_row_[kt_key(k, t)];
+    cache.payload = uhat;
+    cache.remaining = targets;
+
+    for (Int tj = 0; tj < static_cast<Int>(str.size()); ++tj) {
+      const Int j = str[static_cast<std::size_t>(tj)];
+      if (sh_->plan->map().pcol_of(j) != my_pcol_) continue;
+      // The GEMM needs A^{-1}_{I,J} (which this rank owns) to be final.
+      const std::uint64_t dep = block_key(i, j);
+      if (ainv_final_.count(dep)) {
+        ctx.send(me_, make_gemm_tag(kMsgGemmUTask, k, t, tj), 0, kRowBcast);
+      } else {
+        waiting_[dep].push_back(Pending{k, t, tj, /*upper=*/true});
+      }
+    }
+  }
+
+  /// contribution(K, J) -= Û_{K,I} A^{-1}_{I,J} (upper target).
+  void do_gemm_u(sim::Context& ctx, Int k, Int ti, Int tj) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    const Int i = str[static_cast<std::size_t>(ti)];
+    const Int j = str[static_cast<std::size_t>(tj)];
+    const Int wk = bs.part.size(k), wi = bs.part.size(i), wj = bs.part.size(j);
+    ctx.compute_flops(gemm_flops(wk, wj, wi));
+
+    UpperState& us = upper_state(k, tj);
+    if (sh_->numeric()) {
+      if (!us.acc) us.acc = std::make_shared<DenseMatrix>(wk, wj);
+      const auto it = ainv_final_.find(block_key(i, j));
+      PSI_ASSERT(it != ainv_final_.end() && it->second != nullptr);
+      UCache& cache = ucache_row_.at(kt_key(k, ti));
+      PSI_CHECK(cache.payload != nullptr);
+      gemm(Trans::kNo, Trans::kNo, -1.0, *cache.payload, *it->second, 1.0,
+           *us.acc);
+    }
+    UCache& cache = ucache_row_.at(kt_key(k, ti));
+    if (--cache.remaining == 0) ucache_row_.erase(kt_key(k, ti));
+
+    PSI_ASSERT(us.remaining_gemms > 0);
+    if (--us.remaining_gemms == 0) {
+      const bool done = us.reduce.add_local(std::move(us.acc));
+      if (done) col_reduce_up_complete(ctx, k, tj);
+    }
+  }
+
+  /// Col-Reduce-Up completion: the root owns the upper block A^{-1}_{K,J}.
+  void col_reduce_up_complete(sim::Context& ctx, Int k, Int tj) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& sp = sh_->plan->supernode(k);
+    const trees::CommTree& tree = sp.col_reduce_up[static_cast<std::size_t>(tj)];
+    UpperState& us = upper_state(k, tj);
+    const Int j = bs.struct_of[static_cast<std::size_t>(k)]
+                              [static_cast<std::size_t>(tj)];
+    auto value = us.reduce.accumulated();
+    if (me_ != tree.root()) {
+      ctx.send(tree.parent_of(me_), make_tag(kMsgColReduceUp, k, tj),
+               sh_->plan->block_bytes(j, k), kColReduceUp, value);
+      upper_states_.erase(kt_key(k, tj));
+      return;
+    }
+    finalize_block(ctx, k, j, value);
+    upper_states_.erase(kt_key(k, tj));
+  }
+
+  // ----- loop 2: broadcast + GEMMs ----------------------------------------
+  void on_cross(sim::Context& ctx, Int k, Int t,
+                const std::shared_ptr<const DenseMatrix>& uhat) {
+    // I am owner(K, I): root of the Col-Bcast (payload: Û_{K,I} for
+    // symmetric values, L̂_{I,K} for unsymmetric values).
+    const auto& sp = sh_->plan->supernode(k);
+    const Int i = sh_->bs().struct_of[static_cast<std::size_t>(k)]
+                                     [static_cast<std::size_t>(t)];
+    trees::bcast_forward(ctx, sp.col_bcast[static_cast<std::size_t>(t)],
+                         make_tag(kMsgColBcast, k, t),
+                         sh_->plan->block_bytes(i, k), kColBcast, uhat);
+    consume_ubcast(ctx, k, t, uhat);
+  }
+
+  /// Local consumption of a broadcast Û_{K,I}: one GEMM per target block row
+  /// J in C(K) that this rank owns in processor column pc(I).
+  void consume_ubcast(sim::Context& ctx, Int k, Int t,
+                      const std::shared_ptr<const DenseMatrix>& uhat) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    const Int i = str[static_cast<std::size_t>(t)];
+
+    int targets = 0;
+    for (Int tj = 0; tj < static_cast<Int>(str.size()); ++tj)
+      if (sh_->plan->map().prow_of(str[static_cast<std::size_t>(tj)]) == my_prow_)
+        ++targets;
+    if (targets == 0) return;  // pure forwarder
+
+    UCache& cache = ucache_[kt_key(k, t)];
+    cache.payload = uhat;
+    cache.remaining = targets;
+
+    PSI_CHECK_MSG(static_cast<Int>(str.size()) <= 0xfff,
+                  "supernode structure too large for the GEMM task tag");
+    for (Int tj = 0; tj < static_cast<Int>(str.size()); ++tj) {
+      const Int j = str[static_cast<std::size_t>(tj)];
+      if (sh_->plan->map().prow_of(j) != my_prow_) continue;
+      // The GEMM needs A^{-1}_{J,I} (which this rank owns) to be final.
+      const std::uint64_t dep = block_key(j, i);
+      if (ainv_final_.count(dep)) {
+        ctx.send(me_, make_gemm_tag(kMsgGemmTask, k, t, tj), 0, kColBcast);
+      } else {
+        waiting_[dep].push_back(Pending{k, t, tj, /*upper=*/false});
+      }
+    }
+  }
+
+  /// contribution(K, J) -= A^{-1}_{J,I} L̂_{I,K}, with L̂ = Û^T.
+  void do_gemm(sim::Context& ctx, Int k, Int ti, Int tj) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    const Int i = str[static_cast<std::size_t>(ti)];
+    const Int j = str[static_cast<std::size_t>(tj)];
+    const Int wk = bs.part.size(k), wi = bs.part.size(i), wj = bs.part.size(j);
+    ctx.compute_flops(gemm_flops(wj, wk, wi));
+
+    RowState& rs = row_state(k, tj);
+    if (sh_->numeric()) {
+      if (!rs.acc) rs.acc = std::make_shared<DenseMatrix>(wj, wk);
+      const auto it = ainv_final_.find(block_key(j, i));
+      PSI_ASSERT(it != ainv_final_.end() && it->second != nullptr);
+      UCache& cache = ucache_.at(kt_key(k, ti));
+      PSI_CHECK(cache.payload != nullptr);
+      // Symmetric values: payload is Û_{K,I} = L̂^T (multiply transposed).
+      // Unsymmetric values: payload is L̂_{I,K} itself.
+      gemm(Trans::kNo, sh_->unsym() ? Trans::kNo : Trans::kYes, -1.0,
+           *it->second, *cache.payload, 1.0, *rs.acc);
+    }
+    // Release the broadcast payload once all local GEMMs consumed it.
+    UCache& cache = ucache_.at(kt_key(k, ti));
+    if (--cache.remaining == 0) ucache_.erase(kt_key(k, ti));
+
+    PSI_ASSERT(rs.remaining_gemms > 0);
+    if (--rs.remaining_gemms == 0) {
+      // Move the accumulator out first: row_reduce_complete() may erase the
+      // state this reference points into.
+      const bool done = rs.reduce.add_local(std::move(rs.acc));
+      if (done) row_reduce_complete(ctx, k, tj);
+    }
+  }
+
+  // ----- Row-Reduce completion --------------------------------------------
+  void row_reduce_complete(sim::Context& ctx, Int k, Int tj) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& sp = sh_->plan->supernode(k);
+    const trees::CommTree& tree = sp.row_reduce[static_cast<std::size_t>(tj)];
+    RowState& rs = row_state(k, tj);
+    const Int j = bs.struct_of[static_cast<std::size_t>(k)]
+                              [static_cast<std::size_t>(tj)];
+    auto value = rs.reduce.accumulated();
+    if (me_ != tree.root()) {
+      ctx.send(tree.parent_of(me_), make_tag(kMsgRowReduce, k, tj),
+               sh_->plan->block_bytes(j, k), kRowReduce, value);
+      row_states_.erase(kt_key(k, tj));
+      return;
+    }
+    // Root: A^{-1}_{J,K} is complete.
+    std::shared_ptr<const DenseMatrix> final_value = value;
+    finalize_block(ctx, j, k, final_value);
+    if (!sh_->unsym()) {
+      // Upper triangle fill: A^{-1}_{K,J} = (A^{-1}_{J,K})^T. (Unsymmetric
+      // values compute the upper triangle through the Col-Reduce-Up phase.)
+      std::shared_ptr<const DenseMatrix> transposed;
+      if (sh_->numeric()) {
+        PSI_CHECK(final_value != nullptr);
+        transposed = std::make_shared<DenseMatrix>(final_value->transposed());
+      }
+      ctx.send(sh_->plan->supernode(k).cross_dst[static_cast<std::size_t>(tj)],
+               make_tag(kMsgCrossBack, k, tj), sh_->plan->block_bytes(j, k),
+               kCrossBack, transposed);
+    }
+    // Diagonal contribution Û_{K,J} A^{-1}_{J,K}. Symmetric values compute
+    // it as L̂_{J,K}^T A^{-1}_{J,K} and need this rank's loop-1 trsm to have
+    // produced L̂; unsymmetric values need the Û_{K,J} cross payload.
+    if (sh_->unsym()) {
+      if (ucross_seen_.count(kt_key(k, tj))) {
+        add_diag_contribution(ctx, k, tj);
+      } else {
+        deferred_diag_u_.insert(kt_key(k, tj));
+      }
+    } else if (panel_normalized_.count(k)) {
+      add_diag_contribution(ctx, k, tj);
+    } else {
+      deferred_diag_[k].push_back(tj);
+    }
+    row_states_.erase(kt_key(k, tj));
+  }
+
+  void add_diag_contribution(sim::Context& ctx, Int k, Int tj) {
+    const BlockStructure& bs = sh_->bs();
+    const Int j = bs.struct_of[static_cast<std::size_t>(k)]
+                              [static_cast<std::size_t>(tj)];
+    const Int wk = bs.part.size(k), wj = bs.part.size(j);
+    ctx.compute_flops(gemm_flops(wk, wk, wj));
+    DiagState& ds = diag_state(k);
+    if (sh_->numeric()) {
+      if (!ds.acc) ds.acc = std::make_shared<DenseMatrix>(wk, wk);
+      const auto it = ainv_final_.find(block_key(j, k));
+      PSI_ASSERT(it != ainv_final_.end());
+      if (sh_->unsym()) {
+        const auto& uhat = ucross_payload_.at(kt_key(k, tj));
+        PSI_CHECK(uhat != nullptr);
+        gemm(Trans::kNo, Trans::kNo, 1.0, *uhat, *it->second, 1.0, *ds.acc);
+      } else {
+        const auto& lhat = lhat_.at(block_key(j, k));
+        gemm(Trans::kYes, Trans::kNo, 1.0, lhat, *it->second, 1.0, *ds.acc);
+      }
+    }
+    PSI_ASSERT(ds.remaining_terms > 0);
+    if (--ds.remaining_terms == 0) {
+      // Move out before col_reduce_complete(), which may erase the state.
+      const bool done = ds.reduce.add_local(std::move(ds.acc));
+      if (done) col_reduce_complete(ctx, k);
+    }
+  }
+
+  // ----- Col-Reduce completion / diagonal ----------------------------------
+  void col_reduce_complete(sim::Context& ctx, Int k) {
+    const auto& sp = sh_->plan->supernode(k);
+    DiagState& ds = diag_state(k);
+    auto value = ds.reduce.accumulated();
+    if (me_ != sp.col_reduce.root()) {
+      ctx.send(sp.col_reduce.parent_of(me_), make_tag(kMsgColReduce, k, 0),
+               sh_->plan->block_bytes(k, k), kColReduce, value);
+      diag_states_.erase(k);
+      return;
+    }
+    finalize_diag(ctx, k, value);
+    diag_states_.erase(k);
+  }
+
+  /// A^{-1}_{K,K} = U_KK^{-1} L_KK^{-1} - accumulated.
+  void finalize_diag(sim::Context& ctx, Int k,
+                     const std::shared_ptr<DenseMatrix>& acc) {
+    const Int wk = sh_->bs().part.size(k);
+    ctx.compute_flops(2 * trsm_flops(wk, wk));
+    std::shared_ptr<const DenseMatrix> result;
+    if (sh_->numeric()) {
+      const DenseMatrix& packed = sh_->factor->blocks().diag(k);
+      auto inv = std::make_shared<DenseMatrix>(wk, wk);
+      for (Int d = 0; d < wk; ++d) (*inv)(d, d) = 1.0;
+      trsm(Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0, packed, *inv);
+      trsm(Side::kLeft, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0, packed,
+           *inv);
+      if (acc) {
+        PSI_CHECK(acc->rows() == wk && acc->cols() == wk);
+        for (Int c = 0; c < wk; ++c)
+          for (Int r = 0; r < wk; ++r) (*inv)(r, c) -= (*acc)(r, c);
+      }
+      result = inv;
+    }
+    finalize_block(ctx, k, k, result);
+    diag_payload_.erase(k);
+  }
+
+  // ----- block finalization & dependency flushing --------------------------
+  void finalize_block(sim::Context& ctx, Int row, Int col,
+                      const std::shared_ptr<const DenseMatrix>& value) {
+    const std::uint64_t key = block_key(row, col);
+    PSI_ASSERT(!ainv_final_.count(key));
+    ainv_final_[key] = value;
+    ++sh_->blocks_finalized;
+    if (sh_->numeric()) {
+      PSI_CHECK(value != nullptr);
+      sh_->sink->set_block(row, col, *value);
+    }
+    auto it = waiting_.find(key);
+    if (it != waiting_.end()) {
+      const std::vector<Pending> pending = std::move(it->second);
+      waiting_.erase(it);
+      for (const Pending& p : pending)
+        ctx.send(me_,
+                 make_gemm_tag(p.upper ? kMsgGemmUTask : kMsgGemmTask, p.k,
+                               p.ti, p.tj),
+                 0, p.upper ? kRowBcast : kColBcast);
+    }
+  }
+
+  // ----- lazy per-collective state -----------------------------------------
+  struct UCache {
+    std::shared_ptr<const DenseMatrix> payload;
+    int remaining = 0;
+  };
+  struct RowState {
+    trees::ReduceState reduce;
+    std::shared_ptr<DenseMatrix> acc;
+    int remaining_gemms = 0;
+    bool initialized = false;
+  };
+  struct DiagState {
+    trees::ReduceState reduce;
+    std::shared_ptr<DenseMatrix> acc;
+    int remaining_terms = 0;
+    bool initialized = false;
+  };
+  struct Pending {
+    Int k, ti, tj;
+    bool upper;  ///< true: U-side GEMM (unsymmetric extension)
+  };
+  struct UpperState {
+    trees::ReduceState reduce;
+    std::shared_ptr<DenseMatrix> acc;
+    int remaining_gemms = 0;
+    bool initialized = false;
+  };
+
+  RowState& row_state(Int k, Int tj) {
+    RowState& rs = row_states_[kt_key(k, tj)];
+    if (!rs.initialized) {
+      rs.initialized = true;
+      const BlockStructure& bs = sh_->bs();
+      const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+      const trees::CommTree& tree =
+          sh_->plan->supernode(k).row_reduce[static_cast<std::size_t>(tj)];
+      const int children =
+          tree.participates(me_) ? static_cast<int>(tree.children_of(me_).size())
+                                 : 0;
+      rs.reduce = trees::ReduceState(children);
+      for (Int i : str)
+        if (sh_->plan->map().pcol_of(i) == my_pcol_) ++rs.remaining_gemms;
+      // A root outside the contributor columns has no local GEMMs: publish
+      // an empty local contribution right away.
+      if (rs.remaining_gemms == 0) rs.reduce.add_local(nullptr);
+      // (completion cannot trigger here: the tree then has >= 1 child.)
+    }
+    return rs;
+  }
+
+  UpperState& upper_state(Int k, Int tj) {
+    UpperState& us = upper_states_[kt_key(k, tj)];
+    if (!us.initialized) {
+      us.initialized = true;
+      const BlockStructure& bs = sh_->bs();
+      const trees::CommTree& tree =
+          sh_->plan->supernode(k).col_reduce_up[static_cast<std::size_t>(tj)];
+      const int children =
+          tree.participates(me_) ? static_cast<int>(tree.children_of(me_).size())
+                                 : 0;
+      us.reduce = trees::ReduceState(children);
+      for (Int i : bs.struct_of[static_cast<std::size_t>(k)])
+        if (sh_->plan->map().prow_of(i) == my_prow_) ++us.remaining_gemms;
+      // A root outside the contributor rows has no local GEMMs (mirror of
+      // row_state(); the tree then has >= 1 child).
+      if (us.remaining_gemms == 0) us.reduce.add_local(nullptr);
+    }
+    return us;
+  }
+
+  DiagState& diag_state(Int k) {
+    DiagState& ds = diag_states_[k];
+    if (!ds.initialized) {
+      ds.initialized = true;
+      const BlockStructure& bs = sh_->bs();
+      const trees::CommTree& tree = sh_->plan->supernode(k).col_reduce;
+      const int children =
+          tree.participates(me_) ? static_cast<int>(tree.children_of(me_).size())
+                                 : 0;
+      ds.reduce = trees::ReduceState(children);
+      for (Int j : bs.struct_of[static_cast<std::size_t>(k)])
+        if (sh_->plan->map().prow_of(j) == my_prow_) ++ds.remaining_terms;
+      if (ds.remaining_terms == 0) ds.reduce.add_local(nullptr);
+    }
+    return ds;
+  }
+
+  Shared* sh_;
+  int me_;
+  int my_prow_;
+  int my_pcol_;
+
+  std::unordered_map<std::uint64_t, DenseMatrix> lhat_;
+  std::unordered_map<Int, std::shared_ptr<const DenseMatrix>> diag_payload_;
+  std::unordered_map<std::uint64_t, UCache> ucache_;
+  std::unordered_map<std::uint64_t, RowState> row_states_;
+  std::unordered_map<Int, DiagState> diag_states_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const DenseMatrix>> ainv_final_;
+  std::unordered_map<std::uint64_t, std::vector<Pending>> waiting_;
+  std::unordered_map<Int, std::vector<Int>> deferred_diag_;
+  std::set<Int> panel_normalized_;
+  // Unsymmetric-values extension state:
+  std::unordered_map<std::uint64_t, UCache> ucache_row_;
+  std::unordered_map<std::uint64_t, UpperState> upper_states_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const DenseMatrix>>
+      ucross_payload_;
+  std::set<std::uint64_t> ucross_seen_;
+  std::set<std::uint64_t> deferred_diag_u_;
+};
+
+}  // namespace
+
+double RunResult::mean_compute_seconds() const {
+  if (rank_stats.empty()) return 0.0;
+  double total = 0.0;
+  for (const auto& s : rank_stats) total += s.compute_seconds;
+  return total / static_cast<double>(rank_stats.size());
+}
+
+RunResult run_pselinv(const Plan& plan, const sim::Machine& machine,
+                      ExecutionMode mode, const SupernodalLU* factor,
+                      std::vector<sim::TraceEvent>* trace_out) {
+  Shared shared;
+  shared.plan = &plan;
+  shared.mode = mode;
+  shared.factor = factor;
+
+  std::unique_ptr<BlockMatrix> sink;
+  if (mode == ExecutionMode::kNumeric) {
+    PSI_CHECK_MSG(factor != nullptr,
+                  "numeric mode requires the sequential factorization");
+    PSI_CHECK_MSG(!factor->normalized(),
+                  "pass the unnormalized factor; the engine runs loop 1 itself");
+    sink = std::make_unique<BlockMatrix>(plan.structure());
+    shared.sink = sink.get();
+  }
+
+  sim::Engine engine(machine, plan.grid().size(), kCommClassCount);
+  if (trace_out != nullptr) engine.enable_trace();
+  for (int r = 0; r < plan.grid().size(); ++r)
+    engine.set_rank(r, std::make_unique<PSelInvRank>(shared, r));
+  const sim::SimTime makespan = engine.run();
+  if (trace_out != nullptr) *trace_out = engine.trace();
+
+  RunResult result;
+  result.makespan = makespan;
+  result.events = engine.events_processed();
+  result.blocks_finalized = shared.blocks_finalized;
+  result.expected_blocks =
+      2 * plan.structure().block_count() - plan.structure().supernode_count();
+  result.rank_stats.reserve(static_cast<std::size_t>(plan.grid().size()));
+  for (int r = 0; r < plan.grid().size(); ++r)
+    result.rank_stats.push_back(engine.stats(r));
+  result.ainv = std::move(sink);
+  PSI_CHECK_MSG(result.complete(),
+                "selected inversion did not finalize every block: "
+                    << result.blocks_finalized << " of "
+                    << result.expected_blocks);
+  return result;
+}
+
+}  // namespace psi::pselinv

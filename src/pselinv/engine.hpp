@@ -1,0 +1,68 @@
+/// \file engine.hpp
+/// \brief The distributed PSelInv engine: Algorithm 1's second loop executed
+/// by asynchronous per-rank state machines over the simulator, with every
+/// restricted collective routed through the plan's communication trees.
+///
+/// Synchronization follows the paper (§II-B): no barriers — only data
+/// dependencies. Supernodes are processed in a fully pipelined fashion:
+/// every diagonal owner launches its Diag-Bcast at t=0, and the chain
+/// trsm -> cross-send -> Col-Bcast -> local GEMMs -> Row-Reduce ->
+/// Col-Reduce -> Cross-Back advances for each supernode as its inputs
+/// arrive. A GEMM whose A^{-1} operand is not yet final parks in a per-block
+/// waiting list and is flushed when the block finalizes.
+///
+/// Two execution modes share all control flow:
+///  * kNumeric — blocks carry real values; the result is gathered into a
+///    BlockMatrix and must match the sequential selected inversion exactly
+///    (tests enforce this).
+///  * kTrace — no values; identical messages/flop counts, used to simulate
+///    large processor grids cheaply (Figures 8-9).
+///
+/// Both value symmetries are supported: ValueSymmetry::kSymmetric runs the
+/// paper's algorithm (transpose shortcuts, CrossBack upper fill);
+/// kUnsymmetric runs the mirrored U-side phases — the extension the paper
+/// lists as work in progress (§V). The plan's symmetry selects the mode.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "numeric/selinv.hpp"
+#include "numeric/supernodal_lu.hpp"
+#include "pselinv/plan.hpp"
+#include "sim/engine.hpp"
+
+namespace psi::pselinv {
+
+enum class ExecutionMode { kNumeric, kTrace };
+
+struct RunResult {
+  sim::SimTime makespan = 0.0;           ///< simulated selected-inversion time
+  Count events = 0;                      ///< DES events processed
+  Count blocks_finalized = 0;            ///< must equal expected_blocks
+  Count expected_blocks = 0;
+  std::vector<sim::RankStats> rank_stats;
+
+  /// Gathered selected inverse (numeric mode only).
+  std::unique_ptr<BlockMatrix> ainv;
+
+  /// Mean over ranks of time spent in dense kernels.
+  double mean_compute_seconds() const;
+  /// makespan - mean compute: the paper's "communication" share (Figure 9).
+  double mean_comm_seconds() const { return makespan - mean_compute_seconds(); }
+
+  bool complete() const { return blocks_finalized == expected_blocks; }
+};
+
+/// Runs distributed selected inversion on the simulated machine.
+/// `factor` must be the *unnormalized* sequential factorization of the same
+/// analysis the plan was built from (numeric mode; may be null for kTrace) —
+/// the engine performs the paper's loop-1 normalization itself, including
+/// its Diag-Bcast communication. When `trace_out` is non-null, every
+/// delivered network message is recorded into it (time, endpoints, class,
+/// bytes) for timeline analysis.
+RunResult run_pselinv(const Plan& plan, const sim::Machine& machine,
+                      ExecutionMode mode, const SupernodalLU* factor = nullptr,
+                      std::vector<sim::TraceEvent>* trace_out = nullptr);
+
+}  // namespace psi::pselinv

@@ -1,0 +1,406 @@
+#include "pselinv/lu_model.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+#include "sparse/dense.hpp"
+#include "trees/protocol.hpp"
+
+namespace psi::pselinv {
+
+namespace {
+
+enum LuClass : int {
+  kLuDiagColBcast = 0,
+  kLuDiagRowBcast,
+  kLuLRowBcast,
+  kLuUColBcast,
+  kLuClassCount
+};
+
+enum LuMsgKind : int {
+  kMsgDiagCol = 0,
+  kMsgDiagRow = 1,
+  kMsgLRow = 2,
+  kMsgUCol = 3,
+  // Self-send kinds: locally-produced events are deferred through the
+  // engine's event queue instead of nested calls, so no handler ever mutates
+  // state another stack frame is iterating over.
+  kMsgLLocal = 4,   ///< this rank's own solved L block is ready to consume
+  kMsgULocal = 5,   ///< this rank's own solved U block is ready to consume
+  kMsgSolveL = 6,   ///< block (str[t], k) of supernode k became update-free
+  kMsgSolveU = 7,   ///< block (k, str[t]) became update-free
+  kMsgFactor = 8,   ///< diagonal block of supernode k became update-free
+  kMsgUpdate = 9,   ///< one Schur update GEMM task (k, tl, tu)
+};
+
+std::int64_t make_update_tag(Int k, Int tl, Int tu) {
+  return (static_cast<std::int64_t>(kMsgUpdate) << 48) |
+         (static_cast<std::int64_t>(k) << 24) |
+         (static_cast<std::int64_t>(tl) << 12) | static_cast<std::int64_t>(tu);
+}
+
+std::int64_t make_tag(int kind, Int k, Int t) {
+  return (static_cast<std::int64_t>(kind) << 48) |
+         (static_cast<std::int64_t>(k) << 24) | static_cast<std::int64_t>(t);
+}
+int tag_kind(std::int64_t tag) { return static_cast<int>(tag >> 48); }
+Int tag_supernode(std::int64_t tag) {
+  return static_cast<Int>((tag >> 24) & 0xffffff);
+}
+Int tag_index(std::int64_t tag) { return static_cast<Int>(tag & 0xffffff); }
+
+std::uint64_t block_key(Int row, Int col) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << 32) |
+         static_cast<std::uint32_t>(col);
+}
+
+/// Host-side plan for the factorization.
+struct LuPlan {
+  const BlockStructure* bs;
+  dist::BlockCyclicMap map;
+  struct Supernode {
+    std::vector<int> prows, pcols;
+    trees::CommTree diag_col;                 // diag to L-panel owners
+    trees::CommTree diag_row;                 // diag to U-panel owners
+    std::vector<trees::CommTree> l_row;       // L_{I,K} along row pr(I)
+    std::vector<trees::CommTree> u_col;       // U_{K,J} down column pc(J)
+  };
+  std::vector<Supernode> sup;
+  /// Remaining Schur updates per block (diag + L-lower + U-upper); a block
+  /// may be solved/factored once its count reaches zero. Only the owning
+  /// rank's handlers touch an entry.
+  std::unordered_map<std::uint64_t, int> updates_remaining;
+  Count expected_blocks = 0;
+};
+
+LuPlan build_lu_plan(const BlockStructure& bs, const dist::ProcessGrid& grid,
+                     const trees::TreeOptions& tree_options) {
+  LuPlan plan{&bs, dist::BlockCyclicMap(grid), {}, {}, 0};
+  const Int nsup = bs.supernode_count();
+  plan.sup.resize(static_cast<std::size_t>(nsup));
+
+  auto receivers_without = [](std::vector<int> ranks, int root) {
+    std::sort(ranks.begin(), ranks.end());
+    ranks.erase(std::unique(ranks.begin(), ranks.end()), ranks.end());
+    ranks.erase(std::remove(ranks.begin(), ranks.end(), root), ranks.end());
+    return ranks;
+  };
+
+  for (Int k = 0; k < nsup; ++k) {
+    auto& sp = plan.sup[static_cast<std::size_t>(k)];
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    for (Int j : str) sp.prows.push_back(plan.map.prow_of(j));
+    for (Int i : str) sp.pcols.push_back(plan.map.pcol_of(i));
+    std::sort(sp.prows.begin(), sp.prows.end());
+    sp.prows.erase(std::unique(sp.prows.begin(), sp.prows.end()), sp.prows.end());
+    std::sort(sp.pcols.begin(), sp.pcols.end());
+    sp.pcols.erase(std::unique(sp.pcols.begin(), sp.pcols.end()), sp.pcols.end());
+
+    const int diag_owner = plan.map.owner(k, k);
+    std::vector<int> lpanel_ranks, upanel_ranks;
+    for (int pr : sp.prows)
+      lpanel_ranks.push_back(grid.rank_of(pr, plan.map.pcol_of(k)));
+    for (int pc : sp.pcols)
+      upanel_ranks.push_back(grid.rank_of(plan.map.prow_of(k), pc));
+    sp.diag_col = trees::CommTree::build(
+        tree_options, diag_owner, receivers_without(lpanel_ranks, diag_owner),
+        make_tag(kMsgDiagCol, k, 0));
+    sp.diag_row = trees::CommTree::build(
+        tree_options, diag_owner, receivers_without(upanel_ranks, diag_owner),
+        make_tag(kMsgDiagRow, k, 0));
+
+    for (Int t = 0; t < static_cast<Int>(str.size()); ++t) {
+      const Int b = str[static_cast<std::size_t>(t)];
+      // L_{b,K} from (pr(b), pc(K)) to the update columns of row pr(b).
+      std::vector<int> lrecv;
+      for (int pc : sp.pcols) lrecv.push_back(grid.rank_of(plan.map.prow_of(b), pc));
+      const int lroot = plan.map.owner(b, k);
+      sp.l_row.push_back(trees::CommTree::build(
+          tree_options, lroot, receivers_without(lrecv, lroot),
+          make_tag(kMsgLRow, k, t)));
+      // U_{K,b} from (pr(K), pc(b)) to the update rows of column pc(b).
+      std::vector<int> urecv;
+      for (int pr : sp.prows) urecv.push_back(grid.rank_of(pr, plan.map.pcol_of(b)));
+      const int uroot = plan.map.owner(k, b);
+      sp.u_col.push_back(trees::CommTree::build(
+          tree_options, uroot, receivers_without(urecv, uroot),
+          make_tag(kMsgUCol, k, t)));
+    }
+
+    // Schur update counters.
+    for (Int i : str)
+      for (Int j : str) {
+        const Int row = std::max(i, j), col = std::min(i, j);
+        // Target block: (i, j) — diag when i == j, L-lower when i > j (block
+        // (i, j) of supernode j), U-upper when i < j (block (i, j) in the U
+        // structure, keyed by its actual (row=i, col=j) position).
+        (void)row;
+        (void)col;
+        ++plan.updates_remaining[block_key(i, j)];
+      }
+  }
+  // Expected completions: one diag factor per supernode plus one solve per
+  // L and per U panel block.
+  plan.expected_blocks = nsup;
+  for (Int k = 0; k < nsup; ++k)
+    plan.expected_blocks +=
+        2 * static_cast<Count>(bs.struct_of[static_cast<std::size_t>(k)].size());
+  return plan;
+}
+
+struct LuShared {
+  LuPlan plan;
+  Count blocks_completed = 0;
+};
+
+class LuRank : public sim::Rank {
+ public:
+  LuRank(LuShared& shared, int rank)
+      : sh_(&shared),
+        me_(rank),
+        my_prow_(shared.plan.map.grid().row_of(rank)),
+        my_pcol_(shared.plan.map.grid().col_of(rank)) {}
+
+  void on_start(sim::Context& ctx) override {
+    const BlockStructure& bs = *sh_->plan.bs;
+    for (Int k = 0; k < bs.supernode_count(); ++k) {
+      if (sh_->plan.map.owner(k, k) != me_) continue;
+      if (updates_left(k, k) == 0) factor_diag(ctx, k);
+    }
+  }
+
+  void on_message(sim::Context& ctx, const sim::Message& msg) override {
+    const Int k = tag_supernode(msg.tag);
+    const Int t = tag_index(msg.tag);
+    const auto& sp = sh_->plan.sup[static_cast<std::size_t>(k)];
+    switch (tag_kind(msg.tag)) {
+      case kMsgDiagCol:
+        trees::bcast_forward(ctx, sp.diag_col, msg.tag, msg.bytes,
+                             kLuDiagColBcast, nullptr);
+        on_diag_col(ctx, k);
+        break;
+      case kMsgDiagRow:
+        trees::bcast_forward(ctx, sp.diag_row, msg.tag, msg.bytes,
+                             kLuDiagRowBcast, nullptr);
+        on_diag_row(ctx, k);
+        break;
+      case kMsgLRow:
+        trees::bcast_forward(ctx, sp.l_row[static_cast<std::size_t>(t)], msg.tag,
+                             msg.bytes, kLuLRowBcast, nullptr);
+        on_l_arrival(ctx, k, t);
+        break;
+      case kMsgUCol:
+        trees::bcast_forward(ctx, sp.u_col[static_cast<std::size_t>(t)], msg.tag,
+                             msg.bytes, kLuUColBcast, nullptr);
+        on_u_arrival(ctx, k, t);
+        break;
+      case kMsgLLocal:
+        on_l_arrival(ctx, k, t);
+        break;
+      case kMsgULocal:
+        on_u_arrival(ctx, k, t);
+        break;
+      case kMsgSolveL:
+        maybe_solve_l(ctx, k, t);
+        break;
+      case kMsgSolveU:
+        maybe_solve_u(ctx, k, t);
+        break;
+      case kMsgFactor:
+        factor_diag(ctx, k);
+        break;
+      case kMsgUpdate:
+        do_update(ctx, k, (static_cast<Int>(msg.tag >> 12) & 0xfff),
+                  static_cast<Int>(msg.tag & 0xfff));
+        break;
+      default:
+        PSI_CHECK_MSG(false, "unknown LU message kind");
+    }
+  }
+
+ private:
+  int& updates_left(Int row, Int col) {
+    return sh_->plan.updates_remaining[block_key(row, col)];
+  }
+
+  Count bytes_of(Int i, Int k) const {
+    return dense_bytes(sh_->plan.bs->part.size(i), sh_->plan.bs->part.size(k));
+  }
+
+  // ----- diagonal factorization --------------------------------------------
+  void factor_diag(sim::Context& ctx, Int k) {
+    if (!diag_factored_.insert(k).second) return;
+    const BlockStructure& bs = *sh_->plan.bs;
+    const auto& sp = sh_->plan.sup[static_cast<std::size_t>(k)];
+    ctx.compute_flops(getrf_flops(bs.part.size(k)));
+    ++sh_->blocks_completed;
+    trees::bcast_forward(ctx, sp.diag_col, make_tag(kMsgDiagCol, k, 0),
+                         bytes_of(k, k), kLuDiagColBcast, nullptr);
+    trees::bcast_forward(ctx, sp.diag_row, make_tag(kMsgDiagRow, k, 0),
+                         bytes_of(k, k), kLuDiagRowBcast, nullptr);
+    on_diag_col(ctx, k);  // the owner may itself hold panel blocks
+    on_diag_row(ctx, k);
+  }
+
+  // ----- panel solves --------------------------------------------------------
+  void on_diag_col(sim::Context& ctx, Int k) {
+    diag_col_seen_.insert(k);
+    try_panel_solves(ctx, k, /*l_side=*/true);
+  }
+  void on_diag_row(sim::Context& ctx, Int k) {
+    diag_row_seen_.insert(k);
+    try_panel_solves(ctx, k, /*l_side=*/false);
+  }
+
+  void try_panel_solves(sim::Context& ctx, Int k, bool l_side) {
+    const BlockStructure& bs = *sh_->plan.bs;
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    for (Int t = 0; t < static_cast<Int>(str.size()); ++t) {
+      const Int b = str[static_cast<std::size_t>(t)];
+      if (l_side) {
+        if (sh_->plan.map.owner(b, k) != me_) continue;
+        maybe_solve_l(ctx, k, t);
+      } else {
+        if (sh_->plan.map.owner(k, b) != me_) continue;
+        maybe_solve_u(ctx, k, t);
+      }
+    }
+  }
+
+  void maybe_solve_l(sim::Context& ctx, Int k, Int t) {
+    const Int b = sh_->plan.bs->struct_of[static_cast<std::size_t>(k)]
+                                         [static_cast<std::size_t>(t)];
+    if (l_solved_.count(block_key(b, k))) return;
+    if (!diag_col_seen_.count(k)) return;
+    if (updates_left(b, k) != 0) return;
+    l_solved_.insert(block_key(b, k));
+    const BlockStructure& bs = *sh_->plan.bs;
+    ctx.compute_flops(trsm_flops(bs.part.size(k), bs.part.size(b)));
+    ++sh_->blocks_completed;
+    trees::bcast_forward(ctx,
+                         sh_->plan.sup[static_cast<std::size_t>(k)]
+                             .l_row[static_cast<std::size_t>(t)],
+                         make_tag(kMsgLRow, k, t), bytes_of(b, k), kLuLRowBcast,
+                         nullptr);
+    // Local consumption is deferred through a self-send (see LuMsgKind).
+    ctx.send(me_, make_tag(kMsgLLocal, k, t), 0, kLuLRowBcast);
+  }
+
+  void maybe_solve_u(sim::Context& ctx, Int k, Int t) {
+    const Int b = sh_->plan.bs->struct_of[static_cast<std::size_t>(k)]
+                                         [static_cast<std::size_t>(t)];
+    if (u_solved_.count(block_key(k, b))) return;
+    if (!diag_row_seen_.count(k)) return;
+    if (updates_left(k, b) != 0) return;
+    u_solved_.insert(block_key(k, b));
+    const BlockStructure& bs = *sh_->plan.bs;
+    ctx.compute_flops(trsm_flops(bs.part.size(k), bs.part.size(b)));
+    ++sh_->blocks_completed;
+    trees::bcast_forward(ctx,
+                         sh_->plan.sup[static_cast<std::size_t>(k)]
+                             .u_col[static_cast<std::size_t>(t)],
+                         make_tag(kMsgUCol, k, t), bytes_of(k, b), kLuUColBcast,
+                         nullptr);
+    ctx.send(me_, make_tag(kMsgULocal, k, t), 0, kLuUColBcast);
+  }
+
+  // ----- Schur updates --------------------------------------------------------
+  void on_l_arrival(sim::Context& ctx, Int k, Int t) {
+    const Int i = sh_->plan.bs->struct_of[static_cast<std::size_t>(k)]
+                                         [static_cast<std::size_t>(t)];
+    if (sh_->plan.map.prow_of(i) != my_prow_) return;  // pure forwarder
+    auto& arr = arrivals_[k];
+    arr.l.push_back(t);
+    // One self-send per GEMM so the rank can interleave forwarding with its
+    // update work (see kMsgUpdate).
+    for (Int tu : arr.u) ctx.send(me_, make_update_tag(k, t, tu), 0, 0);
+  }
+
+  void on_u_arrival(sim::Context& ctx, Int k, Int t) {
+    const Int j = sh_->plan.bs->struct_of[static_cast<std::size_t>(k)]
+                                         [static_cast<std::size_t>(t)];
+    if (sh_->plan.map.pcol_of(j) != my_pcol_) return;
+    auto& arr = arrivals_[k];
+    arr.u.push_back(t);
+    for (Int tl : arr.l) ctx.send(me_, make_update_tag(k, tl, t), 0, 0);
+  }
+
+  /// GEMM A_{I,J} -= L_{I,K} U_{K,J} at this rank (it owns block (I, J)).
+  void do_update(sim::Context& ctx, Int k, Int tl, Int tu) {
+    const BlockStructure& bs = *sh_->plan.bs;
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    const Int i = str[static_cast<std::size_t>(tl)];
+    const Int j = str[static_cast<std::size_t>(tu)];
+    PSI_ASSERT(sh_->plan.map.owner(i, j) == me_);
+    ctx.compute_flops(gemm_flops(bs.part.size(i), bs.part.size(j), bs.part.size(k)));
+    int& left = updates_left(i, j);
+    PSI_ASSERT(left > 0);
+    if (--left != 0) return;
+    // Block (i, j) is fully updated: it can now be factored/solved. Deferred
+    // through a self-send so this handler's caller (which may be iterating
+    // the arrival lists) is never re-entered.
+    if (i == j) {
+      if (sh_->plan.map.owner(i, i) == me_)
+        ctx.send(me_, make_tag(kMsgFactor, i, 0), 0, kLuDiagColBcast);
+    } else if (i > j) {
+      // L block (i, j) of supernode j.
+      const Int t = find_struct_pos(j, i);
+      ctx.send(me_, make_tag(kMsgSolveL, j, t), 0, kLuDiagColBcast);
+    } else {
+      const Int t = find_struct_pos(i, j);
+      ctx.send(me_, make_tag(kMsgSolveU, i, t), 0, kLuDiagColBcast);
+    }
+  }
+
+  Int find_struct_pos(Int k, Int b) const {
+    const auto& str = sh_->plan.bs->struct_of[static_cast<std::size_t>(k)];
+    const auto it = std::lower_bound(str.begin(), str.end(), b);
+    PSI_ASSERT(it != str.end() && *it == b);
+    return static_cast<Int>(it - str.begin());
+  }
+
+  struct Arrivals {
+    std::vector<Int> l, u;
+  };
+
+  LuShared* sh_;
+  int me_;
+  int my_prow_;
+  int my_pcol_;
+  std::set<Int> diag_col_seen_, diag_row_seen_, diag_factored_;
+  std::set<std::uint64_t> l_solved_, u_solved_;
+  std::unordered_map<Int, Arrivals> arrivals_;
+};
+
+}  // namespace
+
+LuRunResult run_distributed_lu(const BlockStructure& structure,
+                               const dist::ProcessGrid& grid,
+                               const trees::TreeOptions& tree_options,
+                               const sim::Machine& machine) {
+  // Blocks of A that receive no Schur update need no explicit map entry:
+  // updates_left() default-inserts a zero.
+  LuShared shared{build_lu_plan(structure, grid, tree_options), 0};
+
+  sim::Engine engine(machine, grid.size(), kLuClassCount);
+  for (int r = 0; r < grid.size(); ++r)
+    engine.set_rank(r, std::make_unique<LuRank>(shared, r));
+  const sim::SimTime makespan = engine.run();
+
+  LuRunResult result;
+  result.makespan = makespan;
+  result.events = engine.events_processed();
+  result.blocks_completed = shared.blocks_completed;
+  result.expected_blocks = shared.plan.expected_blocks;
+  PSI_CHECK_MSG(result.complete(),
+                "distributed LU did not complete: " << result.blocks_completed
+                                                    << " of "
+                                                    << result.expected_blocks);
+  return result;
+}
+
+}  // namespace psi::pselinv

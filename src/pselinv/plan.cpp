@@ -1,0 +1,203 @@
+#include "pselinv/plan.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "sparse/dense.hpp"
+
+namespace psi::pselinv {
+
+const char* comm_class_name(int comm_class) {
+  switch (comm_class) {
+    case kDiagBcast: return "Diag-Bcast";
+    case kCrossSend: return "Cross-Send";
+    case kColBcast: return "Col-Bcast";
+    case kRowReduce: return "Row-Reduce";
+    case kColReduce: return "Col-Reduce";
+    case kCrossBack: return "Cross-Back";
+    case kDiagRowBcast: return "Diag-Row-Bcast";
+    case kCrossSendU: return "Cross-Send-U";
+    case kRowBcast: return "Row-Bcast";
+    case kColReduceUp: return "Col-Reduce-Up";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Deterministic collective id for the shifted scheme's per-tree seed.
+std::uint64_t collective_id(int kind, Int k, Int idx) {
+  return (static_cast<std::uint64_t>(kind) << 56) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k)) << 24) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(idx));
+}
+
+std::vector<int> receivers_without_root(std::vector<int> ranks, int root) {
+  ranks.erase(std::remove(ranks.begin(), ranks.end(), root), ranks.end());
+  return ranks;
+}
+
+}  // namespace
+
+Plan::Plan(const BlockStructure& structure, const dist::ProcessGrid& grid,
+           const trees::TreeOptions& tree_options, ValueSymmetry symmetry)
+    : structure_(&structure),
+      grid_(grid),
+      map_(grid_),
+      tree_options_(tree_options),
+      symmetry_(symmetry) {
+  const Int nsup = structure.supernode_count();
+  sup_.resize(static_cast<std::size_t>(nsup));
+
+  for (Int k = 0; k < nsup; ++k) {
+    SupernodePlan& plan = sup_[static_cast<std::size_t>(k)];
+    const auto& str = structure.struct_of[static_cast<std::size_t>(k)];
+    const int diag_owner = map_.owner(k, k);
+    const int my_pcol = map_.pcol_of(k);
+
+    // Unique processor rows/columns covering C(K).
+    plan.prows.reserve(str.size());
+    plan.pcols.reserve(str.size());
+    for (Int j : str) plan.prows.push_back(map_.prow_of(j));
+    for (Int i : str) plan.pcols.push_back(map_.pcol_of(i));
+    std::sort(plan.prows.begin(), plan.prows.end());
+    plan.prows.erase(std::unique(plan.prows.begin(), plan.prows.end()),
+                     plan.prows.end());
+    std::sort(plan.pcols.begin(), plan.pcols.end());
+    plan.pcols.erase(std::unique(plan.pcols.begin(), plan.pcols.end()),
+                     plan.pcols.end());
+
+    // L-panel owner ranks in column pc(K).
+    std::vector<int> panel_ranks;
+    panel_ranks.reserve(plan.prows.size());
+    for (int pr : plan.prows) panel_ranks.push_back(grid_.rank_of(pr, my_pcol));
+
+    plan.diag_bcast =
+        trees::CommTree::build(tree_options_, diag_owner,
+                               receivers_without_root(panel_ranks, diag_owner),
+                               collective_id(kDiagBcast, k, 0));
+    plan.col_reduce =
+        trees::CommTree::build(tree_options_, diag_owner,
+                               receivers_without_root(panel_ranks, diag_owner),
+                               collective_id(kColReduce, k, 0));
+
+    plan.col_bcast.reserve(str.size());
+    plan.row_reduce.reserve(str.size());
+    plan.cross_src.reserve(str.size());
+    plan.cross_dst.reserve(str.size());
+    for (Int t = 0; t < static_cast<Int>(str.size()); ++t) {
+      const Int i = str[static_cast<std::size_t>(t)];
+      plan.cross_src.push_back(map_.owner(i, k));
+      plan.cross_dst.push_back(map_.owner(k, i));
+
+      // Col-Bcast of Û_{K,I} within processor column pc(I).
+      const int bcast_root = map_.owner(k, i);
+      std::vector<int> consumers;
+      consumers.reserve(plan.prows.size());
+      for (int pr : plan.prows)
+        consumers.push_back(grid_.rank_of(pr, map_.pcol_of(i)));
+      plan.col_bcast.push_back(trees::CommTree::build(
+          tree_options_, bcast_root,
+          receivers_without_root(consumers, bcast_root),
+          collective_id(kColBcast, k, t)));
+
+      // Row-Reduce of A^{-1}_{J,K} contributions within processor row pr(J)
+      // (here the struct entry plays the role of J).
+      const int reduce_root = map_.owner(i, k);
+      std::vector<int> contributors;
+      contributors.reserve(plan.pcols.size());
+      for (int pc : plan.pcols)
+        contributors.push_back(grid_.rank_of(map_.prow_of(i), pc));
+      std::sort(contributors.begin(), contributors.end());
+      plan.row_reduce.push_back(trees::CommTree::build(
+          tree_options_, reduce_root,
+          receivers_without_root(contributors, reduce_root),
+          collective_id(kRowReduce, k, t)));
+    }
+
+    if (symmetry_ == ValueSymmetry::kUnsymmetric) {
+      // Mirrored U-side phases (see the header). U-panel owner ranks sit in
+      // processor row pr(K).
+      std::vector<int> upanel_ranks;
+      upanel_ranks.reserve(plan.pcols.size());
+      const int my_prow = map_.prow_of(k);
+      for (int pc : plan.pcols) upanel_ranks.push_back(grid_.rank_of(my_prow, pc));
+      plan.diag_row_bcast = trees::CommTree::build(
+          tree_options_, diag_owner,
+          receivers_without_root(upanel_ranks, diag_owner),
+          collective_id(kDiagRowBcast, k, 0));
+
+      plan.row_bcast.reserve(str.size());
+      plan.col_reduce_up.reserve(str.size());
+      for (Int t = 0; t < static_cast<Int>(str.size()); ++t) {
+        const Int b = str[static_cast<std::size_t>(t)];
+        // Row-Bcast of Û_{K,I} along processor row pr(I), rooted at the
+        // L-side owner (which received Û via the U-cross send).
+        const int bcast_root = map_.owner(b, k);
+        std::vector<int> consumers;
+        consumers.reserve(plan.pcols.size());
+        for (int pc : plan.pcols)
+          consumers.push_back(grid_.rank_of(map_.prow_of(b), pc));
+        std::sort(consumers.begin(), consumers.end());
+        plan.row_bcast.push_back(trees::CommTree::build(
+            tree_options_, bcast_root,
+            receivers_without_root(consumers, bcast_root),
+            collective_id(kRowBcast, k, t)));
+
+        // Col-Reduce of A^{-1}_{K,J} contributions down column pc(J) onto
+        // the upper-block owner.
+        const int reduce_root = map_.owner(k, b);
+        std::vector<int> contributors;
+        contributors.reserve(plan.prows.size());
+        for (int pr : plan.prows)
+          contributors.push_back(grid_.rank_of(pr, map_.pcol_of(b)));
+        std::sort(contributors.begin(), contributors.end());
+        plan.col_reduce_up.push_back(trees::CommTree::build(
+            tree_options_, reduce_root,
+            receivers_without_root(contributors, reduce_root),
+            collective_id(kColReduceUp, k, t)));
+      }
+    }
+  }
+}
+
+Count Plan::block_bytes(Int i, Int k) const {
+  return dense_bytes(structure_->part.size(i), structure_->part.size(k));
+}
+
+Count Plan::distinct_communicators() const {
+  // Hash the sorted participant list of every collective; count unique sets
+  // of size >= 2 (a single-rank collective needs no communicator).
+  std::unordered_set<std::uint64_t> seen;
+  auto note = [&](const trees::CommTree& tree) {
+    if (tree.participant_count() < 2) return;
+    std::vector<int> ranks = tree.participants();
+    std::sort(ranks.begin(), ranks.end());
+    std::uint64_t h = 0x811c9dc5ULL;
+    for (int r : ranks) h = (h ^ static_cast<std::uint64_t>(r)) * 0x100000001b3ULL;
+    seen.insert(h);
+  };
+  for (const SupernodePlan& plan : sup_) {
+    note(plan.diag_bcast);
+    note(plan.col_reduce);
+    for (const auto& tree : plan.col_bcast) note(tree);
+    for (const auto& tree : plan.row_reduce) note(tree);
+    if (symmetry_ == ValueSymmetry::kUnsymmetric) {
+      note(plan.diag_row_bcast);
+      for (const auto& tree : plan.row_bcast) note(tree);
+      for (const auto& tree : plan.col_reduce_up) note(tree);
+    }
+  }
+  return static_cast<Count>(seen.size());
+}
+
+Count Plan::total_collectives() const {
+  Count total = 0;
+  for (const SupernodePlan& plan : sup_)
+    total += 2 + static_cast<Count>(plan.col_bcast.size()) +
+             static_cast<Count>(plan.row_reduce.size());
+  return total;
+}
+
+}  // namespace psi::pselinv

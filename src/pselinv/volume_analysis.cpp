@@ -1,0 +1,73 @@
+#include "pselinv/volume_analysis.hpp"
+
+namespace psi::pselinv {
+
+namespace {
+
+std::vector<double> to_mb(const std::vector<Count>& bytes) {
+  std::vector<double> mb(bytes.size());
+  for (std::size_t r = 0; r < bytes.size(); ++r)
+    mb[r] = static_cast<double>(bytes[r]) / (1024.0 * 1024.0);
+  return mb;
+}
+
+}  // namespace
+
+std::vector<double> VolumeReport::col_bcast_sent_mb() const {
+  return to_mb(of(kColBcast).bytes_sent());
+}
+
+std::vector<double> VolumeReport::row_reduce_received_mb() const {
+  return to_mb(of(kRowReduce).bytes_received());
+}
+
+SampleStats VolumeReport::summarize(const std::vector<double>& mb) {
+  return SampleStats(mb);
+}
+
+VolumeReport analyze_volume(const Plan& plan) {
+  VolumeReport report;
+  report.per_class.assign(kCommClassCount,
+                          trees::VolumeAccumulator(plan.grid().size()));
+
+  const BlockStructure& bs = plan.structure();
+  for (Int k = 0; k < plan.supernode_count(); ++k) {
+    const SupernodePlan& sp = plan.supernode(k);
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    const Count diag_bytes = plan.block_bytes(k, k);
+
+    report.per_class[kDiagBcast].add_bcast(sp.diag_bcast, diag_bytes);
+    report.per_class[kColReduce].add_reduce(sp.col_reduce, diag_bytes);
+
+    for (Int t = 0; t < static_cast<Int>(str.size()); ++t) {
+      const Int i = str[static_cast<std::size_t>(t)];
+      const Count bytes = plan.block_bytes(i, k);
+      report.per_class[kCrossSend].add_p2p(sp.cross_src[static_cast<std::size_t>(t)],
+                                           sp.cross_dst[static_cast<std::size_t>(t)],
+                                           bytes);
+      report.per_class[kColBcast].add_bcast(
+          sp.col_bcast[static_cast<std::size_t>(t)], bytes);
+      report.per_class[kRowReduce].add_reduce(
+          sp.row_reduce[static_cast<std::size_t>(t)], bytes);
+      if (plan.symmetry() == ValueSymmetry::kSymmetric) {
+        report.per_class[kCrossBack].add_p2p(
+            sp.cross_src[static_cast<std::size_t>(t)],
+            sp.cross_dst[static_cast<std::size_t>(t)], bytes);
+      } else {
+        // Mirrored U-side phases replace the cross-back.
+        report.per_class[kCrossSendU].add_p2p(
+            sp.cross_dst[static_cast<std::size_t>(t)],
+            sp.cross_src[static_cast<std::size_t>(t)], bytes);
+        report.per_class[kRowBcast].add_bcast(
+            sp.row_bcast[static_cast<std::size_t>(t)], bytes);
+        report.per_class[kColReduceUp].add_reduce(
+            sp.col_reduce_up[static_cast<std::size_t>(t)], bytes);
+      }
+    }
+    if (plan.symmetry() == ValueSymmetry::kUnsymmetric)
+      report.per_class[kDiagRowBcast].add_bcast(sp.diag_row_bcast, diag_bytes);
+  }
+  return report;
+}
+
+}  // namespace psi::pselinv

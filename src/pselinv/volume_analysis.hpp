@@ -1,0 +1,38 @@
+/// \file volume_analysis.hpp
+/// \brief Analytic per-rank communication volumes of a PSelInv plan.
+///
+/// Reproduces the measured quantities of the paper's §IV-A without running
+/// the simulator: bytes *sent* per rank during Col-Bcast (Table I, Figures
+/// 4-6) and bytes *received* per rank during Row-Reduce (Table II, Figure
+/// 7), plus the totals of the remaining classes.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "pselinv/plan.hpp"
+#include "trees/volume.hpp"
+
+namespace psi::pselinv {
+
+struct VolumeReport {
+  /// Per class: per-rank bytes sent / received.
+  std::vector<trees::VolumeAccumulator> per_class;
+
+  const trees::VolumeAccumulator& of(int comm_class) const {
+    return per_class[static_cast<std::size_t>(comm_class)];
+  }
+
+  /// Per-rank MB sent during Col-Bcast (the paper's Table I metric).
+  std::vector<double> col_bcast_sent_mb() const;
+  /// Per-rank MB received during Row-Reduce (the paper's Table II metric).
+  std::vector<double> row_reduce_received_mb() const;
+
+  /// min/max/median/stddev summary over ranks of a per-rank MB vector.
+  static SampleStats summarize(const std::vector<double>& mb);
+};
+
+/// Walks every collective of the plan and accumulates exact traffic.
+VolumeReport analyze_volume(const Plan& plan);
+
+}  // namespace psi::pselinv

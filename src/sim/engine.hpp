@@ -1,0 +1,172 @@
+/// \file engine.hpp
+/// \brief Deterministic discrete-event simulator with MPI-like asynchronous
+/// point-to-point messaging.
+///
+/// Each simulated MPI rank is a reactive program (sim::Rank): it receives a
+/// start callback at t=0 and a callback per delivered message, and during a
+/// callback it may advance its own clock with compute() and post
+/// asynchronous sends (the analogue of MPI_Isend matched by a pre-posted
+/// MPI_Irecv — PSelInv's communication is fully asynchronous, paper §III).
+///
+/// Timing semantics per rank:
+///  * a rank executes one handler at a time; a message delivered at time t
+///    starts its handler at max(t, rank busy-until);
+///  * compute(seconds) and per-message CPU overheads extend busy-until;
+///  * each send occupies the sender NIC for the payload's occupancy time
+///    (serializing concurrent sends — the flat-tree root bottleneck), takes
+///    the wire latency of the tier, and then occupies the receiver NIC.
+///
+/// The engine is single-threaded and deterministic: ties are broken by a
+/// global event sequence number.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sparse/dense.hpp"
+#include "sparse/types.hpp"
+
+namespace psi::sim {
+
+/// Payload carried by a message. `data` is set in numeric mode (a shared
+/// immutable block); in trace mode only `bytes` matters.
+struct Message {
+  int src = -1;
+  int dst = -1;
+  std::int64_t tag = 0;   ///< user-defined; encodes (supernode, phase, index)
+  Count bytes = 0;
+  int comm_class = 0;     ///< user-defined accounting class
+  std::shared_ptr<const DenseMatrix> data;
+};
+
+/// Per-rank, per-class traffic counters.
+struct ClassCounters {
+  Count bytes_sent = 0;
+  Count bytes_received = 0;
+  Count messages_sent = 0;
+  Count messages_received = 0;
+};
+
+/// One delivered message, recorded when tracing is enabled.
+struct TraceEvent {
+  SimTime time = 0.0;   ///< delivery time (handler start, before busy-wait)
+  int src = -1;
+  int dst = -1;
+  int comm_class = 0;
+  Count bytes = 0;
+  std::int64_t tag = 0;
+};
+
+struct RankStats {
+  std::vector<ClassCounters> per_class;
+  double compute_seconds = 0.0;   ///< time spent in compute()
+  double overhead_seconds = 0.0;  ///< per-message CPU overheads
+  SimTime finish_time = 0.0;      ///< end of this rank's last handler
+};
+
+class Engine;
+
+/// Handler-side API handed to rank callbacks.
+class Context {
+ public:
+  Context(Engine& engine, int rank, SimTime now)
+      : engine_(&engine), rank_(rank), now_(now) {}
+
+  int rank() const { return rank_; }
+  SimTime now() const { return now_; }
+
+  /// Advances this rank's clock by `seconds` of computation.
+  void compute(SimTime seconds);
+  /// Convenience: computation expressed in flops (machine flop rate).
+  void compute_flops(Count flops);
+
+  /// Posts an asynchronous send. Self-sends are delivered after the current
+  /// handler with no network cost (local hand-off).
+  void send(int dst, std::int64_t tag, Count bytes, int comm_class,
+            std::shared_ptr<const DenseMatrix> data = nullptr);
+
+ private:
+  friend class Engine;
+  Engine* engine_;
+  int rank_;
+  SimTime now_;  ///< advances as the handler computes/sends
+};
+
+/// A reactive rank program.
+class Rank {
+ public:
+  virtual ~Rank() = default;
+  /// Invoked once at t = 0.
+  virtual void on_start(Context& ctx) = 0;
+  /// Invoked for each delivered message.
+  virtual void on_message(Context& ctx, const Message& msg) = 0;
+};
+
+class Engine {
+ public:
+  /// `comm_classes` sizes the per-class counter arrays.
+  Engine(const Machine& machine, int rank_count, int comm_classes);
+
+  /// Installs the program for a rank (must be set for all ranks before run).
+  void set_rank(int rank, std::unique_ptr<Rank> program);
+
+  int rank_count() const { return static_cast<int>(programs_.size()); }
+  const Machine& machine() const { return *machine_; }
+
+  /// Records every delivered network message (self-sends excluded) into an
+  /// in-memory trace, up to `max_events` (oldest kept). Call before run().
+  void enable_trace(std::size_t max_events = 1 << 20);
+  const std::vector<TraceEvent>& trace() const { return trace_; }
+
+  /// Runs to completion (event queue drained). Returns the makespan: the
+  /// time the last handler finished.
+  SimTime run();
+
+  const RankStats& stats(int rank) const;
+  /// Total events processed (for engine throughput reporting).
+  Count events_processed() const { return events_processed_; }
+  SimTime makespan() const { return makespan_; }
+
+ private:
+  friend class Context;
+
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Message msg;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;  // min-heap
+      return a.seq > b.seq;
+    }
+  };
+
+  struct RankState {
+    SimTime busy_until = 0.0;
+    SimTime nic_send_free = 0.0;
+    SimTime nic_recv_free = 0.0;
+    RankStats stats;
+  };
+
+  void post_send(Context& ctx, Message msg);
+  void dispatch(const Event& event);
+
+  const Machine* machine_;
+  int comm_classes_;
+  std::vector<std::unique_ptr<Rank>> programs_;
+  std::vector<RankState> states_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::uint64_t next_seq_ = 0;
+  bool tracing_ = false;
+  std::size_t trace_limit_ = 0;
+  std::vector<TraceEvent> trace_;
+  Count events_processed_ = 0;
+  SimTime makespan_ = 0.0;
+  bool ran_ = false;
+};
+
+}  // namespace psi::sim

@@ -1,0 +1,56 @@
+#include "sim/machine.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace psi::sim {
+
+Machine::Machine(const MachineConfig& config) : config_(config) {
+  PSI_CHECK(config.cores_per_node > 0);
+  PSI_CHECK(config.nodes_per_group > 0);
+  PSI_CHECK(config.flop_rate > 0);
+  PSI_CHECK(config.bw_intranode > 0 && config.bw_intragroup > 0 &&
+            config.bw_intergroup > 0);
+  PSI_CHECK(config.jitter_sigma >= 0);
+}
+
+SimTime Machine::latency(int src, int dst) const {
+  if (src == dst) return 0.0;
+  if (node_of(src) == node_of(dst)) return config_.lat_intranode;
+  if (group_of(src) == group_of(dst)) return config_.lat_intragroup;
+  return config_.lat_intergroup;
+}
+
+double Machine::pair_jitter(int src, int dst) const {
+  if (config_.jitter_sigma <= 0.0) return 1.0;
+  int a = node_of(src), b = node_of(dst);
+  if (a == b) return 1.0;  // shared memory: no network jitter
+  if (a > b) std::swap(a, b);
+  const std::uint64_t h = hash_combine(
+      config_.jitter_seed,
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+          static_cast<std::uint32_t>(b));
+  // Convert the hash to a standard normal via a pair of uniforms
+  // (Box-Muller); deterministic per (seed, node pair).
+  std::uint64_t state = h;
+  const double u1 =
+      (static_cast<double>(splitmix64(state) >> 11) + 0.5) * 0x1.0p-53;
+  const double u2 = static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  const double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  // Bandwidth multiplier >= 0: slow pairs have multiplier > 1 on time.
+  return std::exp(config_.jitter_sigma * z);
+}
+
+SimTime Machine::occupancy(int src, int dst, Count bytes) const {
+  if (src == dst) return 0.0;
+  double bw = config_.bw_intergroup;
+  if (node_of(src) == node_of(dst))
+    bw = config_.bw_intranode;
+  else if (group_of(src) == group_of(dst))
+    bw = config_.bw_intragroup;
+  return static_cast<double>(bytes) / bw * pair_jitter(src, dst);
+}
+
+}  // namespace psi::sim

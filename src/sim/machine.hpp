@@ -1,0 +1,75 @@
+/// \file machine.hpp
+/// \brief Machine model: topology-aware communication costs.
+///
+/// The paper runs on NERSC Edison (Cray XC30): 24 cores per node, Aries
+/// dragonfly interconnect with electrical groups. The model captures what
+/// matters for the paper's phenomena:
+///
+///  * ranks fill nodes consecutively (as most MPI implementations do —
+///    paper §III), so logically-close ranks are physically close;
+///  * three communication tiers (intra-node shared memory, intra-group,
+///    inter-group) with increasing latency and decreasing bandwidth;
+///  * per-NIC serialization, which turns the flat tree's p-1 root sends into
+///    the "instantaneous hot spot" the paper describes;
+///  * seeded lognormal jitter on node-pair bandwidth, modeling the network
+///    inhomogeneity/contention that causes the run-to-run variability of
+///    Figure 8 (a fresh seed per run = a fresh job placement).
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/types.hpp"
+
+namespace psi::sim {
+
+using SimTime = double;  ///< seconds of virtual time
+
+struct MachineConfig {
+  int cores_per_node = 24;    ///< Edison: two 12-core Ivy Bridge sockets
+  int nodes_per_group = 64;   ///< electrical group size
+
+  /// Effective dense-kernel rate per core (GEMM-dominated; below peak).
+  double flop_rate = 10e9;
+  /// CPU time consumed per message on each of the send and receive sides.
+  double msg_overhead = 1.0e-6;
+
+  /// Tier parameters: latency (s) and bandwidth (bytes/s).
+  double lat_intranode = 0.6e-6;
+  double bw_intranode = 8.0e9;
+  double lat_intragroup = 1.6e-6;
+  double bw_intragroup = 5.0e9;
+  double lat_intergroup = 2.8e-6;
+  double bw_intergroup = 3.2e9;
+
+  /// Lognormal sigma applied to each node pair's effective bandwidth
+  /// (0 = perfectly homogeneous network).
+  double jitter_sigma = 0.0;
+  /// Seed of the jitter field; a different seed models a different job
+  /// placement / different background traffic.
+  std::uint64_t jitter_seed = 0;
+};
+
+class Machine {
+ public:
+  explicit Machine(const MachineConfig& config);
+
+  const MachineConfig& config() const { return config_; }
+
+  int node_of(int rank) const { return rank / config_.cores_per_node; }
+  int group_of(int rank) const { return node_of(rank) / config_.nodes_per_group; }
+
+  /// Wire latency between two ranks.
+  SimTime latency(int src, int dst) const;
+  /// Time the payload occupies a NIC (bytes / effective bandwidth), with the
+  /// pair's jitter applied. Zero for rank-local transfers.
+  SimTime occupancy(int src, int dst, Count bytes) const;
+
+  /// Deterministic bandwidth multiplier (>= ~lognormal around 1) for the
+  /// node pair of (src, dst); 1.0 when jitter_sigma == 0.
+  double pair_jitter(int src, int dst) const;
+
+ private:
+  MachineConfig config_;
+};
+
+}  // namespace psi::sim

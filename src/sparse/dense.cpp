@@ -1,0 +1,239 @@
+#include "sparse/dense.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace psi {
+
+DenseMatrix::DenseMatrix(Int rows, Int cols, double fill)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), fill) {
+  PSI_CHECK(rows >= 0 && cols >= 0);
+}
+
+double& DenseMatrix::operator()(Int r, Int c) {
+  PSI_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<std::size_t>(c) * rows_ + static_cast<std::size_t>(r)];
+}
+
+double DenseMatrix::operator()(Int r, Int c) const {
+  PSI_ASSERT(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  return data_[static_cast<std::size_t>(c) * rows_ + static_cast<std::size_t>(r)];
+}
+
+void DenseMatrix::set_zero() { std::fill(data_.begin(), data_.end(), 0.0); }
+
+void DenseMatrix::resize(Int rows, Int cols, double fill) {
+  PSI_CHECK(rows >= 0 && cols >= 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols), fill);
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (Int c = 0; c < cols_; ++c)
+    for (Int r = 0; r < rows_; ++r) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+double DenseMatrix::norm() const {
+  double acc = 0.0;
+  for (double v : data_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double DenseMatrix::max_abs() const {
+  double acc = 0.0;
+  for (double v : data_) acc = std::max(acc, std::fabs(v));
+  return acc;
+}
+
+std::string DenseMatrix::to_string(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision);
+  for (Int r = 0; r < rows_; ++r) {
+    for (Int c = 0; c < cols_; ++c) os << std::setw(precision + 8) << (*this)(r, c);
+    os << '\n';
+  }
+  return os.str();
+}
+
+void gemm(Trans ta, Trans tb, double alpha, const DenseMatrix& a,
+          const DenseMatrix& b, double beta, DenseMatrix& c) {
+  const Int m = (ta == Trans::kNo) ? a.rows() : a.cols();
+  const Int k = (ta == Trans::kNo) ? a.cols() : a.rows();
+  const Int kb = (tb == Trans::kNo) ? b.rows() : b.cols();
+  const Int n = (tb == Trans::kNo) ? b.cols() : b.rows();
+  PSI_CHECK_MSG(k == kb, "gemm inner dimensions disagree: " << k << " vs " << kb);
+  PSI_CHECK_MSG(c.rows() == m && c.cols() == n,
+                "gemm output is " << c.rows() << "x" << c.cols() << ", expected "
+                                  << m << "x" << n);
+
+  if (beta != 1.0) {
+    for (Int j = 0; j < n; ++j) {
+      double* cj = c.col(j);
+      for (Int i = 0; i < m; ++i) cj[i] *= beta;
+    }
+  }
+  if (alpha == 0.0 || k == 0) return;
+
+  // Column-major kernels: accumulate into C columns, streaming A columns.
+  for (Int j = 0; j < n; ++j) {
+    double* cj = c.col(j);
+    for (Int l = 0; l < k; ++l) {
+      const double bval =
+          alpha * ((tb == Trans::kNo) ? b(l, j) : b(j, l));
+      if (bval == 0.0) continue;
+      if (ta == Trans::kNo) {
+        const double* al = a.col(l);
+        for (Int i = 0; i < m; ++i) cj[i] += al[i] * bval;
+      } else {
+        // op(A)(i,l) = A(l,i): column i of A is contiguous; gather.
+        for (Int i = 0; i < m; ++i) cj[i] += a(l, i) * bval;
+      }
+    }
+  }
+}
+
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          const DenseMatrix& t, DenseMatrix& b) {
+  PSI_CHECK(t.rows() == t.cols());
+  const Int n = t.rows();
+  if (side == Side::kLeft) {
+    PSI_CHECK_MSG(b.rows() == n, "trsm: B has " << b.rows() << " rows, T is " << n);
+  } else {
+    PSI_CHECK_MSG(b.cols() == n, "trsm: B has " << b.cols() << " cols, T is " << n);
+  }
+
+  if (alpha != 1.0) {
+    for (Int j = 0; j < b.cols(); ++j) {
+      double* bj = b.col(j);
+      for (Int i = 0; i < b.rows(); ++i) bj[i] *= alpha;
+    }
+  }
+
+  // Effective orientation after the transpose flag: solving with op(T).
+  const bool lower = (uplo == UpLo::kLower) != (trans == Trans::kYes);
+  auto tval = [&](Int r, Int c) {
+    return (trans == Trans::kNo) ? t(r, c) : t(c, r);
+  };
+  auto pivot = [&](Int i) {
+    if (diag == Diag::kUnit) return 1.0;
+    const double p = tval(i, i);
+    PSI_CHECK_MSG(std::fabs(p) > 1e-300, "trsm: zero pivot at " << i);
+    return p;
+  };
+
+  if (side == Side::kLeft) {
+    for (Int j = 0; j < b.cols(); ++j) {
+      double* bj = b.col(j);
+      if (lower) {
+        for (Int i = 0; i < n; ++i) {
+          double s = bj[i];
+          for (Int l = 0; l < i; ++l) s -= tval(i, l) * bj[l];
+          bj[i] = s / pivot(i);
+        }
+      } else {
+        for (Int i = n - 1; i >= 0; --i) {
+          double s = bj[i];
+          for (Int l = i + 1; l < n; ++l) s -= tval(i, l) * bj[l];
+          bj[i] = s / pivot(i);
+        }
+      }
+    }
+  } else {
+    // X op(T) = B  => column-by-column substitution over T's columns.
+    if (lower) {
+      // op(T) lower: X(:,j) determined from j = n-1 downto 0.
+      for (Int j = n - 1; j >= 0; --j) {
+        double* bj = b.col(j);
+        const double p = pivot(j);
+        for (Int i = 0; i < b.rows(); ++i) bj[i] /= p;
+        for (Int l = 0; l < j; ++l) {
+          const double f = tval(j, l);
+          if (f == 0.0) continue;
+          double* bl = b.col(l);
+          for (Int i = 0; i < b.rows(); ++i) bl[i] -= bj[i] * f;
+        }
+      }
+    } else {
+      for (Int j = 0; j < n; ++j) {
+        double* bj = b.col(j);
+        const double p = pivot(j);
+        for (Int i = 0; i < b.rows(); ++i) bj[i] /= p;
+        for (Int l = j + 1; l < n; ++l) {
+          const double f = tval(j, l);
+          if (f == 0.0) continue;
+          double* bl = b.col(l);
+          for (Int i = 0; i < b.rows(); ++i) bl[i] -= bj[i] * f;
+        }
+      }
+    }
+  }
+}
+
+void getrf_nopivot(DenseMatrix& a) {
+  PSI_CHECK(a.rows() == a.cols());
+  const Int n = a.rows();
+  for (Int k = 0; k < n; ++k) {
+    const double pivot = a(k, k);
+    PSI_CHECK_MSG(std::fabs(pivot) > 1e-300,
+                  "getrf_nopivot: zero pivot at column " << k);
+    for (Int i = k + 1; i < n; ++i) a(i, k) /= pivot;
+    for (Int j = k + 1; j < n; ++j) {
+      const double ukj = a(k, j);
+      if (ukj == 0.0) continue;
+      double* aj = a.col(j);
+      const double* ak = a.col(k);
+      for (Int i = k + 1; i < n; ++i) aj[i] -= ak[i] * ukj;
+    }
+  }
+}
+
+void triangular_inverse(UpLo uplo, Diag diag, DenseMatrix& t) {
+  PSI_CHECK(t.rows() == t.cols());
+  const Int n = t.rows();
+  DenseMatrix inv(n, n);
+  for (Int i = 0; i < n; ++i) inv(i, i) = 1.0;
+  trsm(Side::kLeft, uplo, Trans::kNo, diag, 1.0, t, inv);
+  t = std::move(inv);
+}
+
+DenseMatrix inverse(const DenseMatrix& a) {
+  PSI_CHECK(a.rows() == a.cols());
+  DenseMatrix lu = a;
+  getrf_nopivot(lu);
+  const Int n = a.rows();
+  DenseMatrix inv(n, n);
+  for (Int i = 0; i < n; ++i) inv(i, i) = 1.0;
+  trsm(Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0, lu, inv);
+  trsm(Side::kLeft, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0, lu, inv);
+  return inv;
+}
+
+double max_abs_diff(const DenseMatrix& a, const DenseMatrix& b) {
+  PSI_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  double acc = 0.0;
+  for (Int c = 0; c < a.cols(); ++c)
+    for (Int r = 0; r < a.rows(); ++r)
+      acc = std::max(acc, std::fabs(a(r, c) - b(r, c)));
+  return acc;
+}
+
+Count gemm_flops(Int m, Int n, Int k) {
+  return 2LL * m * n * k;
+}
+
+Count trsm_flops(Int m, Int n) { return static_cast<Count>(m) * m * n; }
+
+Count getrf_flops(Int n) {
+  const auto nn = static_cast<Count>(n);
+  return 2 * nn * nn * nn / 3;
+}
+
+}  // namespace psi

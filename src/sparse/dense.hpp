@@ -1,0 +1,98 @@
+/// \file dense.hpp
+/// \brief Dense column-major matrix and the BLAS-like kernels the supernodal
+/// factorization/inversion needs (gemm, trsm, unpivoted getrf, inverse).
+///
+/// Performance is not the objective of these kernels — the machine model of
+/// psi::sim supplies simulated compute times from flop counts — but they are
+/// written blocked-free with restrict-friendly loops and are fast enough for
+/// the numeric-mode verification problems.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace psi {
+
+/// Column-major dense matrix of doubles.
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+  DenseMatrix(Int rows, Int cols, double fill = 0.0);
+
+  Int rows() const { return rows_; }
+  Int cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(Int r, Int c);
+  double operator()(Int r, Int c) const;
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* col(Int c) { return data_.data() + static_cast<std::size_t>(c) * rows_; }
+  const double* col(Int c) const {
+    return data_.data() + static_cast<std::size_t>(c) * rows_;
+  }
+
+  void set_zero();
+  void resize(Int rows, Int cols, double fill = 0.0);
+
+  DenseMatrix transposed() const;
+
+  /// Frobenius norm.
+  double norm() const;
+  /// max |a_ij|
+  double max_abs() const;
+
+  std::string to_string(int precision = 4) const;
+
+ private:
+  Int rows_ = 0;
+  Int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Raw serialization size in bytes (used for message payload accounting).
+inline Count dense_bytes(Int rows, Int cols) {
+  return static_cast<Count>(rows) * cols * static_cast<Count>(sizeof(double));
+}
+
+enum class Trans { kNo, kYes };
+enum class Side { kLeft, kRight };
+enum class UpLo { kLower, kUpper };
+enum class Diag { kUnit, kNonUnit };
+
+/// C <- alpha * op(A) * op(B) + beta * C.
+void gemm(Trans ta, Trans tb, double alpha, const DenseMatrix& a,
+          const DenseMatrix& b, double beta, DenseMatrix& c);
+
+/// Triangular solve with multiple right-hand sides, in place on `b`:
+///   side=kLeft :  op(T) X = alpha B
+///   side=kRight:  X op(T) = alpha B
+void trsm(Side side, UpLo uplo, Trans trans, Diag diag, double alpha,
+          const DenseMatrix& t, DenseMatrix& b);
+
+/// Unpivoted LU factorization in place: A = L U with unit-diagonal L stored
+/// below the diagonal and U on/above it. Throws psi::Error on a (near-)zero
+/// pivot; psi uses diagonally-dominant test matrices so pivoting is not
+/// required (matching the paper's symmetric/definite application regime).
+void getrf_nopivot(DenseMatrix& a);
+
+/// In-place inverse of a triangular matrix.
+void triangular_inverse(UpLo uplo, Diag diag, DenseMatrix& t);
+
+/// General inverse via unpivoted LU (A must be LU-factorizable without
+/// pivoting).
+DenseMatrix inverse(const DenseMatrix& a);
+
+/// max_ij |a_ij - b_ij|; dimensions must agree.
+double max_abs_diff(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Flop counts used by the simulator's compute model.
+Count gemm_flops(Int m, Int n, Int k);
+Count trsm_flops(Int m, Int n);   // triangular solve, m x m triangle, n rhs
+Count getrf_flops(Int n);
+
+}  // namespace psi

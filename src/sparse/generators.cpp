@@ -1,0 +1,261 @@
+#include "sparse/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace psi {
+
+namespace {
+
+/// Deterministic off-diagonal value in [-1.0, -0.2] for the unordered pair
+/// (i, j) (symmetric) or the ordered pair (unsymmetric).
+double pair_value(std::uint64_t seed, Int i, Int j, bool symmetric) {
+  Int a = i, b = j;
+  if (symmetric && a > b) std::swap(a, b);
+  const std::uint64_t h = hash_combine(
+      seed, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+                static_cast<std::uint32_t>(b));
+  const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return -(0.2 + 0.8 * u);
+}
+
+}  // namespace
+
+void assign_dd_values(SparseMatrix& a, std::uint64_t seed, ValueKind values) {
+  const bool symmetric = (values == ValueKind::kSymmetric);
+  const Int n = a.n();
+  a.values.assign(a.pattern.row_idx.size(), 0.0);
+
+  // First pass: off-diagonal values; accumulate row and column magnitudes.
+  std::vector<double> row_sum(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> col_sum(static_cast<std::size_t>(n), 0.0);
+  for (Int j = 0; j < n; ++j) {
+    for (Int p = a.pattern.col_ptr[j]; p < a.pattern.col_ptr[j + 1]; ++p) {
+      const Int i = a.pattern.row_idx[p];
+      if (i == j) continue;
+      const double v = pair_value(seed, i, j, symmetric);
+      a.values[static_cast<std::size_t>(p)] = v;
+      row_sum[static_cast<std::size_t>(i)] += std::fabs(v);
+      col_sum[static_cast<std::size_t>(j)] += std::fabs(v);
+    }
+  }
+
+  // Second pass: diagonal dominates both its row and its column, which keeps
+  // every Schur complement diagonally dominant -> unpivoted LU is stable.
+  for (Int j = 0; j < n; ++j) {
+    bool found_diag = false;
+    for (Int p = a.pattern.col_ptr[j]; p < a.pattern.col_ptr[j + 1]; ++p) {
+      if (a.pattern.row_idx[p] == j) {
+        const std::uint64_t h = hash_combine(seed ^ 0xd1a60ull,
+                                             static_cast<std::uint64_t>(j));
+        const double jitter = static_cast<double>(h >> 11) * 0x1.0p-53;
+        a.values[static_cast<std::size_t>(p)] =
+            1.0 + jitter +
+            std::max(row_sum[static_cast<std::size_t>(j)],
+                     col_sum[static_cast<std::size_t>(j)]);
+        found_diag = true;
+        break;
+      }
+    }
+    PSI_CHECK_MSG(found_diag, "pattern is missing diagonal entry " << j);
+  }
+}
+
+namespace {
+
+/// Shared scaffolding: build pattern from a node mesh where each node has
+/// `dofs` rows and nodes are coupled when `adjacent` says so. Every coupled
+/// node pair contributes a dense dofs x dofs block.
+template <typename NodeCount, typename ForEachNeighbor, typename NodeCoord>
+GeneratedMatrix build_block_mesh(NodeCount node_count, Int dofs,
+                                 ForEachNeighbor for_each_neighbor,
+                                 NodeCoord node_coord, std::uint64_t seed,
+                                 ValueKind values, std::string name) {
+  const Int nodes = node_count;
+  const Int n = nodes * dofs;
+  TripletBuilder builder(n);
+  for (Int node = 0; node < nodes; ++node) {
+    // Self block (dense, includes diagonal).
+    for (Int a = 0; a < dofs; ++a)
+      for (Int b = 0; b < dofs; ++b)
+        builder.add(node * dofs + a, node * dofs + b, 0.0);
+    // Neighbor blocks. The callback reports each neighbor once per direction;
+    // both (node, nb) and (nb, node) get emitted over the full loop since
+    // adjacency is symmetric.
+    for_each_neighbor(node, [&](Int nb) {
+      for (Int a = 0; a < dofs; ++a)
+        for (Int b = 0; b < dofs; ++b)
+          builder.add(node * dofs + a, nb * dofs + b, 0.0);
+    });
+  }
+
+  GeneratedMatrix out;
+  out.matrix = builder.compile();
+  assign_dd_values(out.matrix, seed, values);
+  out.coords.resize(static_cast<std::size_t>(n));
+  for (Int node = 0; node < nodes; ++node) {
+    const std::array<double, 3> c = node_coord(node);
+    for (Int a = 0; a < dofs; ++a)
+      out.coords[static_cast<std::size_t>(node * dofs + a)] = c;
+  }
+  out.name = std::move(name);
+  return out;
+}
+
+}  // namespace
+
+GeneratedMatrix laplacian2d(Int nx, Int ny, std::uint64_t seed, ValueKind values) {
+  PSI_CHECK(nx > 0 && ny > 0);
+  auto id = [=](Int x, Int y) { return x + nx * y; };
+  return build_block_mesh(
+      nx * ny, 1,
+      [=](Int node, auto&& emit) {
+        const Int x = node % nx, y = node / nx;
+        if (x > 0) emit(id(x - 1, y));
+        if (x + 1 < nx) emit(id(x + 1, y));
+        if (y > 0) emit(id(x, y - 1));
+        if (y + 1 < ny) emit(id(x, y + 1));
+      },
+      [=](Int node) {
+        return std::array<double, 3>{static_cast<double>(node % nx),
+                                     static_cast<double>(node / nx), 0.0};
+      },
+      seed, values,
+      "laplacian2d_" + std::to_string(nx) + "x" + std::to_string(ny));
+}
+
+GeneratedMatrix laplacian3d(Int nx, Int ny, Int nz, std::uint64_t seed,
+                            ValueKind values) {
+  PSI_CHECK(nx > 0 && ny > 0 && nz > 0);
+  auto id = [=](Int x, Int y, Int z) { return x + nx * (y + ny * z); };
+  return build_block_mesh(
+      nx * ny * nz, 1,
+      [=](Int node, auto&& emit) {
+        const Int x = node % nx, y = (node / nx) % ny, z = node / (nx * ny);
+        if (x > 0) emit(id(x - 1, y, z));
+        if (x + 1 < nx) emit(id(x + 1, y, z));
+        if (y > 0) emit(id(x, y - 1, z));
+        if (y + 1 < ny) emit(id(x, y + 1, z));
+        if (z > 0) emit(id(x, y, z - 1));
+        if (z + 1 < nz) emit(id(x, y, z + 1));
+      },
+      [=](Int node) {
+        return std::array<double, 3>{static_cast<double>(node % nx),
+                                     static_cast<double>((node / nx) % ny),
+                                     static_cast<double>(node / (nx * ny))};
+      },
+      seed, values,
+      "laplacian3d_" + std::to_string(nx) + "x" + std::to_string(ny) + "x" +
+          std::to_string(nz));
+}
+
+GeneratedMatrix fem3d(Int nx, Int ny, Int nz, Int dofs, std::uint64_t seed,
+                      ValueKind values) {
+  PSI_CHECK(nx > 0 && ny > 0 && nz > 0 && dofs > 0);
+  auto id = [=](Int x, Int y, Int z) { return x + nx * (y + ny * z); };
+  return build_block_mesh(
+      nx * ny * nz, dofs,
+      [=](Int node, auto&& emit) {
+        const Int x = node % nx, y = (node / nx) % ny, z = node / (nx * ny);
+        for (Int dz = -1; dz <= 1; ++dz)
+          for (Int dy = -1; dy <= 1; ++dy)
+            for (Int dx = -1; dx <= 1; ++dx) {
+              if (dx == 0 && dy == 0 && dz == 0) continue;
+              const Int X = x + dx, Y = y + dy, Z = z + dz;
+              if (X < 0 || X >= nx || Y < 0 || Y >= ny || Z < 0 || Z >= nz)
+                continue;
+              emit(id(X, Y, Z));
+            }
+      },
+      [=](Int node) {
+        return std::array<double, 3>{static_cast<double>(node % nx),
+                                     static_cast<double>((node / nx) % ny),
+                                     static_cast<double>(node / (nx * ny))};
+      },
+      seed, values,
+      "fem3d_" + std::to_string(nx) + "x" + std::to_string(ny) + "x" +
+          std::to_string(nz) + "_d" + std::to_string(dofs));
+}
+
+GeneratedMatrix dg2d(Int ex, Int ey, Int block, std::uint64_t seed,
+                     ValueKind values) {
+  PSI_CHECK(ex > 0 && ey > 0 && block > 0);
+  auto id = [=](Int x, Int y) { return x + ex * y; };
+  return build_block_mesh(
+      ex * ey, block,
+      [=](Int elem, auto&& emit) {
+        const Int x = elem % ex, y = elem / ex;
+        if (x > 0) emit(id(x - 1, y));
+        if (x + 1 < ex) emit(id(x + 1, y));
+        if (y > 0) emit(id(x, y - 1));
+        if (y + 1 < ey) emit(id(x, y + 1));
+      },
+      [=](Int elem) {
+        return std::array<double, 3>{static_cast<double>(elem % ex),
+                                     static_cast<double>(elem / ex), 0.0};
+      },
+      seed, values,
+      "dg2d_" + std::to_string(ex) + "x" + std::to_string(ey) + "_b" +
+          std::to_string(block));
+}
+
+GeneratedMatrix dg3d(Int ex, Int ey, Int ez, Int block, std::uint64_t seed,
+                     ValueKind values) {
+  PSI_CHECK(ex > 0 && ey > 0 && ez > 0 && block > 0);
+  auto id = [=](Int x, Int y, Int z) { return x + ex * (y + ey * z); };
+  return build_block_mesh(
+      ex * ey * ez, block,
+      [=](Int elem, auto&& emit) {
+        const Int x = elem % ex, y = (elem / ex) % ey, z = elem / (ex * ey);
+        if (x > 0) emit(id(x - 1, y, z));
+        if (x + 1 < ex) emit(id(x + 1, y, z));
+        if (y > 0) emit(id(x, y - 1, z));
+        if (y + 1 < ey) emit(id(x, y + 1, z));
+        if (z > 0) emit(id(x, y, z - 1));
+        if (z + 1 < ez) emit(id(x, y, z + 1));
+      },
+      [=](Int elem) {
+        return std::array<double, 3>{static_cast<double>(elem % ex),
+                                     static_cast<double>((elem / ex) % ey),
+                                     static_cast<double>(elem / (ex * ey))};
+      },
+      seed, values,
+      "dg3d_" + std::to_string(ex) + "x" + std::to_string(ey) + "x" +
+          std::to_string(ez) + "_b" + std::to_string(block));
+}
+
+GeneratedMatrix random_symmetric(Int n, double avg_degree, std::uint64_t seed,
+                                 ValueKind values) {
+  PSI_CHECK(n > 0);
+  PSI_CHECK(avg_degree >= 0.0);
+  Rng rng(seed);
+  TripletBuilder builder(n);
+  for (Int i = 0; i < n; ++i) builder.add(i, i, 0.0);
+  // Ring to guarantee connectivity, then random chords.
+  for (Int i = 0; i + 1 < n; ++i) {
+    builder.add(i, i + 1, 0.0);
+    builder.add(i + 1, i, 0.0);
+  }
+  const auto extra =
+      static_cast<Count>(std::max(0.0, (avg_degree - 2.0) * n / 2.0));
+  for (Count e = 0; e < extra; ++e) {
+    const Int i = static_cast<Int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    const Int j = static_cast<Int>(rng.uniform(static_cast<std::uint64_t>(n)));
+    if (i == j) continue;
+    builder.add(i, j, 0.0);
+    builder.add(j, i, 0.0);
+  }
+  GeneratedMatrix out;
+  out.matrix = builder.compile();
+  assign_dd_values(out.matrix, seed, values);
+  out.coords.assign(static_cast<std::size_t>(n), {0.0, 0.0, 0.0});
+  for (Int i = 0; i < n; ++i)
+    out.coords[static_cast<std::size_t>(i)][0] = static_cast<double>(i);
+  out.name = "random_symmetric_" + std::to_string(n);
+  return out;
+}
+
+}  // namespace psi

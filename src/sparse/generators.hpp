@@ -1,0 +1,83 @@
+/// \file generators.hpp
+/// \brief Synthetic test-matrix generators.
+///
+/// The paper's evaluation matrices are DFT Hamiltonians from a discontinuous
+/// Galerkin (DG) discretization (DG_PNF14000, DG_Graphene_32768,
+/// DG_Water_12888, LU_C_BN_C_4by2 — "relatively dense", block-structured) and
+/// 3-D finite-element matrices from the UF collection (audikw_1, Flan_1565 —
+/// "relatively sparse"). These generators produce laptop-scale matrices with
+/// the same structural character:
+///
+///  * dg2d / dg3d — a mesh of elements, each carrying a dense `block x block`
+///    diagonal block plus dense coupling blocks to face neighbors. High fill
+///    density, large supernodes, heavy communication volume.
+///  * fem3d — a nodal hexahedral mesh (27-point stencil) with `dofs`
+///    unknowns per node (audikw_1 is solid mechanics: 3 dofs/node). Sparse,
+///    communication/computation ratio limits scalability.
+///  * laplacian2d/3d — classic stencils for unit tests.
+///
+/// Values are symmetric and strictly diagonally dominant so the unpivoted
+/// factorization used throughout the repo is numerically safe; an
+/// unsymmetric-values-over-symmetric-pattern variant exercises the paper's
+/// declared extension.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/sparse_matrix.hpp"
+#include "sparse/types.hpp"
+
+namespace psi {
+
+/// A generated matrix plus per-row mesh coordinates (for geometric nested
+/// dissection) and a human-readable name.
+struct GeneratedMatrix {
+  SparseMatrix matrix;
+  std::vector<std::array<double, 3>> coords;  ///< one per matrix row
+  std::string name;
+};
+
+/// Value symmetry of the generated numerical values.
+enum class ValueKind {
+  kSymmetric,    ///< A = A^T, strictly diagonally dominant
+  kUnsymmetric,  ///< symmetric pattern, unsymmetric values, diag-dominant
+};
+
+/// 5-point Laplacian on an nx x ny grid (n = nx*ny).
+GeneratedMatrix laplacian2d(Int nx, Int ny, std::uint64_t seed = 1,
+                            ValueKind values = ValueKind::kSymmetric);
+
+/// 7-point Laplacian on an nx x ny x nz grid.
+GeneratedMatrix laplacian3d(Int nx, Int ny, Int nz, std::uint64_t seed = 1,
+                            ValueKind values = ValueKind::kSymmetric);
+
+/// 3-D hexahedral nodal mesh, 27-point node adjacency, `dofs` unknowns per
+/// node (n = nx*ny*nz*dofs). audikw_1/Flan_1565 character.
+GeneratedMatrix fem3d(Int nx, Int ny, Int nz, Int dofs, std::uint64_t seed = 1,
+                      ValueKind values = ValueKind::kSymmetric);
+
+/// 2-D DG mesh: ex x ey elements, dense block x block self-coupling plus
+/// dense coupling to 4 edge neighbors (n = ex*ey*block). DG_PNF14000 /
+/// DG_Graphene character.
+GeneratedMatrix dg2d(Int ex, Int ey, Int block, std::uint64_t seed = 1,
+                     ValueKind values = ValueKind::kSymmetric);
+
+/// 3-D DG mesh: ex x ey x ez elements, 6 face neighbors (n = ex*ey*ez*block).
+/// DG_Water / LU_C_BN_C character.
+GeneratedMatrix dg3d(Int ex, Int ey, Int ez, Int block, std::uint64_t seed = 1,
+                     ValueKind values = ValueKind::kSymmetric);
+
+/// Random connected structurally symmetric matrix with approximately
+/// `avg_degree` off-diagonals per row (for property tests; coordinates are
+/// synthetic and unusable for geometric ND).
+GeneratedMatrix random_symmetric(Int n, double avg_degree, std::uint64_t seed,
+                                 ValueKind values = ValueKind::kSymmetric);
+
+/// Assigns deterministic diagonally-dominant values onto an existing
+/// symmetric pattern (used by all generators; exposed for tests).
+void assign_dd_values(SparseMatrix& a, std::uint64_t seed, ValueKind values);
+
+}  // namespace psi

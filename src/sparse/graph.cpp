@@ -1,0 +1,139 @@
+#include "sparse/graph.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.hpp"
+
+namespace psi {
+
+Graph::Graph(const SparsityPattern& pattern) {
+  n_ = pattern.n;
+  adj_ptr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  // Count off-diagonal entries per column (pattern is symmetric so the
+  // column structure doubles as the row structure).
+  for (Int j = 0; j < n_; ++j) {
+    Int deg = 0;
+    for (Int p = pattern.col_ptr[j]; p < pattern.col_ptr[j + 1]; ++p)
+      if (pattern.row_idx[p] != j) ++deg;
+    adj_ptr_[static_cast<std::size_t>(j) + 1] = deg;
+  }
+  for (Int j = 0; j < n_; ++j)
+    adj_ptr_[static_cast<std::size_t>(j) + 1] += adj_ptr_[static_cast<std::size_t>(j)];
+  adj_.resize(static_cast<std::size_t>(adj_ptr_[static_cast<std::size_t>(n_)]));
+  std::vector<Int> next(adj_ptr_.begin(), adj_ptr_.end() - 1);
+  for (Int j = 0; j < n_; ++j)
+    for (Int p = pattern.col_ptr[j]; p < pattern.col_ptr[j + 1]; ++p) {
+      const Int i = pattern.row_idx[p];
+      if (i != j) adj_[static_cast<std::size_t>(next[static_cast<std::size_t>(j)]++)] = i;
+    }
+}
+
+Graph::Graph(Int n, std::vector<Int> adj_ptr, std::vector<Int> adj)
+    : n_(n), adj_ptr_(std::move(adj_ptr)), adj_(std::move(adj)) {
+  PSI_CHECK(adj_ptr_.size() == static_cast<std::size_t>(n_) + 1);
+  PSI_CHECK(adj_ptr_.back() == static_cast<Int>(adj_.size()));
+}
+
+Graph Graph::induced_subgraph(const std::vector<Int>& vertices,
+                              std::vector<Int>& local_of) const {
+  local_of.assign(static_cast<std::size_t>(n_), -1);
+  for (std::size_t k = 0; k < vertices.size(); ++k)
+    local_of[static_cast<std::size_t>(vertices[k])] = static_cast<Int>(k);
+
+  std::vector<Int> ptr(vertices.size() + 1, 0);
+  std::vector<Int> adj;
+  for (std::size_t k = 0; k < vertices.size(); ++k) {
+    const Int v = vertices[k];
+    for (const Int* u = neighbors_begin(v); u != neighbors_end(v); ++u) {
+      const Int lu = local_of[static_cast<std::size_t>(*u)];
+      if (lu >= 0) adj.push_back(lu);
+    }
+    // Local ids are not monotone in global ids when `vertices` is unsorted;
+    // restore the sorted-neighbors invariant every Graph guarantees.
+    std::sort(adj.begin() + ptr[k], adj.end());
+    ptr[k + 1] = static_cast<Int>(adj.size());
+  }
+  return Graph(static_cast<Int>(vertices.size()), std::move(ptr), std::move(adj));
+}
+
+LevelStructure bfs_levels(const Graph& g, Int root,
+                          const std::vector<Int>& mask, Int mask_value) {
+  PSI_CHECK(root >= 0 && root < g.n());
+  PSI_CHECK(mask.empty() || static_cast<Int>(mask.size()) == g.n());
+  auto in_mask = [&](Int v) {
+    return mask.empty() || mask[static_cast<std::size_t>(v)] == mask_value;
+  };
+  PSI_CHECK(in_mask(root));
+
+  LevelStructure ls;
+  ls.level.assign(static_cast<std::size_t>(g.n()), -1);
+  ls.order.reserve(static_cast<std::size_t>(g.n()));
+  std::queue<Int> q;
+  q.push(root);
+  ls.level[static_cast<std::size_t>(root)] = 0;
+  while (!q.empty()) {
+    const Int v = q.front();
+    q.pop();
+    ls.order.push_back(v);
+    ls.depth = std::max(ls.depth, ls.level[static_cast<std::size_t>(v)] + 1);
+    for (const Int* u = g.neighbors_begin(v); u != g.neighbors_end(v); ++u) {
+      if (!in_mask(*u)) continue;
+      if (ls.level[static_cast<std::size_t>(*u)] < 0) {
+        ls.level[static_cast<std::size_t>(*u)] =
+            ls.level[static_cast<std::size_t>(v)] + 1;
+        q.push(*u);
+      }
+    }
+  }
+  return ls;
+}
+
+Int pseudo_peripheral_vertex(const Graph& g, Int seed,
+                             const std::vector<Int>& mask, Int mask_value) {
+  Int v = seed;
+  LevelStructure ls = bfs_levels(g, v, mask, mask_value);
+  for (int iter = 0; iter < 8; ++iter) {
+    // Pick a minimum-degree vertex in the last level.
+    Int best = -1;
+    Int best_deg = 0;
+    for (Int u : ls.order) {
+      if (ls.level[static_cast<std::size_t>(u)] != ls.depth - 1) continue;
+      if (best < 0 || g.degree(u) < best_deg) {
+        best = u;
+        best_deg = g.degree(u);
+      }
+    }
+    if (best < 0 || best == v) break;
+    LevelStructure next = bfs_levels(g, best, mask, mask_value);
+    if (next.depth <= ls.depth) break;
+    v = best;
+    ls = std::move(next);
+  }
+  return v;
+}
+
+std::vector<Int> connected_components(const Graph& g, Int& component_count) {
+  std::vector<Int> comp(static_cast<std::size_t>(g.n()), -1);
+  component_count = 0;
+  std::vector<Int> stack;
+  for (Int s = 0; s < g.n(); ++s) {
+    if (comp[static_cast<std::size_t>(s)] >= 0) continue;
+    stack.push_back(s);
+    comp[static_cast<std::size_t>(s)] = component_count;
+    while (!stack.empty()) {
+      const Int v = stack.back();
+      stack.pop_back();
+      for (const Int* u = g.neighbors_begin(v); u != g.neighbors_end(v); ++u) {
+        if (comp[static_cast<std::size_t>(*u)] < 0) {
+          comp[static_cast<std::size_t>(*u)] = component_count;
+          stack.push_back(*u);
+        }
+      }
+    }
+    ++component_count;
+  }
+  return comp;
+}
+
+}  // namespace psi

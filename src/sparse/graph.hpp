@@ -1,0 +1,61 @@
+/// \file graph.hpp
+/// \brief Undirected adjacency graph of a structurally symmetric pattern,
+/// plus the traversals used by the ordering heuristics (RCM level sets,
+/// pseudo-peripheral vertices, connected components, BFS-based bisection).
+#pragma once
+
+#include <vector>
+
+#include "sparse/sparse_matrix.hpp"
+#include "sparse/types.hpp"
+
+namespace psi {
+
+/// Adjacency lists (no self loops), derived from a symmetric pattern.
+class Graph {
+ public:
+  Graph() = default;
+  /// Builds from a structurally symmetric pattern; self loops are dropped.
+  explicit Graph(const SparsityPattern& pattern);
+  /// Builds from explicit adjacency (must already be symmetric, no loops).
+  Graph(Int n, std::vector<Int> adj_ptr, std::vector<Int> adj);
+
+  Int n() const { return n_; }
+  Count edge_count() const { return static_cast<Count>(adj_.size()) / 2; }
+
+  Int degree(Int v) const { return adj_ptr_[v + 1] - adj_ptr_[v]; }
+  const Int* neighbors_begin(Int v) const { return adj_.data() + adj_ptr_[v]; }
+  const Int* neighbors_end(Int v) const { return adj_.data() + adj_ptr_[v + 1]; }
+
+  /// Subgraph induced by `vertices`; `local_of` maps original->local (-1
+  /// outside). Returned alongside the vertex list (local->original).
+  Graph induced_subgraph(const std::vector<Int>& vertices,
+                         std::vector<Int>& local_of) const;
+
+ private:
+  Int n_ = 0;
+  std::vector<Int> adj_ptr_;
+  std::vector<Int> adj_;
+};
+
+/// BFS level structure rooted at `root`, restricted to vertices with
+/// mask[v] == mask_value. Returns levels (level[v] = -1 if unreached) and the
+/// visit order.
+struct LevelStructure {
+  std::vector<Int> level;
+  std::vector<Int> order;
+  Int depth = 0;  ///< number of levels
+};
+
+LevelStructure bfs_levels(const Graph& g, Int root,
+                          const std::vector<Int>& mask, Int mask_value);
+
+/// Vertex far from everything (George-Liu heuristic), restricted to the
+/// masked component containing `seed`.
+Int pseudo_peripheral_vertex(const Graph& g, Int seed,
+                             const std::vector<Int>& mask, Int mask_value);
+
+/// Connected components: returns component id per vertex and the count.
+std::vector<Int> connected_components(const Graph& g, Int& component_count);
+
+}  // namespace psi

@@ -1,0 +1,90 @@
+#include "sparse/matrix_market.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace psi {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+SparseMatrix read_matrix_market(std::istream& in) {
+  std::string line;
+  PSI_CHECK_MSG(std::getline(in, line), "matrix market: empty stream");
+  std::istringstream header(line);
+  std::string banner, object, format, field, symmetry;
+  header >> banner >> object >> format >> field >> symmetry;
+  PSI_CHECK_MSG(banner == "%%MatrixMarket", "matrix market: bad banner: " << banner);
+  PSI_CHECK_MSG(lower(object) == "matrix", "matrix market: unsupported object");
+  PSI_CHECK_MSG(lower(format) == "coordinate",
+                "matrix market: only coordinate format supported");
+  const std::string f = lower(field);
+  PSI_CHECK_MSG(f == "real" || f == "integer" || f == "pattern",
+                "matrix market: unsupported field " << field);
+  const std::string sym = lower(symmetry);
+  PSI_CHECK_MSG(sym == "general" || sym == "symmetric",
+                "matrix market: unsupported symmetry " << symmetry);
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  long rows = 0, cols = 0, entries = 0;
+  dims >> rows >> cols >> entries;
+  PSI_CHECK_MSG(rows > 0 && cols > 0 && entries >= 0,
+                "matrix market: bad size line: " << line);
+  PSI_CHECK_MSG(rows == cols, "matrix market: only square matrices supported");
+
+  TripletBuilder builder(static_cast<Int>(rows));
+  for (long e = 0; e < entries; ++e) {
+    PSI_CHECK_MSG(std::getline(in, line), "matrix market: truncated entry list");
+    std::istringstream es(line);
+    long i = 0, j = 0;
+    double v = 1.0;
+    es >> i >> j;
+    if (f != "pattern") es >> v;
+    PSI_CHECK_MSG(i >= 1 && i <= rows && j >= 1 && j <= cols,
+                  "matrix market: entry out of range: " << line);
+    if (sym == "symmetric")
+      builder.add_symmetric(static_cast<Int>(i - 1), static_cast<Int>(j - 1), v);
+    else
+      builder.add(static_cast<Int>(i - 1), static_cast<Int>(j - 1), v);
+  }
+  return builder.compile();
+}
+
+SparseMatrix read_matrix_market_file(const std::string& path) {
+  std::ifstream in(path);
+  PSI_CHECK_MSG(in.good(), "cannot open matrix market file: " << path);
+  return read_matrix_market(in);
+}
+
+void write_matrix_market(std::ostream& out, const SparseMatrix& a) {
+  out.precision(17);  // round-trip exact doubles
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << a.n() << ' ' << a.n() << ' ' << a.nnz() << '\n';
+  for (Int j = 0; j < a.n(); ++j)
+    for (Int p = a.pattern.col_ptr[j]; p < a.pattern.col_ptr[j + 1]; ++p)
+      out << a.pattern.row_idx[p] + 1 << ' ' << j + 1 << ' '
+          << a.values[static_cast<std::size_t>(p)] << '\n';
+}
+
+void write_matrix_market_file(const std::string& path, const SparseMatrix& a) {
+  std::ofstream out(path);
+  PSI_CHECK_MSG(out.good(), "cannot open file for writing: " << path);
+  write_matrix_market(out, a);
+}
+
+}  // namespace psi

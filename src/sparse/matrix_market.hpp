@@ -1,0 +1,27 @@
+/// \file matrix_market.hpp
+/// \brief Matrix Market (coordinate, real) reader/writer.
+///
+/// The paper evaluates matrices from the University of Florida collection
+/// (audikw_1, Flan_1565). Those files are not shipped here, but this reader
+/// lets a user with network access drop the .mtx files in and run every bench
+/// on the genuine inputs; the test suite round-trips generated matrices.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/sparse_matrix.hpp"
+
+namespace psi {
+
+/// Reads a Matrix Market "matrix coordinate real {general|symmetric}" file.
+/// Symmetric storage is expanded to both triangles. Throws psi::Error on
+/// malformed input.
+SparseMatrix read_matrix_market(std::istream& in);
+SparseMatrix read_matrix_market_file(const std::string& path);
+
+/// Writes coordinate/real/general format (full pattern).
+void write_matrix_market(std::ostream& out, const SparseMatrix& a);
+void write_matrix_market_file(const std::string& path, const SparseMatrix& a);
+
+}  // namespace psi

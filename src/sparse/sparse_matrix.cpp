@@ -1,0 +1,174 @@
+#include "sparse/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace psi {
+
+void SparsityPattern::validate() const {
+  PSI_CHECK(n >= 0);
+  PSI_CHECK_MSG(col_ptr.size() == static_cast<std::size_t>(n) + 1,
+                "col_ptr size " << col_ptr.size() << " != n+1 = " << n + 1);
+  PSI_CHECK(col_ptr.front() == 0);
+  PSI_CHECK(col_ptr.back() == static_cast<Int>(row_idx.size()));
+  for (Int j = 0; j < n; ++j) {
+    PSI_CHECK_MSG(col_ptr[j] <= col_ptr[j + 1], "col_ptr not monotone at " << j);
+    for (Int p = col_ptr[j]; p < col_ptr[j + 1]; ++p) {
+      PSI_CHECK_MSG(row_idx[p] >= 0 && row_idx[p] < n,
+                    "row index out of range in column " << j);
+      if (p > col_ptr[j])
+        PSI_CHECK_MSG(row_idx[p - 1] < row_idx[p],
+                      "row indices not strictly ascending in column " << j);
+    }
+  }
+}
+
+bool SparsityPattern::has_entry(Int row, Int col) const {
+  PSI_ASSERT(col >= 0 && col < n);
+  const auto begin = row_idx.begin() + col_ptr[col];
+  const auto end = row_idx.begin() + col_ptr[col + 1];
+  return std::binary_search(begin, end, row);
+}
+
+bool SparsityPattern::is_structurally_symmetric() const {
+  for (Int j = 0; j < n; ++j)
+    for (Int p = col_ptr[j]; p < col_ptr[j + 1]; ++p)
+      if (!has_entry(j, row_idx[p])) return false;
+  return true;
+}
+
+SparsityPattern SparsityPattern::symmetrized() const {
+  std::vector<std::vector<Int>> cols(static_cast<std::size_t>(n));
+  for (Int j = 0; j < n; ++j) {
+    for (Int p = col_ptr[j]; p < col_ptr[j + 1]; ++p) {
+      const Int i = row_idx[p];
+      cols[static_cast<std::size_t>(j)].push_back(i);
+      if (i != j) cols[static_cast<std::size_t>(i)].push_back(j);
+    }
+  }
+  SparsityPattern out;
+  out.n = n;
+  out.col_ptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (Int j = 0; j < n; ++j) {
+    auto& c = cols[static_cast<std::size_t>(j)];
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    out.col_ptr[static_cast<std::size_t>(j) + 1] =
+        out.col_ptr[static_cast<std::size_t>(j)] + static_cast<Int>(c.size());
+    out.row_idx.insert(out.row_idx.end(), c.begin(), c.end());
+  }
+  return out;
+}
+
+void SparseMatrix::validate() const {
+  pattern.validate();
+  PSI_CHECK_MSG(values.size() == pattern.row_idx.size(),
+                "values size " << values.size() << " != nnz " << pattern.nnz());
+}
+
+double SparseMatrix::value_at(Int row, Int col) const {
+  PSI_ASSERT(col >= 0 && col < pattern.n);
+  const auto begin = pattern.row_idx.begin() + pattern.col_ptr[col];
+  const auto end = pattern.row_idx.begin() + pattern.col_ptr[col + 1];
+  const auto it = std::lower_bound(begin, end, row);
+  if (it == end || *it != row) return 0.0;
+  return values[static_cast<std::size_t>(it - pattern.row_idx.begin())];
+}
+
+std::vector<double> SparseMatrix::to_dense_rowmajor() const {
+  const auto n = static_cast<std::size_t>(pattern.n);
+  std::vector<double> dense(n * n, 0.0);
+  for (Int j = 0; j < pattern.n; ++j)
+    for (Int p = pattern.col_ptr[j]; p < pattern.col_ptr[j + 1]; ++p)
+      dense[static_cast<std::size_t>(pattern.row_idx[p]) * n +
+            static_cast<std::size_t>(j)] = values[static_cast<std::size_t>(p)];
+  return dense;
+}
+
+void SparseMatrix::multiply(const std::vector<double>& x, std::vector<double>& y) const {
+  PSI_CHECK(static_cast<Int>(x.size()) == pattern.n);
+  y.assign(static_cast<std::size_t>(pattern.n), 0.0);
+  for (Int j = 0; j < pattern.n; ++j) {
+    const double xj = x[static_cast<std::size_t>(j)];
+    for (Int p = pattern.col_ptr[j]; p < pattern.col_ptr[j + 1]; ++p)
+      y[static_cast<std::size_t>(pattern.row_idx[p])] +=
+          values[static_cast<std::size_t>(p)] * xj;
+  }
+}
+
+TripletBuilder::TripletBuilder(Int n) : n_(n) { PSI_CHECK(n >= 0); }
+
+void TripletBuilder::add(Int row, Int col, double value) {
+  PSI_CHECK_MSG(row >= 0 && row < n_ && col >= 0 && col < n_,
+                "triplet (" << row << "," << col << ") out of range for n=" << n_);
+  rows_.push_back(row);
+  cols_.push_back(col);
+  vals_.push_back(value);
+}
+
+void TripletBuilder::add_symmetric(Int row, Int col, double value) {
+  add(row, col, value);
+  if (row != col) add(col, row, value);
+}
+
+SparseMatrix TripletBuilder::compile() const {
+  // Counting sort by column, then sort each column segment by row and merge
+  // duplicates.
+  SparseMatrix out;
+  out.pattern.n = n_;
+  std::vector<Int> counts(static_cast<std::size_t>(n_) + 1, 0);
+  for (Int c : cols_) ++counts[static_cast<std::size_t>(c) + 1];
+  for (Int j = 0; j < n_; ++j)
+    counts[static_cast<std::size_t>(j) + 1] += counts[static_cast<std::size_t>(j)];
+
+  std::vector<Int> next(counts.begin(), counts.end() - 1);
+  std::vector<Int> row_tmp(rows_.size());
+  std::vector<double> val_tmp(vals_.size());
+  for (std::size_t t = 0; t < rows_.size(); ++t) {
+    const auto slot = static_cast<std::size_t>(next[static_cast<std::size_t>(cols_[t])]++);
+    row_tmp[slot] = rows_[t];
+    val_tmp[slot] = vals_[t];
+  }
+
+  out.pattern.col_ptr.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (Int j = 0; j < n_; ++j) {
+    const auto begin = static_cast<std::size_t>(counts[static_cast<std::size_t>(j)]);
+    const auto end = static_cast<std::size_t>(counts[static_cast<std::size_t>(j) + 1]);
+    std::vector<std::size_t> order(end - begin);
+    std::iota(order.begin(), order.end(), begin);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return row_tmp[a] < row_tmp[b];
+    });
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      const Int row = row_tmp[order[k]];
+      const double val = val_tmp[order[k]];
+      if (!out.pattern.row_idx.empty() &&
+          out.pattern.col_ptr[static_cast<std::size_t>(j)] !=
+              static_cast<Int>(out.pattern.row_idx.size()) &&
+          out.pattern.row_idx.back() == row) {
+        out.values.back() += val;  // duplicate: accumulate
+      } else {
+        out.pattern.row_idx.push_back(row);
+        out.values.push_back(val);
+      }
+    }
+    out.pattern.col_ptr[static_cast<std::size_t>(j) + 1] =
+        static_cast<Int>(out.pattern.row_idx.size());
+  }
+  return out;
+}
+
+SparseMatrix permute_symmetric(const SparseMatrix& a, const std::vector<Int>& perm) {
+  PSI_CHECK(static_cast<Int>(perm.size()) == a.n());
+  TripletBuilder builder(a.n());
+  for (Int j = 0; j < a.n(); ++j)
+    for (Int p = a.pattern.col_ptr[j]; p < a.pattern.col_ptr[j + 1]; ++p)
+      builder.add(perm[static_cast<std::size_t>(a.pattern.row_idx[p])],
+                  perm[static_cast<std::size_t>(j)],
+                  a.values[static_cast<std::size_t>(p)]);
+  return builder.compile();
+}
+
+}  // namespace psi

@@ -1,0 +1,86 @@
+/// \file sparse_matrix.hpp
+/// \brief Compressed sparse column structures.
+///
+/// The whole selected-inversion stack (ordering, symbolic factorization,
+/// numeric factorization) operates on structurally symmetric matrices — the
+/// regime of the paper (its implementation handles symmetric matrices; values
+/// may optionally be unsymmetric over the symmetric pattern, which is the
+/// paper's declared work-in-progress extension and is implemented here).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace psi {
+
+/// Column-compressed sparsity pattern with sorted row indices per column.
+struct SparsityPattern {
+  Int n = 0;
+  std::vector<Int> col_ptr;  ///< size n+1
+  std::vector<Int> row_idx;  ///< size nnz, ascending within each column
+
+  Count nnz() const { return static_cast<Count>(row_idx.size()); }
+
+  /// Validates monotone col_ptr, in-range and sorted row indices.
+  void validate() const;
+
+  /// True if for every entry (i,j) the entry (j,i) also exists.
+  bool is_structurally_symmetric() const;
+
+  /// Returns the pattern of A + A^T (structural symmetrization).
+  SparsityPattern symmetrized() const;
+
+  /// True if entry (row, col) is present (binary search).
+  bool has_entry(Int row, Int col) const;
+};
+
+/// CSC matrix: pattern plus one value per stored entry.
+struct SparseMatrix {
+  SparsityPattern pattern;
+  std::vector<double> values;
+
+  Int n() const { return pattern.n; }
+  Count nnz() const { return pattern.nnz(); }
+
+  void validate() const;
+
+  /// Value at (row, col); 0 when the entry is not stored.
+  double value_at(Int row, Int col) const;
+
+  /// Dense expansion (small matrices only; for tests).
+  std::vector<double> to_dense_rowmajor() const;
+
+  /// y <- A x (for residual checks in tests).
+  void multiply(const std::vector<double>& x, std::vector<double>& y) const;
+};
+
+/// Triplet accumulator; duplicate entries are summed on compile().
+class TripletBuilder {
+ public:
+  explicit TripletBuilder(Int n);
+
+  void add(Int row, Int col, double value);
+  /// add (r,c,v) and (c,r,v); diagonal added once.
+  void add_symmetric(Int row, Int col, double value);
+
+  Int n() const { return n_; }
+  std::size_t triplet_count() const { return rows_.size(); }
+
+  /// Builds the CSC matrix (sorted, deduplicated).
+  SparseMatrix compile() const;
+
+ private:
+  Int n_;
+  std::vector<Int> rows_;
+  std::vector<Int> cols_;
+  std::vector<double> vals_;
+};
+
+/// Permuted matrix B = P A P^T where perm maps old index -> new index,
+/// i.e. B(perm[i], perm[j]) = A(i, j). Requires a structurally symmetric A
+/// for the downstream pipeline but works for any pattern.
+SparseMatrix permute_symmetric(const SparseMatrix& a, const std::vector<Int>& perm);
+
+}  // namespace psi

@@ -1,0 +1,16 @@
+/// \file types.hpp
+/// \brief Fundamental index/size types for the sparse stack.
+#pragma once
+
+#include <cstdint>
+
+namespace psi {
+
+/// Matrix/graph index. 32 bits: problem sizes in this repo stay far below
+/// 2^31 rows; communication byte counts use std::int64_t/double instead.
+using Int = std::int32_t;
+
+/// Byte counts, flop counts, message counts.
+using Count = std::int64_t;
+
+}  // namespace psi

@@ -1,0 +1,48 @@
+/// \file analysis.hpp
+/// \brief One-call symbolic analysis pipeline.
+///
+/// Mirrors the pre-processing the paper delegates to SuperLU_DIST: fill
+/// ordering, elimination-tree postordering, supernode detection, and the
+/// supernodal block structure that PSelInv's communication plan is built
+/// from.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "ordering/ordering.hpp"
+#include "ordering/permutation.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/sparse_matrix.hpp"
+#include "symbolic/etree.hpp"
+#include "symbolic/supernodes.hpp"
+
+namespace psi {
+
+struct AnalysisOptions {
+  OrderingOptions ordering;
+  SupernodeOptions supernodes;
+};
+
+/// Result of the symbolic pipeline. `matrix` is the input permuted by
+/// `perm` (fill ordering composed with the etree postorder); all downstream
+/// indices (supernodes, blocks) refer to this permuted matrix.
+struct SymbolicAnalysis {
+  SparseMatrix matrix;        ///< P A P^T, postordered
+  Permutation perm;           ///< old index -> new index
+  std::vector<Int> etree;     ///< scalar elimination tree of `matrix`
+  std::vector<Int> counts;    ///< scalar column counts of L
+  BlockStructure blocks;      ///< supernodal block structure
+
+  Count scalar_factor_nnz() const { return factor_nnz(counts); }
+};
+
+/// Runs the full pipeline on a structurally symmetric matrix. `coords` (one
+/// per row) are required only for geometric dissection.
+SymbolicAnalysis analyze(const SparseMatrix& a, const AnalysisOptions& options,
+                         const std::vector<std::array<double, 3>>& coords = {});
+
+/// Convenience overload for generated matrices.
+SymbolicAnalysis analyze(const GeneratedMatrix& gen, const AnalysisOptions& options);
+
+}  // namespace psi

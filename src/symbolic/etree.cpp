@@ -1,0 +1,145 @@
+#include "symbolic/etree.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace psi {
+
+std::vector<Int> elimination_tree(const SparsityPattern& pattern) {
+  const Int n = pattern.n;
+  std::vector<Int> parent(static_cast<std::size_t>(n), -1);
+  std::vector<Int> ancestor(static_cast<std::size_t>(n), -1);  // path compression
+  for (Int j = 0; j < n; ++j) {
+    for (Int p = pattern.col_ptr[j]; p < pattern.col_ptr[j + 1]; ++p) {
+      Int i = pattern.row_idx[p];
+      if (i >= j) continue;  // lower triangle of column j == row j entries i<j
+      // Walk up from i to the current root, compressing to j.
+      while (i != -1 && i < j) {
+        const Int next = ancestor[static_cast<std::size_t>(i)];
+        ancestor[static_cast<std::size_t>(i)] = j;
+        if (next == -1) {
+          parent[static_cast<std::size_t>(i)] = j;
+          break;
+        }
+        i = next;
+      }
+    }
+  }
+  return parent;
+}
+
+std::vector<Int> tree_postorder(const std::vector<Int>& parent) {
+  const auto n = static_cast<Int>(parent.size());
+  // Build child lists (in ascending order so the postorder is deterministic).
+  std::vector<Int> head(static_cast<std::size_t>(n), -1);
+  std::vector<Int> next(static_cast<std::size_t>(n), -1);
+  std::vector<Int> roots;
+  for (Int j = n - 1; j >= 0; --j) {
+    const Int p = parent[static_cast<std::size_t>(j)];
+    if (p < 0) {
+      roots.push_back(j);
+    } else {
+      next[static_cast<std::size_t>(j)] = head[static_cast<std::size_t>(p)];
+      head[static_cast<std::size_t>(p)] = j;
+    }
+  }
+  std::sort(roots.begin(), roots.end(), std::greater<Int>());
+
+  std::vector<Int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<Int> stack;
+  std::vector<Int> child_iter(head);  // next unvisited child per node
+  for (Int root : roots) {
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const Int v = stack.back();
+      const Int c = child_iter[static_cast<std::size_t>(v)];
+      if (c != -1) {
+        child_iter[static_cast<std::size_t>(v)] = next[static_cast<std::size_t>(c)];
+        stack.push_back(c);
+      } else {
+        order.push_back(v);
+        stack.pop_back();
+      }
+    }
+  }
+  PSI_CHECK(static_cast<Int>(order.size()) == n);
+  return order;
+}
+
+bool is_postordered(const std::vector<Int>& parent) {
+  const auto n = static_cast<Int>(parent.size());
+  // A forest is postordered iff every subtree occupies the contiguous index
+  // interval [root - size + 1, root]. Accumulate subtree sizes and minimum
+  // descendants bottom-up (valid because we also require parent > child).
+  std::vector<Int> first_descendant(static_cast<std::size_t>(n));
+  std::iota(first_descendant.begin(), first_descendant.end(), 0);
+  std::vector<Int> subtree_size(static_cast<std::size_t>(n), 1);
+  for (Int j = 0; j < n; ++j) {
+    const Int p = parent[static_cast<std::size_t>(j)];
+    if (p < 0) continue;
+    if (p <= j) return false;
+    first_descendant[static_cast<std::size_t>(p)] =
+        std::min(first_descendant[static_cast<std::size_t>(p)],
+                 first_descendant[static_cast<std::size_t>(j)]);
+    subtree_size[static_cast<std::size_t>(p)] += subtree_size[static_cast<std::size_t>(j)];
+  }
+  for (Int j = 0; j < n; ++j)
+    if (first_descendant[static_cast<std::size_t>(j)] !=
+        j - subtree_size[static_cast<std::size_t>(j)] + 1)
+      return false;
+  return true;
+}
+
+std::vector<Int> column_counts(const SparsityPattern& pattern,
+                               const std::vector<Int>& parent) {
+  const Int n = pattern.n;
+  PSI_CHECK(static_cast<Int>(parent.size()) == n);
+  // struct_of[j]: row indices of L_{:,j} strictly below j; freed once merged
+  // into the parent.
+  std::vector<std::vector<Int>> struct_of(static_cast<std::size_t>(n));
+  std::vector<std::vector<Int>> pending_children(static_cast<std::size_t>(n));
+  std::vector<Int> counts(static_cast<std::size_t>(n), 0);
+  std::vector<Int> merge_buffer;
+
+  for (Int j = 0; j < n; ++j) {
+    // Start from the strictly-lower entries of A's column j.
+    std::vector<Int> cur;
+    for (Int p = pattern.col_ptr[j]; p < pattern.col_ptr[j + 1]; ++p)
+      if (pattern.row_idx[p] > j) cur.push_back(pattern.row_idx[p]);
+    // cur is sorted (pattern invariant). Merge child structures.
+    for (Int c : pending_children[static_cast<std::size_t>(j)]) {
+      auto& cs = struct_of[static_cast<std::size_t>(c)];
+      // Drop entries <= j (only j itself can remain; children's structs hold
+      // rows > c, and parent(c) == j means j = min row of struct(c)).
+      merge_buffer.clear();
+      merge_buffer.reserve(cur.size() + cs.size());
+      std::merge(cur.begin(), cur.end(),
+                 std::lower_bound(cs.begin(), cs.end(), j + 1), cs.end(),
+                 std::back_inserter(merge_buffer));
+      merge_buffer.erase(std::unique(merge_buffer.begin(), merge_buffer.end()),
+                         merge_buffer.end());
+      cur.swap(merge_buffer);
+      cs.clear();
+      cs.shrink_to_fit();
+    }
+    counts[static_cast<std::size_t>(j)] = static_cast<Int>(cur.size()) + 1;  // + diagonal
+    const Int p = parent[static_cast<std::size_t>(j)];
+    if (p >= 0) {
+      PSI_CHECK_MSG(p > j, "column_counts requires a postordered pattern");
+      pending_children[static_cast<std::size_t>(p)].push_back(j);
+      struct_of[static_cast<std::size_t>(j)] = std::move(cur);
+    }
+  }
+  return counts;
+}
+
+Count factor_nnz(const std::vector<Int>& counts) {
+  Count total = 0;
+  for (Int c : counts) total += c;
+  return total;
+}
+
+}  // namespace psi

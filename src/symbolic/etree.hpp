@@ -1,0 +1,38 @@
+/// \file etree.hpp
+/// \brief Elimination tree machinery (Liu 1990, reference [19] of the paper).
+///
+/// The elimination tree drives everything downstream: postordering (so
+/// supernodes are contiguous), column counts (supernode detection), and the
+/// coarse-grained concurrency PSelInv exploits (independent subtrees can be
+/// processed simultaneously).
+#pragma once
+
+#include <vector>
+
+#include "sparse/sparse_matrix.hpp"
+#include "sparse/types.hpp"
+
+namespace psi {
+
+/// Elimination tree of a structurally symmetric pattern.
+/// parent[j] = etree parent of column j, or -1 for roots.
+std::vector<Int> elimination_tree(const SparsityPattern& pattern);
+
+/// Postorder of the forest given by `parent` (children visited before
+/// parents, each subtree contiguous). Returns new_to_old order.
+std::vector<Int> tree_postorder(const std::vector<Int>& parent);
+
+/// True if `parent` is already postordered (every node's children precede it
+/// and subtrees are contiguous intervals).
+bool is_postordered(const std::vector<Int>& parent);
+
+/// Column counts of the Cholesky/LU factor: cc[j] = |struct(L_{:,j})|
+/// including the diagonal. Computed by merging child structures (work and
+/// memory proportional to nnz(L)). Requires a postordered pattern.
+std::vector<Int> column_counts(const SparsityPattern& pattern,
+                               const std::vector<Int>& parent);
+
+/// Scalar fill: nnz(L) including the diagonal (= sum of column counts).
+Count factor_nnz(const std::vector<Int>& counts);
+
+}  // namespace psi

@@ -1,0 +1,214 @@
+#include "symbolic/supernodes.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace psi {
+
+void SupernodePartition::validate() const {
+  PSI_CHECK(!starts.empty());
+  PSI_CHECK(starts.front() == 0);
+  for (std::size_t k = 0; k + 1 < starts.size(); ++k)
+    PSI_CHECK_MSG(starts[k] < starts[k + 1], "empty supernode " << k);
+  PSI_CHECK(static_cast<Int>(sup_of_col.size()) == starts.back());
+  for (Int k = 0; k < count(); ++k)
+    for (Int j = first_col(k); j < first_col(k) + size(k); ++j)
+      PSI_CHECK(sup_of_col[static_cast<std::size_t>(j)] == k);
+}
+
+namespace {
+
+SupernodePartition partition_from_starts(std::vector<Int> starts, Int n) {
+  SupernodePartition part;
+  part.starts = std::move(starts);
+  part.sup_of_col.assign(static_cast<std::size_t>(n), 0);
+  for (Int k = 0; k + 1 < static_cast<Int>(part.starts.size()); ++k)
+    for (Int j = part.starts[static_cast<std::size_t>(k)];
+         j < part.starts[static_cast<std::size_t>(k) + 1]; ++j)
+      part.sup_of_col[static_cast<std::size_t>(j)] = k;
+  return part;
+}
+
+}  // namespace
+
+SupernodePartition scalar_supernodes(Int n) {
+  std::vector<Int> starts(static_cast<std::size_t>(n) + 1);
+  for (Int j = 0; j <= n; ++j) starts[static_cast<std::size_t>(j)] = j;
+  return partition_from_starts(std::move(starts), n);
+}
+
+SupernodePartition uniform_supernodes(Int n, Int width) {
+  PSI_CHECK(width > 0);
+  std::vector<Int> starts;
+  for (Int j = 0; j < n; j += width) starts.push_back(j);
+  starts.push_back(n);
+  return partition_from_starts(std::move(starts), n);
+}
+
+SupernodePartition build_supernodes(const SparsityPattern& pattern,
+                                    const std::vector<Int>& etree_parent,
+                                    const std::vector<Int>& counts,
+                                    const SupernodeOptions& options) {
+  const Int n = pattern.n;
+  PSI_CHECK(static_cast<Int>(etree_parent.size()) == n);
+  PSI_CHECK(static_cast<Int>(counts.size()) == n);
+  const Int max_size = options.max_size > 0 ? options.max_size : n;
+  PSI_CHECK(max_size >= 1);
+
+  // Pass 1: fundamental supernodes — column j+1 continues the supernode of
+  // column j iff j+1 is j's etree parent and struct(j) = struct(j+1) ∪ {j+1},
+  // detected via counts(j) == counts(j+1) + 1.
+  std::vector<Int> starts{0};
+  for (Int j = 1; j < n; ++j) {
+    const bool continues =
+        etree_parent[static_cast<std::size_t>(j - 1)] == j &&
+        counts[static_cast<std::size_t>(j - 1)] == counts[static_cast<std::size_t>(j)] + 1;
+    if (!continues) starts.push_back(j);
+  }
+  starts.push_back(n);
+
+  // Pass 2: relaxed amalgamation — merge a small supernode into the next one
+  // when the next one begins at the small one's etree parent column (so the
+  // merged range is an etree chain at block level).
+  if (options.relax_small > 0) {
+    std::vector<Int> merged{0};
+    for (std::size_t k = 1; k + 1 <= starts.size() - 1; ++k) {
+      const Int cur_start = merged.back();
+      const Int cur_end = starts[k];          // candidate boundary
+      const Int cur_size = cur_end - cur_start;
+      const Int next_end = starts[k + 1];
+      const Int last_col = cur_end - 1;
+      const bool parent_adjacent =
+          etree_parent[static_cast<std::size_t>(last_col)] == cur_end;
+      const bool small_enough =
+          (cur_end - cur_start) <= options.relax_small ||
+          (next_end - cur_end) <= options.relax_small;
+      if (parent_adjacent && small_enough &&
+          (next_end - cur_start) <= max_size && cur_size < max_size) {
+        continue;  // drop the boundary: merge
+      }
+      merged.push_back(cur_end);
+    }
+    merged.push_back(n);
+    starts = std::move(merged);
+  }
+
+  // Pass 3: enforce the max-size cap.
+  std::vector<Int> capped{0};
+  for (std::size_t k = 1; k < starts.size(); ++k) {
+    Int begin = capped.back();
+    const Int end = starts[k];
+    while (end - begin > max_size) {
+      begin += max_size;
+      capped.push_back(begin);
+    }
+    capped.push_back(end);
+  }
+  // Deduplicate (when starts[k] already equals the last pushed boundary).
+  capped.erase(std::unique(capped.begin(), capped.end()), capped.end());
+
+  SupernodePartition part = partition_from_starts(std::move(capped), n);
+  part.validate();
+  return part;
+}
+
+Count BlockStructure::block_count() const {
+  Count total = part.count();  // diagonal blocks
+  for (const auto& s : struct_of) total += static_cast<Count>(s.size());
+  return total;
+}
+
+Count BlockStructure::factor_nnz_fullblock() const {
+  Count total = 0;
+  for (Int k = 0; k < part.count(); ++k) {
+    const auto width = static_cast<Count>(part.size(k));
+    total += width * width;  // dense diagonal block
+    for (Int i : struct_of[static_cast<std::size_t>(k)])
+      total += width * static_cast<Count>(part.size(i));
+  }
+  return total;
+}
+
+Count BlockStructure::lu_nnz_fullblock() const {
+  Count diag = 0;
+  for (Int k = 0; k < part.count(); ++k) {
+    const auto width = static_cast<Count>(part.size(k));
+    diag += width * width;
+  }
+  return 2 * factor_nnz_fullblock() - diag;
+}
+
+void BlockStructure::validate() const {
+  part.validate();
+  PSI_CHECK(static_cast<Int>(struct_of.size()) == part.count());
+  PSI_CHECK(static_cast<Int>(parent.size()) == part.count());
+  for (Int k = 0; k < part.count(); ++k) {
+    const auto& s = struct_of[static_cast<std::size_t>(k)];
+    for (std::size_t t = 0; t < s.size(); ++t) {
+      PSI_CHECK_MSG(s[t] > k && s[t] < part.count(),
+                    "block struct of " << k << " out of range");
+      if (t) PSI_CHECK(s[t - 1] < s[t]);
+    }
+    const Int expected_parent = s.empty() ? -1 : s.front();
+    PSI_CHECK(parent[static_cast<std::size_t>(k)] == expected_parent);
+  }
+}
+
+BlockStructure block_symbolic_factorization(const SparsityPattern& pattern,
+                                            SupernodePartition part) {
+  PSI_CHECK(pattern.n == part.n());
+  const Int nsup = part.count();
+
+  BlockStructure bs;
+  bs.part = std::move(part);
+  bs.struct_of.assign(static_cast<std::size_t>(nsup), {});
+  bs.parent.assign(static_cast<std::size_t>(nsup), -1);
+
+  // Block rows of A below each supernode's diagonal block.
+  std::vector<std::vector<Int>> a_blocks(static_cast<std::size_t>(nsup));
+  {
+    std::vector<Int> mark(static_cast<std::size_t>(nsup), -1);
+    for (Int k = 0; k < nsup; ++k) {
+      auto& rows = a_blocks[static_cast<std::size_t>(k)];
+      for (Int j = bs.part.first_col(k); j < bs.part.first_col(k) + bs.part.size(k); ++j) {
+        for (Int p = pattern.col_ptr[j]; p < pattern.col_ptr[j + 1]; ++p) {
+          const Int bi = bs.part.sup_of_col[static_cast<std::size_t>(pattern.row_idx[p])];
+          if (bi > k && mark[static_cast<std::size_t>(bi)] != k) {
+            mark[static_cast<std::size_t>(bi)] = k;
+            rows.push_back(bi);
+          }
+        }
+      }
+      std::sort(rows.begin(), rows.end());
+    }
+  }
+
+  // Quotient symbolic factorization: struct(K) = A-blocks(K) ∪
+  // (struct(child) \ {<= K}) for each supernodal-etree child, computed in
+  // ascending order. Identical to the scalar algorithm on the block matrix.
+  std::vector<std::vector<Int>> pending_children(static_cast<std::size_t>(nsup));
+  std::vector<Int> merge_buffer;
+  for (Int k = 0; k < nsup; ++k) {
+    std::vector<Int> cur = std::move(a_blocks[static_cast<std::size_t>(k)]);
+    for (Int c : pending_children[static_cast<std::size_t>(k)]) {
+      auto& cs = bs.struct_of[static_cast<std::size_t>(c)];
+      merge_buffer.clear();
+      merge_buffer.reserve(cur.size() + cs.size());
+      std::merge(cur.begin(), cur.end(),
+                 std::upper_bound(cs.begin(), cs.end(), k), cs.end(),
+                 std::back_inserter(merge_buffer));
+      merge_buffer.erase(std::unique(merge_buffer.begin(), merge_buffer.end()),
+                         merge_buffer.end());
+      cur.swap(merge_buffer);
+    }
+    if (!cur.empty()) {
+      bs.parent[static_cast<std::size_t>(k)] = cur.front();
+      pending_children[static_cast<std::size_t>(cur.front())].push_back(k);
+    }
+    bs.struct_of[static_cast<std::size_t>(k)] = std::move(cur);
+  }
+  return bs;
+}
+
+}  // namespace psi

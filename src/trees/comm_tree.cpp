@@ -1,0 +1,188 @@
+#include "trees/comm_tree.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace psi::trees {
+
+const char* scheme_name(TreeScheme scheme) {
+  switch (scheme) {
+    case TreeScheme::kFlat: return "Flat-Tree";
+    case TreeScheme::kBinary: return "Binary-Tree";
+    case TreeScheme::kShiftedBinary: return "Shifted Binary-Tree";
+    case TreeScheme::kRandomPerm: return "Random-Perm-Tree";
+    case TreeScheme::kHybrid: return "Hybrid-Tree";
+    case TreeScheme::kBinomial: return "Binomial-Tree";
+    case TreeScheme::kShiftedBinomial: return "Shifted Binomial-Tree";
+  }
+  return "unknown";
+}
+
+TreeScheme parse_scheme(const std::string& name) {
+  if (name == "flat" || name == "Flat-Tree") return TreeScheme::kFlat;
+  if (name == "binary" || name == "Binary-Tree") return TreeScheme::kBinary;
+  if (name == "shifted" || name == "Shifted Binary-Tree")
+    return TreeScheme::kShiftedBinary;
+  if (name == "randperm" || name == "Random-Perm-Tree")
+    return TreeScheme::kRandomPerm;
+  if (name == "hybrid" || name == "Hybrid-Tree") return TreeScheme::kHybrid;
+  if (name == "binomial" || name == "Binomial-Tree") return TreeScheme::kBinomial;
+  if (name == "shifted-binomial" || name == "Shifted Binomial-Tree")
+    return TreeScheme::kShiftedBinomial;
+  throw Error("unknown tree scheme: " + name);
+}
+
+namespace {
+
+/// Recursive binary construction (paper §III): the ordered receiver range
+/// [lo, hi) is split into two halves and the FIRST rank of each half becomes
+/// a child of `parent_idx`, recursing within each half. The root therefore
+/// sends exactly two messages (paper Fig. 3(b): P4 -> {P1, P5};
+/// P1 -> {P2, P3}; P5 -> {P6}).
+void build_binary(std::size_t lo, std::size_t hi, int parent_idx,
+                  std::vector<int>& parent) {
+  if (lo >= hi) return;
+  const std::size_t mid = lo + (hi - lo + 1) / 2;
+  // First half [lo, mid): head lo.
+  parent[lo] = parent_idx;
+  build_binary(lo + 1, mid, static_cast<int>(lo), parent);
+  // Second half [mid, hi): head mid.
+  if (mid < hi) {
+    parent[mid] = parent_idx;
+    build_binary(mid + 1, hi, static_cast<int>(mid), parent);
+  }
+}
+
+/// Binomial construction over order_[0..n): the parent of index i > 0 is i
+/// with its highest set bit cleared (the rank that sent to it in round
+/// log2(highest bit)).
+void build_binomial(std::size_t n, std::vector<int>& parent) {
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t highest = i;
+    while (highest & (highest - 1)) highest &= highest - 1;  // top set bit
+    parent[i] = static_cast<int>(i - highest);
+  }
+}
+
+}  // namespace
+
+CommTree CommTree::build(const TreeOptions& options, int root,
+                         std::vector<int> receivers,
+                         std::uint64_t collective_id) {
+  PSI_CHECK(root >= 0);
+  PSI_CHECK_MSG(std::is_sorted(receivers.begin(), receivers.end()),
+                "receiver list must be sorted ascending");
+  for (int r : receivers)
+    PSI_CHECK_MSG(r != root, "root must not appear in the receiver list");
+
+  TreeScheme scheme = options.scheme;
+  if (scheme == TreeScheme::kHybrid)
+    scheme = (static_cast<int>(receivers.size()) + 1 <= options.hybrid_flat_threshold)
+                 ? TreeScheme::kFlat
+                 : TreeScheme::kShiftedBinary;
+
+  // Reorder receivers per scheme.
+  switch (scheme) {
+    case TreeScheme::kFlat:
+    case TreeScheme::kBinary:
+    case TreeScheme::kBinomial:
+      break;  // natural ascending order
+    case TreeScheme::kShiftedBinary:
+    case TreeScheme::kShiftedBinomial: {
+      if (receivers.size() > 1) {
+        const std::uint64_t h = hash_combine(options.seed, collective_id);
+        const auto shift = static_cast<std::size_t>(
+            h % static_cast<std::uint64_t>(receivers.size()));
+        std::rotate(receivers.begin(),
+                    receivers.begin() + static_cast<std::ptrdiff_t>(shift),
+                    receivers.end());
+      }
+      break;
+    }
+    case TreeScheme::kRandomPerm: {
+      Rng rng(hash_combine(options.seed ^ 0x9127ULL, collective_id));
+      rng.shuffle(receivers);
+      break;
+    }
+    case TreeScheme::kHybrid:
+      PSI_CHECK(false);  // resolved above
+  }
+
+  CommTree tree;
+  tree.root_ = root;
+  tree.order_.reserve(receivers.size() + 1);
+  tree.order_.push_back(root);
+  tree.order_.insert(tree.order_.end(), receivers.begin(), receivers.end());
+  tree.parent_.assign(tree.order_.size(), -1);
+
+  if (scheme == TreeScheme::kFlat) {
+    for (std::size_t i = 1; i < tree.order_.size(); ++i)
+      tree.parent_[i] = 0;  // all children of the root
+  } else if (scheme == TreeScheme::kBinomial ||
+             scheme == TreeScheme::kShiftedBinomial) {
+    build_binomial(tree.order_.size(), tree.parent_);
+  } else {
+    build_binary(1, tree.order_.size(), 0, tree.parent_);
+  }
+
+  tree.children_.assign(tree.order_.size(), {});
+  for (std::size_t i = 1; i < tree.order_.size(); ++i) {
+    PSI_ASSERT(tree.parent_[i] >= 0);
+    tree.children_[static_cast<std::size_t>(tree.parent_[i])].push_back(
+        tree.order_[i]);
+  }
+
+  tree.index_of_.reserve(tree.order_.size());
+  for (std::size_t i = 0; i < tree.order_.size(); ++i)
+    tree.index_of_.emplace_back(tree.order_[i], static_cast<int>(i));
+  std::sort(tree.index_of_.begin(), tree.index_of_.end());
+  for (std::size_t i = 1; i < tree.index_of_.size(); ++i)
+    PSI_CHECK_MSG(tree.index_of_[i - 1].first != tree.index_of_[i].first,
+                  "duplicate participant rank " << tree.index_of_[i].first);
+  return tree;
+}
+
+int CommTree::index_of(int rank) const {
+  const auto it = std::lower_bound(
+      index_of_.begin(), index_of_.end(), std::make_pair(rank, -1));
+  if (it == index_of_.end() || it->first != rank) return -1;
+  return it->second;
+}
+
+bool CommTree::participates(int rank) const { return index_of(rank) >= 0; }
+
+const std::vector<int>& CommTree::children_of(int rank) const {
+  const int idx = index_of(rank);
+  PSI_CHECK_MSG(idx >= 0, "rank " << rank << " is not a participant");
+  return children_[static_cast<std::size_t>(idx)];
+}
+
+int CommTree::parent_of(int rank) const {
+  const int idx = index_of(rank);
+  PSI_CHECK_MSG(idx >= 0, "rank " << rank << " is not a participant");
+  const int pidx = parent_[static_cast<std::size_t>(idx)];
+  return pidx < 0 ? -1 : order_[static_cast<std::size_t>(pidx)];
+}
+
+int CommTree::depth() const {
+  std::vector<int> level(order_.size(), 0);
+  int depth = 0;
+  for (std::size_t i = 1; i < order_.size(); ++i) {
+    // parent_[i] < i holds for flat trees and the recursive construction
+    // (parents precede children in order_), so one pass suffices.
+    level[i] = level[static_cast<std::size_t>(parent_[i])] + 1;
+    depth = std::max(depth, level[i]);
+  }
+  return depth;
+}
+
+int CommTree::internal_node_count() const {
+  int count = 0;
+  for (const auto& kids : children_)
+    if (!kids.empty()) ++count;
+  return count;
+}
+
+}  // namespace psi::trees

@@ -1,0 +1,111 @@
+/// \file comm_tree.hpp
+/// \brief Restricted-collective communication trees (the paper's §III).
+///
+/// A restricted collective involves the root plus an arbitrary subset of the
+/// ranks of a processor row/column group. MPI cannot express this without
+/// communicator churn (audikw_1 needs 20,061 distinct communicators on a
+/// 24x24 grid), so PSelInv routes point-to-point messages along an explicit
+/// tree:
+///
+///  * kFlat          — root sends to every receiver directly (PSelInv v0.7.3
+///                     baseline; root sends p-1 messages).
+///  * kBinary        — the ordered receiver list is split recursively in two
+///                     halves, the first rank of each half forwarding to the
+///                     rest; root sends 2 messages, critical path log2(p).
+///                     Deterministic: low ranks of a group are always picked
+///                     as internal nodes -> hot stripes across concurrent
+///                     collectives (paper Fig. 5(b)).
+///  * kShiftedBinary — THE PAPER'S CONTRIBUTION: a random circular shift is
+///                     applied to the sorted receiver list before building
+///                     the binary tree, so different collectives pick
+///                     different internal nodes. The shift amount comes from
+///                     a deterministic per-collective seed fixed during
+///                     preprocessing (no runtime synchronization).
+///  * kRandomPerm    — full random permutation of receivers (ablation; the
+///                     paper argues and we confirm it loses network locality
+///                     without balancing better than the circular shift).
+///  * kHybrid        — flat below a participant-count threshold, shifted
+///                     binary above (the paper's §IV-B closing suggestion:
+///                     intra-node flat trees are cheap and cache friendly).
+///  * kBinomial /    — the classic MPI broadcast shape (in round r the ranks
+///    kShiftedBinomial that hold the data send to the rank 2^r positions
+///                     away): log2(p) children at the root, depth log2(p).
+///                     Included as an ablation beyond the paper — it shows
+///                     the circular-shift heuristic composes with any tree
+///                     shape, not just the paper's halving construction.
+///
+/// The same tree runs a broadcast (root -> leaves) or a reduction
+/// (leaves -> root, reversing the edges).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace psi::trees {
+
+enum class TreeScheme {
+  kFlat,
+  kBinary,
+  kShiftedBinary,
+  kRandomPerm,
+  kHybrid,
+  kBinomial,
+  kShiftedBinomial,
+};
+
+const char* scheme_name(TreeScheme scheme);
+TreeScheme parse_scheme(const std::string& name);
+
+struct TreeOptions {
+  TreeScheme scheme = TreeScheme::kShiftedBinary;
+  /// Participant count at or below which kHybrid falls back to kFlat
+  /// (roughly the ranks sharing a node).
+  int hybrid_flat_threshold = 24;
+  /// Global seed; combined with `collective_id` per tree.
+  std::uint64_t seed = 0x5eed;
+};
+
+/// An explicit communication tree over a participant set.
+class CommTree {
+ public:
+  /// Builds the tree for one collective. `receivers` is the list of
+  /// receiving ranks (root excluded) in ascending order — the natural order
+  /// of a processor row/column group, which most MPI implementations lay
+  /// out physically close. `collective_id` makes the shifted scheme's
+  /// rotation deterministic per collective.
+  static CommTree build(const TreeOptions& options, int root,
+                        std::vector<int> receivers, std::uint64_t collective_id);
+
+  int root() const { return root_; }
+  int participant_count() const { return static_cast<int>(parent_.size()); }
+
+  /// Children of `rank` in the tree (empty for leaves / non-participants).
+  const std::vector<int>& children_of(int rank) const;
+  /// Parent of `rank`; -1 for the root. `rank` must participate.
+  int parent_of(int rank) const;
+  bool participates(int rank) const;
+
+  /// All participants (root first, then receivers in tree order).
+  const std::vector<int>& participants() const { return order_; }
+
+  /// Longest root-to-leaf path, in edges.
+  int depth() const;
+  /// Number of ranks with at least one child (the "forwarding" ranks the
+  /// paper's heuristic aims to diversify).
+  int internal_node_count() const;
+
+ private:
+  int root_ = -1;
+  std::vector<int> order_;                 ///< participants, root first
+  std::vector<int> parent_;                ///< aligned with order_
+  std::vector<std::vector<int>> children_; ///< aligned with order_
+  // rank -> index in order_ ; kept as sorted pairs for O(log n) lookup.
+  std::vector<std::pair<int, int>> index_of_;
+
+  int index_of(int rank) const;  ///< -1 if absent
+};
+
+}  // namespace psi::trees

@@ -1,0 +1,31 @@
+#include "trees/protocol.hpp"
+
+#include "common/check.hpp"
+
+namespace psi::trees {
+
+void bcast_forward(sim::Context& ctx, const CommTree& tree, std::int64_t tag,
+                   Count bytes, int comm_class,
+                   const std::shared_ptr<const DenseMatrix>& payload) {
+  for (int child : tree.children_of(ctx.rank()))
+    ctx.send(child, tag, bytes, comm_class, payload);
+}
+
+bool ReduceState::absorb(std::shared_ptr<DenseMatrix> value) {
+  PSI_CHECK_MSG(pending_ > 0, "reduction already complete");
+  started_ = true;
+  --pending_;
+  if (value) {
+    if (!acc_) {
+      acc_ = std::move(value);
+    } else {
+      PSI_CHECK(acc_->rows() == value->rows() && acc_->cols() == value->cols());
+      for (Int c = 0; c < acc_->cols(); ++c)
+        for (Int r = 0; r < acc_->rows(); ++r)
+          (*acc_)(r, c) += (*value)(r, c);
+    }
+  }
+  return pending_ == 0;
+}
+
+}  // namespace psi::trees

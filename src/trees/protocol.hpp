@@ -1,0 +1,63 @@
+/// \file protocol.hpp
+/// \brief Asynchronous broadcast/reduction protocol helpers over sim.
+///
+/// These are the "light-weight asynchronous broadcast and reduction
+/// functions that can be dynamically created with very little overhead" the
+/// paper calls for (§III): a CommTree plus a few bytes of per-collective
+/// state, driven entirely by point-to-point messages.
+#pragma once
+
+#include <memory>
+
+#include "sim/engine.hpp"
+#include "trees/comm_tree.hpp"
+
+namespace psi::trees {
+
+/// Broadcast step: called at the root when the payload becomes available,
+/// and at every receiver when the payload message arrives. Forwards the
+/// payload to this rank's children. (A leaf forwards nothing.)
+void bcast_forward(sim::Context& ctx, const CommTree& tree, std::int64_t tag,
+                   Count bytes, int comm_class,
+                   const std::shared_ptr<const DenseMatrix>& payload);
+
+/// Reduction state for one collective on one participating rank.
+///
+/// A rank's contribution tree-sums toward the root:
+///  * add_local() publishes this rank's own contribution;
+///  * add_child() accepts a message from one child;
+///  * once all children plus the local contribution have arrived, ready()
+///    turns true; a non-root rank then sends accumulated() to parent_of().
+/// In trace mode contributions carry no matrix; only arrival counting and
+/// byte accounting happen.
+class ReduceState {
+ public:
+  ReduceState() = default;
+  /// `child_count` from the tree; every participant contributes locally too.
+  explicit ReduceState(int child_count) : pending_(child_count + 1) {}
+
+  /// Adds this rank's own contribution (numeric: a dense accumulator that is
+  /// consumed). Returns true when the reduction just completed locally.
+  bool add_local(std::shared_ptr<DenseMatrix> value = nullptr) {
+    return absorb(std::move(value));
+  }
+  /// Adds a child's message payload. Returns true when complete.
+  bool add_child(const std::shared_ptr<const DenseMatrix>& value) {
+    std::shared_ptr<DenseMatrix> copy;
+    if (value) copy = std::make_shared<DenseMatrix>(*value);
+    return absorb(std::move(copy));
+  }
+
+  bool ready() const { return started_ && pending_ == 0; }
+  /// The summed contribution (may be null in trace mode).
+  std::shared_ptr<DenseMatrix> accumulated() { return acc_; }
+
+ private:
+  bool absorb(std::shared_ptr<DenseMatrix> value);
+
+  int pending_ = 0;
+  bool started_ = false;
+  std::shared_ptr<DenseMatrix> acc_;
+};
+
+}  // namespace psi::trees

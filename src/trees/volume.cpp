@@ -1,0 +1,38 @@
+#include "trees/volume.hpp"
+
+#include "common/check.hpp"
+
+namespace psi::trees {
+
+VolumeAccumulator::VolumeAccumulator(int rank_count)
+    : sent_(static_cast<std::size_t>(rank_count), 0),
+      received_(static_cast<std::size_t>(rank_count), 0) {
+  PSI_CHECK(rank_count > 0);
+}
+
+void VolumeAccumulator::add_bcast(const CommTree& tree, Count bytes) {
+  PSI_CHECK(bytes >= 0);
+  for (int rank : tree.participants()) {
+    const auto nchildren = static_cast<Count>(tree.children_of(rank).size());
+    sent_[static_cast<std::size_t>(rank)] += bytes * nchildren;
+    if (rank != tree.root()) received_[static_cast<std::size_t>(rank)] += bytes;
+  }
+}
+
+void VolumeAccumulator::add_reduce(const CommTree& tree, Count bytes) {
+  PSI_CHECK(bytes >= 0);
+  for (int rank : tree.participants()) {
+    const auto nchildren = static_cast<Count>(tree.children_of(rank).size());
+    received_[static_cast<std::size_t>(rank)] += bytes * nchildren;
+    if (rank != tree.root()) sent_[static_cast<std::size_t>(rank)] += bytes;
+  }
+}
+
+void VolumeAccumulator::add_p2p(int src, int dst, Count bytes) {
+  PSI_CHECK(bytes >= 0);
+  if (src == dst) return;
+  sent_[static_cast<std::size_t>(src)] += bytes;
+  received_[static_cast<std::size_t>(dst)] += bytes;
+}
+
+}  // namespace psi::trees

@@ -1,0 +1,43 @@
+/// \file volume.hpp
+/// \brief Exact per-rank traffic accounting for tree collectives, computed
+/// without running the simulator.
+///
+/// Communication volume is a pure function of the tree shapes and payload
+/// sizes, so the paper's Tables I-II and Figures 4-7 (volume statistics,
+/// histograms and heat maps) can be regenerated analytically. The simulator
+/// produces identical numbers (asserted by tests); it is only needed when
+/// *time* matters (Figures 8-9).
+#pragma once
+
+#include <vector>
+
+#include "trees/comm_tree.hpp"
+
+namespace psi::trees {
+
+class VolumeAccumulator {
+ public:
+  explicit VolumeAccumulator(int rank_count);
+
+  /// Broadcast of `bytes` over `tree`: every participant sends
+  /// bytes * (#children); every non-root participant receives `bytes`.
+  void add_bcast(const CommTree& tree, Count bytes);
+
+  /// Reduction of `bytes` contributions over `tree` (edges reversed):
+  /// every non-root participant sends `bytes`; every participant receives
+  /// bytes * (#children).
+  void add_reduce(const CommTree& tree, Count bytes);
+
+  /// Point-to-point transfer (the cross sends of PSelInv). No-op when
+  /// src == dst.
+  void add_p2p(int src, int dst, Count bytes);
+
+  const std::vector<Count>& bytes_sent() const { return sent_; }
+  const std::vector<Count>& bytes_received() const { return received_; }
+
+ private:
+  std::vector<Count> sent_;
+  std::vector<Count> received_;
+};
+
+}  // namespace psi::trees

@@ -1,0 +1,259 @@
+/// Unit tests for psi_common: checks, stats, rng, histogram, table, heatmap, csv.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "common/heatmap.hpp"
+#include "common/histogram.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace psi {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    PSI_CHECK_MSG(1 == 2, "custom " << 42);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("custom 42"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) {
+  EXPECT_NO_THROW(PSI_CHECK(2 + 2 == 4));
+  EXPECT_NO_THROW(PSI_CHECK_MSG(true, "unused"));
+}
+
+TEST(Logging, ParseLevels) {
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_THROW(parse_log_level("bogus"), Error);
+}
+
+TEST(Logging, SetAndGet) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(before);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(17);
+    EXPECT_LT(v, 17u);
+  }
+  EXPECT_THROW(rng.uniform(0), Error);
+}
+
+TEST(Rng, UniformCoversRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(11);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.05);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, LognormalPositive) {
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_GT(rng.lognormal(0.0, 0.5), 0.0);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto w = v;
+  rng.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(HashCombine, DistinctInputsDistinctOutputs) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 1000; ++i) outputs.insert(hash_combine(1234, i));
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(HashCombine, Deterministic) {
+  EXPECT_EQ(hash_combine(7, 9), hash_combine(7, 9));
+  EXPECT_NE(hash_combine(7, 9), hash_combine(9, 7));
+}
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(SampleStats, MedianEvenOdd) {
+  SampleStats odd({3.0, 1.0, 2.0});
+  EXPECT_DOUBLE_EQ(odd.median(), 2.0);
+  SampleStats even({4.0, 1.0, 3.0, 2.0});
+  EXPECT_DOUBLE_EQ(even.median(), 2.5);
+}
+
+TEST(SampleStats, MatchesOnline) {
+  Rng rng(21);
+  SampleStats sample;
+  OnlineStats online;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform_double(0.0, 10.0);
+    sample.add(v);
+    online.add(v);
+  }
+  EXPECT_NEAR(sample.mean(), online.mean(), 1e-9);
+  EXPECT_NEAR(sample.stddev(), online.stddev(), 1e-9);
+  EXPECT_DOUBLE_EQ(sample.min(), online.min());
+  EXPECT_DOUBLE_EQ(sample.max(), online.max());
+}
+
+TEST(SampleStats, QuantileEndpoints) {
+  SampleStats s({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 4.0);
+  EXPECT_THROW(s.quantile(1.5), Error);
+}
+
+TEST(SampleStats, EmptyThrows) {
+  SampleStats s;
+  EXPECT_THROW(s.min(), Error);
+  EXPECT_THROW(s.median(), Error);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps to bin 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(25.0);   // clamps to last bin
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_lo(4), 8.0);
+}
+
+TEST(Histogram, RenderContainsCounts) {
+  Histogram h(0.0, 4.0, 2);
+  h.add_all({1.0, 1.5, 3.0});
+  const std::string render = h.render(20, "volume");
+  EXPECT_NE(render.find("volume"), std::string::npos);
+  EXPECT_NE(render.find("total 3"), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), Error);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), Error);
+}
+
+TEST(TextTable, RendersAligned) {
+  TextTable t({"scheme", "min", "max"});
+  t.add_row({"Flat-Tree", "28.99", "69.49"});
+  t.add_row({"Shifted Binary-Tree", "33.64", "54.10"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("Flat-Tree"), std::string::npos);
+  EXPECT_NE(s.find("Shifted Binary-Tree"), std::string::npos);
+  EXPECT_NE(s.find("| scheme"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(TextTable, FormatHelpers) {
+  EXPECT_EQ(TextTable::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fmt_int(42), "42");
+}
+
+TEST(HeatMap, StoresValues) {
+  HeatMap m(3, 4);
+  m.at(1, 2) = 7.5;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 7.5);
+  EXPECT_DOUBLE_EQ(m.min_value(), 0.0);
+  EXPECT_DOUBLE_EQ(m.max_value(), 7.5);
+}
+
+TEST(HeatMap, RenderSharedScale) {
+  HeatMap m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(1, 1) = 2.0;
+  const std::string s = m.render(0.0, 4.0);
+  EXPECT_NE(s.find("scale"), std::string::npos);
+}
+
+TEST(HeatMap, CsvShape) {
+  HeatMap m(2, 3);
+  m.at(0, 1) = 1.5;
+  std::istringstream in(m.to_csv());
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 2);
+}
+
+TEST(HeatMap, OutOfRangeThrows) {
+  HeatMap m(2, 2);
+  EXPECT_THROW(m.at(2, 0), Error);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,191 @@
+/// Unit tests for the dense kernels (gemm/trsm/getrf/inverse) that the
+/// supernodal factorization and selected inversion are built on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "sparse/dense.hpp"
+
+namespace psi {
+namespace {
+
+DenseMatrix random_matrix(Int rows, Int cols, Rng& rng) {
+  DenseMatrix m(rows, cols);
+  for (Int c = 0; c < cols; ++c)
+    for (Int r = 0; r < rows; ++r) m(r, c) = rng.uniform_double(-1.0, 1.0);
+  return m;
+}
+
+/// Diagonally dominant square matrix (safe for unpivoted LU).
+DenseMatrix random_dd_matrix(Int n, Rng& rng) {
+  DenseMatrix m = random_matrix(n, n, rng);
+  for (Int i = 0; i < n; ++i) {
+    double sum = 0.0;
+    for (Int j = 0; j < n; ++j) sum += std::fabs(m(i, j));
+    m(i, i) = sum + 1.0;
+  }
+  return m;
+}
+
+DenseMatrix naive_multiply(const DenseMatrix& a, const DenseMatrix& b) {
+  DenseMatrix c(a.rows(), b.cols());
+  for (Int i = 0; i < a.rows(); ++i)
+    for (Int j = 0; j < b.cols(); ++j) {
+      double s = 0.0;
+      for (Int k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+  return c;
+}
+
+TEST(DenseMatrix, BasicAccess) {
+  DenseMatrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 2.0);
+}
+
+TEST(DenseMatrix, Transpose) {
+  Rng rng(1);
+  const DenseMatrix a = random_matrix(3, 5, rng);
+  const DenseMatrix t = a.transposed();
+  for (Int i = 0; i < 3; ++i)
+    for (Int j = 0; j < 5; ++j) EXPECT_DOUBLE_EQ(t(j, i), a(i, j));
+}
+
+TEST(Gemm, MatchesNaive) {
+  Rng rng(2);
+  const DenseMatrix a = random_matrix(4, 6, rng);
+  const DenseMatrix b = random_matrix(6, 3, rng);
+  DenseMatrix c(4, 3);
+  gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, c);
+  EXPECT_LT(max_abs_diff(c, naive_multiply(a, b)), 1e-13);
+}
+
+TEST(Gemm, TransposedOperands) {
+  Rng rng(3);
+  const DenseMatrix a = random_matrix(6, 4, rng);   // use a^T
+  const DenseMatrix b = random_matrix(3, 6, rng);   // use b^T
+  DenseMatrix c(4, 3);
+  gemm(Trans::kYes, Trans::kYes, 2.0, a, b, 0.0, c);
+  DenseMatrix expected = naive_multiply(a.transposed(), b.transposed());
+  for (Int i = 0; i < 4; ++i)
+    for (Int j = 0; j < 3; ++j) expected(i, j) *= 2.0;
+  EXPECT_LT(max_abs_diff(c, expected), 1e-13);
+}
+
+TEST(Gemm, AccumulatesWithBeta) {
+  Rng rng(4);
+  const DenseMatrix a = random_matrix(3, 3, rng);
+  const DenseMatrix b = random_matrix(3, 3, rng);
+  DenseMatrix c(3, 3, 1.0);
+  gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 2.0, c);
+  DenseMatrix expected = naive_multiply(a, b);
+  for (Int i = 0; i < 3; ++i)
+    for (Int j = 0; j < 3; ++j) expected(i, j) += 2.0;
+  EXPECT_LT(max_abs_diff(c, expected), 1e-13);
+}
+
+TEST(Gemm, DimensionMismatchThrows) {
+  DenseMatrix a(2, 3), b(4, 2), c(2, 2);
+  EXPECT_THROW(gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, c), Error);
+}
+
+class TrsmTest : public ::testing::TestWithParam<std::tuple<Side, UpLo, Trans, Diag>> {};
+
+TEST_P(TrsmTest, SolvesAgainstMultiply) {
+  const auto [side, uplo, trans, diag] = GetParam();
+  Rng rng(5);
+  const Int n = 5, m = 4;
+  // Build a well-conditioned triangular T.
+  DenseMatrix t(n, n);
+  for (Int c = 0; c < n; ++c)
+    for (Int r = 0; r < n; ++r) {
+      const bool in_tri = (uplo == UpLo::kLower) ? (r >= c) : (r <= c);
+      if (!in_tri) continue;
+      t(r, c) = (r == c) ? 3.0 + rng.uniform_double() : rng.uniform_double(-1.0, 1.0);
+    }
+  const DenseMatrix x_expected =
+      (side == Side::kLeft) ? random_matrix(n, m, rng) : random_matrix(m, n, rng);
+
+  // Effective operator: op(T) with unit diagonal replaced if requested.
+  DenseMatrix t_eff = t;
+  if (diag == Diag::kUnit)
+    for (Int i = 0; i < n; ++i) t_eff(i, i) = 1.0;
+  if (trans == Trans::kYes) t_eff = t_eff.transposed();
+
+  DenseMatrix b = (side == Side::kLeft) ? naive_multiply(t_eff, x_expected)
+                                        : naive_multiply(x_expected, t_eff);
+  trsm(side, uplo, trans, diag, 1.0, t, b);
+  EXPECT_LT(max_abs_diff(b, x_expected), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllVariants, TrsmTest,
+    ::testing::Combine(::testing::Values(Side::kLeft, Side::kRight),
+                       ::testing::Values(UpLo::kLower, UpLo::kUpper),
+                       ::testing::Values(Trans::kNo, Trans::kYes),
+                       ::testing::Values(Diag::kUnit, Diag::kNonUnit)));
+
+TEST(Getrf, ReconstructsMatrix) {
+  Rng rng(6);
+  const Int n = 8;
+  const DenseMatrix a = random_dd_matrix(n, rng);
+  DenseMatrix lu = a;
+  getrf_nopivot(lu);
+  // Rebuild L * U.
+  DenseMatrix l(n, n), u(n, n);
+  for (Int c = 0; c < n; ++c)
+    for (Int r = 0; r < n; ++r) {
+      if (r > c) l(r, c) = lu(r, c);
+      if (r == c) l(r, c) = 1.0;
+      if (r <= c) u(r, c) = lu(r, c);
+    }
+  EXPECT_LT(max_abs_diff(naive_multiply(l, u), a), 1e-10);
+}
+
+TEST(Getrf, SingularThrows) {
+  DenseMatrix a(2, 2);  // all zeros
+  EXPECT_THROW(getrf_nopivot(a), Error);
+}
+
+TEST(Inverse, RoundTrips) {
+  Rng rng(7);
+  const Int n = 7;
+  const DenseMatrix a = random_dd_matrix(n, rng);
+  const DenseMatrix ainv = inverse(a);
+  const DenseMatrix prod = naive_multiply(a, ainv);
+  DenseMatrix eye(n, n);
+  for (Int i = 0; i < n; ++i) eye(i, i) = 1.0;
+  EXPECT_LT(max_abs_diff(prod, eye), 1e-10);
+}
+
+TEST(TriangularInverse, LowerUnit) {
+  Rng rng(8);
+  const Int n = 5;
+  DenseMatrix t(n, n);
+  for (Int c = 0; c < n; ++c) {
+    t(c, c) = 1.0;
+    for (Int r = c + 1; r < n; ++r) t(r, c) = rng.uniform_double(-1.0, 1.0);
+  }
+  DenseMatrix tinv = t;
+  triangular_inverse(UpLo::kLower, Diag::kUnit, tinv);
+  DenseMatrix eye(n, n);
+  for (Int i = 0; i < n; ++i) eye(i, i) = 1.0;
+  EXPECT_LT(max_abs_diff(naive_multiply(t, tinv), eye), 1e-12);
+}
+
+TEST(Flops, Formulas) {
+  EXPECT_EQ(gemm_flops(2, 3, 4), 48);
+  EXPECT_EQ(trsm_flops(3, 5), 45);
+  EXPECT_EQ(getrf_flops(3), 18);
+  EXPECT_EQ(dense_bytes(4, 5), 160);
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,59 @@
+/// Unit tests for the process grid and the supernodal block-cyclic mapping.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "dist/process_grid.hpp"
+
+namespace psi::dist {
+namespace {
+
+TEST(ProcessGrid, RowMajorRanks) {
+  const ProcessGrid grid(4, 3);
+  EXPECT_EQ(grid.size(), 12);
+  EXPECT_EQ(grid.rank_of(0, 0), 0);
+  EXPECT_EQ(grid.rank_of(0, 2), 2);
+  EXPECT_EQ(grid.rank_of(1, 0), 3);
+  EXPECT_EQ(grid.rank_of(3, 2), 11);
+  for (int r = 0; r < grid.size(); ++r)
+    EXPECT_EQ(grid.rank_of(grid.row_of(r), grid.col_of(r)), r);
+}
+
+TEST(ProcessGrid, RejectsBadShapes) {
+  EXPECT_THROW(ProcessGrid(0, 3), Error);
+  const ProcessGrid grid(2, 2);
+  EXPECT_THROW(grid.rank_of(2, 0), Error);
+}
+
+TEST(BlockCyclicMap, PaperFigure1Mapping) {
+  // Paper Fig. 1(a)-(b): a 4x3 grid; block (i, j) -> P(i mod 4, j mod 3).
+  // The paper numbers processors P1..P12 row-major; we use 0-based ranks.
+  const ProcessGrid grid(4, 3);
+  const BlockCyclicMap map(grid);
+  EXPECT_EQ(map.owner(0, 0), 0);                       // P1
+  EXPECT_EQ(map.owner(1, 1), grid.rank_of(1, 1));      // P5
+  EXPECT_EQ(map.owner(4, 3), grid.rank_of(0, 0));      // wraps both ways
+  EXPECT_EQ(map.owner(9, 5), grid.rank_of(1, 2));
+  EXPECT_EQ(map.prow_of(7), 3);
+  EXPECT_EQ(map.pcol_of(7), 1);
+}
+
+TEST(BlockCyclicMap, ColumnGroupSharesGridColumn) {
+  const ProcessGrid grid(5, 4);
+  const BlockCyclicMap map(grid);
+  // All blocks of block-column K live in grid column K mod Pc.
+  for (Int i = 0; i < 20; ++i)
+    EXPECT_EQ(grid.col_of(map.owner(i, 7)), 7 % 4);
+  // All blocks of block-row I live in grid row I mod Pr.
+  for (Int k = 0; k < 20; ++k)
+    EXPECT_EQ(grid.row_of(map.owner(13, k)), 13 % 5);
+}
+
+TEST(BlockCyclicMap, SingleRankGrid) {
+  const ProcessGrid grid(1, 1);
+  const BlockCyclicMap map(grid);
+  for (Int i = 0; i < 5; ++i)
+    for (Int k = 0; k < 5; ++k) EXPECT_EQ(map.owner(i, k), 0);
+}
+
+}  // namespace
+}  // namespace psi::dist

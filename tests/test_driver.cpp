@@ -1,0 +1,97 @@
+/// Unit tests for the experiment scaffolding and paper-analog matrices.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "driver/experiment.hpp"
+#include "driver/paper_matrices.hpp"
+
+namespace psi::driver {
+namespace {
+
+TEST(PaperMatrices, AllBuildAndAreSymmetric) {
+  for (PaperMatrix which : all_paper_matrices()) {
+    const GeneratedMatrix gen = make_paper_matrix(which, 0.4);
+    EXPECT_TRUE(gen.matrix.pattern.is_structurally_symmetric())
+        << paper_matrix_name(which);
+    EXPECT_GT(gen.matrix.n(), 0);
+  }
+}
+
+TEST(PaperMatrices, DgDenserThanFem) {
+  // The paper's two regimes: DG matrices are "relatively dense", the FEM
+  // matrices "relatively sparse" (density = nnz / n^2).
+  const GeneratedMatrix dg = make_paper_matrix(PaperMatrix::kDgPnf14000, 0.5);
+  const GeneratedMatrix fem = make_paper_matrix(PaperMatrix::kAudikw1, 0.5);
+  const double dg_density = static_cast<double>(dg.matrix.nnz()) /
+                            (static_cast<double>(dg.matrix.n()) * dg.matrix.n());
+  const double fem_density =
+      static_cast<double>(fem.matrix.nnz()) /
+      (static_cast<double>(fem.matrix.n()) * fem.matrix.n());
+  EXPECT_GT(dg_density, fem_density);
+}
+
+TEST(PaperMatrices, ScaleChangesSize) {
+  const GeneratedMatrix small = make_paper_matrix(PaperMatrix::kAudikw1, 0.3);
+  const GeneratedMatrix large = make_paper_matrix(PaperMatrix::kAudikw1, 0.6);
+  EXPECT_LT(small.matrix.n(), large.matrix.n());
+  EXPECT_THROW(make_paper_matrix(PaperMatrix::kAudikw1, 0.0), Error);
+}
+
+TEST(Experiment, SquareGridFactorizations) {
+  int pr = 0, pc = 0;
+  square_grid(64, pr, pc);
+  EXPECT_EQ(pr, 8);
+  EXPECT_EQ(pc, 8);
+  square_grid(2116, pr, pc);
+  EXPECT_EQ(pr, 46);
+  EXPECT_EQ(pc, 46);
+  square_grid(12, pr, pc);
+  EXPECT_EQ(pr * pc, 12);
+  EXPECT_GE(pr, pc);
+  square_grid(7, pr, pc);  // prime: 7x1
+  EXPECT_EQ(pr, 7);
+  EXPECT_EQ(pc, 1);
+}
+
+TEST(Experiment, HeatmapFromRankField) {
+  const dist::ProcessGrid grid(2, 3);
+  std::vector<double> field{1, 2, 3, 4, 5, 6};
+  const HeatMap map = rank_field_to_heatmap(field, grid);
+  EXPECT_DOUBLE_EQ(map.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(map.at(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(map.at(1, 0), 4.0);
+  EXPECT_THROW(rank_field_to_heatmap({1.0}, grid), Error);
+}
+
+TEST(Experiment, EdisonConfigDefaults) {
+  const sim::MachineConfig config = edison_config(0.25, 99);
+  EXPECT_EQ(config.cores_per_node, 24);
+  EXPECT_DOUBLE_EQ(config.jitter_sigma, 0.25);
+  EXPECT_EQ(config.jitter_seed, 99u);
+  // Tiers are ordered: closer is faster.
+  EXPECT_LT(config.lat_intranode, config.lat_intragroup);
+  EXPECT_LT(config.lat_intragroup, config.lat_intergroup);
+  EXPECT_GT(config.bw_intranode, config.bw_intergroup);
+}
+
+TEST(Experiment, TimingMachineCalibration) {
+  const sim::MachineConfig nominal = edison_config();
+  const sim::MachineConfig timing = timing_machine(0.3, 5);
+  // Bandwidths scaled down by the traffic-equivalence factor; latencies and
+  // topology untouched (see the calibration note in experiment.cpp).
+  EXPECT_LT(timing.bw_intergroup, nominal.bw_intergroup / 32.0);
+  EXPECT_DOUBLE_EQ(timing.lat_intergroup, nominal.lat_intergroup);
+  EXPECT_EQ(timing.cores_per_node, nominal.cores_per_node);
+  EXPECT_LT(timing.flop_rate, nominal.flop_rate);
+  EXPECT_DOUBLE_EQ(timing.jitter_sigma, 0.3);
+  EXPECT_EQ(timing.jitter_seed, 5u);
+}
+
+TEST(Experiment, SchemeLists) {
+  EXPECT_EQ(paper_schemes().size(), 3u);
+  EXPECT_EQ(all_schemes().size(), 7u);
+  EXPECT_EQ(paper_schemes()[2], trees::TreeScheme::kShiftedBinary);
+}
+
+}  // namespace
+}  // namespace psi::driver

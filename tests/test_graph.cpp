@@ -1,0 +1,125 @@
+/// Unit tests for the graph utilities backing the ordering heuristics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sparse/generators.hpp"
+#include "ordering/ordering.hpp"
+#include "sparse/graph.hpp"
+
+namespace psi {
+namespace {
+
+Graph path_graph(Int n) {
+  TripletBuilder b(n);
+  for (Int i = 0; i < n; ++i) b.add(i, i, 1.0);
+  for (Int i = 0; i + 1 < n; ++i) b.add_symmetric(i, i + 1, -1.0);
+  return Graph(b.compile().pattern);
+}
+
+TEST(Graph, DegreesFromPattern) {
+  const Graph g = path_graph(5);
+  EXPECT_EQ(g.n(), 5);
+  EXPECT_EQ(g.edge_count(), 4);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 2);
+  EXPECT_EQ(g.degree(4), 1);
+}
+
+TEST(Graph, NeighborsSorted) {
+  const GeneratedMatrix gen = laplacian2d(4, 4, 1);
+  const Graph g(gen.matrix.pattern);
+  for (Int v = 0; v < g.n(); ++v)
+    EXPECT_TRUE(std::is_sorted(g.neighbors_begin(v), g.neighbors_end(v)));
+}
+
+TEST(Graph, SelfLoopsDropped) {
+  TripletBuilder b(3);
+  for (Int i = 0; i < 3; ++i) b.add(i, i, 1.0);
+  b.add_symmetric(0, 1, 1.0);
+  const Graph g(b.compile().pattern);
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 0);
+}
+
+TEST(Graph, InducedSubgraph) {
+  const Graph g = path_graph(6);
+  std::vector<Int> local_of;
+  const Graph sub = g.induced_subgraph({1, 2, 3, 5}, local_of);
+  EXPECT_EQ(sub.n(), 4);
+  EXPECT_EQ(sub.edge_count(), 2);  // 1-2, 2-3; vertex 5 isolated
+  EXPECT_EQ(local_of[static_cast<std::size_t>(2)], 1);
+  EXPECT_EQ(local_of[static_cast<std::size_t>(0)], -1);
+  EXPECT_EQ(sub.degree(3), 0);  // vertex 5
+}
+
+TEST(Graph, InducedSubgraphSortedForUnsortedVertexList) {
+  // Regression: local ids are not monotone in global ids when the vertex
+  // list is unsorted (separators come ordered by coordinate, not id); the
+  // adjacency lists must still come out sorted — min-degree's clique merge
+  // relies on it, and the original bug made its lists blow up with
+  // duplicates.
+  const GeneratedMatrix gen = laplacian2d(5, 5, 1);
+  const Graph g(gen.matrix.pattern);
+  std::vector<Int> vertices{12, 3, 17, 8, 2, 13, 7, 11};  // deliberately unsorted
+  std::vector<Int> local_of;
+  const Graph sub = g.induced_subgraph(vertices, local_of);
+  for (Int v = 0; v < sub.n(); ++v)
+    EXPECT_TRUE(std::is_sorted(sub.neighbors_begin(v), sub.neighbors_end(v)))
+        << "local vertex " << v;
+  // And min-degree on such a subgraph terminates with a valid permutation.
+  const Permutation p = min_degree_ordering(sub);
+  EXPECT_EQ(p.size(), sub.n());
+}
+
+TEST(BfsLevels, PathDistances) {
+  const Graph g = path_graph(5);
+  const LevelStructure ls = bfs_levels(g, 0, {}, 0);
+  EXPECT_EQ(ls.depth, 5);
+  for (Int v = 0; v < 5; ++v) EXPECT_EQ(ls.level[static_cast<std::size_t>(v)], v);
+  EXPECT_EQ(ls.order.size(), 5u);
+}
+
+TEST(BfsLevels, RespectsMask) {
+  const Graph g = path_graph(5);
+  std::vector<Int> mask{0, 0, 1, 0, 0};  // vertex 2 excluded from mask 0
+  const LevelStructure ls = bfs_levels(g, 0, mask, 0);
+  EXPECT_EQ(ls.level[1], 1);
+  EXPECT_EQ(ls.level[2], -1);  // blocked
+  EXPECT_EQ(ls.level[3], -1);  // unreachable behind the block
+}
+
+TEST(PseudoPeripheral, FindsPathEndpoint) {
+  const Graph g = path_graph(9);
+  const Int v = pseudo_peripheral_vertex(g, 4, {}, 0);
+  EXPECT_TRUE(v == 0 || v == 8);
+}
+
+TEST(ConnectedComponents, CountsAndLabels) {
+  TripletBuilder b(6);
+  for (Int i = 0; i < 6; ++i) b.add(i, i, 1.0);
+  b.add_symmetric(0, 1, 1.0);
+  b.add_symmetric(2, 3, 1.0);
+  b.add_symmetric(3, 4, 1.0);
+  const Graph g(b.compile().pattern);
+  Int count = 0;
+  const std::vector<Int> comp = connected_components(g, count);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[2], comp[5]);
+}
+
+TEST(ConnectedComponents, GridIsConnected) {
+  const GeneratedMatrix gen = laplacian3d(4, 3, 2, 1);
+  const Graph g(gen.matrix.pattern);
+  Int count = 0;
+  connected_components(g, count);
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,192 @@
+/// Cross-module integration tests: the full pipeline from matrix input to
+/// verified distributed selected inversion, plan reuse across shifted
+/// matrices (the PEXSI pole-loop pattern), system-level determinism, and the
+/// LU reference model across schemes and grid shapes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.hpp"
+#include "driver/experiment.hpp"
+#include "numeric/selinv.hpp"
+#include "pselinv/engine.hpp"
+#include "pselinv/lu_model.hpp"
+#include "pselinv/volume_analysis.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/matrix_market.hpp"
+
+namespace psi {
+namespace {
+
+using pselinv::ExecutionMode;
+using pselinv::Plan;
+using trees::TreeScheme;
+
+sim::Machine small_machine() {
+  sim::MachineConfig config;
+  config.cores_per_node = 4;
+  return sim::Machine(config);
+}
+
+TEST(Integration, MatrixMarketToDistributedInverse) {
+  // A user workflow: write a matrix to Matrix Market, read it back, run the
+  // whole pipeline, verify against the dense inverse.
+  const GeneratedMatrix gen = fem3d(3, 3, 2, 2, 21);
+  std::stringstream mm;
+  write_matrix_market(mm, gen.matrix);
+  const SparseMatrix loaded = read_matrix_market(mm);
+
+  AnalysisOptions opt;
+  opt.ordering.method = OrderingMethod::kMinDegree;  // no coords after I/O
+  opt.supernodes.max_size = 12;
+  const SymbolicAnalysis an = analyze(loaded, opt);
+  SupernodalLU lu = SupernodalLU::factor(an);
+  const Plan plan(an.blocks, dist::ProcessGrid(3, 3),
+                  driver::tree_options_for(TreeScheme::kShiftedBinary));
+  const auto run = run_pselinv(plan, small_machine(), ExecutionMode::kNumeric, &lu);
+
+  DenseMatrix dense(an.matrix.n(), an.matrix.n());
+  for (Int j = 0; j < an.matrix.n(); ++j)
+    for (Int p = an.matrix.pattern.col_ptr[j]; p < an.matrix.pattern.col_ptr[j + 1];
+         ++p)
+      dense(an.matrix.pattern.row_idx[p], j) =
+          an.matrix.values[static_cast<std::size_t>(p)];
+  const DenseMatrix inv = inverse(dense);
+  for (Int k = 0; k < an.blocks.supernode_count(); ++k) {
+    const DenseMatrix blk = run.ainv->block(k, k);
+    const Int c0 = an.blocks.part.first_col(k);
+    for (Int c = 0; c < blk.cols(); ++c)
+      for (Int r = 0; r < blk.rows(); ++r)
+        EXPECT_NEAR(blk(r, c), inv(c0 + r, c0 + c), 1e-9);
+  }
+}
+
+TEST(Integration, PlanReuseAcrossShiftedMatrices) {
+  // The PEXSI pole-loop pattern: one symbolic analysis + one plan serve many
+  // numeric factorizations with different diagonal shifts.
+  const GeneratedMatrix gen = dg2d(3, 3, 3, 31);
+  AnalysisOptions opt;
+  opt.ordering.method = OrderingMethod::kGeometricDissection;
+  opt.supernodes.max_size = 12;
+  const SymbolicAnalysis an = analyze(gen, opt);
+  const Plan plan(an.blocks, dist::ProcessGrid(2, 3),
+                  driver::tree_options_for(TreeScheme::kBinary));
+
+  for (double shift : {0.0, 1.0, 5.0}) {
+    SymbolicAnalysis shifted = an;
+    for (Int j = 0; j < shifted.matrix.n(); ++j)
+      for (Int p = shifted.matrix.pattern.col_ptr[j];
+           p < shifted.matrix.pattern.col_ptr[j + 1]; ++p)
+        if (shifted.matrix.pattern.row_idx[p] == j)
+          shifted.matrix.values[static_cast<std::size_t>(p)] += shift;
+
+    SupernodalLU lu_dist = SupernodalLU::factor(shifted);
+    SupernodalLU lu_seq = SupernodalLU::factor(shifted);
+    const BlockMatrix reference = selected_inversion(lu_seq);
+    const auto run =
+        run_pselinv(plan, small_machine(), ExecutionMode::kNumeric, &lu_dist);
+    double err = 0.0;
+    for (Int k = 0; k < an.blocks.supernode_count(); ++k)
+      err = std::max(err, max_abs_diff(run.ainv->block(k, k), reference.block(k, k)));
+    EXPECT_LT(err, 1e-10) << "shift " << shift;
+  }
+}
+
+TEST(Integration, TraceRunsAreDeterministic) {
+  const GeneratedMatrix gen = fem3d(4, 3, 3, 2, 3);
+  const SymbolicAnalysis an = analyze(gen, driver::default_analysis_options());
+  const Plan plan(an.blocks, dist::ProcessGrid(4, 4),
+                  driver::tree_options_for(TreeScheme::kShiftedBinary));
+  const sim::Machine machine(driver::edison_config(0.3, 17));
+  const auto a = run_pselinv(plan, machine, ExecutionMode::kTrace);
+  const auto b = run_pselinv(plan, machine, ExecutionMode::kTrace);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events, b.events);
+}
+
+TEST(Integration, JitterSeedChangesMakespan) {
+  const GeneratedMatrix gen = fem3d(4, 4, 3, 2, 3);
+  const SymbolicAnalysis an = analyze(gen, driver::default_analysis_options());
+  const Plan plan(an.blocks, dist::ProcessGrid(6, 6),
+                  driver::tree_options_for(TreeScheme::kFlat));
+  const auto a = run_pselinv(plan, sim::Machine(driver::edison_config(0.4, 1)),
+                             ExecutionMode::kTrace);
+  const auto b = run_pselinv(plan, sim::Machine(driver::edison_config(0.4, 2)),
+                             ExecutionMode::kTrace);
+  EXPECT_NE(a.makespan, b.makespan);  // different placement, different time
+  EXPECT_EQ(a.events, b.events);      // same protocol either way
+}
+
+TEST(Integration, LuModelAcrossSchemesAndGrids) {
+  const GeneratedMatrix gen = fem3d(4, 4, 3, 1, 9);
+  const SymbolicAnalysis an = analyze(gen, driver::default_analysis_options());
+  for (TreeScheme scheme : {TreeScheme::kFlat, TreeScheme::kBinary,
+                            TreeScheme::kShiftedBinary}) {
+    for (auto [pr, pc] : {std::pair{1, 1}, {2, 3}, {5, 5}, {3, 7}}) {
+      const auto run = pselinv::run_distributed_lu(
+          an.blocks, dist::ProcessGrid(pr, pc),
+          driver::tree_options_for(scheme), small_machine());
+      EXPECT_TRUE(run.complete())
+          << trees::scheme_name(scheme) << " on " << pr << "x" << pc;
+      EXPECT_GT(run.makespan, 0.0);
+    }
+  }
+}
+
+TEST(Integration, WideAndTallGridsAgreeNumerically) {
+  // The same problem on very different grid aspect ratios must give the same
+  // inverse (communication pattern changes completely; results must not).
+  const GeneratedMatrix gen = laplacian2d(7, 7, 11);
+  AnalysisOptions opt;
+  opt.ordering.method = OrderingMethod::kNestedDissection;
+  opt.supernodes.max_size = 8;
+  const SymbolicAnalysis an = analyze(gen, opt);
+
+  std::unique_ptr<BlockMatrix> previous;
+  for (auto [pr, pc] : {std::pair{1, 8}, {8, 1}, {4, 2}}) {
+    SupernodalLU lu = SupernodalLU::factor(an);
+    const Plan plan(an.blocks, dist::ProcessGrid(pr, pc),
+                    driver::tree_options_for(TreeScheme::kShiftedBinary));
+    auto run = run_pselinv(plan, small_machine(), ExecutionMode::kNumeric, &lu);
+    if (previous) {
+      double err = 0.0;
+      for (Int k = 0; k < an.blocks.supernode_count(); ++k)
+        err = std::max(err,
+                       max_abs_diff(run.ainv->block(k, k), previous->block(k, k)));
+      EXPECT_LT(err, 1e-12) << pr << "x" << pc;
+    }
+    previous = std::move(run.ainv);
+  }
+}
+
+TEST(Integration, HybridThresholdAblation) {
+  // Hybrid must equal Flat when every collective is below the threshold and
+  // equal ShiftedBinary when above it (volume-wise).
+  const GeneratedMatrix gen = fem3d(5, 5, 5, 2, 13);
+  AnalysisOptions opt = driver::default_analysis_options();
+  opt.supernodes.max_size = 24;
+  const SymbolicAnalysis an = analyze(gen, opt);
+
+  trees::TreeOptions hybrid_all_flat = driver::tree_options_for(TreeScheme::kHybrid);
+  hybrid_all_flat.hybrid_flat_threshold = 1 << 20;
+  const Plan plan_hybrid(an.blocks, dist::ProcessGrid(6, 6), hybrid_all_flat);
+  const Plan plan_flat(an.blocks, dist::ProcessGrid(6, 6),
+                       driver::tree_options_for(TreeScheme::kFlat));
+  const auto vol_h = pselinv::analyze_volume(plan_hybrid);
+  const auto vol_f = pselinv::analyze_volume(plan_flat);
+  EXPECT_EQ(vol_h.of(pselinv::kColBcast).bytes_sent(),
+            vol_f.of(pselinv::kColBcast).bytes_sent());
+
+  trees::TreeOptions hybrid_all_tree = driver::tree_options_for(TreeScheme::kHybrid);
+  hybrid_all_tree.hybrid_flat_threshold = 0;
+  const Plan plan_hybrid2(an.blocks, dist::ProcessGrid(6, 6), hybrid_all_tree);
+  const Plan plan_shift(an.blocks, dist::ProcessGrid(6, 6),
+                        driver::tree_options_for(TreeScheme::kShiftedBinary));
+  const auto vol_h2 = pselinv::analyze_volume(plan_hybrid2);
+  const auto vol_s = pselinv::analyze_volume(plan_shift);
+  EXPECT_EQ(vol_h2.of(pselinv::kColBcast).bytes_sent(),
+            vol_s.of(pselinv::kColBcast).bytes_sent());
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,274 @@
+/// Unit + property tests for the numeric stack: block storage, supernodal LU
+/// and the sequential selected inversion, validated against dense linear
+/// algebra.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "numeric/selinv.hpp"
+#include "numeric/supernodal_lu.hpp"
+#include "sparse/generators.hpp"
+
+namespace psi {
+namespace {
+
+DenseMatrix dense_of(const SparseMatrix& a) {
+  const Int n = a.n();
+  DenseMatrix d(n, n);
+  for (Int j = 0; j < n; ++j)
+    for (Int p = a.pattern.col_ptr[j]; p < a.pattern.col_ptr[j + 1]; ++p)
+      d(a.pattern.row_idx[p], j) = a.values[static_cast<std::size_t>(p)];
+  return d;
+}
+
+AnalysisOptions default_options() {
+  AnalysisOptions opt;
+  opt.ordering.method = OrderingMethod::kNestedDissection;
+  opt.ordering.dissection_leaf_size = 8;
+  opt.supernodes.max_size = 16;
+  return opt;
+}
+
+TEST(BlockMatrix, LoadAndDenseRoundTrip) {
+  const GeneratedMatrix gen = laplacian2d(4, 4, 3);
+  const SymbolicAnalysis an = analyze(gen, default_options());
+  BlockMatrix bm(an.blocks);
+  bm.load(an.matrix);
+  const DenseMatrix dense = bm.to_dense();
+  EXPECT_LT(max_abs_diff(dense, dense_of(an.matrix)), 1e-14);
+}
+
+TEST(BlockMatrix, BlockGetSetRoundTrip) {
+  const GeneratedMatrix gen = fem3d(2, 2, 2, 2, 5);
+  const SymbolicAnalysis an = analyze(gen, default_options());
+  BlockMatrix bm(an.blocks);
+  const BlockStructure& bs = an.blocks;
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)]) {
+      DenseMatrix v(bs.part.size(i), bs.part.size(k));
+      for (Int c = 0; c < v.cols(); ++c)
+        for (Int r = 0; r < v.rows(); ++r)
+          v(r, c) = static_cast<double>(k * 1000 + i * 10 + r + c);
+      bm.set_block(i, k, v);                      // lower
+      EXPECT_LT(max_abs_diff(bm.block(i, k), v), 1e-15);
+      const DenseMatrix vt = v.transposed();
+      bm.set_block(k, i, vt);                     // upper
+      EXPECT_LT(max_abs_diff(bm.block(k, i), vt), 1e-15);
+    }
+  }
+}
+
+TEST(BlockMatrix, AddBlockAccumulates) {
+  const GeneratedMatrix gen = laplacian2d(3, 3, 2);
+  const SymbolicAnalysis an = analyze(gen, default_options());
+  BlockMatrix bm(an.blocks);
+  const Int k = 0;
+  DenseMatrix v(an.blocks.part.size(k), an.blocks.part.size(k), 2.0);
+  bm.add_block(k, k, v, 1.0);
+  bm.add_block(k, k, v, -0.5);
+  EXPECT_NEAR(bm.diag(k)(0, 0), 1.0, 1e-15);
+}
+
+TEST(BlockMatrix, MissingBlockThrows) {
+  const GeneratedMatrix gen = laplacian2d(6, 6, 2);
+  const SymbolicAnalysis an = analyze(gen, default_options());
+  BlockMatrix bm(an.blocks);
+  // Find a pair (i, k) NOT in the structure.
+  const BlockStructure& bs = an.blocks;
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    for (Int i = k + 1; i < bs.supernode_count(); ++i) {
+      if (!std::binary_search(str.begin(), str.end(), i)) {
+        EXPECT_THROW(bm.block_offset(k, i), Error);
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "structure is fully dense; nothing to test";
+}
+
+/// Parameterized end-to-end numeric validation across matrix families,
+/// orderings, and value kinds.
+struct NumericCase {
+  std::string label;
+  GeneratedMatrix gen;
+  AnalysisOptions options;
+};
+
+NumericCase make_case(std::string label, GeneratedMatrix gen,
+                      OrderingMethod method, Int max_snode) {
+  NumericCase c{std::move(label), std::move(gen), {}};
+  c.options.ordering.method = method;
+  c.options.ordering.dissection_leaf_size = 8;
+  c.options.supernodes.max_size = max_snode;
+  return c;
+}
+
+class LuCorrectnessTest : public ::testing::TestWithParam<NumericCase> {};
+
+TEST_P(LuCorrectnessTest, FactorReconstructsMatrix) {
+  const auto& param = GetParam();
+  const SymbolicAnalysis an = analyze(param.gen, param.options);
+  const SupernodalLU lu = SupernodalLU::factor(an);
+
+  // Rebuild L and U from the packed storage and compare L*U to the matrix.
+  const Int n = an.matrix.n();
+  const DenseMatrix packed = lu.blocks().to_dense();
+  DenseMatrix l(n, n), u(n, n);
+  for (Int c = 0; c < n; ++c)
+    for (Int r = 0; r < n; ++r) {
+      if (r > c) l(r, c) = packed(r, c);
+      if (r == c) l(r, c) = 1.0;
+      if (r <= c) u(r, c) = packed(r, c);
+    }
+  DenseMatrix prod(n, n);
+  gemm(Trans::kNo, Trans::kNo, 1.0, l, u, 0.0, prod);
+  EXPECT_LT(max_abs_diff(prod, dense_of(an.matrix)), 1e-9) << param.label;
+}
+
+TEST_P(LuCorrectnessTest, SolveMatchesDense) {
+  const auto& param = GetParam();
+  const SymbolicAnalysis an = analyze(param.gen, param.options);
+  const SupernodalLU lu = SupernodalLU::factor(an);
+  const Int n = an.matrix.n();
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (Int i = 0; i < n; ++i)
+    b[static_cast<std::size_t>(i)] = std::sin(static_cast<double>(i) + 1.0);
+  const std::vector<double> x = lu.solve(b);
+  std::vector<double> ax;
+  an.matrix.multiply(x, ax);
+  for (Int i = 0; i < n; ++i)
+    EXPECT_NEAR(ax[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)], 1e-9)
+        << param.label << " row " << i;
+}
+
+TEST_P(LuCorrectnessTest, SelectedInversionMatchesDenseInverse) {
+  const auto& param = GetParam();
+  const SymbolicAnalysis an = analyze(param.gen, param.options);
+  SupernodalLU lu = SupernodalLU::factor(an);
+  const BlockMatrix ainv = selected_inversion(lu);
+
+  const DenseMatrix full_inv = inverse(dense_of(an.matrix));
+  // Every stored block of the selected inverse must match the dense inverse.
+  const BlockStructure& bs = an.blocks;
+  double max_err = 0.0;
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    const Int col0 = bs.part.first_col(k);
+    auto check_block = [&](Int i, Int kk) {
+      const DenseMatrix blk = ainv.block(i, kk);
+      const Int r0 = bs.part.first_col(i), c0 = bs.part.first_col(kk);
+      for (Int c = 0; c < blk.cols(); ++c)
+        for (Int r = 0; r < blk.rows(); ++r)
+          max_err = std::max(max_err, std::fabs(blk(r, c) - full_inv(r0 + r, c0 + c)));
+    };
+    check_block(k, k);
+    (void)col0;
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)]) {
+      check_block(i, k);
+      check_block(k, i);
+    }
+  }
+  EXPECT_LT(max_err, 1e-9) << param.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrices, LuCorrectnessTest,
+    ::testing::Values(
+        make_case("lap2d_nd", laplacian2d(6, 6, 1), OrderingMethod::kNestedDissection, 16),
+        make_case("lap2d_natural", laplacian2d(5, 5, 2), OrderingMethod::kNatural, 16),
+        make_case("lap2d_mindeg", laplacian2d(6, 5, 3), OrderingMethod::kMinDegree, 8),
+        make_case("lap3d", laplacian3d(3, 3, 3, 4), OrderingMethod::kNestedDissection, 8),
+        make_case("fem3d_d2", fem3d(3, 2, 2, 2, 5), OrderingMethod::kNestedDissection, 12),
+        make_case("fem3d_geo", fem3d(3, 3, 2, 2, 6), OrderingMethod::kGeometricDissection, 16),
+        make_case("dg2d", dg2d(3, 3, 4, 7), OrderingMethod::kGeometricDissection, 24),
+        make_case("dg3d", dg3d(2, 2, 2, 4, 8), OrderingMethod::kNestedDissection, 16),
+        make_case("random", random_symmetric(60, 4.0, 9), OrderingMethod::kMinDegree, 8),
+        make_case("rcm", laplacian2d(6, 4, 10), OrderingMethod::kRcm, 8),
+        make_case("unsym_values",
+                  fem3d(3, 2, 2, 2, 11, ValueKind::kUnsymmetric),
+                  OrderingMethod::kNestedDissection, 12),
+        make_case("unsym_dg",
+                  dg2d(3, 2, 4, 12, ValueKind::kUnsymmetric),
+                  OrderingMethod::kGeometricDissection, 16),
+        make_case("scalar_snodes", laplacian2d(5, 5, 13), OrderingMethod::kNestedDissection, 1)),
+    [](const ::testing::TestParamInfo<NumericCase>& info) { return info.param.label; });
+
+TEST(SupernodalLu, NormalizeIsIdempotentGuard) {
+  const GeneratedMatrix gen = laplacian2d(4, 4, 1);
+  const SymbolicAnalysis an = analyze(gen, default_options());
+  SupernodalLU lu = SupernodalLU::factor(an);
+  lu.normalize_panels();
+  EXPECT_TRUE(lu.normalized());
+  EXPECT_THROW(lu.normalize_panels(), Error);
+}
+
+TEST(SupernodalLu, NormalizedPanelsMatchDefinition) {
+  // L̂_{I,K} = L_{I,K} (L_KK)^{-1} and Û_{K,I} = (U_KK)^{-1} U_{K,I}.
+  const GeneratedMatrix gen = fem3d(2, 2, 2, 2, 3);
+  const SymbolicAnalysis an = analyze(gen, default_options());
+  SupernodalLU raw = SupernodalLU::factor(an);
+  SupernodalLU norm = SupernodalLU::factor(an);
+  norm.normalize_panels();
+  const BlockStructure& bs = an.blocks;
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    const Int w = bs.part.size(k);
+    // Extract L_KK (unit lower) and U_KK from the packed diagonal.
+    DenseMatrix lkk(w, w), ukk(w, w);
+    for (Int c = 0; c < w; ++c)
+      for (Int r = 0; r < w; ++r) {
+        if (r > c) lkk(r, c) = raw.blocks().diag(k)(r, c);
+        if (r == c) lkk(r, c) = 1.0;
+        if (r <= c) ukk(r, c) = raw.blocks().diag(k)(r, c);
+      }
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)]) {
+      DenseMatrix expected = raw.blocks().block(i, k);
+      trsm(Side::kRight, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0, lkk, expected);
+      EXPECT_LT(max_abs_diff(norm.blocks().block(i, k), expected), 1e-10);
+      DenseMatrix expected_u = raw.blocks().block(k, i);
+      trsm(Side::kLeft, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0, ukk, expected_u);
+      EXPECT_LT(max_abs_diff(norm.blocks().block(k, i), expected_u), 1e-10);
+    }
+  }
+}
+
+TEST(SelInv, SymmetricValuesGiveSymmetricInverseBlocks) {
+  const GeneratedMatrix gen = fem3d(3, 2, 2, 2, 4, ValueKind::kSymmetric);
+  const SymbolicAnalysis an = analyze(gen, default_options());
+  SupernodalLU lu = SupernodalLU::factor(an);
+  const BlockMatrix ainv = selected_inversion(lu);
+  const BlockStructure& bs = an.blocks;
+  for (Int k = 0; k < bs.supernode_count(); ++k)
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)]) {
+      const DenseMatrix lower = ainv.block(i, k);
+      const DenseMatrix upper = ainv.block(k, i);
+      EXPECT_LT(max_abs_diff(lower, upper.transposed()), 1e-9);
+    }
+}
+
+TEST(Flops, CountsArePositiveAndMonotone) {
+  const GeneratedMatrix small = laplacian2d(6, 6, 1);
+  const GeneratedMatrix large = laplacian2d(12, 12, 1);
+  const SymbolicAnalysis an_small = analyze(small, default_options());
+  const SymbolicAnalysis an_large = analyze(large, default_options());
+  EXPECT_GT(factorization_flops(an_small.blocks), 0);
+  EXPECT_GT(selinv_flops(an_small.blocks), 0);
+  EXPECT_GT(factorization_flops(an_large.blocks), factorization_flops(an_small.blocks));
+  EXPECT_GT(selinv_flops(an_large.blocks), selinv_flops(an_small.blocks));
+}
+
+TEST(SupernodalLu, ZeroPivotThrows) {
+  // A structurally symmetric matrix with a zero diagonal entry.
+  TripletBuilder b(2);
+  b.add(0, 0, 0.0);
+  b.add(1, 1, 1.0);
+  b.add_symmetric(0, 1, 1.0);
+  SparseMatrix m = b.compile();
+  AnalysisOptions opt;
+  opt.ordering.method = OrderingMethod::kNatural;
+  const SymbolicAnalysis an = analyze(m, opt);
+  EXPECT_THROW(SupernodalLU::factor(an), Error);
+}
+
+}  // namespace
+}  // namespace psi

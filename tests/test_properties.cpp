@@ -1,0 +1,209 @@
+/// Randomized property sweeps (parameterized over seeds): end-to-end
+/// invariants that must hold for ANY structurally symmetric input —
+/// factorization identity, selected-inversion agreement with the dense
+/// inverse, tree/spanning invariants over random participant subsets, and
+/// volume conservation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "driver/experiment.hpp"
+#include "numeric/selinv.hpp"
+#include "pselinv/engine.hpp"
+#include "pselinv/volume_analysis.hpp"
+#include "sparse/generators.hpp"
+#include "trees/volume.hpp"
+
+namespace psi {
+namespace {
+
+using pselinv::ExecutionMode;
+using pselinv::Plan;
+using trees::TreeScheme;
+
+class RandomMatrixSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// For a random connected symmetric matrix: analyze with a seed-dependent
+/// ordering/supernode configuration, factor, invert, verify against dense.
+TEST_P(RandomMatrixSweep, SelectedInversionMatchesDenseInverse) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const Int n = 30 + static_cast<Int>(rng.uniform(50));
+  const double degree = 3.0 + rng.uniform_double(0.0, 4.0);
+  const ValueKind values =
+      rng.uniform(2) ? ValueKind::kSymmetric : ValueKind::kUnsymmetric;
+  const GeneratedMatrix gen = random_symmetric(n, degree, seed, values);
+
+  AnalysisOptions opt;
+  const OrderingMethod methods[] = {OrderingMethod::kNatural, OrderingMethod::kRcm,
+                                    OrderingMethod::kMinDegree,
+                                    OrderingMethod::kNestedDissection};
+  opt.ordering.method = methods[rng.uniform(4)];
+  opt.ordering.dissection_leaf_size = 4 + static_cast<Int>(rng.uniform(16));
+  opt.supernodes.max_size = 4 + static_cast<Int>(rng.uniform(20));
+  opt.supernodes.relax_small = static_cast<Int>(rng.uniform(8));
+  const SymbolicAnalysis an = analyze(gen, opt);
+  an.blocks.validate();
+
+  SupernodalLU lu = SupernodalLU::factor(an);
+  const BlockMatrix ainv = selected_inversion(lu);
+
+  DenseMatrix dense(n, n);
+  for (Int j = 0; j < n; ++j)
+    for (Int p = an.matrix.pattern.col_ptr[j]; p < an.matrix.pattern.col_ptr[j + 1];
+         ++p)
+      dense(an.matrix.pattern.row_idx[p], j) =
+          an.matrix.values[static_cast<std::size_t>(p)];
+  const DenseMatrix full_inv = inverse(dense);
+
+  double max_err = 0.0;
+  const BlockStructure& bs = an.blocks;
+  auto check = [&](Int i, Int k) {
+    const DenseMatrix blk = ainv.block(i, k);
+    const Int r0 = bs.part.first_col(i), c0 = bs.part.first_col(k);
+    for (Int c = 0; c < blk.cols(); ++c)
+      for (Int r = 0; r < blk.rows(); ++r)
+        max_err = std::max(max_err, std::fabs(blk(r, c) - full_inv(r0 + r, c0 + c)));
+  };
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    check(k, k);
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)]) {
+      check(i, k);
+      check(k, i);
+    }
+  }
+  EXPECT_LT(max_err, 1e-8) << "seed " << seed << " n " << n;
+}
+
+/// The distributed engine must agree with the sequential one on random
+/// configurations (grid shape, scheme, value kind all seed-derived).
+TEST_P(RandomMatrixSweep, DistributedMatchesSequential) {
+  const std::uint64_t seed = GetParam() ^ 0xD157ULL;
+  Rng rng(seed);
+  const Int n = 30 + static_cast<Int>(rng.uniform(40));
+  const ValueKind values =
+      rng.uniform(2) ? ValueKind::kSymmetric : ValueKind::kUnsymmetric;
+  const GeneratedMatrix gen = random_symmetric(n, 4.0, seed, values);
+
+  AnalysisOptions opt;
+  opt.ordering.method = OrderingMethod::kMinDegree;
+  opt.supernodes.max_size = 4 + static_cast<Int>(rng.uniform(12));
+  const SymbolicAnalysis an = analyze(gen, opt);
+
+  SupernodalLU lu_seq = SupernodalLU::factor(an);
+  const BlockMatrix reference = selected_inversion(lu_seq);
+
+  const int pr = 1 + static_cast<int>(rng.uniform(5));
+  const int pc = 1 + static_cast<int>(rng.uniform(5));
+  const TreeScheme schemes[] = {TreeScheme::kFlat, TreeScheme::kBinary,
+                                TreeScheme::kShiftedBinary, TreeScheme::kBinomial,
+                                TreeScheme::kShiftedBinomial};
+  const TreeScheme scheme = schemes[rng.uniform(5)];
+  const auto symmetry = values == ValueKind::kSymmetric
+                            ? pselinv::ValueSymmetry::kSymmetric
+                            : pselinv::ValueSymmetry::kUnsymmetric;
+  const Plan plan(an.blocks, dist::ProcessGrid(pr, pc),
+                  driver::tree_options_for(scheme, seed), symmetry);
+  SupernodalLU lu_dist = SupernodalLU::factor(an);
+  const sim::Machine machine(driver::edison_config(0.2, seed));
+  const auto run =
+      run_pselinv(plan, machine, ExecutionMode::kNumeric, &lu_dist);
+
+  double max_err = 0.0;
+  const BlockStructure& bs = an.blocks;
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    max_err = std::max(max_err,
+                       max_abs_diff(run.ainv->block(k, k), reference.block(k, k)));
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)]) {
+      max_err = std::max(max_err,
+                         max_abs_diff(run.ainv->block(i, k), reference.block(i, k)));
+      max_err = std::max(max_err,
+                         max_abs_diff(run.ainv->block(k, i), reference.block(k, i)));
+    }
+  }
+  EXPECT_LT(max_err, 1e-9) << "seed " << seed << " grid " << pr << "x" << pc
+                           << " scheme " << trees::scheme_name(scheme);
+}
+
+/// Random participant subsets: every scheme must yield a spanning tree whose
+/// broadcast conserves bytes.
+TEST_P(RandomMatrixSweep, RandomSubsetTreesSpanAndConserve) {
+  const std::uint64_t seed = GetParam() ^ 0x7EEE5ULL;
+  Rng rng(seed);
+  const int universe = 8 + static_cast<int>(rng.uniform(120));
+  const int root = static_cast<int>(rng.uniform(static_cast<std::uint64_t>(universe)));
+  std::vector<int> receivers;
+  for (int r = 0; r < universe; ++r)
+    if (r != root && rng.uniform(3) != 0) receivers.push_back(r);
+
+  const TreeScheme schemes[] = {TreeScheme::kFlat, TreeScheme::kBinary,
+                                TreeScheme::kShiftedBinary, TreeScheme::kRandomPerm,
+                                TreeScheme::kHybrid, TreeScheme::kBinomial,
+                                TreeScheme::kShiftedBinomial};
+  for (TreeScheme scheme : schemes) {
+    const trees::CommTree tree = trees::CommTree::build(
+        driver::tree_options_for(scheme, seed), root, receivers, seed);
+    // Spanning: every participant reachable exactly once.
+    std::set<int> reached{root};
+    std::vector<int> frontier{root};
+    while (!frontier.empty()) {
+      const int v = frontier.back();
+      frontier.pop_back();
+      for (int c : tree.children_of(v)) {
+        EXPECT_TRUE(reached.insert(c).second);
+        frontier.push_back(c);
+      }
+    }
+    EXPECT_EQ(reached.size(), receivers.size() + 1) << trees::scheme_name(scheme);
+
+    trees::VolumeAccumulator acc(universe);
+    acc.add_bcast(tree, 1000);
+    Count sent = 0, received = 0;
+    for (Count b : acc.bytes_sent()) sent += b;
+    for (Count b : acc.bytes_received()) received += b;
+    EXPECT_EQ(sent, static_cast<Count>(receivers.size()) * 1000);
+    EXPECT_EQ(received, sent);
+  }
+}
+
+/// Total per-class traffic must be invariant under the tree scheme (trees
+/// move the same data differently) and exactly double-counted between the
+/// send and receive sides.
+TEST_P(RandomMatrixSweep, PlanTrafficInvariants) {
+  const std::uint64_t seed = GetParam() ^ 0x70FFULL;
+  Rng rng(seed);
+  const GeneratedMatrix gen =
+      fem3d(2 + static_cast<Int>(rng.uniform(3)), 3, 3, 2, seed);
+  AnalysisOptions opt;
+  opt.supernodes.max_size = 6 + static_cast<Int>(rng.uniform(10));
+  const SymbolicAnalysis an = analyze(gen, opt);
+  const int pr = 2 + static_cast<int>(rng.uniform(4));
+  const int pc = 2 + static_cast<int>(rng.uniform(4));
+
+  std::vector<Count> totals;
+  for (TreeScheme scheme :
+       {TreeScheme::kFlat, TreeScheme::kShiftedBinary, TreeScheme::kBinomial}) {
+    const Plan plan(an.blocks, dist::ProcessGrid(pr, pc),
+                    driver::tree_options_for(scheme, seed));
+    const auto report = pselinv::analyze_volume(plan);
+    Count sent = 0, received = 0;
+    for (int c = 0; c < pselinv::kCommClassCount; ++c) {
+      for (Count b : report.of(c).bytes_sent()) sent += b;
+      for (Count b : report.of(c).bytes_received()) received += b;
+    }
+    EXPECT_EQ(sent, received) << trees::scheme_name(scheme);
+    totals.push_back(sent);
+  }
+  EXPECT_EQ(totals[0], totals[1]);
+  EXPECT_EQ(totals[1], totals[2]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatrixSweep,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace psi

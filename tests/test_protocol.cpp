@@ -1,0 +1,148 @@
+/// Unit tests for the asynchronous tree protocol helpers (trees/protocol.hpp)
+/// driven through the simulator: a full broadcast and a full reduction over
+/// each scheme, with numeric payload verification.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/check.hpp"
+#include "sim/engine.hpp"
+#include "trees/comm_tree.hpp"
+#include "trees/protocol.hpp"
+
+namespace psi::trees {
+namespace {
+
+sim::Machine test_machine() {
+  sim::MachineConfig config;
+  config.cores_per_node = 4;
+  return sim::Machine(config);
+}
+
+TEST(ReduceState, CountsChildrenPlusLocal) {
+  ReduceState state(2);  // two children + local
+  EXPECT_FALSE(state.ready());
+  EXPECT_FALSE(state.add_local(nullptr));
+  EXPECT_FALSE(state.add_child(nullptr));
+  EXPECT_TRUE(state.add_child(nullptr));
+  EXPECT_TRUE(state.ready());
+  EXPECT_EQ(state.accumulated(), nullptr);  // trace mode: no matrix
+}
+
+TEST(ReduceState, AccumulatesMatrices) {
+  ReduceState state(1);
+  auto local = std::make_shared<DenseMatrix>(2, 2, 1.0);
+  EXPECT_FALSE(state.add_local(std::move(local)));
+  auto child = std::make_shared<DenseMatrix>(2, 2, 2.5);
+  EXPECT_TRUE(state.add_child(child));
+  const auto sum = state.accumulated();
+  ASSERT_NE(sum, nullptr);
+  EXPECT_DOUBLE_EQ((*sum)(0, 0), 3.5);
+  EXPECT_DOUBLE_EQ((*sum)(1, 1), 3.5);
+  // The child's payload must not have been mutated (it may be shared with
+  // other consumers of the broadcast).
+  EXPECT_DOUBLE_EQ((*child)(0, 0), 2.5);
+}
+
+TEST(ReduceState, ShapeMismatchThrows) {
+  ReduceState state(1);
+  state.add_local(std::make_shared<DenseMatrix>(2, 2, 1.0));
+  EXPECT_THROW(state.add_child(std::make_shared<DenseMatrix>(3, 2, 1.0)), Error);
+}
+
+TEST(ReduceState, OvercountThrows) {
+  ReduceState state(0);
+  EXPECT_TRUE(state.add_local(nullptr));
+  EXPECT_THROW(state.add_local(nullptr), Error);
+}
+
+/// A rank program executing one broadcast followed by one reduction over the
+/// same tree: the root broadcasts a value, every participant contributes
+/// value + rank, the root checks the total.
+class BcastReduceRank : public sim::Rank {
+ public:
+  struct Shared {
+    const CommTree* tree;
+    double broadcast_value = 7.0;
+    double reduced_total = 0.0;
+    int deliveries = 0;
+  };
+
+  BcastReduceRank(Shared& shared, int rank) : sh_(&shared), me_(rank) {}
+
+  void on_start(sim::Context& ctx) override {
+    if (!sh_->tree->participates(me_) || me_ != sh_->tree->root()) return;
+    auto payload = std::make_shared<DenseMatrix>(1, 1, sh_->broadcast_value);
+    bcast_forward(ctx, *sh_->tree, /*tag=*/1, 8, 0, payload);
+    consume(ctx, payload);
+  }
+
+  void on_message(sim::Context& ctx, const sim::Message& msg) override {
+    if (msg.tag == 1) {
+      bcast_forward(ctx, *sh_->tree, msg.tag, msg.bytes, 0, msg.data);
+      consume(ctx, msg.data);
+    } else {
+      if (reduce_.add_child(msg.data)) complete(ctx);
+    }
+  }
+
+ private:
+  void consume(sim::Context& ctx, const std::shared_ptr<const DenseMatrix>& p) {
+    ++sh_->deliveries;
+    EXPECT_DOUBLE_EQ((*p)(0, 0), sh_->broadcast_value);
+    reduce_ = ReduceState(static_cast<int>(sh_->tree->children_of(me_).size()));
+    auto contribution =
+        std::make_shared<DenseMatrix>(1, 1, (*p)(0, 0) + me_);
+    if (reduce_.add_local(std::move(contribution))) complete(ctx);
+  }
+
+  void complete(sim::Context& ctx) {
+    if (me_ == sh_->tree->root()) {
+      sh_->reduced_total = (*reduce_.accumulated())(0, 0);
+    } else {
+      ctx.send(sh_->tree->parent_of(me_), /*tag=*/2, 8, 0, reduce_.accumulated());
+    }
+  }
+
+  Shared* sh_;
+  int me_;
+  ReduceState reduce_;
+};
+
+class ProtocolRoundTrip : public ::testing::TestWithParam<TreeScheme> {};
+
+TEST_P(ProtocolRoundTrip, BcastThenReduceOverTree) {
+  const int nranks = 13;
+  TreeOptions options;
+  options.scheme = GetParam();
+  std::vector<int> receivers;
+  for (int r = 0; r < nranks; ++r)
+    if (r != 4) receivers.push_back(r);
+  const CommTree tree = CommTree::build(options, 4, receivers, 99);
+
+  BcastReduceRank::Shared shared{&tree};
+  const sim::Machine machine = test_machine();
+  sim::Engine engine(machine, nranks, 1);
+  for (int r = 0; r < nranks; ++r)
+    engine.set_rank(r, std::make_unique<BcastReduceRank>(shared, r));
+  engine.run();
+
+  EXPECT_EQ(shared.deliveries, nranks);  // every participant consumed once
+  // Sum over all ranks of (7 + rank) = 13*7 + 0+1+...+12.
+  EXPECT_DOUBLE_EQ(shared.reduced_total, 13 * 7.0 + 78.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ProtocolRoundTrip,
+                         ::testing::Values(TreeScheme::kFlat, TreeScheme::kBinary,
+                                           TreeScheme::kShiftedBinary,
+                                           TreeScheme::kRandomPerm,
+                                           TreeScheme::kHybrid),
+                         [](const ::testing::TestParamInfo<TreeScheme>& info) {
+                           std::string name = scheme_name(info.param);
+                           for (char& c : name)
+                             if (!isalnum(static_cast<unsigned char>(c))) c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace psi::trees

@@ -1,0 +1,260 @@
+/// Unit tests for the discrete-event simulator: machine cost model, event
+/// ordering, NIC serialization, counters, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.hpp"
+#include "sim/engine.hpp"
+
+namespace psi::sim {
+namespace {
+
+MachineConfig test_config() {
+  MachineConfig config;
+  config.cores_per_node = 4;
+  config.nodes_per_group = 2;
+  config.flop_rate = 1e9;
+  config.msg_overhead = 1e-6;
+  return config;
+}
+
+TEST(Machine, TopologyTiers) {
+  const Machine m(test_config());
+  EXPECT_EQ(m.node_of(0), 0);
+  EXPECT_EQ(m.node_of(3), 0);
+  EXPECT_EQ(m.node_of(4), 1);
+  EXPECT_EQ(m.group_of(0), 0);
+  EXPECT_EQ(m.group_of(7), 0);
+  EXPECT_EQ(m.group_of(8), 1);
+  // Latencies increase with distance.
+  EXPECT_EQ(m.latency(0, 0), 0.0);
+  EXPECT_LT(m.latency(0, 1), m.latency(0, 4));
+  EXPECT_LT(m.latency(0, 4), m.latency(0, 8));
+}
+
+TEST(Machine, OccupancyScalesWithBytes) {
+  const Machine m(test_config());
+  EXPECT_DOUBLE_EQ(m.occupancy(0, 0, 1 << 20), 0.0);  // rank-local
+  const double small = m.occupancy(0, 4, 1000);
+  const double large = m.occupancy(0, 4, 2000);
+  EXPECT_NEAR(large, 2.0 * small, 1e-12);
+  // Farther tiers are slower per byte.
+  EXPECT_LT(m.occupancy(0, 1, 1 << 20), m.occupancy(0, 8, 1 << 20));
+}
+
+TEST(Machine, JitterDeterministicAndSymmetric) {
+  MachineConfig config = test_config();
+  config.jitter_sigma = 0.3;
+  config.jitter_seed = 7;
+  const Machine m(config);
+  EXPECT_DOUBLE_EQ(m.pair_jitter(0, 4), m.pair_jitter(4, 0));
+  EXPECT_DOUBLE_EQ(m.pair_jitter(0, 4), m.pair_jitter(1, 5));  // same node pair
+  EXPECT_DOUBLE_EQ(m.pair_jitter(0, 1), 1.0);                  // intra-node
+  // A different seed gives a different field (with overwhelming probability
+  // across several pairs).
+  config.jitter_seed = 8;
+  const Machine m2(config);
+  bool differs = false;
+  for (int dst = 4; dst < 32; dst += 4)
+    differs = differs || (m.pair_jitter(0, dst) != m2.pair_jitter(0, dst));
+  EXPECT_TRUE(differs);
+}
+
+TEST(Machine, NoJitterIsUnity) {
+  const Machine m(test_config());
+  EXPECT_DOUBLE_EQ(m.pair_jitter(0, 100), 1.0);
+}
+
+/// Ping-pong program: rank 0 sends to rank 1, which echoes back N times.
+class PingPong : public Rank {
+ public:
+  PingPong(int peer, int rounds, std::vector<SimTime>* log)
+      : peer_(peer), rounds_(rounds), log_(log) {}
+
+  void on_start(Context& ctx) override {
+    if (ctx.rank() == 0) ctx.send(peer_, 0, 1024, 0);
+  }
+  void on_message(Context& ctx, const Message& msg) override {
+    log_->push_back(ctx.now());
+    if (static_cast<int>(msg.tag) < rounds_)
+      ctx.send(msg.src, msg.tag + 1, 1024, 0);
+  }
+
+ private:
+  int peer_;
+  int rounds_;
+  std::vector<SimTime>* log_;
+};
+
+TEST(Engine, PingPongAdvancesTime) {
+  const Machine m(test_config());
+  Engine engine(m, 2, 1);
+  std::vector<SimTime> log;
+  engine.set_rank(0, std::make_unique<PingPong>(1, 4, &log));
+  engine.set_rank(1, std::make_unique<PingPong>(0, 4, &log));
+  const SimTime makespan = engine.run();
+  EXPECT_EQ(log.size(), 5u);  // 5 deliveries (tags 0..4)
+  for (std::size_t i = 1; i < log.size(); ++i) EXPECT_GT(log[i], log[i - 1]);
+  EXPECT_GT(makespan, 0.0);
+  // Counters: rank 0 sent 3 messages (tags 0, 2, 4... tag 0,2,4 -> 3 sends);
+  // rank 1 sent 2.
+  EXPECT_EQ(engine.stats(0).per_class[0].messages_sent, 3);
+  EXPECT_EQ(engine.stats(1).per_class[0].messages_sent, 2);
+  EXPECT_EQ(engine.stats(1).per_class[0].bytes_received, 3 * 1024);
+}
+
+TEST(Engine, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    const Machine m(test_config());
+    Engine engine(m, 2, 1);
+    std::vector<SimTime> log;
+    engine.set_rank(0, std::make_unique<PingPong>(1, 10, &log));
+    engine.set_rank(1, std::make_unique<PingPong>(0, 10, &log));
+    return engine.run();
+  };
+  EXPECT_DOUBLE_EQ(run_once(), run_once());
+}
+
+/// Fan-out: rank 0 sends one message to every other rank.
+class FanOutRoot : public Rank {
+ public:
+  FanOutRoot(int nranks, Count bytes) : nranks_(nranks), bytes_(bytes) {}
+  void on_start(Context& ctx) override {
+    for (int r = 1; r < nranks_; ++r) ctx.send(r, 0, bytes_, 0);
+  }
+  void on_message(Context&, const Message&) override {}
+ private:
+  int nranks_;
+  Count bytes_;
+};
+
+class Sink : public Rank {
+ public:
+  explicit Sink(std::vector<SimTime>* arrivals) : arrivals_(arrivals) {}
+  void on_start(Context&) override {}
+  void on_message(Context& ctx, const Message&) override {
+    arrivals_->push_back(ctx.now());
+  }
+ private:
+  std::vector<SimTime>* arrivals_;
+};
+
+TEST(Engine, SenderNicSerializesFanOut) {
+  // With NIC serialization the k-th recipient sees ~k * occupancy delay:
+  // the makespan of a 1-to-15 fan-out of 1MB messages must be around
+  // 15 * occupancy, not 1 * occupancy.
+  const Machine m(test_config());
+  const int nranks = 16;
+  const Count bytes = 1 << 20;
+  Engine engine(m, nranks, 1);
+  std::vector<SimTime> arrivals;
+  engine.set_rank(0, std::make_unique<FanOutRoot>(nranks, bytes));
+  for (int r = 1; r < nranks; ++r)
+    engine.set_rank(r, std::make_unique<Sink>(&arrivals));
+  const SimTime makespan = engine.run();
+  const double one_transfer = m.occupancy(0, 8, bytes);
+  EXPECT_GT(makespan, 10.0 * one_transfer);
+}
+
+/// Binary relay: root sends to 2 children, each forwards to 2 more — the
+/// makespan should beat the flat fan-out for the same payload count.
+class Relay : public Rank {
+ public:
+  Relay(int nranks, Count bytes) : nranks_(nranks), bytes_(bytes) {}
+  void on_start(Context& ctx) override {
+    if (ctx.rank() == 0) forward(ctx);
+  }
+  void on_message(Context& ctx, const Message&) override { forward(ctx); }
+ private:
+  void forward(Context& ctx) {
+    const int left = 2 * ctx.rank() + 1, right = 2 * ctx.rank() + 2;
+    if (left < nranks_) ctx.send(left, 0, bytes_, 0);
+    if (right < nranks_) ctx.send(right, 0, bytes_, 0);
+  }
+  int nranks_;
+  Count bytes_;
+};
+
+TEST(Engine, TreeFanOutBeatsFlatFanOut) {
+  const int nranks = 32;
+  const Count bytes = 1 << 20;
+  const Machine m(test_config());
+
+  Engine flat(m, nranks, 1);
+  flat.set_rank(0, std::make_unique<FanOutRoot>(nranks, bytes));
+  std::vector<SimTime> arrivals;
+  for (int r = 1; r < nranks; ++r)
+    flat.set_rank(r, std::make_unique<Sink>(&arrivals));
+  const SimTime flat_time = flat.run();
+
+  Engine tree(m, nranks, 1);
+  for (int r = 0; r < nranks; ++r)
+    tree.set_rank(r, std::make_unique<Relay>(nranks, bytes));
+  const SimTime tree_time = tree.run();
+
+  EXPECT_LT(tree_time, flat_time);
+}
+
+TEST(Engine, ComputeAccounting) {
+  class Worker : public Rank {
+   public:
+    void on_start(Context& ctx) override { ctx.compute_flops(5'000'000); }
+    void on_message(Context&, const Message&) override {}
+  };
+  const Machine m(test_config());  // 1 GF/s
+  Engine engine(m, 1, 1);
+  engine.set_rank(0, std::make_unique<Worker>());
+  const SimTime makespan = engine.run();
+  EXPECT_NEAR(makespan, 5e-3, 1e-12);
+  EXPECT_NEAR(engine.stats(0).compute_seconds, 5e-3, 1e-12);
+}
+
+TEST(Engine, SelfSendDelivered) {
+  class SelfSender : public Rank {
+   public:
+    explicit SelfSender(int* got) : got_(got) {}
+    void on_start(Context& ctx) override { ctx.send(ctx.rank(), 42, 100, 0); }
+    void on_message(Context&, const Message& msg) override {
+      if (msg.tag == 42) ++*got_;
+    }
+   private:
+    int* got_;
+  };
+  const Machine m(test_config());
+  Engine engine(m, 1, 1);
+  int got = 0;
+  engine.set_rank(0, std::make_unique<SelfSender>(&got));
+  engine.run();
+  EXPECT_EQ(got, 1);
+  // Self-sends are not network traffic.
+  EXPECT_EQ(engine.stats(0).per_class[0].bytes_sent, 0);
+}
+
+TEST(Engine, RejectsBadSends) {
+  class BadSender : public Rank {
+   public:
+    void on_start(Context& ctx) override { ctx.send(99, 0, 8, 0); }
+    void on_message(Context&, const Message&) override {}
+  };
+  const Machine m(test_config());
+  Engine engine(m, 2, 1);
+  engine.set_rank(0, std::make_unique<BadSender>());
+  engine.set_rank(1, std::make_unique<BadSender>());
+  EXPECT_THROW(engine.run(), Error);
+}
+
+TEST(Engine, RunTwiceThrows) {
+  class Idle : public Rank {
+    void on_start(Context&) override {}
+    void on_message(Context&, const Message&) override {}
+  };
+  const Machine m(test_config());
+  Engine engine(m, 1, 1);
+  engine.set_rank(0, std::make_unique<Idle>());
+  engine.run();
+  EXPECT_THROW(engine.run(), Error);
+}
+
+}  // namespace
+}  // namespace psi::sim

@@ -1,0 +1,239 @@
+/// Unit tests for sparse structures, the Matrix Market I/O, and the
+/// synthetic matrix generators.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/graph.hpp"
+#include "sparse/matrix_market.hpp"
+#include "sparse/sparse_matrix.hpp"
+
+namespace psi {
+namespace {
+
+TEST(TripletBuilder, CompilesSortedDeduplicated) {
+  TripletBuilder b(3);
+  b.add(2, 0, 1.0);
+  b.add(0, 0, 2.0);
+  b.add(2, 0, 0.5);  // duplicate -> summed
+  b.add(1, 2, 3.0);
+  const SparseMatrix m = b.compile();
+  m.validate();
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(m.value_at(2, 0), 1.5);
+  EXPECT_DOUBLE_EQ(m.value_at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.value_at(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.value_at(1, 1), 0.0);
+}
+
+TEST(TripletBuilder, OutOfRangeThrows) {
+  TripletBuilder b(2);
+  EXPECT_THROW(b.add(2, 0, 1.0), Error);
+  EXPECT_THROW(b.add(0, -1, 1.0), Error);
+}
+
+TEST(TripletBuilder, AddSymmetric) {
+  TripletBuilder b(3);
+  b.add_symmetric(0, 1, 2.5);
+  b.add_symmetric(2, 2, 1.0);  // diagonal: added once
+  const SparseMatrix m = b.compile();
+  EXPECT_EQ(m.nnz(), 3);
+  EXPECT_DOUBLE_EQ(m.value_at(0, 1), 2.5);
+  EXPECT_DOUBLE_EQ(m.value_at(1, 0), 2.5);
+  EXPECT_DOUBLE_EQ(m.value_at(2, 2), 1.0);
+}
+
+TEST(SparsityPattern, SymmetryDetection) {
+  TripletBuilder b(3);
+  b.add(0, 1, 1.0);
+  const SparseMatrix m = b.compile();
+  EXPECT_FALSE(m.pattern.is_structurally_symmetric());
+  const SparsityPattern sym = m.pattern.symmetrized();
+  EXPECT_TRUE(sym.is_structurally_symmetric());
+  EXPECT_TRUE(sym.has_entry(1, 0));
+}
+
+TEST(SparseMatrix, MultiplyMatchesDense) {
+  const GeneratedMatrix gen = laplacian2d(4, 3, 5);
+  const auto dense = gen.matrix.to_dense_rowmajor();
+  const auto n = static_cast<std::size_t>(gen.matrix.n());
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) x[i] = static_cast<double>(i) * 0.25 - 1.0;
+  std::vector<double> y;
+  gen.matrix.multiply(x, y);
+  for (std::size_t i = 0; i < n; ++i) {
+    double expected = 0.0;
+    for (std::size_t j = 0; j < n; ++j) expected += dense[i * n + j] * x[j];
+    EXPECT_NEAR(y[i], expected, 1e-12);
+  }
+}
+
+TEST(PermuteSymmetric, ValuesFollowPermutation) {
+  const GeneratedMatrix gen = laplacian2d(3, 3, 7);
+  std::vector<Int> perm(static_cast<std::size_t>(gen.matrix.n()));
+  for (std::size_t k = 0; k < perm.size(); ++k)
+    perm[k] = static_cast<Int>((k + 3) % perm.size());
+  const SparseMatrix p = permute_symmetric(gen.matrix, perm);
+  p.validate();
+  EXPECT_EQ(p.nnz(), gen.matrix.nnz());
+  for (Int j = 0; j < gen.matrix.n(); ++j)
+    for (Int i = 0; i < gen.matrix.n(); ++i)
+      EXPECT_DOUBLE_EQ(p.value_at(perm[static_cast<std::size_t>(i)],
+                                  perm[static_cast<std::size_t>(j)]),
+                       gen.matrix.value_at(i, j));
+}
+
+TEST(MatrixMarket, RoundTripGeneral) {
+  const GeneratedMatrix gen = fem3d(3, 2, 2, 2, 11);
+  std::stringstream ss;
+  write_matrix_market(ss, gen.matrix);
+  const SparseMatrix back = read_matrix_market(ss);
+  back.validate();
+  ASSERT_EQ(back.n(), gen.matrix.n());
+  ASSERT_EQ(back.nnz(), gen.matrix.nnz());
+  for (Int j = 0; j < back.n(); ++j)
+    for (Int p = back.pattern.col_ptr[j]; p < back.pattern.col_ptr[j + 1]; ++p)
+      EXPECT_DOUBLE_EQ(back.values[static_cast<std::size_t>(p)],
+                       gen.matrix.values[static_cast<std::size_t>(p)]);
+}
+
+TEST(MatrixMarket, ReadsSymmetricStorage) {
+  std::stringstream ss;
+  ss << "%%MatrixMarket matrix coordinate real symmetric\n"
+     << "% comment line\n"
+     << "3 3 4\n"
+     << "1 1 2.0\n"
+     << "2 1 -1.0\n"
+     << "3 3 5.0\n"
+     << "3 2 0.5\n";
+  const SparseMatrix m = read_matrix_market(ss);
+  EXPECT_EQ(m.n(), 3);
+  EXPECT_EQ(m.nnz(), 6);  // two off-diagonals mirrored
+  EXPECT_DOUBLE_EQ(m.value_at(0, 1), -1.0);
+  EXPECT_DOUBLE_EQ(m.value_at(1, 2), 0.5);
+}
+
+TEST(MatrixMarket, RejectsMalformed) {
+  std::stringstream bad_banner("%%NotMM matrix coordinate real general\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(bad_banner), Error);
+  std::stringstream rect(
+      "%%MatrixMarket matrix coordinate real general\n2 3 0\n");
+  EXPECT_THROW(read_matrix_market(rect), Error);
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/file.mtx"), Error);
+}
+
+/// All generators must produce structurally symmetric, diagonally dominant
+/// matrices with a full diagonal — the contract the unpivoted factorization
+/// relies on.
+class GeneratorContractTest : public ::testing::TestWithParam<GeneratedMatrix> {};
+
+TEST_P(GeneratorContractTest, StructurallySymmetric) {
+  EXPECT_TRUE(GetParam().matrix.pattern.is_structurally_symmetric());
+}
+
+TEST_P(GeneratorContractTest, ValidStructure) {
+  GetParam().matrix.validate();
+  EXPECT_EQ(static_cast<Int>(GetParam().coords.size()), GetParam().matrix.n());
+  EXPECT_FALSE(GetParam().name.empty());
+}
+
+TEST_P(GeneratorContractTest, RowAndColumnDiagonallyDominant) {
+  const SparseMatrix& m = GetParam().matrix;
+  const Int n = m.n();
+  std::vector<double> row_off(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> col_off(static_cast<std::size_t>(n), 0.0);
+  std::vector<double> diag(static_cast<std::size_t>(n), 0.0);
+  for (Int j = 0; j < n; ++j)
+    for (Int p = m.pattern.col_ptr[j]; p < m.pattern.col_ptr[j + 1]; ++p) {
+      const Int i = m.pattern.row_idx[p];
+      const double v = m.values[static_cast<std::size_t>(p)];
+      if (i == j)
+        diag[static_cast<std::size_t>(i)] = v;
+      else {
+        row_off[static_cast<std::size_t>(i)] += std::fabs(v);
+        col_off[static_cast<std::size_t>(j)] += std::fabs(v);
+      }
+    }
+  for (Int i = 0; i < n; ++i) {
+    EXPECT_GT(diag[static_cast<std::size_t>(i)], row_off[static_cast<std::size_t>(i)]);
+    EXPECT_GT(diag[static_cast<std::size_t>(i)], col_off[static_cast<std::size_t>(i)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllGenerators, GeneratorContractTest,
+    ::testing::Values(laplacian2d(5, 4, 1), laplacian3d(3, 3, 3, 2),
+                      fem3d(3, 3, 2, 3, 3), dg2d(3, 3, 4, 4),
+                      dg3d(2, 2, 2, 5, 5), random_symmetric(40, 4.0, 6),
+                      laplacian2d(5, 4, 1, ValueKind::kUnsymmetric),
+                      fem3d(3, 2, 2, 2, 7, ValueKind::kUnsymmetric)),
+    [](const ::testing::TestParamInfo<GeneratedMatrix>& info) {
+      std::string name = info.param.name + "_" + std::to_string(info.index);
+      for (char& c : name)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return name;
+    });
+
+TEST(Generators, SymmetricValuesAreSymmetric) {
+  const GeneratedMatrix gen = fem3d(3, 3, 2, 2, 17, ValueKind::kSymmetric);
+  const SparseMatrix& m = gen.matrix;
+  for (Int j = 0; j < m.n(); ++j)
+    for (Int p = m.pattern.col_ptr[j]; p < m.pattern.col_ptr[j + 1]; ++p)
+      EXPECT_DOUBLE_EQ(m.values[static_cast<std::size_t>(p)],
+                       m.value_at(j, m.pattern.row_idx[p]));
+}
+
+TEST(Generators, UnsymmetricValuesDiffer) {
+  const GeneratedMatrix gen = fem3d(3, 3, 2, 2, 17, ValueKind::kUnsymmetric);
+  const SparseMatrix& m = gen.matrix;
+  int differing = 0;
+  for (Int j = 0; j < m.n(); ++j)
+    for (Int p = m.pattern.col_ptr[j]; p < m.pattern.col_ptr[j + 1]; ++p) {
+      const Int i = m.pattern.row_idx[p];
+      if (i != j &&
+          m.values[static_cast<std::size_t>(p)] != m.value_at(j, i))
+        ++differing;
+    }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Generators, DeterministicInSeed) {
+  const GeneratedMatrix a = dg2d(3, 3, 3, 42);
+  const GeneratedMatrix b = dg2d(3, 3, 3, 42);
+  ASSERT_EQ(a.matrix.nnz(), b.matrix.nnz());
+  EXPECT_EQ(a.matrix.values, b.matrix.values);
+  const GeneratedMatrix c = dg2d(3, 3, 3, 43);
+  EXPECT_NE(a.matrix.values, c.matrix.values);
+}
+
+TEST(Generators, ExpectedDimensions) {
+  EXPECT_EQ(laplacian2d(4, 5, 1).matrix.n(), 20);
+  EXPECT_EQ(fem3d(2, 3, 4, 3, 1).matrix.n(), 72);
+  EXPECT_EQ(dg2d(3, 4, 6, 1).matrix.n(), 72);
+  EXPECT_EQ(dg3d(2, 2, 3, 4, 1).matrix.n(), 48);
+}
+
+TEST(Generators, DgBlockDensity) {
+  // Each element couples densely to itself and to 4 (2-D) neighbors.
+  const GeneratedMatrix gen = dg2d(3, 1, 4, 1);  // 3 elements in a row
+  // Middle element: 3 blocks of 16 entries = 48 stored entries per column
+  // group of 4 columns -> column degree 12.
+  const SparseMatrix& m = gen.matrix;
+  const Int middle_col = 5;  // inside element 1
+  EXPECT_EQ(m.pattern.col_ptr[middle_col + 1] - m.pattern.col_ptr[middle_col], 12);
+}
+
+TEST(Generators, RandomSymmetricConnected) {
+  const GeneratedMatrix gen = random_symmetric(60, 5.0, 9);
+  Int count = 0;
+  const Graph g(gen.matrix.pattern);
+  connected_components(g, count);
+  EXPECT_EQ(count, 1);
+}
+
+}  // namespace
+}  // namespace psi

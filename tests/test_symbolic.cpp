@@ -1,0 +1,287 @@
+/// Unit tests for the symbolic stack: elimination trees, postorder, column
+/// counts, supernodes and the quotient block symbolic factorization.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/check.hpp"
+#include "sparse/generators.hpp"
+#include "symbolic/analysis.hpp"
+
+namespace psi {
+namespace {
+
+SparseMatrix tridiagonal(Int n) {
+  TripletBuilder b(n);
+  for (Int i = 0; i < n; ++i) b.add(i, i, 2.0);
+  for (Int i = 0; i + 1 < n; ++i) b.add_symmetric(i, i + 1, -1.0);
+  return b.compile();
+}
+
+/// Reference dense symbolic factorization (no supernodes): simulate scalar
+/// Gaussian elimination on a boolean matrix, return the filled lower pattern.
+std::vector<std::set<Int>> dense_symbolic(const SparsityPattern& pattern) {
+  const Int n = pattern.n;
+  std::vector<std::set<Int>> lower(static_cast<std::size_t>(n));
+  for (Int j = 0; j < n; ++j)
+    for (Int p = pattern.col_ptr[j]; p < pattern.col_ptr[j + 1]; ++p)
+      if (pattern.row_idx[p] >= j)
+        lower[static_cast<std::size_t>(j)].insert(pattern.row_idx[p]);
+  for (Int k = 0; k < n; ++k) {
+    std::vector<Int> rows(lower[static_cast<std::size_t>(k)].begin(),
+                          lower[static_cast<std::size_t>(k)].end());
+    for (Int r : rows)
+      if (r > k)
+        for (Int r2 : rows)
+          if (r2 >= r) lower[static_cast<std::size_t>(r)].insert(r2);
+  }
+  return lower;
+}
+
+TEST(Etree, TridiagonalIsChain) {
+  const SparseMatrix m = tridiagonal(6);
+  const std::vector<Int> parent = elimination_tree(m.pattern);
+  for (Int j = 0; j + 1 < 6; ++j) EXPECT_EQ(parent[static_cast<std::size_t>(j)], j + 1);
+  EXPECT_EQ(parent[5], -1);
+}
+
+TEST(Etree, ArrowMatrixIsStar) {
+  // Arrow pointing to the last column: every column's parent is n-1.
+  const Int n = 6;
+  TripletBuilder b(n);
+  for (Int i = 0; i < n; ++i) b.add(i, i, 2.0);
+  for (Int i = 0; i + 1 < n; ++i) b.add_symmetric(i, n - 1, -1.0);
+  const std::vector<Int> parent = elimination_tree(b.compile().pattern);
+  for (Int j = 0; j + 1 < n; ++j) EXPECT_EQ(parent[static_cast<std::size_t>(j)], n - 1);
+}
+
+TEST(Etree, MatchesDenseSymbolicParents) {
+  // parent(j) = min { i > j : L_ij != 0 } on the filled pattern.
+  const GeneratedMatrix gen = laplacian2d(5, 4, 3);
+  const auto lower = dense_symbolic(gen.matrix.pattern);
+  const std::vector<Int> parent = elimination_tree(gen.matrix.pattern);
+  for (Int j = 0; j < gen.matrix.n(); ++j) {
+    Int expected = -1;
+    for (Int r : lower[static_cast<std::size_t>(j)])
+      if (r > j) {
+        expected = r;
+        break;
+      }
+    EXPECT_EQ(parent[static_cast<std::size_t>(j)], expected) << "column " << j;
+  }
+}
+
+TEST(Postorder, IsValidPostorder) {
+  const GeneratedMatrix gen = fem3d(3, 3, 2, 1, 5);
+  std::vector<Int> parent = elimination_tree(gen.matrix.pattern);
+  const std::vector<Int> post = tree_postorder(parent);
+  // Relabel the tree and verify.
+  std::vector<Int> o2n(post.size());
+  for (std::size_t k = 0; k < post.size(); ++k)
+    o2n[static_cast<std::size_t>(post[k])] = static_cast<Int>(k);
+  std::vector<Int> relabeled(post.size());
+  for (std::size_t j = 0; j < post.size(); ++j) {
+    const Int p = parent[j];
+    relabeled[static_cast<std::size_t>(o2n[j])] =
+        p < 0 ? -1 : o2n[static_cast<std::size_t>(p)];
+  }
+  EXPECT_TRUE(is_postordered(relabeled));
+}
+
+TEST(Postorder, DetectsNonPostordered) {
+  // Star rooted at 0 with children 1, 2: node 0 precedes its children.
+  EXPECT_FALSE(is_postordered({-1, 0, 0}));
+  // Chain 0 -> 2 and 1 -> 2 is postordered.
+  EXPECT_TRUE(is_postordered({2, 2, -1}));
+  // Interleaved subtrees: children 0, 2 of root 3, child 1 of 2... gap test:
+  // parent = {3, 3, 3, -1} is postordered (flat); {1, 3, 1, -1}: node 1 has
+  // children 0 and 2 but 1 < 2, not postordered.
+  EXPECT_FALSE(is_postordered({1, 3, 1, -1}));
+}
+
+TEST(ColumnCounts, MatchDenseSymbolic) {
+  for (const GeneratedMatrix& gen :
+       {laplacian2d(6, 5, 1), fem3d(3, 2, 2, 2, 2), random_symmetric(50, 4.0, 8)}) {
+    // Counts require a postordered pattern; run through analyze()'s steps.
+    std::vector<Int> parent = elimination_tree(gen.matrix.pattern);
+    const std::vector<Int> post = tree_postorder(parent);
+    std::vector<Int> o2n(post.size());
+    for (std::size_t k = 0; k < post.size(); ++k)
+      o2n[static_cast<std::size_t>(post[k])] = static_cast<Int>(k);
+    const SparseMatrix pm = permute_symmetric(gen.matrix, o2n);
+    const std::vector<Int> parent2 = elimination_tree(pm.pattern);
+    const std::vector<Int> counts = column_counts(pm.pattern, parent2);
+    const auto lower = dense_symbolic(pm.pattern);
+    for (Int j = 0; j < pm.n(); ++j)
+      EXPECT_EQ(counts[static_cast<std::size_t>(j)],
+                static_cast<Int>(lower[static_cast<std::size_t>(j)].size()))
+          << "column " << j << " in " << gen.name;
+  }
+}
+
+TEST(Supernodes, TridiagonalFundamentalSupernodesAreScalar) {
+  const SparseMatrix m = tridiagonal(8);
+  const std::vector<Int> parent = elimination_tree(m.pattern);
+  const std::vector<Int> counts = column_counts(m.pattern, parent);
+  SupernodeOptions opt;
+  opt.relax_small = 0;  // fundamental only
+  opt.max_size = 0;
+  const SupernodePartition part = build_supernodes(m.pattern, parent, counts, opt);
+  // Tridiagonal: struct(j) = {j+1}, counts = 2, 2, ..., 1. Fundamental rule
+  // merges nothing except... counts(j-1) == counts(j) + 1 fails for equal
+  // counts, so every column is its own supernode until the tail pair.
+  part.validate();
+  EXPECT_GE(part.count(), 7);
+}
+
+TEST(Supernodes, DenseBlockDetected) {
+  // A fully dense matrix is one fundamental supernode.
+  const Int n = 6;
+  TripletBuilder b(n);
+  for (Int i = 0; i < n; ++i)
+    for (Int j = 0; j < n; ++j) b.add(i, j, 1.0);
+  const SparseMatrix m = b.compile();
+  const std::vector<Int> parent = elimination_tree(m.pattern);
+  const std::vector<Int> counts = column_counts(m.pattern, parent);
+  SupernodeOptions opt;
+  opt.relax_small = 0;
+  opt.max_size = 0;
+  const SupernodePartition part = build_supernodes(m.pattern, parent, counts, opt);
+  EXPECT_EQ(part.count(), 1);
+}
+
+TEST(Supernodes, MaxSizeCapRespected) {
+  const Int n = 12;
+  TripletBuilder b(n);
+  for (Int i = 0; i < n; ++i)
+    for (Int j = 0; j < n; ++j) b.add(i, j, 1.0);
+  const SparseMatrix m = b.compile();
+  const std::vector<Int> parent = elimination_tree(m.pattern);
+  const std::vector<Int> counts = column_counts(m.pattern, parent);
+  SupernodeOptions opt;
+  opt.max_size = 5;
+  const SupernodePartition part = build_supernodes(m.pattern, parent, counts, opt);
+  for (Int k = 0; k < part.count(); ++k) EXPECT_LE(part.size(k), 5);
+  EXPECT_EQ(part.n(), n);
+}
+
+TEST(Supernodes, UniformAndScalarPartitions) {
+  const SupernodePartition s = scalar_supernodes(5);
+  EXPECT_EQ(s.count(), 5);
+  const SupernodePartition u = uniform_supernodes(10, 4);
+  EXPECT_EQ(u.count(), 3);
+  EXPECT_EQ(u.size(2), 2);
+  u.validate();
+}
+
+TEST(BlockSymbolic, ScalarPartitionMatchesScalarSymbolic) {
+  // With width-1 supernodes the quotient symbolic factorization must equal
+  // the scalar one.
+  const GeneratedMatrix gen = laplacian2d(5, 5, 2);
+  std::vector<Int> parent = elimination_tree(gen.matrix.pattern);
+  const std::vector<Int> post = tree_postorder(parent);
+  std::vector<Int> o2n(post.size());
+  for (std::size_t k = 0; k < post.size(); ++k)
+    o2n[static_cast<std::size_t>(post[k])] = static_cast<Int>(k);
+  const SparseMatrix pm = permute_symmetric(gen.matrix, o2n);
+  const BlockStructure bs =
+      block_symbolic_factorization(pm.pattern, scalar_supernodes(pm.n()));
+  bs.validate();
+  const auto lower = dense_symbolic(pm.pattern);
+  for (Int j = 0; j < pm.n(); ++j) {
+    std::vector<Int> expected;
+    for (Int r : lower[static_cast<std::size_t>(j)])
+      if (r > j) expected.push_back(r);
+    EXPECT_EQ(bs.struct_of[static_cast<std::size_t>(j)], expected) << "col " << j;
+  }
+}
+
+TEST(BlockSymbolic, ParentIsMinStruct) {
+  const GeneratedMatrix gen = fem3d(3, 3, 2, 2, 4);
+  const SymbolicAnalysis an = analyze(gen, {});
+  an.blocks.validate();  // checks parent == min(struct) among other things
+}
+
+TEST(BlockSymbolic, AncestorChainProperty) {
+  // Every element of struct(K) must be an ancestor of K in the supernodal
+  // etree (the paper's C(K) lies on K's path to the root).
+  const GeneratedMatrix gen = dg2d(4, 4, 3, 9);
+  const SymbolicAnalysis an = analyze(gen, {});
+  const BlockStructure& bs = an.blocks;
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    std::set<Int> ancestors;
+    for (Int a = bs.parent[static_cast<std::size_t>(k)]; a >= 0;
+         a = bs.parent[static_cast<std::size_t>(a)])
+      ancestors.insert(a);
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)])
+      EXPECT_TRUE(ancestors.count(i)) << "block " << i << " of supernode " << k;
+  }
+}
+
+TEST(BlockSymbolic, BlockCliqueProperty) {
+  // For I < J both in struct(K), block (J, I) must be in struct(I) — the
+  // property PSelInv's update GEMMs rely on.
+  const GeneratedMatrix gen = fem3d(3, 3, 3, 1, 6);
+  const SymbolicAnalysis an = analyze(gen, {});
+  const BlockStructure& bs = an.blocks;
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+    for (std::size_t a = 0; a < str.size(); ++a)
+      for (std::size_t b = a + 1; b < str.size(); ++b) {
+        const auto& si = bs.struct_of[static_cast<std::size_t>(str[a])];
+        EXPECT_TRUE(std::binary_search(si.begin(), si.end(), str[b]))
+            << "missing block (" << str[b] << "," << str[a] << ")";
+      }
+  }
+}
+
+TEST(Analyze, PipelineInvariants) {
+  for (const GeneratedMatrix& gen :
+       {laplacian2d(8, 8, 1), fem3d(3, 3, 2, 3, 2), dg3d(2, 2, 2, 4, 3)}) {
+    AnalysisOptions opt;
+    opt.ordering.method = OrderingMethod::kGeometricDissection;
+    opt.ordering.dissection_leaf_size = 16;
+    const SymbolicAnalysis an = analyze(gen, opt);
+    EXPECT_TRUE(is_postordered(an.etree)) << gen.name;
+    an.blocks.validate();
+    EXPECT_EQ(an.matrix.n(), gen.matrix.n());
+    EXPECT_EQ(an.matrix.nnz(), gen.matrix.nnz());
+    // Full-block fill dominates scalar fill.
+    EXPECT_GE(an.blocks.factor_nnz_fullblock(), an.scalar_factor_nnz());
+    // The permutation round-trips values.
+    EXPECT_DOUBLE_EQ(an.matrix.value_at(an.perm.new_of(0), an.perm.new_of(0)),
+                     gen.matrix.value_at(0, 0));
+  }
+}
+
+TEST(Analyze, FullBlockCountsConsistent) {
+  const GeneratedMatrix gen = fem3d(4, 4, 3, 2, 12);
+  AnalysisOptions opt;
+  opt.ordering.dissection_leaf_size = 16;
+  opt.supernodes.max_size = 16;
+  const SymbolicAnalysis an = analyze(gen, opt);
+  const BlockStructure& bs = an.blocks;
+  EXPECT_EQ(bs.lu_nnz_fullblock(), 2 * bs.factor_nnz_fullblock() -
+                                       [&] {
+                                         Count d = 0;
+                                         for (Int k = 0; k < bs.supernode_count(); ++k)
+                                           d += static_cast<Count>(bs.part.size(k)) *
+                                                bs.part.size(k);
+                                         return d;
+                                       }());
+  EXPECT_GT(bs.block_count(), bs.supernode_count());
+}
+
+TEST(Analyze, RejectsUnsymmetricPattern) {
+  TripletBuilder b(3);
+  b.add(0, 0, 1.0);
+  b.add(1, 1, 1.0);
+  b.add(2, 2, 1.0);
+  b.add(2, 0, 1.0);
+  SparseMatrix m = b.compile();
+  EXPECT_THROW(analyze(m, {}), Error);
+}
+
+}  // namespace
+}  // namespace psi

@@ -1,0 +1,97 @@
+/// Unit tests for the communication-timeline analysis and the simulator's
+/// trace recording.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "driver/experiment.hpp"
+#include "driver/timeline.hpp"
+#include "pselinv/engine.hpp"
+#include "sparse/generators.hpp"
+
+namespace psi::driver {
+namespace {
+
+const char* class_name(int c) { return pselinv::comm_class_name(c); }
+
+TEST(CommTimeline, BucketsByTimeAndClass) {
+  std::vector<sim::TraceEvent> trace{
+      {0.1, 0, 1, 0, 100, 0},
+      {0.15, 1, 2, 0, 50, 0},
+      {0.9, 2, 3, 1, 200, 0},
+      {1.0, 3, 0, 1, 10, 0},  // exactly at makespan: clamped to last bucket
+  };
+  const CommTimeline timeline(trace, /*makespan=*/1.0, /*buckets=*/4,
+                              /*comm_classes=*/2);
+  EXPECT_EQ(timeline.bytes_at(0, 0), 150);
+  EXPECT_EQ(timeline.messages_at(0, 0), 2);
+  EXPECT_EQ(timeline.bytes_at(3, 1), 210);
+  EXPECT_EQ(timeline.bytes_at(1, 0), 0);
+  EXPECT_THROW(timeline.bytes_at(4, 0), Error);
+  EXPECT_THROW(timeline.bytes_at(0, 2), Error);
+}
+
+TEST(CommTimeline, RenderAndCsv) {
+  std::vector<sim::TraceEvent> trace{{0.2, 0, 1, pselinv::kColBcast, 1 << 20, 0}};
+  const CommTimeline timeline(trace, 1.0, 8, pselinv::kCommClassCount);
+  const std::string render = timeline.render(&class_name);
+  EXPECT_NE(render.find("Col-Bcast"), std::string::npos);
+  EXPECT_EQ(render.find("Row-Reduce"), std::string::npos);  // silent class skipped
+  const std::string csv = timeline.to_csv(&class_name);
+  EXPECT_NE(csv.find("bucket_start_s"), std::string::npos);
+  EXPECT_NE(csv.find("1048576"), std::string::npos);
+}
+
+TEST(CommTimeline, TraceFromPSelInvRunConservesBytes) {
+  const GeneratedMatrix gen = fem3d(3, 3, 2, 2, 7);
+  const SymbolicAnalysis an = analyze(gen, default_analysis_options());
+  const pselinv::Plan plan(an.blocks, dist::ProcessGrid(3, 3),
+                           tree_options_for(trees::TreeScheme::kShiftedBinary));
+  const sim::Machine machine(edison_config());
+  std::vector<sim::TraceEvent> trace;
+  const pselinv::RunResult run = run_pselinv(
+      plan, machine, pselinv::ExecutionMode::kTrace, nullptr, &trace);
+  ASSERT_FALSE(trace.empty());
+
+  // The trace must account for exactly the bytes the per-rank counters saw.
+  Count trace_bytes = 0;
+  for (const auto& event : trace) {
+    trace_bytes += event.bytes;
+    EXPECT_GE(event.time, 0.0);
+    EXPECT_LE(event.time, run.makespan);
+    EXPECT_NE(event.src, event.dst);  // self-sends are not traced
+  }
+  Count counter_bytes = 0;
+  for (const auto& stats : run.rank_stats)
+    for (const auto& c : stats.per_class) counter_bytes += c.bytes_received;
+  EXPECT_EQ(trace_bytes, counter_bytes);
+
+  const CommTimeline timeline(trace, run.makespan, 16, pselinv::kCommClassCount);
+  Count bucket_bytes = 0;
+  for (std::size_t b = 0; b < timeline.buckets(); ++b)
+    for (int c = 0; c < timeline.comm_classes(); ++c)
+      bucket_bytes += timeline.bytes_at(b, c);
+  EXPECT_EQ(bucket_bytes, trace_bytes);
+}
+
+TEST(CommTimeline, TraceLimitRespected) {
+  sim::MachineConfig config;
+  const sim::Machine machine(config);
+  // Use the engine directly with a tiny trace limit.
+  class Chatter : public sim::Rank {
+   public:
+    void on_start(sim::Context& ctx) override {
+      if (ctx.rank() == 0)
+        for (int i = 0; i < 50; ++i) ctx.send(1, i, 8, 0);
+    }
+    void on_message(sim::Context&, const sim::Message&) override {}
+  };
+  sim::Engine engine(machine, 2, 1);
+  engine.enable_trace(/*max_events=*/10);
+  engine.set_rank(0, std::make_unique<Chatter>());
+  engine.set_rank(1, std::make_unique<Chatter>());
+  engine.run();
+  EXPECT_EQ(engine.trace().size(), 10u);
+}
+
+}  // namespace
+}  // namespace psi::driver

@@ -1,0 +1,327 @@
+/// Unit + property tests for the communication trees — the paper's core
+/// contribution — and the analytic volume accounting.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "common/check.hpp"
+#include "trees/comm_tree.hpp"
+#include "trees/volume.hpp"
+
+namespace psi::trees {
+namespace {
+
+std::vector<int> iota_receivers(int count, int root) {
+  std::vector<int> receivers;
+  for (int r = 0; receivers.size() < static_cast<std::size_t>(count); ++r)
+    if (r != root) receivers.push_back(r);
+  return receivers;
+}
+
+TreeOptions opts(TreeScheme scheme, std::uint64_t seed = 0x5eed) {
+  TreeOptions o;
+  o.scheme = scheme;
+  o.seed = seed;
+  return o;
+}
+
+/// Structural invariants every scheme must satisfy.
+class TreeInvariantTest
+    : public ::testing::TestWithParam<std::tuple<TreeScheme, int>> {};
+
+TEST_P(TreeInvariantTest, SpanningTreeInvariants) {
+  const auto [scheme, receiver_count] = GetParam();
+  const int root = 7;
+  const CommTree tree =
+      CommTree::build(opts(scheme), root, iota_receivers(receiver_count, root), 11);
+
+  EXPECT_EQ(tree.root(), root);
+  EXPECT_EQ(tree.participant_count(), receiver_count + 1);
+  EXPECT_EQ(tree.parent_of(root), -1);
+
+  // Every receiver has exactly one parent, reachable from the root.
+  std::set<int> reached{root};
+  std::vector<int> frontier{root};
+  int edges = 0;
+  while (!frontier.empty()) {
+    const int v = frontier.back();
+    frontier.pop_back();
+    for (int c : tree.children_of(v)) {
+      EXPECT_TRUE(reached.insert(c).second) << "rank " << c << " reached twice";
+      EXPECT_EQ(tree.parent_of(c), v);
+      frontier.push_back(c);
+      ++edges;
+    }
+  }
+  EXPECT_EQ(edges, receiver_count);
+  EXPECT_EQ(static_cast<int>(reached.size()), receiver_count + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SchemesAndSizes, TreeInvariantTest,
+    ::testing::Combine(::testing::Values(TreeScheme::kFlat, TreeScheme::kBinary,
+                                         TreeScheme::kShiftedBinary,
+                                         TreeScheme::kRandomPerm,
+                                         TreeScheme::kHybrid,
+                                         TreeScheme::kBinomial,
+                                         TreeScheme::kShiftedBinomial),
+                       ::testing::Values(0, 1, 2, 3, 7, 16, 33, 100)));
+
+TEST(CommTree, FlatShape) {
+  const CommTree tree = CommTree::build(opts(TreeScheme::kFlat), 3,
+                                        {0, 1, 2, 4, 5}, 0);
+  EXPECT_EQ(tree.children_of(3).size(), 5u);
+  EXPECT_EQ(tree.depth(), 1);
+  EXPECT_EQ(tree.internal_node_count(), 1);
+}
+
+TEST(CommTree, BinaryRootSendsAtMostTwo) {
+  for (int receivers : {2, 5, 17, 64, 200}) {
+    const CommTree tree = CommTree::build(opts(TreeScheme::kBinary), 0,
+                                          iota_receivers(receivers, 0), 0);
+    EXPECT_LE(tree.children_of(0).size(), 2u) << receivers << " receivers";
+  }
+}
+
+TEST(CommTree, BinaryDepthLogarithmic) {
+  const int receivers = 255;
+  const CommTree tree = CommTree::build(opts(TreeScheme::kBinary), 0,
+                                        iota_receivers(receivers, 0), 0);
+  // Critical path log p vs flat's p (paper §III).
+  EXPECT_LE(tree.depth(), 16);
+  EXPECT_GE(tree.depth(), 8);
+}
+
+TEST(CommTree, BinaryMatchesPaperFigure3b) {
+  // Paper Fig. 3(b): root P4 over receivers {P1,P2,P3,P5,P6}:
+  // P4 -> {P1, P5}; P1 -> {P2, P3}; P5 -> {P6}.
+  const CommTree tree =
+      CommTree::build(opts(TreeScheme::kBinary), 4, {1, 2, 3, 5, 6}, 0);
+  EXPECT_EQ(tree.children_of(4), (std::vector<int>{1, 5}));
+  EXPECT_EQ(tree.children_of(1), (std::vector<int>{2, 3}));
+  EXPECT_EQ(tree.children_of(5), (std::vector<int>{6}));
+  EXPECT_TRUE(tree.children_of(6).empty());
+}
+
+TEST(CommTree, BinomialShape) {
+  // Classic binomial over 8 participants (root + 7), MPICH convention: index
+  // i receives from i with its highest set bit cleared. Root's children sit
+  // at offsets 1, 2, 4; node 1 roots the largest subtree; depth log2(8) = 3.
+  const CommTree tree = CommTree::build(opts(TreeScheme::kBinomial), 0,
+                                        {1, 2, 3, 4, 5, 6, 7}, 0);
+  EXPECT_EQ(tree.children_of(0), (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(tree.children_of(1), (std::vector<int>{3, 5}));
+  EXPECT_EQ(tree.children_of(2), (std::vector<int>{6}));
+  EXPECT_EQ(tree.children_of(3), (std::vector<int>{7}));
+  EXPECT_TRUE(tree.children_of(4).empty());
+  EXPECT_EQ(tree.depth(), 3);
+}
+
+TEST(CommTree, BinomialDepthLogarithmic) {
+  const CommTree tree = CommTree::build(opts(TreeScheme::kBinomial), 0,
+                                        iota_receivers(255, 0), 0);
+  EXPECT_EQ(tree.depth(), 8);  // 256 participants
+  EXPECT_EQ(tree.children_of(0).size(), 8u);  // root sends log2(p) messages
+}
+
+TEST(CommTree, ShiftedBinomialDiversifiesLikeShiftedBinary) {
+  // The circular-shift heuristic composes with the binomial shape too: no
+  // receiver is an internal node in every collective.
+  const std::vector<int> receivers = iota_receivers(32, 40);
+  std::vector<int> count(64, 0);
+  for (std::uint64_t id = 0; id < 200; ++id) {
+    const CommTree tree =
+        CommTree::build(opts(TreeScheme::kShiftedBinomial), 40, receivers, id);
+    for (int r : tree.participants())
+      if (!tree.children_of(r).empty() && r != 40)
+        ++count[static_cast<std::size_t>(r)];
+  }
+  for (int r : receivers) {
+    EXPECT_GT(count[static_cast<std::size_t>(r)], 0) << "rank " << r;
+    EXPECT_LT(count[static_cast<std::size_t>(r)], 200) << "rank " << r;
+  }
+}
+
+TEST(CommTree, ShiftedIsRotationOfReceivers) {
+  // The shifted scheme must produce the binary tree of some rotation of the
+  // receiver list (paper Fig. 3(c)).
+  const std::vector<int> receivers{1, 2, 3, 5, 6};
+  const CommTree shifted =
+      CommTree::build(opts(TreeScheme::kShiftedBinary), 4, receivers, 99);
+  // Recover the rotation from the participant order (root first, then the
+  // rotated list in construction order is order_[1..]).
+  const auto& order = shifted.participants();
+  std::vector<int> rotated(order.begin() + 1, order.end());
+  bool is_rotation = false;
+  for (std::size_t s = 0; s < receivers.size(); ++s) {
+    std::vector<int> candidate;
+    for (std::size_t i = 0; i < receivers.size(); ++i)
+      candidate.push_back(receivers[(s + i) % receivers.size()]);
+    if (candidate == rotated) is_rotation = true;
+  }
+  EXPECT_TRUE(is_rotation);
+}
+
+TEST(CommTree, ShiftedDeterministicPerCollectiveId) {
+  const std::vector<int> receivers = iota_receivers(20, 5);
+  const CommTree a =
+      CommTree::build(opts(TreeScheme::kShiftedBinary), 5, receivers, 42);
+  const CommTree b =
+      CommTree::build(opts(TreeScheme::kShiftedBinary), 5, receivers, 42);
+  EXPECT_EQ(a.participants(), b.participants());
+  // Different collective ids rotate differently for at least some ids.
+  bool any_differ = false;
+  for (std::uint64_t id = 0; id < 8; ++id) {
+    const CommTree c =
+        CommTree::build(opts(TreeScheme::kShiftedBinary), 5, receivers, id);
+    if (c.participants() != a.participants()) any_differ = true;
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(CommTree, ShiftedDiversifiesInternalNodes) {
+  // The heuristic's whole point: across many concurrent collectives over the
+  // same group, the deterministic binary tree picks the same internal nodes
+  // (the low ranks) while the shifted tree spreads them.
+  const std::vector<int> receivers = iota_receivers(32, 40);
+  auto internal_counts = [&](TreeScheme scheme) {
+    std::vector<int> count(64, 0);
+    for (std::uint64_t id = 0; id < 200; ++id) {
+      const CommTree tree = CommTree::build(opts(scheme), 40, receivers, id);
+      for (int r : tree.participants())
+        if (!tree.children_of(r).empty() && r != 40)
+          ++count[static_cast<std::size_t>(r)];
+    }
+    return count;
+  };
+  const std::vector<int> binary = internal_counts(TreeScheme::kBinary);
+  const std::vector<int> shifted = internal_counts(TreeScheme::kShiftedBinary);
+  // Binary: the first receiver is an internal node in EVERY collective and
+  // the last receiver in none.
+  EXPECT_EQ(binary[static_cast<std::size_t>(receivers.front())], 200);
+  EXPECT_EQ(binary[static_cast<std::size_t>(receivers.back())], 0);
+  // Shifted: every receiver is an internal node sometimes, none always.
+  for (int r : receivers) {
+    EXPECT_GT(shifted[static_cast<std::size_t>(r)], 0) << "rank " << r;
+    EXPECT_LT(shifted[static_cast<std::size_t>(r)], 200) << "rank " << r;
+  }
+}
+
+TEST(CommTree, HybridSwitchesOnThreshold) {
+  TreeOptions o = opts(TreeScheme::kHybrid);
+  o.hybrid_flat_threshold = 10;
+  const CommTree small = CommTree::build(o, 0, iota_receivers(8, 0), 1);
+  EXPECT_EQ(small.depth(), 1);  // flat
+  const CommTree large = CommTree::build(o, 0, iota_receivers(40, 0), 1);
+  EXPECT_GT(large.depth(), 1);  // shifted binary
+  EXPECT_LE(large.children_of(0).size(), 2u);
+}
+
+TEST(CommTree, RejectsBadInput) {
+  EXPECT_THROW(CommTree::build(opts(TreeScheme::kFlat), 0, {2, 1}, 0), Error);
+  EXPECT_THROW(CommTree::build(opts(TreeScheme::kFlat), 1, {1, 2}, 0), Error);
+  const CommTree tree = CommTree::build(opts(TreeScheme::kFlat), 0, {1}, 0);
+  EXPECT_THROW(tree.children_of(9), Error);
+  EXPECT_FALSE(tree.participates(9));
+}
+
+TEST(SchemeNames, RoundTrip) {
+  for (TreeScheme s : {TreeScheme::kFlat, TreeScheme::kBinary,
+                       TreeScheme::kShiftedBinary, TreeScheme::kRandomPerm,
+                       TreeScheme::kHybrid})
+    EXPECT_EQ(parse_scheme(scheme_name(s)), s);
+  EXPECT_EQ(parse_scheme("shifted"), TreeScheme::kShiftedBinary);
+  EXPECT_THROW(parse_scheme("bogus"), Error);
+}
+
+// ----- volume accounting -----------------------------------------------------
+
+TEST(Volume, BcastConservation) {
+  // Total sent == total received == bytes * receiver_count for any scheme.
+  for (TreeScheme scheme : {TreeScheme::kFlat, TreeScheme::kBinary,
+                            TreeScheme::kShiftedBinary, TreeScheme::kRandomPerm}) {
+    const CommTree tree =
+        CommTree::build(opts(scheme), 3, iota_receivers(21, 3), 5);
+    VolumeAccumulator acc(32);
+    acc.add_bcast(tree, 1000);
+    const Count sent = std::accumulate(acc.bytes_sent().begin(),
+                                       acc.bytes_sent().end(), Count{0});
+    const Count received = std::accumulate(acc.bytes_received().begin(),
+                                           acc.bytes_received().end(), Count{0});
+    EXPECT_EQ(sent, 21 * 1000) << scheme_name(scheme);
+    EXPECT_EQ(received, 21 * 1000) << scheme_name(scheme);
+  }
+}
+
+TEST(Volume, FlatBcastLoadsRootOnly) {
+  const CommTree tree = CommTree::build(opts(TreeScheme::kFlat), 0,
+                                        iota_receivers(9, 0), 0);
+  VolumeAccumulator acc(16);
+  acc.add_bcast(tree, 500);
+  EXPECT_EQ(acc.bytes_sent()[0], 9 * 500);
+  for (int r = 1; r <= 9; ++r) {
+    EXPECT_EQ(acc.bytes_sent()[static_cast<std::size_t>(r)], 0);
+    EXPECT_EQ(acc.bytes_received()[static_cast<std::size_t>(r)], 500);
+  }
+}
+
+TEST(Volume, BinaryBcastRootSendsTwo) {
+  const CommTree tree = CommTree::build(opts(TreeScheme::kBinary), 0,
+                                        iota_receivers(15, 0), 0);
+  VolumeAccumulator acc(16);
+  acc.add_bcast(tree, 500);
+  EXPECT_EQ(acc.bytes_sent()[0], 2 * 500);  // paper: "from p-1 messages to two"
+}
+
+TEST(Volume, ReduceMirrorsBcast) {
+  const CommTree tree = CommTree::build(opts(TreeScheme::kBinary), 2,
+                                        iota_receivers(12, 2), 3);
+  VolumeAccumulator bcast(16), reduce(16);
+  bcast.add_bcast(tree, 100);
+  reduce.add_reduce(tree, 100);
+  for (int r = 0; r < 16; ++r) {
+    EXPECT_EQ(bcast.bytes_sent()[static_cast<std::size_t>(r)],
+              reduce.bytes_received()[static_cast<std::size_t>(r)]);
+    EXPECT_EQ(bcast.bytes_received()[static_cast<std::size_t>(r)],
+              reduce.bytes_sent()[static_cast<std::size_t>(r)]);
+  }
+}
+
+TEST(Volume, P2pAndSelfSend) {
+  VolumeAccumulator acc(4);
+  acc.add_p2p(1, 2, 64);
+  acc.add_p2p(3, 3, 64);  // self: no traffic
+  EXPECT_EQ(acc.bytes_sent()[1], 64);
+  EXPECT_EQ(acc.bytes_received()[2], 64);
+  EXPECT_EQ(acc.bytes_sent()[3], 0);
+  EXPECT_EQ(acc.bytes_received()[3], 0);
+}
+
+TEST(Volume, ShiftedBalancesAcrossCollectives) {
+  // Aggregate 300 broadcasts over the same 24-rank group: the shifted scheme
+  // must have a much smaller max/min spread than the plain binary tree
+  // (Table I's phenomenon in miniature).
+  const std::vector<int> receivers = iota_receivers(23, 30);
+  auto spread = [&](TreeScheme scheme) {
+    VolumeAccumulator acc(31);
+    for (std::uint64_t id = 0; id < 300; ++id) {
+      const CommTree tree = CommTree::build(opts(scheme), 30, receivers, id);
+      acc.add_bcast(tree, 1000);
+    }
+    Count lo = acc.bytes_sent()[0], hi = acc.bytes_sent()[0];
+    for (int r : receivers) {
+      lo = std::min(lo, acc.bytes_sent()[static_cast<std::size_t>(r)]);
+      hi = std::max(hi, acc.bytes_sent()[static_cast<std::size_t>(r)]);
+    }
+    return std::make_pair(lo, hi);
+  };
+  const auto [binary_lo, binary_hi] = spread(TreeScheme::kBinary);
+  const auto [shifted_lo, shifted_hi] = spread(TreeScheme::kShiftedBinary);
+  EXPECT_EQ(binary_lo, 0);  // the highest rank never forwards (paper §III)
+  EXPECT_GT(shifted_lo, 0);
+  EXPECT_LT(shifted_hi - shifted_lo, binary_hi - binary_lo);
+}
+
+}  // namespace
+}  // namespace psi::trees
