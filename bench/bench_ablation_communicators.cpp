@@ -34,22 +34,40 @@ int main() {
   // constant.
   const double comm_create_seconds = 50e-6;
 
-  for (const int p : {16, 24, 32, 46}) {
-    WallTimer timer;
-    const pselinv::Plan plan = make_plan(an, p, p, trees::TreeScheme::kShiftedBinary);
-    const double plan_seconds = timer.seconds();
-    const Count distinct = plan.distinct_communicators();
-    const Count collectives = plan.total_collectives();
+  // One independent plan-build-and-audit job per grid; rendered sequentially
+  // below. (plan_build_s is a host wall-time measurement, so it varies
+  // run-to-run with machine load regardless of thread count.)
+  struct Job {
+    const SymbolicAnalysis* an;
+    int p;
+    Count collectives = 0;
+    Count distinct = 0;
+    double plan_seconds = 0.0;
+    void operator()() {
+      const WallTimer timer;
+      const pselinv::Plan plan =
+          make_plan(*an, p, p, trees::TreeScheme::kShiftedBinary);
+      plan_seconds = timer.seconds();
+      distinct = plan.distinct_communicators();
+      collectives = plan.total_collectives();
+    }
+  };
+  std::vector<Job> jobs;
+  for (const int p : {16, 24, 32, 46}) jobs.push_back(Job{&an, p});
+  run_bench_jobs(jobs);
+
+  for (const Job& job : jobs) {
     const double create_seconds =
-        static_cast<double>(distinct) * comm_create_seconds;
-    table.add_row({std::to_string(p) + "x" + std::to_string(p),
-                   TextTable::fmt_int(collectives), TextTable::fmt_int(distinct),
+        static_cast<double>(job.distinct) * comm_create_seconds;
+    table.add_row({std::to_string(job.p) + "x" + std::to_string(job.p),
+                   TextTable::fmt_int(job.collectives),
+                   TextTable::fmt_int(job.distinct),
                    TextTable::fmt(create_seconds, 3),
-                   TextTable::fmt(plan_seconds, 3)});
-    csv.write_row({std::to_string(p) + "x" + std::to_string(p),
-                   std::to_string(collectives), std::to_string(distinct),
+                   TextTable::fmt(job.plan_seconds, 3)});
+    csv.write_row({std::to_string(job.p) + "x" + std::to_string(job.p),
+                   std::to_string(job.collectives), std::to_string(job.distinct),
                    TextTable::fmt(create_seconds, 6),
-                   TextTable::fmt(plan_seconds, 6)});
+                   TextTable::fmt(job.plan_seconds, 6)});
   }
   std::printf("Ablation: MPI-communicator-per-collective vs tree plan "
               "(audikw_1 analog)\n%s\n", table.render().c_str());

@@ -12,6 +12,7 @@
 
 #include "common/csv.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
@@ -55,6 +56,21 @@ inline pselinv::Plan make_plan(const SymbolicAnalysis& an, int pr, int pc,
                                std::uint64_t seed = 0x2016) {
   return pselinv::Plan(an.blocks, dist::ProcessGrid(pr, pc),
                        driver::tree_options_for(scheme, seed));
+}
+
+/// Runs independent bench jobs (callables) over the PSI_BENCH_THREADS worker
+/// pool. Each job must write its results into a pre-sized slot owned by the
+/// caller, keyed by job index; all printing and CSV emission must happen
+/// sequentially after this returns, so bench output is bit-identical for any
+/// thread count. Jobs may run in any order — they must not depend on each
+/// other or touch shared mutable state.
+template <typename Job>
+void run_bench_jobs(std::vector<Job>& jobs) {
+  const int threads = parallel::bench_threads();
+  if (threads > 1 && jobs.size() > 1)
+    std::fprintf(stderr, "# running %zu bench jobs on %d threads\n",
+                 jobs.size(), threads);
+  parallel::parallel_for_each(jobs, [](Job& job) { job(); }, threads);
 }
 
 /// Adds a min/max/median/stddev row (the format of the paper's Tables I-II).

@@ -14,7 +14,9 @@
 /// stddev shrinks by >4x).
 ///
 /// Environment knobs: PSI_BENCH_SCALE (matrix size multiplier),
-/// PSI_BENCH_REPS (jitter repetitions, default 3).
+/// PSI_BENCH_REPS (jitter repetitions, default 3), PSI_BENCH_THREADS
+/// (worker threads running independent (P, scheme) simulations; output is
+/// bit-identical for any value).
 #include <cmath>
 
 #include "bench_common.hpp"
@@ -67,17 +69,45 @@ void run_matrix(driver::PaperMatrix which, double extra_scale, Int max_snode,
       trees::TreeScheme::kFlat, trees::TreeScheme::kBinary,
       trees::TreeScheme::kShiftedBinary, trees::TreeScheme::kHybrid};
 
+  // One independent job per (P, scheme) plus one LU reference per P; each
+  // builds its own plan and writes into its own slot, so they run in any
+  // order over the worker pool. Rendering below stays sequential — the
+  // printed table and CSV are bit-identical for any PSI_BENCH_THREADS.
+  struct Job {
+    const SymbolicAnalysis* an;
+    int p;
+    int scheme_index;  ///< index into `schemes`, or -1 for the LU reference
+    trees::TreeScheme scheme;
+    int reps;
+    double jitter;
+    Series result;
+    void operator()() {
+      result = scheme_index < 0 ? timed_lu(*an, p, jitter)
+                                : timed_pselinv(*an, p, scheme, reps, jitter);
+    }
+  };
+  std::vector<Job> jobs;
+  jobs.reserve(procs.size() * (schemes.size() + 1));
+  for (int p : procs) {
+    jobs.push_back(Job{&an, p, -1, trees::TreeScheme::kFlat, reps, jitter, {}});
+    for (std::size_t si = 0; si < schemes.size(); ++si)
+      jobs.push_back(
+          Job{&an, p, static_cast<int>(si), schemes[si], reps, jitter, {}});
+  }
+  run_bench_jobs(jobs);
+
   TextTable table({"P", "LU ref (s)", "Flat (s)", "Binary (s)", "Shifted (s)",
                    "Hybrid (s)", "Flat/Shifted"});
   double speedup_6400 = 0.0;
   std::vector<double> flat_sd, shifted_sd;
+  std::size_t job_index = 0;
   for (int p : procs) {
     std::vector<std::string> row{std::to_string(p)};
-    const Series lu = timed_lu(an, p, jitter);
+    const Series lu = jobs[job_index++].result;
     row.push_back(TextTable::fmt(lu.mean, 3));
     double flat_mean = 0.0, shifted_mean = 0.0;
     for (trees::TreeScheme scheme : schemes) {
-      const Series s = timed_pselinv(an, p, scheme, reps, jitter);
+      const Series s = jobs[job_index++].result;
       row.push_back(TextTable::fmt(s.mean, 3) + "±" + TextTable::fmt(s.stddev, 3));
       if (scheme == trees::TreeScheme::kFlat) {
         flat_mean = s.mean;

@@ -30,31 +30,48 @@ int main() {
                 {"scheme", "procs", "total_s", "compute_s", "comm_s",
                  "comm_over_comp"});
 
-  TextTable table({"Scheme", "P", "Total (s)", "Computation (s)",
-                   "Communication (s)", "Comm/Comp"});
-  double flat_ratio_4096 = 0.0, shifted_ratio_4096 = 0.0;
-  for (trees::TreeScheme scheme :
-       {trees::TreeScheme::kFlat, trees::TreeScheme::kShiftedBinary}) {
-    for (int p : {256, 4096}) {
+  // One independent simulation per (scheme, P); results land in per-job
+  // slots and are rendered sequentially below (bit-identical output for any
+  // PSI_BENCH_THREADS).
+  struct Job {
+    const SymbolicAnalysis* an;
+    trees::TreeScheme scheme;
+    int p;
+    double makespan = 0.0;
+    double compute = 0.0;
+    void operator()() {
       int pr = 0, pc = 0;
       driver::square_grid(p, pr, pc);
-      const pselinv::Plan plan = make_plan(an, pr, pc, scheme);
+      const pselinv::Plan plan = make_plan(*an, pr, pc, scheme);
       const sim::Machine machine(driver::timing_machine(0.25, 7));
       const pselinv::RunResult run =
           run_pselinv(plan, machine, pselinv::ExecutionMode::kTrace);
-      const double compute = run.mean_compute_seconds();
-      const double comm = run.mean_comm_seconds();
-      const double ratio = comm / compute;
-      if (p == 4096 && scheme == trees::TreeScheme::kFlat) flat_ratio_4096 = ratio;
-      if (p == 4096 && scheme == trees::TreeScheme::kShiftedBinary)
-        shifted_ratio_4096 = ratio;
-      table.add_row({trees::scheme_name(scheme), std::to_string(p),
-                     TextTable::fmt(run.makespan, 3), TextTable::fmt(compute, 3),
-                     TextTable::fmt(comm, 3), TextTable::fmt(ratio, 2)});
-      csv.write_row({trees::scheme_name(scheme), std::to_string(p),
-                     TextTable::fmt(run.makespan, 6), TextTable::fmt(compute, 6),
-                     TextTable::fmt(comm, 6), TextTable::fmt(ratio, 4)});
+      makespan = run.makespan;
+      compute = run.mean_compute_seconds();
     }
+  };
+  std::vector<Job> jobs;
+  for (trees::TreeScheme scheme :
+       {trees::TreeScheme::kFlat, trees::TreeScheme::kShiftedBinary})
+    for (int p : {256, 4096}) jobs.push_back(Job{&an, scheme, p});
+  run_bench_jobs(jobs);
+
+  TextTable table({"Scheme", "P", "Total (s)", "Computation (s)",
+                   "Communication (s)", "Comm/Comp"});
+  double flat_ratio_4096 = 0.0, shifted_ratio_4096 = 0.0;
+  for (const Job& job : jobs) {
+    const double comm = job.makespan - job.compute;
+    const double ratio = comm / job.compute;
+    if (job.p == 4096 && job.scheme == trees::TreeScheme::kFlat)
+      flat_ratio_4096 = ratio;
+    if (job.p == 4096 && job.scheme == trees::TreeScheme::kShiftedBinary)
+      shifted_ratio_4096 = ratio;
+    table.add_row({trees::scheme_name(job.scheme), std::to_string(job.p),
+                   TextTable::fmt(job.makespan, 3), TextTable::fmt(job.compute, 3),
+                   TextTable::fmt(comm, 3), TextTable::fmt(ratio, 2)});
+    csv.write_row({trees::scheme_name(job.scheme), std::to_string(job.p),
+                   TextTable::fmt(job.makespan, 6), TextTable::fmt(job.compute, 6),
+                   TextTable::fmt(comm, 6), TextTable::fmt(ratio, 4)});
   }
   std::printf("Figure 9: computation vs communication (audikw_1-like)\n%s\n",
               table.render().c_str());

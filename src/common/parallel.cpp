@@ -1,0 +1,88 @@
+#include "common/parallel.hpp"
+
+#include <cstdlib>
+#include <utility>
+
+namespace psi::parallel {
+
+namespace {
+/// Set while the current thread is executing a pool task (any pool).
+thread_local bool inside_pool_worker = false;
+}  // namespace
+
+int bench_threads() {
+  if (const char* env = std::getenv("PSI_BENCH_THREADS")) {
+    const int value = std::atoi(env);
+    PSI_CHECK_MSG(value >= 1, "PSI_BENCH_THREADS must be >= 1, got " << env);
+    return value;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads) {
+  PSI_CHECK(threads >= 1);
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  PSI_CHECK_MSG(!inside_pool_worker,
+                "ThreadPool::submit called from a pool worker: nested "
+                "submission can deadlock a fixed-size pool and is rejected");
+  PSI_CHECK(task != nullptr);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    PSI_CHECK_MSG(!stopping_, "ThreadPool::submit after shutdown began");
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  drained_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    const std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ThreadPool::worker_loop() {
+  inside_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
+      if (--in_flight_ == 0) drained_.notify_all();
+    }
+  }
+}
+
+}  // namespace psi::parallel

@@ -1,0 +1,87 @@
+/// \file parallel.hpp
+/// \brief Host-side replica parallelism: a fixed-size thread pool and a
+/// parallel_for_each over independent simulation jobs.
+///
+/// Each sim::Engine remains strictly single-threaded and deterministic; the
+/// pool only runs *independent* engines (one per (scheme, P, repetition)
+/// bench job) concurrently. Determinism of bench output is preserved by the
+/// callers: jobs write into pre-sized result slots keyed by job index and
+/// all printing/CSV emission happens sequentially after the join, so the
+/// output is bit-identical for any thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace psi::parallel {
+
+/// Worker threads for the bench harnesses: PSI_BENCH_THREADS env var
+/// (default: hardware concurrency, minimum 1).
+int bench_threads();
+
+/// Fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Tasks must be independent of each other: submitting from inside a pool
+/// task (nesting) is rejected with psi::Error, since a task blocking on
+/// tasks it cannot steal would deadlock a fixed-size pool.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit ThreadPool(int threads);
+  /// Joins all workers; pending tasks are still drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Throws psi::Error when called from a worker of any
+  /// ThreadPool (nested submission).
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. If any task threw, one
+  /// of the captured exceptions is rethrown here (the others are dropped);
+  /// the pool remains usable afterwards.
+  void wait();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;      ///< workers: queue non-empty or stopping
+  std::condition_variable drained_;   ///< waiters: no queued or running tasks
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::exception_ptr first_error_;
+  std::size_t in_flight_ = 0;  ///< queued + currently-running tasks
+  bool stopping_ = false;
+};
+
+/// Applies `fn(items[i])` to every element, spreading the calls over
+/// `threads` pool workers (<= 0 means bench_threads()). With one thread — or
+/// one item — runs inline on the caller, with no pool construction.
+/// Rethrows the first exception a call raised after all calls finished.
+template <typename Item, typename Fn>
+void parallel_for_each(std::vector<Item>& items, Fn&& fn, int threads = 0) {
+  if (threads <= 0) threads = bench_threads();
+  if (items.empty()) return;
+  if (threads == 1 || items.size() == 1) {
+    for (Item& item : items) fn(item);
+    return;
+  }
+  ThreadPool pool(std::min<int>(threads, static_cast<int>(items.size())));
+  for (Item& item : items)
+    pool.submit([&fn, &item] { fn(item); });
+  pool.wait();
+}
+
+}  // namespace psi::parallel

@@ -1,6 +1,6 @@
 #include "pselinv/engine.hpp"
 
-#include <set>
+#include <algorithm>
 #include <unordered_map>
 
 #include "common/check.hpp"
@@ -49,12 +49,6 @@ Int tag_index(std::int64_t tag) { return static_cast<Int>(tag & 0xffffff); }
 Int tag_ti(std::int64_t tag) { return static_cast<Int>((tag >> 12) & 0xfff); }
 Int tag_tj(std::int64_t tag) { return static_cast<Int>(tag & 0xfff); }
 
-std::uint64_t block_key(Int row, Int col) {
-  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(row)) << 32) |
-         static_cast<std::uint32_t>(col);
-}
-std::uint64_t kt_key(Int k, Int t) { return block_key(k, t); }
-
 /// Host-side state shared by every simulated rank (single-threaded DES; the
 /// distributed semantics are preserved because each entry is only touched by
 /// the handlers of the rank that owns it).
@@ -76,7 +70,9 @@ class PSelInvRank : public sim::Rank {
       : sh_(&shared),
         me_(rank),
         my_prow_(shared.plan->grid().row_of(rank)),
-        my_pcol_(shared.plan->grid().col_of(rank)) {}
+        my_pcol_(shared.plan->grid().col_of(rank)) {
+    build_local_index();
+  }
 
   void on_start(sim::Context& ctx) override {
     const BlockStructure& bs = sh_->bs();
@@ -93,7 +89,7 @@ class PSelInvRank : public sim::Rank {
       std::shared_ptr<const DenseMatrix> payload;
       if (sh_->numeric())
         payload = std::make_shared<DenseMatrix>(sh_->factor->blocks().diag(k));
-      diag_payload_[k] = payload;
+      diag_slot(k).diag_payload = payload;
       trees::bcast_forward(ctx, sp.diag_bcast, make_tag(kMsgDiagBcast, k, 0),
                            sh_->plan->block_bytes(k, k), kDiagBcast, payload);
       // The owner may itself hold L-panel blocks of column K.
@@ -133,7 +129,7 @@ class PSelInvRank : public sim::Rank {
         break;
       }
       case kMsgColReduce: {
-        DiagState& ds = diag_state(k);
+        DiagSlot& ds = diag_state(k);
         if (ds.reduce.add_child(msg.data)) col_reduce_complete(ctx, k);
         break;
       }
@@ -169,7 +165,7 @@ class PSelInvRank : public sim::Rank {
         const Int j = sh_->bs().struct_of[static_cast<std::size_t>(k)]
                                          [static_cast<std::size_t>(t)];
         std::shared_ptr<const DenseMatrix> value = msg.data;
-        finalize_block(ctx, k, j, value);
+        finalize_block(ctx, k, j, sh_->plan->upper_block_id(k, t), value);
         break;
       }
       default:
@@ -204,17 +200,17 @@ class PSelInvRank : public sim::Rank {
         payload = sh_->unsym()
                       ? std::make_shared<DenseMatrix>(lblock)
                       : std::make_shared<DenseMatrix>(lblock.transposed());
-        lhat_[block_key(j, k)] = std::move(lblock);
+        lhat_[sh_->plan->kt_id(k, t)] = std::move(lblock);
       }
       ctx.send(sp.cross_dst[static_cast<std::size_t>(t)], make_tag(kMsgCross, k, t),
                sh_->plan->block_bytes(j, k), kCrossSend, payload);
     }
-    panel_normalized_.insert(k);
+    DiagSlot& ds = diag_slot(k);
+    ds.panel_normalized = true;
     // Drain diagonal contributions that were waiting for L̂ of this panel.
-    auto it = deferred_diag_.find(k);
-    if (it != deferred_diag_.end()) {
-      const std::vector<Int> pending = std::move(it->second);
-      deferred_diag_.erase(it);
+    if (!ds.deferred.empty()) {
+      const std::vector<Int> pending = std::move(ds.deferred);
+      ds.deferred = {};
       for (Int t : pending) add_diag_contribution(ctx, k, t);
     }
   }
@@ -257,14 +253,18 @@ class PSelInvRank : public sim::Rank {
     const auto& sp = sh_->plan->supernode(k);
     const Int i = sh_->bs().struct_of[static_cast<std::size_t>(k)]
                                      [static_cast<std::size_t>(t)];
-    ucross_seen_.insert(kt_key(k, t));
-    if (sh_->numeric()) ucross_payload_[kt_key(k, t)] = uhat;
+    UCrossSlot& cross = ucross_slot(k, t);
+    cross.seen = true;
+    if (sh_->numeric()) cross.payload = uhat;
     trees::bcast_forward(ctx, sp.row_bcast[static_cast<std::size_t>(t)],
                          make_tag(kMsgRowBcast, k, t),
                          sh_->plan->block_bytes(i, k), kRowBcast, uhat);
     consume_rowbcast(ctx, k, t, uhat);
-    if (deferred_diag_u_.erase(kt_key(k, t)) > 0)
+    UCrossSlot& after = ucross_slot(k, t);
+    if (after.deferred_diag) {
+      after.deferred_diag = false;
       add_diag_contribution(ctx, k, t);
+    }
   }
 
   /// Local consumption of a Row-Bcast Û_{K,I}: one GEMM per target block
@@ -281,7 +281,7 @@ class PSelInvRank : public sim::Rank {
         ++targets;
     if (targets == 0) return;  // pure forwarder
 
-    UCache& cache = ucache_row_[kt_key(k, t)];
+    UCache& cache = a_ucache_row_[a_slot(k, t)];
     cache.payload = uhat;
     cache.remaining = targets;
 
@@ -289,8 +289,8 @@ class PSelInvRank : public sim::Rank {
       const Int j = str[static_cast<std::size_t>(tj)];
       if (sh_->plan->map().pcol_of(j) != my_pcol_) continue;
       // The GEMM needs A^{-1}_{I,J} (which this rank owns) to be final.
-      const std::uint64_t dep = block_key(i, j);
-      if (ainv_final_.count(dep)) {
+      const std::int64_t dep = sh_->plan->block_id(i, j);
+      if (is_final(dep)) {
         ctx.send(me_, make_gemm_tag(kMsgGemmUTask, k, t, tj), 0, kRowBcast);
       } else {
         waiting_[dep].push_back(Pending{k, t, tj, /*upper=*/true});
@@ -308,17 +308,16 @@ class PSelInvRank : public sim::Rank {
     ctx.compute_flops(gemm_flops(wk, wj, wi));
 
     UpperState& us = upper_state(k, tj);
+    UCache& cache = a_ucache_row_[a_slot(k, ti)];
     if (sh_->numeric()) {
       if (!us.acc) us.acc = std::make_shared<DenseMatrix>(wk, wj);
-      const auto it = ainv_final_.find(block_key(i, j));
-      PSI_ASSERT(it != ainv_final_.end() && it->second != nullptr);
-      UCache& cache = ucache_row_.at(kt_key(k, ti));
+      const auto it = values_.find(sh_->plan->block_id(i, j));
+      PSI_ASSERT(it != values_.end() && it->second != nullptr);
       PSI_CHECK(cache.payload != nullptr);
       gemm(Trans::kNo, Trans::kNo, -1.0, *cache.payload, *it->second, 1.0,
            *us.acc);
     }
-    UCache& cache = ucache_row_.at(kt_key(k, ti));
-    if (--cache.remaining == 0) ucache_row_.erase(kt_key(k, ti));
+    if (--cache.remaining == 0) cache.payload.reset();
 
     PSI_ASSERT(us.remaining_gemms > 0);
     if (--us.remaining_gemms == 0) {
@@ -339,11 +338,11 @@ class PSelInvRank : public sim::Rank {
     if (me_ != tree.root()) {
       ctx.send(tree.parent_of(me_), make_tag(kMsgColReduceUp, k, tj),
                sh_->plan->block_bytes(j, k), kColReduceUp, value);
-      upper_states_.erase(kt_key(k, tj));
+      us = UpperState();  // collective done on this rank; release memory
       return;
     }
-    finalize_block(ctx, k, j, value);
-    upper_states_.erase(kt_key(k, tj));
+    finalize_block(ctx, k, j, sh_->plan->upper_block_id(k, tj), value);
+    upper_state(k, tj) = UpperState();
   }
 
   // ----- loop 2: broadcast + GEMMs ----------------------------------------
@@ -374,7 +373,7 @@ class PSelInvRank : public sim::Rank {
         ++targets;
     if (targets == 0) return;  // pure forwarder
 
-    UCache& cache = ucache_[kt_key(k, t)];
+    UCache& cache = b_ucache_[b_slot(k, t)];
     cache.payload = uhat;
     cache.remaining = targets;
 
@@ -384,8 +383,8 @@ class PSelInvRank : public sim::Rank {
       const Int j = str[static_cast<std::size_t>(tj)];
       if (sh_->plan->map().prow_of(j) != my_prow_) continue;
       // The GEMM needs A^{-1}_{J,I} (which this rank owns) to be final.
-      const std::uint64_t dep = block_key(j, i);
-      if (ainv_final_.count(dep)) {
+      const std::int64_t dep = sh_->plan->block_id(j, i);
+      if (is_final(dep)) {
         ctx.send(me_, make_gemm_tag(kMsgGemmTask, k, t, tj), 0, kColBcast);
       } else {
         waiting_[dep].push_back(Pending{k, t, tj, /*upper=*/false});
@@ -403,11 +402,11 @@ class PSelInvRank : public sim::Rank {
     ctx.compute_flops(gemm_flops(wj, wk, wi));
 
     RowState& rs = row_state(k, tj);
+    UCache& cache = b_ucache_[b_slot(k, ti)];
     if (sh_->numeric()) {
       if (!rs.acc) rs.acc = std::make_shared<DenseMatrix>(wj, wk);
-      const auto it = ainv_final_.find(block_key(j, i));
-      PSI_ASSERT(it != ainv_final_.end() && it->second != nullptr);
-      UCache& cache = ucache_.at(kt_key(k, ti));
+      const auto it = values_.find(sh_->plan->block_id(j, i));
+      PSI_ASSERT(it != values_.end() && it->second != nullptr);
       PSI_CHECK(cache.payload != nullptr);
       // Symmetric values: payload is Û_{K,I} = L̂^T (multiply transposed).
       // Unsymmetric values: payload is L̂_{I,K} itself.
@@ -415,12 +414,11 @@ class PSelInvRank : public sim::Rank {
            *it->second, *cache.payload, 1.0, *rs.acc);
     }
     // Release the broadcast payload once all local GEMMs consumed it.
-    UCache& cache = ucache_.at(kt_key(k, ti));
-    if (--cache.remaining == 0) ucache_.erase(kt_key(k, ti));
+    if (--cache.remaining == 0) cache.payload.reset();
 
     PSI_ASSERT(rs.remaining_gemms > 0);
     if (--rs.remaining_gemms == 0) {
-      // Move the accumulator out first: row_reduce_complete() may erase the
+      // Move the accumulator out first: row_reduce_complete() resets the
       // state this reference points into.
       const bool done = rs.reduce.add_local(std::move(rs.acc));
       if (done) row_reduce_complete(ctx, k, tj);
@@ -439,12 +437,12 @@ class PSelInvRank : public sim::Rank {
     if (me_ != tree.root()) {
       ctx.send(tree.parent_of(me_), make_tag(kMsgRowReduce, k, tj),
                sh_->plan->block_bytes(j, k), kRowReduce, value);
-      row_states_.erase(kt_key(k, tj));
+      rs = RowState();  // collective done on this rank; release memory
       return;
     }
     // Root: A^{-1}_{J,K} is complete.
     std::shared_ptr<const DenseMatrix> final_value = value;
-    finalize_block(ctx, j, k, final_value);
+    finalize_block(ctx, j, k, sh_->plan->lower_block_id(k, tj), final_value);
     if (!sh_->unsym()) {
       // Upper triangle fill: A^{-1}_{K,J} = (A^{-1}_{J,K})^T. (Unsymmetric
       // values compute the upper triangle through the Col-Reduce-Up phase.)
@@ -461,17 +459,18 @@ class PSelInvRank : public sim::Rank {
     // it as L̂_{J,K}^T A^{-1}_{J,K} and need this rank's loop-1 trsm to have
     // produced L̂; unsymmetric values need the Û_{K,J} cross payload.
     if (sh_->unsym()) {
-      if (ucross_seen_.count(kt_key(k, tj))) {
+      UCrossSlot& cross = ucross_slot(k, tj);
+      if (cross.seen) {
         add_diag_contribution(ctx, k, tj);
       } else {
-        deferred_diag_u_.insert(kt_key(k, tj));
+        cross.deferred_diag = true;
       }
-    } else if (panel_normalized_.count(k)) {
+    } else if (diag_slot(k).panel_normalized) {
       add_diag_contribution(ctx, k, tj);
     } else {
-      deferred_diag_[k].push_back(tj);
+      diag_slot(k).deferred.push_back(tj);
     }
-    row_states_.erase(kt_key(k, tj));
+    row_state(k, tj) = RowState();
   }
 
   void add_diag_contribution(sim::Context& ctx, Int k, Int tj) {
@@ -480,23 +479,23 @@ class PSelInvRank : public sim::Rank {
                               [static_cast<std::size_t>(tj)];
     const Int wk = bs.part.size(k), wj = bs.part.size(j);
     ctx.compute_flops(gemm_flops(wk, wk, wj));
-    DiagState& ds = diag_state(k);
+    DiagSlot& ds = diag_state(k);
     if (sh_->numeric()) {
       if (!ds.acc) ds.acc = std::make_shared<DenseMatrix>(wk, wk);
-      const auto it = ainv_final_.find(block_key(j, k));
-      PSI_ASSERT(it != ainv_final_.end());
+      const auto it = values_.find(sh_->plan->lower_block_id(k, tj));
+      PSI_ASSERT(it != values_.end());
       if (sh_->unsym()) {
-        const auto& uhat = ucross_payload_.at(kt_key(k, tj));
+        const auto& uhat = ucross_slot(k, tj).payload;
         PSI_CHECK(uhat != nullptr);
         gemm(Trans::kNo, Trans::kNo, 1.0, *uhat, *it->second, 1.0, *ds.acc);
       } else {
-        const auto& lhat = lhat_.at(block_key(j, k));
+        const auto& lhat = lhat_.at(sh_->plan->kt_id(k, tj));
         gemm(Trans::kYes, Trans::kNo, 1.0, lhat, *it->second, 1.0, *ds.acc);
       }
     }
     PSI_ASSERT(ds.remaining_terms > 0);
     if (--ds.remaining_terms == 0) {
-      // Move out before col_reduce_complete(), which may erase the state.
+      // Move out before col_reduce_complete(), which resets the state.
       const bool done = ds.reduce.add_local(std::move(ds.acc));
       if (done) col_reduce_complete(ctx, k);
     }
@@ -505,16 +504,16 @@ class PSelInvRank : public sim::Rank {
   // ----- Col-Reduce completion / diagonal ----------------------------------
   void col_reduce_complete(sim::Context& ctx, Int k) {
     const auto& sp = sh_->plan->supernode(k);
-    DiagState& ds = diag_state(k);
+    DiagSlot& ds = diag_state(k);
     auto value = ds.reduce.accumulated();
     if (me_ != sp.col_reduce.root()) {
       ctx.send(sp.col_reduce.parent_of(me_), make_tag(kMsgColReduce, k, 0),
                sh_->plan->block_bytes(k, k), kColReduce, value);
-      diag_states_.erase(k);
+      ds.release();
       return;
     }
     finalize_diag(ctx, k, value);
-    diag_states_.erase(k);
+    diag_slot(k).release();
   }
 
   /// A^{-1}_{K,K} = U_KK^{-1} L_KK^{-1} - accumulated.
@@ -537,22 +536,22 @@ class PSelInvRank : public sim::Rank {
       }
       result = inv;
     }
-    finalize_block(ctx, k, k, result);
-    diag_payload_.erase(k);
+    finalize_block(ctx, k, k, sh_->plan->diag_block_id(k), result);
+    diag_slot(k).diag_payload.reset();
   }
 
   // ----- block finalization & dependency flushing --------------------------
-  void finalize_block(sim::Context& ctx, Int row, Int col,
+  void finalize_block(sim::Context& ctx, Int row, Int col, std::int64_t id,
                       const std::shared_ptr<const DenseMatrix>& value) {
-    const std::uint64_t key = block_key(row, col);
-    PSI_ASSERT(!ainv_final_.count(key));
-    ainv_final_[key] = value;
+    PSI_ASSERT(!is_final(id));
+    set_final(id);
     ++sh_->blocks_finalized;
     if (sh_->numeric()) {
       PSI_CHECK(value != nullptr);
+      values_[id] = value;
       sh_->sink->set_block(row, col, *value);
     }
-    auto it = waiting_.find(key);
+    auto it = waiting_.find(id);
     if (it != waiting_.end()) {
       const std::vector<Pending> pending = std::move(it->second);
       waiting_.erase(it);
@@ -564,7 +563,7 @@ class PSelInvRank : public sim::Rank {
     }
   }
 
-  // ----- lazy per-collective state -----------------------------------------
+  // ----- dense per-collective state ----------------------------------------
   struct UCache {
     std::shared_ptr<const DenseMatrix> payload;
     int remaining = 0;
@@ -575,11 +574,21 @@ class PSelInvRank : public sim::Rank {
     int remaining_gemms = 0;
     bool initialized = false;
   };
-  struct DiagState {
+  struct DiagSlot {
     trees::ReduceState reduce;
     std::shared_ptr<DenseMatrix> acc;
+    std::shared_ptr<const DenseMatrix> diag_payload;  ///< owner only (numeric)
+    std::vector<Int> deferred;  ///< row-reduce completions awaiting loop 1
     int remaining_terms = 0;
     bool initialized = false;
+    bool panel_normalized = false;
+
+    /// Collective finished on this rank: drop the matrix references but keep
+    /// the panel_normalized/deferred bookkeeping (still read afterwards).
+    void release() {
+      reduce = trees::ReduceState();
+      acc.reset();
+    }
   };
   struct Pending {
     Int k, ti, tj;
@@ -591,9 +600,82 @@ class PSelInvRank : public sim::Rank {
     int remaining_gemms = 0;
     bool initialized = false;
   };
+  struct UCrossSlot {
+    std::shared_ptr<const DenseMatrix> payload;
+    bool seen = false;
+    bool deferred_diag = false;
+  };
+
+  /// Builds the per-rank dense slot bases from the plan's per-supernode
+  /// counts: this rank's states for supernode K start at base_*_[K] and are
+  /// laid out in struct order via the plan's row/col ordinals.
+  void build_local_index() {
+    const Plan& plan = *sh_->plan;
+    const Int nsup = plan.supernode_count();
+    base_a_.resize(static_cast<std::size_t>(nsup));
+    base_b_.resize(static_cast<std::size_t>(nsup));
+    base_d_.resize(static_cast<std::size_t>(nsup));
+    std::int32_t na = 0, nb = 0, nd = 0;
+    for (Int k = 0; k < nsup; ++k) {
+      const SupernodePlan& sp = plan.supernode(k);
+      base_a_[static_cast<std::size_t>(k)] = na;
+      base_b_[static_cast<std::size_t>(k)] = nb;
+      base_d_[static_cast<std::size_t>(k)] = nd;
+      if (std::binary_search(sp.pcols_a.begin(), sp.pcols_a.end(), my_pcol_)) {
+        const auto it =
+            std::lower_bound(sp.prows.begin(), sp.prows.end(), my_prow_);
+        if (it != sp.prows.end() && *it == my_prow_)
+          na += sp.prow_counts[static_cast<std::size_t>(it - sp.prows.begin())];
+      }
+      if (std::binary_search(sp.prows_b.begin(), sp.prows_b.end(), my_prow_)) {
+        const auto it =
+            std::lower_bound(sp.pcols.begin(), sp.pcols.end(), my_pcol_);
+        if (it != sp.pcols.end() && *it == my_pcol_)
+          nb += sp.pcol_counts[static_cast<std::size_t>(it - sp.pcols.begin())];
+        if (plan.map().pcol_of(k) == my_pcol_) nd += 1;
+      }
+    }
+    a_row_.resize(static_cast<std::size_t>(na));
+    b_ucache_.resize(static_cast<std::size_t>(nb));
+    d_diag_.resize(static_cast<std::size_t>(nd));
+    if (sh_->unsym()) {
+      a_ucache_row_.resize(static_cast<std::size_t>(na));
+      a_ucross_.resize(static_cast<std::size_t>(na));
+      b_upper_.resize(static_cast<std::size_t>(nb));
+    }
+    final_bits_.assign(
+        static_cast<std::size_t>((plan.block_id_count() + 63) / 64), 0);
+  }
+
+  /// Slot of L-side state (k, t): valid on ranks in grid row pr(str[t])
+  /// whose grid column hosts contributors or roots of supernode K.
+  std::size_t a_slot(Int k, Int t) const {
+    return static_cast<std::size_t>(base_a_[static_cast<std::size_t>(k)] +
+                                    sh_->plan->row_ordinal(sh_->plan->kt_id(k, t)));
+  }
+  /// Slot of U-side state (k, t): valid on ranks in grid column pc(str[t]).
+  std::size_t b_slot(Int k, Int t) const {
+    return static_cast<std::size_t>(base_b_[static_cast<std::size_t>(k)] +
+                                    sh_->plan->col_ordinal(sh_->plan->kt_id(k, t)));
+  }
+  /// Slot of per-supernode diagonal state: valid on ranks in grid column
+  /// pc(K) participating in the panel collectives.
+  std::size_t d_slot(Int k) const {
+    return static_cast<std::size_t>(base_d_[static_cast<std::size_t>(k)]);
+  }
+
+  bool is_final(std::int64_t id) const {
+    return (final_bits_[static_cast<std::size_t>(id >> 6)] >> (id & 63)) & 1u;
+  }
+  void set_final(std::int64_t id) {
+    final_bits_[static_cast<std::size_t>(id >> 6)] |= 1ull << (id & 63);
+  }
+
+  DiagSlot& diag_slot(Int k) { return d_diag_[d_slot(k)]; }
+  UCrossSlot& ucross_slot(Int k, Int t) { return a_ucross_[a_slot(k, t)]; }
 
   RowState& row_state(Int k, Int tj) {
-    RowState& rs = row_states_[kt_key(k, tj)];
+    RowState& rs = a_row_[a_slot(k, tj)];
     if (!rs.initialized) {
       rs.initialized = true;
       const BlockStructure& bs = sh_->bs();
@@ -615,7 +697,7 @@ class PSelInvRank : public sim::Rank {
   }
 
   UpperState& upper_state(Int k, Int tj) {
-    UpperState& us = upper_states_[kt_key(k, tj)];
+    UpperState& us = b_upper_[b_slot(k, tj)];
     if (!us.initialized) {
       us.initialized = true;
       const BlockStructure& bs = sh_->bs();
@@ -634,8 +716,8 @@ class PSelInvRank : public sim::Rank {
     return us;
   }
 
-  DiagState& diag_state(Int k) {
-    DiagState& ds = diag_states_[k];
+  DiagSlot& diag_state(Int k) {
+    DiagSlot& ds = diag_slot(k);
     if (!ds.initialized) {
       ds.initialized = true;
       const BlockStructure& bs = sh_->bs();
@@ -656,22 +738,27 @@ class PSelInvRank : public sim::Rank {
   int my_prow_;
   int my_pcol_;
 
-  std::unordered_map<std::uint64_t, DenseMatrix> lhat_;
-  std::unordered_map<Int, std::shared_ptr<const DenseMatrix>> diag_payload_;
-  std::unordered_map<std::uint64_t, UCache> ucache_;
-  std::unordered_map<std::uint64_t, RowState> row_states_;
-  std::unordered_map<Int, DiagState> diag_states_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const DenseMatrix>> ainv_final_;
-  std::unordered_map<std::uint64_t, std::vector<Pending>> waiting_;
-  std::unordered_map<Int, std::vector<Int>> deferred_diag_;
-  std::set<Int> panel_normalized_;
-  // Unsymmetric-values extension state:
-  std::unordered_map<std::uint64_t, UCache> ucache_row_;
-  std::unordered_map<std::uint64_t, UpperState> upper_states_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const DenseMatrix>>
-      ucross_payload_;
-  std::set<std::uint64_t> ucross_seen_;
-  std::set<std::uint64_t> deferred_diag_u_;
+  // Dense per-rank state arenas (see build_local_index):
+  std::vector<std::int32_t> base_a_;  ///< per-supernode base into a_* arenas
+  std::vector<std::int32_t> base_b_;
+  std::vector<std::int32_t> base_d_;
+  std::vector<RowState> a_row_;
+  std::vector<UCache> b_ucache_;
+  std::vector<DiagSlot> d_diag_;
+  // Unsymmetric-values extension arenas (sized only in that mode):
+  std::vector<UCache> a_ucache_row_;
+  std::vector<UCrossSlot> a_ucross_;
+  std::vector<UpperState> b_upper_;
+
+  /// Finalized-block bitmap over the plan's global dense block ids.
+  std::vector<std::uint64_t> final_bits_;
+  /// Finalized block values (numeric mode only), keyed by global block id.
+  std::unordered_map<std::int64_t, std::shared_ptr<const DenseMatrix>> values_;
+  /// Normalized L̂ panels (numeric mode only), keyed by kt id.
+  std::unordered_map<std::int64_t, DenseMatrix> lhat_;
+  /// GEMMs parked on a not-yet-final A^{-1} operand, keyed by global block
+  /// id — the one genuinely sparse map left on the message path.
+  std::unordered_map<std::int64_t, std::vector<Pending>> waiting_;
 };
 
 }  // namespace
@@ -711,6 +798,7 @@ RunResult run_pselinv(const Plan& plan, const sim::Machine& machine,
   RunResult result;
   result.makespan = makespan;
   result.events = engine.events_processed();
+  result.events_per_second = engine.events_per_second();
   result.blocks_finalized = shared.blocks_finalized;
   result.expected_blocks =
       2 * plan.structure().block_count() - plan.structure().supernode_count();

@@ -39,6 +39,7 @@ enum class ExecutionMode { kNumeric, kTrace };
 struct RunResult {
   sim::SimTime makespan = 0.0;           ///< simulated selected-inversion time
   Count events = 0;                      ///< DES events processed
+  double events_per_second = 0.0;        ///< host-side engine throughput
   Count blocks_finalized = 0;            ///< must equal expected_blocks
   Count expected_blocks = 0;
   std::vector<sim::RankStats> rank_stats;

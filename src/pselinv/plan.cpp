@@ -50,6 +50,18 @@ Plan::Plan(const BlockStructure& structure, const dist::ProcessGrid& grid,
   const Int nsup = structure.supernode_count();
   sup_.resize(static_cast<std::size_t>(nsup));
 
+  kt_offset_.resize(static_cast<std::size_t>(nsup) + 1, 0);
+  for (Int k = 0; k < nsup; ++k)
+    kt_offset_[static_cast<std::size_t>(k) + 1] =
+        kt_offset_[static_cast<std::size_t>(k)] +
+        static_cast<std::int64_t>(
+            structure.struct_of[static_cast<std::size_t>(k)].size());
+  ord_row_.resize(static_cast<std::size_t>(kt_count()));
+  ord_col_.resize(static_cast<std::size_t>(kt_count()));
+  // Scratch counters per grid row/column, reused across supernodes.
+  std::vector<std::int32_t> row_seen(static_cast<std::size_t>(grid_.prows()), 0);
+  std::vector<std::int32_t> col_seen(static_cast<std::size_t>(grid_.pcols()), 0);
+
   for (Int k = 0; k < nsup; ++k) {
     SupernodePlan& plan = sup_[static_cast<std::size_t>(k)];
     const auto& str = structure.struct_of[static_cast<std::size_t>(k)];
@@ -67,6 +79,36 @@ Plan::Plan(const BlockStructure& structure, const dist::ProcessGrid& grid,
     std::sort(plan.pcols.begin(), plan.pcols.end());
     plan.pcols.erase(std::unique(plan.pcols.begin(), plan.pcols.end()),
                      plan.pcols.end());
+
+    // Dense-state index tables: per-entry ordinals within the supernode's
+    // grid row/column, and per-row/column entry counts.
+    for (Int t = 0; t < static_cast<Int>(str.size()); ++t) {
+      const Int b = str[static_cast<std::size_t>(t)];
+      const auto g = static_cast<std::size_t>(kt_id(k, t));
+      ord_row_[g] = row_seen[static_cast<std::size_t>(map_.prow_of(b))]++;
+      ord_col_[g] = col_seen[static_cast<std::size_t>(map_.pcol_of(b))]++;
+    }
+    plan.prow_counts.reserve(plan.prows.size());
+    for (int pr : plan.prows) {
+      plan.prow_counts.push_back(row_seen[static_cast<std::size_t>(pr)]);
+      row_seen[static_cast<std::size_t>(pr)] = 0;
+    }
+    plan.pcol_counts.reserve(plan.pcols.size());
+    for (int pc : plan.pcols) {
+      plan.pcol_counts.push_back(col_seen[static_cast<std::size_t>(pc)]);
+      col_seen[static_cast<std::size_t>(pc)] = 0;
+    }
+    plan.pcols_a = plan.pcols;
+    if (!std::binary_search(plan.pcols_a.begin(), plan.pcols_a.end(), my_pcol))
+      plan.pcols_a.insert(
+          std::lower_bound(plan.pcols_a.begin(), plan.pcols_a.end(), my_pcol),
+          my_pcol);
+    plan.prows_b = plan.prows;
+    const int diag_prow = map_.prow_of(k);
+    if (!std::binary_search(plan.prows_b.begin(), plan.prows_b.end(), diag_prow))
+      plan.prows_b.insert(
+          std::lower_bound(plan.prows_b.begin(), plan.prows_b.end(), diag_prow),
+          diag_prow);
 
     // L-panel owner ranks in column pc(K).
     std::vector<int> panel_ranks;
@@ -164,6 +206,17 @@ Plan::Plan(const BlockStructure& structure, const dist::ProcessGrid& grid,
 
 Count Plan::block_bytes(Int i, Int k) const {
   return dense_bytes(structure_->part.size(i), structure_->part.size(k));
+}
+
+std::int64_t Plan::block_id(Int row, Int col) const {
+  if (row == col) return diag_block_id(row);
+  const Int c = std::min(row, col);
+  const Int r = std::max(row, col);
+  const auto& str = structure_->struct_of[static_cast<std::size_t>(c)];
+  const auto it = std::lower_bound(str.begin(), str.end(), r);
+  PSI_ASSERT(it != str.end() && *it == r);
+  const Int t = static_cast<Int>(it - str.begin());
+  return row > col ? lower_block_id(c, t) : upper_block_id(c, t);
 }
 
 Count Plan::distinct_communicators() const {

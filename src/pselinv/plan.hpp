@@ -73,6 +73,18 @@ struct SupernodePlan {
   /// Unique processor-grid columns hosting blocks of C(K) (ascending).
   std::vector<int> pcols;
 
+  /// Dense-state index support (see Plan's "local state indexing" block):
+  /// number of C(K) entries in each grid row/column, aligned with
+  /// prows/pcols.
+  std::vector<std::int32_t> prow_counts;
+  std::vector<std::int32_t> pcol_counts;
+  /// pcols ∪ {pc(K)} ascending: the grid columns hosting L-side (row-reduce
+  /// family) state for supernode K — contributors plus the reduce roots.
+  std::vector<int> pcols_a;
+  /// prows ∪ {pr(K)} ascending: the grid rows hosting U-side (col-bcast
+  /// family) state — consumers plus the broadcast roots.
+  std::vector<int> prows_b;
+
   trees::CommTree diag_bcast;              ///< root: diag owner
   trees::CommTree col_reduce;              ///< root: diag owner
   std::vector<trees::CommTree> col_bcast;  ///< aligned with struct_of[K]
@@ -108,6 +120,47 @@ class Plan {
   /// Payload bytes of block (I, K) messages.
   Count block_bytes(Int i, Int k) const;
 
+  // --- local state indexing -------------------------------------------------
+  // The engine keys its per-(supernode, block) state by dense indices instead
+  // of hashing: every struct entry t of supernode K gets a global id
+  // kt_id(K, t), and its ordinal among same-grid-row (same-grid-column)
+  // entries of struct_of[K] is row_ordinal (col_ordinal). A rank combines the
+  // ordinal with a per-rank, per-supernode base offset (computed once from
+  // prow_counts/pcol_counts) to obtain a dense slot in a per-rank state
+  // arena — the per-message unordered_map probes become vector indexing.
+
+  /// Global dense id of the t-th struct entry of supernode K.
+  std::int64_t kt_id(Int k, Int t) const {
+    return kt_offset_[static_cast<std::size_t>(k)] + t;
+  }
+  /// Total struct entries over all supernodes (= off-diagonal block count).
+  std::int64_t kt_count() const { return kt_offset_.back(); }
+  /// Ordinal of struct entry `kt` among entries of the same supernode whose
+  /// block row lives in the same processor-grid row.
+  std::int32_t row_ordinal(std::int64_t kt) const {
+    return ord_row_[static_cast<std::size_t>(kt)];
+  }
+  /// Same, for processor-grid columns.
+  std::int32_t col_ordinal(std::int64_t kt) const {
+    return ord_col_[static_cast<std::size_t>(kt)];
+  }
+
+  /// Global dense block ids over the full selected-inversion pattern:
+  /// diagonals first, then lower blocks, then upper blocks.
+  std::int64_t block_id_count() const {
+    return supernode_count() + 2 * kt_count();
+  }
+  std::int64_t diag_block_id(Int k) const { return k; }
+  std::int64_t lower_block_id(Int k, Int t) const {
+    return supernode_count() + kt_id(k, t);
+  }
+  std::int64_t upper_block_id(Int k, Int t) const {
+    return supernode_count() + kt_count() + kt_id(k, t);
+  }
+  /// Id of an arbitrary structure block (row, col) — O(log |struct|) binary
+  /// search; (row, col) must be a block of the pattern.
+  std::int64_t block_id(Int row, Int col) const;
+
   /// Number of distinct row/column communicators MPI_Comm_create would need
   /// to express every restricted collective of this plan — the audit behind
   /// the paper's "20,061 distinct communicators for audikw_1 on 24x24"
@@ -124,6 +177,9 @@ class Plan {
   trees::TreeOptions tree_options_;
   ValueSymmetry symmetry_;
   std::vector<SupernodePlan> sup_;
+  std::vector<std::int64_t> kt_offset_;  ///< size nsup + 1; prefix struct sizes
+  std::vector<std::int32_t> ord_row_;    ///< size kt_count()
+  std::vector<std::int32_t> ord_col_;    ///< size kt_count()
 };
 
 }  // namespace psi::pselinv

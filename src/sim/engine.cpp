@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "common/timer.hpp"
 
 namespace psi::sim {
 
@@ -21,14 +22,7 @@ void Context::compute_flops(Count flops) {
 
 void Context::send(int dst, std::int64_t tag, Count bytes, int comm_class,
                    std::shared_ptr<const DenseMatrix> data) {
-  Message msg;
-  msg.src = rank_;
-  msg.dst = dst;
-  msg.tag = tag;
-  msg.bytes = bytes;
-  msg.comm_class = comm_class;
-  msg.data = std::move(data);
-  engine_->post_send(*this, std::move(msg));
+  engine_->post_send(*this, dst, tag, bytes, comm_class, std::move(data));
 }
 
 Engine::Engine(const Machine& machine, int rank_count, int comm_classes)
@@ -54,72 +48,191 @@ void Engine::set_rank(int rank, std::unique_ptr<Rank> program) {
   programs_[static_cast<std::size_t>(rank)] = std::move(program);
 }
 
-void Engine::post_send(Context& ctx, Message msg) {
-  PSI_CHECK_MSG(msg.dst >= 0 && msg.dst < rank_count(),
-                "send to invalid rank " << msg.dst);
-  PSI_CHECK(msg.bytes >= 0);
-  PSI_CHECK(msg.comm_class >= 0 && msg.comm_class < comm_classes_);
-  auto& src_state = states_[static_cast<std::size_t>(msg.src)];
-  auto& counters =
-      src_state.stats.per_class[static_cast<std::size_t>(msg.comm_class)];
+void Engine::heap_push(Handle handle) {
+  std::size_t i = heap_.size();
+  heap_.push_back(handle);
+  while (i > 0) {
+    const std::size_t parent = (i - 1) >> 2;
+    if (!earlier(handle, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = handle;
+}
+
+Engine::Handle Engine::heap_pop() {
+  const Handle top = heap_.front();
+  const Handle last = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n > 0) {
+    std::size_t i = 0;
+    for (;;) {
+      const std::size_t first = (i << 2) + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < end; ++c)
+        if (earlier(heap_[c], heap_[best])) best = c;
+      if (!earlier(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
+}
+
+void Engine::enqueue(SimTime time, const EventSlot& slot) {
+  std::uint32_t idx;
+  if (!free_slots_.empty()) {
+    idx = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    idx = static_cast<std::uint32_t>(pool_.size());
+    PSI_CHECK_MSG(idx <= kSlotMask, "event arena exceeds 2^24 live events");
+    pool_.push_back(EventSlot{});
+  }
+  pool_[idx] = slot;
+  PSI_CHECK_MSG(next_seq_ < (1ull << 40), "event sequence number overflow");
+  const Handle handle{time, (next_seq_++ << kSlotBits) | idx};
+  if (earlier(handle, horizon_))
+    heap_push(handle);
+  else
+    overflow_.push_back(handle);
+}
+
+void Engine::refill_heap() {
+  PSI_ASSERT(heap_.empty() && overflow_begin_ < overflow_.size());
+  const auto live = overflow_.begin() +
+                    static_cast<std::ptrdiff_t>(overflow_begin_);
+  const std::size_t n = overflow_.size() - overflow_begin_;
+  // Chunk size balances heap residency (16k handles = 256 KiB) against how
+  // often the buffer is rescanned (each event survives ~16 refill scans at
+  // most before it is selected).
+  std::size_t chunk = std::max<std::size_t>(16384, n / 16);
+  if (chunk >= n) {
+    chunk = n;
+    horizon_ = *std::max_element(live, overflow_.end(), earlier);
+  } else {
+    // nth_element over the strict total (time, seq) order: the chunk's
+    // membership — the `chunk` globally earliest events — is unique, so the
+    // pop sequence is independent of the buffer's internal arrangement.
+    // (Partitioning the chunk to the tail with a reversed comparator to
+    // consume it by resize() was measured 2.3x SLOWER overall: the
+    // descending-ordered survivors make every subsequent nth_element and
+    // heap_push pathological, so the chunk goes to the front instead.)
+    std::nth_element(live, live + static_cast<std::ptrdiff_t>(chunk - 1),
+                     overflow_.end(), earlier);
+    horizon_ = live[static_cast<std::ptrdiff_t>(chunk - 1)];
+  }
+  for (std::size_t i = 0; i < chunk; ++i)
+    heap_push(live[static_cast<std::ptrdiff_t>(i)]);
+  // Consume the chunk by cursor; compact the dead prefix only once it
+  // crosses half the buffer, so consumption is amortized O(1) per event.
+  overflow_begin_ += chunk;
+  if (overflow_begin_ >= overflow_.size()) {
+    overflow_.clear();
+    overflow_begin_ = 0;
+  } else if (overflow_begin_ > overflow_.size() / 2) {
+    overflow_.erase(overflow_.begin(),
+                    overflow_.begin() +
+                        static_cast<std::ptrdiff_t>(overflow_begin_));
+    overflow_begin_ = 0;
+  }
+}
+
+void Engine::post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
+                       int comm_class,
+                       std::shared_ptr<const DenseMatrix> data) {
+  PSI_CHECK_MSG(dst >= 0 && dst < rank_count(), "send to invalid rank " << dst);
+  PSI_CHECK(bytes >= 0);
+  PSI_CHECK(comm_class >= 0 && comm_class < comm_classes_);
+  const int src = ctx.rank_;
+  auto& src_state = states_[static_cast<std::size_t>(src)];
 
   SimTime deliver_at;
-  if (msg.dst == msg.src) {
+  if (dst == src) {
     // Local hand-off: delivered after the current handler instant, no NIC,
     // no overhead, and not counted as network traffic.
     deliver_at = ctx.now_;
   } else {
-    counters.bytes_sent += msg.bytes;
+    auto& counters =
+        src_state.stats.per_class[static_cast<std::size_t>(comm_class)];
+    counters.bytes_sent += bytes;
     counters.messages_sent += 1;
     // Sender CPU overhead.
     ctx.now_ += machine_->config().msg_overhead;
     src_state.stats.overhead_seconds += machine_->config().msg_overhead;
     // Sender NIC serialization.
-    const SimTime occupancy = machine_->occupancy(msg.src, msg.dst, msg.bytes);
+    const SimTime occupancy = machine_->occupancy(src, dst, bytes);
     const SimTime xfer_start = std::max(ctx.now_, src_state.nic_send_free);
     src_state.nic_send_free = xfer_start + occupancy;
-    deliver_at = xfer_start + occupancy + machine_->latency(msg.src, msg.dst);
+    deliver_at = xfer_start + occupancy + machine_->latency(src, dst);
   }
-  queue_.push(Event{deliver_at, next_seq_++, std::move(msg)});
+
+  std::int32_t payload = kNoPayload;
+  if (data) {
+    if (!free_payloads_.empty()) {
+      payload = free_payloads_.back();
+      free_payloads_.pop_back();
+      payloads_[static_cast<std::size_t>(payload)] = std::move(data);
+    } else {
+      payload = static_cast<std::int32_t>(payloads_.size());
+      payloads_.push_back(std::move(data));
+    }
+  }
+  enqueue(deliver_at, EventSlot{tag, bytes, src, dst, comm_class, payload});
 }
 
-void Engine::dispatch(const Event& event) {
-  const Message& msg = event.msg;
-  auto& state = states_[static_cast<std::size_t>(msg.dst)];
+void Engine::dispatch(SimTime time, const EventSlot& slot,
+                      std::shared_ptr<const DenseMatrix> payload) {
+  auto& state = states_[static_cast<std::size_t>(slot.dst)];
 
-  SimTime start = event.time;
-  if (msg.dst != msg.src && msg.src >= 0) {
+  SimTime start = time;
+  if (slot.dst != slot.src && slot.src >= 0) {
     // Receiver NIC serialization: the payload occupies the receiving NIC for
     // its occupancy time as well, so a rank bombarded by many concurrent
     // senders (e.g. a flat-tree reduce root) drains them one at a time.
-    const SimTime occupancy = machine_->occupancy(msg.src, msg.dst, msg.bytes);
+    const SimTime occupancy =
+        machine_->occupancy(slot.src, slot.dst, slot.bytes);
     start = std::max(start, state.nic_recv_free + occupancy);
     state.nic_recv_free = start;
     auto& counters =
-        state.stats.per_class[static_cast<std::size_t>(msg.comm_class)];
-    counters.bytes_received += msg.bytes;
+        state.stats.per_class[static_cast<std::size_t>(slot.comm_class)];
+    counters.bytes_received += slot.bytes;
     counters.messages_received += 1;
     if (tracing_ && trace_.size() < trace_limit_)
-      trace_.push_back(TraceEvent{start, msg.src, msg.dst, msg.comm_class,
-                                  msg.bytes, msg.tag});
+      trace_.push_back(TraceEvent{start, slot.src, slot.dst, slot.comm_class,
+                                  slot.bytes, slot.tag});
   }
   start = std::max(start, state.busy_until);
 
-  Context ctx(*this, msg.dst, start);
-  if (msg.src >= 0 && msg.dst != msg.src) {
+  Context ctx(*this, slot.dst, start);
+  if (slot.src >= 0 && slot.dst != slot.src) {
     // Receiver CPU overhead.
     ctx.now_ += machine_->config().msg_overhead;
     state.stats.overhead_seconds += machine_->config().msg_overhead;
   }
-  Rank* program = programs_[static_cast<std::size_t>(msg.dst)].get();
-  PSI_CHECK_MSG(program != nullptr, "no program installed for rank " << msg.dst);
-  if (msg.src < 0)
+  Rank* program = programs_[static_cast<std::size_t>(slot.dst)].get();
+  PSI_CHECK_MSG(program != nullptr,
+                "no program installed for rank " << slot.dst);
+  if (slot.src < 0) {
     program->on_start(ctx);
-  else
+  } else {
+    Message msg;
+    msg.src = slot.src;
+    msg.dst = slot.dst;
+    msg.tag = slot.tag;
+    msg.bytes = slot.bytes;
+    msg.comm_class = slot.comm_class;
+    msg.data = std::move(payload);
     program->on_message(ctx, msg);
+  }
 
   state.busy_until = ctx.now_;
   state.stats.finish_time = std::max(state.stats.finish_time, ctx.now_);
+  state.stats.events_handled += 1;
   makespan_ = std::max(makespan_, ctx.now_);
   ++events_processed_;
 }
@@ -127,18 +240,29 @@ void Engine::dispatch(const Event& event) {
 SimTime Engine::run() {
   PSI_CHECK_MSG(!ran_, "Engine::run() may only be called once");
   ran_ = true;
+  const WallTimer timer;
   // Seed a start event for every rank at t = 0 (src = -1 marks it).
-  for (int r = 0; r < rank_count(); ++r) {
-    Message start;
-    start.src = -1;
-    start.dst = r;
-    queue_.push(Event{0.0, next_seq_++, std::move(start)});
+  for (int r = 0; r < rank_count(); ++r)
+    enqueue(0.0, EventSlot{0, 0, -1, r, 0, kNoPayload});
+  for (;;) {
+    if (heap_.empty()) {
+      if (overflow_begin_ >= overflow_.size()) break;
+      refill_heap();
+    }
+    const Handle handle = heap_pop();
+    const std::uint32_t idx = static_cast<std::uint32_t>(handle.key & kSlotMask);
+    // Copy the slot out and recycle it before dispatch: the handler's sends
+    // may grow or reuse the arena.
+    const EventSlot slot = pool_[idx];
+    free_slots_.push_back(idx);
+    std::shared_ptr<const DenseMatrix> payload;
+    if (slot.payload != kNoPayload) {
+      payload = std::move(payloads_[static_cast<std::size_t>(slot.payload)]);
+      free_payloads_.push_back(slot.payload);
+    }
+    dispatch(handle.time, slot, std::move(payload));
   }
-  while (!queue_.empty()) {
-    Event event = queue_.top();
-    queue_.pop();
-    dispatch(event);
-  }
+  wall_seconds_ = timer.seconds();
   return makespan_;
 }
 

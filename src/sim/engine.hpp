@@ -18,11 +18,23 @@
 ///
 /// The engine is single-threaded and deterministic: ties are broken by a
 /// global event sequence number.
+///
+/// Hot-path layout: pending events live in a pooled arena of POD slots with
+/// free-list reuse; the scheduling queue is two-tier — an indexed 4-ary
+/// min-heap over 16-byte {time, seq|slot} handles for the near future, plus
+/// an unsorted far-future buffer beyond a moving horizon. A storm with
+/// millions of pending events keeps the heap cache-resident: far sends are
+/// O(1) appends, and when the heap drains the smallest chunk of the buffer
+/// is selected (nth_element over the total (time, seq) order — membership
+/// is unique, so pop order stays deterministic) and re-heaped. Numeric-mode
+/// payloads (shared_ptr<DenseMatrix>) sit in a separate pool indexed from
+/// the slot — a trace-mode send is pure POD and produces no shared_ptr
+/// refcount traffic anywhere in the event loop.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "sim/machine.hpp"
@@ -65,6 +77,7 @@ struct RankStats {
   double compute_seconds = 0.0;   ///< time spent in compute()
   double overhead_seconds = 0.0;  ///< per-message CPU overheads
   SimTime finish_time = 0.0;      ///< end of this rank's last handler
+  Count events_handled = 0;       ///< handler invocations on this rank
 };
 
 class Engine;
@@ -128,22 +141,47 @@ class Engine {
   const RankStats& stats(int rank) const;
   /// Total events processed (for engine throughput reporting).
   Count events_processed() const { return events_processed_; }
+  /// Host wall-clock seconds spent inside run().
+  double run_wall_seconds() const { return wall_seconds_; }
+  /// Engine throughput: events processed per host wall-clock second.
+  double events_per_second() const {
+    return wall_seconds_ > 0.0
+               ? static_cast<double>(events_processed_) / wall_seconds_
+               : 0.0;
+  }
   SimTime makespan() const { return makespan_; }
 
  private:
   friend class Context;
 
-  struct Event {
+  /// POD core of a queued message. The numeric-mode payload is referenced by
+  /// index into payloads_ (kNoPayload when absent) so that queuing a
+  /// trace-mode event never constructs, copies, or destroys a shared_ptr.
+  struct EventSlot {
+    std::int64_t tag;
+    Count bytes;
+    int src;
+    int dst;
+    int comm_class;
+    std::int32_t payload;
+  };
+  static constexpr std::int32_t kNoPayload = -1;
+
+  /// 16-byte heap entry. `key` packs the global sequence number (high 40
+  /// bits) over the arena slot (low 24 bits): comparing keys compares seqs,
+  /// giving the deterministic FIFO tie-break, and the popped key still
+  /// recovers the slot.
+  struct Handle {
     SimTime time;
-    std::uint64_t seq;
-    Message msg;
+    std::uint64_t key;
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;  // min-heap
-      return a.seq > b.seq;
-    }
-  };
+  static constexpr int kSlotBits = 24;
+  static constexpr std::uint64_t kSlotMask = (1u << kSlotBits) - 1;
+
+  static bool earlier(const Handle& a, const Handle& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.key < b.key;
+  }
 
   struct RankState {
     SimTime busy_until = 0.0;
@@ -152,20 +190,41 @@ class Engine {
     RankStats stats;
   };
 
-  void post_send(Context& ctx, Message msg);
-  void dispatch(const Event& event);
+  void post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
+                 int comm_class, std::shared_ptr<const DenseMatrix> data);
+  void enqueue(SimTime time, const EventSlot& slot);
+  void dispatch(SimTime time, const EventSlot& slot,
+                std::shared_ptr<const DenseMatrix> payload);
+
+  void heap_push(Handle handle);
+  Handle heap_pop();
+  /// Moves the earliest chunk of overflow_ into the (empty) heap and
+  /// advances horizon_. Called when the heap drains with far events pending.
+  void refill_heap();
 
   const Machine* machine_;
   int comm_classes_;
   std::vector<std::unique_ptr<Rank>> programs_;
   std::vector<RankState> states_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+
+  std::vector<Handle> heap_;      ///< 4-ary min-heap: events before horizon_
+  std::vector<Handle> overflow_;  ///< unsorted events at/after horizon_
+  std::size_t overflow_begin_ = 0;  ///< consumed prefix of overflow_
+  /// Pushes not earlier than this go to overflow_. Starts below every real
+  /// event so the heap only ever holds refill-selected chunks.
+  Handle horizon_{-std::numeric_limits<SimTime>::infinity(), 0};
+  std::vector<EventSlot> pool_;            ///< stable event arena
+  std::vector<std::uint32_t> free_slots_;  ///< reusable arena slots
+  std::vector<std::shared_ptr<const DenseMatrix>> payloads_;
+  std::vector<std::int32_t> free_payloads_;
+
   std::uint64_t next_seq_ = 0;
   bool tracing_ = false;
   std::size_t trace_limit_ = 0;
   std::vector<TraceEvent> trace_;
   Count events_processed_ = 0;
   SimTime makespan_ = 0.0;
+  double wall_seconds_ = 0.0;
   bool ran_ = false;
 };
 

@@ -127,41 +127,79 @@ CommTree CommTree::build(const TreeOptions& options, int root,
     build_binary(1, tree.order_.size(), 0, tree.parent_);
   }
 
-  tree.children_.assign(tree.order_.size(), {});
-  for (std::size_t i = 1; i < tree.order_.size(); ++i) {
-    PSI_ASSERT(tree.parent_[i] >= 0);
-    tree.children_[static_cast<std::size_t>(tree.parent_[i])].push_back(
-        tree.order_[i]);
+  // Membership positions: a rank's position is its index in the sorted
+  // participant list. The scheme's rotation/permutation above changes
+  // order_, not membership, so processor row/column groups stay arithmetic
+  // progressions (detected below) no matter the scheme.
+  const std::size_t np = tree.order_.size();
+  tree.sorted_ranks_ = tree.order_;
+  std::sort(tree.sorted_ranks_.begin(), tree.sorted_ranks_.end());
+  for (std::size_t i = 1; i < np; ++i)
+    PSI_CHECK_MSG(tree.sorted_ranks_[i - 1] != tree.sorted_ranks_[i],
+                  "duplicate participant rank " << tree.sorted_ranks_[i]);
+  bool is_ap = true;
+  long long stride = 1;
+  if (np >= 2) {
+    stride = static_cast<long long>(tree.sorted_ranks_[1]) -
+             tree.sorted_ranks_[0];
+    for (std::size_t i = 2; i < np && is_ap; ++i)
+      is_ap = static_cast<long long>(tree.sorted_ranks_[i]) -
+                  tree.sorted_ranks_[i - 1] ==
+              stride;
+  }
+  tree.ap_first_ = tree.sorted_ranks_.front();
+  tree.ap_last_ = tree.sorted_ranks_.back();
+  if (is_ap) {
+    tree.ap_stride_ = static_cast<int>(stride);
+    tree.sorted_ranks_.clear();
+    tree.sorted_ranks_.shrink_to_fit();
   }
 
-  tree.index_of_.reserve(tree.order_.size());
-  for (std::size_t i = 0; i < tree.order_.size(); ++i)
-    tree.index_of_.emplace_back(tree.order_[i], static_cast<int>(i));
-  std::sort(tree.index_of_.begin(), tree.index_of_.end());
-  for (std::size_t i = 1; i < tree.index_of_.size(); ++i)
-    PSI_CHECK_MSG(tree.index_of_[i - 1].first != tree.index_of_[i].first,
-                  "duplicate participant rank " << tree.index_of_[i].first);
+  // order_ index -> membership position, and its inverse for cold lookups.
+  std::vector<int> order_pos(np);
+  tree.pos_to_order_.resize(np);
+  for (std::size_t i = 0; i < np; ++i) {
+    const int pos = tree.position_of(tree.order_[i]);
+    PSI_ASSERT(pos >= 0);
+    order_pos[i] = pos;
+    tree.pos_to_order_[static_cast<std::size_t>(pos)] = static_cast<int>(i);
+  }
+
+  // Children, CSR-flattened by the parent's membership position. Within one
+  // parent the children appear in increasing order_ index i, so the fill
+  // pass reproduces the per-parent child order of a nested layout.
+  tree.children_offsets_.assign(np + 1, 0);
+  for (std::size_t i = 1; i < np; ++i) {
+    PSI_ASSERT(tree.parent_[i] >= 0);
+    ++tree.children_offsets_[static_cast<std::size_t>(
+        order_pos[static_cast<std::size_t>(tree.parent_[i])]) + 1];
+  }
+  for (std::size_t i = 1; i <= np; ++i)
+    tree.children_offsets_[i] += tree.children_offsets_[i - 1];
+  tree.children_flat_.resize(np > 0 ? np - 1 : 0);
+  {
+    std::vector<int> cursor(tree.children_offsets_.begin(),
+                            tree.children_offsets_.end() - 1);
+    for (std::size_t i = 1; i < np; ++i)
+      tree.children_flat_[static_cast<std::size_t>(
+          cursor[static_cast<std::size_t>(
+              order_pos[static_cast<std::size_t>(tree.parent_[i])])]++)] =
+          tree.order_[i];
+  }
   return tree;
 }
 
-int CommTree::index_of(int rank) const {
-  const auto it = std::lower_bound(
-      index_of_.begin(), index_of_.end(), std::make_pair(rank, -1));
-  if (it == index_of_.end() || it->first != rank) return -1;
-  return it->second;
-}
-
-bool CommTree::participates(int rank) const { return index_of(rank) >= 0; }
-
-const std::vector<int>& CommTree::children_of(int rank) const {
-  const int idx = index_of(rank);
-  PSI_CHECK_MSG(idx >= 0, "rank " << rank << " is not a participant");
-  return children_[static_cast<std::size_t>(idx)];
+int CommTree::position_of_slow(int rank) const {
+  const auto it =
+      std::lower_bound(sorted_ranks_.begin(), sorted_ranks_.end(), rank);
+  if (it == sorted_ranks_.end() || *it != rank) return -1;
+  return static_cast<int>(it - sorted_ranks_.begin());
 }
 
 int CommTree::parent_of(int rank) const {
-  const int idx = index_of(rank);
-  PSI_CHECK_MSG(idx >= 0, "rank " << rank << " is not a participant");
+  const int pos = position_of(rank);
+  PSI_CHECK_MSG(pos >= 0, "rank " << rank << " is not a participant");
+  const int idx = pos_to_order_[static_cast<std::size_t>(pos)];
   const int pidx = parent_[static_cast<std::size_t>(idx)];
   return pidx < 0 ? -1 : order_[static_cast<std::size_t>(pidx)];
 }
@@ -180,8 +218,8 @@ int CommTree::depth() const {
 
 int CommTree::internal_node_count() const {
   int count = 0;
-  for (const auto& kids : children_)
-    if (!kids.empty()) ++count;
+  for (std::size_t i = 0; i + 1 < children_offsets_.size(); ++i)
+    if (children_offsets_[i + 1] > children_offsets_[i]) ++count;
   return count;
 }
 

@@ -39,9 +39,12 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/check.hpp"
 #include "sparse/types.hpp"
 
 namespace psi::trees {
@@ -82,11 +85,24 @@ class CommTree {
   int root() const { return root_; }
   int participant_count() const { return static_cast<int>(parent_.size()); }
 
-  /// Children of `rank` in the tree (empty for leaves / non-participants).
-  const std::vector<int>& children_of(int rank) const;
+  /// Children of `rank` in the tree (empty for leaves). Children are stored
+  /// flattened CSR-style, indexed by the rank's membership position: one
+  /// contiguous array for the whole tree, two adjacent offset loads per
+  /// lookup, and — for arithmetic-progression participant sets — no
+  /// rank-to-index table at all. Trees are looked up once per simulated
+  /// message, so their cache footprint is the hot constraint.
+  std::span<const int> children_of(int rank) const {
+    const int pos = position_of(rank);
+    PSI_CHECK_MSG(pos >= 0, "rank " << rank << " is not a participant");
+    const auto lo = static_cast<std::size_t>(
+        children_offsets_[static_cast<std::size_t>(pos)]);
+    const auto hi = static_cast<std::size_t>(
+        children_offsets_[static_cast<std::size_t>(pos) + 1]);
+    return {children_flat_.data() + lo, hi - lo};
+  }
   /// Parent of `rank`; -1 for the root. `rank` must participate.
   int parent_of(int rank) const;
-  bool participates(int rank) const;
+  bool participates(int rank) const { return position_of(rank) >= 0; }
 
   /// All participants (root first, then receivers in tree order).
   const std::vector<int>& participants() const { return order_; }
@@ -99,13 +115,35 @@ class CommTree {
 
  private:
   int root_ = -1;
-  std::vector<int> order_;                 ///< participants, root first
-  std::vector<int> parent_;                ///< aligned with order_
-  std::vector<std::vector<int>> children_; ///< aligned with order_
-  // rank -> index in order_ ; kept as sorted pairs for O(log n) lookup.
-  std::vector<std::pair<int, int>> index_of_;
+  std::vector<int> order_;             ///< participants, root first
+  std::vector<int> parent_;            ///< aligned with order_
+  std::vector<int> children_offsets_;  ///< CSR offsets, by membership position
+  std::vector<int> children_flat_;     ///< concatenated child rank lists
+  std::vector<int> pos_to_order_;      ///< membership position -> order_ index
+  // A rank's membership position is its index in the SORTED participant
+  // list. PSelInv participant sets are almost always an arithmetic
+  // progression (a processor row is {pr*Pc + c}, stride 1; a column is
+  // {r*Pc + pc}, stride Pc) — the scheme's rotation permutes order_, not
+  // membership — so build() detects that case and position_of() becomes
+  // pure arithmetic; otherwise `sorted_ranks_` backs an O(log n) binary
+  // search. position_of() sits on every tree hop of the simulated replay,
+  // which makes this the hottest lookup in the whole simulator.
+  int ap_first_ = 0;
+  int ap_last_ = -1;
+  int ap_stride_ = 0;                  ///< 0 => fall back to sorted_ranks_
+  std::vector<int> sorted_ranks_;      ///< empty for AP participant sets
 
-  int index_of(int rank) const;  ///< -1 if absent
+  /// Membership position of `rank`; -1 if absent.
+  int position_of(int rank) const {
+    if (ap_stride_ > 0) {
+      if (rank < ap_first_ || rank > ap_last_) return -1;
+      const int off = rank - ap_first_;
+      if (off % ap_stride_ != 0) return -1;
+      return off / ap_stride_;
+    }
+    return position_of_slow(rank);
+  }
+  int position_of_slow(int rank) const;
 };
 
 }  // namespace psi::trees

@@ -1,7 +1,10 @@
-/// Unit tests for psi_common: checks, stats, rng, histogram, table, heatmap, csv.
+/// Unit tests for psi_common: checks, stats, rng, histogram, table, heatmap,
+/// csv, and the bench thread pool.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <numeric>
 #include <set>
 #include <sstream>
 
@@ -10,6 +13,7 @@
 #include "common/heatmap.hpp"
 #include "common/histogram.hpp"
 #include "common/logging.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
@@ -253,6 +257,93 @@ TEST(Csv, EscapesSpecialCharacters) {
   EXPECT_EQ(csv_escape("plain"), "plain");
   EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
   EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(ThreadPool, RunsEveryTask) {
+  parallel::ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  for (int i = 1; i <= 100; ++i)
+    pool.submit([&sum, i] { sum += i; });
+  pool.wait();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPool, WaitRethrowsTaskException) {
+  parallel::ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  for (int i = 0; i < 8; ++i)
+    pool.submit([&completed, i] {
+      if (i == 3) throw Error("task 3 failed");
+      ++completed;
+    });
+  EXPECT_THROW(pool.wait(), Error);
+  // All other tasks still ran, and the pool stays usable after the throw.
+  EXPECT_EQ(completed.load(), 7);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  EXPECT_NO_THROW(pool.wait());
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPool, NestedSubmitRejected) {
+  parallel::ThreadPool pool(2);
+  std::atomic<bool> rejected{false};
+  pool.submit([&pool, &rejected] {
+    try {
+      pool.submit([] {});
+    } catch (const Error&) {
+      rejected = true;
+    }
+  });
+  pool.wait();
+  EXPECT_TRUE(rejected.load());
+}
+
+TEST(ParallelForEach, EmptyRangeIsNoOp) {
+  std::vector<int> empty;
+  EXPECT_NO_THROW(parallel::parallel_for_each(
+      empty, [](int&) { FAIL() << "must not be called"; }, 8));
+}
+
+TEST(ParallelForEach, VisitsEveryItemOnce) {
+  std::vector<int> items(1000);
+  std::iota(items.begin(), items.end(), 0);
+  parallel::parallel_for_each(items, [](int& v) { v += 1; }, 8);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(items[static_cast<std::size_t>(i)], i + 1);
+}
+
+TEST(ParallelForEach, SingleThreadRunsInline) {
+  // threads == 1 must not spawn a pool: nested use inside a pool task is
+  // then legal (parallel_for_each falls back to a plain loop).
+  parallel::ThreadPool pool(2);
+  std::atomic<int> sum{0};
+  pool.submit([&sum] {
+    std::vector<int> items{1, 2, 3};
+    parallel::parallel_for_each(items, [&sum](int& v) { sum += v; }, 1);
+  });
+  pool.wait();
+  EXPECT_EQ(sum.load(), 6);
+}
+
+TEST(ParallelForEach, PropagatesException) {
+  std::vector<int> items(64);
+  std::iota(items.begin(), items.end(), 0);
+  EXPECT_THROW(parallel::parallel_for_each(
+                   items,
+                   [](int& v) {
+                     if (v == 40) throw Error("boom");
+                   },
+                   4),
+               Error);
+}
+
+TEST(BenchThreads, EnvOverride) {
+  ASSERT_EQ(setenv("PSI_BENCH_THREADS", "3", 1), 0);
+  EXPECT_EQ(parallel::bench_threads(), 3);
+  ASSERT_EQ(setenv("PSI_BENCH_THREADS", "0", 1), 0);
+  EXPECT_THROW(parallel::bench_threads(), Error);
+  ASSERT_EQ(unsetenv("PSI_BENCH_THREADS"), 0);
+  EXPECT_GE(parallel::bench_threads(), 1);
 }
 
 }  // namespace

@@ -1,10 +1,16 @@
 /// Unit tests for the discrete-event simulator: machine cost model, event
-/// ordering, NIC serialization, counters, determinism.
+/// ordering, NIC serialization, counters, determinism — including the
+/// regression test that a full PSelInv replay is bit-identical across
+/// repeated runs and across the bench thread pool.
 #include <gtest/gtest.h>
 
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "driver/experiment.hpp"
+#include "driver/paper_matrices.hpp"
+#include "pselinv/engine.hpp"
 #include "sim/engine.hpp"
 
 namespace psi::sim {
@@ -254,6 +260,61 @@ TEST(Engine, RunTwiceThrows) {
   engine.set_rank(0, std::make_unique<Idle>());
   engine.run();
   EXPECT_THROW(engine.run(), Error);
+}
+
+/// Regression guard for the pooled event queue and the bench thread pool: a
+/// seeded PSelInv trace replay must be bit-identical run-to-run, and running
+/// it on pool workers (the fig8/fig9 bench path) must not perturb it.
+TEST(Determinism, PselinvTraceBitIdenticalAcrossRunsAndPool) {
+  const GeneratedMatrix gen =
+      driver::make_paper_matrix(driver::PaperMatrix::kDgWater, 0.5);
+  const SymbolicAnalysis an = analyze(gen, driver::default_analysis_options());
+  const pselinv::Plan plan(
+      an.blocks, dist::ProcessGrid(4, 4),
+      driver::tree_options_for(trees::TreeScheme::kShiftedBinary));
+
+  struct Replay {
+    SimTime makespan = 0.0;
+    std::size_t trace_length = 0;
+    std::vector<RankStats> stats;
+  };
+  const auto replay = [&plan]() {
+    const Machine machine(driver::timing_machine(0.25, 1001));
+    std::vector<TraceEvent> trace;
+    const pselinv::RunResult run = run_pselinv(
+        plan, machine, pselinv::ExecutionMode::kTrace, nullptr, &trace);
+    return Replay{run.makespan, trace.size(), run.rank_stats};
+  };
+  const auto expect_identical = [](const Replay& a, const Replay& b) {
+    EXPECT_EQ(a.makespan, b.makespan);  // bitwise: no tolerance
+    EXPECT_EQ(a.trace_length, b.trace_length);
+    ASSERT_EQ(a.stats.size(), b.stats.size());
+    for (std::size_t r = 0; r < a.stats.size(); ++r) {
+      EXPECT_EQ(a.stats[r].finish_time, b.stats[r].finish_time);
+      EXPECT_EQ(a.stats[r].events_handled, b.stats[r].events_handled);
+      ASSERT_EQ(a.stats[r].per_class.size(), b.stats[r].per_class.size());
+      for (std::size_t c = 0; c < a.stats[r].per_class.size(); ++c) {
+        EXPECT_EQ(a.stats[r].per_class[c].bytes_sent,
+                  b.stats[r].per_class[c].bytes_sent);
+        EXPECT_EQ(a.stats[r].per_class[c].bytes_received,
+                  b.stats[r].per_class[c].bytes_received);
+        EXPECT_EQ(a.stats[r].per_class[c].messages_sent,
+                  b.stats[r].per_class[c].messages_sent);
+        EXPECT_EQ(a.stats[r].per_class[c].messages_received,
+                  b.stats[r].per_class[c].messages_received);
+      }
+    }
+  };
+
+  const Replay reference = replay();
+  ASSERT_GT(reference.trace_length, 0u);
+  expect_identical(reference, replay());
+
+  // The bench path: independent replays on pool workers.
+  std::vector<Replay> pooled(3);
+  parallel::parallel_for_each(
+      pooled, [&replay](Replay& slot) { slot = replay(); }, 3);
+  for (const Replay& p : pooled) expect_identical(reference, p);
 }
 
 }  // namespace

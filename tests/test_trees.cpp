@@ -26,6 +26,13 @@ TreeOptions opts(TreeScheme scheme, std::uint64_t seed = 0x5eed) {
   return o;
 }
 
+/// children_of returns a span over the tree's flattened storage; materialize
+/// it for container comparisons.
+std::vector<int> kids(const CommTree& tree, int rank) {
+  const auto span = tree.children_of(rank);
+  return {span.begin(), span.end()};
+}
+
 /// Structural invariants every scheme must satisfy.
 class TreeInvariantTest
     : public ::testing::TestWithParam<std::tuple<TreeScheme, int>> {};
@@ -98,9 +105,9 @@ TEST(CommTree, BinaryMatchesPaperFigure3b) {
   // P4 -> {P1, P5}; P1 -> {P2, P3}; P5 -> {P6}.
   const CommTree tree =
       CommTree::build(opts(TreeScheme::kBinary), 4, {1, 2, 3, 5, 6}, 0);
-  EXPECT_EQ(tree.children_of(4), (std::vector<int>{1, 5}));
-  EXPECT_EQ(tree.children_of(1), (std::vector<int>{2, 3}));
-  EXPECT_EQ(tree.children_of(5), (std::vector<int>{6}));
+  EXPECT_EQ(kids(tree, 4), (std::vector<int>{1, 5}));
+  EXPECT_EQ(kids(tree, 1), (std::vector<int>{2, 3}));
+  EXPECT_EQ(kids(tree, 5), (std::vector<int>{6}));
   EXPECT_TRUE(tree.children_of(6).empty());
 }
 
@@ -110,10 +117,10 @@ TEST(CommTree, BinomialShape) {
   // at offsets 1, 2, 4; node 1 roots the largest subtree; depth log2(8) = 3.
   const CommTree tree = CommTree::build(opts(TreeScheme::kBinomial), 0,
                                         {1, 2, 3, 4, 5, 6, 7}, 0);
-  EXPECT_EQ(tree.children_of(0), (std::vector<int>{1, 2, 4}));
-  EXPECT_EQ(tree.children_of(1), (std::vector<int>{3, 5}));
-  EXPECT_EQ(tree.children_of(2), (std::vector<int>{6}));
-  EXPECT_EQ(tree.children_of(3), (std::vector<int>{7}));
+  EXPECT_EQ(kids(tree, 0), (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(kids(tree, 1), (std::vector<int>{3, 5}));
+  EXPECT_EQ(kids(tree, 2), (std::vector<int>{6}));
+  EXPECT_EQ(kids(tree, 3), (std::vector<int>{7}));
   EXPECT_TRUE(tree.children_of(4).empty());
   EXPECT_EQ(tree.depth(), 3);
 }
