@@ -17,7 +17,9 @@
 #include "common/table.hpp"
 #include "common/timer.hpp"
 #include "driver/experiment.hpp"
+#include "driver/obs_report.hpp"
 #include "driver/paper_matrices.hpp"
+#include "obs/metrics.hpp"
 #include "pselinv/engine.hpp"
 #include "pselinv/plan.hpp"
 #include "pselinv/volume_analysis.hpp"
@@ -29,6 +31,29 @@ inline std::string out_dir() {
   const std::string dir = "bench_out";
   std::filesystem::create_directories(dir);
   return dir;
+}
+
+/// Value of the `--json <path>` flag (machine-readable run summary via the
+/// psi::obs metrics registry), or "" when absent. `--json` without a path
+/// defaults to bench_out/<bench>.ndjson.
+inline std::string json_flag(int argc, char** argv, const std::string& bench) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json")
+      return i + 1 < argc ? std::string(argv[i + 1])
+                          : out_dir() + "/" + bench + ".ndjson";
+    if (arg.rfind("--json=", 0) == 0) return arg.substr(7);
+  }
+  return "";
+}
+
+/// Writes `registry` as newline-JSON to `path` (no-op when path is empty).
+inline void write_json_summary(const obs::MetricsRegistry& registry,
+                               const std::string& path) {
+  if (path.empty()) return;
+  registry.write_ndjson(path);
+  std::printf("# json summary written to %s (%zu metrics)\n", path.c_str(),
+              registry.size());
 }
 
 /// Analysis for a paper matrix at bench scale; prints a one-line inventory.

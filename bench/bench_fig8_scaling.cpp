@@ -33,7 +33,8 @@ struct Series {
 };
 
 Series timed_pselinv(const SymbolicAnalysis& an, int p, trees::TreeScheme scheme,
-                     int reps, double jitter) {
+                     int reps, double jitter,
+                     pselinv::RunResult* last_run = nullptr) {
   int pr = 0, pc = 0;
   driver::square_grid(p, pr, pc);
   const pselinv::Plan plan = make_plan(an, pr, pc, scheme);
@@ -41,7 +42,10 @@ Series timed_pselinv(const SymbolicAnalysis& an, int p, trees::TreeScheme scheme
   for (int rep = 0; rep < reps; ++rep) {
     const sim::Machine machine(
         driver::timing_machine(jitter, 1000 + static_cast<std::uint64_t>(rep)));
-    stats.add(run_pselinv(plan, machine, pselinv::ExecutionMode::kTrace).makespan);
+    pselinv::RunResult run =
+        run_pselinv(plan, machine, pselinv::ExecutionMode::kTrace);
+    stats.add(run.makespan);
+    if (last_run != nullptr) *last_run = std::move(run);
   }
   return {stats.mean(), stats.stddev()};
 }
@@ -57,7 +61,7 @@ Series timed_lu(const SymbolicAnalysis& an, int p, double jitter) {
 }
 
 void run_matrix(driver::PaperMatrix which, double extra_scale, Int max_snode,
-                CsvWriter& csv) {
+                CsvWriter& csv, psi::obs::MetricsRegistry* registry) {
   AnalysisOptions options = driver::default_analysis_options();
   options.supernodes.max_size = max_snode;
   const SymbolicAnalysis an = analyze_paper_matrix(which, extra_scale, options);
@@ -81,9 +85,11 @@ void run_matrix(driver::PaperMatrix which, double extra_scale, Int max_snode,
     int reps;
     double jitter;
     Series result;
+    pselinv::RunResult run;  ///< last repetition (--json volume metrics)
     void operator()() {
-      result = scheme_index < 0 ? timed_lu(*an, p, jitter)
-                                : timed_pselinv(*an, p, scheme, reps, jitter);
+      result = scheme_index < 0
+                   ? timed_lu(*an, p, jitter)
+                   : timed_pselinv(*an, p, scheme, reps, jitter, &run);
     }
   };
   std::vector<Job> jobs;
@@ -101,13 +107,31 @@ void run_matrix(driver::PaperMatrix which, double extra_scale, Int max_snode,
   double speedup_6400 = 0.0;
   std::vector<double> flat_sd, shifted_sd;
   std::size_t job_index = 0;
+  const std::string bench_id =
+      std::string("fig8_scaling/") + driver::paper_matrix_name(which);
   for (int p : procs) {
     std::vector<std::string> row{std::to_string(p)};
     const Series lu = jobs[job_index++].result;
     row.push_back(TextTable::fmt(lu.mean, 3));
+    if (registry != nullptr) {
+      obs::Labels lu_labels;
+      lu_labels.set("bench", bench_id).scheme("LU-reference").set("p", p);
+      registry->gauge("makespan_mean_seconds", lu_labels).set(lu.mean);
+    }
     double flat_mean = 0.0, shifted_mean = 0.0;
     for (trees::TreeScheme scheme : schemes) {
+      const Job& job = jobs[job_index];
       const Series s = jobs[job_index++].result;
+      if (registry != nullptr) {
+        driver::record_run_metrics(*registry, bench_id,
+                                   trees::scheme_name(scheme), p, job.run);
+        obs::Labels labels;
+        labels.set("bench", bench_id)
+            .scheme(trees::scheme_name(scheme))
+            .set("p", p);
+        registry->gauge("makespan_mean_seconds", labels).set(s.mean);
+        registry->gauge("makespan_stddev_seconds", labels).set(s.stddev);
+      }
       row.push_back(TextTable::fmt(s.mean, 3) + "±" + TextTable::fmt(s.stddev, 3));
       if (scheme == trees::TreeScheme::kFlat) {
         flat_mean = s.mean;
@@ -145,14 +169,18 @@ void run_matrix(driver::PaperMatrix which, double extra_scale, Int max_snode,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psi::bench;
+  const std::string json_path = json_flag(argc, argv, "fig8_scaling");
+  psi::obs::MetricsRegistry registry;
+  psi::obs::MetricsRegistry* reg = json_path.empty() ? nullptr : &registry;
   CsvWriter csv(out_dir() + "/fig8_scaling.csv",
                 {"matrix", "procs", "scheme", "mean_s", "stddev_s"});
   // DG analog at full bench scale; the audikw analog is trimmed (extents
   // x0.77, narrower supernodes) to keep the 12,100-rank traces fast while
   // retaining ancestor sets that span the processor columns.
-  run_matrix(psi::driver::PaperMatrix::kDgPnf14000, 1.0, 48, csv);
-  run_matrix(psi::driver::PaperMatrix::kAudikw1, 0.77, 32, csv);
+  run_matrix(psi::driver::PaperMatrix::kDgPnf14000, 1.0, 48, csv, reg);
+  run_matrix(psi::driver::PaperMatrix::kAudikw1, 0.77, 32, csv, reg);
+  write_json_summary(registry, json_path);
   return 0;
 }

@@ -18,9 +18,10 @@
 /// quantities. See EXPERIMENTS.md.
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psi;
   using namespace psi::bench;
+  const std::string json_path = json_flag(argc, argv, "fig9_breakdown");
 
   AnalysisOptions options = driver::default_analysis_options();
   options.supernodes.max_size = 32;
@@ -39,13 +40,13 @@ int main() {
     int p;
     double makespan = 0.0;
     double compute = 0.0;
+    pselinv::RunResult run;  ///< kept for the --json metrics summary
     void operator()() {
       int pr = 0, pc = 0;
       driver::square_grid(p, pr, pc);
       const pselinv::Plan plan = make_plan(*an, pr, pc, scheme);
       const sim::Machine machine(driver::timing_machine(0.25, 7));
-      const pselinv::RunResult run =
-          run_pselinv(plan, machine, pselinv::ExecutionMode::kTrace);
+      run = run_pselinv(plan, machine, pselinv::ExecutionMode::kTrace);
       makespan = run.makespan;
       compute = run.mean_compute_seconds();
     }
@@ -78,5 +79,14 @@ int main() {
   std::printf("comm/comp at P=4096: Flat %.1f -> Shifted %.1f "
               "(paper: 11.8 -> 1.9)\n",
               flat_ratio_4096, shifted_ratio_4096);
+
+  if (!json_path.empty()) {
+    obs::MetricsRegistry registry;
+    for (const Job& job : jobs)
+      driver::record_run_metrics(registry, "fig9_breakdown",
+                                 trees::scheme_name(job.scheme), job.p,
+                                 job.run);
+    write_json_summary(registry, json_path);
+  }
   return 0;
 }

@@ -1,0 +1,99 @@
+/// \file critical_path.cpp
+/// \brief Exact critical-path and contention analysis of a simulated
+/// selected inversion — the observability layer (psi::obs) applied to the
+/// paper's central claim.
+///
+/// Replays the audikw_1-analog trace run on a 46x46 grid (the shape of the
+/// paper's 2,116-rank point) under the Flat and the Shifted Binary trees,
+/// recording every event's causal links, then:
+///   * extracts the simulated-time critical path and prints its exact
+///     decomposition (execution vs send-queue / transfer / latency /
+///     recv-queue, per collective) — the Shifted tree's communication share
+///     of the binding chain is visibly shorter;
+///   * attributes per-NIC and per-tier contention (queueing vs transfer) —
+///     the Flat tree's root NIC residency hot spot stands out;
+///   * writes Chrome trace_event JSON per scheme, loadable in
+///     chrome://tracing or https://ui.perfetto.dev.
+///
+///   ./critical_path [pr] [pc] [scale] [out_dir]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "driver/experiment.hpp"
+#include "driver/obs_report.hpp"
+#include "driver/paper_matrices.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/recorder.hpp"
+#include "pselinv/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace psi;
+  const int pr = argc > 1 ? std::atoi(argv[1]) : 46;
+  const int pc = argc > 2 ? std::atoi(argv[2]) : pr;
+  const double scale = argc > 3 ? std::atof(argv[3]) : 0.77;
+  const std::string out_dir = argc > 4 ? argv[4] : "bench_out";
+  std::filesystem::create_directories(out_dir);
+
+  AnalysisOptions options = driver::default_analysis_options();
+  options.supernodes.max_size = 32;
+  const GeneratedMatrix gen =
+      driver::make_paper_matrix(driver::PaperMatrix::kAudikw1, scale);
+  const SymbolicAnalysis analysis = analyze(gen, options);
+  std::printf("matrix %s: n = %d, %d supernodes, grid %dx%d (%d ranks)\n\n",
+              gen.name.c_str(), gen.matrix.n(),
+              analysis.blocks.supernode_count(), pr, pc, pr * pc);
+
+  const sim::MachineConfig config = driver::timing_machine(/*jitter_sigma=*/0.0);
+  const sim::Machine machine(config);
+
+  const trees::TreeScheme schemes[2] = {trees::TreeScheme::kFlat,
+                                        trees::TreeScheme::kShiftedBinary};
+  double comm_path[2] = {0.0, 0.0};
+  double residency[2] = {0.0, 0.0};
+  for (int i = 0; i < 2; ++i) {
+    const trees::TreeScheme scheme = schemes[i];
+    const pselinv::Plan plan(analysis.blocks, dist::ProcessGrid(pr, pc),
+                             driver::tree_options_for(scheme));
+    obs::Recorder recorder;
+    const pselinv::RunResult run =
+        run_pselinv(plan, machine, pselinv::ExecutionMode::kTrace, nullptr,
+                    nullptr, &recorder);
+    std::printf("=== %s: makespan %.4f s, %lld events ===\n",
+                trees::scheme_name(scheme), run.makespan,
+                static_cast<long long>(run.events));
+
+    const driver::ObsAnalysis obs_analysis =
+        driver::analyze_recording(recorder, config);
+    std::printf("%s", driver::render_critical_path(obs_analysis.path).c_str());
+    std::printf("%s", driver::render_contention(obs_analysis.contention).c_str());
+    comm_path[i] = obs_analysis.path.comm_seconds();
+    residency[i] = obs_analysis.contention.max_send_residency();
+
+    obs::ChromeTraceOptions trace_options;
+    trace_options.class_name = &pselinv::comm_class_name;
+    std::string slug = trees::scheme_name(scheme);
+    for (char& c : slug)
+      if (c == ' ') c = '_';
+    const std::string trace_path =
+        out_dir + "/critical_path_" + slug + ".trace.json";
+    write_chrome_trace(recorder, trace_path, trace_options);
+    std::printf("chrome trace written to %s "
+                "(open in chrome://tracing or ui.perfetto.dev)\n\n",
+                trace_path.c_str());
+  }
+
+  std::printf("Flat vs Shifted Binary at %d ranks:\n", pr * pc);
+  std::printf("  communication on the critical path: %.4f s -> %.4f s (%.2fx)\n",
+              comm_path[0], comm_path[1],
+              comm_path[1] > 0.0 ? comm_path[0] / comm_path[1] : 0.0);
+  std::printf("  max per-link send residency:        %.4f s -> %.4f s (%.2fx)\n",
+              residency[0], residency[1],
+              residency[1] > 0.0 ? residency[0] / residency[1] : 0.0);
+  std::printf(
+      "Reading: the Flat tree concentrates every broadcast on the root's\n"
+      "NIC — its residency and the send-queue share of the critical path\n"
+      "dominate; the Shifted Binary tree spreads the load and shortens the\n"
+      "communication part of the binding chain (paper §IV).\n");
+  return 0;
+}

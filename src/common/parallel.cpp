@@ -1,5 +1,7 @@
 #include "common/parallel.hpp"
 
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
@@ -10,14 +12,31 @@ namespace {
 thread_local bool inside_pool_worker = false;
 }  // namespace
 
-int bench_threads() {
-  if (const char* env = std::getenv("PSI_BENCH_THREADS")) {
-    const int value = std::atoi(env);
-    PSI_CHECK_MSG(value >= 1, "PSI_BENCH_THREADS must be >= 1, got " << env);
-    return value;
+int parse_bench_threads(const char* env) {
+  if (env == nullptr) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
   }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? static_cast<int>(hw) : 1;
+  char* end = nullptr;
+  errno = 0;
+  const long value = std::strtol(env, &end, 10);
+  const bool parsed = end != env && *end == '\0' && errno == 0;
+  if (!parsed || value < 1) {
+    // A bad knob must not kill a bench run mid-harness: warn and fall back
+    // to sequential execution (which is always correct — output is
+    // bit-identical for any thread count).
+    std::fprintf(stderr,
+                 "# warning: PSI_BENCH_THREADS='%s' is not a positive "
+                 "integer; running with 1 thread\n",
+                 env);
+    return 1;
+  }
+  return value > kMaxBenchThreads ? kMaxBenchThreads
+                                  : static_cast<int>(value);
+}
+
+int bench_threads() {
+  return parse_bench_threads(std::getenv("PSI_BENCH_THREADS"));
 }
 
 ThreadPool::ThreadPool(int threads) {

@@ -23,9 +23,20 @@
 
 namespace psi::parallel {
 
+/// Upper bound on PSI_BENCH_THREADS (guards against typos like an extra
+/// zero spawning thousands of workers).
+inline constexpr int kMaxBenchThreads = 1024;
+
 /// Worker threads for the bench harnesses: PSI_BENCH_THREADS env var
-/// (default: hardware concurrency, minimum 1).
+/// (default: hardware concurrency, minimum 1). A value that is not a
+/// positive integer (garbage, 0, negative) is clamped to 1 with a warning
+/// on stderr — a bad knob degrades to sequential execution instead of
+/// aborting a long harness run.
 int bench_threads();
+
+/// Parsing core of bench_threads(), exposed for testing: `env` is the raw
+/// PSI_BENCH_THREADS value (null = unset).
+int parse_bench_threads(const char* env);
 
 /// Fixed-size pool of worker threads draining a FIFO task queue.
 ///

@@ -1,0 +1,142 @@
+#include "driver/obs_report.hpp"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <numeric>
+
+#include "pselinv/plan.hpp"
+
+namespace psi::driver {
+
+namespace {
+
+std::string fmt(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+const char* class_label(std::size_t c) {
+  return c < static_cast<std::size_t>(pselinv::kCommClassCount)
+             ? pselinv::comm_class_name(static_cast<int>(c))
+             : "other";
+}
+
+}  // namespace
+
+ObsAnalysis analyze_recording(const obs::Recorder& recorder,
+                              const sim::MachineConfig& config) {
+  ObsAnalysis analysis;
+  analysis.path =
+      obs::extract_critical_path(recorder, pselinv::kCommClassCount);
+  analysis.contention = obs::analyze_contention(
+      recorder, config.cores_per_node, config.nodes_per_group);
+  return analysis;
+}
+
+std::string render_critical_path(const obs::CriticalPath& path) {
+  std::string out;
+  out += fmt("critical path: makespan %.6f s, %d handlers, %d network hops, "
+             "%d local hops\n",
+             path.makespan, path.handler_count, path.network_hops,
+             path.local_hops);
+  const double total = path.makespan > 0.0 ? path.makespan : 1.0;
+  for (int c = 0; c < obs::kPathCategoryCount; ++c) {
+    const double s = path.category_seconds[static_cast<std::size_t>(c)];
+    out += fmt("  %-11s %10.6f s  %5.1f%%\n",
+               obs::path_category_name(static_cast<obs::PathCategory>(c)), s,
+               100.0 * s / total);
+  }
+  out += fmt("  communication total: %.6f s (%.1f%% of makespan)\n",
+             path.comm_seconds(), 100.0 * path.comm_seconds() / total);
+  out += "  on-path communication by collective:\n";
+  for (std::size_t c = 0; c < path.class_comm_seconds.size(); ++c) {
+    if (path.class_hops[c] == 0) continue;
+    out += fmt("    %-12s %10.6f s over %lld hops\n", class_label(c),
+               path.class_comm_seconds[c],
+               static_cast<long long>(path.class_hops[c]));
+  }
+  return out;
+}
+
+std::string render_contention(const obs::ContentionReport& report,
+                              int top_ranks) {
+  std::string out;
+  out += "link tiers (all recorded messages):\n";
+  out += fmt("  %-12s %10s %14s %12s %12s %12s %12s\n", "tier", "messages",
+             "bytes", "transfer_s", "latency_s", "send_wait_s", "recv_wait_s");
+  for (int t = 0; t < obs::kTierCount; ++t) {
+    const obs::TierStats& tier = report.tiers[static_cast<std::size_t>(t)];
+    out += fmt("  %-12s %10lld %14lld %12.6f %12.6f %12.6f %12.6f\n",
+               obs::tier_name(t), static_cast<long long>(tier.messages),
+               static_cast<long long>(tier.bytes), tier.transfer_seconds,
+               tier.latency_seconds, tier.send_queue_wait,
+               tier.recv_queue_wait);
+  }
+
+  std::vector<int> order(report.per_rank.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&report](int a, int b) {
+    return report.per_rank[static_cast<std::size_t>(a)].send_residency >
+           report.per_rank[static_cast<std::size_t>(b)].send_residency;
+  });
+  const int n = std::min<int>(top_ranks, static_cast<int>(order.size()));
+  out += fmt("busiest send NICs (top %d by residency):\n", n);
+  for (int i = 0; i < n; ++i) {
+    const int r = order[static_cast<std::size_t>(i)];
+    const obs::NicStats& nic = report.per_rank[static_cast<std::size_t>(r)];
+    if (nic.messages_out == 0) break;
+    out += fmt("  rank %-6d residency %10.6f s  queue-wait %10.6f s  "
+               "%lld msgs out  max depth %d\n",
+               r, nic.send_residency, nic.send_queue_wait,
+               static_cast<long long>(nic.messages_out),
+               nic.max_send_queue_depth);
+  }
+  return out;
+}
+
+void record_run_metrics(obs::MetricsRegistry& registry,
+                        const std::string& bench, const std::string& scheme,
+                        int p, const pselinv::RunResult& result) {
+  obs::Labels base;
+  base.set("bench", bench).scheme(scheme).set("p", p);
+
+  registry.gauge("makespan_seconds", base).set(result.makespan);
+  registry.gauge("mean_compute_seconds", base)
+      .set(result.mean_compute_seconds());
+  registry.gauge("mean_comm_seconds", base).set(result.mean_comm_seconds());
+  registry.counter("events_total", base).add(result.events);
+  registry.counter("blocks_finalized_total", base)
+      .add(result.blocks_finalized);
+
+  // Traffic volume per collective and the send-volume balance over ranks —
+  // the load-balance signal the paper's volume analysis is about.
+  Count total_sent = 0;
+  Count max_sent = 0;
+  std::vector<Count> class_bytes;
+  for (const sim::RankStats& stats : result.rank_stats) {
+    Count sent = 0;
+    if (class_bytes.size() < stats.per_class.size())
+      class_bytes.resize(stats.per_class.size(), 0);
+    for (std::size_t c = 0; c < stats.per_class.size(); ++c) {
+      sent += stats.per_class[c].bytes_sent;
+      class_bytes[c] += stats.per_class[c].bytes_sent;
+    }
+    total_sent += sent;
+    max_sent = std::max(max_sent, sent);
+  }
+  registry.counter("bytes_sent_total", base).add(total_sent);
+  registry.counter("bytes_sent_max_rank", base).add(max_sent);
+  for (std::size_t c = 0; c < class_bytes.size(); ++c) {
+    if (class_bytes[c] == 0) continue;
+    obs::Labels labels = base;
+    labels.collective(class_label(c));
+    registry.counter("collective_bytes_total", labels).add(class_bytes[c]);
+  }
+}
+
+}  // namespace psi::driver

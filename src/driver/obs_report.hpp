@@ -1,0 +1,45 @@
+/// \file obs_report.hpp
+/// \brief Driver entry point of the observability layer: runs the psi::obs
+/// post-run analyzers over a recorded run, renders the results for humans,
+/// and folds run aggregates into a metrics registry for the machine-readable
+/// bench summaries (--json).
+#pragma once
+
+#include <string>
+
+#include "obs/analysis.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "pselinv/engine.hpp"
+#include "sim/machine.hpp"
+
+namespace psi::driver {
+
+/// Everything the post-run analyzers produce for one recording.
+struct ObsAnalysis {
+  obs::CriticalPath path;
+  obs::ContentionReport contention;
+};
+
+/// Extracts the critical path (per-comm-class attribution) and the per-NIC /
+/// per-tier contention report from `recorder`, using `config`'s topology.
+ObsAnalysis analyze_recording(const obs::Recorder& recorder,
+                              const sim::MachineConfig& config);
+
+/// Multi-line breakdown of the binding chain: category shares, hop counts,
+/// and per-collective communication time on the path.
+std::string render_critical_path(const obs::CriticalPath& path);
+
+/// Multi-line contention summary: per-tier traffic split into transfer /
+/// latency / queueing, plus the `top_ranks` busiest send NICs.
+std::string render_contention(const obs::ContentionReport& report,
+                              int top_ranks = 5);
+
+/// Folds a finished run's aggregates into `registry` under
+/// {bench, scheme, p} labels: makespan, engine event totals, per-collective
+/// traffic volume, and the total / max per-rank send volume (load balance).
+void record_run_metrics(obs::MetricsRegistry& registry,
+                        const std::string& bench, const std::string& scheme,
+                        int p, const pselinv::RunResult& result);
+
+}  // namespace psi::driver

@@ -1,0 +1,188 @@
+#include "obs/analysis.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/check.hpp"
+
+namespace psi::obs {
+
+const char* path_category_name(PathCategory category) {
+  switch (category) {
+    case PathCategory::kExec: return "exec";
+    case PathCategory::kSendQueue: return "send-queue";
+    case PathCategory::kTransfer: return "transfer";
+    case PathCategory::kLatency: return "latency";
+    case PathCategory::kRecvQueue: return "recv-queue";
+  }
+  return "unknown";
+}
+
+const char* tier_name(int tier) {
+  switch (tier) {
+    case 0: return "intra-node";
+    case 1: return "intra-group";
+    case 2: return "inter-group";
+  }
+  return "unknown";
+}
+
+CriticalPath extract_critical_path(const Recorder& recorder, int comm_classes) {
+  CriticalPath path;
+  path.class_comm_seconds.assign(
+      static_cast<std::size_t>(std::max(comm_classes, 0)), 0.0);
+  path.class_hops.assign(static_cast<std::size_t>(std::max(comm_classes, 0)),
+                         0);
+  const std::vector<EventRecord>& events = recorder.events();
+  std::uint64_t cur = recorder.final_event();
+  if (cur == kNoEvent) return path;
+  path.makespan = events[static_cast<std::size_t>(cur)].end;
+
+  const auto ensure_class = [&path](int c) {
+    if (static_cast<std::size_t>(c) >= path.class_comm_seconds.size()) {
+      path.class_comm_seconds.resize(static_cast<std::size_t>(c) + 1, 0.0);
+      path.class_hops.resize(static_cast<std::size_t>(c) + 1, 0);
+    }
+  };
+  const auto push = [&path, &ensure_class](
+                        const EventRecord& rec, std::uint64_t seq, int rank,
+                        PathCategory category, double begin, double end) {
+    PSI_ASSERT(end >= begin);
+    if (category != PathCategory::kExec && end == begin)
+      return;  // keep the path free of zero-length wait segments
+    path.segments.push_back(PathSegment{seq, rank, rec.src, rec.dst,
+                                        rec.comm_class, rec.tag, category,
+                                        begin, end});
+    path.category_seconds[static_cast<int>(category)] += end - begin;
+    if (category != PathCategory::kExec) {
+      ensure_class(rec.comm_class);
+      path.class_comm_seconds[static_cast<std::size_t>(rec.comm_class)] +=
+          end - begin;
+    }
+  };
+
+  // Backward walk: `upto` is the instant up to which time is accounted.
+  double upto = path.makespan;
+  for (;;) {
+    const EventRecord& rec = events[static_cast<std::size_t>(cur)];
+    PSI_CHECK_MSG(rec.handled, "critical path reached an undelivered event");
+    // Handler execution [start, upto]; when entered through a send posted at
+    // `upto` < end, only the prefix that produced the send is binding.
+    push(rec, cur, rec.dst, PathCategory::kExec, rec.start, upto);
+    ++path.handler_count;
+
+    if (rec.start > rec.ready) {
+      // Busy-bound: the rank executed straight through — the previous
+      // handler on this rank ended exactly at rec.start.
+      PSI_CHECK_MSG(rec.prev_on_rank != kNoEvent,
+                    "busy-bound handler without a predecessor on its rank");
+      cur = rec.prev_on_rank;
+      upto = rec.start;
+      continue;
+    }
+    // Message-bound: start == ready.
+    if (rec.emitter == kNoEvent) break;  // t = 0 start seed
+    if (rec.network()) {
+      ++path.network_hops;
+      ensure_class(rec.comm_class);
+      ++path.class_hops[static_cast<std::size_t>(rec.comm_class)];
+      push(rec, cur, rec.dst, PathCategory::kRecvQueue, rec.arrival, rec.ready);
+      push(rec, cur, rec.src, PathCategory::kLatency, rec.xfer_end, rec.arrival);
+      push(rec, cur, rec.src, PathCategory::kTransfer, rec.xfer_start,
+           rec.xfer_end);
+      push(rec, cur, rec.src, PathCategory::kSendQueue, rec.post,
+           rec.xfer_start);
+    } else {
+      ++path.local_hops;  // self-send: ready == post, no wait segments
+    }
+    cur = rec.emitter;
+    upto = rec.post;
+  }
+  std::reverse(path.segments.begin(), path.segments.end());
+  return path;
+}
+
+int ContentionReport::busiest_send_rank() const {
+  int best = -1;
+  double best_residency = 0.0;
+  for (std::size_t r = 0; r < per_rank.size(); ++r)
+    if (per_rank[r].send_residency > best_residency) {
+      best_residency = per_rank[r].send_residency;
+      best = static_cast<int>(r);
+    }
+  return best;
+}
+
+double ContentionReport::max_send_residency() const {
+  const int rank = busiest_send_rank();
+  return rank < 0 ? 0.0 : per_rank[static_cast<std::size_t>(rank)].send_residency;
+}
+
+double ContentionReport::total_send_queue_wait() const {
+  double total = 0.0;
+  for (const NicStats& nic : per_rank) total += nic.send_queue_wait;
+  return total;
+}
+
+ContentionReport analyze_contention(const Recorder& recorder,
+                                    int cores_per_node, int nodes_per_group) {
+  PSI_CHECK(cores_per_node > 0 && nodes_per_group > 0);
+  ContentionReport report;
+  const auto node_of = [cores_per_node](int rank) {
+    return rank / cores_per_node;
+  };
+  const auto tier_of = [&node_of, nodes_per_group](int src, int dst) {
+    const int src_node = node_of(src), dst_node = node_of(dst);
+    if (src_node == dst_node) return 0;
+    return src_node / nodes_per_group == dst_node / nodes_per_group ? 1 : 2;
+  };
+
+  const auto ensure_rank = [&report](int rank) -> NicStats& {
+    if (static_cast<std::size_t>(rank) >= report.per_rank.size())
+      report.per_rank.resize(static_cast<std::size_t>(rank) + 1);
+    return report.per_rank[static_cast<std::size_t>(rank)];
+  };
+
+  // Per-rank send NICs are FIFO (grants in post order), and the recorder's
+  // seq order is global post order — one forward pass with a deque of
+  // in-flight xfer_end times per rank yields the max queue depth.
+  std::vector<std::deque<double>> in_flight;
+  for (const EventRecord& rec : recorder.events()) {
+    if (!rec.network()) continue;
+    const double occupancy = rec.occupancy();
+    const double send_wait = rec.xfer_start - rec.post;
+    const double recv_wait = rec.ready - rec.arrival;
+    const double latency = rec.arrival - rec.xfer_end;
+
+    NicStats& src = ensure_rank(rec.src);
+    src.send_residency += occupancy;
+    src.send_queue_wait += send_wait;
+    src.messages_out += 1;
+    src.bytes_out += rec.bytes;
+    NicStats& dst = ensure_rank(rec.dst);
+    dst.recv_residency += occupancy;
+    dst.recv_queue_wait += recv_wait;
+    dst.messages_in += 1;
+    dst.bytes_in += rec.bytes;
+
+    if (static_cast<std::size_t>(rec.src) >= in_flight.size())
+      in_flight.resize(static_cast<std::size_t>(rec.src) + 1);
+    std::deque<double>& queue = in_flight[static_cast<std::size_t>(rec.src)];
+    while (!queue.empty() && queue.front() <= rec.post) queue.pop_front();
+    queue.push_back(rec.xfer_end);
+    src.max_send_queue_depth = std::max(src.max_send_queue_depth,
+                                        static_cast<int>(queue.size()));
+
+    TierStats& tier =
+        report.tiers[static_cast<std::size_t>(tier_of(rec.src, rec.dst))];
+    tier.transfer_seconds += occupancy;
+    tier.latency_seconds += latency;
+    tier.send_queue_wait += send_wait;
+    tier.recv_queue_wait += recv_wait;
+    tier.messages += 1;
+    tier.bytes += rec.bytes;
+  }
+  return report;
+}
+
+}  // namespace psi::obs

@@ -1,0 +1,128 @@
+/// \file analysis.hpp
+/// \brief Post-run analyzers over a Recorder: exact simulated-time critical
+/// path extraction and per-link contention attribution.
+///
+/// CRITICAL PATH. The makespan is realized by one causal chain of handler
+/// executions and message hops. Walking backward from the handler with the
+/// latest completion, each handler's start is bound either by its rank being
+/// busy (the previous handler on that rank — contiguous execution, no idle
+/// time) or by its triggering message becoming ready; a ready time
+/// decomposes exactly into the emitter's hand-off, sender-NIC queueing,
+/// transfer occupancy, wire latency, and receiver-NIC queueing. The walk
+/// therefore partitions the whole makespan into disjoint segments — their
+/// lengths sum to the makespan EXACTLY (same doubles the engine computed
+/// with) — each labelled with a category, a rank/link, and the message's
+/// communication class. This is the attribution the paper's argument needs:
+/// which chains, links and phases bound the run, and how many communication
+/// hops the binding chain has under each tree scheme.
+///
+/// CONTENTION. Independently of the single binding chain, every recorded
+/// message contributes its NIC residency (occupancy) and queueing delays to
+/// per-rank NIC statistics and per-tier (intra-node / intra-group /
+/// inter-group) aggregates — the "queueing delay vs transfer time" split
+/// per link, including the maximum instantaneous send-queue depth.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "obs/recorder.hpp"
+
+namespace psi::obs {
+
+enum class PathCategory : int {
+  kExec = 0,    ///< handler execution on a rank (compute + overheads)
+  kSendQueue,   ///< waiting for the sender NIC (link contention at src)
+  kTransfer,    ///< NIC occupancy of the payload
+  kLatency,     ///< wire latency of the hop
+  kRecvQueue,   ///< waiting for the receiver NIC (link contention at dst)
+};
+inline constexpr int kPathCategoryCount = 5;
+const char* path_category_name(PathCategory category);
+
+/// One disjoint interval of the makespan, attributed to a category.
+struct PathSegment {
+  std::uint64_t seq = kNoEvent;  ///< event whose record produced the segment
+  int rank = -1;       ///< rank where the time accrues (src NIC for
+                       ///< send-queue/transfer, dst for exec/recv-queue)
+  int src = -1;        ///< message endpoints (src < 0: start seed)
+  int dst = -1;
+  int comm_class = 0;
+  std::int64_t tag = 0;
+  PathCategory category = PathCategory::kExec;
+  double begin = 0.0;
+  double end = 0.0;
+  double seconds() const { return end - begin; }
+};
+
+struct CriticalPath {
+  /// Disjoint, contiguous segments in forward time order covering
+  /// [0, makespan].
+  std::vector<PathSegment> segments;
+  double makespan = 0.0;
+  int handler_count = 0;  ///< handler executions on the path
+  int network_hops = 0;   ///< network message edges traversed
+  int local_hops = 0;     ///< self-send (local task) edges traversed
+  std::array<double, kPathCategoryCount> category_seconds{};
+  /// Communication (non-exec) seconds and hop counts per comm class.
+  std::vector<double> class_comm_seconds;
+  std::vector<Count> class_hops;
+
+  double exec_seconds() const {
+    return category_seconds[static_cast<int>(PathCategory::kExec)];
+  }
+  /// Sum of all non-exec categories (== makespan - exec_seconds()).
+  double comm_seconds() const { return makespan - exec_seconds(); }
+};
+
+/// Extracts the binding chain from a completed run's recording.
+/// `comm_classes` sizes the per-class vectors (pass the engine's class
+/// count; classes observed beyond it grow the vectors as needed).
+CriticalPath extract_critical_path(const Recorder& recorder,
+                                   int comm_classes = 0);
+
+/// Per-rank NIC statistics over ALL recorded network messages.
+struct NicStats {
+  double send_residency = 0.0;   ///< total seconds the send NIC was occupied
+  double send_queue_wait = 0.0;  ///< total seconds messages waited for it
+  double recv_residency = 0.0;
+  double recv_queue_wait = 0.0;
+  Count messages_out = 0;
+  Count messages_in = 0;
+  Count bytes_out = 0;
+  Count bytes_in = 0;
+  int max_send_queue_depth = 0;  ///< max messages simultaneously queued/being
+                                 ///< sent on this rank's NIC
+};
+
+/// Per-tier aggregates (the machine's three link tiers).
+struct TierStats {
+  double transfer_seconds = 0.0;
+  double latency_seconds = 0.0;
+  double send_queue_wait = 0.0;
+  double recv_queue_wait = 0.0;
+  Count messages = 0;
+  Count bytes = 0;
+};
+inline constexpr int kTierCount = 3;  ///< intra-node, intra-group, inter-group
+const char* tier_name(int tier);
+
+struct ContentionReport {
+  std::vector<NicStats> per_rank;
+  std::array<TierStats, kTierCount> tiers{};
+
+  /// Rank whose send NIC was occupied longest (-1 when no traffic), and the
+  /// residency itself — the "hot link" a flat tree concentrates.
+  int busiest_send_rank() const;
+  double max_send_residency() const;
+  double total_send_queue_wait() const;
+};
+
+/// Aggregates NIC/tier statistics from every recorded message.
+/// `cores_per_node` / `nodes_per_group` replicate the machine's topology
+/// mapping (obs does not depend on sim).
+ContentionReport analyze_contention(const Recorder& recorder,
+                                    int cores_per_node, int nodes_per_group);
+
+}  // namespace psi::obs

@@ -1,0 +1,146 @@
+#include "obs/chrome_trace.hpp"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace psi::obs {
+
+namespace {
+
+constexpr double kMicros = 1e6;  ///< simulated seconds -> trace microseconds
+
+class TraceWriter {
+ public:
+  TraceWriter(std::ofstream& out) : out_(&out) { *out_ << "{\"traceEvents\":[" ; }
+
+  /// Emits one event object; `body` is the JSON fields after the opening
+  /// brace, without the trailing brace.
+  void event(const std::string& body) {
+    *out_ << (first_ ? "\n{" : ",\n{") << body << '}';
+    first_ = false;
+  }
+
+  void finish() { *out_ << "\n],\"displayTimeUnit\":\"ms\"}\n"; }
+
+ private:
+  std::ofstream* out_;
+  bool first_ = true;
+};
+
+std::string fmt(const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace
+
+void write_chrome_trace(const Recorder& recorder, const std::string& path,
+                        const ChromeTraceOptions& options) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PSI_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  TraceWriter writer(out);
+
+  const auto class_label = [&options](int c) -> std::string {
+    if (options.class_name != nullptr) return options.class_name(c);
+    return "class " + std::to_string(c);
+  };
+
+  const std::vector<EventRecord>& events = recorder.events();
+  const std::size_t limit =
+      options.max_events > 0 && options.max_events < events.size()
+          ? options.max_events
+          : events.size();
+
+  std::set<int> ranks_seen;
+  for (std::size_t seq = 0; seq < limit; ++seq) {
+    const EventRecord& rec = events[seq];
+    if (!rec.handled) continue;
+    ranks_seen.insert(rec.dst);
+    const std::string name = rec.src < 0 ? std::string("start")
+                                         : class_label(rec.comm_class);
+    writer.event(fmt(
+        "\"name\":\"%s\",\"cat\":\"handler\",\"ph\":\"X\",\"ts\":%.6f,"
+        "\"dur\":%.6f,\"pid\":%d,\"tid\":0,\"args\":{\"seq\":%" PRIu64
+        ",\"src\":%d,\"tag\":%lld,\"bytes\":%lld,\"compute_us\":%.6f}",
+        json_escape(name).c_str(), rec.start * kMicros,
+        (rec.end - rec.start) * kMicros, rec.dst,
+        static_cast<std::uint64_t>(seq), rec.src,
+        static_cast<long long>(rec.tag), static_cast<long long>(rec.bytes),
+        rec.compute * kMicros));
+    if (!rec.network()) continue;
+    ranks_seen.insert(rec.src);
+    // Transfer occupancy on both NICs. The receive side occupies
+    // [ready - occupancy, ready] (the engine's serialization window).
+    writer.event(fmt(
+        "\"name\":\"%s\",\"cat\":\"nic\",\"ph\":\"X\",\"ts\":%.6f,"
+        "\"dur\":%.6f,\"pid\":%d,\"tid\":1,\"args\":{\"dst\":%d,"
+        "\"bytes\":%lld,\"queue_us\":%.6f}",
+        json_escape(class_label(rec.comm_class)).c_str(),
+        rec.xfer_start * kMicros, rec.occupancy() * kMicros, rec.src, rec.dst,
+        static_cast<long long>(rec.bytes),
+        (rec.xfer_start - rec.post) * kMicros));
+    writer.event(fmt(
+        "\"name\":\"%s\",\"cat\":\"nic\",\"ph\":\"X\",\"ts\":%.6f,"
+        "\"dur\":%.6f,\"pid\":%d,\"tid\":2,\"args\":{\"src\":%d,"
+        "\"queue_us\":%.6f}",
+        json_escape(class_label(rec.comm_class)).c_str(),
+        (rec.ready - rec.occupancy()) * kMicros, rec.occupancy() * kMicros,
+        rec.dst, rec.src, (rec.ready - rec.arrival) * kMicros));
+    if (options.flows) {
+      writer.event(fmt(
+          "\"name\":\"msg\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":%" PRIu64
+          ",\"ts\":%.6f,\"pid\":%d,\"tid\":1",
+          static_cast<std::uint64_t>(seq), rec.xfer_start * kMicros, rec.src));
+      writer.event(fmt(
+          "\"name\":\"msg\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\","
+          "\"id\":%" PRIu64 ",\"ts\":%.6f,\"pid\":%d,\"tid\":0",
+          static_cast<std::uint64_t>(seq), rec.start * kMicros, rec.dst));
+    }
+  }
+
+  for (const SpanEvent& span : recorder.spans()) {
+    ranks_seen.insert(span.rank);
+    writer.event(fmt(
+        "\"name\":\"%s %lld\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":%.6f,"
+        "\"dur\":%.6f,\"pid\":%d,\"tid\":3",
+        json_escape(span.name).c_str(), static_cast<long long>(span.id),
+        span.begin * kMicros, (span.end - span.begin) * kMicros, span.rank));
+  }
+  for (const MarkEvent& mark : recorder.marks()) {
+    ranks_seen.insert(mark.rank);
+    writer.event(fmt(
+        "\"name\":\"%s %lld\",\"cat\":\"mark\",\"ph\":\"i\",\"s\":\"t\","
+        "\"ts\":%.6f,\"pid\":%d,\"tid\":0",
+        json_escape(mark.name).c_str(), static_cast<long long>(mark.id),
+        mark.time * kMicros, mark.rank));
+  }
+
+  for (const int rank : ranks_seen) {
+    writer.event(fmt(
+        "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+        "\"args\":{\"name\":\"rank %d\"}",
+        rank, rank));
+    static const char* const kThreadNames[4] = {"handlers", "nic-send",
+                                                "nic-recv", "spans"};
+    for (int tid = 0; tid < 4; ++tid)
+      writer.event(fmt(
+          "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,"
+          "\"args\":{\"name\":\"%s\"}",
+          rank, tid, kThreadNames[tid]));
+  }
+
+  writer.finish();
+  PSI_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+
+}  // namespace psi::obs

@@ -1,0 +1,38 @@
+/// \file chrome_trace.hpp
+/// \brief Chrome trace_event JSON export of a recorded run, loadable in
+/// chrome://tracing and Perfetto (ui.perfetto.dev).
+///
+/// Layout: one trace "process" per simulated rank with four threads —
+///   tid 0 "handlers"   complete (X) slices per handler execution,
+///   tid 1 "nic-send"   X slices per outbound transfer occupancy,
+///   tid 2 "nic-recv"   X slices per inbound transfer occupancy,
+///   tid 3 "spans"      X slices for emitted SpanEvents (e.g. supernodes),
+/// plus flow arrows (s/f) from each network send to the handler it triggers
+/// and instant (i) events for MarkEvents. Timestamps are simulated
+/// microseconds.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "obs/recorder.hpp"
+
+namespace psi::obs {
+
+struct ChromeTraceOptions {
+  /// Cap on exported handler slices (earliest sequence numbers first); NIC
+  /// slices and flows follow their handler. 0 = unlimited. A full 46x46
+  /// replay has ~5.5M events (~2 GB of JSON) — the default keeps files
+  /// loadable in the Perfetto UI.
+  std::size_t max_events = 400000;
+  /// Label for a message's communication class (defaults to "class N").
+  const char* (*class_name)(int) = nullptr;
+  /// Emit flow arrows between sends and the handlers they trigger.
+  bool flows = true;
+};
+
+/// Writes the trace to `path`; throws psi::Error on I/O failure.
+void write_chrome_trace(const Recorder& recorder, const std::string& path,
+                        const ChromeTraceOptions& options = {});
+
+}  // namespace psi::obs

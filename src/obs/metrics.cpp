@@ -1,0 +1,227 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace psi::obs {
+
+namespace {
+
+/// Shortest round-trippable rendering of a double for CSV/JSON export.
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer a shorter form when it round-trips identically.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+}  // namespace
+
+Labels& Labels::set(const std::string& key, const std::string& value) {
+  PSI_CHECK_MSG(!key.empty(), "label key must be non-empty");
+  for (auto& pair : pairs_)
+    if (pair.first == key) {
+      pair.second = value;
+      return *this;
+    }
+  pairs_.emplace_back(key, value);
+  return *this;
+}
+
+Labels& Labels::set(const std::string& key, long long value) {
+  return set(key, std::to_string(value));
+}
+
+std::string Labels::fingerprint() const {
+  std::vector<std::pair<std::string, std::string>> sorted = pairs_;
+  std::sort(sorted.begin(), sorted.end());
+  std::string out;
+  for (const auto& [key, value] : sorted) {
+    if (!out.empty()) out += ',';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+std::string Labels::get(const std::string& key) const {
+  for (const auto& [k, v] : pairs_)
+    if (k == key) return v;
+  return {};
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  PSI_CHECK_MSG(std::is_sorted(bounds_.begin(), bounds_.end()),
+                "histogram bucket bounds must be sorted ascending");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  PSI_CHECK_MSG(!counts_.empty(), "histogram used before construction");
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  // Cumulative storage: bump this bucket and every wider one.
+  for (std::size_t i = static_cast<std::size_t>(it - bounds_.begin());
+       i < counts_.size(); ++i)
+    ++counts_[i];
+  sum_ += value;
+  max_ = std::max(max_, value);
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(
+    const std::string& name, const Labels& labels, Kind kind,
+    const std::vector<double>* bounds) {
+  const std::string key = name + '|' + labels.fingerprint();
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    PSI_CHECK_MSG(it->second->kind == kind,
+                  "metric '" << name << "' re-registered with a different type");
+    return *it->second;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->labels = labels;
+  entry->kind = kind;
+  if (kind == Kind::kHistogram) {
+    PSI_CHECK(bounds != nullptr);
+    entry->histogram = Histogram(*bounds);
+  }
+  Entry* raw = entry.get();
+  entries_.push_back(std::move(entry));
+  index_.emplace(key, raw);
+  return *raw;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, const Labels& labels) {
+  return find_or_create(name, labels, Kind::kCounter, nullptr).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
+  return find_or_create(name, labels, Kind::kGauge, nullptr).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels,
+                                      const std::vector<double>& bounds) {
+  return find_or_create(name, labels, Kind::kHistogram, &bounds).histogram;
+}
+
+std::string MetricsRegistry::to_csv() const {
+  std::ostringstream os;
+  os << "name,type,labels,value,sum,count,max\n";
+  for (const auto& entry : entries_) {
+    const std::string labels = entry->labels.fingerprint();
+    switch (entry->kind) {
+      case Kind::kCounter:
+        os << entry->name << ",counter,\"" << labels << "\","
+           << entry->counter.value << ",,,\n";
+        break;
+      case Kind::kGauge:
+        os << entry->name << ",gauge,\"" << labels << "\","
+           << format_double(entry->gauge.value) << ",,,\n";
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = entry->histogram;
+        for (std::size_t b = 0; b < h.bounds().size(); ++b)
+          os << entry->name << ",histogram_bucket,\"" << labels
+             << ",le=" << format_double(h.bounds()[b]) << "\","
+             << h.counts()[b] << ",,,\n";
+        os << entry->name << ",histogram,\"" << labels << "\",,"
+           << format_double(h.sum()) << ',' << h.total_count() << ','
+           << format_double(h.max()) << '\n';
+        break;
+      }
+    }
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::to_ndjson() const {
+  std::ostringstream os;
+  for (const auto& entry : entries_) {
+    os << "{\"name\":\"" << json_escape(entry->name) << "\",\"labels\":{";
+    bool first = true;
+    for (const auto& [key, value] : entry->labels.pairs()) {
+      if (!first) os << ',';
+      first = false;
+      os << '"' << json_escape(key) << "\":\"" << json_escape(value) << '"';
+    }
+    os << '}';
+    switch (entry->kind) {
+      case Kind::kCounter:
+        os << ",\"type\":\"counter\",\"value\":" << entry->counter.value;
+        break;
+      case Kind::kGauge:
+        os << ",\"type\":\"gauge\",\"value\":"
+           << format_double(entry->gauge.value);
+        break;
+      case Kind::kHistogram: {
+        const Histogram& h = entry->histogram;
+        os << ",\"type\":\"histogram\",\"bounds\":[";
+        for (std::size_t b = 0; b < h.bounds().size(); ++b)
+          os << (b ? "," : "") << format_double(h.bounds()[b]);
+        os << "],\"cumulative_counts\":[";
+        for (std::size_t b = 0; b < h.counts().size(); ++b)
+          os << (b ? "," : "") << h.counts()[b];
+        os << "],\"sum\":" << format_double(h.sum())
+           << ",\"count\":" << h.total_count()
+           << ",\"max\":" << format_double(h.max());
+        break;
+      }
+    }
+    os << "}\n";
+  }
+  return os.str();
+}
+
+namespace {
+void write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PSI_CHECK_MSG(out.good(), "cannot open '" << path << "' for writing");
+  out << content;
+  PSI_CHECK_MSG(out.good(), "write to '" << path << "' failed");
+}
+}  // namespace
+
+void MetricsRegistry::write_csv(const std::string& path) const {
+  write_file(path, to_csv());
+}
+
+void MetricsRegistry::write_ndjson(const std::string& path) const {
+  write_file(path, to_ndjson());
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace psi::obs

@@ -1,0 +1,145 @@
+/// \file metrics.hpp
+/// \brief Metrics registry: counters, gauges, and fixed-bucket histograms
+/// keyed by a small label set ({rank, phase, collective, scheme} plus
+/// free-form pairs), with CSV and newline-JSON exporters.
+///
+/// The registry is the reporting substrate that replaces ad-hoc per-rank
+/// counter plumbing in the harnesses: a run's RankStats are folded into
+/// labelled metrics once, and every consumer (tables, --json bench
+/// summaries, CI artifacts) reads the same registry. Export order is
+/// insertion order, so output is deterministic.
+///
+/// Not thread-safe: a registry belongs to one bench/driver thread (the
+/// bench pool writes per-job results into pre-sized slots and registers
+/// them sequentially after the join, like all other bench output).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sparse/types.hpp"
+
+namespace psi::obs {
+
+/// Ordered key=value label pairs identifying one metric series. Keys are
+/// kept in insertion order for rendering; identity (fingerprint) is the
+/// canonical "k1=v1,k2=v2" string over the pairs in sorted-key order.
+class Labels {
+ public:
+  Labels() = default;
+
+  Labels& set(const std::string& key, const std::string& value);
+  Labels& set(const std::string& key, const char* value) {
+    return set(key, std::string(value));
+  }
+  Labels& set(const std::string& key, long long value);
+  Labels& set(const std::string& key, int value) {
+    return set(key, static_cast<long long>(value));
+  }
+
+  // Convenience setters for the canonical label keys.
+  Labels& rank(int r) { return set("rank", r); }
+  Labels& phase(const std::string& p) { return set("phase", p); }
+  Labels& collective(const std::string& c) { return set("collective", c); }
+  Labels& scheme(const std::string& s) { return set("scheme", s); }
+
+  const std::vector<std::pair<std::string, std::string>>& pairs() const {
+    return pairs_;
+  }
+  /// Canonical identity string: sorted by key, "k=v" joined with commas.
+  std::string fingerprint() const;
+  /// Value of `key`, or "" when absent.
+  std::string get(const std::string& key) const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> pairs_;
+};
+
+struct Counter {
+  Count value = 0;
+  void add(Count delta) { value += delta; }
+  void increment() { value += 1; }
+};
+
+struct Gauge {
+  double value = 0.0;
+  void set(double v) { value = v; }
+};
+
+/// Fixed-bucket histogram: `bounds` are inclusive upper bounds of the first
+/// bounds.size() buckets; an implicit +inf bucket catches the rest.
+class Histogram {
+ public:
+  Histogram() = default;
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Cumulative count of observations <= bounds()[i]; counts().back() is the
+  /// total (the +inf bucket included).
+  const std::vector<Count>& counts() const { return counts_; }
+  Count total_count() const { return counts_.empty() ? 0 : counts_.back(); }
+  double sum() const { return sum_; }
+  double max() const { return max_; }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<Count> counts_;  ///< cumulative, size bounds_.size() + 1
+  double sum_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Registry of named, labelled metrics. Re-requesting the same
+/// (name, labels) returns the same instance; references remain valid for
+/// the registry's lifetime.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` is only consulted on first creation of the series.
+  Histogram& histogram(const std::string& name, const Labels& labels,
+                       const std::vector<double>& bounds);
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// CSV: header "name,type,labels,value,sum,count,max"; histograms render
+  /// one row per bucket plus a summary row.
+  std::string to_csv() const;
+  /// Newline-delimited JSON: one object per metric, labels inlined as an
+  /// object, histograms with bounds/cumulative counts.
+  std::string to_ndjson() const;
+
+  void write_csv(const std::string& path) const;
+  void write_ndjson(const std::string& path) const;
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Entry {
+    std::string name;
+    Labels labels;
+    Kind kind;
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram;
+  };
+
+  Entry& find_or_create(const std::string& name, const Labels& labels,
+                        Kind kind, const std::vector<double>* bounds);
+
+  std::vector<std::unique_ptr<Entry>> entries_;   ///< insertion order
+  std::unordered_map<std::string, Entry*> index_; ///< "name|fingerprint" -> entry
+};
+
+/// JSON string escaping (quotes, backslashes, control characters).
+std::string json_escape(const std::string& s);
+
+}  // namespace psi::obs

@@ -1,0 +1,77 @@
+#include "obs/recorder.hpp"
+
+#include "common/check.hpp"
+
+namespace psi::obs {
+
+EventRecord& Recorder::slot(std::uint64_t seq) {
+  PSI_CHECK_MSG(seq != kNoEvent, "event with unassigned sequence number");
+  if (seq >= events_.size()) events_.resize(static_cast<std::size_t>(seq) + 1);
+  return events_[static_cast<std::size_t>(seq)];
+}
+
+void Recorder::on_send(const MsgSend& send) {
+  EventRecord& rec = slot(send.seq);
+  rec.post = send.post;
+  rec.xfer_start = send.xfer_start;
+  rec.xfer_end = send.xfer_end;
+  rec.arrival = send.arrival;
+  rec.emitter = send.emitter;
+  rec.tag = send.tag;
+  rec.bytes = send.bytes;
+  rec.src = send.src;
+  rec.dst = send.dst;
+  rec.comm_class = send.comm_class;
+}
+
+void Recorder::on_handler(const HandlerRun& run) {
+  EventRecord& rec = slot(run.seq);
+  if (run.src < 0) {
+    // Start seed: no MsgSend was observed; synthesize the sender-side view.
+    rec.post = rec.xfer_start = rec.xfer_end = run.arrival;
+    rec.src = run.src;
+    rec.dst = run.rank;
+    rec.tag = run.tag;
+    rec.bytes = run.bytes;
+    rec.comm_class = run.comm_class;
+  }
+  PSI_CHECK_MSG(rec.dst == run.rank, "handler rank does not match message dst");
+  rec.arrival = run.arrival;
+  rec.ready = run.ready;
+  rec.start = run.start;
+  rec.end = run.end;
+  rec.compute = run.compute;
+  rec.handled = true;
+
+  const auto rank = static_cast<std::size_t>(run.rank);
+  if (rank >= last_on_rank_.size()) last_on_rank_.resize(rank + 1, kNoEvent);
+  rec.prev_on_rank = last_on_rank_[rank];
+  last_on_rank_[rank] = run.seq;
+}
+
+std::uint64_t Recorder::final_event() const {
+  std::uint64_t best = kNoEvent;
+  double best_end = -1.0;
+  for (std::size_t seq = 0; seq < events_.size(); ++seq) {
+    const EventRecord& rec = events_[seq];
+    if (rec.handled && rec.end > best_end) {
+      best_end = rec.end;
+      best = seq;
+    }
+  }
+  return best;
+}
+
+double Recorder::makespan() const {
+  const std::uint64_t seq = final_event();
+  return seq == kNoEvent ? 0.0 : events_[static_cast<std::size_t>(seq)].end;
+}
+
+void Recorder::clear() {
+  events_.clear();
+  spans_.clear();
+  marks_.clear();
+  last_on_rank_.clear();
+}
+
+}  // namespace psi::obs

@@ -1,0 +1,93 @@
+/// \file sink.hpp
+/// \brief Instrumentation sink API of the observability layer (psi::obs).
+///
+/// The simulator and the rank programs emit structured events into a Sink:
+/// message sends (with the full sender-side NIC timing decomposition),
+/// handler executions (delivery, queueing, busy-wait, run interval), spans
+/// (e.g. a supernode's lifetime on its diagonal owner), and instant marks
+/// (e.g. a block finalization). A null sink costs one predictable branch
+/// per event on the hot path — observability is strictly opt-in and the
+/// default engine behaviour is unchanged.
+///
+/// obs sits BELOW sim in the layering: it depends only on common/sparse
+/// types, so every layer (sim, trees, pselinv, driver, benches) can emit
+/// into it without cycles. Times are simulated seconds (double), identical
+/// to sim::SimTime.
+#pragma once
+
+#include <cstdint>
+
+#include "sparse/types.hpp"
+
+namespace psi::obs {
+
+/// Sentinel for "no causal predecessor" (start seeds).
+inline constexpr std::uint64_t kNoEvent = ~std::uint64_t{0};
+
+/// A posted message, observed at send time with the sender-side timing
+/// decomposition. Every queued simulator event (network send, self-send)
+/// carries a unique `seq`; the event id doubles as the id of the handler
+/// its delivery triggers.
+struct MsgSend {
+  std::uint64_t seq = kNoEvent;      ///< unique event id of this message
+  std::uint64_t emitter = kNoEvent;  ///< handler event that posted it
+  int src = -1;
+  int dst = -1;
+  std::int64_t tag = 0;
+  Count bytes = 0;
+  int comm_class = 0;
+  double post = 0.0;        ///< sender clock at NIC hand-off (after overhead)
+  double xfer_start = 0.0;  ///< sender NIC grant (== post when it was idle)
+  double xfer_end = 0.0;    ///< xfer_start + occupancy
+  double arrival = 0.0;     ///< xfer_end + wire latency (== post for local)
+};
+
+/// One handler execution: the delivery of event `seq` on `rank`, including
+/// the receiver-side NIC queueing (arrival -> ready) and the busy-wait
+/// (ready -> start) that preceded the run interval [start, end].
+struct HandlerRun {
+  std::uint64_t seq = kNoEvent;  ///< event id (matches the MsgSend, if any)
+  int rank = -1;
+  int src = -1;            ///< message source; -1 for the t=0 start seed
+  std::int64_t tag = 0;
+  Count bytes = 0;
+  int comm_class = 0;
+  double arrival = 0.0;    ///< wire arrival (== ready for local/self/start)
+  double ready = 0.0;      ///< after receiver-NIC serialization
+  double start = 0.0;      ///< max(ready, rank busy-until)
+  double end = 0.0;        ///< handler completion (rank clock)
+  double compute = 0.0;    ///< compute() seconds spent inside this handler
+};
+
+/// A named interval on a rank's simulated timeline (e.g. a supernode's
+/// lifetime on its diagonal owner: Diag-Bcast launch -> diagonal final).
+struct SpanEvent {
+  int rank = -1;
+  const char* name = "";   ///< static string (not owned)
+  std::int64_t id = 0;     ///< user id (e.g. supernode index)
+  double begin = 0.0;
+  double end = 0.0;
+};
+
+/// An instant marker on a rank's simulated timeline.
+struct MarkEvent {
+  int rank = -1;
+  const char* name = "";   ///< static string (not owned)
+  std::int64_t id = 0;     ///< user id (e.g. global block id)
+  double time = 0.0;
+};
+
+/// Receiver of instrumentation events. All callbacks default to no-ops so
+/// sinks override only what they need. Emission order follows simulation
+/// order: a message's on_send precedes its on_handler, and an emitting
+/// handler's sends are observed before that handler's own on_handler.
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_send(const MsgSend&) {}
+  virtual void on_handler(const HandlerRun&) {}
+  virtual void on_span(const SpanEvent&) {}
+  virtual void on_mark(const MarkEvent&) {}
+};
+
+}  // namespace psi::obs

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/check.hpp"
+#include "obs/sink.hpp"
 #include "trees/protocol.hpp"
 
 namespace psi::pselinv {
@@ -57,6 +58,7 @@ struct Shared {
   ExecutionMode mode = ExecutionMode::kTrace;
   const SupernodalLU* factor = nullptr;
   BlockMatrix* sink = nullptr;  // numeric gather target
+  obs::Sink* obs = nullptr;     // observability sink (may be null)
   Count blocks_finalized = 0;
 
   const BlockStructure& bs() const { return plan->structure(); }
@@ -82,6 +84,7 @@ class PSelInvRank : public sim::Rank {
       const auto& sp = sh_->plan->supernode(k);
       if (sh_->plan->map().owner(k, k) != me_) continue;
       const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+      if (sh_->obs != nullptr) diag_slot(k).span_begin = ctx.now();
       if (str.empty()) {
         finalize_diag(ctx, k, /*acc=*/nullptr);
         continue;
@@ -537,7 +540,13 @@ class PSelInvRank : public sim::Rank {
       result = inv;
     }
     finalize_block(ctx, k, k, sh_->plan->diag_block_id(k), result);
-    diag_slot(k).diag_payload.reset();
+    DiagSlot& ds = diag_slot(k);
+    ds.diag_payload.reset();
+    if (sh_->obs != nullptr) {
+      sh_->obs->on_span(
+          obs::SpanEvent{ctx.rank(), "supernode", k, ds.span_begin, ctx.now()});
+      sh_->obs->on_mark(obs::MarkEvent{ctx.rank(), "diag-final", k, ctx.now()});
+    }
   }
 
   // ----- block finalization & dependency flushing --------------------------
@@ -582,6 +591,7 @@ class PSelInvRank : public sim::Rank {
     int remaining_terms = 0;
     bool initialized = false;
     bool panel_normalized = false;
+    sim::SimTime span_begin = 0.0;  ///< Diag-Bcast launch (obs span, owner)
 
     /// Collective finished on this rank: drop the matrix references but keep
     /// the panel_normalized/deferred bookkeeping (still read afterwards).
@@ -772,11 +782,13 @@ double RunResult::mean_compute_seconds() const {
 
 RunResult run_pselinv(const Plan& plan, const sim::Machine& machine,
                       ExecutionMode mode, const SupernodalLU* factor,
-                      std::vector<sim::TraceEvent>* trace_out) {
+                      std::vector<sim::TraceEvent>* trace_out,
+                      obs::Sink* obs_sink) {
   Shared shared;
   shared.plan = &plan;
   shared.mode = mode;
   shared.factor = factor;
+  shared.obs = obs_sink;
 
   std::unique_ptr<BlockMatrix> sink;
   if (mode == ExecutionMode::kNumeric) {
@@ -790,6 +802,7 @@ RunResult run_pselinv(const Plan& plan, const sim::Machine& machine,
 
   sim::Engine engine(machine, plan.grid().size(), kCommClassCount);
   if (trace_out != nullptr) engine.enable_trace();
+  if (obs_sink != nullptr) engine.set_sink(obs_sink);
   for (int r = 0; r < plan.grid().size(); ++r)
     engine.set_rank(r, std::make_unique<PSelInvRank>(shared, r));
   const sim::SimTime makespan = engine.run();

@@ -61,9 +61,14 @@ struct RunResult {
 /// the engine performs the paper's loop-1 normalization itself, including
 /// its Diag-Bcast communication. When `trace_out` is non-null, every
 /// delivered network message is recorded into it (time, endpoints, class,
-/// bytes) for timeline analysis.
+/// bytes) for timeline analysis. When `obs_sink` is non-null it is attached
+/// to the simulator (every send/handler with full timing decomposition) and
+/// additionally receives one "supernode" span per supernode — Diag-Bcast
+/// launch to diagonal finalization on the diagonal owner — and a
+/// "diag-final" mark per finalized diagonal block.
 RunResult run_pselinv(const Plan& plan, const sim::Machine& machine,
                       ExecutionMode mode, const SupernodalLU* factor = nullptr,
-                      std::vector<sim::TraceEvent>* trace_out = nullptr);
+                      std::vector<sim::TraceEvent>* trace_out = nullptr,
+                      obs::Sink* obs_sink = nullptr);
 
 }  // namespace psi::pselinv

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/timer.hpp"
+#include "obs/sink.hpp"
 
 namespace psi::sim {
 
@@ -40,6 +41,11 @@ void Engine::enable_trace(std::size_t max_events) {
   tracing_ = true;
   trace_limit_ = max_events;
   trace_.reserve(std::min<std::size_t>(max_events, 1 << 16));
+}
+
+void Engine::set_sink(obs::Sink* sink) {
+  PSI_CHECK(!ran_);
+  sink_ = sink;
 }
 
 void Engine::set_rank(int rank, std::unique_ptr<Rank> program) {
@@ -83,7 +89,7 @@ Engine::Handle Engine::heap_pop() {
   return top;
 }
 
-void Engine::enqueue(SimTime time, const EventSlot& slot) {
+std::uint64_t Engine::enqueue(SimTime time, const EventSlot& slot) {
   std::uint32_t idx;
   if (!free_slots_.empty()) {
     idx = free_slots_.back();
@@ -95,11 +101,13 @@ void Engine::enqueue(SimTime time, const EventSlot& slot) {
   }
   pool_[idx] = slot;
   PSI_CHECK_MSG(next_seq_ < (1ull << 40), "event sequence number overflow");
-  const Handle handle{time, (next_seq_++ << kSlotBits) | idx};
+  const std::uint64_t seq = next_seq_++;
+  const Handle handle{time, (seq << kSlotBits) | idx};
   if (earlier(handle, horizon_))
     heap_push(handle);
   else
     overflow_.push_back(handle);
+  return seq;
 }
 
 void Engine::refill_heap() {
@@ -152,10 +160,13 @@ void Engine::post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
   auto& src_state = states_[static_cast<std::size_t>(src)];
 
   SimTime deliver_at;
+  SimTime xfer_start;
+  SimTime xfer_end;
   if (dst == src) {
     // Local hand-off: delivered after the current handler instant, no NIC,
     // no overhead, and not counted as network traffic.
     deliver_at = ctx.now_;
+    xfer_start = xfer_end = ctx.now_;
   } else {
     auto& counters =
         src_state.stats.per_class[static_cast<std::size_t>(comm_class)];
@@ -166,9 +177,10 @@ void Engine::post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
     src_state.stats.overhead_seconds += machine_->config().msg_overhead;
     // Sender NIC serialization.
     const SimTime occupancy = machine_->occupancy(src, dst, bytes);
-    const SimTime xfer_start = std::max(ctx.now_, src_state.nic_send_free);
-    src_state.nic_send_free = xfer_start + occupancy;
-    deliver_at = xfer_start + occupancy + machine_->latency(src, dst);
+    xfer_start = std::max(ctx.now_, src_state.nic_send_free);
+    xfer_end = xfer_start + occupancy;
+    src_state.nic_send_free = xfer_end;
+    deliver_at = xfer_end + machine_->latency(src, dst);
   }
 
   std::int32_t payload = kNoPayload;
@@ -182,31 +194,47 @@ void Engine::post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
       payloads_.push_back(std::move(data));
     }
   }
-  enqueue(deliver_at, EventSlot{tag, bytes, src, dst, comm_class, payload});
+  const std::uint64_t seq =
+      enqueue(deliver_at, EventSlot{tag, bytes, src, dst, comm_class, payload});
+  if (sink_ != nullptr) {
+    obs::MsgSend ev;
+    ev.seq = seq;
+    ev.emitter = dispatching_seq_;
+    ev.src = src;
+    ev.dst = dst;
+    ev.tag = tag;
+    ev.bytes = bytes;
+    ev.comm_class = comm_class;
+    ev.post = ctx.now_;
+    ev.xfer_start = xfer_start;
+    ev.xfer_end = xfer_end;
+    ev.arrival = deliver_at;
+    sink_->on_send(ev);
+  }
 }
 
-void Engine::dispatch(SimTime time, const EventSlot& slot,
+void Engine::dispatch(SimTime time, std::uint64_t seq, const EventSlot& slot,
                       std::shared_ptr<const DenseMatrix> payload) {
   auto& state = states_[static_cast<std::size_t>(slot.dst)];
 
-  SimTime start = time;
+  SimTime ready = time;
   if (slot.dst != slot.src && slot.src >= 0) {
     // Receiver NIC serialization: the payload occupies the receiving NIC for
     // its occupancy time as well, so a rank bombarded by many concurrent
     // senders (e.g. a flat-tree reduce root) drains them one at a time.
     const SimTime occupancy =
         machine_->occupancy(slot.src, slot.dst, slot.bytes);
-    start = std::max(start, state.nic_recv_free + occupancy);
-    state.nic_recv_free = start;
+    ready = std::max(ready, state.nic_recv_free + occupancy);
+    state.nic_recv_free = ready;
     auto& counters =
         state.stats.per_class[static_cast<std::size_t>(slot.comm_class)];
     counters.bytes_received += slot.bytes;
     counters.messages_received += 1;
     if (tracing_ && trace_.size() < trace_limit_)
-      trace_.push_back(TraceEvent{start, slot.src, slot.dst, slot.comm_class,
+      trace_.push_back(TraceEvent{ready, slot.src, slot.dst, slot.comm_class,
                                   slot.bytes, slot.tag});
   }
-  start = std::max(start, state.busy_until);
+  const SimTime start = std::max(ready, state.busy_until);
 
   Context ctx(*this, slot.dst, start);
   if (slot.src >= 0 && slot.dst != slot.src) {
@@ -217,6 +245,8 @@ void Engine::dispatch(SimTime time, const EventSlot& slot,
   Rank* program = programs_[static_cast<std::size_t>(slot.dst)].get();
   PSI_CHECK_MSG(program != nullptr,
                 "no program installed for rank " << slot.dst);
+  const double compute_before = state.stats.compute_seconds;
+  dispatching_seq_ = seq;
   if (slot.src < 0) {
     program->on_start(ctx);
   } else {
@@ -229,12 +259,28 @@ void Engine::dispatch(SimTime time, const EventSlot& slot,
     msg.data = std::move(payload);
     program->on_message(ctx, msg);
   }
+  dispatching_seq_ = ~std::uint64_t{0};
 
   state.busy_until = ctx.now_;
   state.stats.finish_time = std::max(state.stats.finish_time, ctx.now_);
   state.stats.events_handled += 1;
   makespan_ = std::max(makespan_, ctx.now_);
   ++events_processed_;
+  if (sink_ != nullptr) {
+    obs::HandlerRun ev;
+    ev.seq = seq;
+    ev.rank = slot.dst;
+    ev.src = slot.src;
+    ev.tag = slot.tag;
+    ev.bytes = slot.bytes;
+    ev.comm_class = slot.comm_class;
+    ev.arrival = time;
+    ev.ready = ready;
+    ev.start = start;
+    ev.end = ctx.now_;
+    ev.compute = state.stats.compute_seconds - compute_before;
+    sink_->on_handler(ev);
+  }
 }
 
 SimTime Engine::run() {
@@ -260,7 +306,7 @@ SimTime Engine::run() {
       payload = std::move(payloads_[static_cast<std::size_t>(slot.payload)]);
       free_payloads_.push_back(slot.payload);
     }
-    dispatch(handle.time, slot, std::move(payload));
+    dispatch(handle.time, handle.key >> kSlotBits, slot, std::move(payload));
   }
   wall_seconds_ = timer.seconds();
   return makespan_;

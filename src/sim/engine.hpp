@@ -41,6 +41,10 @@
 #include "sparse/dense.hpp"
 #include "sparse/types.hpp"
 
+namespace psi::obs {
+class Sink;
+}
+
 namespace psi::sim {
 
 /// Payload carried by a message. `data` is set in numeric mode (a shared
@@ -134,6 +138,13 @@ class Engine {
   void enable_trace(std::size_t max_events = 1 << 20);
   const std::vector<TraceEvent>& trace() const { return trace_; }
 
+  /// Attaches an observability sink (psi::obs) receiving every message send
+  /// and handler execution with its full timing decomposition. Call before
+  /// run(); the sink must outlive it. Null (the default) disables
+  /// instrumentation: the event loop then pays only one predictable branch
+  /// per send/dispatch.
+  void set_sink(obs::Sink* sink);
+
   /// Runs to completion (event queue drained). Returns the makespan: the
   /// time the last handler finished.
   SimTime run();
@@ -192,8 +203,9 @@ class Engine {
 
   void post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
                  int comm_class, std::shared_ptr<const DenseMatrix> data);
-  void enqueue(SimTime time, const EventSlot& slot);
-  void dispatch(SimTime time, const EventSlot& slot,
+  /// Returns the queued event's global sequence number.
+  std::uint64_t enqueue(SimTime time, const EventSlot& slot);
+  void dispatch(SimTime time, std::uint64_t seq, const EventSlot& slot,
                 std::shared_ptr<const DenseMatrix> payload);
 
   void heap_push(Handle handle);
@@ -219,6 +231,10 @@ class Engine {
   std::vector<std::int32_t> free_payloads_;
 
   std::uint64_t next_seq_ = 0;
+  obs::Sink* sink_ = nullptr;
+  /// Sequence of the event whose handler is currently dispatching (the
+  /// causal emitter of any sends it posts); ~0 outside dispatch.
+  std::uint64_t dispatching_seq_ = ~std::uint64_t{0};
   bool tracing_ = false;
   std::size_t trace_limit_ = 0;
   std::vector<TraceEvent> trace_;

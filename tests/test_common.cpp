@@ -340,10 +340,33 @@ TEST(ParallelForEach, PropagatesException) {
 TEST(BenchThreads, EnvOverride) {
   ASSERT_EQ(setenv("PSI_BENCH_THREADS", "3", 1), 0);
   EXPECT_EQ(parallel::bench_threads(), 3);
-  ASSERT_EQ(setenv("PSI_BENCH_THREADS", "0", 1), 0);
-  EXPECT_THROW(parallel::bench_threads(), Error);
   ASSERT_EQ(unsetenv("PSI_BENCH_THREADS"), 0);
   EXPECT_GE(parallel::bench_threads(), 1);
+}
+
+TEST(BenchThreads, BadValuesClampToOneWithWarning) {
+  // A mistyped knob must degrade to sequential execution, not abort a
+  // multi-hour harness run.
+  EXPECT_EQ(parallel::parse_bench_threads("0"), 1);
+  EXPECT_EQ(parallel::parse_bench_threads("-4"), 1);
+  EXPECT_EQ(parallel::parse_bench_threads("garbage"), 1);
+  EXPECT_EQ(parallel::parse_bench_threads(""), 1);
+  EXPECT_EQ(parallel::parse_bench_threads("3x"), 1);  // trailing junk
+  EXPECT_EQ(parallel::parse_bench_threads("2.5"), 1);
+  EXPECT_EQ(parallel::parse_bench_threads("99999999999999999999"), 1);
+
+  EXPECT_EQ(parallel::parse_bench_threads("1"), 1);
+  EXPECT_EQ(parallel::parse_bench_threads("16"), 16);
+  EXPECT_EQ(parallel::parse_bench_threads("1000000"),
+            parallel::kMaxBenchThreads);
+  EXPECT_GE(parallel::parse_bench_threads(nullptr), 1);  // unset: hw default
+
+  // The clamp must hold through the env-reading entry point too.
+  ASSERT_EQ(setenv("PSI_BENCH_THREADS", "not-a-number", 1), 0);
+  EXPECT_EQ(parallel::bench_threads(), 1);
+  ASSERT_EQ(setenv("PSI_BENCH_THREADS", "0", 1), 0);
+  EXPECT_EQ(parallel::bench_threads(), 1);
+  ASSERT_EQ(unsetenv("PSI_BENCH_THREADS"), 0);
 }
 
 }  // namespace

@@ -1,0 +1,394 @@
+/// Tests for the psi::obs observability subsystem: metrics registry
+/// identity and exporters, the causal-graph Recorder attached to an
+/// instrumented engine run, exact critical-path extraction, contention
+/// attribution, Chrome trace export, and the pselinv span/mark integration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "driver/experiment.hpp"
+#include "obs/analysis.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "pselinv/engine.hpp"
+#include "pselinv/plan.hpp"
+#include "sim/engine.hpp"
+#include "sparse/generators.hpp"
+
+namespace psi::obs {
+namespace {
+
+// ----- metrics registry ------------------------------------------------------
+
+TEST(Labels, FingerprintIsSortedAndOrderIndependent) {
+  Labels a;
+  a.set("scheme", "Flat").rank(3).phase("diag");
+  Labels b;
+  b.phase("diag").set("scheme", "Flat").rank(3);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint(), "phase=diag,rank=3,scheme=Flat");
+  EXPECT_EQ(a.get("rank"), "3");
+  EXPECT_EQ(a.get("missing"), "");
+  // Insertion order is preserved for rendering even though identity sorts.
+  ASSERT_EQ(a.pairs().size(), 3u);
+  EXPECT_EQ(a.pairs()[0].first, "scheme");
+}
+
+TEST(MetricsRegistry, SameSeriesReturnsSameInstance) {
+  MetricsRegistry reg;
+  Labels l;
+  l.rank(0).collective("Diag-Bcast");
+  Counter& c1 = reg.counter("messages_total", l);
+  c1.add(5);
+  Labels l2;
+  l2.collective("Diag-Bcast").rank(0);  // same identity, different order
+  Counter& c2 = reg.counter("messages_total", l2);
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_EQ(c2.value, 5);
+  // Different name or labels -> distinct series.
+  Counter& c3 = reg.counter("messages_total", Labels().rank(1));
+  EXPECT_NE(&c1, &c3);
+  Gauge& g = reg.gauge("makespan_seconds");
+  g.set(1.5);
+  EXPECT_EQ(reg.gauge("makespan_seconds").value, 1.5);
+  EXPECT_EQ(reg.size(), 3u);
+}
+
+TEST(MetricsRegistry, HistogramBucketsAreCumulative) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("latency", Labels(), {1.0, 2.0, 4.0});
+  for (double v : {0.5, 1.5, 1.9, 3.0, 10.0}) h.observe(v);
+  ASSERT_EQ(h.counts().size(), 4u);
+  EXPECT_EQ(h.counts()[0], 1);  // <= 1
+  EXPECT_EQ(h.counts()[1], 3);  // <= 2
+  EXPECT_EQ(h.counts()[2], 4);  // <= 4
+  EXPECT_EQ(h.counts()[3], 5);  // +inf
+  EXPECT_EQ(h.total_count(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 16.9);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+}
+
+TEST(MetricsRegistry, ExportersAreDeterministicInsertionOrder) {
+  MetricsRegistry reg;
+  reg.counter("events_total", Labels().scheme("Flat")).add(7);
+  reg.gauge("makespan_seconds", Labels().scheme("Flat")).set(0.25);
+  reg.histogram("bytes", Labels(), {100.0}).observe(42.0);
+
+  const std::string csv = reg.to_csv();
+  EXPECT_NE(csv.find("name,type,labels"), std::string::npos);
+  EXPECT_NE(csv.find("events_total"), std::string::npos);
+  EXPECT_LT(csv.find("events_total"), csv.find("makespan_seconds"));
+
+  const std::string ndjson = reg.to_ndjson();
+  std::istringstream lines(ndjson);
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    ++n;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"name\""), std::string::npos);
+  }
+  EXPECT_GE(n, 3);
+}
+
+TEST(MetricsRegistry, JsonEscape) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("x\ny"), "x\\ny");
+}
+
+// ----- instrumented engine run ----------------------------------------------
+
+/// Rank 0 fans a message out to every other rank; each receiver computes and
+/// replies. With the flat fan-out the root NIC serializes every transfer,
+/// so the recording exhibits both send-queueing and busy-bound handlers.
+class FanRoot final : public sim::Rank {
+ public:
+  explicit FanRoot(int peers) : peers_(peers) {}
+  void on_start(sim::Context& ctx) override {
+    ctx.compute(1e-6);
+    for (int r = 1; r <= peers_; ++r) ctx.send(r, r, 1 << 16, /*class*/ 1);
+  }
+  void on_message(sim::Context& ctx, const sim::Message&) override {
+    ctx.compute(2e-6);
+  }
+
+ private:
+  int peers_;
+};
+
+class FanLeaf final : public sim::Rank {
+ public:
+  void on_start(sim::Context&) override {}
+  void on_message(sim::Context& ctx, const sim::Message& msg) override {
+    ctx.compute(5e-6);
+    ctx.send(0, msg.tag + 1000, 1 << 12, /*class*/ 2);
+  }
+};
+
+sim::MachineConfig small_machine_config() {
+  sim::MachineConfig config;
+  config.cores_per_node = 2;
+  config.nodes_per_group = 2;
+  return config;
+}
+
+/// Runs the fan-out program over `ranks` ranks with `recorder` attached and
+/// returns the makespan.
+double run_fan(int ranks, Recorder& recorder) {
+  const sim::Machine machine(small_machine_config());
+  sim::Engine engine(machine, ranks, /*comm_classes=*/3);
+  engine.set_rank(0, std::make_unique<FanRoot>(ranks - 1));
+  for (int r = 1; r < ranks; ++r)
+    engine.set_rank(r, std::make_unique<FanLeaf>());
+  engine.set_sink(&recorder);
+  return engine.run();
+}
+
+TEST(Recorder, CapturesEveryEventWithConsistentTiming) {
+  Recorder recorder;
+  const int ranks = 8;
+  const double makespan = run_fan(ranks, recorder);
+
+  // ranks start seeds + (ranks-1) fan-out sends + (ranks-1) replies.
+  const std::size_t expected = static_cast<std::size_t>(ranks + 2 * (ranks - 1));
+  ASSERT_EQ(recorder.events().size(), expected);
+  EXPECT_DOUBLE_EQ(recorder.makespan(), makespan);
+  ASSERT_NE(recorder.final_event(), kNoEvent);
+  EXPECT_DOUBLE_EQ(recorder.events()[recorder.final_event()].end, makespan);
+
+  int network = 0;
+  for (std::uint64_t seq = 0; seq < recorder.events().size(); ++seq) {
+    const EventRecord& rec = recorder.events()[seq];
+    ASSERT_TRUE(rec.handled) << "seq " << seq;
+    // The timing decomposition is monotone.
+    EXPECT_LE(rec.post, rec.xfer_start);
+    EXPECT_LE(rec.xfer_start, rec.xfer_end);
+    EXPECT_LE(rec.xfer_end, rec.arrival);
+    EXPECT_LE(rec.arrival, rec.ready);
+    EXPECT_LE(rec.ready, rec.start);
+    EXPECT_LE(rec.start, rec.end);
+    // Causal links point strictly backward.
+    if (rec.emitter != kNoEvent) EXPECT_LT(rec.emitter, seq);
+    if (rec.prev_on_rank != kNoEvent) {
+      const EventRecord& prev = recorder.events()[rec.prev_on_rank];
+      EXPECT_EQ(prev.dst, rec.dst);
+      EXPECT_LE(prev.end, rec.start);
+    }
+    if (rec.network()) {
+      ++network;
+      EXPECT_GT(rec.occupancy(), 0.0);
+      EXPECT_NE(rec.emitter, kNoEvent);
+    }
+  }
+  EXPECT_EQ(network, 2 * (ranks - 1));
+}
+
+TEST(Recorder, ClearResets) {
+  Recorder recorder;
+  run_fan(4, recorder);
+  EXPECT_FALSE(recorder.events().empty());
+  recorder.clear();
+  EXPECT_TRUE(recorder.events().empty());
+  EXPECT_EQ(recorder.final_event(), kNoEvent);
+  EXPECT_EQ(recorder.makespan(), 0.0);
+  // A cleared recorder can be reused for another run.
+  const double makespan = run_fan(4, recorder);
+  EXPECT_DOUBLE_EQ(recorder.makespan(), makespan);
+}
+
+// ----- critical path ---------------------------------------------------------
+
+TEST(CriticalPath, SegmentsPartitionTheMakespanExactly) {
+  Recorder recorder;
+  const double makespan = run_fan(8, recorder);
+  const CriticalPath path = extract_critical_path(recorder, /*comm_classes=*/3);
+
+  EXPECT_DOUBLE_EQ(path.makespan, makespan);
+  ASSERT_FALSE(path.segments.empty());
+  // Contiguous forward-in-time cover of [0, makespan] with the engine's own
+  // doubles: endpoints must chain bitwise.
+  EXPECT_EQ(path.segments.front().begin, 0.0);
+  for (std::size_t i = 1; i < path.segments.size(); ++i)
+    EXPECT_EQ(path.segments[i].begin, path.segments[i - 1].end);
+  EXPECT_EQ(path.segments.back().end, makespan);
+
+  double by_category = 0.0;
+  for (double s : path.category_seconds) {
+    EXPECT_GE(s, 0.0);
+    by_category += s;
+  }
+  EXPECT_NEAR(by_category, makespan, 1e-12 * std::max(1.0, makespan));
+  EXPECT_NEAR(path.exec_seconds() + path.comm_seconds(), makespan,
+              1e-12 * std::max(1.0, makespan));
+  EXPECT_GT(path.handler_count, 0);
+  // The root's reply inbox is the bottleneck: the binding chain must cross
+  // the network at least once.
+  EXPECT_GE(path.network_hops, 1);
+
+  double by_class = 0.0;
+  for (double s : path.class_comm_seconds) by_class += s;
+  EXPECT_NEAR(by_class, path.comm_seconds(),
+              1e-12 * std::max(1.0, makespan));
+}
+
+TEST(CriticalPath, SingleRankRunIsAllExec) {
+  Recorder recorder;
+  const sim::Machine machine(small_machine_config());
+  sim::Engine engine(machine, 1, 1);
+  engine.set_rank(0, std::make_unique<FanRoot>(0));
+  engine.set_sink(&recorder);
+  const double makespan = engine.run();
+  const CriticalPath path = extract_critical_path(recorder, 1);
+  EXPECT_DOUBLE_EQ(path.exec_seconds(), makespan);
+  EXPECT_DOUBLE_EQ(path.comm_seconds(), 0.0);
+  EXPECT_EQ(path.network_hops, 0);
+}
+
+// ----- contention ------------------------------------------------------------
+
+TEST(Contention, FlatFanOutConcentratesOnTheRoot) {
+  Recorder recorder;
+  const int ranks = 8;
+  run_fan(ranks, recorder);
+  const sim::MachineConfig config = small_machine_config();
+  const ContentionReport report =
+      analyze_contention(recorder, config.cores_per_node, config.nodes_per_group);
+
+  ASSERT_EQ(report.per_rank.size(), static_cast<std::size_t>(ranks));
+  // Rank 0 sends 7 large fan-out messages through one NIC; every other rank
+  // sends one small reply. The hot link must be the root.
+  EXPECT_EQ(report.busiest_send_rank(), 0);
+  EXPECT_GT(report.max_send_residency(), 0.0);
+  EXPECT_DOUBLE_EQ(report.per_rank[0].send_residency,
+                   report.max_send_residency());
+  EXPECT_EQ(report.per_rank[0].messages_out, ranks - 1);
+  EXPECT_EQ(report.per_rank[0].bytes_out,
+            static_cast<Count>(ranks - 1) * (1 << 16));
+  // Serialized fan-out => the root's send queue backs up.
+  EXPECT_GT(report.per_rank[0].send_queue_wait, 0.0);
+  EXPECT_GT(report.per_rank[0].max_send_queue_depth, 1);
+  // All replies land on rank 0's receive NIC.
+  EXPECT_EQ(report.per_rank[0].messages_in, ranks - 1);
+
+  Count tier_messages = 0;
+  Count tier_bytes = 0;
+  for (const TierStats& tier : report.tiers) {
+    tier_messages += tier.messages;
+    tier_bytes += tier.bytes;
+  }
+  EXPECT_EQ(tier_messages, 2 * (ranks - 1));
+  Count network_bytes = 0;
+  for (const EventRecord& rec : recorder.events())
+    if (rec.network()) network_bytes += rec.bytes;
+  EXPECT_EQ(tier_bytes, network_bytes);
+  // 8 ranks over 2-core nodes / 2-node groups: all three tiers see traffic.
+  for (int t = 0; t < kTierCount; ++t)
+    EXPECT_GT(report.tiers[t].messages, 0) << tier_name(t);
+}
+
+// ----- chrome trace ----------------------------------------------------------
+
+TEST(ChromeTrace, EmitsStructurallyValidJson) {
+  Recorder recorder;
+  run_fan(6, recorder);
+  const std::string path = testing::TempDir() + "psi_obs_trace_test.json";
+  ChromeTraceOptions options;
+  options.max_events = 0;  // unlimited
+  write_chrome_trace(recorder, path, options);
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string trace = buffer.str();
+  std::remove(path.c_str());
+
+  ASSERT_FALSE(trace.empty());
+  EXPECT_EQ(trace.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(trace.find("\"displayTimeUnit\""), std::string::npos);
+  // Balanced braces/brackets (no string in the output contains either).
+  long braces = 0, brackets = 0;
+  for (char c : trace) {
+    braces += c == '{';
+    braces -= c == '}';
+    brackets += c == '[';
+    brackets -= c == ']';
+    ASSERT_GE(braces, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  // Complete slices, flow arrows, and thread metadata are all present.
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(trace.find("nic-send"), std::string::npos);
+}
+
+// ----- pselinv integration ---------------------------------------------------
+
+TEST(PselinvObs, SpansAndMarksCoverEverySupernode) {
+  const GeneratedMatrix gen = fem3d(4, 3, 3, 2, 3);
+  AnalysisOptions options;
+  options.ordering.method = OrderingMethod::kNestedDissection;
+  options.ordering.dissection_leaf_size = 8;
+  options.supernodes.max_size = 12;
+  const SymbolicAnalysis an = analyze(gen, options);
+  trees::TreeOptions topt;
+  topt.scheme = trees::TreeScheme::kShiftedBinary;
+  const pselinv::Plan plan(an.blocks, dist::ProcessGrid(3, 3), topt);
+
+  sim::MachineConfig config;
+  config.cores_per_node = 4;
+  config.nodes_per_group = 4;
+  const sim::Machine machine(config);
+
+  Recorder recorder;
+  const pselinv::RunResult run =
+      pselinv::run_pselinv(plan, machine, pselinv::ExecutionMode::kTrace,
+                           nullptr, nullptr, &recorder);
+  ASSERT_TRUE(run.complete());
+
+  const Int supernodes = plan.supernode_count();
+  ASSERT_EQ(recorder.spans().size(), static_cast<std::size_t>(supernodes));
+  ASSERT_EQ(recorder.marks().size(), static_cast<std::size_t>(supernodes));
+  std::vector<bool> seen(static_cast<std::size_t>(supernodes), false);
+  for (const SpanEvent& span : recorder.spans()) {
+    EXPECT_STREQ(span.name, "supernode");
+    EXPECT_GE(span.begin, 0.0);
+    EXPECT_LE(span.begin, span.end);
+    EXPECT_LE(span.end, run.makespan);
+    ASSERT_GE(span.id, 0);
+    ASSERT_LT(span.id, supernodes);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(span.id)]);
+    seen[static_cast<std::size_t>(span.id)] = true;
+  }
+  for (const MarkEvent& mark : recorder.marks()) {
+    EXPECT_STREQ(mark.name, "diag-final");
+    EXPECT_LE(mark.time, run.makespan);
+  }
+
+  // The recording must agree with the engine's own accounting.
+  EXPECT_DOUBLE_EQ(recorder.makespan(), run.makespan);
+  Count handled = 0;
+  for (const EventRecord& rec : recorder.events()) handled += rec.handled;
+  EXPECT_EQ(handled, run.events);
+
+  // The attached sink must not perturb the simulation.
+  const pselinv::RunResult bare =
+      pselinv::run_pselinv(plan, machine, pselinv::ExecutionMode::kTrace);
+  EXPECT_EQ(bare.makespan, run.makespan);
+  EXPECT_EQ(bare.events, run.events);
+}
+
+}  // namespace
+}  // namespace psi::obs

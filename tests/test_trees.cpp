@@ -233,6 +233,74 @@ TEST(CommTree, RejectsBadInput) {
   EXPECT_FALSE(tree.participates(9));
 }
 
+// ----- non-arithmetic-progression participant sets ---------------------------
+// A processor row/column group is an arithmetic progression and hits
+// position_of()'s stride fast path; these sets are deliberately irregular so
+// membership lookup runs the sorted_ranks_ binary-search fallback.
+
+TEST(CommTree, NonApMembershipLookup) {
+  const int root = 2;
+  const std::vector<int> receivers{3, 5, 11, 17, 23, 41};  // irregular gaps
+  for (TreeScheme scheme :
+       {TreeScheme::kFlat, TreeScheme::kBinary, TreeScheme::kShiftedBinary,
+        TreeScheme::kRandomPerm, TreeScheme::kHybrid, TreeScheme::kBinomial,
+        TreeScheme::kShiftedBinomial}) {
+    const CommTree tree = CommTree::build(opts(scheme), root, receivers, 13);
+    EXPECT_TRUE(tree.participates(root)) << scheme_name(scheme);
+    for (int r : receivers)
+      EXPECT_TRUE(tree.participates(r)) << scheme_name(scheme) << " rank " << r;
+    // Non-members inside and outside the hull, including values an
+    // arithmetic-progression formula would wrongly accept.
+    for (int r : {0, 4, 10, 12, 29, 40, 42, 100})
+      EXPECT_FALSE(tree.participates(r))
+          << scheme_name(scheme) << " rank " << r;
+
+    // The fallback must still yield a spanning tree: every receiver
+    // reachable exactly once, parent links consistent.
+    std::set<int> reached{root};
+    std::vector<int> frontier{root};
+    while (!frontier.empty()) {
+      const int v = frontier.back();
+      frontier.pop_back();
+      for (int c : tree.children_of(v)) {
+        EXPECT_TRUE(reached.insert(c).second) << scheme_name(scheme);
+        EXPECT_EQ(tree.parent_of(c), v) << scheme_name(scheme);
+        frontier.push_back(c);
+      }
+    }
+    EXPECT_EQ(reached.size(), receivers.size() + 1) << scheme_name(scheme);
+  }
+}
+
+TEST(CommTree, ApWithOneOutlierFallsBack) {
+  // {10, 20, 30, 45}: the first three form a stride-10 progression; the last
+  // breaks it. A stride detector that only samples a prefix would misclassify
+  // this set — every membership query must still be exact.
+  const CommTree tree =
+      CommTree::build(opts(TreeScheme::kBinary), 10, {20, 30, 45}, 0);
+  for (int r : {10, 20, 30, 45}) EXPECT_TRUE(tree.participates(r));
+  EXPECT_FALSE(tree.participates(40));  // the AP formula's would-be member
+  EXPECT_FALSE(tree.participates(35));
+  EXPECT_FALSE(tree.participates(50));
+  EXPECT_EQ(tree.parent_of(10), -1);
+  int edges = 0;
+  for (int r : {10, 20, 30, 45}) edges += static_cast<int>(tree.children_of(r).size());
+  EXPECT_EQ(edges, 3);  // spanning tree over 4 participants
+}
+
+TEST(CommTree, SingletonAndPairParticipants) {
+  // Degenerate sizes exercise both lookup paths' boundary handling.
+  const CommTree solo = CommTree::build(opts(TreeScheme::kShiftedBinary), 6, {}, 1);
+  EXPECT_TRUE(solo.participates(6));
+  EXPECT_FALSE(solo.participates(5));
+  EXPECT_EQ(solo.depth(), 0);
+  const CommTree pair =
+      CommTree::build(opts(TreeScheme::kShiftedBinary), 6, {9}, 1);
+  EXPECT_TRUE(pair.participates(9));
+  EXPECT_FALSE(pair.participates(7));
+  EXPECT_EQ(pair.parent_of(9), 6);
+}
+
 TEST(SchemeNames, RoundTrip) {
   for (TreeScheme s : {TreeScheme::kFlat, TreeScheme::kBinary,
                        TreeScheme::kShiftedBinary, TreeScheme::kRandomPerm,
