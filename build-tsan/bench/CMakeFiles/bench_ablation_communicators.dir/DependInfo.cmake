@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_communicators.cpp" "bench/CMakeFiles/bench_ablation_communicators.dir/bench_ablation_communicators.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_communicators.dir/bench_ablation_communicators.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/driver/CMakeFiles/psi_driver.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pselinv/CMakeFiles/psi_pselinv.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/dist/CMakeFiles/psi_dist.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/trees/CMakeFiles/psi_trees.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sim/CMakeFiles/psi_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/psi_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/numeric/CMakeFiles/psi_numeric.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/symbolic/CMakeFiles/psi_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ordering/CMakeFiles/psi_ordering.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sparse/CMakeFiles/psi_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/psi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_communicators.dir/bench_ablation_communicators.cpp.o"
+  "CMakeFiles/bench_ablation_communicators.dir/bench_ablation_communicators.cpp.o.d"
+  "bench_ablation_communicators"
+  "bench_ablation_communicators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_communicators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

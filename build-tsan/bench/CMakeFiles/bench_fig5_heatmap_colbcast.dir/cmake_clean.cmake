@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_heatmap_colbcast.dir/bench_fig5_heatmap_colbcast.cpp.o"
+  "CMakeFiles/bench_fig5_heatmap_colbcast.dir/bench_fig5_heatmap_colbcast.cpp.o.d"
+  "bench_fig5_heatmap_colbcast"
+  "bench_fig5_heatmap_colbcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_heatmap_colbcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

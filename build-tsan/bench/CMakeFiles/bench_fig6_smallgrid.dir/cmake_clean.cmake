@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_smallgrid.dir/bench_fig6_smallgrid.cpp.o"
+  "CMakeFiles/bench_fig6_smallgrid.dir/bench_fig6_smallgrid.cpp.o.d"
+  "bench_fig6_smallgrid"
+  "bench_fig6_smallgrid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_smallgrid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_heatmap_rowreduce.dir/bench_fig7_heatmap_rowreduce.cpp.o"
+  "CMakeFiles/bench_fig7_heatmap_rowreduce.dir/bench_fig7_heatmap_rowreduce.cpp.o.d"
+  "bench_fig7_heatmap_rowreduce"
+  "bench_fig7_heatmap_rowreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_heatmap_rowreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_colbcast.dir/bench_table1_colbcast.cpp.o"
+  "CMakeFiles/bench_table1_colbcast.dir/bench_table1_colbcast.cpp.o.d"
+  "bench_table1_colbcast"
+  "bench_table1_colbcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_colbcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

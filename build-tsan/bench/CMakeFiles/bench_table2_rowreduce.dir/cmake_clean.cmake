@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_rowreduce.dir/bench_table2_rowreduce.cpp.o"
+  "CMakeFiles/bench_table2_rowreduce.dir/bench_table2_rowreduce.cpp.o.d"
+  "bench_table2_rowreduce"
+  "bench_table2_rowreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_rowreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

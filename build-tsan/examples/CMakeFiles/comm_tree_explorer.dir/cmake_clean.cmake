@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comm_tree_explorer.dir/comm_tree_explorer.cpp.o"
+  "CMakeFiles/comm_tree_explorer.dir/comm_tree_explorer.cpp.o.d"
+  "comm_tree_explorer"
+  "comm_tree_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comm_tree_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

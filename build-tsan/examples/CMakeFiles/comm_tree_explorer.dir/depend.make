@@ -1,0 +1,2 @@
+# Empty dependencies file for comm_tree_explorer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/critical_path.dir/critical_path.cpp.o"
+  "CMakeFiles/critical_path.dir/critical_path.cpp.o.d"
+  "critical_path"
+  "critical_path.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/critical_path.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

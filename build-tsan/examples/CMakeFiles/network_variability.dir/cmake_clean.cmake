@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_variability.dir/network_variability.cpp.o"
+  "CMakeFiles/network_variability.dir/network_variability.cpp.o.d"
+  "network_variability"
+  "network_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

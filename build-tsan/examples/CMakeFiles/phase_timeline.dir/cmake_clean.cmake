@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_timeline.dir/phase_timeline.cpp.o"
+  "CMakeFiles/phase_timeline.dir/phase_timeline.cpp.o.d"
+  "phase_timeline"
+  "phase_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unsymmetric_inverse.dir/unsymmetric_inverse.cpp.o"
+  "CMakeFiles/unsymmetric_inverse.dir/unsymmetric_inverse.cpp.o.d"
+  "unsymmetric_inverse"
+  "unsymmetric_inverse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unsymmetric_inverse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for unsymmetric_inverse.
+# This may be replaced when dependencies are built.

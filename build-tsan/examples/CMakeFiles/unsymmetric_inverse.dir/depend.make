@@ -1,0 +1,2 @@
+# Empty dependencies file for unsymmetric_inverse.
+# This may be replaced when dependencies are built.

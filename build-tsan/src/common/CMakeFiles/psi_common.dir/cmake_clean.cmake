@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_common.dir/csv.cpp.o"
+  "CMakeFiles/psi_common.dir/csv.cpp.o.d"
+  "CMakeFiles/psi_common.dir/heatmap.cpp.o"
+  "CMakeFiles/psi_common.dir/heatmap.cpp.o.d"
+  "CMakeFiles/psi_common.dir/histogram.cpp.o"
+  "CMakeFiles/psi_common.dir/histogram.cpp.o.d"
+  "CMakeFiles/psi_common.dir/logging.cpp.o"
+  "CMakeFiles/psi_common.dir/logging.cpp.o.d"
+  "CMakeFiles/psi_common.dir/parallel.cpp.o"
+  "CMakeFiles/psi_common.dir/parallel.cpp.o.d"
+  "CMakeFiles/psi_common.dir/rng.cpp.o"
+  "CMakeFiles/psi_common.dir/rng.cpp.o.d"
+  "CMakeFiles/psi_common.dir/stats.cpp.o"
+  "CMakeFiles/psi_common.dir/stats.cpp.o.d"
+  "CMakeFiles/psi_common.dir/table.cpp.o"
+  "CMakeFiles/psi_common.dir/table.cpp.o.d"
+  "libpsi_common.a"
+  "libpsi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_dist.dir/process_grid.cpp.o"
+  "CMakeFiles/psi_dist.dir/process_grid.cpp.o.d"
+  "libpsi_dist.a"
+  "libpsi_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

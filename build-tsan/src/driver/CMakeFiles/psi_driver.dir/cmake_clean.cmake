@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_driver.dir/experiment.cpp.o"
+  "CMakeFiles/psi_driver.dir/experiment.cpp.o.d"
+  "CMakeFiles/psi_driver.dir/obs_report.cpp.o"
+  "CMakeFiles/psi_driver.dir/obs_report.cpp.o.d"
+  "CMakeFiles/psi_driver.dir/paper_matrices.cpp.o"
+  "CMakeFiles/psi_driver.dir/paper_matrices.cpp.o.d"
+  "CMakeFiles/psi_driver.dir/timeline.cpp.o"
+  "CMakeFiles/psi_driver.dir/timeline.cpp.o.d"
+  "libpsi_driver.a"
+  "libpsi_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpsi_driver.a"
+)

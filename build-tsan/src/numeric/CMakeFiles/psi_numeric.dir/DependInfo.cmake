@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/numeric/block_matrix.cpp" "src/numeric/CMakeFiles/psi_numeric.dir/block_matrix.cpp.o" "gcc" "src/numeric/CMakeFiles/psi_numeric.dir/block_matrix.cpp.o.d"
+  "/root/repo/src/numeric/selinv.cpp" "src/numeric/CMakeFiles/psi_numeric.dir/selinv.cpp.o" "gcc" "src/numeric/CMakeFiles/psi_numeric.dir/selinv.cpp.o.d"
+  "/root/repo/src/numeric/supernodal_lu.cpp" "src/numeric/CMakeFiles/psi_numeric.dir/supernodal_lu.cpp.o" "gcc" "src/numeric/CMakeFiles/psi_numeric.dir/supernodal_lu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/symbolic/CMakeFiles/psi_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/ordering/CMakeFiles/psi_ordering.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sparse/CMakeFiles/psi_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/psi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_numeric.dir/block_matrix.cpp.o"
+  "CMakeFiles/psi_numeric.dir/block_matrix.cpp.o.d"
+  "CMakeFiles/psi_numeric.dir/selinv.cpp.o"
+  "CMakeFiles/psi_numeric.dir/selinv.cpp.o.d"
+  "CMakeFiles/psi_numeric.dir/supernodal_lu.cpp.o"
+  "CMakeFiles/psi_numeric.dir/supernodal_lu.cpp.o.d"
+  "libpsi_numeric.a"
+  "libpsi_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/analysis.cpp" "src/obs/CMakeFiles/psi_obs.dir/analysis.cpp.o" "gcc" "src/obs/CMakeFiles/psi_obs.dir/analysis.cpp.o.d"
+  "/root/repo/src/obs/chrome_trace.cpp" "src/obs/CMakeFiles/psi_obs.dir/chrome_trace.cpp.o" "gcc" "src/obs/CMakeFiles/psi_obs.dir/chrome_trace.cpp.o.d"
+  "/root/repo/src/obs/metrics.cpp" "src/obs/CMakeFiles/psi_obs.dir/metrics.cpp.o" "gcc" "src/obs/CMakeFiles/psi_obs.dir/metrics.cpp.o.d"
+  "/root/repo/src/obs/recorder.cpp" "src/obs/CMakeFiles/psi_obs.dir/recorder.cpp.o" "gcc" "src/obs/CMakeFiles/psi_obs.dir/recorder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sparse/CMakeFiles/psi_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/psi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

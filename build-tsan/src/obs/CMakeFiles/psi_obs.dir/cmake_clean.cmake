@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_obs.dir/analysis.cpp.o"
+  "CMakeFiles/psi_obs.dir/analysis.cpp.o.d"
+  "CMakeFiles/psi_obs.dir/chrome_trace.cpp.o"
+  "CMakeFiles/psi_obs.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/psi_obs.dir/metrics.cpp.o"
+  "CMakeFiles/psi_obs.dir/metrics.cpp.o.d"
+  "CMakeFiles/psi_obs.dir/recorder.cpp.o"
+  "CMakeFiles/psi_obs.dir/recorder.cpp.o.d"
+  "libpsi_obs.a"
+  "libpsi_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ordering/dissection.cpp" "src/ordering/CMakeFiles/psi_ordering.dir/dissection.cpp.o" "gcc" "src/ordering/CMakeFiles/psi_ordering.dir/dissection.cpp.o.d"
+  "/root/repo/src/ordering/min_degree.cpp" "src/ordering/CMakeFiles/psi_ordering.dir/min_degree.cpp.o" "gcc" "src/ordering/CMakeFiles/psi_ordering.dir/min_degree.cpp.o.d"
+  "/root/repo/src/ordering/ordering.cpp" "src/ordering/CMakeFiles/psi_ordering.dir/ordering.cpp.o" "gcc" "src/ordering/CMakeFiles/psi_ordering.dir/ordering.cpp.o.d"
+  "/root/repo/src/ordering/permutation.cpp" "src/ordering/CMakeFiles/psi_ordering.dir/permutation.cpp.o" "gcc" "src/ordering/CMakeFiles/psi_ordering.dir/permutation.cpp.o.d"
+  "/root/repo/src/ordering/rcm.cpp" "src/ordering/CMakeFiles/psi_ordering.dir/rcm.cpp.o" "gcc" "src/ordering/CMakeFiles/psi_ordering.dir/rcm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sparse/CMakeFiles/psi_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/psi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

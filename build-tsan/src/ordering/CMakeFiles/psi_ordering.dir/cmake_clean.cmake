@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_ordering.dir/dissection.cpp.o"
+  "CMakeFiles/psi_ordering.dir/dissection.cpp.o.d"
+  "CMakeFiles/psi_ordering.dir/min_degree.cpp.o"
+  "CMakeFiles/psi_ordering.dir/min_degree.cpp.o.d"
+  "CMakeFiles/psi_ordering.dir/ordering.cpp.o"
+  "CMakeFiles/psi_ordering.dir/ordering.cpp.o.d"
+  "CMakeFiles/psi_ordering.dir/permutation.cpp.o"
+  "CMakeFiles/psi_ordering.dir/permutation.cpp.o.d"
+  "CMakeFiles/psi_ordering.dir/rcm.cpp.o"
+  "CMakeFiles/psi_ordering.dir/rcm.cpp.o.d"
+  "libpsi_ordering.a"
+  "libpsi_ordering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_ordering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_pselinv.dir/engine.cpp.o"
+  "CMakeFiles/psi_pselinv.dir/engine.cpp.o.d"
+  "CMakeFiles/psi_pselinv.dir/lu_model.cpp.o"
+  "CMakeFiles/psi_pselinv.dir/lu_model.cpp.o.d"
+  "CMakeFiles/psi_pselinv.dir/plan.cpp.o"
+  "CMakeFiles/psi_pselinv.dir/plan.cpp.o.d"
+  "CMakeFiles/psi_pselinv.dir/volume_analysis.cpp.o"
+  "CMakeFiles/psi_pselinv.dir/volume_analysis.cpp.o.d"
+  "libpsi_pselinv.a"
+  "libpsi_pselinv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_pselinv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

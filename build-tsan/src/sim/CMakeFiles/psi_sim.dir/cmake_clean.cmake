@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_sim.dir/engine.cpp.o"
+  "CMakeFiles/psi_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/psi_sim.dir/machine.cpp.o"
+  "CMakeFiles/psi_sim.dir/machine.cpp.o.d"
+  "libpsi_sim.a"
+  "libpsi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

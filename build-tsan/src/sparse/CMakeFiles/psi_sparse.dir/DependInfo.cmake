@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sparse/dense.cpp" "src/sparse/CMakeFiles/psi_sparse.dir/dense.cpp.o" "gcc" "src/sparse/CMakeFiles/psi_sparse.dir/dense.cpp.o.d"
+  "/root/repo/src/sparse/generators.cpp" "src/sparse/CMakeFiles/psi_sparse.dir/generators.cpp.o" "gcc" "src/sparse/CMakeFiles/psi_sparse.dir/generators.cpp.o.d"
+  "/root/repo/src/sparse/graph.cpp" "src/sparse/CMakeFiles/psi_sparse.dir/graph.cpp.o" "gcc" "src/sparse/CMakeFiles/psi_sparse.dir/graph.cpp.o.d"
+  "/root/repo/src/sparse/matrix_market.cpp" "src/sparse/CMakeFiles/psi_sparse.dir/matrix_market.cpp.o" "gcc" "src/sparse/CMakeFiles/psi_sparse.dir/matrix_market.cpp.o.d"
+  "/root/repo/src/sparse/sparse_matrix.cpp" "src/sparse/CMakeFiles/psi_sparse.dir/sparse_matrix.cpp.o" "gcc" "src/sparse/CMakeFiles/psi_sparse.dir/sparse_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/common/CMakeFiles/psi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_sparse.dir/dense.cpp.o"
+  "CMakeFiles/psi_sparse.dir/dense.cpp.o.d"
+  "CMakeFiles/psi_sparse.dir/generators.cpp.o"
+  "CMakeFiles/psi_sparse.dir/generators.cpp.o.d"
+  "CMakeFiles/psi_sparse.dir/graph.cpp.o"
+  "CMakeFiles/psi_sparse.dir/graph.cpp.o.d"
+  "CMakeFiles/psi_sparse.dir/matrix_market.cpp.o"
+  "CMakeFiles/psi_sparse.dir/matrix_market.cpp.o.d"
+  "CMakeFiles/psi_sparse.dir/sparse_matrix.cpp.o"
+  "CMakeFiles/psi_sparse.dir/sparse_matrix.cpp.o.d"
+  "libpsi_sparse.a"
+  "libpsi_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

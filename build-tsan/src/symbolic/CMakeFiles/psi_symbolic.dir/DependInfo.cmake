@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/symbolic/analysis.cpp" "src/symbolic/CMakeFiles/psi_symbolic.dir/analysis.cpp.o" "gcc" "src/symbolic/CMakeFiles/psi_symbolic.dir/analysis.cpp.o.d"
+  "/root/repo/src/symbolic/etree.cpp" "src/symbolic/CMakeFiles/psi_symbolic.dir/etree.cpp.o" "gcc" "src/symbolic/CMakeFiles/psi_symbolic.dir/etree.cpp.o.d"
+  "/root/repo/src/symbolic/supernodes.cpp" "src/symbolic/CMakeFiles/psi_symbolic.dir/supernodes.cpp.o" "gcc" "src/symbolic/CMakeFiles/psi_symbolic.dir/supernodes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/ordering/CMakeFiles/psi_ordering.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sparse/CMakeFiles/psi_sparse.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/psi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

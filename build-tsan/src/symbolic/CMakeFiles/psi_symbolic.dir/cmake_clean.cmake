@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_symbolic.dir/analysis.cpp.o"
+  "CMakeFiles/psi_symbolic.dir/analysis.cpp.o.d"
+  "CMakeFiles/psi_symbolic.dir/etree.cpp.o"
+  "CMakeFiles/psi_symbolic.dir/etree.cpp.o.d"
+  "CMakeFiles/psi_symbolic.dir/supernodes.cpp.o"
+  "CMakeFiles/psi_symbolic.dir/supernodes.cpp.o.d"
+  "libpsi_symbolic.a"
+  "libpsi_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trees/comm_tree.cpp" "src/trees/CMakeFiles/psi_trees.dir/comm_tree.cpp.o" "gcc" "src/trees/CMakeFiles/psi_trees.dir/comm_tree.cpp.o.d"
+  "/root/repo/src/trees/protocol.cpp" "src/trees/CMakeFiles/psi_trees.dir/protocol.cpp.o" "gcc" "src/trees/CMakeFiles/psi_trees.dir/protocol.cpp.o.d"
+  "/root/repo/src/trees/volume.cpp" "src/trees/CMakeFiles/psi_trees.dir/volume.cpp.o" "gcc" "src/trees/CMakeFiles/psi_trees.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/sim/CMakeFiles/psi_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/common/CMakeFiles/psi_common.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/obs/CMakeFiles/psi_obs.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/sparse/CMakeFiles/psi_sparse.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psi_trees.dir/comm_tree.cpp.o"
+  "CMakeFiles/psi_trees.dir/comm_tree.cpp.o.d"
+  "CMakeFiles/psi_trees.dir/protocol.cpp.o"
+  "CMakeFiles/psi_trees.dir/protocol.cpp.o.d"
+  "CMakeFiles/psi_trees.dir/volume.cpp.o"
+  "CMakeFiles/psi_trees.dir/volume.cpp.o.d"
+  "libpsi_trees.a"
+  "libpsi_trees.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psi_trees.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pselinv.dir/test_pselinv.cpp.o"
+  "CMakeFiles/test_pselinv.dir/test_pselinv.cpp.o.d"
+  "test_pselinv"
+  "test_pselinv.pdb"
+  "test_pselinv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pselinv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

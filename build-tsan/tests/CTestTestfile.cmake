@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-tsan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-tsan/tests/test_common[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_dense[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sparse[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_graph[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_ordering[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_symbolic[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_numeric[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_sim[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_trees[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_obs[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_protocol[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_dist[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_pselinv[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_integration[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_driver[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_timeline[1]_include.cmake")
+include("/root/repo/build-tsan/tests/test_properties[1]_include.cmake")
