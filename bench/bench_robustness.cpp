@@ -1,0 +1,237 @@
+/// Robustness sweep: how gracefully does each tree scheme degrade when the
+/// network and the machine misbehave? For every scheme (Flat / Binary /
+/// Shifted Binary, resilient protocol ON) we sweep a straggler-count x
+/// drop-rate grid (plus a degraded-link row) of seeded deterministic fault
+/// scenarios and report the makespan degradation ratio against the
+/// fault-free resilient run of the same scheme, together with the protocol
+/// work (retries, re-routed subtrees, suppressed duplicates) and the
+/// injector's ground truth (messages dropped / duplicated).
+///
+/// Expected shape: the flat tree pays the most for a straggling root-adjacent
+/// rank (every child re-arms against one sender), while the binary schemes
+/// localize the damage to a subtree and recover via re-parenting; drop rates
+/// raise everyone's makespan smoothly (retry backoff) rather than hanging.
+///
+/// A final showcase run records the heaviest scenario with the obs recorder:
+/// the critical path now crosses timer-wait (retry backoff) segments, the
+/// injected faults appear as marks, and a Chrome trace is written for
+/// chrome://tracing / Perfetto.
+///
+/// Environment knobs: PSI_BENCH_SCALE, PSI_BENCH_THREADS, and the
+/// PSI_FAULT_* family (see fault/fault_plan.hpp) for the showcase override.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/recorder.hpp"
+
+namespace {
+
+using namespace psi;
+using namespace psi::bench;
+
+constexpr std::uint64_t kSweepSeed = 0xfa175eed;
+
+struct Cell {
+  int stragglers = 0;
+  double drop = 0.0;
+  double dup = 0.0;
+  int degraded_links = 0;
+  std::string label() const {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "s=%d d=%.0f%% l=%d", stragglers,
+                  drop * 100.0, degraded_links);
+    return buf;
+  }
+};
+
+struct CellResult {
+  double makespan = 0.0;
+  trees::ChannelStats channel;
+  fault::DeterministicInjector::Stats injector;
+};
+
+fault::FaultPlan cell_plan(const Cell& cell, int p, int node_count) {
+  fault::FaultPlan plan = fault::FaultPlan::scenario(
+      kSweepSeed, p, cell.stragglers, /*slowdown=*/8.0, cell.drop, cell.dup);
+  if (cell.degraded_links > 0)
+    plan.add_random_degraded_links(cell.degraded_links, node_count,
+                                   /*factor=*/4.0);
+  return plan;
+}
+
+CellResult run_cell(const SymbolicAnalysis& an, int pr, int pc,
+                    trees::TreeScheme scheme, const Cell& cell,
+                    const sim::MachineConfig& config) {
+  const pselinv::Plan plan = make_plan(an, pr, pc, scheme);
+  const int node_count = (pr * pc + config.cores_per_node - 1) /
+                         config.cores_per_node;
+  const fault::FaultPlan faults = cell_plan(cell, pr * pc, node_count);
+  const sim::Perturbation perturbation = faults.perturbation();
+  fault::DeterministicInjector injector(faults);
+
+  pselinv::RunOptions options;
+  options.resilience.enabled = true;
+  options.injector = &injector;
+  options.perturbation = &perturbation;
+
+  const pselinv::RunResult run =
+      run_pselinv(plan, sim::Machine(config), pselinv::ExecutionMode::kTrace,
+                  nullptr, nullptr, nullptr, options);
+  PSI_CHECK_MSG(run.complete(), "faulty run did not finalize every block");
+  return CellResult{run.makespan, run.channel_stats, injector.stats()};
+}
+
+void showcase_heaviest(const SymbolicAnalysis& an, int pr, int pc,
+                       const Cell& cell, const sim::MachineConfig& config) {
+  const pselinv::Plan plan =
+      make_plan(an, pr, pc, trees::TreeScheme::kShiftedBinary);
+  const int node_count = (pr * pc + config.cores_per_node - 1) /
+                         config.cores_per_node;
+  // PSI_FAULT_* overrides the sweep's heaviest cell when set.
+  fault::FaultPlan faults = fault::FaultPlan::from_env(pr * pc);
+  if (faults.stragglers().empty() && faults.rules().empty())
+    faults = cell_plan(cell, pr * pc, node_count);
+  const sim::Perturbation perturbation = faults.perturbation();
+  fault::DeterministicInjector injector(faults);
+
+  pselinv::RunOptions options;
+  options.resilience.enabled = true;
+  options.injector = &injector;
+  options.perturbation = &perturbation;
+
+  obs::Recorder recorder;
+  const pselinv::RunResult run =
+      run_pselinv(plan, sim::Machine(config), pselinv::ExecutionMode::kTrace,
+                  nullptr, nullptr, &recorder, options);
+  PSI_CHECK(run.complete());
+
+  const driver::ObsAnalysis analysis = driver::analyze_recording(recorder, config);
+  Count fault_marks = 0;
+  for (const obs::MarkEvent& mark : recorder.marks())
+    if (std::string(mark.name).rfind("fault-", 0) == 0) ++fault_marks;
+  std::printf(
+      "showcase (Shifted Binary, heaviest cell %s): makespan %.3f s, "
+      "%lld injected-fault marks, %d timer-wait hops on the critical path\n",
+      cell.label().c_str(), run.makespan, static_cast<long long>(fault_marks),
+      analysis.path.timer_hops);
+  std::printf("%s", driver::render_critical_path(analysis.path).c_str());
+
+  const std::string trace_path = out_dir() + "/robustness_trace.json";
+  obs::ChromeTraceOptions trace_options;
+  trace_options.class_name = pselinv::comm_class_name;
+  obs::write_chrome_trace(recorder, trace_path, trace_options);
+  std::printf("# chrome trace written to %s\n\n", trace_path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = json_flag(argc, argv, "robustness");
+  obs::MetricsRegistry registry;
+  obs::MetricsRegistry* reg = json_path.empty() ? nullptr : &registry;
+  CsvWriter csv(out_dir() + "/robustness.csv",
+                {"scheme", "stragglers", "drop_prob", "degraded_links",
+                 "makespan_s", "degradation", "retries", "reroutes",
+                 "duplicates_suppressed", "msgs_dropped", "msgs_duplicated"});
+
+  const SymbolicAnalysis an =
+      analyze_paper_matrix(driver::PaperMatrix::kDgPnf14000, 0.6);
+  const int pr = 8, pc = 8;
+  const sim::MachineConfig config = driver::timing_machine(/*jitter=*/0.0);
+
+  // The grid: fault-free baseline, then stragglers x drop rates, then a
+  // collapsed-links row. dup rides along at half the drop rate.
+  std::vector<Cell> cells;
+  for (int stragglers : {0, 2, 4})
+    for (double drop : {0.0, 0.01, 0.05})
+      cells.push_back(Cell{stragglers, drop, drop / 2.0, 0});
+  cells.push_back(Cell{2, 0.01, 0.005, 2});
+  const std::vector<trees::TreeScheme> schemes{
+      trees::TreeScheme::kFlat, trees::TreeScheme::kBinary,
+      trees::TreeScheme::kShiftedBinary};
+
+  // Every (scheme, cell) simulation is independent: pre-size the result
+  // grid and let the worker pool fill it, render sequentially after.
+  struct Job {
+    const SymbolicAnalysis* an;
+    int pr, pc;
+    trees::TreeScheme scheme;
+    Cell cell;
+    const sim::MachineConfig* config;
+    CellResult result;
+    void operator()() {
+      result = run_cell(*an, pr, pc, scheme, cell, *config);
+    }
+  };
+  std::vector<Job> jobs;
+  for (trees::TreeScheme scheme : schemes)
+    for (const Cell& cell : cells)
+      jobs.push_back(Job{&an, pr, pc, scheme, cell, &config, {}});
+  run_bench_jobs(jobs);
+
+  std::vector<std::string> header{"cell"};
+  for (trees::TreeScheme scheme : schemes) {
+    header.push_back(std::string(trees::scheme_name(scheme)) + " (s)");
+    header.push_back("xbase");
+  }
+  TextTable table(header);
+  std::size_t job_index = 0;
+  std::vector<double> baselines(schemes.size(), 0.0);
+  std::vector<std::vector<std::string>> rows(cells.size());
+  for (std::size_t ci = 0; ci < cells.size(); ++ci)
+    rows[ci].push_back(cells[ci].label());
+  for (std::size_t si = 0; si < schemes.size(); ++si) {
+    for (std::size_t ci = 0; ci < cells.size(); ++ci) {
+      const Job& job = jobs[job_index++];
+      const CellResult& r = job.result;
+      if (job.cell.stragglers == 0 && job.cell.drop == 0.0 &&
+          job.cell.degraded_links == 0)
+        baselines[si] = r.makespan;
+      const double degradation =
+          baselines[si] > 0.0 ? r.makespan / baselines[si] : 1.0;
+      rows[ci].push_back(TextTable::fmt(r.makespan, 3));
+      rows[ci].push_back(TextTable::fmt(degradation, 2));
+      csv.write_row({trees::scheme_name(job.scheme),
+                     std::to_string(job.cell.stragglers),
+                     TextTable::fmt(job.cell.drop, 3),
+                     std::to_string(job.cell.degraded_links),
+                     TextTable::fmt(r.makespan, 6),
+                     TextTable::fmt(degradation, 4),
+                     std::to_string(r.channel.retries),
+                     std::to_string(r.channel.reroutes),
+                     std::to_string(r.channel.duplicates_suppressed),
+                     std::to_string(r.injector.dropped),
+                     std::to_string(r.injector.duplicated)});
+      if (reg != nullptr) {
+        obs::Labels labels;
+        labels.set("bench", "robustness")
+            .scheme(trees::scheme_name(job.scheme))
+            .set("stragglers", job.cell.stragglers)
+            .set("degraded_links", job.cell.degraded_links)
+            .set("drop_pct", static_cast<int>(job.cell.drop * 100.0));
+        registry.gauge("makespan_seconds", labels).set(r.makespan);
+        registry.gauge("degradation_ratio", labels).set(degradation);
+        registry.gauge("protocol_retries", labels)
+            .set(static_cast<double>(r.channel.retries));
+        registry.gauge("protocol_reroutes", labels)
+            .set(static_cast<double>(r.channel.reroutes));
+        registry.gauge("messages_dropped", labels)
+            .set(static_cast<double>(r.injector.dropped));
+      }
+    }
+  }
+  for (std::vector<std::string>& row : rows) table.add_row(std::move(row));
+  std::printf(
+      "Robustness sweep (P=%d, resilient protocol on): makespan and "
+      "degradation vs the scheme's fault-free run\n%s\n",
+      pr * pc, table.render().c_str());
+
+  showcase_heaviest(an, pr, pc, cells.back(), config);
+  write_json_summary(registry, json_path);
+  return 0;
+}

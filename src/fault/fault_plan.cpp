@@ -1,0 +1,150 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace psi::fault {
+
+namespace {
+
+bool env_double(const char* name, double* out) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return false;
+  *out = std::stod(value);
+  return true;
+}
+
+bool env_u64(const char* name, std::uint64_t* out) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return false;
+  *out = std::stoull(value, nullptr, 0);
+  return true;
+}
+
+}  // namespace
+
+FaultPlan& FaultPlan::add_straggler(const Straggler& straggler) {
+  PSI_CHECK_MSG(straggler.rank >= 0, "straggler with invalid rank");
+  PSI_CHECK_MSG(straggler.slowdown >= 1.0,
+                "straggler slowdown " << straggler.slowdown << " < 1");
+  stragglers_.push_back(straggler);
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_degraded_link(const DegradedLink& link) {
+  PSI_CHECK_MSG(link.node_a >= 0 && link.node_b >= 0,
+                "degraded link with invalid node pair");
+  PSI_CHECK_MSG(link.factor >= 1.0, "link factor " << link.factor << " < 1");
+  links_.push_back(link);
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_rule(const MessageFaultRule& rule) {
+  PSI_CHECK_MSG(rule.drop_prob >= 0.0 && rule.drop_prob < 1.0,
+                "drop probability " << rule.drop_prob
+                                    << " outside [0, 1): a rule dropping "
+                                       "every message can never complete");
+  PSI_CHECK_MSG(rule.dup_prob >= 0.0 && rule.dup_prob <= 1.0,
+                "duplicate probability outside [0, 1]");
+  PSI_CHECK_MSG(rule.delay_prob >= 0.0 && rule.delay_prob <= 1.0,
+                "delay probability outside [0, 1]");
+  PSI_CHECK_MSG(rule.delay >= 0.0 && rule.dup_spacing >= 0.0,
+                "negative fault delay");
+  rules_.push_back(rule);
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_random_stragglers(int count, int rank_count,
+                                            double slowdown, sim::SimTime begin,
+                                            sim::SimTime end) {
+  PSI_CHECK_MSG(count <= rank_count,
+                "more stragglers (" << count << ") than ranks (" << rank_count
+                                    << ")");
+  std::vector<int> ranks(static_cast<std::size_t>(rank_count));
+  for (int r = 0; r < rank_count; ++r) ranks[static_cast<std::size_t>(r)] = r;
+  Rng rng(hash_combine(seed_, 0x57a6u));
+  rng.shuffle(ranks);
+  for (int i = 0; i < count; ++i)
+    add_straggler(Straggler{ranks[static_cast<std::size_t>(i)], slowdown,
+                            begin, end});
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_random_degraded_links(int count, int node_count,
+                                                double factor,
+                                                sim::SimTime begin,
+                                                sim::SimTime end) {
+  PSI_CHECK(node_count >= 2);
+  Rng rng(hash_combine(seed_, 0x11u));
+  std::vector<std::pair<int, int>> chosen;
+  while (static_cast<int>(chosen.size()) < count) {
+    const int a = static_cast<int>(rng.uniform(
+        static_cast<std::uint64_t>(node_count)));
+    const int b = static_cast<int>(rng.uniform(
+        static_cast<std::uint64_t>(node_count)));
+    if (a == b) continue;
+    const std::pair<int, int> pair{std::min(a, b), std::max(a, b)};
+    if (std::find(chosen.begin(), chosen.end(), pair) != chosen.end())
+      continue;
+    chosen.push_back(pair);
+    add_degraded_link(DegradedLink{pair.first, pair.second, factor, begin,
+                                   end});
+  }
+  return *this;
+}
+
+FaultPlan FaultPlan::scenario(std::uint64_t seed, int rank_count,
+                              int stragglers, double slowdown,
+                              double drop_prob, double dup_prob) {
+  FaultPlan plan(seed);
+  if (stragglers > 0)
+    plan.add_random_stragglers(stragglers, rank_count, slowdown);
+  if (drop_prob > 0.0 || dup_prob > 0.0) {
+    MessageFaultRule rule;
+    rule.drop_prob = drop_prob;
+    rule.dup_prob = dup_prob;
+    plan.add_rule(rule);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env(int rank_count) {
+  std::uint64_t seed = 0xfa17;
+  env_u64("PSI_FAULT_SEED", &seed);
+  FaultPlan plan(seed);
+
+  double stragglers = 0.0;
+  double slowdown = 8.0;
+  env_double("PSI_FAULT_SLOWDOWN", &slowdown);
+  if (env_double("PSI_FAULT_STRAGGLERS", &stragglers) && stragglers > 0.0)
+    plan.add_random_stragglers(static_cast<int>(stragglers), rank_count,
+                               slowdown);
+
+  MessageFaultRule rule;
+  bool any = false;
+  any |= env_double("PSI_FAULT_DROP", &rule.drop_prob);
+  any |= env_double("PSI_FAULT_DUP", &rule.dup_prob);
+  any |= env_double("PSI_FAULT_DELAY", &rule.delay_prob);
+  rule.delay = 1e-3;
+  env_double("PSI_FAULT_DELAY_S", &rule.delay);
+  if (any && (rule.drop_prob > 0.0 || rule.dup_prob > 0.0 ||
+              rule.delay_prob > 0.0))
+    plan.add_rule(rule);
+  return plan;
+}
+
+sim::Perturbation FaultPlan::perturbation() const {
+  sim::Perturbation perturbation;
+  for (const Straggler& s : stragglers_)
+    perturbation.add_compute_slowdown(s.rank, s.begin, s.end, s.slowdown);
+  for (const DegradedLink& l : links_)
+    perturbation.add_link_degradation(l.node_a, l.node_b, l.begin, l.end,
+                                      l.factor);
+  return perturbation;
+}
+
+}  // namespace psi::fault

@@ -1,0 +1,118 @@
+/// \file fault_plan.hpp
+/// \brief Seeded, fully deterministic fault scenarios.
+///
+/// A FaultPlan is a declarative description of everything that goes wrong
+/// in one run: which ranks straggle (and by how much, when), which node
+/// pairs' links degrade, and which message classes are dropped / duplicated
+/// / delayed (with what probability, in what time window). The plan itself
+/// holds no RNG state — straggler/link selection helpers draw from the seed
+/// once at build time, and the message schedule is realized by
+/// DeterministicInjector (injector.hpp), which derives every per-message
+/// coin flip from (plan seed, message counter). Two runs from the same plan
+/// therefore inject byte-identical fault sequences.
+///
+/// Environment knobs (from_env): PSI_FAULT_SEED, PSI_FAULT_STRAGGLERS,
+/// PSI_FAULT_SLOWDOWN, PSI_FAULT_DROP, PSI_FAULT_DUP, PSI_FAULT_DELAY,
+/// PSI_FAULT_DELAY_S — see from_env() for semantics.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/fault.hpp"
+#include "sim/machine.hpp"
+#include "sparse/types.hpp"
+
+namespace psi::fault {
+
+/// A straggling rank: compute within the window runs `slowdown`x slower.
+struct Straggler {
+  int rank = -1;
+  double slowdown = 1.0;
+  sim::SimTime begin = 0.0;
+  sim::SimTime end = std::numeric_limits<sim::SimTime>::infinity();
+};
+
+/// A degraded link: transfers between the node pair within the window
+/// occupy the NICs `factor`x longer.
+struct DegradedLink {
+  int node_a = -1;
+  int node_b = -1;
+  double factor = 1.0;
+  sim::SimTime begin = 0.0;
+  sim::SimTime end = std::numeric_limits<sim::SimTime>::infinity();
+};
+
+/// One probabilistic message-fault rule. A rule applies to a message when
+/// its comm class matches (`comm_class` < 0 matches every class) and its
+/// post time falls inside [begin, end). Each applicable rule draws its own
+/// deterministic uniform per message.
+struct MessageFaultRule {
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;        ///< probability of one extra delivered copy
+  double delay_prob = 0.0;
+  sim::SimTime delay = 0.0;     ///< extra wire delay when the delay fires
+  sim::SimTime dup_spacing = 5e-6;  ///< offset between duplicated copies
+  int comm_class = -1;          ///< -1: any class
+  sim::SimTime begin = 0.0;
+  sim::SimTime end = std::numeric_limits<sim::SimTime>::infinity();
+};
+
+/// Declarative fault scenario; see file comment. Builder-style setters
+/// return *this so sweeps can compose scenarios inline.
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0xfa17) : seed_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  FaultPlan& add_straggler(const Straggler& straggler);
+  FaultPlan& add_degraded_link(const DegradedLink& link);
+  FaultPlan& add_rule(const MessageFaultRule& rule);
+
+  /// Picks `count` distinct straggler ranks in [0, rank_count) from the
+  /// plan seed, each slowed by `slowdown` over [begin, end).
+  FaultPlan& add_random_stragglers(
+      int count, int rank_count, double slowdown, sim::SimTime begin = 0.0,
+      sim::SimTime end = std::numeric_limits<sim::SimTime>::infinity());
+
+  /// Picks `count` distinct node pairs in [0, node_count) from the plan
+  /// seed, each degraded by `factor` over [begin, end).
+  FaultPlan& add_random_degraded_links(
+      int count, int node_count, double factor, sim::SimTime begin = 0.0,
+      sim::SimTime end = std::numeric_limits<sim::SimTime>::infinity());
+
+  /// One-stop scenario for the robustness sweeps: `stragglers` random
+  /// stragglers at `slowdown`x, plus an any-class rule with the given drop
+  /// and duplicate probabilities.
+  static FaultPlan scenario(std::uint64_t seed, int rank_count,
+                            int stragglers, double slowdown, double drop_prob,
+                            double dup_prob);
+
+  /// Builds a plan from PSI_FAULT_* environment variables (all optional):
+  ///   PSI_FAULT_SEED        plan seed (default 0xfa17)
+  ///   PSI_FAULT_STRAGGLERS  random straggler count (needs `rank_count`)
+  ///   PSI_FAULT_SLOWDOWN    straggler compute factor (default 8)
+  ///   PSI_FAULT_DROP        any-class drop probability
+  ///   PSI_FAULT_DUP         any-class duplicate probability
+  ///   PSI_FAULT_DELAY       any-class delay probability
+  ///   PSI_FAULT_DELAY_S     delay amount in seconds (default 1e-3)
+  static FaultPlan from_env(int rank_count);
+
+  const std::vector<Straggler>& stragglers() const { return stragglers_; }
+  const std::vector<DegradedLink>& degraded_links() const { return links_; }
+  const std::vector<MessageFaultRule>& rules() const { return rules_; }
+
+  /// Compiles the straggler and link schedules into the engine-side
+  /// perturbation (pass to Engine::set_perturbation).
+  sim::Perturbation perturbation() const;
+
+ private:
+  std::uint64_t seed_;
+  std::vector<Straggler> stragglers_;
+  std::vector<DegradedLink> links_;
+  std::vector<MessageFaultRule> rules_;
+};
+
+}  // namespace psi::fault

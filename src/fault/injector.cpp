@@ -1,0 +1,56 @@
+#include "fault/injector.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace psi::fault {
+
+namespace {
+
+/// Uniform in [0, 1) from a stateless hash of (seed, counter, salt).
+double uniform_from(std::uint64_t seed, std::uint64_t counter,
+                    std::uint64_t salt) {
+  std::uint64_t state = hash_combine(hash_combine(seed, counter), salt);
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+sim::FaultDecision DeterministicInjector::on_send(int src, int dst,
+                                                  std::int64_t tag,
+                                                  Count bytes, int comm_class,
+                                                  sim::SimTime post) {
+  (void)src;
+  (void)dst;
+  (void)tag;
+  (void)bytes;
+  stats_.consulted += 1;
+  const std::uint64_t draw_id = counter_++;
+  sim::FaultDecision decision;
+  const auto& rules = plan_->rules();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    const MessageFaultRule& rule = rules[i];
+    if (rule.comm_class >= 0 && rule.comm_class != comm_class) continue;
+    if (post < rule.begin || post >= rule.end) continue;
+    const std::uint64_t salt = static_cast<std::uint64_t>(i) << 2;
+    if (rule.drop_prob > 0.0 &&
+        uniform_from(plan_->seed(), draw_id, salt) < rule.drop_prob)
+      decision.drop = true;
+    if (rule.dup_prob > 0.0 &&
+        uniform_from(plan_->seed(), draw_id, salt + 1) < rule.dup_prob) {
+      decision.duplicates += 1;
+      decision.duplicate_delay =
+          std::max(decision.duplicate_delay, rule.dup_spacing);
+    }
+    if (rule.delay_prob > 0.0 &&
+        uniform_from(plan_->seed(), draw_id, salt + 2) < rule.delay_prob)
+      decision.delay += rule.delay;
+  }
+  if (decision.drop) stats_.dropped += 1;
+  stats_.duplicated += static_cast<Count>(decision.duplicates);
+  if (decision.delay > 0.0) stats_.delayed += 1;
+  return decision;
+}
+
+}  // namespace psi::fault

@@ -1,0 +1,41 @@
+/// \file injector.hpp
+/// \brief Deterministic realization of a FaultPlan's message-fault rules.
+#pragma once
+
+#include <cstdint>
+
+#include "fault/fault_plan.hpp"
+#include "sim/fault.hpp"
+
+namespace psi::fault {
+
+/// sim::FaultInjector that realizes a FaultPlan's message rules. Every
+/// per-message draw is derived from (plan seed, rule index, message
+/// counter) with stateless hashing: the engine consults the injector in its
+/// deterministic send order, so the same plan injects the exact same fault
+/// sequence every run — the foundation of the "same seed, same makespan"
+/// reproducibility guarantee.
+class DeterministicInjector : public sim::FaultInjector {
+ public:
+  struct Stats {
+    Count consulted = 0;  ///< network messages seen
+    Count dropped = 0;
+    Count duplicated = 0;  ///< extra copies injected
+    Count delayed = 0;
+  };
+
+  /// The plan must outlive the injector.
+  explicit DeterministicInjector(const FaultPlan& plan) : plan_(&plan) {}
+
+  sim::FaultDecision on_send(int src, int dst, std::int64_t tag, Count bytes,
+                             int comm_class, sim::SimTime post) override;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const FaultPlan* plan_;
+  Stats stats_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace psi::fault

@@ -14,6 +14,7 @@ const char* path_category_name(PathCategory category) {
     case PathCategory::kTransfer: return "transfer";
     case PathCategory::kLatency: return "latency";
     case PathCategory::kRecvQueue: return "recv-queue";
+    case PathCategory::kTimerWait: return "timer-wait";
   }
   return "unknown";
 }
@@ -54,7 +55,9 @@ CriticalPath extract_critical_path(const Recorder& recorder, int comm_classes) {
                                         rec.comm_class, rec.tag, category,
                                         begin, end});
     path.category_seconds[static_cast<int>(category)] += end - begin;
-    if (category != PathCategory::kExec) {
+    // Timer waits are not communication; keep them out of the per-class split.
+    if (category != PathCategory::kExec &&
+        category != PathCategory::kTimerWait) {
       ensure_class(rec.comm_class);
       path.class_comm_seconds[static_cast<std::size_t>(rec.comm_class)] +=
           end - begin;
@@ -92,6 +95,11 @@ CriticalPath extract_critical_path(const Recorder& recorder, int comm_classes) {
            rec.xfer_end);
       push(rec, cur, rec.src, PathCategory::kSendQueue, rec.post,
            rec.xfer_start);
+    } else if (rec.timer()) {
+      // The whole [arm, ready] gap is the armed delay (plus any dispatch
+      // serialization) — one segment keeps the makespan coverage exact.
+      ++path.timer_hops;
+      push(rec, cur, rec.dst, PathCategory::kTimerWait, rec.post, rec.ready);
     } else {
       ++path.local_hops;  // self-send: ready == post, no wait segments
     }

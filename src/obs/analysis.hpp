@@ -37,8 +37,9 @@ enum class PathCategory : int {
   kTransfer,    ///< NIC occupancy of the payload
   kLatency,     ///< wire latency of the hop
   kRecvQueue,   ///< waiting for the receiver NIC (link contention at dst)
+  kTimerWait,   ///< armed timer delay (e.g. a retry backoff on the path)
 };
-inline constexpr int kPathCategoryCount = 5;
+inline constexpr int kPathCategoryCount = 6;
 const char* path_category_name(PathCategory category);
 
 /// One disjoint interval of the makespan, attributed to a category.
@@ -64,6 +65,7 @@ struct CriticalPath {
   int handler_count = 0;  ///< handler executions on the path
   int network_hops = 0;   ///< network message edges traversed
   int local_hops = 0;     ///< self-send (local task) edges traversed
+  int timer_hops = 0;     ///< timer-firing edges traversed
   std::array<double, kPathCategoryCount> category_seconds{};
   /// Communication (non-exec) seconds and hop counts per comm class.
   std::vector<double> class_comm_seconds;

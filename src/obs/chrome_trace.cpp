@@ -66,8 +66,9 @@ void write_chrome_trace(const Recorder& recorder, const std::string& path,
     const EventRecord& rec = events[seq];
     if (!rec.handled) continue;
     ranks_seen.insert(rec.dst);
-    const std::string name = rec.src < 0 ? std::string("start")
-                                         : class_label(rec.comm_class);
+    const std::string name = rec.timer()  ? std::string("timer")
+                             : rec.src < 0 ? std::string("start")
+                                           : class_label(rec.comm_class);
     writer.event(fmt(
         "\"name\":\"%s\",\"cat\":\"handler\",\"ph\":\"X\",\"ts\":%.6f,"
         "\"dur\":%.6f,\"pid\":%d,\"tid\":0,\"args\":{\"seq\":%" PRIu64

@@ -26,8 +26,11 @@ void Recorder::on_send(const MsgSend& send) {
 
 void Recorder::on_handler(const HandlerRun& run) {
   EventRecord& rec = slot(run.seq);
-  if (run.src < 0) {
+  if (run.src < 0 && run.src != kTimerSrcRank) {
     // Start seed: no MsgSend was observed; synthesize the sender-side view.
+    // (Timer events also have src < 0 but DID record a MsgSend whose `post`
+    // is the arming instant — overwriting it here would collapse the
+    // timer-wait gap to zero.)
     rec.post = rec.xfer_start = rec.xfer_end = run.arrival;
     rec.src = run.src;
     rec.dst = run.rank;

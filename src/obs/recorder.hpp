@@ -20,6 +20,9 @@
 
 namespace psi::obs {
 
+/// Source-rank sentinel of timer-generated events (== sim::kTimerSrc).
+inline constexpr int kTimerSrcRank = -2;
+
 /// One engine event: the message (if any) and the handler it triggered.
 struct EventRecord {
   // Sender side (MsgSend); for start seeds these all equal `arrival`.
@@ -43,6 +46,10 @@ struct EventRecord {
 
   /// True for a real network transfer (not a self-send or start seed).
   bool network() const { return src >= 0 && src != dst; }
+  /// True for a timer firing (mirrors sim::kTimerSrc; obs stays
+  /// sim-independent). post..xfer_end record the arming instant, arrival
+  /// the fire time — the gap is armed delay, not network time.
+  bool timer() const { return src == kTimerSrcRank; }
   /// Sender NIC occupancy (== receiver NIC occupancy in the machine model).
   double occupancy() const { return xfer_end - xfer_start; }
 };

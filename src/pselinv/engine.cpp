@@ -1,11 +1,13 @@
 #include "pselinv/engine.hpp"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 
 #include "common/check.hpp"
 #include "obs/sink.hpp"
 #include "trees/protocol.hpp"
+#include "trees/resilient.hpp"
 
 namespace psi::pselinv {
 
@@ -60,10 +62,16 @@ struct Shared {
   BlockMatrix* sink = nullptr;  // numeric gather target
   obs::Sink* obs = nullptr;     // observability sink (may be null)
   Count blocks_finalized = 0;
+  trees::ResilienceConfig res;          // resilient-protocol config
+  trees::ChannelStats channel_stats;    // summed over all rank channels
 
   const BlockStructure& bs() const { return plan->structure(); }
   bool numeric() const { return mode == ExecutionMode::kNumeric; }
   bool unsym() const { return plan->symmetry() == ValueSymmetry::kUnsymmetric; }
+  /// Resilient mode also switches the rank programs to canonical-order
+  /// floating-point accumulation, making numeric results independent of
+  /// message timing/ordering/loss (see RunOptions).
+  bool resilient() const { return res.enabled; }
 };
 
 class PSelInvRank : public sim::Rank {
@@ -73,6 +81,7 @@ class PSelInvRank : public sim::Rank {
         me_(rank),
         my_prow_(shared.plan->grid().row_of(rank)),
         my_pcol_(shared.plan->grid().col_of(rank)) {
+    channel_.configure(shared.res, rank, &shared.channel_stats);
     build_local_index();
   }
 
@@ -93,26 +102,30 @@ class PSelInvRank : public sim::Rank {
       if (sh_->numeric())
         payload = std::make_shared<DenseMatrix>(sh_->factor->blocks().diag(k));
       diag_slot(k).diag_payload = payload;
-      trees::bcast_forward(ctx, sp.diag_bcast, make_tag(kMsgDiagBcast, k, 0),
-                           sh_->plan->block_bytes(k, k), kDiagBcast, payload);
+      channel_.bcast_forward(ctx, sp.diag_bcast, make_tag(kMsgDiagBcast, k, 0),
+                             sh_->plan->block_bytes(k, k), kDiagBcast, payload);
       // The owner may itself hold L-panel blocks of column K.
       normalize_panel(ctx, k, payload);
       if (sh_->unsym()) {
-        trees::bcast_forward(ctx, sp.diag_row_bcast,
-                             make_tag(kMsgDiagRowBcast, k, 0),
-                             sh_->plan->block_bytes(k, k), kDiagRowBcast, payload);
+        channel_.bcast_forward(ctx, sp.diag_row_bcast,
+                               make_tag(kMsgDiagRowBcast, k, 0),
+                               sh_->plan->block_bytes(k, k), kDiagRowBcast,
+                               payload);
         normalize_upanel(ctx, k, payload);
       }
     }
   }
 
   void on_message(sim::Context& ctx, const sim::Message& msg) override {
+    // Resilient mode: acks are consumed and duplicates suppressed here, so
+    // the protocol logic below sees each logical message exactly once.
+    if (!channel_.on_message(ctx, msg)) return;
     const Int k = tag_supernode(msg.tag);
     const Int t = tag_index(msg.tag);
     switch (tag_kind(msg.tag)) {
       case kMsgDiagBcast: {
-        trees::bcast_forward(ctx, sh_->plan->supernode(k).diag_bcast, msg.tag,
-                             msg.bytes, kDiagBcast, msg.data);
+        channel_.bcast_forward(ctx, sh_->plan->supernode(k).diag_bcast,
+                               msg.tag, msg.bytes, kDiagBcast, msg.data);
         normalize_panel(ctx, k, msg.data);
         break;
       }
@@ -120,28 +133,30 @@ class PSelInvRank : public sim::Rank {
         on_cross(ctx, k, t, msg.data);
         break;
       case kMsgColBcast: {
-        trees::bcast_forward(ctx, sh_->plan->supernode(k).col_bcast[
-                                 static_cast<std::size_t>(t)],
-                             msg.tag, msg.bytes, kColBcast, msg.data);
+        channel_.bcast_forward(ctx, sh_->plan->supernode(k).col_bcast[
+                                   static_cast<std::size_t>(t)],
+                               msg.tag, msg.bytes, kColBcast, msg.data);
         consume_ubcast(ctx, k, t, msg.data);
         break;
       }
       case kMsgRowReduce: {
         RowState& rs = row_state(k, t);
-        if (rs.reduce.add_child(msg.data)) row_reduce_complete(ctx, k, t);
+        if (rs.reduce.add_child_from(msg.src, msg.data))
+          row_reduce_complete(ctx, k, t);
         break;
       }
       case kMsgColReduce: {
         DiagSlot& ds = diag_state(k);
-        if (ds.reduce.add_child(msg.data)) col_reduce_complete(ctx, k);
+        if (ds.reduce.add_child_from(msg.src, msg.data))
+          col_reduce_complete(ctx, k);
         break;
       }
       case kMsgGemmTask:
         do_gemm(ctx, k, tag_ti(msg.tag), tag_tj(msg.tag));
         break;
       case kMsgDiagRowBcast: {
-        trees::bcast_forward(ctx, sh_->plan->supernode(k).diag_row_bcast,
-                             msg.tag, msg.bytes, kDiagRowBcast, msg.data);
+        channel_.bcast_forward(ctx, sh_->plan->supernode(k).diag_row_bcast,
+                               msg.tag, msg.bytes, kDiagRowBcast, msg.data);
         normalize_upanel(ctx, k, msg.data);
         break;
       }
@@ -149,15 +164,16 @@ class PSelInvRank : public sim::Rank {
         on_cross_u(ctx, k, t, msg.data);
         break;
       case kMsgRowBcast: {
-        trees::bcast_forward(ctx, sh_->plan->supernode(k).row_bcast[
-                                 static_cast<std::size_t>(t)],
-                             msg.tag, msg.bytes, kRowBcast, msg.data);
+        channel_.bcast_forward(ctx, sh_->plan->supernode(k).row_bcast[
+                                   static_cast<std::size_t>(t)],
+                               msg.tag, msg.bytes, kRowBcast, msg.data);
         consume_rowbcast(ctx, k, t, msg.data);
         break;
       }
       case kMsgColReduceUp: {
         UpperState& us = upper_state(k, t);
-        if (us.reduce.add_child(msg.data)) col_reduce_up_complete(ctx, k, t);
+        if (us.reduce.add_child_from(msg.src, msg.data))
+          col_reduce_up_complete(ctx, k, t);
         break;
       }
       case kMsgGemmUTask:
@@ -174,6 +190,11 @@ class PSelInvRank : public sim::Rank {
       default:
         PSI_CHECK_MSG(false, "unknown message kind");
     }
+  }
+
+  void on_timer(sim::Context& ctx, std::int64_t tag) override {
+    // The only timers a PSelInv rank arms are the channel's retry deadlines.
+    PSI_CHECK_MSG(channel_.on_timer(ctx, tag), "unexpected program timer");
   }
 
  private:
@@ -205,8 +226,9 @@ class PSelInvRank : public sim::Rank {
                       : std::make_shared<DenseMatrix>(lblock.transposed());
         lhat_[sh_->plan->kt_id(k, t)] = std::move(lblock);
       }
-      ctx.send(sp.cross_dst[static_cast<std::size_t>(t)], make_tag(kMsgCross, k, t),
-               sh_->plan->block_bytes(j, k), kCrossSend, payload);
+      channel_.send(ctx, sp.cross_dst[static_cast<std::size_t>(t)],
+                    make_tag(kMsgCross, k, t), sh_->plan->block_bytes(j, k),
+                    kCrossSend, payload, /*idempotent=*/true);
     }
     DiagSlot& ds = diag_slot(k);
     ds.panel_normalized = true;
@@ -214,7 +236,7 @@ class PSelInvRank : public sim::Rank {
     if (!ds.deferred.empty()) {
       const std::vector<Int> pending = std::move(ds.deferred);
       ds.deferred = {};
-      for (Int t : pending) add_diag_contribution(ctx, k, t);
+      for (Int t : pending) diag_term_ready(ctx, k, t);
     }
   }
 
@@ -242,9 +264,9 @@ class PSelInvRank : public sim::Rank {
              ublock);
         uhat = std::make_shared<DenseMatrix>(std::move(ublock));
       }
-      ctx.send(sp.cross_src[static_cast<std::size_t>(t)],
-               make_tag(kMsgCrossU, k, t), sh_->plan->block_bytes(i, k),
-               kCrossSendU, uhat);
+      channel_.send(ctx, sp.cross_src[static_cast<std::size_t>(t)],
+                    make_tag(kMsgCrossU, k, t), sh_->plan->block_bytes(i, k),
+                    kCrossSendU, uhat, /*idempotent=*/true);
     }
   }
 
@@ -259,14 +281,14 @@ class PSelInvRank : public sim::Rank {
     UCrossSlot& cross = ucross_slot(k, t);
     cross.seen = true;
     if (sh_->numeric()) cross.payload = uhat;
-    trees::bcast_forward(ctx, sp.row_bcast[static_cast<std::size_t>(t)],
-                         make_tag(kMsgRowBcast, k, t),
-                         sh_->plan->block_bytes(i, k), kRowBcast, uhat);
+    channel_.bcast_forward(ctx, sp.row_bcast[static_cast<std::size_t>(t)],
+                           make_tag(kMsgRowBcast, k, t),
+                           sh_->plan->block_bytes(i, k), kRowBcast, uhat);
     consume_rowbcast(ctx, k, t, uhat);
     UCrossSlot& after = ucross_slot(k, t);
     if (after.deferred_diag) {
       after.deferred_diag = false;
-      add_diag_contribution(ctx, k, t);
+      diag_term_ready(ctx, k, t);
     }
   }
 
@@ -294,7 +316,7 @@ class PSelInvRank : public sim::Rank {
       // The GEMM needs A^{-1}_{I,J} (which this rank owns) to be final.
       const std::int64_t dep = sh_->plan->block_id(i, j);
       if (is_final(dep)) {
-        ctx.send(me_, make_gemm_tag(kMsgGemmUTask, k, t, tj), 0, kRowBcast);
+        gemm_ready(ctx, k, t, tj, /*upper=*/true);
       } else {
         waiting_[dep].push_back(Pending{k, t, tj, /*upper=*/true});
       }
@@ -339,8 +361,9 @@ class PSelInvRank : public sim::Rank {
                               [static_cast<std::size_t>(tj)];
     auto value = us.reduce.accumulated();
     if (me_ != tree.root()) {
-      ctx.send(tree.parent_of(me_), make_tag(kMsgColReduceUp, k, tj),
-               sh_->plan->block_bytes(j, k), kColReduceUp, value);
+      channel_.send(ctx, tree.parent_of(me_), make_tag(kMsgColReduceUp, k, tj),
+                    sh_->plan->block_bytes(j, k), kColReduceUp, value,
+                    /*idempotent=*/false);
       us = UpperState();  // collective done on this rank; release memory
       return;
     }
@@ -356,9 +379,9 @@ class PSelInvRank : public sim::Rank {
     const auto& sp = sh_->plan->supernode(k);
     const Int i = sh_->bs().struct_of[static_cast<std::size_t>(k)]
                                      [static_cast<std::size_t>(t)];
-    trees::bcast_forward(ctx, sp.col_bcast[static_cast<std::size_t>(t)],
-                         make_tag(kMsgColBcast, k, t),
-                         sh_->plan->block_bytes(i, k), kColBcast, uhat);
+    channel_.bcast_forward(ctx, sp.col_bcast[static_cast<std::size_t>(t)],
+                           make_tag(kMsgColBcast, k, t),
+                           sh_->plan->block_bytes(i, k), kColBcast, uhat);
     consume_ubcast(ctx, k, t, uhat);
   }
 
@@ -388,10 +411,67 @@ class PSelInvRank : public sim::Rank {
       // The GEMM needs A^{-1}_{J,I} (which this rank owns) to be final.
       const std::int64_t dep = sh_->plan->block_id(j, i);
       if (is_final(dep)) {
-        ctx.send(me_, make_gemm_tag(kMsgGemmTask, k, t, tj), 0, kColBcast);
+        gemm_ready(ctx, k, t, tj, /*upper=*/false);
       } else {
         waiting_[dep].push_back(Pending{k, t, tj, /*upper=*/false});
       }
+    }
+  }
+
+  /// All inputs of GEMM (k, ti, tj) are available. Historical mode: enqueue
+  /// it immediately (arrival-order accumulation). Resilient mode: park it in
+  /// the target reduction state's ready table and enqueue only the
+  /// contiguous ordinal prefix — contributions then fold into the
+  /// accumulator in a canonical, message-timing-independent order, which is
+  /// what makes numeric results bitwise immune to injected faults.
+  void gemm_ready(sim::Context& ctx, Int k, Int ti, Int tj, bool upper) {
+    if (!sh_->resilient()) {
+      ctx.send(me_,
+               make_gemm_tag(upper ? kMsgGemmUTask : kMsgGemmTask, k, ti, tj),
+               0, upper ? kRowBcast : kColBcast);
+      return;
+    }
+    const Plan& plan = *sh_->plan;
+    if (upper) {
+      UpperState& us = upper_state(k, tj);
+      us.ready[static_cast<std::size_t>(plan.row_ordinal(plan.kt_id(k, ti)))] =
+          ti + 1;
+      while (us.cursor < static_cast<Int>(us.ready.size()) &&
+             us.ready[static_cast<std::size_t>(us.cursor)] != 0) {
+        const Int next = us.ready[static_cast<std::size_t>(us.cursor)] - 1;
+        ++us.cursor;
+        ctx.send(me_, make_gemm_tag(kMsgGemmUTask, k, next, tj), 0, kRowBcast);
+      }
+    } else {
+      RowState& rs = row_state(k, tj);
+      rs.ready[static_cast<std::size_t>(plan.col_ordinal(plan.kt_id(k, ti)))] =
+          ti + 1;
+      while (rs.cursor < static_cast<Int>(rs.ready.size()) &&
+             rs.ready[static_cast<std::size_t>(rs.cursor)] != 0) {
+        const Int next = rs.ready[static_cast<std::size_t>(rs.cursor)] - 1;
+        ++rs.cursor;
+        ctx.send(me_, make_gemm_tag(kMsgGemmTask, k, next, tj), 0, kColBcast);
+      }
+    }
+  }
+
+  /// A diagonal-update term (k, tj) became runnable. Mirrors gemm_ready():
+  /// resilient mode runs the terms of supernode K in ordinal order so the
+  /// diagonal accumulator also folds canonically.
+  void diag_term_ready(sim::Context& ctx, Int k, Int tj) {
+    if (!sh_->resilient()) {
+      add_diag_contribution(ctx, k, tj);
+      return;
+    }
+    const Plan& plan = *sh_->plan;
+    DiagSlot& ds = diag_state(k);
+    ds.term_ready[static_cast<std::size_t>(
+        plan.row_ordinal(plan.kt_id(k, tj)))] = tj + 1;
+    while (ds.term_cursor < static_cast<Int>(ds.term_ready.size()) &&
+           ds.term_ready[static_cast<std::size_t>(ds.term_cursor)] != 0) {
+      const Int next = ds.term_ready[static_cast<std::size_t>(ds.term_cursor)] - 1;
+      ++ds.term_cursor;
+      add_diag_contribution(ctx, k, next);
     }
   }
 
@@ -438,8 +518,9 @@ class PSelInvRank : public sim::Rank {
                               [static_cast<std::size_t>(tj)];
     auto value = rs.reduce.accumulated();
     if (me_ != tree.root()) {
-      ctx.send(tree.parent_of(me_), make_tag(kMsgRowReduce, k, tj),
-               sh_->plan->block_bytes(j, k), kRowReduce, value);
+      channel_.send(ctx, tree.parent_of(me_), make_tag(kMsgRowReduce, k, tj),
+                    sh_->plan->block_bytes(j, k), kRowReduce, value,
+                    /*idempotent=*/false);
       rs = RowState();  // collective done on this rank; release memory
       return;
     }
@@ -454,9 +535,11 @@ class PSelInvRank : public sim::Rank {
         PSI_CHECK(final_value != nullptr);
         transposed = std::make_shared<DenseMatrix>(final_value->transposed());
       }
-      ctx.send(sh_->plan->supernode(k).cross_dst[static_cast<std::size_t>(tj)],
-               make_tag(kMsgCrossBack, k, tj), sh_->plan->block_bytes(j, k),
-               kCrossBack, transposed);
+      channel_.send(ctx,
+                    sh_->plan->supernode(k).cross_dst[static_cast<std::size_t>(tj)],
+                    make_tag(kMsgCrossBack, k, tj),
+                    sh_->plan->block_bytes(j, k), kCrossBack, transposed,
+                    /*idempotent=*/true);
     }
     // Diagonal contribution Û_{K,J} A^{-1}_{J,K}. Symmetric values compute
     // it as L̂_{J,K}^T A^{-1}_{J,K} and need this rank's loop-1 trsm to have
@@ -464,12 +547,12 @@ class PSelInvRank : public sim::Rank {
     if (sh_->unsym()) {
       UCrossSlot& cross = ucross_slot(k, tj);
       if (cross.seen) {
-        add_diag_contribution(ctx, k, tj);
+        diag_term_ready(ctx, k, tj);
       } else {
         cross.deferred_diag = true;
       }
     } else if (diag_slot(k).panel_normalized) {
-      add_diag_contribution(ctx, k, tj);
+      diag_term_ready(ctx, k, tj);
     } else {
       diag_slot(k).deferred.push_back(tj);
     }
@@ -510,8 +593,10 @@ class PSelInvRank : public sim::Rank {
     DiagSlot& ds = diag_state(k);
     auto value = ds.reduce.accumulated();
     if (me_ != sp.col_reduce.root()) {
-      ctx.send(sp.col_reduce.parent_of(me_), make_tag(kMsgColReduce, k, 0),
-               sh_->plan->block_bytes(k, k), kColReduce, value);
+      channel_.send(ctx, sp.col_reduce.parent_of(me_),
+                    make_tag(kMsgColReduce, k, 0),
+                    sh_->plan->block_bytes(k, k), kColReduce, value,
+                    /*idempotent=*/false);
       ds.release();
       return;
     }
@@ -564,11 +649,7 @@ class PSelInvRank : public sim::Rank {
     if (it != waiting_.end()) {
       const std::vector<Pending> pending = std::move(it->second);
       waiting_.erase(it);
-      for (const Pending& p : pending)
-        ctx.send(me_,
-                 make_gemm_tag(p.upper ? kMsgGemmUTask : kMsgGemmTask, p.k,
-                               p.ti, p.tj),
-                 0, p.upper ? kRowBcast : kColBcast);
+      for (const Pending& p : pending) gemm_ready(ctx, p.k, p.ti, p.tj, p.upper);
     }
   }
 
@@ -582,12 +663,18 @@ class PSelInvRank : public sim::Rank {
     std::shared_ptr<DenseMatrix> acc;
     int remaining_gemms = 0;
     bool initialized = false;
+    // Resilient mode: ready[col_ordinal(ti)] = ti + 1 once GEMM (k, ti, tj)
+    // is runnable; the cursor enqueues the contiguous prefix in order.
+    std::vector<Int> ready;
+    Int cursor = 0;
   };
   struct DiagSlot {
     trees::ReduceState reduce;
     std::shared_ptr<DenseMatrix> acc;
     std::shared_ptr<const DenseMatrix> diag_payload;  ///< owner only (numeric)
     std::vector<Int> deferred;  ///< row-reduce completions awaiting loop 1
+    std::vector<Int> term_ready;  ///< resilient mode; keyed by row_ordinal(tj)
+    Int term_cursor = 0;
     int remaining_terms = 0;
     bool initialized = false;
     bool panel_normalized = false;
@@ -609,6 +696,8 @@ class PSelInvRank : public sim::Rank {
     std::shared_ptr<DenseMatrix> acc;
     int remaining_gemms = 0;
     bool initialized = false;
+    std::vector<Int> ready;  ///< resilient mode; keyed by row_ordinal(ti)
+    Int cursor = 0;
   };
   struct UCrossSlot {
     std::shared_ptr<const DenseMatrix> payload;
@@ -692,12 +781,16 @@ class PSelInvRank : public sim::Rank {
       const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
       const trees::CommTree& tree =
           sh_->plan->supernode(k).row_reduce[static_cast<std::size_t>(tj)];
-      const int children =
-          tree.participates(me_) ? static_cast<int>(tree.children_of(me_).size())
-                                 : 0;
-      rs.reduce = trees::ReduceState(children);
+      const std::span<const int> children =
+          tree.participates(me_) ? tree.children_of(me_)
+                                 : std::span<const int>{};
+      rs.reduce = sh_->resilient()
+                      ? trees::ReduceState(children)
+                      : trees::ReduceState(static_cast<int>(children.size()));
       for (Int i : str)
         if (sh_->plan->map().pcol_of(i) == my_pcol_) ++rs.remaining_gemms;
+      if (sh_->resilient())
+        rs.ready.assign(static_cast<std::size_t>(rs.remaining_gemms), 0);
       // A root outside the contributor columns has no local GEMMs: publish
       // an empty local contribution right away.
       if (rs.remaining_gemms == 0) rs.reduce.add_local(nullptr);
@@ -713,12 +806,16 @@ class PSelInvRank : public sim::Rank {
       const BlockStructure& bs = sh_->bs();
       const trees::CommTree& tree =
           sh_->plan->supernode(k).col_reduce_up[static_cast<std::size_t>(tj)];
-      const int children =
-          tree.participates(me_) ? static_cast<int>(tree.children_of(me_).size())
-                                 : 0;
-      us.reduce = trees::ReduceState(children);
+      const std::span<const int> children =
+          tree.participates(me_) ? tree.children_of(me_)
+                                 : std::span<const int>{};
+      us.reduce = sh_->resilient()
+                      ? trees::ReduceState(children)
+                      : trees::ReduceState(static_cast<int>(children.size()));
       for (Int i : bs.struct_of[static_cast<std::size_t>(k)])
         if (sh_->plan->map().prow_of(i) == my_prow_) ++us.remaining_gemms;
+      if (sh_->resilient())
+        us.ready.assign(static_cast<std::size_t>(us.remaining_gemms), 0);
       // A root outside the contributor rows has no local GEMMs (mirror of
       // row_state(); the tree then has >= 1 child).
       if (us.remaining_gemms == 0) us.reduce.add_local(nullptr);
@@ -732,12 +829,16 @@ class PSelInvRank : public sim::Rank {
       ds.initialized = true;
       const BlockStructure& bs = sh_->bs();
       const trees::CommTree& tree = sh_->plan->supernode(k).col_reduce;
-      const int children =
-          tree.participates(me_) ? static_cast<int>(tree.children_of(me_).size())
-                                 : 0;
-      ds.reduce = trees::ReduceState(children);
+      const std::span<const int> children =
+          tree.participates(me_) ? tree.children_of(me_)
+                                 : std::span<const int>{};
+      ds.reduce = sh_->resilient()
+                      ? trees::ReduceState(children)
+                      : trees::ReduceState(static_cast<int>(children.size()));
       for (Int j : bs.struct_of[static_cast<std::size_t>(k)])
         if (sh_->plan->map().prow_of(j) == my_prow_) ++ds.remaining_terms;
+      if (sh_->resilient())
+        ds.term_ready.assign(static_cast<std::size_t>(ds.remaining_terms), 0);
       if (ds.remaining_terms == 0) ds.reduce.add_local(nullptr);
     }
     return ds;
@@ -747,6 +848,9 @@ class PSelInvRank : public sim::Rank {
   int me_;
   int my_prow_;
   int my_pcol_;
+  /// Reliable-delivery endpoint; a transparent pass-through when the
+  /// resilient protocol is off.
+  trees::ResilientChannel channel_;
 
   // Dense per-rank state arenas (see build_local_index):
   std::vector<std::int32_t> base_a_;  ///< per-supernode base into a_* arenas
@@ -783,12 +887,14 @@ double RunResult::mean_compute_seconds() const {
 RunResult run_pselinv(const Plan& plan, const sim::Machine& machine,
                       ExecutionMode mode, const SupernodalLU* factor,
                       std::vector<sim::TraceEvent>* trace_out,
-                      obs::Sink* obs_sink) {
+                      obs::Sink* obs_sink, const RunOptions& options) {
   Shared shared;
   shared.plan = &plan;
   shared.mode = mode;
   shared.factor = factor;
   shared.obs = obs_sink;
+  shared.res = options.resilience;
+  shared.res.ack_comm_class = kProtoAck;
 
   std::unique_ptr<BlockMatrix> sink;
   if (mode == ExecutionMode::kNumeric) {
@@ -803,6 +909,9 @@ RunResult run_pselinv(const Plan& plan, const sim::Machine& machine,
   sim::Engine engine(machine, plan.grid().size(), kCommClassCount);
   if (trace_out != nullptr) engine.enable_trace();
   if (obs_sink != nullptr) engine.set_sink(obs_sink);
+  if (options.injector != nullptr) engine.set_fault_injector(options.injector);
+  if (options.perturbation != nullptr)
+    engine.set_perturbation(options.perturbation);
   for (int r = 0; r < plan.grid().size(); ++r)
     engine.set_rank(r, std::make_unique<PSelInvRank>(shared, r));
   const sim::SimTime makespan = engine.run();
@@ -819,6 +928,7 @@ RunResult run_pselinv(const Plan& plan, const sim::Machine& machine,
   for (int r = 0; r < plan.grid().size(); ++r)
     result.rank_stats.push_back(engine.stats(r));
   result.ainv = std::move(sink);
+  result.channel_stats = shared.channel_stats;
   PSI_CHECK_MSG(result.complete(),
                 "selected inversion did not finalize every block: "
                     << result.blocks_finalized << " of "

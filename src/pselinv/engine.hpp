@@ -31,10 +31,35 @@
 #include "numeric/supernodal_lu.hpp"
 #include "pselinv/plan.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
+#include "trees/resilient.hpp"
 
 namespace psi::pselinv {
 
 enum class ExecutionMode { kNumeric, kTrace };
+
+/// Fault-injection and resilience options for a run.
+///
+/// With `resilience.enabled` every network message of the protocol travels
+/// through a trees::ResilientChannel per rank (acks on kProtoAck,
+/// timer-driven retry, duplicate suppression, subtree re-parenting around
+/// stalled forwarders), and the rank programs execute their floating-point
+/// accumulations in a canonical data-independent order — so the numeric
+/// result is bitwise identical no matter what the injector does to message
+/// timing, ordering, loss, or duplication. Without it the engine keeps the
+/// historical bit-exact arrival-order behavior (and any injected drop
+/// deadlocks the run — there is no retry).
+struct RunOptions {
+  /// Message fault injector (e.g. fault::DeterministicInjector); must
+  /// outlive the run. Null: no injected message faults.
+  sim::FaultInjector* injector = nullptr;
+  /// Dynamic machine perturbation (stragglers, degraded links); must
+  /// outlive the run. Null: none.
+  const sim::Perturbation* perturbation = nullptr;
+  /// Resilient-protocol configuration. `ack_comm_class` is overridden to
+  /// kProtoAck by the engine.
+  trees::ResilienceConfig resilience;
+};
 
 struct RunResult {
   sim::SimTime makespan = 0.0;           ///< simulated selected-inversion time
@@ -46,6 +71,10 @@ struct RunResult {
 
   /// Gathered selected inverse (numeric mode only).
   std::unique_ptr<BlockMatrix> ainv;
+
+  /// Resilient-protocol activity summed over all ranks (zeros when the
+  /// resilient mode is off).
+  trees::ChannelStats channel_stats;
 
   /// Mean over ranks of time spent in dense kernels.
   double mean_compute_seconds() const;
@@ -65,10 +94,13 @@ struct RunResult {
 /// to the simulator (every send/handler with full timing decomposition) and
 /// additionally receives one "supernode" span per supernode — Diag-Bcast
 /// launch to diagonal finalization on the diagonal owner — and a
-/// "diag-final" mark per finalized diagonal block.
+/// "diag-final" mark per finalized diagonal block. `options` adds fault
+/// injection, machine perturbation, and the resilient protocol (see
+/// RunOptions).
 RunResult run_pselinv(const Plan& plan, const sim::Machine& machine,
                       ExecutionMode mode, const SupernodalLU* factor = nullptr,
                       std::vector<sim::TraceEvent>* trace_out = nullptr,
-                      obs::Sink* obs_sink = nullptr);
+                      obs::Sink* obs_sink = nullptr,
+                      const RunOptions& options = {});
 
 }  // namespace psi::pselinv

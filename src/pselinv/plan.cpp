@@ -20,6 +20,7 @@ const char* comm_class_name(int comm_class) {
     case kCrossSendU: return "Cross-Send-U";
     case kRowBcast: return "Row-Bcast";
     case kColReduceUp: return "Col-Reduce-Up";
+    case kProtoAck: return "Proto-Ack";
   }
   return "unknown";
 }

@@ -57,6 +57,8 @@ enum CommClass : int {
   kCrossSendU,
   kRowBcast,
   kColReduceUp,
+  /// Resilient-protocol acks (RunOptions::resilience).
+  kProtoAck,
   kCommClassCount
 };
 

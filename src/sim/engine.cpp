@@ -10,6 +10,10 @@ namespace psi::sim {
 
 void Context::compute(SimTime seconds) {
   PSI_CHECK(seconds >= 0.0);
+  // A perturbed (straggling) rank takes longer for the same work; the
+  // inflated duration is what the rank is actually busy for, so it is what
+  // gets recorded.
+  seconds *= engine_->compute_factor(rank_, now_);
   now_ += seconds;
   // Attribution happens in Engine::dispatch via the time delta; record the
   // compute share directly here.
@@ -22,8 +26,25 @@ void Context::compute_flops(Count flops) {
 }
 
 void Context::send(int dst, std::int64_t tag, Count bytes, int comm_class,
-                   std::shared_ptr<const DenseMatrix> data) {
-  engine_->post_send(*this, dst, tag, bytes, comm_class, std::move(data));
+                   std::shared_ptr<const DenseMatrix> data, std::int64_t env) {
+  engine_->post_send(*this, dst, tag, bytes, comm_class, std::move(data), env);
+}
+
+std::uint64_t Context::set_timer(SimTime delay, std::int64_t tag) {
+  return engine_->post_timer(*this, delay, tag);
+}
+
+void Context::cancel_timer(std::uint64_t id) {
+  PSI_CHECK_MSG(id < engine_->next_seq_,
+                "cancel_timer: unknown timer id " << id);
+  engine_->cancelled_timers_.insert(id);
+}
+
+void Rank::on_timer(Context& ctx, std::int64_t tag) {
+  (void)tag;
+  PSI_CHECK_MSG(false, "rank " << ctx.rank()
+                               << " received a timer but does not override "
+                                  "Rank::on_timer");
 }
 
 Engine::Engine(const Machine& machine, int rank_count, int comm_classes)
@@ -46,6 +67,16 @@ void Engine::enable_trace(std::size_t max_events) {
 void Engine::set_sink(obs::Sink* sink) {
   PSI_CHECK(!ran_);
   sink_ = sink;
+}
+
+void Engine::set_fault_injector(FaultInjector* injector) {
+  PSI_CHECK(!ran_);
+  injector_ = injector;
+}
+
+void Engine::set_perturbation(const Perturbation* perturbation) {
+  PSI_CHECK(!ran_);
+  perturbation_ = perturbation;
 }
 
 void Engine::set_rank(int rank, std::unique_ptr<Rank> program) {
@@ -96,11 +127,16 @@ std::uint64_t Engine::enqueue(SimTime time, const EventSlot& slot) {
     free_slots_.pop_back();
   } else {
     idx = static_cast<std::uint32_t>(pool_.size());
-    PSI_CHECK_MSG(idx <= kSlotMask, "event arena exceeds 2^24 live events");
+    PSI_CHECK_MSG(idx <= kSlotMask,
+                  "event arena exhausted: more than 2^"
+                      << kSlotBits
+                      << " live events; rebuild with a larger "
+                         "PSI_SIM_SLOT_BITS or drain sends faster");
     pool_.push_back(EventSlot{});
   }
   pool_[idx] = slot;
-  PSI_CHECK_MSG(next_seq_ < (1ull << 40), "event sequence number overflow");
+  PSI_CHECK_MSG(next_seq_ < (std::uint64_t{1} << (64 - kSlotBits)),
+                "event sequence number overflow");
   const std::uint64_t seq = next_seq_++;
   const Handle handle{time, (seq << kSlotBits) | idx};
   if (earlier(handle, horizon_))
@@ -150,24 +186,45 @@ void Engine::refill_heap() {
   }
 }
 
+std::int32_t Engine::register_payload(std::shared_ptr<const DenseMatrix> data) {
+  if (!data) return kNoPayload;
+  std::int32_t payload;
+  if (!free_payloads_.empty()) {
+    payload = free_payloads_.back();
+    free_payloads_.pop_back();
+    payloads_[static_cast<std::size_t>(payload)] = std::move(data);
+  } else {
+    payload = static_cast<std::int32_t>(payloads_.size());
+    payloads_.push_back(std::move(data));
+  }
+  return payload;
+}
+
 void Engine::post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
-                       int comm_class,
-                       std::shared_ptr<const DenseMatrix> data) {
-  PSI_CHECK_MSG(dst >= 0 && dst < rank_count(), "send to invalid rank " << dst);
-  PSI_CHECK(bytes >= 0);
-  PSI_CHECK(comm_class >= 0 && comm_class < comm_classes_);
+                       int comm_class, std::shared_ptr<const DenseMatrix> data,
+                       std::int64_t env) {
+  PSI_CHECK_MSG(dst >= 0 && dst < rank_count(),
+                "send to invalid rank " << dst << " (rank count "
+                                        << rank_count() << ")");
+  PSI_CHECK_MSG(bytes >= 0, "send with negative byte count " << bytes);
+  PSI_CHECK_MSG(comm_class >= 0 && comm_class < comm_classes_,
+                "send with invalid comm class " << comm_class << " (have "
+                                                << comm_classes_ << ")");
   const int src = ctx.rank_;
   auto& src_state = states_[static_cast<std::size_t>(src)];
 
   SimTime deliver_at;
   SimTime xfer_start;
   SimTime xfer_end;
+  FaultDecision fault;
   if (dst == src) {
     // Local hand-off: delivered after the current handler instant, no NIC,
-    // no overhead, and not counted as network traffic.
+    // no overhead, not counted as network traffic, and never faulted.
     deliver_at = ctx.now_;
     xfer_start = xfer_end = ctx.now_;
   } else {
+    if (injector_ != nullptr)
+      fault = injector_->on_send(src, dst, tag, bytes, comm_class, ctx.now_);
     auto& counters =
         src_state.stats.per_class[static_cast<std::size_t>(comm_class)];
     counters.bytes_sent += bytes;
@@ -175,42 +232,88 @@ void Engine::post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
     // Sender CPU overhead.
     ctx.now_ += machine_->config().msg_overhead;
     src_state.stats.overhead_seconds += machine_->config().msg_overhead;
-    // Sender NIC serialization.
-    const SimTime occupancy = machine_->occupancy(src, dst, bytes);
+    // Sender NIC serialization. Even a dropped message pays full sender
+    // cost: the loss happens on the wire.
+    const SimTime occupancy = transfer_occupancy(src, dst, bytes, ctx.now_);
     xfer_start = std::max(ctx.now_, src_state.nic_send_free);
     xfer_end = xfer_start + occupancy;
     src_state.nic_send_free = xfer_end;
-    deliver_at = xfer_end + machine_->latency(src, dst);
+    deliver_at = xfer_end + machine_->latency(src, dst) + fault.delay;
   }
 
-  std::int32_t payload = kNoPayload;
-  if (data) {
-    if (!free_payloads_.empty()) {
-      payload = free_payloads_.back();
-      free_payloads_.pop_back();
-      payloads_[static_cast<std::size_t>(payload)] = std::move(data);
-    } else {
-      payload = static_cast<std::int32_t>(payloads_.size());
-      payloads_.push_back(std::move(data));
+  // Deliver the original (unless dropped) plus any duplicated copies. Each
+  // queued copy owns its own payload-pool entry so slot recycling on
+  // dispatch stays one-owner.
+  const int copies = (fault.drop ? 0 : 1) + fault.duplicates;
+  for (int copy = 0; copy < copies; ++copy) {
+    const SimTime at =
+        deliver_at + static_cast<double>(copy + (fault.drop ? 1 : 0)) *
+                         fault.duplicate_delay;
+    const std::int32_t payload =
+        register_payload(copy + 1 == copies ? std::move(data) : data);
+    const std::uint64_t seq = enqueue(
+        at, EventSlot{tag, env, bytes, src, dst, comm_class, payload});
+    if (sink_ != nullptr) {
+      obs::MsgSend ev;
+      ev.seq = seq;
+      ev.emitter = dispatching_seq_;
+      ev.src = src;
+      ev.dst = dst;
+      ev.tag = tag;
+      ev.bytes = bytes;
+      ev.comm_class = comm_class;
+      ev.post = ctx.now_;
+      ev.xfer_start = xfer_start;
+      ev.xfer_end = xfer_end;
+      ev.arrival = at;
+      sink_->on_send(ev);
     }
   }
-  const std::uint64_t seq =
-      enqueue(deliver_at, EventSlot{tag, bytes, src, dst, comm_class, payload});
+  if (sink_ != nullptr && fault.any()) {
+    obs::MarkEvent mark;
+    mark.rank = src;
+    mark.id = tag;
+    mark.time = ctx.now_;
+    if (fault.drop) {
+      mark.name = "fault-drop";
+      sink_->on_mark(mark);
+    }
+    if (fault.duplicates > 0) {
+      mark.name = "fault-dup";
+      sink_->on_mark(mark);
+    }
+    if (fault.delay > 0.0) {
+      mark.name = "fault-delay";
+      sink_->on_mark(mark);
+    }
+  }
+}
+
+std::uint64_t Engine::post_timer(Context& ctx, SimTime delay,
+                                 std::int64_t tag) {
+  PSI_CHECK_MSG(delay >= 0.0, "set_timer with negative delay " << delay);
+  const SimTime fire = ctx.now_ + delay;
+  const std::uint64_t seq = enqueue(
+      fire, EventSlot{tag, 0, 0, kTimerSrc, ctx.rank_, 0, kNoPayload});
   if (sink_ != nullptr) {
+    // Synthetic send record so the causal graph links the timer handler
+    // back to the handler that armed it; the [post, arrival) gap is the
+    // timer wait, not network time.
     obs::MsgSend ev;
     ev.seq = seq;
     ev.emitter = dispatching_seq_;
-    ev.src = src;
-    ev.dst = dst;
+    ev.src = kTimerSrc;
+    ev.dst = ctx.rank_;
     ev.tag = tag;
-    ev.bytes = bytes;
-    ev.comm_class = comm_class;
+    ev.bytes = 0;
+    ev.comm_class = 0;
     ev.post = ctx.now_;
-    ev.xfer_start = xfer_start;
-    ev.xfer_end = xfer_end;
-    ev.arrival = deliver_at;
+    ev.xfer_start = ctx.now_;
+    ev.xfer_end = ctx.now_;
+    ev.arrival = fire;
     sink_->on_send(ev);
   }
+  return seq;
 }
 
 void Engine::dispatch(SimTime time, std::uint64_t seq, const EventSlot& slot,
@@ -223,7 +326,7 @@ void Engine::dispatch(SimTime time, std::uint64_t seq, const EventSlot& slot,
     // its occupancy time as well, so a rank bombarded by many concurrent
     // senders (e.g. a flat-tree reduce root) drains them one at a time.
     const SimTime occupancy =
-        machine_->occupancy(slot.src, slot.dst, slot.bytes);
+        transfer_occupancy(slot.src, slot.dst, slot.bytes, time);
     ready = std::max(ready, state.nic_recv_free + occupancy);
     state.nic_recv_free = ready;
     auto& counters =
@@ -247,13 +350,16 @@ void Engine::dispatch(SimTime time, std::uint64_t seq, const EventSlot& slot,
                 "no program installed for rank " << slot.dst);
   const double compute_before = state.stats.compute_seconds;
   dispatching_seq_ = seq;
-  if (slot.src < 0) {
+  if (slot.src == kTimerSrc) {
+    program->on_timer(ctx, slot.tag);
+  } else if (slot.src < 0) {
     program->on_start(ctx);
   } else {
     Message msg;
     msg.src = slot.src;
     msg.dst = slot.dst;
     msg.tag = slot.tag;
+    msg.env = slot.env;
     msg.bytes = slot.bytes;
     msg.comm_class = slot.comm_class;
     msg.data = std::move(payload);
@@ -287,9 +393,9 @@ SimTime Engine::run() {
   PSI_CHECK_MSG(!ran_, "Engine::run() may only be called once");
   ran_ = true;
   const WallTimer timer;
-  // Seed a start event for every rank at t = 0 (src = -1 marks it).
+  // Seed a start event for every rank at t = 0 (src = kStartSrc marks it).
   for (int r = 0; r < rank_count(); ++r)
-    enqueue(0.0, EventSlot{0, 0, -1, r, 0, kNoPayload});
+    enqueue(0.0, EventSlot{0, 0, 0, kStartSrc, r, 0, kNoPayload});
   for (;;) {
     if (heap_.empty()) {
       if (overflow_begin_ >= overflow_.size()) break;
@@ -301,6 +407,15 @@ SimTime Engine::run() {
     // may grow or reuse the arena.
     const EventSlot slot = pool_[idx];
     free_slots_.push_back(idx);
+    if (slot.src == kTimerSrc && !cancelled_timers_.empty()) {
+      const auto cancelled = cancelled_timers_.find(handle.key >> kSlotBits);
+      if (cancelled != cancelled_timers_.end()) {
+        // Cancelled timer: discard without running a handler, so it neither
+        // occupies the rank nor extends the makespan.
+        cancelled_timers_.erase(cancelled);
+        continue;
+      }
+    }
     std::shared_ptr<const DenseMatrix> payload;
     if (slot.payload != kNoPayload) {
       payload = std::move(payloads_[static_cast<std::size_t>(slot.payload)]);

@@ -37,6 +37,9 @@
 #include <memory>
 #include <vector>
 
+#include <unordered_set>
+
+#include "sim/fault.hpp"
 #include "sim/machine.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/types.hpp"
@@ -47,12 +50,18 @@ class Sink;
 
 namespace psi::sim {
 
+/// `src` of the start event seeded for every rank at t = 0.
+inline constexpr int kStartSrc = -1;
+/// `src` of a timer event posted via Context::set_timer.
+inline constexpr int kTimerSrc = -2;
+
 /// Payload carried by a message. `data` is set in numeric mode (a shared
 /// immutable block); in trace mode only `bytes` matters.
 struct Message {
   int src = -1;
   int dst = -1;
   std::int64_t tag = 0;   ///< user-defined; encodes (supernode, phase, index)
+  std::int64_t env = 0;   ///< protocol envelope (opaque to the engine)
   Count bytes = 0;
   int comm_class = 0;     ///< user-defined accounting class
   std::shared_ptr<const DenseMatrix> data;
@@ -101,9 +110,21 @@ class Context {
   void compute_flops(Count flops);
 
   /// Posts an asynchronous send. Self-sends are delivered after the current
-  /// handler with no network cost (local hand-off).
+  /// handler with no network cost (local hand-off). `env` is an opaque
+  /// protocol envelope delivered unchanged in Message::env.
   void send(int dst, std::int64_t tag, Count bytes, int comm_class,
-            std::shared_ptr<const DenseMatrix> data = nullptr);
+            std::shared_ptr<const DenseMatrix> data = nullptr,
+            std::int64_t env = 0);
+
+  /// Schedules Rank::on_timer(tag) on this rank `delay` seconds from now,
+  /// through the same deterministic event queue. Timers pay no NIC or
+  /// message overhead. Returns an id usable with cancel_timer().
+  std::uint64_t set_timer(SimTime delay, std::int64_t tag);
+  /// Cancels a pending timer. A cancelled timer is discarded without
+  /// running a handler and does not extend the makespan. `id` must refer to
+  /// a timer that has not fired yet (cancelling an already-fired timer
+  /// leaks a bookkeeping entry for the rest of the run).
+  void cancel_timer(std::uint64_t id);
 
  private:
   friend class Engine;
@@ -120,6 +141,9 @@ class Rank {
   virtual void on_start(Context& ctx) = 0;
   /// Invoked for each delivered message.
   virtual void on_message(Context& ctx, const Message& msg) = 0;
+  /// Invoked when a timer set via Context::set_timer fires. The default
+  /// fails loudly: a program that sets timers must override this.
+  virtual void on_timer(Context& ctx, std::int64_t tag);
 };
 
 class Engine {
@@ -144,6 +168,18 @@ class Engine {
   /// instrumentation: the event loop then pays only one predictable branch
   /// per send/dispatch.
   void set_sink(obs::Sink* sink);
+
+  /// Attaches a fault injector consulted once per posted network message
+  /// (self-sends and timers are never faulted). Call before run(); the
+  /// injector must outlive it. Injected faults are emitted to the sink as
+  /// marks ("fault-drop", "fault-dup", "fault-delay") on the sender rank.
+  void set_fault_injector(FaultInjector* injector);
+
+  /// Attaches a dynamic machine perturbation: compute() durations are
+  /// multiplied by its compute_factor and NIC occupancies by its
+  /// link_factor, each looked up at the current simulated time. Call before
+  /// run(); the perturbation must outlive it.
+  void set_perturbation(const Perturbation* perturbation);
 
   /// Runs to completion (event queue drained). Returns the makespan: the
   /// time the last handler finished.
@@ -170,6 +206,7 @@ class Engine {
   /// trace-mode event never constructs, copies, or destroys a shared_ptr.
   struct EventSlot {
     std::int64_t tag;
+    std::int64_t env;
     Count bytes;
     int src;
     int dst;
@@ -178,16 +215,25 @@ class Engine {
   };
   static constexpr std::int32_t kNoPayload = -1;
 
-  /// 16-byte heap entry. `key` packs the global sequence number (high 40
-  /// bits) over the arena slot (low 24 bits): comparing keys compares seqs,
-  /// giving the deterministic FIFO tie-break, and the popped key still
-  /// recovers the slot.
+  /// 16-byte heap entry. `key` packs the global sequence number (high
+  /// 64 - kSlotBits bits) over the arena slot (low kSlotBits bits):
+  /// comparing keys compares seqs, giving the deterministic FIFO tie-break,
+  /// and the popped key still recovers the slot. kSlotBits caps *live*
+  /// events (default 2^24 = 16.7M); exceeding it fails loudly in enqueue()
+  /// rather than silently corrupting the packed key. The compile-time knob
+  /// exists so the exhaustion path can be regression-tested cheaply.
   struct Handle {
     SimTime time;
     std::uint64_t key;
   };
-  static constexpr int kSlotBits = 24;
-  static constexpr std::uint64_t kSlotMask = (1u << kSlotBits) - 1;
+#ifndef PSI_SIM_SLOT_BITS
+#define PSI_SIM_SLOT_BITS 24
+#endif
+  static constexpr int kSlotBits = PSI_SIM_SLOT_BITS;
+  static_assert(kSlotBits >= 4 && kSlotBits <= 32,
+                "PSI_SIM_SLOT_BITS out of range");
+  static constexpr std::uint64_t kSlotMask =
+      (std::uint64_t{1} << kSlotBits) - 1;
 
   static bool earlier(const Handle& a, const Handle& b) {
     if (a.time != b.time) return a.time < b.time;
@@ -202,9 +248,26 @@ class Engine {
   };
 
   void post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
-                 int comm_class, std::shared_ptr<const DenseMatrix> data);
+                 int comm_class, std::shared_ptr<const DenseMatrix> data,
+                 std::int64_t env);
+  std::uint64_t post_timer(Context& ctx, SimTime delay, std::int64_t tag);
   /// Returns the queued event's global sequence number.
   std::uint64_t enqueue(SimTime time, const EventSlot& slot);
+  /// Registers a numeric payload in the pool; kNoPayload for null.
+  std::int32_t register_payload(std::shared_ptr<const DenseMatrix> data);
+  double compute_factor(int rank, SimTime t) const {
+    return perturbation_ != nullptr ? perturbation_->compute_factor(rank, t)
+                                    : 1.0;
+  }
+  /// NIC occupancy of a transfer, including any link degradation in effect
+  /// at time `t`.
+  SimTime transfer_occupancy(int src, int dst, Count bytes, SimTime t) const {
+    SimTime occupancy = machine_->occupancy(src, dst, bytes);
+    if (perturbation_ != nullptr)
+      occupancy *= perturbation_->link_factor(machine_->node_of(src),
+                                              machine_->node_of(dst), t);
+    return occupancy;
+  }
   void dispatch(SimTime time, std::uint64_t seq, const EventSlot& slot,
                 std::shared_ptr<const DenseMatrix> payload);
 
@@ -232,6 +295,11 @@ class Engine {
 
   std::uint64_t next_seq_ = 0;
   obs::Sink* sink_ = nullptr;
+  FaultInjector* injector_ = nullptr;
+  const Perturbation* perturbation_ = nullptr;
+  /// Seqs of cancelled-but-not-yet-popped timers; entries are erased when
+  /// the timer's event is popped and discarded.
+  std::unordered_set<std::uint64_t> cancelled_timers_;
   /// Sequence of the event whose handler is currently dispatching (the
   /// causal emitter of any sends it posts); ~0 outside dispatch.
   std::uint64_t dispatching_seq_ = ~std::uint64_t{0};

@@ -1,0 +1,44 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace psi::sim {
+
+void Perturbation::add_compute_slowdown(int rank, SimTime begin, SimTime end,
+                                        double factor) {
+  PSI_CHECK_MSG(rank >= 0, "perturbation: invalid rank " << rank);
+  PSI_CHECK_MSG(begin <= end, "perturbation: window begins after it ends");
+  PSI_CHECK_MSG(factor >= 1.0, "perturbation: factor " << factor << " < 1");
+  compute_[rank].push_back(Window{begin, end, factor});
+}
+
+void Perturbation::add_link_degradation(int node_a, int node_b, SimTime begin,
+                                        SimTime end, double factor) {
+  PSI_CHECK_MSG(node_a >= 0 && node_b >= 0, "perturbation: invalid node pair");
+  PSI_CHECK_MSG(begin <= end, "perturbation: window begins after it ends");
+  PSI_CHECK_MSG(factor >= 1.0, "perturbation: factor " << factor << " < 1");
+  const auto key = std::minmax(node_a, node_b);
+  links_[key].push_back(Window{begin, end, factor});
+}
+
+double Perturbation::lookup(const std::vector<Window>& windows, SimTime t) {
+  double factor = 1.0;
+  for (const Window& w : windows)
+    if (t >= w.begin && t < w.end) factor *= w.factor;
+  return factor;
+}
+
+double Perturbation::compute_factor(int rank, SimTime t) const {
+  const auto it = compute_.find(rank);
+  return it == compute_.end() ? 1.0 : lookup(it->second, t);
+}
+
+double Perturbation::link_factor(int node_a, int node_b, SimTime t) const {
+  if (links_.empty()) return 1.0;
+  const auto it = links_.find(std::minmax(node_a, node_b));
+  return it == links_.end() ? 1.0 : lookup(it->second, t);
+}
+
+}  // namespace psi::sim

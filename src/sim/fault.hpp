@@ -1,0 +1,88 @@
+/// \file fault.hpp
+/// \brief Engine-side fault hooks: message fault injection and dynamic
+/// machine-state perturbation.
+///
+/// The engine stays deterministic under faults: the injector is consulted
+/// exactly once per posted network message, in the engine's (deterministic)
+/// send order, so a seeded injector reproduces the same decision sequence
+/// every run. Perturbation is a pure function of (rank/node pair, simulated
+/// time), looked up on the compute and transfer paths.
+///
+/// Semantics:
+///  * drop      — the sender pays full cost (overhead, NIC occupancy) but the
+///                message is lost on the wire and never delivered;
+///  * duplicates — N extra copies are delivered after the original, each
+///                offset by `duplicate_delay`; the sender's NIC is charged
+///                once (the network duplicated the packet), the receiver's
+///                NIC is charged per copy;
+///  * delay     — extra wire time added to every delivered copy.
+///
+/// Self-sends (local hand-offs) and timer events are never faulted.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sparse/types.hpp"
+
+namespace psi::sim {
+
+/// What the injector decided for one posted message.
+struct FaultDecision {
+  bool drop = false;         ///< lose the original copy on the wire
+  int duplicates = 0;        ///< extra copies delivered after the original
+  SimTime delay = 0.0;       ///< extra wire delay on every delivered copy
+  SimTime duplicate_delay = 0.0;  ///< spacing between successive copies
+
+  bool any() const { return drop || duplicates > 0 || delay > 0.0; }
+};
+
+/// Consulted by the engine for every posted network message (self-sends and
+/// timers excluded). Implementations must be deterministic functions of
+/// their own seeded state plus the arguments; the engine calls in a fixed
+/// order, so determinism of the injector implies determinism of the run.
+class FaultInjector {
+ public:
+  virtual ~FaultInjector() = default;
+  virtual FaultDecision on_send(int src, int dst, std::int64_t tag,
+                                Count bytes, int comm_class, SimTime post) = 0;
+};
+
+/// Dynamic machine-state perturbation: per-rank compute slowdown windows and
+/// per-node-pair bandwidth degradation windows. Factors are multiplicative
+/// (overlapping windows compound) and >= 1; outside every window the factor
+/// is exactly 1, so an empty Perturbation is a no-op.
+class Perturbation {
+ public:
+  /// Compute on `rank` during [begin, end) takes `factor`x as long.
+  void add_compute_slowdown(int rank, SimTime begin, SimTime end,
+                            double factor);
+  /// Transfers between `node_a` and `node_b` (unordered) during [begin, end)
+  /// occupy the NICs `factor`x as long (bandwidth collapses by 1/factor).
+  void add_link_degradation(int node_a, int node_b, SimTime begin, SimTime end,
+                            double factor);
+
+  /// Multiplier applied to compute() durations on `rank` at time `t`.
+  double compute_factor(int rank, SimTime t) const;
+  /// Multiplier applied to the NIC occupancy of a transfer between the two
+  /// nodes at time `t`.
+  double link_factor(int node_a, int node_b, SimTime t) const;
+
+  bool empty() const { return compute_.empty() && links_.empty(); }
+
+ private:
+  struct Window {
+    SimTime begin;
+    SimTime end;
+    double factor;
+  };
+  static double lookup(const std::vector<Window>& windows, SimTime t);
+
+  std::map<int, std::vector<Window>> compute_;
+  std::map<std::pair<int, int>, std::vector<Window>> links_;
+};
+
+}  // namespace psi::sim

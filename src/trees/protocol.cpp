@@ -1,5 +1,7 @@
 #include "trees/protocol.hpp"
 
+#include <algorithm>
+
 #include "common/check.hpp"
 
 namespace psi::trees {
@@ -11,21 +13,100 @@ void bcast_forward(sim::Context& ctx, const CommTree& tree, std::int64_t tag,
     ctx.send(child, tag, bytes, comm_class, payload);
 }
 
-bool ReduceState::absorb(std::shared_ptr<DenseMatrix> value) {
-  PSI_CHECK_MSG(pending_ > 0, "reduction already complete");
+ReduceState::ReduceState(int child_count)
+    : pending_(child_count + 1), child_count_(child_count) {
+  PSI_CHECK_MSG(child_count >= 0, "negative reduction child count");
+}
+
+ReduceState::ReduceState(std::span<const int> child_ranks)
+    : canonical_(true),
+      pending_(static_cast<int>(child_ranks.size()) + 1),
+      child_count_(static_cast<int>(child_ranks.size())),
+      child_ranks_(child_ranks.begin(), child_ranks.end()),
+      child_values_(child_ranks.size()),
+      child_present_(child_ranks.size(), false) {}
+
+void ReduceState::note_arrival() {
+  PSI_CHECK_MSG(pending_ > 0, "contribution to an already-complete reduction");
   started_ = true;
   --pending_;
-  if (value) {
+}
+
+void ReduceState::add_into_acc(const DenseMatrix& value) {
+  if (!acc_) {
+    acc_ = std::make_shared<DenseMatrix>(value);
+    return;
+  }
+  PSI_CHECK_MSG(
+      acc_->rows() == value.rows() && acc_->cols() == value.cols(),
+      "reduction contribution shape mismatch: " << acc_->rows() << "x"
+                                                << acc_->cols() << " vs "
+                                                << value.rows() << "x"
+                                                << value.cols());
+  for (Int c = 0; c < acc_->cols(); ++c)
+    for (Int r = 0; r < acc_->rows(); ++r) (*acc_)(r, c) += value(r, c);
+}
+
+bool ReduceState::add_local(std::shared_ptr<DenseMatrix> value) {
+  PSI_CHECK_MSG(!local_added_, "add_local called twice on one reduction");
+  note_arrival();
+  local_added_ = true;
+  if (canonical_) {
+    local_value_ = std::move(value);
+  } else if (value) {
     if (!acc_) {
       acc_ = std::move(value);
     } else {
-      PSI_CHECK(acc_->rows() == value->rows() && acc_->cols() == value->cols());
-      for (Int c = 0; c < acc_->cols(); ++c)
-        for (Int r = 0; r < acc_->rows(); ++r)
-          (*acc_)(r, c) += (*value)(r, c);
+      add_into_acc(*value);
     }
   }
   return pending_ == 0;
+}
+
+bool ReduceState::add_child(const std::shared_ptr<const DenseMatrix>& value) {
+  PSI_CHECK_MSG(!canonical_,
+                "canonical-mode ReduceState requires add_child_from");
+  PSI_CHECK_MSG(children_seen_ < child_count_,
+                "reduction received more child contributions ("
+                    << children_seen_ + 1 << ") than tree children ("
+                    << child_count_ << ")");
+  note_arrival();
+  ++children_seen_;
+  if (value) add_into_acc(*value);
+  return pending_ == 0;
+}
+
+bool ReduceState::add_child_from(int src,
+                                 std::shared_ptr<const DenseMatrix> value) {
+  if (!canonical_) return add_child(value);
+  const auto it = std::find(child_ranks_.begin(), child_ranks_.end(), src);
+  PSI_CHECK_MSG(it != child_ranks_.end(),
+                "reduction contribution from rank " << src
+                                                    << ", not a tree child");
+  const auto slot = static_cast<std::size_t>(it - child_ranks_.begin());
+  PSI_CHECK_MSG(!child_present_[slot],
+                "duplicate reduction contribution from child rank " << src);
+  note_arrival();
+  ++children_seen_;
+  child_present_[slot] = true;
+  child_values_[slot] = std::move(value);
+  return pending_ == 0;
+}
+
+std::shared_ptr<DenseMatrix> ReduceState::accumulated() {
+  if (canonical_ && !folded_) {
+    PSI_CHECK_MSG(ready(), "canonical reduction folded before completion");
+    folded_ = true;
+    // Fold in the fixed order (local, then children in tree order) so the
+    // floating-point sum is independent of arrival order.
+    if (local_value_) add_into_acc(*local_value_);
+    local_value_.reset();
+    for (auto& value : child_values_) {
+      if (value) add_into_acc(*value);
+      value.reset();
+    }
+  }
+  return acc_;
 }
 
 }  // namespace psi::trees

@@ -8,6 +8,8 @@
 #pragma once
 
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "sim/engine.hpp"
 #include "trees/comm_tree.hpp"
@@ -25,39 +27,68 @@ void bcast_forward(sim::Context& ctx, const CommTree& tree, std::int64_t tag,
 ///
 /// A rank's contribution tree-sums toward the root:
 ///  * add_local() publishes this rank's own contribution;
-///  * add_child() accepts a message from one child;
+///  * add_child() / add_child_from() accepts a message from one child;
 ///  * once all children plus the local contribution have arrived, ready()
 ///    turns true; a non-root rank then sends accumulated() to parent_of().
 /// In trace mode contributions carry no matrix; only arrival counting and
 /// byte accounting happen.
+///
+/// Two modes:
+///  * counting (legacy): constructed from a child count; contributions are
+///    summed immediately in arrival order (cheapest, and bit-for-bit the
+///    historical behavior).
+///  * canonical: constructed from the child rank list; contributions are
+///    parked per-child and folded in the fixed (local, then tree-child
+///    order) sequence when complete. The sum is then bitwise independent of
+///    arrival order — required for the resilient protocol's guarantee that
+///    faults never change numeric results.
+/// Both modes reject misuse loudly: a second add_local, a contribution from
+/// an unknown or already-seen child, and any contribution after completion
+/// all throw instead of corrupting the pending count.
 class ReduceState {
  public:
   ReduceState() = default;
-  /// `child_count` from the tree; every participant contributes locally too.
-  explicit ReduceState(int child_count) : pending_(child_count + 1) {}
+  /// Counting mode. `child_count` from the tree; every participant
+  /// contributes locally too.
+  explicit ReduceState(int child_count);
+  /// Canonical mode. `child_ranks` is this rank's child list in tree order
+  /// (the fold order, fixed at construction).
+  explicit ReduceState(std::span<const int> child_ranks);
 
   /// Adds this rank's own contribution (numeric: a dense accumulator that is
   /// consumed). Returns true when the reduction just completed locally.
-  bool add_local(std::shared_ptr<DenseMatrix> value = nullptr) {
-    return absorb(std::move(value));
-  }
-  /// Adds a child's message payload. Returns true when complete.
-  bool add_child(const std::shared_ptr<const DenseMatrix>& value) {
-    std::shared_ptr<DenseMatrix> copy;
-    if (value) copy = std::make_shared<DenseMatrix>(*value);
-    return absorb(std::move(copy));
-  }
+  bool add_local(std::shared_ptr<DenseMatrix> value = nullptr);
+  /// Adds a child's message payload (counting mode only — the canonical
+  /// mode needs to know which child). Returns true when complete.
+  bool add_child(const std::shared_ptr<const DenseMatrix>& value);
+  /// Adds the payload of the child `src`. In canonical mode the value is
+  /// parked in src's slot; in counting mode this is add_child(). Returns
+  /// true when complete.
+  bool add_child_from(int src, std::shared_ptr<const DenseMatrix> value);
 
   bool ready() const { return started_ && pending_ == 0; }
-  /// The summed contribution (may be null in trace mode).
-  std::shared_ptr<DenseMatrix> accumulated() { return acc_; }
+  /// The summed contribution (may be null in trace mode). In canonical mode
+  /// the fold happens on first call and requires ready().
+  std::shared_ptr<DenseMatrix> accumulated();
 
  private:
-  bool absorb(std::shared_ptr<DenseMatrix> value);
+  void note_arrival();
+  void add_into_acc(const DenseMatrix& value);
 
+  bool canonical_ = false;
   int pending_ = 0;
   bool started_ = false;
+  bool local_added_ = false;
+  int child_count_ = 0;
+  int children_seen_ = 0;
   std::shared_ptr<DenseMatrix> acc_;
+
+  // Canonical mode: parked contributions, folded on demand.
+  std::vector<int> child_ranks_;
+  std::vector<std::shared_ptr<const DenseMatrix>> child_values_;
+  std::vector<bool> child_present_;
+  std::shared_ptr<DenseMatrix> local_value_;
+  bool folded_ = false;
 };
 
 }  // namespace psi::trees

@@ -1,0 +1,124 @@
+#include "trees/resilient.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace psi::trees {
+
+void ResilientChannel::send(sim::Context& ctx, int dst, std::int64_t tag,
+                            Count bytes, int comm_class,
+                            std::shared_ptr<const DenseMatrix> data,
+                            bool idempotent, const CommTree* tree) {
+  if (!config_.enabled || dst == self_) {
+    // Disabled, or a local hand-off (which the engine delivers losslessly):
+    // no envelope, no tracking.
+    ctx.send(dst, tag, bytes, comm_class, std::move(data));
+    return;
+  }
+  const std::int64_t seq = next_seq_++;
+  Pending entry;
+  entry.dst = dst;
+  entry.tag = tag;
+  entry.bytes = bytes;
+  entry.comm_class = comm_class;
+  entry.data = std::move(data);
+  entry.idempotent = idempotent;
+  entry.tree = tree;
+  entry.backoff = config_.retry_base +
+                  static_cast<double>(bytes) * config_.retry_per_byte;
+  count(&ChannelStats::tracked_sends);
+  transmit(ctx, seq, entry);
+  inflight_.emplace(seq, std::move(entry));
+}
+
+void ResilientChannel::transmit(sim::Context& ctx, std::int64_t seq,
+                                Pending& entry) {
+  const std::int64_t kind = entry.idempotent ? kEnvIdem : kEnvData;
+  ctx.send(entry.dst, entry.tag, entry.bytes, entry.comm_class, entry.data,
+           make_env(kind, seq));
+  entry.timer_id = ctx.set_timer(entry.backoff, seq);
+  entry.backoff = std::min(entry.backoff * config_.retry_backoff,
+                           std::max(config_.retry_cap, entry.backoff));
+}
+
+void ResilientChannel::bcast_forward(
+    sim::Context& ctx, const CommTree& tree, std::int64_t tag, Count bytes,
+    int comm_class, const std::shared_ptr<const DenseMatrix>& payload) {
+  if (!config_.enabled) {
+    for (int child : tree.children_of(self_))
+      ctx.send(child, tag, bytes, comm_class, payload);
+    return;
+  }
+  for (int child : tree.children_of(self_))
+    send(ctx, child, tag, bytes, comm_class, payload, /*idempotent=*/true,
+         &tree);
+}
+
+bool ResilientChannel::on_message(sim::Context& ctx, const sim::Message& msg) {
+  if (!config_.enabled || msg.env == 0) return true;
+  const std::int64_t kind = env_kind(msg.env);
+  const std::int64_t seq = env_seq(msg.env);
+  if (kind == kEnvAck) {
+    const auto it = inflight_.find(seq);
+    if (it == inflight_.end()) {
+      // Ack for an entry already released (duplicate delivery, or a retry
+      // that crossed the first ack on the wire).
+      count(&ChannelStats::stale_acks);
+    } else {
+      ctx.cancel_timer(it->second.timer_id);
+      inflight_.erase(it);
+    }
+    return false;
+  }
+  PSI_CHECK_MSG(kind == kEnvData || kind == kEnvIdem,
+                "resilient channel: unknown envelope kind " << kind);
+  // Ack every copy (even duplicates): the sender may be retrying because a
+  // previous ack was lost.
+  ctx.send(msg.src, msg.tag, config_.ack_bytes, config_.ack_comm_class,
+           nullptr, make_env(kEnvAck, seq));
+  count(&ChannelStats::acks_sent);
+  bool fresh;
+  if (kind == kEnvIdem) {
+    fresh = seen_tags_.insert(msg.tag).second;
+  } else {
+    // (src, seq) key: seq is per-sender, src < 2^24 in any realistic grid.
+    PSI_CHECK(seq < (std::int64_t{1} << 40) && msg.src < (1 << 24));
+    const std::uint64_t key = (static_cast<std::uint64_t>(msg.src) << 40) |
+                              static_cast<std::uint64_t>(seq);
+    fresh = seen_src_seq_.insert(key).second;
+  }
+  if (!fresh) count(&ChannelStats::duplicates_suppressed);
+  return fresh;
+}
+
+bool ResilientChannel::on_timer(sim::Context& ctx, std::int64_t tag) {
+  if (!config_.enabled) return false;
+  const auto it = inflight_.find(tag);
+  if (it == inflight_.end()) return false;  // a program timer, not ours
+  const std::int64_t seq = it->first;
+  it->second.attempts += 1;
+  count(&ChannelStats::retries);
+  const bool reroute = config_.reroute && it->second.tree != nullptr &&
+                       !it->second.rerouted &&
+                       it->second.attempts >= config_.stall_retries &&
+                       it->second.tree->participates(it->second.dst);
+  if (reroute) {
+    // Graceful degradation: the forwarding child looks stalled. Re-parent
+    // its subtree to this rank by sending the payload directly to its
+    // children. The child itself keeps being retried — if it was merely
+    // slow, the extra copies are suppressed as duplicates downstream.
+    it->second.rerouted = true;
+    count(&ChannelStats::reroutes);
+    // Copy out what the recursive send()s need: they insert into inflight_
+    // and may rehash it, invalidating `it`.
+    const Pending entry = it->second;
+    for (const int grandchild : entry.tree->children_of(entry.dst))
+      send(ctx, grandchild, entry.tag, entry.bytes, entry.comm_class,
+           entry.data, /*idempotent=*/true, entry.tree);
+  }
+  transmit(ctx, seq, inflight_.at(seq));
+  return true;
+}
+
+}  // namespace psi::trees

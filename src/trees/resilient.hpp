@@ -1,0 +1,177 @@
+/// \file resilient.hpp
+/// \brief Reliable-delivery layer for the asynchronous tree collectives:
+/// acks, timer-driven retransmission, duplicate suppression, and graceful
+/// tree degradation around stalled forwarders.
+///
+/// The paper's protocol (§III) assumes a lossless, uniformly-fast network.
+/// ResilientChannel wraps Context::send with an end-to-end protocol that
+/// survives the failures real interconnects exhibit — dropped and
+/// duplicated messages, stragglers, collapsed links — without changing the
+/// application-visible message sequence:
+///
+///  * every tracked send carries an envelope (kind | per-sender seq) in
+///    Message::env; the receiver acks each copy it sees;
+///  * the sender keeps the payload in an in-flight table and arms a retry
+///    timer (bounded exponential backoff, base scaled by message size);
+///    an ack cancels the timer and releases the entry;
+///  * the receiver suppresses duplicates — broadcast-style payloads
+///    (idempotent: any copy is as good as another) dedup by tag, so a copy
+///    arriving via a re-routed path is also recognized; accumulating
+///    reduction contributions dedup by (src, seq), which retransmissions
+///    preserve;
+///  * graceful degradation: when a tree-forwarding child has not acked
+///    after `stall_retries` retransmissions, the sender re-parents the
+///    child's subtree to itself — it sends the payload directly to the
+///    stalled child's children (its grandchildren), trading extra volume
+///    for progress. The stalled child keeps being retried too: if it was
+///    merely slow, the late copies are suppressed as duplicates.
+///
+/// Determinism: the channel adds no randomness. Under a deterministic
+/// injector the whole faulty run — including every retry and re-route — is
+/// a deterministic function of the seeds.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "sim/engine.hpp"
+#include "trees/comm_tree.hpp"
+
+namespace psi::trees {
+
+struct ResilienceConfig {
+  bool enabled = false;
+  /// Wire size of an ack message.
+  Count ack_bytes = 32;
+  /// Accounting class used for acks (give it a dedicated class so protocol
+  /// overhead is visible in the per-class traffic counters).
+  int ack_comm_class = 0;
+  /// First retry deadline: retry_base + bytes * retry_per_byte, doubled
+  /// (retry_backoff) per unacked retry up to retry_cap.
+  sim::SimTime retry_base = 200e-6;
+  double retry_per_byte = 2e-9;
+  sim::SimTime retry_cap = 20e-3;
+  double retry_backoff = 2.0;
+  /// Unacked retransmissions before a tree-forwarding destination is
+  /// declared stalled and its subtree re-parented.
+  int stall_retries = 3;
+  /// Master switch for the re-parenting degradation.
+  bool reroute = true;
+};
+
+struct ChannelStats {
+  Count tracked_sends = 0;         ///< first transmissions under the protocol
+  Count retries = 0;               ///< timer-driven retransmissions
+  Count acks_sent = 0;
+  Count stale_acks = 0;            ///< acks for already-released entries
+  Count duplicates_suppressed = 0; ///< data copies dropped by the receiver
+  Count reroutes = 0;              ///< stalled subtrees re-parented
+
+  void merge(const ChannelStats& other) {
+    tracked_sends += other.tracked_sends;
+    retries += other.retries;
+    acks_sent += other.acks_sent;
+    stale_acks += other.stale_acks;
+    duplicates_suppressed += other.duplicates_suppressed;
+    reroutes += other.reroutes;
+  }
+};
+
+/// Per-rank reliable-delivery endpoint. Embed one in a rank program, route
+/// every network send through send()/bcast_forward(), gate on_message with
+/// on_message() and on_timer with on_timer(). When `enabled` is false every
+/// call degrades to the plain engine primitive with zero overhead.
+class ResilientChannel {
+ public:
+  /// `stats` (optional) is an external aggregate additionally updated in
+  /// place, so a driver can sum protocol activity across ranks.
+  void configure(const ResilienceConfig& config, int self,
+                 ChannelStats* stats = nullptr) {
+    config_ = config;
+    self_ = self;
+    shared_stats_ = stats;
+  }
+  bool enabled() const { return config_.enabled; }
+
+  /// Reliable point-to-point send. `idempotent` selects the receiver's
+  /// dedup key: true — by tag (broadcast payloads; re-routed copies of the
+  /// same logical payload are recognized); false — by (src, seq)
+  /// (accumulating reduction contributions, where equal tags from distinct
+  /// children are distinct contributions). `tree` (optional) enables
+  /// subtree re-parenting around `dst` when it stalls: `dst` must be this
+  /// rank's child in it.
+  void send(sim::Context& ctx, int dst, std::int64_t tag, Count bytes,
+            int comm_class, std::shared_ptr<const DenseMatrix> data,
+            bool idempotent, const CommTree* tree = nullptr);
+
+  /// Reliable trees::bcast_forward: forwards the payload to this rank's
+  /// children in `tree`, tracked and idempotent, with re-parenting armed.
+  void bcast_forward(sim::Context& ctx, const CommTree& tree, std::int64_t tag,
+                     Count bytes, int comm_class,
+                     const std::shared_ptr<const DenseMatrix>& payload);
+
+  /// Gate for Rank::on_message. Returns true when `msg` is fresh
+  /// application data the program should process; false when the protocol
+  /// consumed it (an ack) or suppressed it (a duplicate). Acks every data
+  /// copy before dedup, so retransmissions stop even for duplicates.
+  bool on_message(sim::Context& ctx, const sim::Message& msg);
+
+  /// Gate for Rank::on_timer. Returns true when the timer was a retry
+  /// deadline owned by the channel (handled); false when it belongs to the
+  /// program.
+  bool on_timer(sim::Context& ctx, std::int64_t tag);
+
+  const ChannelStats& stats() const { return stats_; }
+  /// Tracked sends still awaiting an ack (0 after a completed run).
+  std::size_t inflight() const { return inflight_.size(); }
+
+ private:
+  // Envelope: top 8 bits = kind, low 56 bits = per-sender seq (for an ack,
+  // the seq being acked). env == 0 marks an untracked plain message.
+  static constexpr std::int64_t kEnvData = 1;  ///< dedup by (src, seq)
+  static constexpr std::int64_t kEnvIdem = 2;  ///< dedup by tag
+  static constexpr std::int64_t kEnvAck = 3;
+  static constexpr int kEnvKindShift = 56;
+  static std::int64_t make_env(std::int64_t kind, std::int64_t seq) {
+    return (kind << kEnvKindShift) | seq;
+  }
+  static std::int64_t env_kind(std::int64_t env) {
+    return env >> kEnvKindShift;
+  }
+  static std::int64_t env_seq(std::int64_t env) {
+    return env & ((std::int64_t{1} << kEnvKindShift) - 1);
+  }
+
+  struct Pending {
+    int dst = -1;
+    std::int64_t tag = 0;
+    Count bytes = 0;
+    int comm_class = 0;
+    std::shared_ptr<const DenseMatrix> data;
+    bool idempotent = false;
+    const CommTree* tree = nullptr;  ///< for re-parenting; may be null
+    sim::SimTime backoff = 0.0;      ///< current retry interval
+    int attempts = 0;                ///< unacked retransmissions so far
+    std::uint64_t timer_id = 0;
+    bool rerouted = false;
+  };
+
+  void transmit(sim::Context& ctx, std::int64_t seq, Pending& entry);
+  void count(Count ChannelStats::*field) {
+    stats_.*field += 1;
+    if (shared_stats_ != nullptr) shared_stats_->*field += 1;
+  }
+
+  ResilienceConfig config_;
+  int self_ = -1;
+  ChannelStats stats_;
+  ChannelStats* shared_stats_ = nullptr;
+  std::int64_t next_seq_ = 0;
+  std::unordered_map<std::int64_t, Pending> inflight_;
+  std::unordered_set<std::int64_t> seen_tags_;      ///< idempotent dedup
+  std::unordered_set<std::uint64_t> seen_src_seq_;  ///< contribution dedup
+};
+
+}  // namespace psi::trees

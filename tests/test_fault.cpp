@@ -1,0 +1,299 @@
+/// Unit tests for the fault-injection stack: FaultPlan builders and env
+/// parsing, the deterministic injector's per-message draws, dynamic machine
+/// perturbation (stragglers, degraded links), and the engine-level effects
+/// of injected drops / duplicates / delays — including their obs marks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/check.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "obs/recorder.hpp"
+#include "sim/engine.hpp"
+
+namespace psi::fault {
+namespace {
+
+sim::MachineConfig test_config() {
+  sim::MachineConfig config;
+  config.cores_per_node = 4;
+  config.nodes_per_group = 2;
+  config.flop_rate = 1e9;
+  config.msg_overhead = 1e-6;
+  return config;
+}
+
+// ----- plan builders ---------------------------------------------------------
+
+TEST(FaultPlan, RejectsInvalidInputs) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.add_straggler(Straggler{0, 0.5}), Error);  // speedup
+  EXPECT_THROW(plan.add_straggler(Straggler{-1, 2.0}), Error);
+  EXPECT_THROW(plan.add_degraded_link(DegradedLink{0, 1, 0.9}), Error);
+  MessageFaultRule always_drop;
+  always_drop.drop_prob = 1.0;  // would retry forever
+  EXPECT_THROW(plan.add_rule(always_drop), Error);
+  MessageFaultRule negative_delay;
+  negative_delay.delay_prob = 0.5;
+  negative_delay.delay = -1.0;
+  EXPECT_THROW(plan.add_rule(negative_delay), Error);
+}
+
+TEST(FaultPlan, RandomSelectionIsSeedDeterministic) {
+  const auto ranks_of = [](const FaultPlan& plan) {
+    std::vector<int> ranks;
+    for (const Straggler& s : plan.stragglers()) ranks.push_back(s.rank);
+    return ranks;
+  };
+  FaultPlan a(42), b(42), c(43);
+  a.add_random_stragglers(4, 64, 8.0);
+  b.add_random_stragglers(4, 64, 8.0);
+  c.add_random_stragglers(4, 64, 8.0);
+  EXPECT_EQ(ranks_of(a), ranks_of(b));
+  EXPECT_NE(ranks_of(a), ranks_of(c));
+  // Distinct ranks.
+  std::vector<int> ranks = ranks_of(a);
+  std::sort(ranks.begin(), ranks.end());
+  EXPECT_EQ(std::unique(ranks.begin(), ranks.end()), ranks.end());
+
+  FaultPlan links(7);
+  links.add_random_degraded_links(3, 8, 4.0);
+  ASSERT_EQ(links.degraded_links().size(), 3u);
+  for (const DegradedLink& l : links.degraded_links()) {
+    EXPECT_NE(l.node_a, l.node_b);
+    EXPECT_LT(l.node_a, 8);
+  }
+}
+
+TEST(FaultPlan, FromEnvReadsKnobs) {
+  setenv("PSI_FAULT_SEED", "99", 1);
+  setenv("PSI_FAULT_STRAGGLERS", "2", 1);
+  setenv("PSI_FAULT_SLOWDOWN", "16", 1);
+  setenv("PSI_FAULT_DROP", "0.05", 1);
+  setenv("PSI_FAULT_DUP", "0.01", 1);
+  const FaultPlan plan = FaultPlan::from_env(/*rank_count=*/16);
+  unsetenv("PSI_FAULT_SEED");
+  unsetenv("PSI_FAULT_STRAGGLERS");
+  unsetenv("PSI_FAULT_SLOWDOWN");
+  unsetenv("PSI_FAULT_DROP");
+  unsetenv("PSI_FAULT_DUP");
+
+  EXPECT_EQ(plan.seed(), 99u);
+  ASSERT_EQ(plan.stragglers().size(), 2u);
+  EXPECT_EQ(plan.stragglers()[0].slowdown, 16.0);
+  ASSERT_EQ(plan.rules().size(), 1u);
+  EXPECT_EQ(plan.rules()[0].drop_prob, 0.05);
+  EXPECT_EQ(plan.rules()[0].dup_prob, 0.01);
+
+  // No knobs: an empty plan.
+  const FaultPlan none = FaultPlan::from_env(16);
+  EXPECT_TRUE(none.stragglers().empty());
+  EXPECT_TRUE(none.rules().empty());
+}
+
+// ----- perturbation ----------------------------------------------------------
+
+TEST(Perturbation, WindowedFactorsCompose) {
+  sim::Perturbation p;
+  p.add_compute_slowdown(3, 1.0, 2.0, 4.0);
+  p.add_compute_slowdown(3, 1.5, 3.0, 2.0);  // overlaps: factors multiply
+  EXPECT_EQ(p.compute_factor(3, 0.5), 1.0);
+  EXPECT_EQ(p.compute_factor(3, 1.25), 4.0);
+  EXPECT_EQ(p.compute_factor(3, 1.75), 8.0);
+  EXPECT_EQ(p.compute_factor(3, 2.5), 2.0);
+  EXPECT_EQ(p.compute_factor(3, 3.5), 1.0);
+  EXPECT_EQ(p.compute_factor(4, 1.25), 1.0);  // other ranks untouched
+
+  p.add_link_degradation(0, 2, 0.0, 5.0, 3.0);
+  EXPECT_EQ(p.link_factor(0, 2, 1.0), 3.0);
+  EXPECT_EQ(p.link_factor(2, 0, 1.0), 3.0);  // symmetric
+  EXPECT_EQ(p.link_factor(0, 1, 1.0), 1.0);
+  EXPECT_EQ(p.link_factor(0, 2, 6.0), 1.0);
+
+  EXPECT_THROW(p.add_compute_slowdown(0, 2.0, 1.0, 2.0), Error);  // end<begin
+  EXPECT_THROW(p.add_link_degradation(0, 1, 0.0, 1.0, 0.5), Error);
+}
+
+TEST(Perturbation, StragglerInflatesEngineCompute) {
+  class Worker : public sim::Rank {
+   public:
+    void on_start(sim::Context& ctx) override { ctx.compute_flops(4'000'000); }
+    void on_message(sim::Context&, const sim::Message&) override {}
+  };
+  const auto run = [](const sim::Perturbation* p) {
+    const sim::Machine m(test_config());
+    sim::Engine engine(m, 1, 1);
+    if (p != nullptr) engine.set_perturbation(p);
+    engine.set_rank(0, std::make_unique<Worker>());
+    return engine.run();
+  };
+  sim::Perturbation slow;
+  slow.add_compute_slowdown(0, 0.0, 1.0, 8.0);
+  EXPECT_NEAR(run(nullptr), 4e-3, 1e-12);
+  EXPECT_NEAR(run(&slow), 32e-3, 1e-12);
+}
+
+TEST(Perturbation, DegradedLinkStretchesTransfer) {
+  class Sender : public sim::Rank {
+   public:
+    void on_start(sim::Context& ctx) override {
+      if (ctx.rank() == 0) ctx.send(4, 0, 1 << 20, 0);  // node 0 -> node 1
+    }
+    void on_message(sim::Context&, const sim::Message&) override {}
+  };
+  const auto run = [](const sim::Perturbation* p) {
+    const sim::Machine m(test_config());
+    sim::Engine engine(m, 8, 1);
+    if (p != nullptr) engine.set_perturbation(p);
+    for (int r = 0; r < 8; ++r) engine.set_rank(r, std::make_unique<Sender>());
+    return engine.run();
+  };
+  sim::Perturbation degraded;
+  degraded.add_link_degradation(0, 1, 0.0, 10.0, 4.0);
+  const double healthy = run(nullptr);
+  EXPECT_GT(run(&degraded), 2.0 * healthy);
+}
+
+// ----- deterministic injector ------------------------------------------------
+
+TEST(DeterministicInjector, RatesWindowsAndClassesRespected) {
+  FaultPlan plan(123);
+  MessageFaultRule rule;
+  rule.drop_prob = 0.2;
+  rule.comm_class = 1;       // only class 1
+  rule.begin = 0.0;
+  rule.end = 1.0;            // only the first simulated second
+  plan.add_rule(rule);
+  DeterministicInjector injector(plan);
+
+  int dropped_in = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i)
+    if (injector.on_send(0, 1, i, 100, 1, 0.5).drop) ++dropped_in;
+  EXPECT_NEAR(static_cast<double>(dropped_in) / trials, 0.2, 0.02);
+
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.on_send(0, 1, i, 100, 0, 0.5).drop);  // class miss
+    EXPECT_FALSE(injector.on_send(0, 1, i, 100, 1, 2.0).drop);  // window miss
+  }
+  EXPECT_EQ(injector.stats().dropped, static_cast<Count>(dropped_in));
+}
+
+TEST(DeterministicInjector, SameSeedSameSequence) {
+  const FaultPlan plan = FaultPlan::scenario(/*seed=*/7, /*rank_count=*/8,
+                                             /*stragglers=*/0, /*slowdown=*/1.0,
+                                             /*drop_prob=*/0.3,
+                                             /*dup_prob=*/0.1);
+  DeterministicInjector a(plan), b(plan);
+  for (int i = 0; i < 5000; ++i) {
+    const sim::FaultDecision da = a.on_send(0, 1, i, 64, 0, 0.0);
+    const sim::FaultDecision db = b.on_send(0, 1, i, 64, 0, 0.0);
+    EXPECT_EQ(da.drop, db.drop);
+    EXPECT_EQ(da.duplicates, db.duplicates);
+    EXPECT_EQ(da.delay, db.delay);
+  }
+  EXPECT_GT(a.stats().dropped, 0);
+  EXPECT_GT(a.stats().duplicated, 0);
+}
+
+// ----- engine-level fault effects -------------------------------------------
+
+/// Rank 0 sends `count` messages to rank 1, which counts deliveries.
+class Pitcher : public sim::Rank {
+ public:
+  explicit Pitcher(int count) : count_(count) {}
+  void on_start(sim::Context& ctx) override {
+    if (ctx.rank() == 0)
+      for (int i = 0; i < count_; ++i) ctx.send(1, i, 1000, 0);
+  }
+  void on_message(sim::Context&, const sim::Message&) override {}
+ private:
+  int count_;
+};
+
+class Catcher : public sim::Rank {
+ public:
+  explicit Catcher(std::vector<sim::SimTime>* times) : times_(times) {}
+  void on_start(sim::Context&) override {}
+  void on_message(sim::Context& ctx, const sim::Message&) override {
+    times_->push_back(ctx.now());
+  }
+ private:
+  std::vector<sim::SimTime>* times_;
+};
+
+struct FixedInjector : sim::FaultInjector {
+  sim::FaultDecision decision;
+  sim::FaultDecision on_send(int, int, std::int64_t, Count, int,
+                             sim::SimTime) override {
+    return decision;
+  }
+};
+
+TEST(EngineFaults, DropsDuplicatesAndDelays) {
+  const auto run = [](sim::FaultInjector* injector, obs::Recorder* recorder) {
+    const sim::Machine m(test_config());
+    sim::Engine engine(m, 2, 1);
+    if (injector != nullptr) engine.set_fault_injector(injector);
+    if (recorder != nullptr) engine.set_sink(recorder);
+    std::vector<sim::SimTime> times;
+    engine.set_rank(0, std::make_unique<Pitcher>(10));
+    engine.set_rank(1, std::make_unique<Catcher>(&times));
+    engine.run();
+    return times;
+  };
+
+  EXPECT_EQ(run(nullptr, nullptr).size(), 10u);
+
+  FixedInjector drop;
+  drop.decision.drop = true;
+  obs::Recorder recorder;
+  EXPECT_EQ(run(&drop, &recorder).size(), 0u);  // wire loss; run terminates
+  int drop_marks = 0;
+  for (const obs::MarkEvent& mark : recorder.marks())
+    if (std::string_view(mark.name) == "fault-drop") ++drop_marks;
+  EXPECT_EQ(drop_marks, 10);
+
+  FixedInjector dup;
+  dup.decision.duplicates = 2;
+  dup.decision.duplicate_delay = 1e-6;
+  EXPECT_EQ(run(&dup, nullptr).size(), 30u);  // original + 2 copies each
+
+  FixedInjector delay;
+  delay.decision.delay = 5e-3;
+  const std::vector<sim::SimTime> prompt = run(nullptr, nullptr);
+  const std::vector<sim::SimTime> late = run(&delay, nullptr);
+  ASSERT_EQ(prompt.size(), late.size());
+  for (std::size_t i = 0; i < prompt.size(); ++i)
+    EXPECT_NEAR(late[i] - prompt[i], 5e-3, 1e-9);
+}
+
+TEST(EngineFaults, SelfSendsNeverConsultInjector) {
+  class SelfLooper : public sim::Rank {
+   public:
+    void on_start(sim::Context& ctx) override { ctx.send(0, 0, 8, 0); }
+    void on_message(sim::Context&, const sim::Message& msg) override {
+      got += 1;
+      (void)msg;
+    }
+    int got = 0;
+  };
+  FixedInjector drop;
+  drop.decision.drop = true;
+  const sim::Machine m(test_config());
+  sim::Engine engine(m, 1, 1);
+  engine.set_fault_injector(&drop);
+  auto program = std::make_unique<SelfLooper>();
+  SelfLooper* looper = program.get();
+  engine.set_rank(0, std::move(program));
+  engine.run();
+  EXPECT_EQ(looper->got, 1);  // delivered despite the drop-everything injector
+}
+
+}  // namespace
+}  // namespace psi::fault

@@ -250,6 +250,111 @@ TEST(Engine, RejectsBadSends) {
   EXPECT_THROW(engine.run(), Error);
 }
 
+TEST(Engine, RejectsNegativeBytesAndBadClass) {
+  class NegativeBytes : public Rank {
+   public:
+    void on_start(Context& ctx) override { ctx.send(1, 0, -8, 0); }
+    void on_message(Context&, const Message&) override {}
+  };
+  class BadClass : public Rank {
+   public:
+    void on_start(Context& ctx) override { ctx.send(1, 0, 8, 7); }
+    void on_message(Context&, const Message&) override {}
+  };
+  class Idle : public Rank {
+    void on_start(Context&) override {}
+    void on_message(Context&, const Message&) override {}
+  };
+  const Machine m(test_config());
+  {
+    Engine engine(m, 2, 1);
+    engine.set_rank(0, std::make_unique<NegativeBytes>());
+    engine.set_rank(1, std::make_unique<Idle>());
+    EXPECT_THROW(engine.run(), Error);
+  }
+  {
+    Engine engine(m, 2, 1);
+    engine.set_rank(0, std::make_unique<BadClass>());
+    engine.set_rank(1, std::make_unique<Idle>());
+    EXPECT_THROW(engine.run(), Error);
+  }
+}
+
+TEST(Engine, TimerFiresAtArmedDelay) {
+  class TimerRank : public Rank {
+   public:
+    void on_start(Context& ctx) override { ctx.set_timer(3e-3, 7); }
+    void on_message(Context&, const Message&) override {}
+    void on_timer(Context& ctx, std::int64_t tag) override {
+      fired_tag = tag;
+      fired_at = ctx.now();
+    }
+    std::int64_t fired_tag = -1;
+    SimTime fired_at = -1.0;
+  };
+  const Machine m(test_config());
+  Engine engine(m, 1, 1);
+  auto program = std::make_unique<TimerRank>();
+  TimerRank* rank = program.get();
+  engine.set_rank(0, std::move(program));
+  const SimTime makespan = engine.run();
+  EXPECT_EQ(rank->fired_tag, 7);
+  EXPECT_DOUBLE_EQ(rank->fired_at, 3e-3);
+  EXPECT_GE(makespan, 3e-3);
+}
+
+TEST(Engine, CancelledTimerNeitherFiresNorExtendsMakespan) {
+  class CancellingRank : public Rank {
+   public:
+    void on_start(Context& ctx) override {
+      const std::uint64_t id = ctx.set_timer(1.0, 1);  // far-future deadline
+      ctx.set_timer(1e-3, 2);
+      ctx.cancel_timer(id);
+    }
+    void on_message(Context&, const Message&) override {}
+    void on_timer(Context&, std::int64_t tag) override {
+      PSI_CHECK_MSG(tag != 1, "cancelled timer fired");
+      ++fired;
+    }
+    int fired = 0;
+  };
+  const Machine m(test_config());
+  Engine engine(m, 1, 1);
+  auto program = std::make_unique<CancellingRank>();
+  CancellingRank* rank = program.get();
+  engine.set_rank(0, std::move(program));
+  const SimTime makespan = engine.run();
+  EXPECT_EQ(rank->fired, 1);
+  // The cancelled 1 s deadline must not stretch the run.
+  EXPECT_DOUBLE_EQ(makespan, 1e-3);
+}
+
+TEST(Engine, UnhandledTimerFailsLoudly) {
+  class NoHandler : public Rank {
+   public:
+    void on_start(Context& ctx) override { ctx.set_timer(1e-3, 0); }
+    void on_message(Context&, const Message&) override {}
+    // Inherits the default on_timer, which throws.
+  };
+  const Machine m(test_config());
+  Engine engine(m, 1, 1);
+  engine.set_rank(0, std::make_unique<NoHandler>());
+  EXPECT_THROW(engine.run(), Error);
+}
+
+TEST(Engine, RejectsNegativeTimerDelay) {
+  class NegativeDelay : public Rank {
+   public:
+    void on_start(Context& ctx) override { ctx.set_timer(-1e-3, 0); }
+    void on_message(Context&, const Message&) override {}
+    void on_timer(Context&, std::int64_t) override {}
+  };
+  const Machine m(test_config());
+  Engine engine(m, 1, 1);
+  engine.set_rank(0, std::make_unique<NegativeDelay>());
+  EXPECT_THROW(engine.run(), Error);
+}
+
 TEST(Engine, RunTwiceThrows) {
   class Idle : public Rank {
     void on_start(Context&) override {}
