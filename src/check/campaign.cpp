@@ -1,0 +1,161 @@
+#include "check/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "check/repro.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "pselinv/plan.hpp"
+
+namespace psi::check {
+
+namespace {
+
+/// Uniform in [0, 1) from a stateless hash of (seed, trial, salt) — same
+/// construction as fault::DeterministicInjector's draws.
+double uniform_from(std::uint64_t seed, std::uint64_t trial,
+                    std::uint64_t salt) {
+  std::uint64_t state = hash_combine(hash_combine(seed, trial), salt);
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t draw_u64(std::uint64_t seed, std::uint64_t trial,
+                       std::uint64_t salt) {
+  std::uint64_t state = hash_combine(hash_combine(seed, trial), salt);
+  return splitmix64(state);
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+CaseSpec trial_spec(std::uint64_t seed, int index, bool plant_bug) {
+  const std::uint64_t t = static_cast<std::uint64_t>(index);
+  CaseSpec spec;
+  spec.matrix_seed = draw_u64(seed, t, 0x01);
+  if (spec.matrix_seed == 0) spec.matrix_seed = 1;
+  spec.n = static_cast<Int>(24 + draw_u64(seed, t, 0x02) % 48);
+  spec.degree = 2.5 + 2.0 * uniform_from(seed, t, 0x03);
+  spec.unsymmetric = uniform_from(seed, t, 0x04) < 0.25;
+  spec.grid_rows = static_cast<int>(2 + draw_u64(seed, t, 0x05) % 3);
+  spec.grid_cols = static_cast<int>(2 + draw_u64(seed, t, 0x06) % 3);
+  spec.fault_seed = draw_u64(seed, t, 0x07);
+  const int rules = static_cast<int>(1 + draw_u64(seed, t, 0x08) % 3);
+  for (int r = 0; r < rules; ++r) {
+    const std::uint64_t salt = 0x10 + static_cast<std::uint64_t>(r) * 8;
+    FaultRuleSpec rule;
+    rule.drop_prob = 0.03 * uniform_from(seed, t, salt);
+    rule.dup_prob = 0.03 * uniform_from(seed, t, salt + 1);
+    rule.delay_prob = 0.2 * uniform_from(seed, t, salt + 2);
+    rule.delay = 100e-6 * uniform_from(seed, t, salt + 3);
+    // Mostly any-class; sometimes target one data class (never acks alone —
+    // an ack-only rule is legal but explores less).
+    if (uniform_from(seed, t, salt + 4) < 0.25)
+      rule.comm_class = static_cast<int>(draw_u64(seed, t, salt + 5) %
+                                         pselinv::kProtoAck);
+    spec.fault_rules.push_back(rule);
+  }
+  spec.schedule_seed = draw_u64(seed, t, 0x09);
+  spec.schedules = static_cast<int>(2 + draw_u64(seed, t, 0x0a) % 2);
+  spec.delay_bound = 200e-6 * uniform_from(seed, t, 0x0b);
+  spec.plant_bug = plant_bug;
+  return spec;
+}
+
+CampaignResult run_campaign(const CampaignOptions& options,
+                            std::ostream* ndjson,
+                            obs::MetricsRegistry* metrics) {
+  PSI_CHECK_MSG(options.trials >= 1, "campaign: need >= 1 trial");
+  CampaignResult campaign;
+  const WallTimer campaign_timer;
+  for (int i = 0; i < options.trials; ++i) {
+    if (options.time_budget_seconds > 0.0 &&
+        campaign_timer.seconds() >= options.time_budget_seconds)
+      break;
+    const CaseSpec spec = trial_spec(options.seed, i, options.plant_bug);
+    const WallTimer trial_timer;
+    const CaseResult result = run_case(spec);
+    const double trial_seconds = trial_timer.seconds();
+    campaign.trials_run += 1;
+    campaign.total_events += result.events;
+    campaign.max_ref_err = std::max(campaign.max_ref_err, result.max_ref_err);
+
+    std::string repro_path;
+    if (!result.passed) {
+      campaign.failures += 1;
+      if (campaign.first_failure_trial < 0) {
+        campaign.first_failure_trial = i;
+        campaign.first_failure_signature = result.signature;
+      }
+      if (!options.repro_dir.empty()) {
+        Repro repro;
+        repro.spec = spec;
+        repro.signature = result.signature;
+        if (options.shrink_failures) {
+          const ShrinkResult shrunk =
+              shrink(spec, result.signature, options.shrink_attempts);
+          repro.spec = shrunk.spec;
+          repro.signature = shrunk.signature;
+        }
+        repro_path = options.repro_dir + "/trial" + std::to_string(i) +
+                     ".repro";
+        write_repro_file(repro_path, repro);
+        if (campaign.first_repro_path.empty())
+          campaign.first_repro_path = repro_path;
+      }
+    }
+
+    if (ndjson != nullptr) {
+      std::ostream& out = *ndjson;
+      out << "{\"trial\":" << i << ",\"matrix_seed\":" << spec.matrix_seed
+          << ",\"n\":" << spec.n << ",\"degree\":" << json_number(spec.degree)
+          << ",\"grid\":\"" << spec.grid_rows << "x" << spec.grid_cols
+          << "\",\"unsymmetric\":" << (spec.unsymmetric ? "true" : "false")
+          << ",\"rules\":" << spec.fault_rules.size()
+          << ",\"schedules\":" << spec.schedules
+          << ",\"delay_bound\":" << json_number(spec.delay_bound)
+          << ",\"passed\":" << (result.passed ? "true" : "false")
+          << ",\"signature\":\"" << obs::json_escape(result.signature)
+          << "\",\"legs\":" << result.legs_run
+          << ",\"events\":" << result.events
+          << ",\"max_ref_err\":" << json_number(result.max_ref_err)
+          << ",\"drops\":" << result.injected_drops
+          << ",\"duplicates\":" << result.injected_duplicates
+          << ",\"arena_high_water\":" << result.arena_high_water
+          << ",\"wall_seconds\":" << json_number(trial_seconds);
+      if (!repro_path.empty())
+        out << ",\"repro\":\"" << obs::json_escape(repro_path) << "\"";
+      out << "}\n";
+    }
+
+    if (metrics != nullptr) {
+      metrics->counter("check.trials").add(1);
+      metrics->counter(result.passed ? "check.trials_passed"
+                                     : "check.trials_failed")
+          .add(1);
+      metrics->counter("check.legs").add(static_cast<Count>(result.legs_run));
+      metrics->counter("check.events").add(result.events);
+      metrics->counter("check.injected_drops").add(result.injected_drops);
+      metrics->counter("check.injected_duplicates")
+          .add(result.injected_duplicates);
+      metrics->gauge("check.max_ref_err").set(campaign.max_ref_err);
+      metrics
+          ->histogram("check.trial_seconds", obs::Labels(),
+                      {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0})
+          .observe(trial_seconds);
+    }
+
+    if (!result.passed && options.stop_on_failure) break;
+  }
+  campaign.wall_seconds = campaign_timer.seconds();
+  return campaign;
+}
+
+}  // namespace psi::check

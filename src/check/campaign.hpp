@@ -1,0 +1,67 @@
+/// \file campaign.hpp
+/// \brief Seeded fuzz campaigns over the differential oracle.
+///
+/// A campaign derives every trial's CaseSpec statelessly from
+/// (campaign seed, trial index) — trial 17 of seed 42 is the same problem
+/// on every host, and campaigns are resumable/parallelizable by index
+/// range. Each trial runs the full differential oracle; a failing trial is
+/// greedily shrunk and written out as a replayable `*.repro` file. Per-trial
+/// statistics stream as NDJSON (one object per line) and fold into an
+/// obs::MetricsRegistry when one is attached.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+#include "check/oracle.hpp"
+#include "check/shrink.hpp"
+
+namespace psi::obs {
+class MetricsRegistry;
+}
+
+namespace psi::check {
+
+struct CampaignOptions {
+  std::uint64_t seed = 1;
+  int trials = 100;
+  /// Stop early (after the current trial) once this much host wall time has
+  /// elapsed; 0 = no budget. The CI smoke campaign uses this.
+  double time_budget_seconds = 0.0;
+  /// Enable the planted ReduceState arrival-order bug in every trial
+  /// (self-test of the oracle's detection power).
+  bool plant_bug = false;
+  /// Shrink failing trials before writing their repro.
+  bool shrink_failures = true;
+  int shrink_attempts = 600;
+  /// Directory the `trial<N>.repro` files are written into ("" = don't
+  /// write repro files).
+  std::string repro_dir;
+  /// Stop after the first failing trial.
+  bool stop_on_failure = false;
+};
+
+struct CampaignResult {
+  int trials_run = 0;
+  int failures = 0;
+  /// Index and signature of the first failing trial (-1 / "" when clean).
+  int first_failure_trial = -1;
+  std::string first_failure_signature;
+  /// Repro path of the first failure ("" when clean or repro_dir unset).
+  std::string first_repro_path;
+  Count total_events = 0;
+  double max_ref_err = 0.0;
+  double wall_seconds = 0.0;
+};
+
+/// The spec of trial `index` under campaign seed `seed` (pure function).
+CaseSpec trial_spec(std::uint64_t seed, int index, bool plant_bug);
+
+/// Runs the campaign. `ndjson` (optional) receives one JSON object line per
+/// trial; `metrics` (optional) accumulates campaign counters/gauges.
+CampaignResult run_campaign(const CampaignOptions& options,
+                            std::ostream* ndjson,
+                            obs::MetricsRegistry* metrics);
+
+}  // namespace psi::check

@@ -1,0 +1,326 @@
+#include "check/oracle.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "check/schedule.hpp"
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "driver/experiment.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "numeric/selinv.hpp"
+#include "numeric/supernodal_lu.hpp"
+#include "pselinv/engine.hpp"
+#include "sparse/generators.hpp"
+#include "symbolic/analysis.hpp"
+#include "trees/comm_tree.hpp"
+#include "trees/protocol.hpp"
+
+namespace psi::check {
+
+namespace {
+
+/// Tolerance of every leg against the sequential selected inversion. The
+/// generated matrices are diagonally dominant, so anything past this is a
+/// logic bug, not conditioning.
+constexpr double kRefTolerance = 1e-8;
+
+/// Sanity envelope for the event-arena high water beyond the processed
+/// event count (cancelled retry timers pop without being dispatched).
+constexpr std::size_t kArenaSlack = 65536;
+
+/// RAII guard for the planted ReduceState arrival-order bug (test hook).
+class PlantGuard {
+ public:
+  explicit PlantGuard(bool enable)
+      : prev_(trees::ReduceState::test_fold_in_arrival_order()) {
+    trees::ReduceState::test_set_fold_in_arrival_order(enable);
+  }
+  ~PlantGuard() { trees::ReduceState::test_set_fold_in_arrival_order(prev_); }
+  PlantGuard(const PlantGuard&) = delete;
+  PlantGuard& operator=(const PlantGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+sim::Machine oracle_machine() {
+  sim::MachineConfig config;
+  config.cores_per_node = 4;
+  config.nodes_per_group = 4;
+  return sim::Machine(config);
+}
+
+fault::FaultPlan fault_plan_from(const CaseSpec& spec) {
+  fault::FaultPlan plan(spec.fault_seed);
+  for (const FaultRuleSpec& rule : spec.fault_rules) {
+    fault::MessageFaultRule r;
+    r.drop_prob = rule.drop_prob;
+    r.dup_prob = rule.dup_prob;
+    r.delay_prob = rule.delay_prob;
+    r.delay = rule.delay;
+    r.comm_class = rule.comm_class;
+    plan.add_rule(r);
+  }
+  return plan;
+}
+
+/// Adversarial seed of leg `i` (i >= 1); never 0 (0 is the identity).
+std::uint64_t leg_seed(std::uint64_t schedule_seed, int i) {
+  std::uint64_t state =
+      hash_combine(schedule_seed, static_cast<std::uint64_t>(i));
+  const std::uint64_t s = splitmix64(state);
+  return s == 0 ? 1 : s;
+}
+
+struct BlockDiff {
+  bool differs = false;
+  Int row = -1;
+  Int col = -1;
+  double lhs = 0.0;
+  double rhs = 0.0;
+};
+
+/// First bitwise-differing selected block between two gathered inverses,
+/// scanned in deterministic (supernode, struct entry) order.
+BlockDiff first_bitwise_diff(const BlockMatrix& a, const BlockMatrix& b,
+                             const BlockStructure& bs) {
+  BlockDiff diff;
+  const auto check = [&](Int row, Int col) {
+    if (diff.differs) return;
+    const DenseMatrix& lhs = a.block(row, col);
+    const DenseMatrix& rhs = b.block(row, col);
+    PSI_CHECK(lhs.rows() == rhs.rows() && lhs.cols() == rhs.cols());
+    const std::size_t bytes = static_cast<std::size_t>(lhs.rows()) *
+                              static_cast<std::size_t>(lhs.cols()) *
+                              sizeof(double);
+    if (std::memcmp(lhs.data(), rhs.data(), bytes) == 0) return;
+    diff.differs = true;
+    diff.row = row;
+    diff.col = col;
+    for (Int c = 0; c < lhs.cols(); ++c)
+      for (Int r = 0; r < lhs.rows(); ++r) {
+        const double l = lhs(r, c);
+        const double h = rhs(r, c);
+        if (std::memcmp(&l, &h, sizeof(double)) != 0) {
+          diff.lhs = l;
+          diff.rhs = h;
+          return;
+        }
+      }
+  };
+  for (Int k = 0; k < bs.supernode_count() && !diff.differs; ++k) {
+    check(k, k);
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)]) {
+      check(i, k);
+      check(k, i);
+    }
+  }
+  return diff;
+}
+
+/// Worst entry gap against the sequential reference over the diagonal and
+/// lower selected blocks (the sequential inversion does not materialize the
+/// upper mirror; the distributed legs compare those bitwise among
+/// themselves).
+double max_ref_gap(const BlockMatrix& got, const BlockMatrix& ref,
+                   const BlockStructure& bs) {
+  double gap = 0.0;
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    gap = std::max(gap, max_abs_diff(got.block(k, k), ref.block(k, k)));
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)])
+      gap = std::max(gap, max_abs_diff(got.block(i, k), ref.block(i, k)));
+  }
+  return gap;
+}
+
+struct VolumeTotals {
+  Count sent = 0;
+  Count received = 0;
+};
+
+VolumeTotals sum_volume(const pselinv::RunResult& result) {
+  VolumeTotals totals;
+  for (const sim::RankStats& rank : result.rank_stats)
+    for (const sim::ClassCounters& counters : rank.per_class) {
+      totals.sent += counters.bytes_sent;
+      totals.received += counters.bytes_received;
+    }
+  return totals;
+}
+
+}  // namespace
+
+std::string signature_kind(const std::string& signature) {
+  const std::size_t space = signature.find(' ');
+  return space == std::string::npos ? signature : signature.substr(0, space);
+}
+
+CaseResult run_case(const CaseSpec& spec) {
+  PSI_CHECK_MSG(spec.n >= 2, "run_case: n must be >= 2");
+  PSI_CHECK_MSG(spec.grid_rows >= 1 && spec.grid_cols >= 1,
+                "run_case: empty process grid");
+  PSI_CHECK_MSG(spec.schedules >= 1, "run_case: need >= 1 schedule leg");
+
+  CaseResult result;
+  const PlantGuard plant(spec.plant_bug);
+
+  const ValueKind values =
+      spec.unsymmetric ? ValueKind::kUnsymmetric : ValueKind::kSymmetric;
+  const GeneratedMatrix gen =
+      random_symmetric(spec.n, spec.degree, spec.matrix_seed, values);
+
+  AnalysisOptions opt;
+  opt.ordering.method = OrderingMethod::kMinDegree;
+  std::uint64_t size_state = hash_combine(spec.matrix_seed, 0xA11A);
+  opt.supernodes.max_size = static_cast<Int>(4 + splitmix64(size_state) % 8);
+  const SymbolicAnalysis an = analyze(gen, opt);
+
+  // Sequential ground truth (arrival order is irrelevant sequentially).
+  SupernodalLU lu_seq = SupernodalLU::factor(an);
+  const BlockMatrix reference = selected_inversion(lu_seq);
+
+  const sim::Machine machine = oracle_machine();
+  const dist::ProcessGrid grid(spec.grid_rows, spec.grid_cols);
+  const fault::FaultPlan fault_plan = fault_plan_from(spec);
+  const pselinv::ValueSymmetry symmetry =
+      spec.unsymmetric ? pselinv::ValueSymmetry::kUnsymmetric
+                       : pselinv::ValueSymmetry::kSymmetric;
+
+  const auto fail = [&result](std::string signature) {
+    result.passed = false;
+    result.signature = std::move(signature);
+    return result;
+  };
+
+  const trees::TreeScheme kSchemes[] = {trees::TreeScheme::kFlat,
+                                        trees::TreeScheme::kShiftedBinary,
+                                        trees::TreeScheme::kBinomial};
+  for (const trees::TreeScheme scheme : kSchemes) {
+    const char* scheme_tag = trees::scheme_name(scheme);
+    const pselinv::Plan plan(an.blocks, grid, driver::tree_options_for(scheme),
+                             symmetry);
+
+    // One leg of the differential: returns the violated-invariant signature
+    // ("" when clean) and hands the gathered inverse back via `out`.
+    const auto run_leg = [&](const char* leg_tag, bool resilient,
+                             bool faulted, std::uint64_t sched_seed,
+                             std::unique_ptr<BlockMatrix>* out) -> std::string {
+      SupernodalLU lu = SupernodalLU::factor(an);
+      pselinv::RunOptions options;
+      options.resilience.enabled = resilient;
+      fault::DeterministicInjector injector(fault_plan);
+      if (faulted) options.injector = &injector;
+      AdversarialSchedule schedule(sched_seed, spec.delay_bound);
+      if (sched_seed != 0) options.schedule = &schedule;
+      pselinv::RunResult run =
+          run_pselinv(plan, machine, pselinv::ExecutionMode::kNumeric, &lu,
+                      nullptr, nullptr, options);
+      result.legs_run += 1;
+      result.events += run.events;
+      result.arena_high_water =
+          std::max(result.arena_high_water, run.arena_high_water);
+      const auto tag = [&](const char* kind) {
+        std::string s(kind);
+        s += " scheme=";
+        s += scheme_tag;
+        s += " leg=";
+        s += leg_tag;
+        return s;
+      };
+      if (!run.complete())
+        return tag("invariant:incomplete") +
+               " finalized=" + std::to_string(run.blocks_finalized) +
+               " expected=" + std::to_string(run.expected_blocks);
+      if (run.channel_inflight != 0)
+        return tag("invariant:inflight") +
+               " inflight=" + std::to_string(run.channel_inflight);
+      if (run.leaked_timers != 0)
+        return tag("invariant:timers") +
+               " leaked=" + std::to_string(run.leaked_timers);
+      const VolumeTotals volume = sum_volume(run);
+      const Count dropped = injector.stats().dropped_bytes;
+      const Count duplicated = injector.stats().duplicated_bytes;
+      if (faulted) {
+        result.injected_drops += injector.stats().dropped;
+        result.injected_duplicates += injector.stats().duplicated;
+      }
+      if (volume.received != volume.sent - dropped + duplicated)
+        return tag("invariant:volume") + " sent=" +
+               std::to_string(volume.sent) +
+               " received=" + std::to_string(volume.received) +
+               " dropped=" + std::to_string(dropped) +
+               " duplicated=" + std::to_string(duplicated);
+      if (run.arena_high_water < 1 ||
+          run.arena_high_water >
+              static_cast<std::size_t>(run.events) + kArenaSlack)
+        return tag("invariant:arena") +
+               " high_water=" + std::to_string(run.arena_high_water) +
+               " events=" + std::to_string(run.events);
+      PSI_CHECK(run.ainv != nullptr);
+      *out = std::move(run.ainv);
+      return "";
+    };
+
+    // Fast-mode clean leg: tolerance against the sequential reference.
+    std::unique_ptr<BlockMatrix> fast;
+    if (std::string sig =
+            run_leg("fast", /*resilient=*/false, /*faulted=*/false,
+                    /*sched_seed=*/0, &fast);
+        !sig.empty())
+      return fail(std::move(sig));
+    const double fast_gap = max_ref_gap(*fast, reference, an.blocks);
+    result.max_ref_err = std::max(result.max_ref_err, fast_gap);
+    if (fast_gap > kRefTolerance)
+      return fail(std::string("ref-mismatch scheme=") + scheme_tag +
+                  " leg=fast err=" + format_double(fast_gap));
+
+    // Resilient legs: faulted baseline plus K adversarial schedules, all
+    // required to agree bitwise.
+    std::unique_ptr<BlockMatrix> baseline;
+    if (std::string sig =
+            run_leg("resilient0", /*resilient=*/true, /*faulted=*/true,
+                    /*sched_seed=*/0, &baseline);
+        !sig.empty())
+      return fail(std::move(sig));
+    const double base_gap = max_ref_gap(*baseline, reference, an.blocks);
+    result.max_ref_err = std::max(result.max_ref_err, base_gap);
+    if (base_gap > kRefTolerance)
+      return fail(std::string("ref-mismatch scheme=") + scheme_tag +
+                  " leg=resilient0 err=" + format_double(base_gap));
+
+    for (int i = 1; i <= spec.schedules; ++i) {
+      const std::string leg_tag = "resilient" + std::to_string(i);
+      std::unique_ptr<BlockMatrix> adversarial;
+      if (std::string sig = run_leg(leg_tag.c_str(), /*resilient=*/true,
+                                    /*faulted=*/true,
+                                    leg_seed(spec.schedule_seed, i),
+                                    &adversarial);
+          !sig.empty())
+        return fail(std::move(sig));
+      const BlockDiff diff =
+          first_bitwise_diff(*baseline, *adversarial, an.blocks);
+      if (diff.differs)
+        return fail(std::string("bitwise-mismatch scheme=") + scheme_tag +
+                    " leg=" + leg_tag + " block=" + std::to_string(diff.row) +
+                    "," + std::to_string(diff.col) +
+                    " baseline=" + format_double(diff.lhs) +
+                    " got=" + format_double(diff.rhs));
+    }
+  }
+
+  result.passed = true;
+  return result;
+}
+
+}  // namespace psi::check

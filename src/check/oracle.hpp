@@ -1,0 +1,85 @@
+/// \file oracle.hpp
+/// \brief Differential oracle: one generated problem, many executions.
+///
+/// A trial (CaseSpec) fixes a random matrix, a process grid, a fault plan,
+/// and a family of adversarial schedules. run_case() executes the problem
+/// through all three paper tree schemes (flat, shifted-binary, binomial),
+/// each as:
+///   * a fast-mode clean leg (no faults, native FIFO schedule) checked
+///     against the sequential selected inversion with a tight tolerance
+///     (fast mode folds in arrival order, so bitwise equality across
+///     schedules is mathematically unobtainable there); and
+///   * a resilient-mode baseline leg plus K adversarially scheduled legs,
+///     all under the same injected fault sequence, asserted BITWISE
+///     identical to each other (the resilient protocol's canonical fold
+///     makes the numbers schedule- and fault-independent).
+/// Every leg additionally must satisfy the protocol-exhaustion invariants:
+/// run completeness, zero channel inflight, zero leaked timers, byte-exact
+/// volume conservation (received == sent - dropped + duplicated bytes), and
+/// an event-arena high water inside a sane envelope.
+///
+/// Failures come back as a deterministic one-line signature — a pure
+/// function of the spec — so a shrunk repro replays to the byte-identical
+/// signature on any host.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/machine.hpp"
+#include "sparse/types.hpp"
+
+namespace psi::check {
+
+/// One probabilistic message-fault rule of a trial (mirrors
+/// fault::MessageFaultRule, restricted to the fields the campaign explores
+/// and the repro format serializes).
+struct FaultRuleSpec {
+  double drop_prob = 0.0;
+  double dup_prob = 0.0;
+  double delay_prob = 0.0;
+  double delay = 0.0;    ///< seconds added when the delay fires
+  int comm_class = -1;   ///< -1: any class
+};
+
+/// Complete, self-contained description of one differential trial. Every
+/// execution detail derives deterministically from these fields, so a spec
+/// IS a repro.
+struct CaseSpec {
+  std::uint64_t matrix_seed = 1;
+  Int n = 32;               ///< matrix dimension
+  double degree = 3.0;      ///< average off-diagonals per row
+  bool unsymmetric = false; ///< unsymmetric values over the symmetric pattern
+  int grid_rows = 2;
+  int grid_cols = 2;
+  std::uint64_t fault_seed = 0xfa17;
+  std::vector<FaultRuleSpec> fault_rules;
+  std::uint64_t schedule_seed = 1;  ///< base seed of the adversarial family
+  int schedules = 3;                ///< K adversarial legs per scheme
+  double delay_bound = 0.0;         ///< adversarial jitter bound (seconds)
+  bool plant_bug = false;  ///< enable the arrival-order ReduceState bug
+};
+
+struct CaseResult {
+  bool passed = false;
+  /// Deterministic failure signature ("" when passed). The leading token
+  /// names the failure kind (e.g. "bitwise-mismatch", "invariant:inflight");
+  /// the shrinker treats two failures with the same kind as the same bug.
+  std::string signature;
+  std::size_t legs_run = 0;      ///< engine executions performed
+  double max_ref_err = 0.0;      ///< worst |entry| gap vs sequential selinv
+  Count events = 0;              ///< DES events summed over all legs
+  Count injected_drops = 0;      ///< summed over faulted legs
+  Count injected_duplicates = 0;
+  std::size_t arena_high_water = 0;  ///< max over legs
+};
+
+/// Failure kind of a signature: the text before the first space.
+std::string signature_kind(const std::string& signature);
+
+/// Runs one differential trial. Never throws on an oracle violation — the
+/// violation is returned as the signature; throws only on internal misuse.
+CaseResult run_case(const CaseSpec& spec);
+
+}  // namespace psi::check

@@ -1,0 +1,143 @@
+/// \file psi_check_main.cpp
+/// \brief psi_check — seeded fuzz campaigns over the differential oracle,
+/// plus byte-exact replay of shrunk repro files.
+///
+/// Usage:
+///   psi_check [--trials N] [--seed S] [--time-budget SECONDS]
+///             [--ndjson PATH] [--metrics PATH] [--repro-dir DIR]
+///             [--stop-on-failure] [--no-shrink] [--plant-bug]
+///   psi_check --replay FILE.repro
+///
+/// Exit codes: 0 — campaign clean / replay reproduced the recorded
+/// signature byte-for-byte; 1 — failures found or replay diverged;
+/// 2 — usage or I/O error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "check/campaign.hpp"
+#include "check/oracle.hpp"
+#include "check/repro.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "psi_check: adversarial-schedule differential fuzzing for the\n"
+         "parallel selected-inversion engine.\n\n"
+         "  psi_check [options]          run a fuzz campaign\n"
+         "  psi_check --replay FILE      re-execute a .repro file\n\n"
+         "Campaign options:\n"
+         "  --trials N          trials to run (default 100)\n"
+         "  --seed S            campaign seed (default 1)\n"
+         "  --time-budget SEC   stop after SEC seconds of wall time\n"
+         "  --ndjson PATH       per-trial NDJSON stats ('-' for stdout)\n"
+         "  --metrics PATH      metrics-registry NDJSON dump\n"
+         "  --repro-dir DIR     write shrunk trial<N>.repro files into DIR\n"
+         "  --stop-on-failure   stop at the first failing trial\n"
+         "  --no-shrink         write repros without shrinking\n"
+         "  --plant-bug         enable the planted arrival-order bug\n";
+}
+
+int replay(const std::string& path) {
+  const psi::check::Repro repro = psi::check::read_repro_file(path);
+  const psi::check::CaseResult result = psi::check::run_case(repro.spec);
+  const std::string got = result.passed ? std::string() : result.signature;
+  if (got == repro.signature) {
+    std::cout << "replay: reproduced\n  " << repro.signature << "\n";
+    return 0;
+  }
+  std::cout << "replay: DIVERGED\n  recorded: " << repro.signature
+            << "\n  got:      " << (got.empty() ? "<passed>" : got) << "\n";
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  std::string replay_path;
+  psi::check::CampaignOptions options;
+  std::string ndjson_path;
+  std::string metrics_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "psi_check: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--replay") {
+      replay_path = value();
+    } else if (arg == "--trials") {
+      options.trials = std::atoi(value().c_str());
+    } else if (arg == "--seed") {
+      options.seed = std::strtoull(value().c_str(), nullptr, 10);
+    } else if (arg == "--time-budget") {
+      options.time_budget_seconds = std::atof(value().c_str());
+    } else if (arg == "--ndjson") {
+      ndjson_path = value();
+    } else if (arg == "--metrics") {
+      metrics_path = value();
+    } else if (arg == "--repro-dir") {
+      options.repro_dir = value();
+    } else if (arg == "--stop-on-failure") {
+      options.stop_on_failure = true;
+    } else if (arg == "--no-shrink") {
+      options.shrink_failures = false;
+    } else if (arg == "--plant-bug") {
+      options.plant_bug = true;
+    } else {
+      std::cerr << "psi_check: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  if (!replay_path.empty()) return replay(replay_path);
+
+  std::ofstream ndjson_file;
+  std::ostream* ndjson = nullptr;
+  if (ndjson_path == "-") {
+    ndjson = &std::cout;
+  } else if (!ndjson_path.empty()) {
+    ndjson_file.open(ndjson_path);
+    if (!ndjson_file.good()) {
+      std::cerr << "psi_check: cannot open " << ndjson_path << "\n";
+      return 2;
+    }
+    ndjson = &ndjson_file;
+  }
+
+  psi::obs::MetricsRegistry metrics;
+  const psi::check::CampaignResult result = psi::check::run_campaign(
+      options, ndjson, metrics_path.empty() ? nullptr : &metrics);
+  if (!metrics_path.empty()) metrics.write_ndjson(metrics_path);
+
+  std::printf(
+      "campaign seed=%llu trials=%d failures=%d events=%lld "
+      "max_ref_err=%.3g wall=%.1fs\n",
+      static_cast<unsigned long long>(options.seed), result.trials_run,
+      result.failures, static_cast<long long>(result.total_events),
+      result.max_ref_err, result.wall_seconds);
+  if (result.failures > 0) {
+    std::printf("first failure: trial %d\n  %s\n", result.first_failure_trial,
+                result.first_failure_signature.c_str());
+    if (!result.first_repro_path.empty())
+      std::printf("repro: %s\n", result.first_repro_path.c_str());
+    return 1;
+  }
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "psi_check: " << e.what() << "\n";
+  return 2;
+}

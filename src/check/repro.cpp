@@ -1,0 +1,174 @@
+#include "check/repro.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace psi::check {
+
+namespace {
+
+constexpr const char* kHeader = "psi-check-repro v1";
+
+void append_double(std::string& out, const char* key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += key;
+  out += ' ';
+  out += buf;
+  out += '\n';
+}
+
+void append_u64(std::string& out, const char* key, std::uint64_t v) {
+  out += key;
+  out += ' ';
+  out += std::to_string(v);
+  out += '\n';
+}
+
+double parse_double(const std::string& token, const std::string& line) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(token.c_str(), &end);
+  PSI_CHECK_MSG(errno == 0 && end != nullptr && *end == '\0',
+                "repro: bad number '" << token << "' in line: " << line);
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& token, const std::string& line) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+  PSI_CHECK_MSG(errno == 0 && end != nullptr && *end == '\0',
+                "repro: bad integer '" << token << "' in line: " << line);
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+std::string to_text(const Repro& repro) {
+  const CaseSpec& spec = repro.spec;
+  std::string out(kHeader);
+  out += '\n';
+  append_u64(out, "matrix_seed", spec.matrix_seed);
+  append_u64(out, "n", static_cast<std::uint64_t>(spec.n));
+  append_double(out, "degree", spec.degree);
+  append_u64(out, "unsymmetric", spec.unsymmetric ? 1 : 0);
+  append_u64(out, "grid_rows", static_cast<std::uint64_t>(spec.grid_rows));
+  append_u64(out, "grid_cols", static_cast<std::uint64_t>(spec.grid_cols));
+  append_u64(out, "fault_seed", spec.fault_seed);
+  append_u64(out, "schedule_seed", spec.schedule_seed);
+  append_u64(out, "schedules", static_cast<std::uint64_t>(spec.schedules));
+  append_double(out, "delay_bound", spec.delay_bound);
+  append_u64(out, "plant_bug", spec.plant_bug ? 1 : 0);
+  for (const FaultRuleSpec& rule : spec.fault_rules) {
+    out += "rule";
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  " drop=%.17g dup=%.17g delay_prob=%.17g delay=%.17g"
+                  " comm_class=%d",
+                  rule.drop_prob, rule.dup_prob, rule.delay_prob, rule.delay,
+                  rule.comm_class);
+    out += buf;
+    out += '\n';
+  }
+  out += "signature ";
+  out += repro.signature;
+  out += '\n';
+  return out;
+}
+
+Repro parse_repro(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  PSI_CHECK_MSG(std::getline(in, line) && line == kHeader,
+                "repro: missing '" << kHeader << "' header");
+  Repro repro;
+  bool have_signature = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::size_t space = line.find(' ');
+    PSI_CHECK_MSG(space != std::string::npos,
+                  "repro: malformed line: " << line);
+    const std::string key = line.substr(0, space);
+    const std::string rest = line.substr(space + 1);
+    if (key == "matrix_seed") {
+      repro.spec.matrix_seed = parse_u64(rest, line);
+    } else if (key == "n") {
+      repro.spec.n = static_cast<Int>(parse_u64(rest, line));
+    } else if (key == "degree") {
+      repro.spec.degree = parse_double(rest, line);
+    } else if (key == "unsymmetric") {
+      repro.spec.unsymmetric = parse_u64(rest, line) != 0;
+    } else if (key == "grid_rows") {
+      repro.spec.grid_rows = static_cast<int>(parse_u64(rest, line));
+    } else if (key == "grid_cols") {
+      repro.spec.grid_cols = static_cast<int>(parse_u64(rest, line));
+    } else if (key == "fault_seed") {
+      repro.spec.fault_seed = parse_u64(rest, line);
+    } else if (key == "schedule_seed") {
+      repro.spec.schedule_seed = parse_u64(rest, line);
+    } else if (key == "schedules") {
+      repro.spec.schedules = static_cast<int>(parse_u64(rest, line));
+    } else if (key == "delay_bound") {
+      repro.spec.delay_bound = parse_double(rest, line);
+    } else if (key == "plant_bug") {
+      repro.spec.plant_bug = parse_u64(rest, line) != 0;
+    } else if (key == "rule") {
+      FaultRuleSpec rule;
+      std::istringstream fields(rest);
+      std::string field;
+      while (fields >> field) {
+        const std::size_t eq = field.find('=');
+        PSI_CHECK_MSG(eq != std::string::npos,
+                      "repro: malformed rule field '" << field << "'");
+        const std::string name = field.substr(0, eq);
+        const std::string value = field.substr(eq + 1);
+        if (name == "drop") {
+          rule.drop_prob = parse_double(value, line);
+        } else if (name == "dup") {
+          rule.dup_prob = parse_double(value, line);
+        } else if (name == "delay_prob") {
+          rule.delay_prob = parse_double(value, line);
+        } else if (name == "delay") {
+          rule.delay = parse_double(value, line);
+        } else if (name == "comm_class") {
+          rule.comm_class =
+              static_cast<int>(std::strtol(value.c_str(), nullptr, 10));
+        } else {
+          PSI_CHECK_MSG(false, "repro: unknown rule field '" << name << "'");
+        }
+      }
+      repro.spec.fault_rules.push_back(rule);
+    } else if (key == "signature") {
+      repro.signature = rest;
+      have_signature = true;
+    } else {
+      PSI_CHECK_MSG(false, "repro: unknown key '" << key << "'");
+    }
+  }
+  PSI_CHECK_MSG(have_signature, "repro: missing signature line");
+  return repro;
+}
+
+void write_repro_file(const std::string& path, const Repro& repro) {
+  std::ofstream out(path, std::ios::binary);
+  PSI_CHECK_MSG(out.good(), "repro: cannot open '" << path << "' for write");
+  const std::string text = to_text(repro);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  PSI_CHECK_MSG(out.good(), "repro: write to '" << path << "' failed");
+}
+
+Repro read_repro_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PSI_CHECK_MSG(in.good(), "repro: cannot open '" << path << "'");
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_repro(text.str());
+}
+
+}  // namespace psi::check

@@ -1,0 +1,33 @@
+/// \file repro.hpp
+/// \brief Replayable repro files for failing differential trials.
+///
+/// A repro is the complete CaseSpec of a failing trial plus the failure
+/// signature it produced, serialized as a line-oriented text file
+/// ("psi-check-repro v1"). Doubles are written with %.17g so they round-trip
+/// bit-exactly; everything else is integral. `psi_check --replay file.repro`
+/// re-executes the spec and compares the fresh signature byte-for-byte
+/// against the recorded one.
+#pragma once
+
+#include <string>
+
+#include "check/oracle.hpp"
+
+namespace psi::check {
+
+struct Repro {
+  CaseSpec spec;
+  std::string signature;  ///< failure signature the spec must reproduce
+};
+
+/// Serializes to the "psi-check-repro v1" text form (newline-terminated).
+std::string to_text(const Repro& repro);
+
+/// Parses the text form; throws psi::Error on malformed input. Parsing the
+/// output of to_text() reconstructs the Repro exactly (bitwise doubles).
+Repro parse_repro(const std::string& text);
+
+void write_repro_file(const std::string& path, const Repro& repro);
+Repro read_repro_file(const std::string& path);
+
+}  // namespace psi::check

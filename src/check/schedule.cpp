@@ -1,0 +1,40 @@
+#include "check/schedule.hpp"
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+
+namespace psi::check {
+
+AdversarialSchedule::AdversarialSchedule(std::uint64_t seed,
+                                         sim::SimTime delay_bound)
+    : seed_(seed), delay_bound_(delay_bound) {
+  PSI_CHECK_MSG(delay_bound >= 0.0, "delay_bound must be non-negative");
+}
+
+std::uint64_t AdversarialSchedule::tie_priority(std::uint64_t seq) {
+  if (seed_ == 0) return seq;
+  std::uint64_t state = seed_ ^ (seq * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
+sim::SimTime AdversarialSchedule::network_delay(int src, int dst,
+                                                std::int64_t tag, Count bytes,
+                                                int comm_class,
+                                                sim::SimTime post) {
+  (void)src;
+  (void)dst;
+  (void)tag;
+  (void)bytes;
+  (void)comm_class;
+  (void)post;
+  if (seed_ == 0 || delay_bound_ <= 0.0) return 0.0;
+  // The draw depends only on (seed, stream position): the engine consults
+  // the policy in its deterministic send order, so the jitter sequence is a
+  // pure function of the seed, independent of wall clock or host.
+  std::uint64_t state =
+      hash_combine(hash_combine(seed_, std::uint64_t{0xde1a}), delay_draws_++);
+  const double u = static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+  return delay_bound_ * u;
+}
+
+}  // namespace psi::check

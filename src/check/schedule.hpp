@@ -1,0 +1,38 @@
+/// \file schedule.hpp
+/// \brief Seeded adversarial schedule: the concrete sim::SchedulePolicy the
+/// check subsystem explores schedule space with.
+///
+/// Seed semantics: seed 0 is the identity schedule (FIFO tie-break, zero
+/// jitter) — the engine's native order, usable as the baseline leg of a
+/// differential trial. Any other seed permutes same-timestamp pop order via
+/// a stateless hash of the event sequence number and, when `delay_bound` is
+/// positive, adds an independent uniform wire delay in [0, delay_bound) to
+/// every network message. Both streams are pure functions of (seed, draw
+/// index), so a schedule replays exactly: same seed, same schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/schedule.hpp"
+
+namespace psi::check {
+
+class AdversarialSchedule final : public sim::SchedulePolicy {
+ public:
+  explicit AdversarialSchedule(std::uint64_t seed,
+                               sim::SimTime delay_bound = 0.0);
+
+  std::uint64_t seed() const { return seed_; }
+  sim::SimTime delay_bound() const { return delay_bound_; }
+
+  std::uint64_t tie_priority(std::uint64_t seq) override;
+  sim::SimTime network_delay(int src, int dst, std::int64_t tag, Count bytes,
+                             int comm_class, sim::SimTime post) override;
+
+ private:
+  std::uint64_t seed_;
+  sim::SimTime delay_bound_;
+  std::uint64_t delay_draws_ = 0;  ///< per-post delay stream position
+};
+
+}  // namespace psi::check

@@ -1,0 +1,33 @@
+/// \file shrink.hpp
+/// \brief Greedy spec minimization for failing differential trials.
+///
+/// Given a failing CaseSpec and its signature, the shrinker repeatedly
+/// proposes strictly smaller candidate specs (smaller matrix, lower degree,
+/// fewer fault rules, tighter delay bound, smaller grid, fewer schedule
+/// legs) and accepts a candidate when it still fails with the same failure
+/// KIND (signature_kind — the exact block/value text legitimately moves as
+/// the problem changes shape). It iterates to a fixpoint: one full round in
+/// which no candidate is accepted, or the attempt budget is spent. Because
+/// run_case is deterministic, shrinking is too: same input, same minimum.
+#pragma once
+
+#include <string>
+
+#include "check/oracle.hpp"
+
+namespace psi::check {
+
+struct ShrinkResult {
+  CaseSpec spec;          ///< minimized spec (== input when nothing shrank)
+  std::string signature;  ///< failure signature of the minimized spec
+  int attempts = 0;       ///< run_case executions spent
+  int accepted = 0;       ///< candidates that kept the failure alive
+};
+
+/// `signature` must be the failure run_case(failing) produces; pass the one
+/// already in hand to avoid a redundant execution. `max_attempts` bounds the
+/// total number of candidate executions.
+ShrinkResult shrink(const CaseSpec& failing, const std::string& signature,
+                    int max_attempts = 600);
+
+}  // namespace psi::check

@@ -24,7 +24,6 @@ sim::FaultDecision DeterministicInjector::on_send(int src, int dst,
   (void)src;
   (void)dst;
   (void)tag;
-  (void)bytes;
   stats_.consulted += 1;
   const std::uint64_t draw_id = counter_++;
   sim::FaultDecision decision;
@@ -47,8 +46,12 @@ sim::FaultDecision DeterministicInjector::on_send(int src, int dst,
         uniform_from(plan_->seed(), draw_id, salt + 2) < rule.delay_prob)
       decision.delay += rule.delay;
   }
-  if (decision.drop) stats_.dropped += 1;
+  if (decision.drop) {
+    stats_.dropped += 1;
+    stats_.dropped_bytes += bytes;
+  }
   stats_.duplicated += static_cast<Count>(decision.duplicates);
+  stats_.duplicated_bytes += static_cast<Count>(decision.duplicates) * bytes;
   if (decision.delay > 0.0) stats_.delayed += 1;
   return decision;
 }

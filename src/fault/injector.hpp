@@ -22,6 +22,11 @@ class DeterministicInjector : public sim::FaultInjector {
     Count dropped = 0;
     Count duplicated = 0;  ///< extra copies injected
     Count delayed = 0;
+    /// Byte-weighted drop/duplicate totals, so the check oracle can assert
+    /// exact volume conservation under faults:
+    ///   received == sent - dropped_bytes + duplicated_bytes.
+    Count dropped_bytes = 0;
+    Count duplicated_bytes = 0;  ///< bytes of the extra copies only
   };
 
   /// The plan must outlive the injector.

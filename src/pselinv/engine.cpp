@@ -197,6 +197,9 @@ class PSelInvRank : public sim::Rank {
     PSI_CHECK_MSG(channel_.on_timer(ctx, tag), "unexpected program timer");
   }
 
+  /// Tracked sends still awaiting an ack (0 after a healthy run).
+  std::size_t channel_inflight() const { return channel_.inflight(); }
+
  private:
   // ----- loop 1: panel normalization -------------------------------------
   void normalize_panel(sim::Context& ctx, Int k,
@@ -912,8 +915,14 @@ RunResult run_pselinv(const Plan& plan, const sim::Machine& machine,
   if (options.injector != nullptr) engine.set_fault_injector(options.injector);
   if (options.perturbation != nullptr)
     engine.set_perturbation(options.perturbation);
-  for (int r = 0; r < plan.grid().size(); ++r)
-    engine.set_rank(r, std::make_unique<PSelInvRank>(shared, r));
+  if (options.schedule != nullptr) engine.set_schedule_policy(options.schedule);
+  std::vector<const PSelInvRank*> rank_programs;
+  rank_programs.reserve(static_cast<std::size_t>(plan.grid().size()));
+  for (int r = 0; r < plan.grid().size(); ++r) {
+    auto program = std::make_unique<PSelInvRank>(shared, r);
+    rank_programs.push_back(program.get());
+    engine.set_rank(r, std::move(program));
+  }
   const sim::SimTime makespan = engine.run();
   if (trace_out != nullptr) *trace_out = engine.trace();
 
@@ -929,6 +938,10 @@ RunResult run_pselinv(const Plan& plan, const sim::Machine& machine,
     result.rank_stats.push_back(engine.stats(r));
   result.ainv = std::move(sink);
   result.channel_stats = shared.channel_stats;
+  for (const PSelInvRank* program : rank_programs)
+    result.channel_inflight += program->channel_inflight();
+  result.leaked_timers = engine.leaked_timers();
+  result.arena_high_water = engine.arena_high_water();
   PSI_CHECK_MSG(result.complete(),
                 "selected inversion did not finalize every block: "
                     << result.blocks_finalized << " of "

@@ -56,6 +56,10 @@ struct RunOptions {
   /// Dynamic machine perturbation (stragglers, degraded links); must
   /// outlive the run. Null: none.
   const sim::Perturbation* perturbation = nullptr;
+  /// Adversarial schedule policy (seeded same-timestamp reordering plus
+  /// bounded network jitter — see sim/schedule.hpp and psi::check); must
+  /// outlive the run. Null: the engine's FIFO tie-break.
+  sim::SchedulePolicy* schedule = nullptr;
   /// Resilient-protocol configuration. `ack_comm_class` is overridden to
   /// kProtoAck by the engine.
   trees::ResilienceConfig resilience;
@@ -75,6 +79,14 @@ struct RunResult {
   /// Resilient-protocol activity summed over all ranks (zeros when the
   /// resilient mode is off).
   trees::ChannelStats channel_stats;
+  /// Protocol-exhaustion invariants, summed/read after the queue drained.
+  /// A healthy run has channel_inflight == 0 (every tracked send acked) and
+  /// leaked_timers == 0 (no cancel-after-fire bookkeeping left behind); the
+  /// check oracle asserts both on every trial.
+  std::size_t channel_inflight = 0;
+  std::size_t leaked_timers = 0;
+  /// Engine event-arena peak (live-event high water, in slots).
+  std::size_t arena_high_water = 0;
 
   /// Mean over ranks of time spent in dense kernels.
   double mean_compute_seconds() const;

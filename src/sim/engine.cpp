@@ -79,6 +79,11 @@ void Engine::set_perturbation(const Perturbation* perturbation) {
   perturbation_ = perturbation;
 }
 
+void Engine::set_schedule_policy(SchedulePolicy* policy) {
+  PSI_CHECK(!ran_);
+  schedule_ = policy;
+}
+
 void Engine::set_rank(int rank, std::unique_ptr<Rank> program) {
   PSI_CHECK(rank >= 0 && rank < rank_count());
   PSI_CHECK(!ran_);
@@ -138,7 +143,22 @@ std::uint64_t Engine::enqueue(SimTime time, const EventSlot& slot) {
   PSI_CHECK_MSG(next_seq_ < (std::uint64_t{1} << (64 - kSlotBits)),
                 "event sequence number overflow");
   const std::uint64_t seq = next_seq_++;
-  const Handle handle{time, (seq << kSlotBits) | idx};
+  std::uint64_t order = seq;
+  if (schedule_ != nullptr) {
+    // The handle's high bits become the policy's tie-break priority; the
+    // real seq is parked per slot for dispatch. Keys stay unique among live
+    // events (the slot index disambiguates priority collisions), so the pop
+    // order is still a strict deterministic total order. Self-sends keep
+    // FIFO: they model the rank's own task queue, which a network adversary
+    // cannot reorder (and whose order the resilient mode's canonical
+    // accumulation relies on).
+    if (slot_seq_.size() < pool_.size()) slot_seq_.resize(pool_.size());
+    slot_seq_[idx] = seq;
+    if (slot.src != slot.dst)
+      order = schedule_->tie_priority(seq) &
+              ((std::uint64_t{1} << (64 - kSlotBits)) - 1);
+  }
+  const Handle handle{time, (order << kSlotBits) | idx};
   if (earlier(handle, horizon_))
     heap_push(handle);
   else
@@ -239,6 +259,14 @@ void Engine::post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
     xfer_end = xfer_start + occupancy;
     src_state.nic_send_free = xfer_end;
     deliver_at = xfer_end + machine_->latency(src, dst) + fault.delay;
+    if (schedule_ != nullptr) {
+      // Adversarial wire jitter, on top of any injected fault delay.
+      const SimTime extra = schedule_->network_delay(src, dst, tag, bytes,
+                                                     comm_class, ctx.now_);
+      PSI_CHECK_MSG(extra >= 0.0,
+                    "schedule policy returned negative delay " << extra);
+      deliver_at += extra;
+    }
   }
 
   // Deliver the original (unless dropped) plus any duplicated copies. Each
@@ -407,8 +435,12 @@ SimTime Engine::run() {
     // may grow or reuse the arena.
     const EventSlot slot = pool_[idx];
     free_slots_.push_back(idx);
+    // Under a schedule policy the key's high bits are the adversarial
+    // priority, not the seq — recover the real seq from the side table.
+    const std::uint64_t seq =
+        schedule_ != nullptr ? slot_seq_[idx] : (handle.key >> kSlotBits);
     if (slot.src == kTimerSrc && !cancelled_timers_.empty()) {
-      const auto cancelled = cancelled_timers_.find(handle.key >> kSlotBits);
+      const auto cancelled = cancelled_timers_.find(seq);
       if (cancelled != cancelled_timers_.end()) {
         // Cancelled timer: discard without running a handler, so it neither
         // occupies the rank nor extends the makespan.
@@ -421,7 +453,7 @@ SimTime Engine::run() {
       payload = std::move(payloads_[static_cast<std::size_t>(slot.payload)]);
       free_payloads_.push_back(slot.payload);
     }
-    dispatch(handle.time, handle.key >> kSlotBits, slot, std::move(payload));
+    dispatch(handle.time, seq, slot, std::move(payload));
   }
   wall_seconds_ = timer.seconds();
   return makespan_;

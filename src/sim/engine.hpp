@@ -41,6 +41,7 @@
 
 #include "sim/fault.hpp"
 #include "sim/machine.hpp"
+#include "sim/schedule.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/types.hpp"
 
@@ -181,6 +182,12 @@ class Engine {
   /// run(); the perturbation must outlive it.
   void set_perturbation(const Perturbation* perturbation);
 
+  /// Attaches an adversarial schedule policy (see schedule.hpp): seeded
+  /// permutation of the pop order among same-timestamp events plus bounded
+  /// extra network delays. Call before run(); the policy must outlive it.
+  /// Null (the default) keeps the FIFO tie-break and costs nothing.
+  void set_schedule_policy(SchedulePolicy* policy);
+
   /// Runs to completion (event queue drained). Returns the makespan: the
   /// time the last handler finished.
   SimTime run();
@@ -197,6 +204,14 @@ class Engine {
                : 0.0;
   }
   SimTime makespan() const { return makespan_; }
+
+  /// Cancel-after-fire bookkeeping entries left behind (see cancel_timer).
+  /// A clean protocol run leaves zero; the check oracle asserts it.
+  std::size_t leaked_timers() const { return cancelled_timers_.size(); }
+  /// Peak number of simultaneously-live event slots the arena ever held (it
+  /// only grows). Bounded by 2^PSI_SIM_SLOT_BITS; the check oracle records
+  /// it per trial and sanity-checks it against the event count.
+  std::size_t arena_high_water() const { return pool_.size(); }
 
  private:
   friend class Context;
@@ -290,6 +305,11 @@ class Engine {
   Handle horizon_{-std::numeric_limits<SimTime>::infinity(), 0};
   std::vector<EventSlot> pool_;            ///< stable event arena
   std::vector<std::uint32_t> free_slots_;  ///< reusable arena slots
+  /// With a schedule policy the handle key carries the policy's tie-break
+  /// priority instead of the sequence number, so the real seq of each live
+  /// event is kept here, indexed by arena slot (sized lazily; empty when no
+  /// policy is attached).
+  std::vector<std::uint64_t> slot_seq_;
   std::vector<std::shared_ptr<const DenseMatrix>> payloads_;
   std::vector<std::int32_t> free_payloads_;
 
@@ -297,6 +317,7 @@ class Engine {
   obs::Sink* sink_ = nullptr;
   FaultInjector* injector_ = nullptr;
   const Perturbation* perturbation_ = nullptr;
+  SchedulePolicy* schedule_ = nullptr;
   /// Seqs of cancelled-but-not-yet-popped timers; entries are erased when
   /// the timer's event is popped and discarded.
   std::unordered_set<std::uint64_t> cancelled_timers_;

@@ -1,0 +1,53 @@
+/// \file schedule.hpp
+/// \brief Adversarial schedule-space exploration hook for the engine.
+///
+/// The engine's event queue is a strict (time, seq) total order: events with
+/// equal timestamps pop in FIFO order. That FIFO tie-break is an arbitrary
+/// choice among the schedules a real asynchronous network could produce —
+/// the correctness claims of the tree protocols (and the resilient layer's
+/// bitwise fault-independence) must hold for EVERY legal schedule, not just
+/// the one the queue happens to realize. A SchedulePolicy lets a test
+/// harness explore that space deterministically:
+///
+///  * tie_priority() replaces the FIFO sequence number as the tie-break key
+///    among same-timestamp events, seeded-permuting their pop order. Local
+///    hand-offs (self-sends) are exempt: they model a rank's own task queue,
+///    whose order is program-controlled, not a network artifact.
+///  * network_delay() adds a bounded extra wire delay to each network
+///    message, perturbing arrival order across ranks the way real link
+///    jitter does. Self-sends and timers are never delayed.
+///
+/// A policy must be a pure deterministic function of its own seeded state:
+/// the engine consults it in its deterministic enqueue/post order, so the
+/// same policy seed reproduces the same schedule exactly. Composes with
+/// FaultInjector (faults draw first; the adversarial delay adds on top) and
+/// with the timer queue (timers are reordered among ties but never delayed
+/// — a retry deadline is rank-local, not a network event). Unset, the hook
+/// costs one predictable branch per enqueue/send.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/machine.hpp"
+#include "sparse/types.hpp"
+
+namespace psi::sim {
+
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+
+  /// Tie-break priority of the event with global sequence number `seq`.
+  /// Events queued for the same timestamp pop in ascending priority order
+  /// (residual ties broken by arena slot). Return `seq` for FIFO.
+  virtual std::uint64_t tie_priority(std::uint64_t seq) = 0;
+
+  /// Extra delivery delay (>= 0, bounded) for one posted network message.
+  /// Called once per post, after the fault injector, in deterministic send
+  /// order.
+  virtual SimTime network_delay(int src, int dst, std::int64_t tag,
+                                Count bytes, int comm_class,
+                                SimTime post) = 0;
+};
+
+}  // namespace psi::sim

@@ -18,8 +18,22 @@ ReduceState::ReduceState(int child_count)
   PSI_CHECK_MSG(child_count >= 0, "negative reduction child count");
 }
 
+namespace {
+/// TEST-ONLY (see protocol.hpp): the planted order-dependence bug.
+bool g_fold_in_arrival_order = false;
+}  // namespace
+
+void ReduceState::test_set_fold_in_arrival_order(bool enabled) {
+  g_fold_in_arrival_order = enabled;
+}
+
+bool ReduceState::test_fold_in_arrival_order() {
+  return g_fold_in_arrival_order;
+}
+
 ReduceState::ReduceState(std::span<const int> child_ranks)
     : canonical_(true),
+      fold_on_arrival_(g_fold_in_arrival_order),
       pending_(static_cast<int>(child_ranks.size()) + 1),
       child_count_(static_cast<int>(child_ranks.size())),
       child_ranks_(child_ranks.begin(), child_ranks.end()),
@@ -51,7 +65,7 @@ bool ReduceState::add_local(std::shared_ptr<DenseMatrix> value) {
   PSI_CHECK_MSG(!local_added_, "add_local called twice on one reduction");
   note_arrival();
   local_added_ = true;
-  if (canonical_) {
+  if (canonical_ && !fold_on_arrival_) {
     local_value_ = std::move(value);
   } else if (value) {
     if (!acc_) {
@@ -89,7 +103,13 @@ bool ReduceState::add_child_from(int src,
   note_arrival();
   ++children_seen_;
   child_present_[slot] = true;
-  child_values_[slot] = std::move(value);
+  if (fold_on_arrival_) {
+    // Planted bug active: sum eagerly instead of parking, reintroducing the
+    // arrival-order dependence the canonical mode exists to remove.
+    if (value) add_into_acc(*value);
+  } else {
+    child_values_[slot] = std::move(value);
+  }
   return pending_ == 0;
 }
 

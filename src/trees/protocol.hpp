@@ -71,11 +71,23 @@ class ReduceState {
   /// the fold happens on first call and requires ready().
   std::shared_ptr<DenseMatrix> accumulated();
 
+  /// TEST-ONLY planted bug for psi::check's differential oracle: while
+  /// enabled, canonical-mode states constructed afterwards fold their
+  /// contributions in ARRIVAL order (the counting-mode behavior), silently
+  /// voiding the bitwise schedule-independence guarantee. The check
+  /// subsystem's fuzz campaign must catch this within a bounded number of
+  /// trials (test_check.cpp asserts it). Never enable outside tests.
+  static void test_set_fold_in_arrival_order(bool enabled);
+  static bool test_fold_in_arrival_order();
+
  private:
   void note_arrival();
   void add_into_acc(const DenseMatrix& value);
 
   bool canonical_ = false;
+  /// Snapshot of the test hook at construction (see above): park-and-fold
+  /// is skipped and contributions sum eagerly in arrival order.
+  bool fold_on_arrival_ = false;
   int pending_ = 0;
   bool started_ = false;
   bool local_added_ = false;

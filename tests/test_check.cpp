@@ -1,0 +1,369 @@
+/// Tests for psi::check — adversarial schedule exploration, the
+/// differential oracle, the shrinker, and repro replay (ctest -L check).
+///
+/// The headline assertions mirror the subsystem's acceptance criteria: the
+/// planted arrival-order ReduceState bug is caught by a fixed-seed campaign
+/// within 200 trials, shrunk to a small spec (<= 20 rows, <= 2 fault
+/// rules), and its repro file replays to the byte-identical failure
+/// signature.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check/campaign.hpp"
+#include "check/oracle.hpp"
+#include "check/repro.hpp"
+#include "check/schedule.hpp"
+#include "check/shrink.hpp"
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "sim/engine.hpp"
+#include "trees/protocol.hpp"
+
+namespace psi::check {
+namespace {
+
+// ----- AdversarialSchedule -------------------------------------------------
+
+TEST(AdversarialSchedule, SeedZeroIsIdentity) {
+  AdversarialSchedule schedule(0, /*delay_bound=*/1.0);
+  for (std::uint64_t seq : {0ull, 1ull, 17ull, 123456789ull})
+    EXPECT_EQ(schedule.tie_priority(seq), seq);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(schedule.network_delay(0, 1, i, 100, 0, 0.0), 0.0);
+}
+
+TEST(AdversarialSchedule, SameSeedSameStreams) {
+  AdversarialSchedule a(42, 1e-4);
+  AdversarialSchedule b(42, 1e-4);
+  for (std::uint64_t seq = 0; seq < 64; ++seq)
+    EXPECT_EQ(a.tie_priority(seq), b.tie_priority(seq));
+  for (int i = 0; i < 64; ++i) {
+    const double da = a.network_delay(0, 1, i, 100, 0, 0.0);
+    const double db = b.network_delay(0, 1, i, 100, 0, 0.0);
+    EXPECT_EQ(da, db);
+    EXPECT_GE(da, 0.0);
+    EXPECT_LT(da, 1e-4);
+  }
+  // Different seeds give a different tie permutation.
+  AdversarialSchedule c(43, 1e-4);
+  bool any_difference = false;
+  for (std::uint64_t seq = 0; seq < 64; ++seq)
+    any_difference = any_difference || a.tie_priority(seq) != c.tie_priority(seq);
+  EXPECT_TRUE(any_difference);
+}
+
+/// N ranks each send rank 0 one equal-size message at t = 0, so all N
+/// arrivals carry the identical delivery timestamp. Without a policy the
+/// engine must hand them over in FIFO post order; with a seeded policy the
+/// pop order is a deterministic permutation of the ties.
+class TieSender : public sim::Rank {
+ public:
+  void on_start(sim::Context& ctx) override {
+    if (ctx.rank() != 0) ctx.send(0, /*tag=*/ctx.rank(), 64, 0);
+  }
+  void on_message(sim::Context&, const sim::Message&) override {}
+};
+
+class TieReceiver : public sim::Rank {
+ public:
+  explicit TieReceiver(std::vector<std::int64_t>* order) : order_(order) {}
+  void on_start(sim::Context&) override {}
+  void on_message(sim::Context&, const sim::Message& msg) override {
+    order_->push_back(msg.tag);
+  }
+
+ private:
+  std::vector<std::int64_t>* order_;
+};
+
+std::vector<std::int64_t> arrival_order(std::uint64_t schedule_seed) {
+  // Zero per-message overhead and flat latency: every sender's NIC is free
+  // at t = 0 and all transfers are identical, so the deliveries tie.
+  sim::MachineConfig config;
+  config.cores_per_node = 16;
+  config.msg_overhead = 0.0;
+  const sim::Machine machine(config);
+  const int ranks = 9;
+  sim::Engine engine(machine, ranks, 1);
+  std::vector<std::int64_t> order;
+  engine.set_rank(0, std::make_unique<TieReceiver>(&order));
+  for (int r = 1; r < ranks; ++r)
+    engine.set_rank(r, std::make_unique<TieSender>());
+  AdversarialSchedule schedule(schedule_seed);
+  if (schedule_seed != 0) engine.set_schedule_policy(&schedule);
+  engine.run();
+  return order;
+}
+
+TEST(AdversarialSchedule, EnginePermutesTiesDeterministically) {
+  const std::vector<std::int64_t> fifo = arrival_order(0);
+  std::vector<std::int64_t> expected;
+  for (int r = 1; r < 9; ++r) expected.push_back(r);
+  EXPECT_EQ(fifo, expected);  // no policy: FIFO by post order
+
+  const std::vector<std::int64_t> seeded = arrival_order(7);
+  EXPECT_EQ(seeded, arrival_order(7));  // same seed, same order
+  std::vector<std::int64_t> sorted = seeded;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, expected);  // a permutation: nothing lost or duplicated
+  EXPECT_NE(seeded, fifo);      // and for this seed, a real reordering
+}
+
+// ----- Planted-bug hook ----------------------------------------------------
+
+/// With the test hook on, the canonical ReduceState degrades to fast-mode
+/// arrival-order folding — the order-dependence bug the oracle must catch.
+TEST(PlantedBug, HookMakesCanonicalFoldArrivalOrdered) {
+  const auto scalar = [](double v) {
+    auto m = std::make_shared<DenseMatrix>(1, 1);
+    (*m)(0, 0) = v;
+    return m;
+  };
+  const std::array<int, 2> children{3, 7};
+  const auto fold = [&](bool child7_first) {
+    trees::ReduceState r{std::span<const int>(children)};
+    r.add_local(scalar(1e16));
+    if (child7_first) {
+      r.add_child_from(7, scalar(-1e16));
+      r.add_child_from(3, scalar(1.0));
+    } else {
+      r.add_child_from(3, scalar(1.0));
+      r.add_child_from(7, scalar(-1e16));
+    }
+    return (*r.accumulated())(0, 0);
+  };
+  ASSERT_FALSE(trees::ReduceState::test_fold_in_arrival_order());
+  EXPECT_EQ(fold(true), fold(false));  // healthy: order-independent
+
+  trees::ReduceState::test_set_fold_in_arrival_order(true);
+  EXPECT_NE(fold(true), fold(false));  // planted: arrival order leaks
+  trees::ReduceState::test_set_fold_in_arrival_order(false);
+  ASSERT_FALSE(trees::ReduceState::test_fold_in_arrival_order());
+}
+
+// ----- Oracle --------------------------------------------------------------
+
+TEST(Oracle, CleanCasePassesWithInvariantsExercised) {
+  CaseSpec spec;
+  spec.matrix_seed = 12345;
+  spec.n = 32;
+  spec.degree = 3.5;
+  spec.grid_rows = 2;
+  spec.grid_cols = 2;
+  spec.fault_seed = 99;
+  FaultRuleSpec rule;
+  rule.drop_prob = 0.02;
+  rule.dup_prob = 0.02;
+  spec.fault_rules.push_back(rule);
+  spec.schedule_seed = 7;
+  spec.schedules = 2;
+  spec.delay_bound = 100e-6;
+
+  const CaseResult result = run_case(spec);
+  EXPECT_TRUE(result.passed) << result.signature;
+  EXPECT_EQ(result.signature, "");
+  // 3 schemes x (1 fast + 1 baseline + K adversarial legs).
+  EXPECT_EQ(result.legs_run, 3u * (2u + 2u));
+  EXPECT_GT(result.events, 0);
+  EXPECT_GT(result.arena_high_water, 0u);
+  EXPECT_LT(result.max_ref_err, 1e-8);
+  // The fault plan actually fired (the invariants were checked under load).
+  EXPECT_GT(result.injected_drops + result.injected_duplicates, 0);
+}
+
+TEST(Oracle, DeterministicAcrossRuns) {
+  const CaseSpec spec = trial_spec(/*seed=*/3, /*index=*/0, false);
+  const CaseResult a = run_case(spec);
+  const CaseResult b = run_case(spec);
+  EXPECT_EQ(a.passed, b.passed);
+  EXPECT_EQ(a.signature, b.signature);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.arena_high_water, b.arena_high_water);
+}
+
+TEST(Oracle, SignatureKindSplitsAtFirstSpace) {
+  EXPECT_EQ(signature_kind("bitwise-mismatch scheme=x leg=y"),
+            "bitwise-mismatch");
+  EXPECT_EQ(signature_kind("invariant:volume a=1"), "invariant:volume");
+  EXPECT_EQ(signature_kind("bare"), "bare");
+}
+
+// ----- Campaign + shrinker + replay on the planted bug ---------------------
+
+/// End-to-end acceptance: a fixed-seed campaign with the planted bug
+/// enabled fails within 200 trials; the failure shrinks to <= 20 rows and
+/// <= 2 fault rules; the written repro file replays to the byte-identical
+/// failure signature.
+TEST(PlantedBugCampaign, CaughtShrunkAndReplayedByteIdentically) {
+  const std::string repro_dir = ::testing::TempDir();
+  CampaignOptions options;
+  options.seed = 1;
+  options.trials = 200;
+  options.plant_bug = true;
+  options.stop_on_failure = true;
+  options.repro_dir = repro_dir;
+
+  const CampaignResult campaign = run_campaign(options, nullptr, nullptr);
+  ASSERT_GT(campaign.failures, 0)
+      << "planted bug not caught within 200 trials";
+  ASSERT_GE(campaign.first_failure_trial, 0);
+  ASSERT_LT(campaign.first_failure_trial, 200);
+  EXPECT_EQ(signature_kind(campaign.first_failure_signature),
+            "bitwise-mismatch");
+  ASSERT_FALSE(campaign.first_repro_path.empty());
+
+  const Repro repro = read_repro_file(campaign.first_repro_path);
+  EXPECT_LE(repro.spec.n, 20);
+  EXPECT_LE(repro.spec.fault_rules.size(), 2u);
+  EXPECT_TRUE(repro.spec.plant_bug);
+
+  // Replay: the shrunk spec reproduces its recorded signature exactly.
+  const CaseResult replayed = run_case(repro.spec);
+  ASSERT_FALSE(replayed.passed);
+  EXPECT_EQ(replayed.signature, repro.signature);
+}
+
+TEST(Campaign, CleanSliceReportsNoFailuresAndStreamsNdjson) {
+  CampaignOptions options;
+  options.seed = 1;
+  options.trials = 3;
+  std::ostringstream ndjson;
+  obs::MetricsRegistry metrics;
+  const CampaignResult campaign = run_campaign(options, &ndjson, &metrics);
+  EXPECT_EQ(campaign.trials_run, 3);
+  EXPECT_EQ(campaign.failures, 0) << campaign.first_failure_signature;
+  EXPECT_GT(campaign.total_events, 0);
+  // One JSON object per trial, wired into the metrics registry.
+  std::istringstream lines(ndjson.str());
+  std::string line;
+  int count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"passed\":true"), std::string::npos);
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+  EXPECT_GT(metrics.size(), 0u);
+  EXPECT_NE(metrics.to_ndjson().find("check.trials"), std::string::npos);
+}
+
+TEST(Campaign, TrialSpecIsAPureFunction) {
+  const CaseSpec a = trial_spec(9, 4, false);
+  const CaseSpec b = trial_spec(9, 4, false);
+  EXPECT_EQ(a.matrix_seed, b.matrix_seed);
+  EXPECT_EQ(a.n, b.n);
+  EXPECT_EQ(a.fault_rules.size(), b.fault_rules.size());
+  EXPECT_EQ(a.schedule_seed, b.schedule_seed);
+  const CaseSpec c = trial_spec(9, 5, false);
+  EXPECT_NE(a.matrix_seed, c.matrix_seed);
+}
+
+// ----- Repro round-trip ----------------------------------------------------
+
+TEST(Repro, TextRoundTripIsExact) {
+  Repro repro;
+  repro.spec.matrix_seed = 0xdeadbeefcafef00dULL;
+  repro.spec.n = 47;
+  repro.spec.degree = 0.1 + 1.0 / 3.0;  // not exactly representable
+  repro.spec.unsymmetric = true;
+  repro.spec.grid_rows = 3;
+  repro.spec.grid_cols = 5;
+  repro.spec.fault_seed = 0xffffffffffffffffULL;
+  repro.spec.schedule_seed = 1;
+  repro.spec.schedules = 4;
+  repro.spec.delay_bound = 1.2345678901234567e-5;
+  repro.spec.plant_bug = true;
+  FaultRuleSpec rule;
+  rule.drop_prob = 1.0 / 7.0;
+  rule.dup_prob = 2.2250738585072014e-308;  // smallest normal double
+  rule.delay_prob = 0.25;
+  rule.delay = 9.9e-6;
+  rule.comm_class = 3;
+  repro.spec.fault_rules.push_back(rule);
+  repro.signature = "bitwise-mismatch scheme=Flat-Tree leg=resilient1 "
+                    "block=4,2 baseline=0.001 got=0.002";
+
+  const std::string text = to_text(repro);
+  const Repro parsed = parse_repro(text);
+  EXPECT_EQ(parsed.spec.matrix_seed, repro.spec.matrix_seed);
+  EXPECT_EQ(parsed.spec.n, repro.spec.n);
+  EXPECT_EQ(std::memcmp(&parsed.spec.degree, &repro.spec.degree,
+                        sizeof(double)), 0);
+  EXPECT_EQ(parsed.spec.unsymmetric, repro.spec.unsymmetric);
+  EXPECT_EQ(parsed.spec.grid_rows, repro.spec.grid_rows);
+  EXPECT_EQ(parsed.spec.grid_cols, repro.spec.grid_cols);
+  EXPECT_EQ(parsed.spec.fault_seed, repro.spec.fault_seed);
+  EXPECT_EQ(parsed.spec.schedule_seed, repro.spec.schedule_seed);
+  EXPECT_EQ(parsed.spec.schedules, repro.spec.schedules);
+  EXPECT_EQ(std::memcmp(&parsed.spec.delay_bound, &repro.spec.delay_bound,
+                        sizeof(double)), 0);
+  EXPECT_EQ(parsed.spec.plant_bug, repro.spec.plant_bug);
+  ASSERT_EQ(parsed.spec.fault_rules.size(), 1u);
+  const FaultRuleSpec& got = parsed.spec.fault_rules[0];
+  EXPECT_EQ(std::memcmp(&got.drop_prob, &rule.drop_prob, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&got.dup_prob, &rule.dup_prob, sizeof(double)), 0);
+  EXPECT_EQ(std::memcmp(&got.delay_prob, &rule.delay_prob, sizeof(double)),
+            0);
+  EXPECT_EQ(std::memcmp(&got.delay, &rule.delay, sizeof(double)), 0);
+  EXPECT_EQ(got.comm_class, rule.comm_class);
+  EXPECT_EQ(parsed.signature, repro.signature);
+  // Serializing the parse reproduces the bytes.
+  EXPECT_EQ(to_text(parsed), text);
+}
+
+TEST(Repro, MalformedInputFailsLoudly) {
+  EXPECT_THROW(parse_repro("not a repro"), Error);
+  EXPECT_THROW(parse_repro("psi-check-repro v1\nn 12\n"), Error);  // no sig
+  EXPECT_THROW(parse_repro("psi-check-repro v1\nbogus_key 1\nsignature x\n"),
+               Error);
+  EXPECT_THROW(
+      parse_repro("psi-check-repro v1\nn twelve\nsignature x\n"), Error);
+}
+
+// ----- Shrinker ------------------------------------------------------------
+
+TEST(Shrink, LeavesPassingDimensionsAloneAndIsDeterministic) {
+  // Build a failing planted-bug case via the campaign generator.
+  CampaignOptions probe;
+  probe.seed = 1;
+  probe.trials = 200;
+  probe.plant_bug = true;
+  probe.stop_on_failure = true;
+  const CampaignResult campaign = run_campaign(probe, nullptr, nullptr);
+  ASSERT_GT(campaign.failures, 0);
+  const CaseSpec failing =
+      trial_spec(probe.seed, campaign.first_failure_trial, true);
+
+  const ShrinkResult a =
+      shrink(failing, campaign.first_failure_signature, 120);
+  const ShrinkResult b =
+      shrink(failing, campaign.first_failure_signature, 120);
+  // Deterministic: same input, same minimum, same signature.
+  EXPECT_EQ(a.spec.n, b.spec.n);
+  EXPECT_EQ(a.spec.matrix_seed, b.spec.matrix_seed);
+  EXPECT_EQ(a.signature, b.signature);
+  EXPECT_EQ(a.attempts, b.attempts);
+  // Monotone: never grows any dimension.
+  EXPECT_LE(a.spec.n, failing.n);
+  EXPECT_LE(a.spec.fault_rules.size(), failing.fault_rules.size());
+  EXPECT_LE(a.spec.schedules, failing.schedules);
+  EXPECT_LE(a.spec.delay_bound, failing.delay_bound);
+  // Still failing with the same kind.
+  EXPECT_EQ(signature_kind(a.signature),
+            signature_kind(campaign.first_failure_signature));
+  const CaseResult check = run_case(a.spec);
+  EXPECT_FALSE(check.passed);
+  EXPECT_EQ(check.signature, a.signature);
+}
+
+}  // namespace
+}  // namespace psi::check

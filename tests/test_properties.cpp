@@ -7,8 +7,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <memory>
 #include <set>
 
+#include "check/schedule.hpp"
 #include "common/check.hpp"
 #include "common/rng.hpp"
 #include "driver/experiment.hpp"
@@ -200,6 +203,84 @@ TEST_P(RandomMatrixSweep, PlanTrafficInvariants) {
   }
   EXPECT_EQ(totals[0], totals[1]);
   EXPECT_EQ(totals[1], totals[2]);
+}
+
+/// Resilient mode must be schedule-independent down to the last bit: the
+/// same problem run under three different adversarial schedules (seeded
+/// same-timestamp reordering plus bounded network jitter) produces bitwise
+/// identical selected inverses, which also agree with the fast-mode run on
+/// the native schedule to tight tolerance (fast mode folds in arrival
+/// order, so bitwise equality against it is not obtainable by design).
+TEST_P(RandomMatrixSweep, ResilientBitwiseStableUnderAdversarialSchedules) {
+  const std::uint64_t seed = GetParam() ^ 0x5CED0ULL;
+  Rng rng(seed);
+  const Int n = 24 + static_cast<Int>(rng.uniform(30));
+  const GeneratedMatrix gen = random_symmetric(n, 3.5, seed);
+
+  AnalysisOptions opt;
+  opt.ordering.method = OrderingMethod::kMinDegree;
+  opt.supernodes.max_size = 4 + static_cast<Int>(rng.uniform(10));
+  const SymbolicAnalysis an = analyze(gen, opt);
+
+  const int pr = 2 + static_cast<int>(rng.uniform(2));
+  const int pc = 2 + static_cast<int>(rng.uniform(2));
+  const TreeScheme schemes[] = {TreeScheme::kFlat, TreeScheme::kShiftedBinary,
+                                TreeScheme::kBinomial};
+  const TreeScheme scheme = schemes[rng.uniform(3)];
+  const Plan plan(an.blocks, dist::ProcessGrid(pr, pc),
+                  driver::tree_options_for(scheme, seed));
+  const sim::Machine machine(driver::edison_config(0.2, seed));
+
+  SupernodalLU lu_fast = SupernodalLU::factor(an);
+  const auto fast = run_pselinv(plan, machine, ExecutionMode::kNumeric,
+                                &lu_fast);
+  ASSERT_TRUE(fast.complete());
+
+  std::vector<std::unique_ptr<BlockMatrix>> resilient;
+  for (int leg = 0; leg < 3; ++leg) {
+    SupernodalLU lu = SupernodalLU::factor(an);
+    pselinv::RunOptions options;
+    options.resilience.enabled = true;
+    std::uint64_t sched_state =
+        hash_combine(seed, static_cast<std::uint64_t>(leg));
+    check::AdversarialSchedule schedule(splitmix64(sched_state) | 1,
+                                        /*delay_bound=*/100e-6);
+    options.schedule = &schedule;
+    auto run = run_pselinv(plan, machine, ExecutionMode::kNumeric, &lu,
+                           nullptr, nullptr, options);
+    ASSERT_TRUE(run.complete());
+    EXPECT_EQ(run.channel_inflight, 0u);
+    EXPECT_EQ(run.leaked_timers, 0u);
+    resilient.push_back(std::move(run.ainv));
+  }
+
+  const BlockStructure& bs = an.blocks;
+  double max_err = 0.0;
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    const auto check_block = [&](Int row, Int col) {
+      const DenseMatrix first = resilient[0]->block(row, col);
+      for (std::size_t leg = 1; leg < resilient.size(); ++leg) {
+        const DenseMatrix other = resilient[leg]->block(row, col);
+        ASSERT_EQ(first.rows(), other.rows());
+        ASSERT_EQ(first.cols(), other.cols());
+        const std::size_t bytes = static_cast<std::size_t>(first.rows()) *
+                                  static_cast<std::size_t>(first.cols()) *
+                                  sizeof(double);
+        EXPECT_EQ(std::memcmp(first.data(), other.data(), bytes), 0)
+            << "block (" << row << ", " << col << ") differs between "
+            << "schedule legs 0 and " << leg << " (seed " << seed << ", "
+            << trees::scheme_name(scheme) << ")";
+      }
+      max_err =
+          std::max(max_err, max_abs_diff(first, fast.ainv->block(row, col)));
+    };
+    check_block(k, k);
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)]) {
+      check_block(i, k);
+      check_block(k, i);
+    }
+  }
+  EXPECT_LT(max_err, 1e-10) << "resilient vs fast, seed " << seed;
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomMatrixSweep,
