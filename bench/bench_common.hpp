@@ -20,6 +20,7 @@
 #include "driver/obs_report.hpp"
 #include "driver/paper_matrices.hpp"
 #include "obs/metrics.hpp"
+#include "obs/record.hpp"
 #include "pselinv/engine.hpp"
 #include "pselinv/plan.hpp"
 #include "pselinv/volume_analysis.hpp"

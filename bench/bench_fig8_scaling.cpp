@@ -61,7 +61,7 @@ Series timed_lu(const SymbolicAnalysis& an, int p, double jitter) {
 }
 
 void run_matrix(driver::PaperMatrix which, double extra_scale, Int max_snode,
-                CsvWriter& csv, psi::obs::MetricsRegistry* registry) {
+                obs::RecordWriter& rows, psi::obs::MetricsRegistry* registry) {
   AnalysisOptions options = driver::default_analysis_options();
   options.supernodes.max_size = max_snode;
   const SymbolicAnalysis an = analyze_paper_matrix(which, extra_scale, options);
@@ -141,12 +141,19 @@ void run_matrix(driver::PaperMatrix which, double extra_scale, Int max_snode,
         shifted_mean = s.mean;
         shifted_sd.push_back(s.stddev);
       }
-      csv.write_row({driver::paper_matrix_name(which), std::to_string(p),
-                     trees::scheme_name(scheme), TextTable::fmt(s.mean, 6),
-                     TextTable::fmt(s.stddev, 6)});
+      rows.write(obs::Record()
+                     .add("matrix", driver::paper_matrix_name(which))
+                     .add("procs", p)
+                     .add("scheme", trees::scheme_name(scheme))
+                     .add("mean_s", s.mean)
+                     .add("stddev_s", s.stddev));
     }
-    csv.write_row({driver::paper_matrix_name(which), std::to_string(p),
-                   "LU-reference", TextTable::fmt(lu.mean, 6), "0"});
+    rows.write(obs::Record()
+                   .add("matrix", driver::paper_matrix_name(which))
+                   .add("procs", p)
+                   .add("scheme", "LU-reference")
+                   .add("mean_s", lu.mean)
+                   .add("stddev_s", 0.0));
     const double speedup = flat_mean / shifted_mean;
     if (p == 6400) speedup_6400 = speedup;
     row.push_back(TextTable::fmt(speedup, 2) + "x");
@@ -174,13 +181,14 @@ int main(int argc, char** argv) {
   const std::string json_path = json_flag(argc, argv, "fig8_scaling");
   psi::obs::MetricsRegistry registry;
   psi::obs::MetricsRegistry* reg = json_path.empty() ? nullptr : &registry;
-  CsvWriter csv(out_dir() + "/fig8_scaling.csv",
-                {"matrix", "procs", "scheme", "mean_s", "stddev_s"});
+  psi::obs::RecordWriter rows;
+  rows.open_csv(out_dir() + "/fig8_scaling.csv");
+  rows.open_ndjson(out_dir() + "/fig8_scaling_rows.ndjson");
   // DG analog at full bench scale; the audikw analog is trimmed (extents
   // x0.77, narrower supernodes) to keep the 12,100-rank traces fast while
   // retaining ancestor sets that span the processor columns.
-  run_matrix(psi::driver::PaperMatrix::kDgPnf14000, 1.0, 48, csv, reg);
-  run_matrix(psi::driver::PaperMatrix::kAudikw1, 0.77, 32, csv, reg);
+  run_matrix(psi::driver::PaperMatrix::kDgPnf14000, 1.0, 48, rows, reg);
+  run_matrix(psi::driver::PaperMatrix::kAudikw1, 0.77, 32, rows, reg);
   write_json_summary(registry, json_path);
   return 0;
 }

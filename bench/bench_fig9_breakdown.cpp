@@ -27,9 +27,9 @@ int main(int argc, char** argv) {
   options.supernodes.max_size = 32;
   const SymbolicAnalysis an =
       analyze_paper_matrix(driver::PaperMatrix::kAudikw1, 0.77, options);
-  CsvWriter csv(out_dir() + "/fig9_breakdown.csv",
-                {"scheme", "procs", "total_s", "compute_s", "comm_s",
-                 "comm_over_comp"});
+  obs::RecordWriter rows;
+  rows.open_csv(out_dir() + "/fig9_breakdown.csv");
+  rows.open_ndjson(out_dir() + "/fig9_breakdown_rows.ndjson");
 
   // One independent simulation per (scheme, P); results land in per-job
   // slots and are rendered sequentially below (bit-identical output for any
@@ -70,9 +70,13 @@ int main(int argc, char** argv) {
     table.add_row({trees::scheme_name(job.scheme), std::to_string(job.p),
                    TextTable::fmt(job.makespan, 3), TextTable::fmt(job.compute, 3),
                    TextTable::fmt(comm, 3), TextTable::fmt(ratio, 2)});
-    csv.write_row({trees::scheme_name(job.scheme), std::to_string(job.p),
-                   TextTable::fmt(job.makespan, 6), TextTable::fmt(job.compute, 6),
-                   TextTable::fmt(comm, 6), TextTable::fmt(ratio, 4)});
+    rows.write(obs::Record()
+                   .add("scheme", trees::scheme_name(job.scheme))
+                   .add("procs", job.p)
+                   .add("total_s", job.makespan)
+                   .add("compute_s", job.compute)
+                   .add("comm_s", comm)
+                   .add("comm_over_comp", ratio));
   }
   std::printf("Figure 9: computation vs communication (audikw_1-like)\n%s\n",
               table.render().c_str());

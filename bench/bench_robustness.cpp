@@ -134,10 +134,9 @@ int main(int argc, char** argv) {
   const std::string json_path = json_flag(argc, argv, "robustness");
   obs::MetricsRegistry registry;
   obs::MetricsRegistry* reg = json_path.empty() ? nullptr : &registry;
-  CsvWriter csv(out_dir() + "/robustness.csv",
-                {"scheme", "stragglers", "drop_prob", "degraded_links",
-                 "makespan_s", "degradation", "retries", "reroutes",
-                 "duplicates_suppressed", "msgs_dropped", "msgs_duplicated"});
+  obs::RecordWriter row_writer;
+  row_writer.open_csv(out_dir() + "/robustness.csv");
+  row_writer.open_ndjson(out_dir() + "/robustness_rows.ndjson");
 
   const SymbolicAnalysis an =
       analyze_paper_matrix(driver::PaperMatrix::kDgPnf14000, 0.6);
@@ -196,17 +195,21 @@ int main(int argc, char** argv) {
           baselines[si] > 0.0 ? r.makespan / baselines[si] : 1.0;
       rows[ci].push_back(TextTable::fmt(r.makespan, 3));
       rows[ci].push_back(TextTable::fmt(degradation, 2));
-      csv.write_row({trees::scheme_name(job.scheme),
-                     std::to_string(job.cell.stragglers),
-                     TextTable::fmt(job.cell.drop, 3),
-                     std::to_string(job.cell.degraded_links),
-                     TextTable::fmt(r.makespan, 6),
-                     TextTable::fmt(degradation, 4),
-                     std::to_string(r.channel.retries),
-                     std::to_string(r.channel.reroutes),
-                     std::to_string(r.channel.duplicates_suppressed),
-                     std::to_string(r.injector.dropped),
-                     std::to_string(r.injector.duplicated)});
+      row_writer.write(
+          obs::Record()
+              .add("scheme", trees::scheme_name(job.scheme))
+              .add("stragglers", job.cell.stragglers)
+              .add("drop_prob", job.cell.drop)
+              .add("degraded_links", job.cell.degraded_links)
+              .add("makespan_s", r.makespan)
+              .add("degradation", degradation)
+              .add("retries", static_cast<long long>(r.channel.retries))
+              .add("reroutes", static_cast<long long>(r.channel.reroutes))
+              .add("duplicates_suppressed",
+                   static_cast<long long>(r.channel.duplicates_suppressed))
+              .add("msgs_dropped", static_cast<long long>(r.injector.dropped))
+              .add("msgs_duplicated",
+                   static_cast<long long>(r.injector.duplicated)));
       if (reg != nullptr) {
         obs::Labels labels;
         labels.set("bench", "robustness")

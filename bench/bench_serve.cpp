@@ -1,0 +1,120 @@
+/// \file bench_serve.cpp
+/// \brief Serving benchmark: cold vs warm plan-cache latency and
+/// worker-count throughput scaling of psi::serve.
+///
+/// Scenarios:
+///  * cold-vs-warm — a small structure catalog, repeated value-refresh
+///    requests on one worker: the first request per structure pays ordering
+///    + symbolic + plan/tree construction + the kTrace schedule simulation,
+///    the rest ride the plan cache. Reports the p50 latency of each
+///    population and the cold/warm ratio.
+///  * closed-loop sweep — a Zipf catalog driven closed-loop at several
+///    worker counts; reports throughput and latency percentiles.
+///
+/// Rows land in bench_out/serve.csv + bench_out/serve_rows.ndjson; a
+/// metrics-registry dump (cache counters, phase histograms) goes to
+/// bench_out/serve_metrics.ndjson.
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "serve/service.hpp"
+#include "serve/workload.hpp"
+
+namespace psi {
+namespace {
+
+serve::Service::Config service_config(int workers) {
+  serve::Service::Config config;
+  config.workers = workers;
+  config.queue_capacity = 256;
+  // A large simulated deployment (32x32 ranks) with narrow supernodes: the
+  // pattern-side work a cold request pays — min-degree ordering, symbolic
+  // analysis, per-supernode tree construction, and the kTrace schedule
+  // simulation — dwarfs the per-request numeric phase, which is exactly the
+  // amortization the plan cache is for.
+  config.plan.grid_rows = 32;
+  config.plan.grid_cols = 32;
+  config.plan.machine = driver::timing_machine();
+  config.plan.analysis.ordering.method = OrderingMethod::kMinDegree;
+  config.plan.analysis.supernodes.max_size = 8;
+  return config;
+}
+
+obs::Record scenario_record(const std::string& scenario, int workers,
+                            const serve::WorkloadOptions& workload,
+                            const serve::WorkloadReport& report) {
+  obs::Record record;
+  record.add("scenario", scenario)
+      .add("workers", workers)
+      .add("structures", workload.structures)
+      .add("nx", static_cast<long long>(workload.nx))
+      .add("requests", workload.requests);
+  return report.append_to(record);
+}
+
+}  // namespace
+}  // namespace psi
+
+int main(int argc, char** argv) {
+  using namespace psi;
+  const std::string json_path = bench::json_flag(argc, argv, "serve_metrics");
+
+  obs::RecordWriter rows;
+  rows.open_csv(bench::out_dir() + "/serve.csv");
+  rows.open_ndjson(bench::out_dir() + "/serve_rows.ndjson");
+  obs::MetricsRegistry registry;
+
+  // --- cold vs warm ---------------------------------------------------------
+  {
+    serve::WorkloadOptions workload;
+    workload.structures = 6;
+    workload.nx = 20;
+    workload.requests = 48;
+    workload.window = 1;  // strictly sequential: isolate per-request latency
+    workload.seed = 3;
+    serve::Service service(service_config(/*workers=*/1));
+    const serve::WorkloadReport report = serve::run_workload(service, workload);
+    service.shutdown();
+
+    std::printf("== cold vs warm (%d structures, nx=%d, 1 worker, sequential) ==\n",
+                workload.structures, static_cast<int>(workload.nx));
+    serve::print_report(std::cout, report);
+    const serve::PlanCache::Stats cache = service.cache_stats();
+    std::printf("cache: %lld hits / %lld misses / %lld evictions\n",
+                static_cast<long long>(cache.hits),
+                static_cast<long long>(cache.misses),
+                static_cast<long long>(cache.evictions));
+    rows.write(psi::scenario_record("cold_vs_warm", 1, workload, report));
+    service.fold_metrics(registry);
+  }
+
+  // --- closed-loop worker sweep --------------------------------------------
+  for (const int workers : {1, 2, 4}) {
+    serve::WorkloadOptions workload;
+    workload.structures = 4;
+    workload.nx = 24;
+    workload.requests = 48;
+    workload.window = 2 * workers;
+    workload.zipf_s = 1.0;
+    workload.warm_start = true;
+    workload.seed = 5;
+    serve::Service service(service_config(workers));
+    const serve::WorkloadReport report = serve::run_workload(service, workload);
+    service.shutdown();
+
+    std::printf("\n== closed loop (nx=%d, %d structures, %d workers) ==\n",
+                static_cast<int>(workload.nx), workload.structures, workers);
+    serve::print_report(std::cout, report);
+    rows.write(psi::scenario_record("closed_loop", workers, workload, report));
+    service.fold_metrics(registry);
+  }
+
+  rows.flush();
+  registry.write_ndjson(bench::out_dir() + "/serve_metrics.ndjson");
+  std::printf("\n# rows written to %s/serve.csv (+ serve_rows.ndjson), "
+              "metrics to %s/serve_metrics.ndjson\n",
+              bench::out_dir().c_str(), bench::out_dir().c_str());
+  bench::write_json_summary(registry, json_path);
+  return 0;
+}

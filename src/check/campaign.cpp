@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "obs/metrics.hpp"
+#include "obs/record.hpp"
 #include "pselinv/plan.hpp"
 
 namespace psi::check {
@@ -26,12 +27,6 @@ std::uint64_t draw_u64(std::uint64_t seed, std::uint64_t trial,
                        std::uint64_t salt) {
   std::uint64_t state = hash_combine(hash_combine(seed, trial), salt);
   return splitmix64(state);
-}
-
-std::string json_number(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
 }
 
 }  // namespace
@@ -113,26 +108,33 @@ CampaignResult run_campaign(const CampaignOptions& options,
     }
 
     if (ndjson != nullptr) {
-      std::ostream& out = *ndjson;
-      out << "{\"trial\":" << i << ",\"matrix_seed\":" << spec.matrix_seed
-          << ",\"n\":" << spec.n << ",\"degree\":" << json_number(spec.degree)
-          << ",\"grid\":\"" << spec.grid_rows << "x" << spec.grid_cols
-          << "\",\"unsymmetric\":" << (spec.unsymmetric ? "true" : "false")
-          << ",\"rules\":" << spec.fault_rules.size()
-          << ",\"schedules\":" << spec.schedules
-          << ",\"delay_bound\":" << json_number(spec.delay_bound)
-          << ",\"passed\":" << (result.passed ? "true" : "false")
-          << ",\"signature\":\"" << obs::json_escape(result.signature)
-          << "\",\"legs\":" << result.legs_run
-          << ",\"events\":" << result.events
-          << ",\"max_ref_err\":" << json_number(result.max_ref_err)
-          << ",\"drops\":" << result.injected_drops
-          << ",\"duplicates\":" << result.injected_duplicates
-          << ",\"arena_high_water\":" << result.arena_high_water
-          << ",\"wall_seconds\":" << json_number(trial_seconds);
-      if (!repro_path.empty())
-        out << ",\"repro\":\"" << obs::json_escape(repro_path) << "\"";
-      out << "}\n";
+      // Shared flat-record emitter (same rendering as the bench CSV/NDJSON
+      // exports and the psi_serve access log). `repro` is only present on
+      // failing trials, so it rides outside the fixed column set.
+      obs::Record record;
+      record.add("trial", i)
+          .add("matrix_seed", spec.matrix_seed)
+          .add("n", spec.n)
+          .add("degree", spec.degree)
+          .add("grid", std::to_string(spec.grid_rows) + "x" +
+                           std::to_string(spec.grid_cols))
+          .add("unsymmetric", spec.unsymmetric)
+          .add("rules", static_cast<long long>(spec.fault_rules.size()))
+          .add("schedules", spec.schedules)
+          .add("delay_bound", spec.delay_bound)
+          .add("passed", result.passed)
+          .add("signature", result.signature)
+          .add("legs", static_cast<long long>(result.legs_run))
+          .add("events", static_cast<long long>(result.events))
+          .add("max_ref_err", result.max_ref_err)
+          .add("drops", static_cast<long long>(result.injected_drops))
+          .add("duplicates",
+               static_cast<long long>(result.injected_duplicates))
+          .add("arena_high_water",
+               static_cast<long long>(result.arena_high_water))
+          .add("wall_seconds", trial_seconds);
+      if (!repro_path.empty()) record.add("repro", repro_path);
+      *ndjson << record.to_json() << '\n';
     }
 
     if (metrics != nullptr) {

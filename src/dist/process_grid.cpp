@@ -1,5 +1,7 @@
 #include "dist/process_grid.hpp"
 
+#include <limits>
+
 #include "common/check.hpp"
 
 namespace psi::dist {
@@ -7,11 +9,29 @@ namespace psi::dist {
 ProcessGrid::ProcessGrid(int prows, int pcols) : prows_(prows), pcols_(pcols) {
   PSI_CHECK_MSG(prows > 0 && pcols > 0,
                 "process grid must be positive, got " << prows << "x" << pcols);
+  PSI_CHECK_MSG(prows <= std::numeric_limits<int>::max() / pcols,
+                "process grid " << prows << "x" << pcols
+                                << " overflows the rank count");
 }
 
 int ProcessGrid::rank_of(int prow, int pcol) const {
   PSI_CHECK(prow >= 0 && prow < prows_ && pcol >= 0 && pcol < pcols_);
   return prow * pcols_ + pcol;
+}
+
+ProcessGrid validated_grid(int prows, int pcols, int expected_ranks) {
+  PSI_CHECK_MSG(prows > 0 && pcols > 0,
+                "process grid dimensions must be positive, got "
+                    << prows << "x" << pcols);
+  PSI_CHECK_MSG(prows <= std::numeric_limits<int>::max() / pcols,
+                "process grid " << prows << "x" << pcols
+                                << " overflows the rank count");
+  if (expected_ranks >= 0)
+    PSI_CHECK_MSG(prows * pcols == expected_ranks,
+                  "process grid " << prows << "x" << pcols << " = "
+                                  << prows * pcols << " ranks, but "
+                                  << expected_ranks << " were requested");
+  return ProcessGrid(prows, pcols);
 }
 
 }  // namespace psi::dist

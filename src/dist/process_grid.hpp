@@ -15,6 +15,8 @@ namespace psi::dist {
 
 class ProcessGrid {
  public:
+  /// Throws psi::Error for non-positive dimensions or a Pr*Pc product that
+  /// overflows int.
   ProcessGrid(int prows, int pcols);
 
   int prows() const { return prows_; }
@@ -29,6 +31,14 @@ class ProcessGrid {
   int prows_;
   int pcols_;
 };
+
+/// Validated construction for user-supplied grid arguments (driver flags,
+/// psi_serve requests, bench CLIs): rejects non-positive dimensions and a
+/// Pr*Pc mismatch against an expected rank count with a message naming the
+/// offending values — instead of a bare assert (or worse, an inscrutable
+/// failure deep in plan construction). `expected_ranks < 0` skips the
+/// product check.
+ProcessGrid validated_grid(int prows, int pcols, int expected_ranks = -1);
 
 /// Supernodal 2-D block-cyclic mapping.
 class BlockCyclicMap {

@@ -42,7 +42,7 @@ sim::MachineConfig timing_machine(double jitter_sigma, std::uint64_t run_seed) {
 }
 
 void square_grid(int p, int& pr, int& pc) {
-  PSI_CHECK(p > 0);
+  PSI_CHECK_MSG(p > 0, "processor count must be positive, got " << p);
   pr = static_cast<int>(std::sqrt(static_cast<double>(p)));
   while (pr > 1 && p % pr != 0) --pr;
   pc = p / pr;

@@ -5,10 +5,22 @@
 namespace psi {
 
 SupernodalLU SupernodalLU::factor(const SymbolicAnalysis& analysis) {
-  SupernodalLU lu(analysis.blocks);
+  return factor(analysis.blocks, analysis.matrix);
+}
+
+SupernodalLU SupernodalLU::factor(const BlockStructure& bs,
+                                  const SparseMatrix& permuted) {
+  PSI_CHECK_MSG(permuted.n() == bs.part.n(),
+                "factor: matrix dimension " << permuted.n()
+                    << " does not match block structure " << bs.part.n());
+  return factor(bs, [&](BlockMatrix& m) { m.load(permuted); });
+}
+
+SupernodalLU SupernodalLU::factor(
+    const BlockStructure& bs, const std::function<void(BlockMatrix&)>& load) {
+  SupernodalLU lu(bs);
   BlockMatrix& m = lu.storage_;
-  m.load(analysis.matrix);
-  const BlockStructure& bs = analysis.blocks;
+  load(m);
   const Int nsup = bs.supernode_count();
 
   DenseMatrix lik, ukj, update;

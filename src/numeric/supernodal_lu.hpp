@@ -4,6 +4,8 @@
 /// derived normalized factors consumed by selected inversion.
 #pragma once
 
+#include <functional>
+
 #include "numeric/block_matrix.hpp"
 #include "symbolic/analysis.hpp"
 
@@ -22,6 +24,25 @@ class SupernodalLU {
   /// Factorizes analysis.matrix; throws psi::Error on a zero pivot (the
   /// generators produce diagonally dominant values precisely to avoid this).
   static SupernodalLU factor(const SymbolicAnalysis& analysis);
+
+  /// Numeric-refresh overload: factorizes `permuted` — a matrix already in
+  /// the analyzed (P A P^T, postordered) order — over a previously computed
+  /// block structure. This is the path a plan cache takes when only the
+  /// values of a matrix changed: re-permute the new values with the cached
+  /// permutation and skip ordering/symbolic analysis entirely.
+  /// `factor(analysis)` is exactly `factor(analysis.blocks, analysis.matrix)`,
+  /// so the two paths are bitwise identical. `blocks` must outlive the
+  /// returned factor.
+  static SupernodalLU factor(const BlockStructure& blocks,
+                             const SparseMatrix& permuted);
+
+  /// Loader-callback overload: `load` receives the freshly allocated,
+  /// zeroed block storage and writes the matrix entries into it (e.g. a
+  /// serving layer scattering request values through a precomputed slot
+  /// map); elimination then proceeds exactly as the other overloads, so the
+  /// result is bitwise identical whenever the loaded values are.
+  static SupernodalLU factor(const BlockStructure& blocks,
+                             const std::function<void(BlockMatrix&)>& load);
 
   const BlockStructure& structure() const { return storage_.structure(); }
   const BlockMatrix& blocks() const { return storage_; }

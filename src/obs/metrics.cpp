@@ -2,30 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "obs/record.hpp"
 
 namespace psi::obs {
-
-namespace {
-
-/// Shortest round-trippable rendering of a double for CSV/JSON export.
-std::string format_double(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  // Prefer a shorter form when it round-trips identically.
-  for (int precision = 1; precision < 17; ++precision) {
-    char shorter[32];
-    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
-    if (std::strtod(shorter, nullptr) == v) return shorter;
-  }
-  return buf;
-}
-
-}  // namespace
 
 Labels& Labels::set(const std::string& key, const std::string& value) {
   PSI_CHECK_MSG(!key.empty(), "label key must be non-empty");

@@ -1,0 +1,124 @@
+#include "obs/record.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+
+#include "common/check.hpp"
+#include "common/csv.hpp"
+#include "obs/metrics.hpp"
+
+namespace psi::obs {
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Prefer a shorter form when it round-trips identically.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+Record& Record::add(const std::string& key, const std::string& value) {
+  fields_.push_back({key, value, /*quoted=*/true});
+  return *this;
+}
+
+Record& Record::add(const std::string& key, double value) {
+  fields_.push_back({key, format_double(value), /*quoted=*/false});
+  return *this;
+}
+
+Record& Record::add(const std::string& key, bool value) {
+  fields_.push_back({key, value ? "true" : "false", /*quoted=*/false});
+  return *this;
+}
+
+Record& Record::add(const std::string& key, long long value) {
+  fields_.push_back({key, std::to_string(value), /*quoted=*/false});
+  return *this;
+}
+
+Record& Record::add(const std::string& key, unsigned long long value) {
+  fields_.push_back({key, std::to_string(value), /*quoted=*/false});
+  return *this;
+}
+
+std::string Record::to_json() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ',';
+    out += '"';
+    out += json_escape(fields_[i].key);
+    out += "\":";
+    if (fields_[i].quoted) {
+      out += '"';
+      out += json_escape(fields_[i].value);
+      out += '"';
+    } else {
+      out += fields_[i].value;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+std::vector<std::string> Record::keys() const {
+  std::vector<std::string> out;
+  out.reserve(fields_.size());
+  for (const Field& f : fields_) out.push_back(f.key);
+  return out;
+}
+
+std::vector<std::string> Record::values() const {
+  std::vector<std::string> out;
+  out.reserve(fields_.size());
+  for (const Field& f : fields_) out.push_back(f.value);
+  return out;
+}
+
+void RecordWriter::open_csv(const std::string& path) {
+  csv_ = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  PSI_CHECK_MSG(csv_->good(), "cannot open '" << path << "' for writing");
+}
+
+void RecordWriter::open_ndjson(const std::string& path) {
+  ndjson_owned_ = std::make_unique<std::ofstream>(path, std::ios::trunc);
+  PSI_CHECK_MSG(ndjson_owned_->good(),
+                "cannot open '" << path << "' for writing");
+  ndjson_ = ndjson_owned_.get();
+}
+
+void RecordWriter::attach_ndjson(std::ostream& out) { ndjson_ = &out; }
+
+void RecordWriter::write(const Record& record) {
+  if (!header_written_) {
+    header_ = record.keys();
+    if (csv_) {
+      for (std::size_t i = 0; i < header_.size(); ++i)
+        *csv_ << (i ? "," : "") << csv_escape(header_[i]);
+      *csv_ << '\n';
+    }
+    header_written_ = true;
+  } else {
+    PSI_CHECK_MSG(record.keys() == header_,
+                  "RecordWriter: record fields differ from the first record");
+  }
+  if (csv_) {
+    const std::vector<std::string> values = record.values();
+    for (std::size_t i = 0; i < values.size(); ++i)
+      *csv_ << (i ? "," : "") << csv_escape(values[i]);
+    *csv_ << '\n';
+  }
+  if (ndjson_ != nullptr) *ndjson_ << record.to_json() << '\n';
+}
+
+void RecordWriter::flush() {
+  if (csv_) csv_->flush();
+  if (ndjson_ != nullptr) ndjson_->flush();
+}
+
+}  // namespace psi::obs

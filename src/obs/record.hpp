@@ -1,0 +1,107 @@
+/// \file record.hpp
+/// \brief Shared flat-record emission: one Record is an ordered list of
+/// (key, typed value) pairs, rendered identically as an NDJSON object line
+/// or a CSV row.
+///
+/// Every harness that exports per-row data (the fig8/fig9/robustness
+/// benches, the psi_check campaign, the psi_serve access log) previously
+/// hand-rolled its own stream formatting — %.17g helpers, JSON escaping,
+/// header/row column bookkeeping — drifting in small ways (precision,
+/// quoting). RecordWriter centralizes that: build a Record per row, write it
+/// once, and the CSV header / JSON field set is derived from the first
+/// record and enforced on every subsequent one.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace psi::obs {
+
+/// Shortest rendering of a double that parses back bit-identically
+/// (tries %.1g..%.16g, falls back to %.17g). Shared by the metrics
+/// exporters and every RecordWriter consumer.
+std::string format_double(double v);
+
+/// One flat export row: ordered (key, rendered value) pairs plus a
+/// per-field "quote in JSON" flag (strings are quoted/escaped; numbers and
+/// booleans are emitted raw).
+class Record {
+ public:
+  Record& add(const std::string& key, const std::string& value);
+  Record& add(const std::string& key, const char* value) {
+    return add(key, std::string(value));
+  }
+  Record& add(const std::string& key, double value);
+  Record& add(const std::string& key, bool value);
+  Record& add(const std::string& key, long long value);
+  Record& add(const std::string& key, unsigned long long value);
+  Record& add(const std::string& key, int value) {
+    return add(key, static_cast<long long>(value));
+  }
+  Record& add(const std::string& key, long value) {
+    return add(key, static_cast<long long>(value));
+  }
+  Record& add(const std::string& key, unsigned long value) {
+    return add(key, static_cast<unsigned long long>(value));
+  }
+  Record& add(const std::string& key, unsigned value) {
+    return add(key, static_cast<unsigned long long>(value));
+  }
+
+  std::size_t size() const { return fields_.size(); }
+
+  /// `{"k":v,...}` (no trailing newline).
+  std::string to_json() const;
+  /// Keys in insertion order (the CSV header).
+  std::vector<std::string> keys() const;
+  /// Rendered values in insertion order (the CSV row).
+  std::vector<std::string> values() const;
+
+ private:
+  struct Field {
+    std::string key;
+    std::string value;  ///< rendered
+    bool quoted;        ///< JSON: quote + escape
+  };
+  std::vector<Field> fields_;
+};
+
+/// Emits Records to an optional CSV file and/or an optional NDJSON stream.
+/// The first written record fixes the column set; later records must carry
+/// the same keys in the same order (throws psi::Error otherwise), so a CSV
+/// and its NDJSON twin can never disagree. Not thread-safe — wrap with a
+/// mutex for concurrent writers (see serve::AccessLog).
+class RecordWriter {
+ public:
+  RecordWriter() = default;
+
+  /// Opens (truncates) a CSV file; the header is written with the first
+  /// record. Throws psi::Error when the file cannot be opened.
+  void open_csv(const std::string& path);
+  /// Opens (truncates) an NDJSON file.
+  void open_ndjson(const std::string& path);
+  /// Attaches a caller-owned NDJSON stream (e.g. std::cout, a test
+  /// ostringstream); the caller keeps ownership.
+  void attach_ndjson(std::ostream& out);
+
+  bool active() const { return csv_ || ndjson_ != nullptr; }
+
+  void write(const Record& record);
+
+  /// Flushes both sinks (NDJSON lines are otherwise buffered).
+  void flush();
+
+ private:
+  std::unique_ptr<std::ofstream> csv_;
+  std::unique_ptr<std::ofstream> ndjson_owned_;
+  std::ostream* ndjson_ = nullptr;  ///< owned file or attached stream
+  std::vector<std::string> header_;
+  bool header_written_ = false;
+};
+
+}  // namespace psi::obs

@@ -254,4 +254,29 @@ Count Plan::total_collectives() const {
   return total;
 }
 
+std::size_t Plan::memory_bytes() const {
+  const auto tree_bytes = [](const trees::CommTree& tree) {
+    return sizeof(trees::CommTree) + tree.memory_bytes();
+  };
+  std::size_t bytes = sup_.capacity() * sizeof(SupernodePlan) +
+                      kt_offset_.capacity() * sizeof(std::int64_t) +
+                      (ord_row_.capacity() + ord_col_.capacity()) *
+                          sizeof(std::int32_t);
+  for (const SupernodePlan& plan : sup_) {
+    bytes += (plan.prows.size() + plan.pcols.size() + plan.pcols_a.size() +
+              plan.prows_b.size() + plan.cross_dst.size() +
+              plan.cross_src.size()) *
+                 sizeof(int) +
+             (plan.prow_counts.size() + plan.pcol_counts.size()) *
+                 sizeof(std::int32_t);
+    bytes += tree_bytes(plan.diag_bcast) + tree_bytes(plan.col_reduce);
+    for (const auto& tree : plan.col_bcast) bytes += tree_bytes(tree);
+    for (const auto& tree : plan.row_reduce) bytes += tree_bytes(tree);
+    bytes += tree_bytes(plan.diag_row_bcast);
+    for (const auto& tree : plan.row_bcast) bytes += tree_bytes(tree);
+    for (const auto& tree : plan.col_reduce_up) bytes += tree_bytes(tree);
+  }
+  return bytes;
+}
+
 }  // namespace psi::pselinv

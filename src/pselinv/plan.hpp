@@ -172,6 +172,12 @@ class Plan {
   /// Total messages a flat scheme would send (for reporting).
   Count total_collectives() const;
 
+  /// Heap bytes retained by the plan (per-supernode participant lists, all
+  /// communication trees, dense-index tables). Used by the serve plan
+  /// cache's byte-budget accounting; the referenced BlockStructure is
+  /// counted separately by its owner.
+  std::size_t memory_bytes() const;
+
  private:
   const BlockStructure* structure_;
   dist::ProcessGrid grid_;

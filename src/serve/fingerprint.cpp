@@ -1,0 +1,79 @@
+#include "serve/fingerprint.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/rng.hpp"
+
+namespace psi::serve {
+
+std::string Fingerprint::hex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+FingerprintHasher::FingerprintHasher()
+    // Arbitrary distinct lane seeds; fixed so fingerprints are stable
+    // across processes (a warm cache file or log can be compared between
+    // runs).
+    : hi_(0x9c6e1fb5c3a2d401ULL), lo_(0x2545f4914f6cdd1dULL) {}
+
+void FingerprintHasher::mix(std::uint64_t word) {
+  hi_ = hash_combine(hi_, word);
+  lo_ = hash_combine(lo_, word ^ 0xa5a5a5a5a5a5a5a5ULL);
+}
+
+void FingerprintHasher::mix_bytes(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t word = 0;
+  std::size_t full = size / sizeof(word);
+  for (std::size_t i = 0; i < full; ++i) {
+    std::memcpy(&word, bytes + i * sizeof(word), sizeof(word));
+    mix(word);
+  }
+  const std::size_t tail = size % sizeof(word);
+  if (tail > 0) {
+    word = 0;
+    std::memcpy(&word, bytes + full * sizeof(word), tail);
+    mix(word);
+  }
+  mix(static_cast<std::uint64_t>(size));
+}
+
+Fingerprint FingerprintHasher::finish() const {
+  // One extra avalanche per lane so trailing zero-words still diffuse.
+  std::uint64_t hi_state = hi_;
+  std::uint64_t lo_state = lo_;
+  return Fingerprint{splitmix64(hi_state), splitmix64(lo_state)};
+}
+
+Fingerprint structure_fingerprint(const SparsityPattern& pattern,
+                                  int grid_rows, int grid_cols,
+                                  const trees::TreeOptions& tree_options,
+                                  pselinv::ValueSymmetry symmetry,
+                                  const AnalysisOptions& analysis) {
+  FingerprintHasher hasher;
+  // A version tag so a future layout change cannot alias old fingerprints.
+  hasher.mix(0x70736921'73657276ULL);  // "psi!serv"
+  hasher.mix(static_cast<std::uint64_t>(pattern.n));
+  hasher.mix_bytes(pattern.col_ptr.data(),
+                   pattern.col_ptr.size() * sizeof(Int));
+  hasher.mix_bytes(pattern.row_idx.data(),
+                   pattern.row_idx.size() * sizeof(Int));
+  hasher.mix(static_cast<std::uint64_t>(grid_rows));
+  hasher.mix(static_cast<std::uint64_t>(grid_cols));
+  hasher.mix(static_cast<std::uint64_t>(tree_options.scheme));
+  hasher.mix(static_cast<std::uint64_t>(tree_options.hybrid_flat_threshold));
+  hasher.mix(tree_options.seed);
+  hasher.mix(static_cast<std::uint64_t>(symmetry));
+  hasher.mix(static_cast<std::uint64_t>(analysis.ordering.method));
+  hasher.mix(static_cast<std::uint64_t>(analysis.ordering.dissection_leaf_size));
+  hasher.mix(static_cast<std::uint64_t>(analysis.supernodes.max_size));
+  hasher.mix(static_cast<std::uint64_t>(analysis.supernodes.relax_small));
+  return hasher.finish();
+}
+
+}  // namespace psi::serve

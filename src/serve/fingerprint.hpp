@@ -1,0 +1,73 @@
+/// \file fingerprint.hpp
+/// \brief Structure fingerprints: the plan-cache key of psi::serve.
+///
+/// A selected-inversion *plan* (ordering, supernode partition, PSelInv
+/// communication plan, per-supernode tree layouts) depends only on the
+/// sparsity PATTERN of the matrix and the run configuration — never on the
+/// numeric values. Two requests whose patterns, grids, tree options,
+/// analysis options, and value symmetry all match can share one plan; the
+/// second request skips the entire symbolic/plan/tree pipeline (the
+/// amortizable preprocessing the PSelInv papers describe for repeated
+/// inversions on a fixed structure).
+///
+/// The fingerprint is a 128-bit streaming hash (two independently seeded
+/// 64-bit lanes) over the CSR arrays and the configuration words, so
+/// accidental collisions are out of reach for any realistic catalog size;
+/// value-different but pattern-equal matrices hash identically by
+/// construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pselinv/plan.hpp"
+#include "sparse/sparse_matrix.hpp"
+#include "symbolic/analysis.hpp"
+#include "trees/comm_tree.hpp"
+
+namespace psi::serve {
+
+struct Fingerprint {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+
+  /// 32 lowercase hex digits (for logs and access records).
+  std::string hex() const;
+};
+
+struct FingerprintHash {
+  std::size_t operator()(const Fingerprint& fp) const {
+    return static_cast<std::size_t>(fp.hi ^ (fp.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// Streaming two-lane 64-bit mixer (hash_combine per word, independent
+/// seeds). Exposed so tests can probe sensitivity to single-word changes.
+class FingerprintHasher {
+ public:
+  FingerprintHasher();
+
+  void mix(std::uint64_t word);
+  void mix_bytes(const void* data, std::size_t size);
+
+  Fingerprint finish() const;
+
+ private:
+  std::uint64_t hi_;
+  std::uint64_t lo_;
+};
+
+/// Fingerprint of everything a ServePlan is built from: the sparsity
+/// pattern (n, col_ptr, row_idx — values excluded), the process grid, the
+/// tree options (scheme, hybrid threshold, shift seed), the value symmetry
+/// (it adds the mirrored U-side phases to the plan), and the analysis
+/// options (they change the supernode partition).
+Fingerprint structure_fingerprint(const SparsityPattern& pattern,
+                                  int grid_rows, int grid_cols,
+                                  const trees::TreeOptions& tree_options,
+                                  pselinv::ValueSymmetry symmetry,
+                                  const AnalysisOptions& analysis);
+
+}  // namespace psi::serve

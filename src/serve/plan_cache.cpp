@@ -1,0 +1,271 @@
+#include "serve/plan_cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+#include "pselinv/engine.hpp"
+
+namespace psi::serve {
+
+namespace {
+
+template <typename T>
+std::size_t vector_bytes(const std::vector<T>& v) {
+  return v.capacity() * sizeof(T);
+}
+
+std::size_t analysis_bytes(const SymbolicAnalysis& a) {
+  std::size_t bytes = vector_bytes(a.matrix.pattern.col_ptr) +
+                      vector_bytes(a.matrix.pattern.row_idx) +
+                      vector_bytes(a.matrix.values) +
+                      vector_bytes(a.perm.old_to_new()) +
+                      vector_bytes(a.perm.new_to_old()) +
+                      vector_bytes(a.etree) + vector_bytes(a.counts) +
+                      vector_bytes(a.blocks.part.starts) +
+                      vector_bytes(a.blocks.part.sup_of_col) +
+                      vector_bytes(a.blocks.parent) +
+                      vector_bytes(a.blocks.struct_of);
+  for (const auto& s : a.blocks.struct_of) bytes += vector_bytes(s);
+  return bytes;
+}
+
+/// Builds the request-CSR -> block-slot scatter map (ServePlan::scatter).
+/// Mirrors BlockMatrix::load exactly, with the symmetric permutation folded
+/// in: entry (row, j) of the ORIGINAL pattern lands where the permuted
+/// entry (perm[row], perm[j]) would land.
+std::vector<ServePlan::ValueSlot> build_scatter_map(
+    const SparsityPattern& pattern, const SymbolicAnalysis& analysis) {
+  using SlotKind = ServePlan::SlotKind;
+  const auto& perm = analysis.perm.old_to_new();
+  const auto& part = analysis.blocks.part;
+  const auto& struct_of = analysis.blocks.struct_of;
+
+  // Row offset of block i inside panel k, keyed by i's position in
+  // struct(k) — the same table BlockMatrix builds in its constructor.
+  const Int nsup = analysis.blocks.supernode_count();
+  std::vector<std::vector<Int>> offsets(static_cast<std::size_t>(nsup));
+  for (Int k = 0; k < nsup; ++k) {
+    Int off = 0;
+    for (Int i : struct_of[static_cast<std::size_t>(k)]) {
+      offsets[static_cast<std::size_t>(k)].push_back(off);
+      off += part.size(i);
+    }
+  }
+  const auto panel_offset = [&](Int k, Int i) {
+    const auto& str = struct_of[static_cast<std::size_t>(k)];
+    const auto it = std::lower_bound(str.begin(), str.end(), i);
+    PSI_CHECK_MSG(it != str.end() && *it == i,
+                  "matrix entry maps to block (" << i << ", " << k
+                      << ") outside the symbolic structure");
+    return offsets[static_cast<std::size_t>(k)]
+                  [static_cast<std::size_t>(it - str.begin())];
+  };
+
+  std::vector<ServePlan::ValueSlot> scatter;
+  scatter.reserve(pattern.row_idx.size());
+  for (Int j = 0; j < pattern.n; ++j) {
+    const Int jp = perm[static_cast<std::size_t>(j)];
+    const Int k = part.sup_of_col[static_cast<std::size_t>(jp)];
+    const Int jc = jp - part.first_col(k);
+    for (Int q = pattern.col_ptr[j]; q < pattern.col_ptr[j + 1]; ++q) {
+      const Int ip =
+          perm[static_cast<std::size_t>(pattern.row_idx[static_cast<std::size_t>(q)])];
+      const Int bi = part.sup_of_col[static_cast<std::size_t>(ip)];
+      const Int ir = ip - part.first_col(bi);
+      if (bi == k) {
+        scatter.push_back({SlotKind::kDiag, k, ir, jc});
+      } else if (bi > k) {
+        scatter.push_back({SlotKind::kLower, k, panel_offset(k, bi) + ir, jc});
+      } else {
+        scatter.push_back({SlotKind::kUpper, bi, ir, panel_offset(bi, k) + jc});
+      }
+    }
+  }
+  return scatter;
+}
+
+}  // namespace
+
+void ServePlan::scatter_values(const std::vector<double>& values,
+                               BlockMatrix& m) const {
+  PSI_CHECK_MSG(values.size() == scatter.size(),
+                "request carries " << values.size()
+                    << " values but the plan's load map has "
+                    << scatter.size() << " slots");
+  for (std::size_t p = 0; p < scatter.size(); ++p) {
+    const ValueSlot& s = scatter[p];
+    switch (s.kind) {
+      case SlotKind::kDiag: m.diag(s.sup)(s.row, s.col) = values[p]; break;
+      case SlotKind::kLower: m.lpanel(s.sup)(s.row, s.col) = values[p]; break;
+      case SlotKind::kUpper: m.upanel(s.sup)(s.row, s.col) = values[p]; break;
+    }
+  }
+}
+
+ServePlan::ServePlan(const Fingerprint& fp, const PlanConfig& cfg,
+                     SymbolicAnalysis an)
+    : fingerprint(fp),
+      config(cfg),
+      analysis(std::move(an)),
+      grid(dist::validated_grid(cfg.grid_rows, cfg.grid_cols)),
+      plan(analysis.blocks, grid, cfg.tree, cfg.symmetry) {}
+
+std::shared_ptr<const ServePlan> build_serve_plan(const SparseMatrix& matrix,
+                                                  const PlanConfig& config) {
+  PSI_CHECK_MSG(
+      config.analysis.ordering.method != OrderingMethod::kGeometricDissection,
+      "serve plans cannot use geometric dissection (requests carry no mesh "
+      "coordinates)");
+  matrix.validate();
+  PSI_CHECK_MSG(matrix.pattern.is_structurally_symmetric(),
+                "serve request matrix must be structurally symmetric");
+  WallTimer timer;
+  const Fingerprint fp = plan_fingerprint(matrix.pattern, config);
+  std::shared_ptr<ServePlan> plan = std::make_shared<ServePlan>(
+      fp, config, analyze(matrix, config.analysis));
+  // The first requester's values are not part of the plan — requests bring
+  // their own values, which the service re-permutes with the cached
+  // permutation. Drop them so the cache budget covers structure only.
+  ServePlan& p = *plan;
+  p.analysis.matrix.values = {};
+  p.scatter = build_scatter_map(matrix.pattern, p.analysis);
+  p.bytes = sizeof(ServePlan) + analysis_bytes(p.analysis) +
+            vector_bytes(p.scatter) + p.plan.memory_bytes();
+  // Simulate the distributed schedule once, values-free. Requests serve
+  // their numeric phase with the sequential algorithm and report this
+  // cached makespan — the DES never reruns for a cached structure.
+  {
+    WallTimer trace_timer;
+    const sim::Machine machine(config.machine);
+    const pselinv::RunResult trace =
+        run_pselinv(p.plan, machine, pselinv::ExecutionMode::kTrace);
+    PSI_CHECK_MSG(trace.complete(),
+                  "plan trace run incomplete: " << trace.blocks_finalized
+                                                << "/" << trace.expected_blocks
+                                                << " blocks");
+    p.trace_makespan = trace.makespan;
+    p.trace_events = trace.events;
+    p.trace_seconds = trace_timer.seconds();
+  }
+  p.build_seconds = timer.seconds();
+  return plan;
+}
+
+Fingerprint plan_fingerprint(const SparsityPattern& pattern,
+                             const PlanConfig& config) {
+  return structure_fingerprint(pattern, config.grid_rows, config.grid_cols,
+                               config.tree, config.symmetry, config.analysis);
+}
+
+std::shared_ptr<const ServePlan> PlanCache::lookup_locked(
+    const Fingerprint& fp) {
+  auto it = index_.find(fp);
+  if (it == index_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);  // touch: move to front
+  return it->second->plan;
+}
+
+void PlanCache::insert_locked(const std::shared_ptr<const ServePlan>& plan) {
+  if (plan->bytes > config_.capacity_bytes) {
+    ++stats_.oversize;
+    return;
+  }
+  lru_.push_front(Entry{plan->fingerprint, plan});
+  index_[plan->fingerprint] = lru_.begin();
+  stats_.bytes += plan->bytes;
+  while (stats_.bytes > config_.capacity_bytes && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    stats_.bytes -= victim.plan->bytes;
+    index_.erase(victim.fp);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = lru_.size();
+  if (stats_.bytes > stats_.bytes_high_water)
+    stats_.bytes_high_water = stats_.bytes;
+}
+
+std::shared_ptr<const ServePlan> PlanCache::get_or_build(const Fingerprint& fp,
+                                                         const Builder& build,
+                                                         bool* hit_out) {
+  std::shared_future<std::shared_ptr<const ServePlan>> pending;
+  std::promise<std::shared_ptr<const ServePlan>> promise;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto plan = lookup_locked(fp)) {
+      ++stats_.hits;
+      if (hit_out) *hit_out = true;
+      return plan;
+    }
+    ++stats_.misses;
+    if (hit_out) *hit_out = false;
+    auto inflight = building_.find(fp);
+    if (inflight != building_.end()) {
+      ++stats_.coalesced;
+      pending = inflight->second;
+    } else {
+      building_.emplace(fp, promise.get_future().share());
+    }
+  }
+  if (pending.valid()) return pending.get();  // propagates build exceptions
+
+  std::shared_ptr<const ServePlan> plan;
+  try {
+    plan = build();
+    PSI_CHECK_MSG(plan != nullptr, "plan builder returned null");
+    PSI_CHECK_MSG(plan->fingerprint == fp,
+                  "plan builder fingerprint mismatch: expected "
+                      << fp.hex() << ", built " << plan->fingerprint.hex());
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      building_.erase(fp);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    insert_locked(plan);
+    building_.erase(fp);
+  }
+  promise.set_value(plan);
+  return plan;
+}
+
+std::shared_ptr<const ServePlan> PlanCache::lookup(const Fingerprint& fp) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto plan = lookup_locked(fp);
+  if (plan)
+    ++stats_.hits;
+  else
+    ++stats_.misses;
+  return plan;
+}
+
+void PlanCache::record_external_hits(Count count) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.hits += count;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void PlanCache::fold_metrics(obs::MetricsRegistry& registry) const {
+  const Stats s = stats();
+  registry.counter("serve_cache_hits").add(s.hits);
+  registry.counter("serve_cache_misses").add(s.misses);
+  registry.counter("serve_cache_evictions").add(s.evictions);
+  registry.counter("serve_cache_oversize").add(s.oversize);
+  registry.counter("serve_cache_coalesced").add(s.coalesced);
+  registry.gauge("serve_cache_bytes").set(static_cast<double>(s.bytes));
+  registry.gauge("serve_cache_entries").set(static_cast<double>(s.entries));
+  registry.gauge("serve_cache_bytes_high_water")
+      .set(static_cast<double>(s.bytes_high_water));
+}
+
+}  // namespace psi::serve

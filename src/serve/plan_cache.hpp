@@ -1,0 +1,186 @@
+/// \file plan_cache.hpp
+/// \brief The psi::serve plan cache: immutable, shareable selected-inversion
+/// plans keyed by structure fingerprint, with LRU eviction under a byte
+/// budget and single-flight builds.
+///
+/// A ServePlan bundles everything that depends only on a matrix's sparsity
+/// PATTERN and the run configuration: the fill ordering, the symbolic
+/// analysis (etree, supernode partition, block structure), and the PSelInv
+/// communication plan with all its per-supernode tree layouts. Building one
+/// is the expensive preprocessing the paper amortizes over repeated
+/// inversions; serving a numeric-only request against a cached plan skips
+/// straight to permute + factorization + inversion.
+///
+/// Concurrency contract: ServePlan is immutable after construction and
+/// shared via shared_ptr<const>, so any number of service workers can run
+/// against one plan concurrently. PlanCache itself is fully thread-safe;
+/// builds are single-flight (concurrent requests for the same missing
+/// fingerprint wait for one build instead of duplicating it).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "dist/process_grid.hpp"
+#include "numeric/block_matrix.hpp"
+#include "obs/metrics.hpp"
+#include "pselinv/plan.hpp"
+#include "serve/fingerprint.hpp"
+#include "sim/machine.hpp"
+#include "symbolic/analysis.hpp"
+
+namespace psi::serve {
+
+/// Everything a plan is built from besides the sparsity pattern. All
+/// orderings must be coordinate-free (geometric dissection needs mesh
+/// coordinates, which requests do not carry).
+struct PlanConfig {
+  int grid_rows = 2;
+  int grid_cols = 2;
+  trees::TreeOptions tree;
+  pselinv::ValueSymmetry symmetry = pselinv::ValueSymmetry::kSymmetric;
+  AnalysisOptions analysis;
+  /// Simulated machine the plan's kTrace schedule run executes on. Not part
+  /// of the fingerprint: a service has exactly one machine, so within one
+  /// cache the trace artifacts are keyed by structure alone.
+  sim::MachineConfig machine;
+};
+
+/// An immutable cached plan. Never constructed directly — build_serve_plan
+/// returns it heap-allocated, because `plan` holds a pointer into
+/// `analysis.blocks` and the object must therefore never move.
+struct ServePlan {
+  /// Destination of one request CSR entry in the factor's block storage.
+  enum class SlotKind : std::uint8_t { kDiag, kLower, kUpper };
+  struct ValueSlot {
+    SlotKind kind;
+    Int sup;       ///< supernode owning the destination panel
+    Int row, col;  ///< position within diag(sup) / lpanel(sup) / upanel(sup)
+  };
+
+  Fingerprint fingerprint;
+  PlanConfig config;
+  /// Symbolic pipeline output. `analysis.matrix.values` is cleared after
+  /// the build (the first requester's values are not part of the plan);
+  /// the permuted pattern, permutation, etree and block structure remain.
+  SymbolicAnalysis analysis;
+  dist::ProcessGrid grid;
+  pselinv::Plan plan;  ///< references analysis.blocks
+  /// Distributed-schedule artifacts from the build's kTrace simulation run.
+  /// The DES schedule is a pure function of structure + config + machine —
+  /// values never change message counts or timing — so it is simulated once
+  /// here and every request sharing the fingerprint reuses the result.
+  double trace_makespan = 0.0;  ///< simulated selected-inversion seconds
+  Count trace_events = 0;       ///< DES events the schedule run processed
+  double trace_seconds = 0.0;   ///< host seconds spent simulating
+  /// Precomputed numeric load map: entry p of a request's CSR (the exact
+  /// pattern the fingerprint hashes, so identical for every request served
+  /// by this plan) lands at scatter[p]. Turns the per-request symmetric
+  /// permutation + CSR scan into one linear pass over the value array.
+  std::vector<ValueSlot> scatter;
+  std::size_t bytes = 0;          ///< heap footprint (cache accounting)
+  double build_seconds = 0.0;     ///< host seconds spent building
+
+  /// Scatters `values` (a request's CSR value array on this plan's pattern)
+  /// into the zeroed block storage `m`. Throws psi::Error on a length
+  /// mismatch (the request pattern cannot differ — the cache keys on it).
+  void scatter_values(const std::vector<double>& values, BlockMatrix& m) const;
+
+  ServePlan(const Fingerprint& fp, const PlanConfig& cfg, SymbolicAnalysis an);
+  ServePlan(const ServePlan&) = delete;
+  ServePlan& operator=(const ServePlan&) = delete;
+};
+
+/// Runs the full pattern-side pipeline (validate, fingerprint, analyze,
+/// plan, kTrace schedule simulation) for `matrix` under `config`. Throws
+/// psi::Error on invalid input (e.g. a structurally unsymmetric pattern or
+/// a coordinate-needing ordering).
+std::shared_ptr<const ServePlan> build_serve_plan(const SparseMatrix& matrix,
+                                                  const PlanConfig& config);
+
+/// Fingerprint of `matrix`'s pattern under `config` (what the cache keys
+/// on; value changes do not change it).
+Fingerprint plan_fingerprint(const SparsityPattern& pattern,
+                             const PlanConfig& config);
+
+/// Thread-safe LRU plan cache with a byte budget and single-flight builds.
+class PlanCache {
+ public:
+  struct Config {
+    /// Total ServePlan::bytes the cache may retain. A single plan larger
+    /// than the budget is returned to its requester but never retained
+    /// (counted in Stats::oversize).
+    std::size_t capacity_bytes = std::size_t{256} << 20;
+  };
+
+  struct Stats {
+    Count hits = 0;        ///< served from cache
+    Count misses = 0;      ///< not cached at lookup time
+    Count evictions = 0;   ///< entries dropped to fit the byte budget
+    Count oversize = 0;    ///< built plans too large to retain
+    Count coalesced = 0;   ///< misses that joined an in-flight build
+    std::size_t bytes = 0;             ///< currently retained
+    std::size_t entries = 0;           ///< currently retained
+    std::size_t bytes_high_water = 0;  ///< peak retained bytes
+  };
+
+  using Builder = std::function<std::shared_ptr<const ServePlan>()>;
+
+  explicit PlanCache(const Config& config) : config_(config) {}
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Returns the cached plan for `fp`, or invokes `build` (outside the
+  /// cache lock; single-flight across threads), retains the result under
+  /// LRU/byte-budget policy, and returns it. A builder exception propagates
+  /// to every waiter and caches nothing. `hit_out` (optional) reports
+  /// whether this call was served from cache.
+  std::shared_ptr<const ServePlan> get_or_build(const Fingerprint& fp,
+                                                const Builder& build,
+                                                bool* hit_out = nullptr);
+
+  /// Cached plan for `fp`, or nullptr. Touches LRU order and the hit/miss
+  /// counters but never builds.
+  std::shared_ptr<const ServePlan> lookup(const Fingerprint& fp);
+
+  /// Accounts `count` additional cache hits that did not go through
+  /// get_or_build — the service batcher resolves a plan once per batch and
+  /// serves the followers from it, and those requests are cache hits too.
+  void record_external_hits(Count count);
+
+  Stats stats() const;
+
+  /// Adds the cache counters/gauges ("serve_cache_*") to `registry`.
+  /// MetricsRegistry is not thread-safe: call from one thread, after (or
+  /// between) request waves.
+  void fold_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  struct Entry {
+    Fingerprint fp;
+    std::shared_ptr<const ServePlan> plan;
+  };
+
+  /// Caller holds mutex_. Returns the plan if cached (front of LRU after).
+  std::shared_ptr<const ServePlan> lookup_locked(const Fingerprint& fp);
+  /// Caller holds mutex_. Retains `plan` and evicts LRU entries over budget.
+  void insert_locked(const std::shared_ptr<const ServePlan>& plan);
+
+  Config config_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<Fingerprint, std::list<Entry>::iterator, FingerprintHash>
+      index_;
+  std::unordered_map<Fingerprint,
+                     std::shared_future<std::shared_ptr<const ServePlan>>,
+                     FingerprintHash>
+      building_;
+  Stats stats_;
+};
+
+}  // namespace psi::serve

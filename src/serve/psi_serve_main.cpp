@@ -1,0 +1,190 @@
+/// \file psi_serve_main.cpp
+/// \brief psi_serve — drive the in-process selected-inversion service with a
+/// synthetic workload and report latency/throughput/cache behaviour.
+///
+/// Usage:
+///   psi_serve [--workers N] [--queue-capacity N] [--max-batch N]
+///             [--cache-mb MB] [--grid RxC] [--scheme NAME]
+///             [--tree-seed S] [--unsymmetric]
+///             [--requests N] [--structures N] [--nx N] [--zipf S]
+///             [--arrival-hz HZ] [--window N] [--interactive-frac F]
+///             [--warm-start] [--seed S]
+///             [--access-log PATH] [--metrics PATH] [--summary PATH]
+///
+/// Exit codes: 0 — workload ran and every request completed or was
+/// rejected by design; 1 — requests failed; 2 — usage error.
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "driver/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/record.hpp"
+#include "serve/service.hpp"
+#include "serve/workload.hpp"
+#include "trees/comm_tree.hpp"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "psi_serve: request-driven selected-inversion service harness.\n\n"
+         "Service options:\n"
+         "  --workers N          worker threads (default 2)\n"
+         "  --queue-capacity N   admission queue slots (default 64)\n"
+         "  --max-batch N        same-structure batch size (default 8)\n"
+         "  --cache-mb MB        plan cache budget (default 256)\n"
+         "  --grid RxC           process grid (default 2x2)\n"
+         "  --scheme NAME        tree scheme (default shifted-binary)\n"
+         "  --tree-seed S        tree shift seed\n"
+         "  --unsymmetric        unsymmetric-values plans\n"
+         "  --ordering NAME      natural|rcm|min-degree|nested-dissection\n"
+         "  --leaf N             dissection leaf size\n"
+         "  --max-supernode N    supernode width cap\n"
+         "Workload options:\n"
+         "  --requests N         requests to submit (default 32)\n"
+         "  --structures N       distinct matrix structures (default 4)\n"
+         "  --nx N               base Laplacian edge (default 24)\n"
+         "  --zipf S             popularity skew (default 1.0)\n"
+         "  --arrival-hz HZ      open-loop Poisson rate (default: closed)\n"
+         "  --window N           closed-loop outstanding window (default 4)\n"
+         "  --interactive-frac F fraction at interactive priority\n"
+         "  --warm-start         touch each structure before measuring\n"
+         "  --seed S             workload seed (default 1)\n"
+         "Output options:\n"
+         "  --access-log PATH    per-request NDJSON access log\n"
+         "  --metrics PATH       metrics-registry NDJSON dump\n"
+         "  --summary PATH       one-line NDJSON workload summary\n";
+}
+
+bool parse_ordering(const std::string& name, psi::OrderingMethod& method) {
+  if (name == "natural") method = psi::OrderingMethod::kNatural;
+  else if (name == "rcm") method = psi::OrderingMethod::kRcm;
+  else if (name == "min-degree") method = psi::OrderingMethod::kMinDegree;
+  else if (name == "nested-dissection")
+    method = psi::OrderingMethod::kNestedDissection;
+  else return false;
+  return true;
+}
+
+/// Parses "RxC" (also accepts "R,C").
+bool parse_grid(const std::string& text, int& rows, int& cols) {
+  const std::size_t sep = text.find_first_of("xX,");
+  if (sep == std::string::npos) return false;
+  try {
+    rows = std::stoi(text.substr(0, sep));
+    cols = std::stoi(text.substr(sep + 1));
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  psi::serve::Service::Config config;
+  psi::serve::WorkloadOptions workload;
+  config.plan.machine = psi::driver::timing_machine();
+  std::string metrics_path;
+  std::string summary_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "psi_serve: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--workers") {
+      config.workers = std::stoi(value());
+    } else if (arg == "--queue-capacity") {
+      config.queue_capacity = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--max-batch") {
+      config.max_batch = std::stoi(value());
+    } else if (arg == "--cache-mb") {
+      config.cache.capacity_bytes =
+          static_cast<std::size_t>(std::stoul(value())) << 20;
+    } else if (arg == "--grid") {
+      if (!parse_grid(value(), config.plan.grid_rows, config.plan.grid_cols)) {
+        std::cerr << "psi_serve: --grid expects RxC\n";
+        return 2;
+      }
+    } else if (arg == "--scheme") {
+      config.plan.tree.scheme = psi::trees::parse_scheme(value());
+    } else if (arg == "--tree-seed") {
+      config.plan.tree.seed = std::stoull(value());
+    } else if (arg == "--unsymmetric") {
+      config.plan.symmetry = psi::pselinv::ValueSymmetry::kUnsymmetric;
+    } else if (arg == "--ordering") {
+      if (!parse_ordering(value(), config.plan.analysis.ordering.method)) {
+        std::cerr << "psi_serve: unknown ordering\n";
+        return 2;
+      }
+    } else if (arg == "--leaf") {
+      config.plan.analysis.ordering.dissection_leaf_size = std::stoi(value());
+    } else if (arg == "--max-supernode") {
+      config.plan.analysis.supernodes.max_size = std::stoi(value());
+    } else if (arg == "--requests") {
+      workload.requests = std::stoi(value());
+    } else if (arg == "--structures") {
+      workload.structures = std::stoi(value());
+    } else if (arg == "--nx") {
+      workload.nx = std::stoi(value());
+    } else if (arg == "--zipf") {
+      workload.zipf_s = std::stod(value());
+    } else if (arg == "--arrival-hz") {
+      workload.arrival_hz = std::stod(value());
+    } else if (arg == "--window") {
+      workload.window = std::stoi(value());
+    } else if (arg == "--interactive-frac") {
+      workload.interactive_fraction = std::stod(value());
+    } else if (arg == "--warm-start") {
+      workload.warm_start = true;
+    } else if (arg == "--seed") {
+      workload.seed = std::stoull(value());
+    } else if (arg == "--access-log") {
+      config.access_log_path = value();
+    } else if (arg == "--metrics") {
+      metrics_path = value();
+    } else if (arg == "--summary") {
+      summary_path = value();
+    } else {
+      std::cerr << "psi_serve: unknown option " << arg << "\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  psi::serve::Service service(config);
+  const psi::serve::WorkloadReport report =
+      psi::serve::run_workload(service, workload);
+  service.shutdown();
+
+  psi::serve::print_report(std::cout, report);
+  const psi::serve::PlanCache::Stats cache = service.cache_stats();
+  std::cout << "cache:    " << cache.hits << " hits, " << cache.misses
+            << " misses, " << cache.evictions << " evictions, "
+            << cache.entries << " entries / " << cache.bytes << " bytes\n";
+
+  if (!metrics_path.empty()) {
+    psi::obs::MetricsRegistry registry;
+    service.fold_metrics(registry);
+    registry.write_ndjson(metrics_path);
+  }
+  if (!summary_path.empty()) {
+    psi::obs::RecordWriter writer;
+    writer.open_ndjson(summary_path);
+    writer.write(report.to_record());
+    writer.flush();
+  }
+  return report.failed > 0 ? 1 : 0;
+} catch (const std::exception& e) {
+  std::cerr << "psi_serve: " << e.what() << "\n";
+  return 2;
+}

@@ -1,0 +1,358 @@
+#include "serve/service.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "common/check.hpp"
+#include "numeric/selinv.hpp"
+#include "numeric/supernodal_lu.hpp"
+
+namespace psi::serve {
+
+const char* priority_name(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive: return "interactive";
+    case Priority::kBatch: return "batch";
+  }
+  return "?";
+}
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::kOk: return "ok";
+    case Status::kRejected: return "rejected";
+    case Status::kFailed: return "failed";
+    case Status::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+std::string ainv_digest(const BlockMatrix& ainv) {
+  FingerprintHasher hasher;
+  const BlockStructure& bs = ainv.structure();
+  hasher.mix(static_cast<std::uint64_t>(bs.supernode_count()));
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    const DenseMatrix& d = ainv.diag(k);
+    const DenseMatrix& l = ainv.lpanel(k);
+    const DenseMatrix& u = ainv.upanel(k);
+    hasher.mix_bytes(d.data(), static_cast<std::size_t>(d.rows()) *
+                                   static_cast<std::size_t>(d.cols()) *
+                                   sizeof(double));
+    hasher.mix_bytes(l.data(), static_cast<std::size_t>(l.rows()) *
+                                   static_cast<std::size_t>(l.cols()) *
+                                   sizeof(double));
+    hasher.mix_bytes(u.data(), static_cast<std::size_t>(u.rows()) *
+                                   static_cast<std::size_t>(u.cols()) *
+                                   sizeof(double));
+  }
+  return hasher.finish().hex();
+}
+
+Service::Service(const Config& config)
+    : config_(config), cache_(config.cache) {
+  PSI_CHECK_MSG(config_.workers >= 0,
+                "workers must be >= 0, got " << config_.workers);
+  PSI_CHECK_MSG(config_.queue_capacity > 0, "queue_capacity must be > 0");
+  PSI_CHECK_MSG(config_.max_batch >= 1,
+                "max_batch must be >= 1, got " << config_.max_batch);
+  if (!config_.access_log_path.empty())
+    access_log_.open_ndjson(config_.access_log_path);
+  if (config_.workers > 0) {
+    pool_.emplace(config_.workers);
+    for (int w = 0; w < config_.workers; ++w)
+      pool_->submit([this, w] { worker_loop(w); });
+  }
+}
+
+Service::~Service() { shutdown(); }
+
+std::future<Response> Service::submit(Request request) {
+  Pending pending;
+  pending.promise = std::promise<Response>();
+  std::future<Response> future = pending.promise.get_future();
+
+  Response early;
+  early.id = request.id;
+  early.priority = request.priority;
+  try {
+    request.matrix.validate();
+    pending.fp = plan_fingerprint(request.matrix.pattern, config_.plan);
+    early.fingerprint = pending.fp.hex();
+  } catch (const std::exception& e) {
+    early.status = Status::kFailed;
+    early.detail = e.what();
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.submitted;
+      ++counters_.failed;
+    }
+    log_response(early);
+    pending.promise.set_value(std::move(early));
+    return future;
+  }
+
+  pending.request = std::move(request);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++counters_.submitted;
+    if (closed_) {
+      early.status = Status::kShutdown;
+      early.detail = "service is shut down";
+      ++counters_.shutdown_aborted;
+    } else if (queued_count_locked() >= config_.queue_capacity) {
+      early.status = Status::kRejected;
+      early.detail = "queue full (capacity " +
+                     std::to_string(config_.queue_capacity) + ")";
+      ++counters_.rejected;
+    } else {
+      auto& q = queues_[static_cast<int>(pending.request.priority)];
+      q.push_back(std::move(pending));
+      const std::size_t depth = queued_count_locked();
+      if (depth > counters_.queue_high_water)
+        counters_.queue_high_water = depth;
+      lock.unlock();
+      wake_.notify_one();
+      return future;
+    }
+  }
+  log_response(early);
+  pending.promise.set_value(std::move(early));
+  return future;
+}
+
+std::size_t Service::queued_count_locked() const {
+  std::size_t total = 0;
+  for (const auto& q : queues_) total += q.size();
+  return total;
+}
+
+std::vector<Service::Pending> Service::pop_batch_locked() {
+  std::vector<Pending> batch;
+  for (auto& q : queues_) {
+    if (q.empty()) continue;
+    batch.push_back(std::move(q.front()));
+    q.pop_front();
+    const Fingerprint fp = batch.front().fp;
+    for (auto it = q.begin();
+         it != q.end() && static_cast<int>(batch.size()) < config_.max_batch;) {
+      if (it->fp == fp) {
+        batch.push_back(std::move(*it));
+        it = q.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    break;
+  }
+  return batch;
+}
+
+void Service::worker_loop(int worker) {
+  for (;;) {
+    std::vector<Pending> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock,
+                 [this] { return closed_ || queued_count_locked() > 0; });
+      if (queued_count_locked() == 0) return;  // closed_ && drained
+      batch = pop_batch_locked();
+    }
+    for (Pending& p : batch) p.queue_seconds = p.queued.seconds();
+
+    Pending& leader = batch.front();
+    std::shared_ptr<const ServePlan> plan;
+    bool hit = false;
+    WallTimer plan_timer;
+    try {
+      plan = cache_.get_or_build(
+          leader.fp,
+          [&] { return build_serve_plan(leader.request.matrix, config_.plan); },
+          &hit);
+    } catch (const std::exception& e) {
+      const std::string detail = e.what();
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        Response r;
+        r.id = batch[i].request.id;
+        r.priority = batch[i].request.priority;
+        r.status = Status::kFailed;
+        r.detail = detail;
+        r.fingerprint = batch[i].fp.hex();
+        r.batched = i > 0;
+        r.worker = worker;
+        r.queue_seconds = batch[i].queue_seconds;
+        r.total_seconds = batch[i].queued.seconds();
+        finish(batch[i], std::move(r));
+      }
+      continue;
+    }
+    const double plan_seconds = plan_timer.seconds();
+
+    process(std::move(batch.front()), worker, /*batched=*/false, plan, hit,
+            plan_seconds);
+    if (batch.size() > 1)
+      cache_.record_external_hits(static_cast<Count>(batch.size() - 1));
+    for (std::size_t i = 1; i < batch.size(); ++i)
+      process(std::move(batch[i]), worker, /*batched=*/true, plan,
+              /*cache_hit=*/true, /*plan_seconds=*/0.0);
+  }
+}
+
+void Service::process(Pending pending, int worker, bool batched,
+                      std::shared_ptr<const ServePlan> plan, bool cache_hit,
+                      double plan_seconds) {
+  Response r;
+  r.id = pending.request.id;
+  r.priority = pending.request.priority;
+  r.fingerprint = pending.fp.hex();
+  r.cache_hit = cache_hit;
+  r.batched = batched;
+  r.worker = worker;
+  r.queue_seconds = pending.queue_seconds;
+  r.plan_seconds = plan_seconds;
+  try {
+    WallTimer timer;
+    SupernodalLU lu = SupernodalLU::factor(
+        plan->analysis.blocks, [&](BlockMatrix& m) {
+          plan->scatter_values(pending.request.matrix.values, m);
+        });
+    r.factor_seconds = timer.seconds();
+    timer.reset();
+    BlockMatrix ainv = selected_inversion(lu);
+    r.invert_seconds = timer.seconds();
+    r.sim_makespan = plan->trace_makespan;
+    r.digest = ainv_digest(ainv);
+    if (pending.request.return_ainv) {
+      r.ainv = std::make_shared<const BlockMatrix>(std::move(ainv));
+      r.plan = plan;
+    }
+    r.status = Status::kOk;
+  } catch (const std::exception& e) {
+    r.status = Status::kFailed;
+    r.detail = e.what();
+  }
+  r.total_seconds = pending.queued.seconds();
+  finish(pending, std::move(r));
+}
+
+void Service::finish(Pending& pending, Response response) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    switch (response.status) {
+      case Status::kOk: ++counters_.completed; break;
+      case Status::kFailed: ++counters_.failed; break;
+      case Status::kRejected: ++counters_.rejected; break;
+      case Status::kShutdown: ++counters_.shutdown_aborted; break;
+    }
+    if (response.batched) ++counters_.batch_followers;
+    if (response.ok()) {
+      queue_s_.add(response.queue_seconds);
+      plan_s_.add(response.plan_seconds);
+      factor_s_.add(response.factor_seconds);
+      invert_s_.add(response.invert_seconds);
+      total_s_.add(response.total_seconds);
+    }
+  }
+  log_response(response);
+  pending.promise.set_value(std::move(response));
+}
+
+void Service::log_response(const Response& response) {
+  std::lock_guard<std::mutex> lock(log_mutex_);
+  if (!access_log_.active()) return;
+  access_log_.write(obs::Record()
+                        .add("ts_s", uptime_.seconds())
+                        .add("id", response.id)
+                        .add("priority", priority_name(response.priority))
+                        .add("status", status_name(response.status))
+                        .add("fingerprint", response.fingerprint)
+                        .add("cache_hit", response.cache_hit)
+                        .add("batched", response.batched)
+                        .add("worker", response.worker)
+                        .add("queue_s", response.queue_seconds)
+                        .add("plan_s", response.plan_seconds)
+                        .add("factor_s", response.factor_seconds)
+                        .add("invert_s", response.invert_seconds)
+                        .add("total_s", response.total_seconds)
+                        .add("sim_makespan_s", response.sim_makespan)
+                        .add("digest", response.digest)
+                        .add("detail", response.detail));
+}
+
+void Service::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  wake_.notify_all();
+  if (pool_) {
+    pool_->wait();
+    pool_.reset();
+  }
+  std::vector<Pending> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& q : queues_) {
+      for (Pending& p : q) leftovers.push_back(std::move(p));
+      q.clear();
+    }
+  }
+  for (Pending& p : leftovers) {
+    Response r;
+    r.id = p.request.id;
+    r.priority = p.request.priority;
+    r.status = Status::kShutdown;
+    r.detail = "service shut down before the request was served";
+    r.fingerprint = p.fp.hex();
+    r.queue_seconds = p.queued.seconds();
+    r.total_seconds = r.queue_seconds;
+    finish(p, std::move(r));
+  }
+  {
+    std::lock_guard<std::mutex> lock(log_mutex_);
+    if (access_log_.active()) access_log_.flush();
+  }
+}
+
+Service::Counters Service::counters() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return counters_;
+}
+
+SampleStats Service::latency(const std::string& phase) const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  if (phase == "queue") return queue_s_;
+  if (phase == "plan") return plan_s_;
+  if (phase == "factor") return factor_s_;
+  if (phase == "invert") return invert_s_;
+  if (phase == "total") return total_s_;
+  PSI_CHECK_MSG(false, "unknown latency phase '" << phase << "'");
+  return {};
+}
+
+void Service::fold_metrics(obs::MetricsRegistry& registry) const {
+  const Counters c = counters();
+  registry.counter("serve_requests_submitted").add(c.submitted);
+  registry.counter("serve_requests_completed").add(c.completed);
+  registry.counter("serve_requests_failed").add(c.failed);
+  registry.counter("serve_requests_rejected").add(c.rejected);
+  registry.counter("serve_requests_shutdown").add(c.shutdown_aborted);
+  registry.counter("serve_batch_followers").add(c.batch_followers);
+  registry.gauge("serve_queue_high_water")
+      .set(static_cast<double>(c.queue_high_water));
+
+  static const std::vector<double> kBounds = {
+      1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0};
+  const std::pair<const char*, SampleStats> phases[] = {
+      {"queue", latency("queue")},   {"plan", latency("plan")},
+      {"factor", latency("factor")}, {"invert", latency("invert")},
+      {"total", latency("total")}};
+  for (const auto& [name, sample] : phases) {
+    obs::Histogram& h = registry.histogram(
+        "serve_request_seconds", obs::Labels().phase(name), kBounds);
+    for (double v : sample.values()) h.observe(v);
+  }
+  cache_.fold_metrics(registry);
+}
+
+}  // namespace psi::serve

@@ -1,0 +1,209 @@
+/// \file service.hpp
+/// \brief psi::serve — an in-process selected-inversion service.
+///
+/// Requests carry a structurally symmetric matrix; responses carry the
+/// selected inverse (on demand) plus a content digest and a full timing
+/// decomposition. The service runs:
+///
+///  * an admission queue — bounded, two priority classes, reject-with-reason
+///    backpressure when full;
+///  * a structure-fingerprint plan cache (plan_cache.hpp) — requests whose
+///    pattern+configuration were seen before skip ordering/symbolic/plan
+///    construction and go straight to permute + factor + inversion;
+///  * a batcher — when a worker pops a request it also claims queued
+///    requests of the same fingerprint (same priority class, up to
+///    max_batch), so one plan resolution serves the whole group;
+///  * a deterministic worker pool — N workers over parallel::ThreadPool.
+///
+/// Determinism discipline: a response's numeric content depends ONLY on
+/// (request matrix, service PlanConfig). Plans are pure functions of the
+/// pattern+configuration, the cached-plan numeric path is the same code as
+/// the cold path (scatter the request values through the plan's precomputed
+/// load map, factor over the cached block structure, sequential selected
+/// inversion — Algorithm 1 — over the factor), and workers never share
+/// mutable numeric state — so results are bitwise identical for any worker
+/// count, arrival order, batching, or cache history. Tests enforce this via
+/// the response digest.
+///
+/// The distributed side of the paper is served from the plan cache: the
+/// plan build runs the DES once in kTrace mode (message counts and timing
+/// are value-free) and every request reports that structure's simulated
+/// makespan without re-simulating. This is what makes warm requests cheap —
+/// they skip ordering, symbolic analysis, tree construction, AND the
+/// discrete-event schedule simulation, leaving only permute + factor +
+/// sequential inversion.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "numeric/block_matrix.hpp"
+#include "obs/metrics.hpp"
+#include "obs/record.hpp"
+#include "serve/plan_cache.hpp"
+
+namespace psi::serve {
+
+enum class Priority { kInteractive = 0, kBatch = 1 };
+inline constexpr int kPriorityCount = 2;
+
+enum class Status {
+  kOk,        ///< selected inversion completed
+  kRejected,  ///< admission refused (queue full); detail names the reason
+  kFailed,    ///< pipeline error (invalid matrix, zero pivot, ...)
+  kShutdown,  ///< still queued when the service shut down
+};
+
+const char* priority_name(Priority priority);
+const char* status_name(Status status);
+
+struct Request {
+  std::string id;  ///< client-chosen tag for logs (may be empty)
+  SparseMatrix matrix;
+  Priority priority = Priority::kBatch;
+  /// Ship the selected inverse in the response (Response::ainv). Off by
+  /// default: the digest alone identifies the result bitwise.
+  bool return_ainv = false;
+};
+
+struct Response {
+  std::string id;
+  Priority priority = Priority::kBatch;
+  Status status = Status::kFailed;
+  std::string detail;       ///< reject reason / error message ("" when kOk)
+  std::string fingerprint;  ///< structure fingerprint, 32 hex digits
+  bool cache_hit = false;   ///< plan served from cache
+  bool batched = false;     ///< follower of a same-fingerprint batch
+  int worker = -1;
+  /// Deterministic content hash of the selected inverse (all block bytes in
+  /// supernode order): bitwise-equal results <=> equal digests.
+  std::string digest;
+
+  double queue_seconds = 0.0;   ///< admission -> worker pickup
+  double plan_seconds = 0.0;    ///< plan resolution (cache hit: ~0)
+  double factor_seconds = 0.0;  ///< value scatter + numeric factorization
+  double invert_seconds = 0.0;  ///< sequential selected inversion
+  double total_seconds = 0.0;   ///< admission -> response
+  /// Simulated distributed makespan for this structure — the plan's cached
+  /// kTrace result (ServePlan::trace_makespan), not a per-request run.
+  double sim_makespan = 0.0;
+
+  /// Set only when Request::return_ainv: the selected inverse, plus the
+  /// plan that owns the block structure `ainv` points into (kept alive here
+  /// so cache eviction cannot dangle it).
+  std::shared_ptr<const BlockMatrix> ainv;
+  std::shared_ptr<const ServePlan> plan;
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+/// Bitwise content digest of a block matrix (diag/lpanel/upanel bytes in
+/// supernode order); exposed for tests comparing cached vs fresh results.
+std::string ainv_digest(const BlockMatrix& ainv);
+
+class Service {
+ public:
+  struct Config {
+    /// Worker threads. 0 = admit-only: requests queue but nothing drains
+    /// until shutdown() fails them with kShutdown (deterministic
+    /// backpressure testing).
+    int workers = 2;
+    std::size_t queue_capacity = 64;  ///< both priority classes combined
+    int max_batch = 8;                ///< leader + followers per pickup
+    /// Grid / trees / symmetry / analysis / simulated machine — everything
+    /// plans (and their cached kTrace schedule runs) are built from.
+    PlanConfig plan;
+    PlanCache::Config cache;
+    /// NDJSON access log (one record per finished request, including
+    /// rejections); "" disables.
+    std::string access_log_path;
+  };
+
+  struct Counters {
+    Count submitted = 0;
+    Count completed = 0;         ///< kOk responses
+    Count failed = 0;            ///< kFailed responses
+    Count rejected = 0;          ///< kRejected at admission
+    Count shutdown_aborted = 0;  ///< kShutdown responses
+    Count batch_followers = 0;   ///< requests served as batch followers
+    std::size_t queue_high_water = 0;
+  };
+
+  explicit Service(const Config& config);
+  ~Service();  ///< calls shutdown()
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Admits (or rejects) the request; the future is fulfilled when the
+  /// request finishes. Rejection fulfills it immediately with kRejected /
+  /// kShutdown and a reason in Response::detail — submit never throws on
+  /// load.
+  std::future<Response> submit(Request request);
+
+  /// Drains the queue, stops the workers, and fails anything still queued
+  /// (workers == 0) with kShutdown. Idempotent; called by the destructor.
+  void shutdown();
+
+  const Config& config() const { return config_; }
+  PlanCache::Stats cache_stats() const { return cache_.stats(); }
+  Counters counters() const;
+
+  /// Copy of the per-phase latency sample ("queue", "plan", "factor",
+  /// "invert", "total") over completed requests.
+  SampleStats latency(const std::string& phase) const;
+
+  /// Folds service counters, phase-latency histograms, and the cache
+  /// counters into `registry`. MetricsRegistry is not thread-safe — call
+  /// from one thread, after shutdown() or between request waves.
+  void fold_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  struct Pending {
+    Request request;
+    Fingerprint fp;
+    std::promise<Response> promise;
+    WallTimer queued;          ///< started at admission
+    double queue_seconds = 0;  ///< fixed at worker pickup
+  };
+
+  void worker_loop(int worker);
+  /// Pops a leader plus same-fingerprint followers; caller holds mutex_.
+  std::vector<Pending> pop_batch_locked();
+  void process(Pending pending, int worker, bool batched,
+               std::shared_ptr<const ServePlan> plan, bool cache_hit,
+               double plan_seconds);
+  void finish(Pending& pending, Response response);
+  void log_response(const Response& response);
+  std::size_t queued_count_locked() const;
+
+  Config config_;
+  PlanCache cache_;
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<Pending> queues_[kPriorityCount];
+  bool closed_ = false;
+
+  mutable std::mutex stats_mutex_;
+  Counters counters_;
+  SampleStats queue_s_, plan_s_, factor_s_, invert_s_, total_s_;
+
+  std::mutex log_mutex_;
+  obs::RecordWriter access_log_;
+  WallTimer uptime_;
+
+  std::optional<parallel::ThreadPool> pool_;  ///< constructed last
+};
+
+}  // namespace psi::serve

@@ -1,0 +1,188 @@
+#include "serve/workload.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <deque>
+#include <ostream>
+#include <thread>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "sparse/generators.hpp"
+
+namespace psi::serve {
+
+namespace {
+
+/// Zipf(s) sample over [0, count) by inverse CDF on the cumulative weights.
+int zipf_index(int count, double s, double u) {
+  if (count <= 1) return 0;
+  double total = 0.0;
+  for (int i = 0; i < count; ++i) total += std::pow(1.0 / (i + 1), s);
+  double acc = 0.0;
+  for (int i = 0; i < count; ++i) {
+    acc += std::pow(1.0 / (i + 1), s) / total;
+    if (u < acc) return i;
+  }
+  return count - 1;
+}
+
+/// The catalog structure `structure` with values derived from `value_seed`.
+Request catalog_request(const WorkloadOptions& options, int structure,
+                        std::uint64_t value_seed, std::string id,
+                        Priority priority) {
+  GeneratedMatrix gen = laplacian2d(options.nx + structure, options.nx, 1);
+  assign_dd_values(gen.matrix, value_seed, ValueKind::kSymmetric);
+  Request request;
+  request.id = std::move(id);
+  request.matrix = std::move(gen.matrix);
+  request.priority = priority;
+  return request;
+}
+
+double quantile_or_zero(const SampleStats& s, double q) {
+  return s.empty() ? 0.0 : s.quantile(q);
+}
+
+}  // namespace
+
+Request make_request(const WorkloadOptions& options, int index) {
+  PSI_CHECK_MSG(options.structures >= 1 && options.nx >= 2,
+                "workload needs >= 1 structure and nx >= 2");
+  // Stateless per-request derivation: request `index` is identical no
+  // matter in which order or by which harness it is built.
+  Rng rng(hash_combine(options.seed, static_cast<std::uint64_t>(index)));
+  const int structure =
+      zipf_index(options.structures, options.zipf_s, rng.uniform_double());
+  const Priority priority = rng.uniform_double() < options.interactive_fraction
+                                ? Priority::kInteractive
+                                : Priority::kBatch;
+  const std::uint64_t value_seed =
+      hash_combine(hash_combine(options.seed, 0x76616c75ULL /*"valu"*/),
+                   static_cast<std::uint64_t>(index));
+  return catalog_request(options, structure, value_seed,
+                         "r" + std::to_string(index), priority);
+}
+
+WorkloadReport run_workload(Service& service, const WorkloadOptions& options) {
+  if (options.warm_start) {
+    for (int i = 0; i < options.structures; ++i) {
+      Request warm = catalog_request(
+          options, i, hash_combine(options.seed, 0x7761726dULL /*"warm"*/),
+          "warm" + std::to_string(i), Priority::kBatch);
+      service.submit(std::move(warm)).get();
+    }
+  }
+
+  Rng arrivals(hash_combine(options.seed, 0x61727276ULL /*"arrv"*/));
+  std::deque<std::future<Response>> outstanding;
+  std::vector<Response> responses;
+  responses.reserve(static_cast<std::size_t>(options.requests));
+  WallTimer wall;
+
+  for (int i = 0; i < options.requests; ++i) {
+    if (options.arrival_hz > 0.0) {
+      // Open loop: exponential inter-arrival gap, submissions do not wait
+      // for completions (the queue absorbs or rejects the burst).
+      const double gap =
+          -std::log(1.0 - arrivals.uniform_double()) / options.arrival_hz;
+      std::this_thread::sleep_for(std::chrono::duration<double>(gap));
+    } else {
+      // Closed loop: at most `window` outstanding.
+      while (static_cast<int>(outstanding.size()) >= options.window) {
+        responses.push_back(outstanding.front().get());
+        outstanding.pop_front();
+      }
+    }
+    outstanding.push_back(service.submit(make_request(options, i)));
+  }
+  while (!outstanding.empty()) {
+    responses.push_back(outstanding.front().get());
+    outstanding.pop_front();
+  }
+
+  WorkloadReport report;
+  report.wall_seconds = wall.seconds();
+  for (const Response& r : responses) {
+    switch (r.status) {
+      case Status::kOk: ++report.ok; break;
+      case Status::kFailed: ++report.failed; break;
+      case Status::kRejected: ++report.rejected; break;
+      case Status::kShutdown: ++report.shutdown; break;
+    }
+    if (!r.ok()) continue;
+    report.total_s.add(r.total_seconds);
+    report.queue_s.add(r.queue_seconds);
+    if (r.cache_hit) {
+      ++report.warm;
+      report.warm_total_s.add(r.total_seconds);
+    } else {
+      ++report.cold;
+      report.cold_total_s.add(r.total_seconds);
+    }
+  }
+  report.throughput_rps = report.wall_seconds > 0.0
+                              ? static_cast<double>(report.ok) /
+                                    report.wall_seconds
+                              : 0.0;
+  return report;
+}
+
+obs::Record WorkloadReport::to_record() const {
+  obs::Record record;
+  return append_to(record);
+}
+
+obs::Record& WorkloadReport::append_to(obs::Record& record) const {
+  const double cold_p50 = quantile_or_zero(cold_total_s, 0.5);
+  const double warm_p50 = quantile_or_zero(warm_total_s, 0.5);
+  return record
+      .add("ok", ok)
+      .add("failed", failed)
+      .add("rejected", rejected)
+      .add("shutdown", shutdown)
+      .add("cold", cold)
+      .add("warm", warm)
+      .add("wall_s", wall_seconds)
+      .add("throughput_rps", throughput_rps)
+      .add("total_p50_s", quantile_or_zero(total_s, 0.5))
+      .add("total_p95_s", quantile_or_zero(total_s, 0.95))
+      .add("total_p99_s", quantile_or_zero(total_s, 0.99))
+      .add("cold_p50_s", cold_p50)
+      .add("cold_p95_s", quantile_or_zero(cold_total_s, 0.95))
+      .add("warm_p50_s", warm_p50)
+      .add("warm_p95_s", quantile_or_zero(warm_total_s, 0.95))
+      .add("cold_over_warm_p50",
+           warm_p50 > 0.0 ? cold_p50 / warm_p50 : 0.0);
+}
+
+void print_report(std::ostream& out, const WorkloadReport& report) {
+  out << "requests: ok " << report.ok << ", failed " << report.failed
+      << ", rejected " << report.rejected << ", shutdown " << report.shutdown
+      << "\n";
+  out << "cache:    cold " << report.cold << ", warm " << report.warm;
+  if (report.cold + report.warm > 0)
+    out << " (hit rate "
+        << 100.0 * static_cast<double>(report.warm) /
+               static_cast<double>(report.cold + report.warm)
+        << "%)";
+  out << "\n";
+  out << "wall:     " << report.wall_seconds << " s, " << report.throughput_rps
+      << " req/s\n";
+  const auto line = [&out](const char* name, const SampleStats& s) {
+    out << name << " p50 " << quantile_or_zero(s, 0.5) << " s, p95 "
+        << quantile_or_zero(s, 0.95) << " s, p99 "
+        << quantile_or_zero(s, 0.99) << " s (n=" << s.count() << ")\n";
+  };
+  line("latency:  total", report.total_s);
+  line("          cold ", report.cold_total_s);
+  line("          warm ", report.warm_total_s);
+  const double cold_p50 = quantile_or_zero(report.cold_total_s, 0.5);
+  const double warm_p50 = quantile_or_zero(report.warm_total_s, 0.5);
+  if (cold_p50 > 0.0 && warm_p50 > 0.0)
+    out << "speedup:  cold p50 / warm p50 = " << cold_p50 / warm_p50 << "x\n";
+}
+
+}  // namespace psi::serve

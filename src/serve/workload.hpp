@@ -1,0 +1,77 @@
+/// \file workload.hpp
+/// \brief Synthetic request workloads for psi::serve: a catalog of distinct
+/// matrix structures, Zipf-distributed popularity, fresh numeric values per
+/// request (pattern-equal, value-different — the plan cache's bread and
+/// butter), and open-loop (Poisson arrivals) or closed-loop (bounded
+/// outstanding window) driving with latency/throughput reporting.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "obs/record.hpp"
+#include "serve/service.hpp"
+
+namespace psi::serve {
+
+struct WorkloadOptions {
+  /// Distinct matrix structures in the catalog (distinct fingerprints).
+  int structures = 4;
+  /// Base 2-D Laplacian grid edge; structure i is (nx + i) x nx, so every
+  /// structure has a different pattern but comparable cost.
+  Int nx = 24;
+  int requests = 32;
+  /// Zipf popularity exponent over the catalog (0 = uniform): structure i
+  /// is drawn with weight 1/(i+1)^s.
+  double zipf_s = 1.0;
+  std::uint64_t seed = 1;
+  /// Open loop: mean Poisson arrival rate (requests/s). 0 = closed loop.
+  double arrival_hz = 0.0;
+  /// Closed loop: maximum outstanding requests (the client window).
+  int window = 4;
+  /// Fraction of requests submitted at Priority::kInteractive.
+  double interactive_fraction = 0.0;
+  /// Touch every catalog structure once, waiting for completion, before the
+  /// measured phase (a pure-cold warmup wave so the measured phase is warm).
+  bool warm_start = false;
+};
+
+struct WorkloadReport {
+  Count ok = 0;
+  Count failed = 0;
+  Count rejected = 0;
+  Count shutdown = 0;
+  Count cold = 0;  ///< ok responses with cache_hit == false
+  Count warm = 0;  ///< ok responses with cache_hit == true
+  double wall_seconds = 0.0;
+  double throughput_rps = 0.0;  ///< ok responses per wall second
+
+  SampleStats total_s;       ///< ok responses, end-to-end latency
+  SampleStats cold_total_s;  ///< cold subset
+  SampleStats warm_total_s;  ///< warm subset
+  SampleStats queue_s;       ///< ok responses, admission -> pickup
+
+  /// Appends the flat export fields (counts, throughput, p50/p95/p99 of
+  /// total / cold / warm latency) to `record` — after any caller-added
+  /// scenario columns. to_record() is the standalone row.
+  obs::Record& append_to(obs::Record& record) const;
+  obs::Record to_record() const;
+};
+
+/// Builds request `index` of the workload: a pattern-identical copy of the
+/// sampled catalog structure with fresh deterministic values derived from
+/// (seed, index). Exposed so tests can replay exact request sets.
+Request make_request(const WorkloadOptions& options, int index);
+
+/// Drives `service` with the workload and collects every response.
+/// Open loop (arrival_hz > 0) sleeps exponential inter-arrival gaps between
+/// submissions; closed loop keeps at most `window` requests outstanding.
+WorkloadReport run_workload(Service& service, const WorkloadOptions& options);
+
+/// Human-readable summary (counts, hit rate, latency percentiles).
+void print_report(std::ostream& out, const WorkloadReport& report);
+
+}  // namespace psi::serve

@@ -17,46 +17,125 @@ std::string lower(std::string s) {
   return s;
 }
 
+/// Splits a line into whitespace-separated tokens.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(std::move(tok));
+  return tokens;
+}
+
+/// Parses a whole token as a long; errors name the line and the token.
+long parse_long(const std::string& token, long line_no, const char* what) {
+  std::size_t consumed = 0;
+  long value = 0;
+  bool ok = true;
+  try {
+    value = std::stol(token, &consumed);
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  PSI_CHECK_MSG(ok && consumed == token.size(),
+                "matrix market: line " << line_no << ": " << what
+                                       << " is not an integer: '" << token
+                                       << "'");
+  return value;
+}
+
+/// Parses a whole token as a double; errors name the line and the token.
+double parse_double(const std::string& token, long line_no, const char* what) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  bool ok = true;
+  try {
+    value = std::stod(token, &consumed);
+  } catch (const std::exception&) {
+    ok = false;
+  }
+  PSI_CHECK_MSG(ok && consumed == token.size(),
+                "matrix market: line " << line_no << ": " << what
+                                       << " is not a number: '" << token
+                                       << "'");
+  return value;
+}
+
 }  // namespace
 
 SparseMatrix read_matrix_market(std::istream& in) {
   std::string line;
+  long line_no = 0;
   PSI_CHECK_MSG(std::getline(in, line), "matrix market: empty stream");
+  ++line_no;
   std::istringstream header(line);
   std::string banner, object, format, field, symmetry;
   header >> banner >> object >> format >> field >> symmetry;
-  PSI_CHECK_MSG(banner == "%%MatrixMarket", "matrix market: bad banner: " << banner);
-  PSI_CHECK_MSG(lower(object) == "matrix", "matrix market: unsupported object");
+  PSI_CHECK_MSG(banner == "%%MatrixMarket",
+                "matrix market: line 1: bad banner '" << banner
+                    << "' (expected %%MatrixMarket)");
+  PSI_CHECK_MSG(lower(object) == "matrix",
+                "matrix market: line 1: unsupported object '" << object << "'");
   PSI_CHECK_MSG(lower(format) == "coordinate",
-                "matrix market: only coordinate format supported");
+                "matrix market: line 1: unsupported format '"
+                    << format << "' (only coordinate is supported)");
   const std::string f = lower(field);
   PSI_CHECK_MSG(f == "real" || f == "integer" || f == "pattern",
-                "matrix market: unsupported field " << field);
+                "matrix market: line 1: unsupported field '" << field << "'");
   const std::string sym = lower(symmetry);
   PSI_CHECK_MSG(sym == "general" || sym == "symmetric",
-                "matrix market: unsupported symmetry " << symmetry);
+                "matrix market: line 1: unsupported symmetry '" << symmetry
+                                                                << "'");
 
   // Skip comments.
+  bool have_size_line = false;
   while (std::getline(in, line)) {
-    if (!line.empty() && line[0] != '%') break;
+    ++line_no;
+    if (!line.empty() && line[0] != '%') {
+      have_size_line = true;
+      break;
+    }
   }
-  std::istringstream dims(line);
-  long rows = 0, cols = 0, entries = 0;
-  dims >> rows >> cols >> entries;
+  PSI_CHECK_MSG(have_size_line, "matrix market: missing size line after "
+                                    << line_no << " line(s)");
+  const std::vector<std::string> size_tokens = tokenize(line);
+  PSI_CHECK_MSG(size_tokens.size() == 3,
+                "matrix market: line " << line_no << ": size line needs "
+                    << "'rows cols entries', got " << size_tokens.size()
+                    << " token(s): '" << line << "'");
+  const long rows = parse_long(size_tokens[0], line_no, "row count");
+  const long cols = parse_long(size_tokens[1], line_no, "column count");
+  const long entries = parse_long(size_tokens[2], line_no, "entry count");
   PSI_CHECK_MSG(rows > 0 && cols > 0 && entries >= 0,
-                "matrix market: bad size line: " << line);
-  PSI_CHECK_MSG(rows == cols, "matrix market: only square matrices supported");
+                "matrix market: line " << line_no << ": bad sizes " << rows
+                                       << " x " << cols << ", " << entries
+                                       << " entries");
+  PSI_CHECK_MSG(rows == cols, "matrix market: line "
+                                  << line_no << ": only square matrices are "
+                                  << "supported, got " << rows << " x "
+                                  << cols);
 
+  const std::size_t want_tokens = f == "pattern" ? 2 : 3;
   TripletBuilder builder(static_cast<Int>(rows));
   for (long e = 0; e < entries; ++e) {
-    PSI_CHECK_MSG(std::getline(in, line), "matrix market: truncated entry list");
-    std::istringstream es(line);
-    long i = 0, j = 0;
-    double v = 1.0;
-    es >> i >> j;
-    if (f != "pattern") es >> v;
-    PSI_CHECK_MSG(i >= 1 && i <= rows && j >= 1 && j <= cols,
-                  "matrix market: entry out of range: " << line);
+    PSI_CHECK_MSG(std::getline(in, line),
+                  "matrix market: truncated entry list after line " << line_no
+                      << " (" << e << " of " << entries << " entries read)");
+    ++line_no;
+    const std::vector<std::string> tokens = tokenize(line);
+    PSI_CHECK_MSG(tokens.size() >= want_tokens,
+                  "matrix market: line " << line_no << ": entry needs "
+                      << want_tokens << " fields, got " << tokens.size()
+                      << ": '" << line << "'");
+    const long i = parse_long(tokens[0], line_no, "row index");
+    const long j = parse_long(tokens[1], line_no, "column index");
+    const double v =
+        f == "pattern" ? 1.0 : parse_double(tokens[2], line_no, "value");
+    PSI_CHECK_MSG(i >= 1 && i <= rows,
+                  "matrix market: line " << line_no << ": row index " << i
+                                         << " outside [1, " << rows << "]");
+    PSI_CHECK_MSG(j >= 1 && j <= cols,
+                  "matrix market: line " << line_no << ": column index " << j
+                                         << " outside [1, " << cols << "]");
     if (sym == "symmetric")
       builder.add_symmetric(static_cast<Int>(i - 1), static_cast<Int>(j - 1), v);
     else

@@ -38,6 +38,7 @@
 /// (leaves -> root, reversing the edges).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -112,6 +113,15 @@ class CommTree {
   /// Number of ranks with at least one child (the "forwarding" ranks the
   /// paper's heuristic aims to diversify).
   int internal_node_count() const;
+
+  /// Heap bytes retained by this tree (the serve plan cache's byte-budget
+  /// accounting; excludes sizeof(*this), which the owner counts).
+  std::size_t memory_bytes() const {
+    return (order_.size() + parent_.size() + children_offsets_.size() +
+            children_flat_.size() + pos_to_order_.size() +
+            sorted_ranks_.size()) *
+           sizeof(int);
+  }
 
  private:
   int root_ = -1;

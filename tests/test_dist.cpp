@@ -55,5 +55,40 @@ TEST(BlockCyclicMap, SingleRankGrid) {
     for (Int k = 0; k < 5; ++k) EXPECT_EQ(map.owner(i, k), 0);
 }
 
+TEST(ValidatedGrid, AcceptsWellFormedShapes) {
+  EXPECT_EQ(validated_grid(2, 3).size(), 6);
+  EXPECT_EQ(validated_grid(1, 1).size(), 1);
+  EXPECT_EQ(validated_grid(4, 6, 24).size(), 24);
+}
+
+TEST(ValidatedGrid, RejectsNonPositiveDimensions) {
+  EXPECT_THROW(validated_grid(0, 3), Error);
+  EXPECT_THROW(validated_grid(3, 0), Error);
+  EXPECT_THROW(validated_grid(-2, 4), Error);
+  try {
+    validated_grid(-2, 4);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    // The message must name the offending values, not just fail.
+    EXPECT_NE(std::string(e.what()).find("-2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(ValidatedGrid, RejectsRankCountMismatch) {
+  try {
+    validated_grid(4, 6, 25);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("24"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("25"), std::string::npos) << msg;
+  }
+}
+
+TEST(ValidatedGrid, RejectsIntOverflow) {
+  EXPECT_THROW(validated_grid(1 << 16, 1 << 16), Error);
+  EXPECT_THROW(ProcessGrid(1 << 17, 1 << 15), Error);
+}
+
 }  // namespace
 }  // namespace psi::dist

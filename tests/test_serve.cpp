@@ -1,0 +1,481 @@
+/// \file test_serve.cpp
+/// \brief psi::serve tests: fingerprint keying, plan-cache policy,
+/// cached-vs-fresh bitwise equality, worker/arrival-order determinism,
+/// priority scheduling, batching, and admission backpressure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <future>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/service.hpp"
+#include "serve/workload.hpp"
+#include "sparse/generators.hpp"
+
+namespace serve = psi::serve;
+using psi::GeneratedMatrix;
+using psi::Int;
+using psi::SparseMatrix;
+
+namespace {
+
+serve::PlanConfig small_config() {
+  serve::PlanConfig config;
+  config.grid_rows = 2;
+  config.grid_cols = 2;
+  return config;
+}
+
+SparseMatrix small_matrix(Int nx, std::uint64_t value_seed) {
+  GeneratedMatrix gen = psi::laplacian2d(nx, nx, 1);
+  psi::assign_dd_values(gen.matrix, value_seed, psi::ValueKind::kSymmetric);
+  return gen.matrix;
+}
+
+serve::Service::Config service_config(int workers) {
+  serve::Service::Config config;
+  config.workers = workers;
+  config.plan = small_config();
+  return config;
+}
+
+serve::Response submit_and_wait(serve::Service& service, SparseMatrix matrix,
+                                const std::string& id,
+                                bool return_ainv = false) {
+  serve::Request request;
+  request.id = id;
+  request.matrix = std::move(matrix);
+  request.return_ainv = return_ainv;
+  return service.submit(std::move(request)).get();
+}
+
+bool blocks_equal(const psi::BlockMatrix& a, const psi::BlockMatrix& b) {
+  if (a.supernode_count() != b.supernode_count()) return false;
+  const auto same = [](const psi::DenseMatrix& x, const psi::DenseMatrix& y) {
+    return x.rows() == y.rows() && x.cols() == y.cols() &&
+           std::memcmp(x.data(), y.data(),
+                       static_cast<std::size_t>(x.rows()) *
+                           static_cast<std::size_t>(x.cols()) *
+                           sizeof(double)) == 0;
+  };
+  for (Int k = 0; k < a.supernode_count(); ++k) {
+    if (!same(a.diag(k), b.diag(k)) || !same(a.lpanel(k), b.lpanel(k)) ||
+        !same(a.upanel(k), b.upanel(k)))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+
+TEST(ServeFingerprint, PatternKeyedNotValueKeyed) {
+  const serve::PlanConfig config = small_config();
+  const SparseMatrix a = small_matrix(8, 1);
+  const SparseMatrix b = small_matrix(8, 999);  // same pattern, new values
+  const SparseMatrix c = small_matrix(9, 1);    // different pattern
+  const serve::Fingerprint fa = serve::plan_fingerprint(a.pattern, config);
+  EXPECT_EQ(fa, serve::plan_fingerprint(b.pattern, config));
+  EXPECT_NE(fa, serve::plan_fingerprint(c.pattern, config));
+  EXPECT_EQ(fa.hex().size(), 32u);
+}
+
+TEST(ServeFingerprint, SensitiveToEveryConfigKnob) {
+  const SparseMatrix a = small_matrix(8, 1);
+  const serve::PlanConfig base = small_config();
+  const serve::Fingerprint fp = serve::plan_fingerprint(a.pattern, base);
+
+  serve::PlanConfig grid = base;
+  grid.grid_cols = 4;
+  EXPECT_NE(fp, serve::plan_fingerprint(a.pattern, grid));
+
+  serve::PlanConfig scheme = base;
+  scheme.tree.scheme = psi::trees::TreeScheme::kFlat;
+  EXPECT_NE(fp, serve::plan_fingerprint(a.pattern, scheme));
+
+  serve::PlanConfig seed = base;
+  seed.tree.seed = 0xfeedULL;
+  EXPECT_NE(fp, serve::plan_fingerprint(a.pattern, seed));
+
+  serve::PlanConfig symmetry = base;
+  symmetry.symmetry = psi::pselinv::ValueSymmetry::kUnsymmetric;
+  EXPECT_NE(fp, serve::plan_fingerprint(a.pattern, symmetry));
+
+  serve::PlanConfig ordering = base;
+  ordering.analysis.ordering.method = psi::OrderingMethod::kMinDegree;
+  EXPECT_NE(fp, serve::plan_fingerprint(a.pattern, ordering));
+
+  serve::PlanConfig supernodes = base;
+  supernodes.analysis.supernodes.max_size = 7;
+  EXPECT_NE(fp, serve::plan_fingerprint(a.pattern, supernodes));
+}
+
+// ---------------------------------------------------------------------------
+// Plan cache
+
+TEST(ServePlanCache, HitMissEvictSequenceUnderByteBudget) {
+  const serve::PlanConfig config = small_config();
+  const SparseMatrix ma = small_matrix(8, 1);
+  const SparseMatrix mb = small_matrix(9, 1);
+  const SparseMatrix mc = small_matrix(10, 1);
+  // Learn each plan's footprint so the budget holds exactly two of them.
+  const auto pa = serve::build_serve_plan(ma, config);
+  const auto pb = serve::build_serve_plan(mb, config);
+  const auto pc = serve::build_serve_plan(mc, config);
+
+  serve::PlanCache::Config cache_config;
+  cache_config.capacity_bytes = pa->bytes + pb->bytes + pc->bytes / 2;
+  serve::PlanCache cache(cache_config);
+
+  const auto build = [&](const SparseMatrix& m) {
+    return [&config, &m] { return serve::build_serve_plan(m, config); };
+  };
+  bool hit = true;
+  cache.get_or_build(pa->fingerprint, build(ma), &hit);
+  EXPECT_FALSE(hit);
+  cache.get_or_build(pb->fingerprint, build(mb), &hit);
+  EXPECT_FALSE(hit);
+  cache.get_or_build(pa->fingerprint, build(ma), &hit);  // touch A: B is LRU
+  EXPECT_TRUE(hit);
+  cache.get_or_build(pc->fingerprint, build(mc), &hit);  // evicts B, not A
+  EXPECT_FALSE(hit);
+
+  serve::PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 3);
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.bytes, pa->bytes + pc->bytes);
+
+  EXPECT_NE(cache.lookup(pa->fingerprint), nullptr);  // survived (was MRU)
+  EXPECT_EQ(cache.lookup(pb->fingerprint), nullptr);  // the eviction victim
+  EXPECT_NE(cache.lookup(pc->fingerprint), nullptr);
+}
+
+TEST(ServePlanCache, OversizePlanServedButNotRetained) {
+  const serve::PlanConfig config = small_config();
+  const SparseMatrix m = small_matrix(8, 1);
+  serve::PlanCache::Config cache_config;
+  cache_config.capacity_bytes = 1024;  // far below any real plan
+  serve::PlanCache cache(cache_config);
+
+  const serve::Fingerprint fp = serve::plan_fingerprint(m.pattern, config);
+  int builds = 0;
+  const auto build = [&] {
+    ++builds;
+    return serve::build_serve_plan(m, config);
+  };
+  EXPECT_NE(cache.get_or_build(fp, build), nullptr);
+  EXPECT_NE(cache.get_or_build(fp, build), nullptr);
+  EXPECT_EQ(builds, 2);  // nothing was retained
+  const serve::PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.oversize, 2);
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+}
+
+TEST(ServePlanCache, SingleFlightCoalescesConcurrentBuilds) {
+  const serve::PlanConfig config = small_config();
+  const SparseMatrix m = small_matrix(8, 1);
+  const serve::Fingerprint fp = serve::plan_fingerprint(m.pattern, config);
+  serve::PlanCache cache({});
+
+  std::promise<void> build_started;
+  std::atomic<int> builds{0};
+  const auto slow_build = [&] {
+    ++builds;
+    build_started.set_value();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    return serve::build_serve_plan(m, config);
+  };
+  std::shared_ptr<const serve::ServePlan> p1, p2;
+  std::thread first([&] { p1 = cache.get_or_build(fp, slow_build); });
+  build_started.get_future().wait();  // the build is definitely in flight
+  p2 = cache.get_or_build(
+      fp, [&] { return serve::build_serve_plan(m, config); });
+  first.join();
+  EXPECT_EQ(builds.load(), 1);
+  EXPECT_EQ(p1, p2);
+  const serve::PlanCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.coalesced, 1);
+  EXPECT_EQ(stats.misses, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Service: numeric correctness and determinism
+
+TEST(ServeService, CachedPlanGivesBitwiseIdenticalResultToFreshPlan) {
+  const SparseMatrix first = small_matrix(8, 1);
+  const SparseMatrix second = small_matrix(8, 2);  // new values, same pattern
+
+  serve::Service warm_service(service_config(1));
+  const serve::Response cold =
+      submit_and_wait(warm_service, first, "cold", /*return_ainv=*/true);
+  ASSERT_EQ(cold.status, serve::Status::kOk) << cold.detail;
+  EXPECT_FALSE(cold.cache_hit);
+  const serve::Response warm =
+      submit_and_wait(warm_service, second, "warm", /*return_ainv=*/true);
+  ASSERT_EQ(warm.status, serve::Status::kOk) << warm.detail;
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(cold.fingerprint, warm.fingerprint);
+  EXPECT_NE(cold.digest, warm.digest);  // different values, different inverse
+
+  // A fresh service (empty cache) on the same second matrix must produce a
+  // bitwise identical inverse to the warm-cache run.
+  serve::Service fresh_service(service_config(1));
+  const serve::Response fresh =
+      submit_and_wait(fresh_service, second, "fresh", /*return_ainv=*/true);
+  ASSERT_EQ(fresh.status, serve::Status::kOk) << fresh.detail;
+  EXPECT_FALSE(fresh.cache_hit);
+  EXPECT_EQ(warm.digest, fresh.digest);
+  ASSERT_NE(warm.ainv, nullptr);
+  ASSERT_NE(fresh.ainv, nullptr);
+  EXPECT_TRUE(blocks_equal(*warm.ainv, *fresh.ainv));
+}
+
+TEST(ServeService, BitwiseDeterministicAcrossWorkersAndArrivalOrder) {
+  serve::WorkloadOptions workload;
+  workload.structures = 3;
+  workload.nx = 8;
+  workload.requests = 9;
+  workload.zipf_s = 0.5;
+  workload.seed = 7;
+
+  std::vector<serve::Request> requests;
+  for (int i = 0; i < workload.requests; ++i)
+    requests.push_back(serve::make_request(workload, i));
+
+  std::map<std::string, std::string> reference;
+  for (const int workers : {1, 2, 8}) {
+    for (const bool reversed : {false, true}) {
+      serve::Service service(service_config(workers));
+      std::vector<std::future<serve::Response>> futures;
+      for (int i = 0; i < workload.requests; ++i) {
+        const int idx = reversed ? workload.requests - 1 - i : i;
+        serve::Request copy;
+        copy.id = requests[static_cast<std::size_t>(idx)].id;
+        copy.matrix = requests[static_cast<std::size_t>(idx)].matrix;
+        copy.priority = requests[static_cast<std::size_t>(idx)].priority;
+        futures.push_back(service.submit(std::move(copy)));
+      }
+      std::map<std::string, std::string> digests;
+      for (auto& f : futures) {
+        const serve::Response r = f.get();
+        ASSERT_EQ(r.status, serve::Status::kOk) << r.detail;
+        digests[r.id] = r.digest;
+      }
+      if (reference.empty()) {
+        reference = digests;
+        EXPECT_EQ(reference.size(), 9u);
+      } else {
+        EXPECT_EQ(digests, reference)
+            << "workers=" << workers << " reversed=" << reversed;
+      }
+    }
+  }
+}
+
+TEST(ServeService, StructurallyUnsymmetricMatrixFailsWithReason) {
+  psi::TripletBuilder builder(3);
+  builder.add(0, 0, 4.0);
+  builder.add(1, 1, 4.0);
+  builder.add(2, 2, 4.0);
+  builder.add(1, 0, 1.0);  // (0,1) absent: structurally unsymmetric
+  serve::Service service(service_config(1));
+  const serve::Response r =
+      submit_and_wait(service, builder.compile(), "bad");
+  EXPECT_EQ(r.status, serve::Status::kFailed);
+  EXPECT_NE(r.detail.find("structurally symmetric"), std::string::npos)
+      << r.detail;
+  EXPECT_EQ(service.counters().failed, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Service: scheduling
+
+TEST(ServeService, InteractiveRequestsOvertakeQueuedBatchRequests) {
+  serve::Service::Config config = service_config(1);
+  config.max_batch = 1;
+  const std::string log_path =
+      testing::TempDir() + "/serve_priority_access.ndjson";
+  config.access_log_path = log_path;
+  {
+    serve::Service service(config);
+    // A large cold request pins the single worker while the rest queue up.
+    auto blocker = [&] {
+      serve::Request r;
+      r.id = "blocker";
+      r.matrix = small_matrix(40, 1);
+      return service.submit(std::move(r));
+    }();
+    std::vector<std::future<serve::Response>> rest;
+    for (const char* id : {"b1", "b2"}) {
+      serve::Request r;
+      r.id = id;
+      r.matrix = small_matrix(8, 1);
+      r.priority = serve::Priority::kBatch;
+      rest.push_back(service.submit(std::move(r)));
+    }
+    {
+      serve::Request r;
+      r.id = "i1";
+      r.matrix = small_matrix(9, 1);
+      r.priority = serve::Priority::kInteractive;
+      rest.push_back(service.submit(std::move(r)));
+    }
+    ASSERT_EQ(blocker.get().status, serve::Status::kOk);
+    for (auto& f : rest) ASSERT_EQ(f.get().status, serve::Status::kOk);
+    service.shutdown();
+  }
+  // The access log is written in completion order: the interactive request
+  // (submitted last) must appear before both earlier batch requests.
+  std::ifstream in(log_path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  const std::size_t pos_i1 = content.find("\"id\":\"i1\"");
+  const std::size_t pos_b1 = content.find("\"id\":\"b1\"");
+  const std::size_t pos_b2 = content.find("\"id\":\"b2\"");
+  ASSERT_NE(pos_i1, std::string::npos);
+  ASSERT_NE(pos_b1, std::string::npos);
+  ASSERT_NE(pos_b2, std::string::npos);
+  EXPECT_LT(pos_i1, pos_b1);
+  EXPECT_LT(pos_i1, pos_b2);
+}
+
+TEST(ServeService, SameFingerprintRequestsBatchBehindOneLeader) {
+  serve::Service::Config config = service_config(1);
+  config.max_batch = 4;
+  serve::Service service(config);
+  // Pin the worker so the same-structure requests are queued together.
+  auto blocker = [&] {
+    serve::Request r;
+    r.id = "blocker";
+    r.matrix = small_matrix(40, 1);
+    return service.submit(std::move(r));
+  }();
+  std::vector<std::future<serve::Response>> same;
+  for (int i = 0; i < 3; ++i) {
+    serve::Request r;
+    r.id = "s" + std::to_string(i);
+    r.matrix = small_matrix(8, static_cast<std::uint64_t>(i + 1));
+    same.push_back(service.submit(std::move(r)));
+  }
+  ASSERT_EQ(blocker.get().status, serve::Status::kOk);
+  int followers = 0;
+  for (auto& f : same) {
+    const serve::Response r = f.get();
+    ASSERT_EQ(r.status, serve::Status::kOk) << r.detail;
+    if (r.batched) {
+      ++followers;
+      EXPECT_TRUE(r.cache_hit);  // followers reuse the leader's plan
+    }
+  }
+  EXPECT_EQ(followers, 2);
+  EXPECT_EQ(service.counters().batch_followers, 2);
+}
+
+// ---------------------------------------------------------------------------
+// Service: backpressure and shutdown
+
+TEST(ServeService, QueueFullRejectsWithReasonAndCounters) {
+  serve::Service::Config config = service_config(/*workers=*/0);
+  config.queue_capacity = 3;
+  const std::string log_path =
+      testing::TempDir() + "/serve_backpressure_access.ndjson";
+  config.access_log_path = log_path;
+  serve::Service service(config);
+
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < 5; ++i) {
+    serve::Request r;
+    r.id = "q" + std::to_string(i);
+    r.matrix = small_matrix(8, 1);
+    futures.push_back(service.submit(std::move(r)));
+  }
+  // With no workers nothing drains: requests 3 and 4 must be rejected
+  // immediately with an explanatory reason.
+  for (int i = 3; i < 5; ++i) {
+    const serve::Response r = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(r.status, serve::Status::kRejected);
+    EXPECT_EQ(r.detail, "queue full (capacity 3)");
+  }
+  serve::Service::Counters counters = service.counters();
+  EXPECT_EQ(counters.submitted, 5);
+  EXPECT_EQ(counters.rejected, 2);
+  EXPECT_EQ(counters.queue_high_water, 3u);
+
+  service.shutdown();
+  for (int i = 0; i < 3; ++i) {
+    const serve::Response r = futures[static_cast<std::size_t>(i)].get();
+    EXPECT_EQ(r.status, serve::Status::kShutdown);
+  }
+  counters = service.counters();
+  EXPECT_EQ(counters.shutdown_aborted, 3);
+
+  // Submission after shutdown is also refused.
+  serve::Request late;
+  late.id = "late";
+  late.matrix = small_matrix(8, 1);
+  EXPECT_EQ(service.submit(std::move(late)).get().status,
+            serve::Status::kShutdown);
+  service.shutdown();  // idempotent; flushes the late record
+
+  // Every outcome appears in the access log (5 + 1 late records).
+  std::ifstream in(log_path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line))
+    if (!line.empty()) ++lines;
+  EXPECT_EQ(lines, 6);
+}
+
+// ---------------------------------------------------------------------------
+// Workload + metrics
+
+TEST(ServeWorkload, WarmStartClosedLoopServesEverythingFromCache) {
+  serve::Service service(service_config(2));
+  serve::WorkloadOptions workload;
+  workload.structures = 2;
+  workload.nx = 8;
+  workload.requests = 10;
+  workload.window = 3;
+  workload.warm_start = true;
+  const serve::WorkloadReport report = serve::run_workload(service, workload);
+  EXPECT_EQ(report.ok, 10);
+  EXPECT_EQ(report.rejected, 0);
+  EXPECT_EQ(report.failed, 0);
+  EXPECT_EQ(report.warm, 10);  // both structures were pre-touched
+  EXPECT_EQ(report.cold, 0);
+  EXPECT_GT(report.throughput_rps, 0.0);
+  EXPECT_EQ(report.total_s.count(), 10u);
+
+  service.shutdown();
+  psi::obs::MetricsRegistry registry;
+  service.fold_metrics(registry);
+  const std::string ndjson = registry.to_ndjson();
+  EXPECT_NE(ndjson.find("serve_requests_completed"), std::string::npos);
+  EXPECT_NE(ndjson.find("serve_cache_hits"), std::string::npos);
+  EXPECT_NE(ndjson.find("serve_request_seconds"), std::string::npos);
+
+  const serve::PlanCache::Stats cache = service.cache_stats();
+  EXPECT_EQ(cache.misses, 2);  // one per structure, during warm start
+  EXPECT_GE(cache.hits, 10);
+  EXPECT_EQ(cache.entries, 2u);
+
+  std::ostringstream out;
+  serve::print_report(out, report);
+  EXPECT_NE(out.str().find("hit rate"), std::string::npos);
+  EXPECT_EQ(report.to_record().keys().size(), 16u);
+}

@@ -126,6 +126,58 @@ TEST(MatrixMarket, RejectsMalformed) {
   EXPECT_THROW(read_matrix_market_file("/nonexistent/file.mtx"), Error);
 }
 
+namespace {
+
+/// The parser error message for `text`, "" if it parsed.
+std::string market_error(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    read_matrix_market(ss);
+  } catch (const Error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+}  // namespace
+
+TEST(MatrixMarket, ErrorsNameLineAndOffendingToken) {
+  const std::string header = "%%MatrixMarket matrix coordinate real general\n";
+
+  // Banner problems are reported against line 1 with the bad word.
+  EXPECT_NE(market_error("%%NotMM matrix coordinate real general\n1 1 0\n")
+                .find("line 1"),
+            std::string::npos);
+  const std::string bad_field =
+      market_error("%%MatrixMarket matrix coordinate complex general\n1 1 0\n");
+  EXPECT_NE(bad_field.find("line 1"), std::string::npos) << bad_field;
+  EXPECT_NE(bad_field.find("'complex'"), std::string::npos) << bad_field;
+
+  // Size line: wrong token count, then a non-integer token, both with the
+  // line number (line 3 here — a comment line shifts it).
+  const std::string short_size = market_error(header + "% c\n3 3\n");
+  EXPECT_NE(short_size.find("line 3"), std::string::npos) << short_size;
+  const std::string bad_count = market_error(header + "3 3 four\n");
+  EXPECT_NE(bad_count.find("line 2"), std::string::npos) << bad_count;
+  EXPECT_NE(bad_count.find("'four'"), std::string::npos) << bad_count;
+
+  // Entry lines: non-numeric value, then an out-of-range row index with the
+  // valid range spelled out.
+  const std::string bad_value =
+      market_error(header + "2 2 1\n1 1 abc\n");
+  EXPECT_NE(bad_value.find("line 3"), std::string::npos) << bad_value;
+  EXPECT_NE(bad_value.find("'abc'"), std::string::npos) << bad_value;
+  const std::string bad_row = market_error(header + "2 2 1\n7 1 1.0\n");
+  EXPECT_NE(bad_row.find("line 3"), std::string::npos) << bad_row;
+  EXPECT_NE(bad_row.find("[1, 2]"), std::string::npos) << bad_row;
+
+  // Truncated entry list reports how many entries were actually read.
+  const std::string truncated =
+      market_error(header + "2 2 3\n1 1 1.0\n2 2 1.0\n");
+  EXPECT_NE(truncated.find("truncated"), std::string::npos) << truncated;
+  EXPECT_NE(truncated.find("2"), std::string::npos) << truncated;
+}
+
 /// All generators must produce structurally symmetric, diagonally dominant
 /// matrices with a full diagonal — the contract the unpivoted factorization
 /// relies on.
