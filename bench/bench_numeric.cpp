@@ -1,0 +1,153 @@
+/// \file bench_numeric.cpp
+/// \brief Shared-memory numeric-phase benchmark: task-parallel supernodal
+/// factorization (factor_parallel) and selected inversion (selinv_parallel)
+/// swept over compute threads {1, 2, 4, 8} on the three generator families
+/// (dg2d / dg3d / fem3d).
+///
+/// Every leg's factor and selected-inverse content must be BITWISE identical
+/// to the sequential kernels (canonical-order reductions); the bench digests
+/// each leg and exits nonzero on any mismatch, so committed artifacts are
+/// also a determinism witness. Rows (per structure x thread count: wall
+/// seconds of each phase, task/edge counts, ready-queue high water, speedup
+/// vs threads=1) land in bench_out/numeric.csv + bench_out/numeric.ndjson.
+#include "bench_common.hpp"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "numeric/selinv.hpp"
+#include "numeric/supernodal_lu.hpp"
+#include "serve/service.hpp"
+#include "sparse/generators.hpp"
+
+namespace psi {
+namespace {
+
+struct Problem {
+  std::string name;
+  GeneratedMatrix gen;
+};
+
+std::vector<Problem> problems() {
+  std::vector<Problem> out;
+  out.push_back({"dg2d_12x12b4", dg2d(12, 12, 4, /*seed=*/11)});
+  out.push_back({"dg3d_5x5x5b3", dg3d(5, 5, 5, 3, /*seed=*/12)});
+  out.push_back({"fem3d_7x7x7d2", fem3d(7, 7, 7, 2, /*seed=*/13)});
+  return out;
+}
+
+struct Leg {
+  int threads = 1;
+  double factor_seconds = 0.0;
+  double selinv_seconds = 0.0;
+  std::string factor_digest;
+  std::string ainv_digest_hex;
+  numeric::TaskGraphStats stats;
+};
+
+Leg run_leg(const SymbolicAnalysis& an, int threads) {
+  Leg leg;
+  leg.threads = threads;
+  numeric::ParallelOptions opts;
+  opts.threads = threads;
+  opts.stats = &leg.stats;
+  std::optional<parallel::ThreadPool> pool;
+  if (threads > 1) {
+    pool.emplace(threads - 1);
+    opts.pool = &*pool;
+  }
+
+  WallTimer timer;
+  SupernodalLU lu = threads > 1 ? SupernodalLU::factor_parallel(an, opts)
+                                : SupernodalLU::factor(an);
+  leg.factor_seconds = timer.seconds();
+  leg.factor_digest = serve::ainv_digest(lu.blocks());
+  timer.reset();
+  const BlockMatrix ainv =
+      threads > 1 ? selinv_parallel(lu, opts) : selected_inversion(lu);
+  leg.selinv_seconds = timer.seconds();
+  leg.ainv_digest_hex = serve::ainv_digest(ainv);
+  return leg;
+}
+
+}  // namespace
+}  // namespace psi
+
+int main(int argc, char** argv) {
+  using namespace psi;
+  const std::string json_path = bench::json_flag(argc, argv, "numeric");
+
+  obs::RecordWriter rows;
+  rows.open_csv(bench::out_dir() + "/numeric.csv");
+  rows.open_ndjson(bench::out_dir() + "/numeric.ndjson");
+  obs::MetricsRegistry registry;
+
+  int mismatches = 0;
+  for (const Problem& problem : problems()) {
+    AnalysisOptions opt;
+    opt.ordering.method = OrderingMethod::kMinDegree;
+    opt.supernodes.max_size = 8;
+    const SymbolicAnalysis an = analyze(problem.gen, opt);
+    std::printf("== %s: n=%d supernodes=%d ==\n", problem.name.c_str(),
+                an.matrix.n(), an.blocks.supernode_count());
+
+    std::vector<Leg> legs;
+    for (const int threads : {1, 2, 4, 8})
+      legs.push_back(run_leg(an, threads));
+
+    const Leg& base = legs.front();
+    for (const Leg& leg : legs) {
+      const bool factor_ok = leg.factor_digest == base.factor_digest;
+      const bool ainv_ok = leg.ainv_digest_hex == base.ainv_digest_hex;
+      if (!factor_ok || !ainv_ok) {
+        ++mismatches;
+        std::fprintf(stderr,
+                     "DIGEST MISMATCH %s threads=%d factor_ok=%d ainv_ok=%d\n",
+                     problem.name.c_str(), leg.threads, factor_ok, ainv_ok);
+      }
+      const double base_total = base.factor_seconds + base.selinv_seconds;
+      const double leg_total = leg.factor_seconds + leg.selinv_seconds;
+      const double speedup = leg_total > 0.0 ? base_total / leg_total : 0.0;
+      std::printf("  threads=%d factor=%.4fs selinv=%.4fs speedup=%.2fx "
+                  "tasks=%lld edges=%lld ready_hw=%zu\n",
+                  leg.threads, leg.factor_seconds, leg.selinv_seconds, speedup,
+                  static_cast<long long>(leg.stats.tasks),
+                  static_cast<long long>(leg.stats.edges),
+                  leg.stats.ready_high_water);
+      obs::Record record;
+      record.add("structure", problem.name)
+          .add("n", an.matrix.n())
+          .add("supernodes", an.blocks.supernode_count())
+          .add("threads", leg.threads)
+          .add("factor_s", leg.factor_seconds)
+          .add("selinv_s", leg.selinv_seconds)
+          .add("speedup", speedup)
+          .add("tasks", static_cast<long long>(leg.stats.tasks))
+          .add("edges", static_cast<long long>(leg.stats.edges))
+          .add("ready_high_water",
+               static_cast<long long>(leg.stats.ready_high_water))
+          .add("bitwise_ok", factor_ok && ainv_ok)
+          .add("ainv_digest", leg.ainv_digest_hex);
+      rows.write(record);
+
+      registry.counter("numeric.legs").add(1);
+      registry
+          .histogram("numeric.leg_seconds", obs::Labels(),
+                     {1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0})
+          .observe(leg_total);
+    }
+  }
+
+  rows.flush();
+  std::printf("\n# rows written to %s/numeric.csv (+ numeric.ndjson)\n",
+              bench::out_dir().c_str());
+  bench::write_json_summary(registry, json_path);
+  if (mismatches != 0) {
+    std::fprintf(stderr, "bench_numeric FAILED: %d digest mismatches\n",
+                 mismatches);
+    return 1;
+  }
+  std::printf("# digests bitwise identical across all thread legs\n");
+  return 0;
+}

@@ -1,6 +1,6 @@
 /// \file bench_serve.cpp
-/// \brief Serving benchmark: cold vs warm plan-cache latency and
-/// worker-count throughput scaling of psi::serve.
+/// \brief Serving benchmark: cold vs warm plan-cache latency, worker-count
+/// throughput scaling, and compute-thread latency scaling of psi::serve.
 ///
 /// Scenarios:
 ///  * cold-vs-warm — a small structure catalog, repeated value-refresh
@@ -8,15 +8,32 @@
 ///    + symbolic + plan/tree construction + the kTrace schedule simulation,
 ///    the rest ride the plan cache. Reports the p50 latency of each
 ///    population and the cold/warm ratio.
+///  * warm compute sweep — the cold-vs-warm catalog replayed fully warm at
+///    compute_threads in {1, 2, 4, 8} (task-parallel factor_parallel /
+///    selinv_parallel per request). Every leg must produce the exact digest
+///    sequence of the sequential leg — the canonical-order reduction
+///    contract — and the bench EXITS NONZERO on any mismatch. Per-phase
+///    latency decomposition (scatter / factor / invert, plus queue / plan /
+///    total) lands in bench_out/serve_phases.csv as its own fixed schema.
 ///  * closed-loop sweep — a Zipf catalog driven closed-loop at several
 ///    worker counts; reports throughput and latency percentiles.
 ///
-/// Rows land in bench_out/serve.csv + bench_out/serve_rows.ndjson; a
-/// metrics-registry dump (cache counters, phase histograms) goes to
+/// Flags:
+///  * --threads N (or --compute-threads N): the largest compute-thread leg
+///    (default 8; legs are the powers of two up to N).
+///  * --smoke: tiny catalog, compute legs {1, N}, digest cross-check only —
+///    no files written (CI tier-1 runs this from the build tree). Exit 0 iff
+///    every digest matches the sequential leg.
+///
+/// Rows land in bench_out/serve.csv + bench_out/serve_rows.ndjson; phase
+/// rows in bench_out/serve_phases.csv + .ndjson; a metrics-registry dump
+/// (cache counters, phase histograms, task-graph totals) goes to
 /// bench_out/serve_metrics.ndjson.
 #include "bench_common.hpp"
 
+#include <cstring>
 #include <iostream>
+#include <vector>
 
 #include "serve/service.hpp"
 #include "serve/workload.hpp"
@@ -24,9 +41,10 @@
 namespace psi {
 namespace {
 
-serve::Service::Config service_config(int workers) {
+serve::Service::Config service_config(int workers, int compute_threads = 1) {
   serve::Service::Config config;
   config.workers = workers;
+  config.compute_threads = compute_threads;
   config.queue_capacity = 256;
   // A large simulated deployment (32x32 ranks) with narrow supernodes: the
   // pattern-side work a cold request pays — min-degree ordering, symbolic
@@ -42,15 +60,126 @@ serve::Service::Config service_config(int workers) {
 }
 
 obs::Record scenario_record(const std::string& scenario, int workers,
+                            int compute_threads,
                             const serve::WorkloadOptions& workload,
                             const serve::WorkloadReport& report) {
   obs::Record record;
   record.add("scenario", scenario)
       .add("workers", workers)
+      .add("compute_threads", compute_threads)
       .add("structures", workload.structures)
       .add("nx", static_cast<long long>(workload.nx))
       .add("requests", workload.requests);
   return report.append_to(record);
+}
+
+/// The PR 5 cold-vs-warm catalog — also the compute-sweep workload.
+serve::WorkloadOptions sweep_workload() {
+  serve::WorkloadOptions workload;
+  workload.structures = 6;
+  workload.nx = 20;
+  workload.requests = 48;
+  workload.window = 1;  // strictly sequential: isolate per-request latency
+  workload.seed = 3;
+  return workload;
+}
+
+/// Submits the workload's exact request sequence one at a time and returns
+/// the full responses — run_workload() only reports aggregates, and the
+/// compute sweep needs each response's digest and phase decomposition.
+std::vector<serve::Response> drive_sequential(
+    serve::Service& service, const serve::WorkloadOptions& options) {
+  std::vector<serve::Response> responses;
+  responses.reserve(static_cast<std::size_t>(options.requests));
+  for (int i = 0; i < options.requests; ++i)
+    responses.push_back(
+        service.submit(serve::make_request(options, i)).get());
+  return responses;
+}
+
+/// Report over an all-warm response set (the measured second pass).
+serve::WorkloadReport report_from(const std::vector<serve::Response>& responses,
+                                  double wall_seconds) {
+  serve::WorkloadReport report;
+  report.wall_seconds = wall_seconds;
+  for (const serve::Response& r : responses) {
+    if (!r.ok()) {
+      report.failed += 1;
+      continue;
+    }
+    report.ok += 1;
+    (r.cache_hit ? report.warm : report.cold) += 1;
+    report.total_s.add(r.total_seconds);
+    (r.cache_hit ? report.warm_total_s : report.cold_total_s)
+        .add(r.total_seconds);
+    report.queue_s.add(r.queue_seconds);
+  }
+  if (wall_seconds > 0.0)
+    report.throughput_rps = static_cast<double>(report.ok) / wall_seconds;
+  return report;
+}
+
+/// One compute-sweep leg: a fresh 1-worker service at `compute_threads`,
+/// one cold pass to populate the plan cache, then the measured warm pass.
+struct SweepLeg {
+  int compute_threads = 1;
+  std::vector<std::string> digests;  ///< per request index, measured pass
+  serve::WorkloadReport report;
+  SampleStats phase_s[6];  ///< queue, plan, scatter, factor, invert, total
+};
+
+constexpr const char* kPhaseNames[6] = {"queue",  "plan",   "scatter",
+                                        "factor", "invert", "total"};
+
+SweepLeg run_sweep_leg(const serve::WorkloadOptions& workload,
+                       int compute_threads, obs::MetricsRegistry* registry) {
+  SweepLeg leg;
+  leg.compute_threads = compute_threads;
+  serve::Service service(service_config(/*workers=*/1, compute_threads));
+  drive_sequential(service, workload);  // cold pass: builds every plan
+  WallTimer timer;
+  const std::vector<serve::Response> responses =
+      drive_sequential(service, workload);
+  leg.report = report_from(responses, timer.seconds());
+  for (const serve::Response& r : responses) {
+    leg.digests.push_back(r.digest);
+    if (!r.ok()) continue;
+    const double phase_values[6] = {r.queue_seconds,  r.plan_seconds,
+                                    r.scatter_seconds, r.factor_seconds,
+                                    r.invert_seconds, r.total_seconds};
+    for (int p = 0; p < 6; ++p) leg.phase_s[p].add(phase_values[p]);
+  }
+  service.shutdown();
+  if (registry != nullptr) service.fold_metrics(*registry);
+  return leg;
+}
+
+/// Digest-compares every leg against the first (sequential) one; returns
+/// the number of mismatching request indices (0 = bitwise clean).
+int check_digests(const std::vector<SweepLeg>& legs) {
+  int mismatches = 0;
+  const SweepLeg& base = legs.front();
+  for (std::size_t l = 1; l < legs.size(); ++l) {
+    const SweepLeg& leg = legs[l];
+    for (std::size_t i = 0; i < base.digests.size(); ++i) {
+      if (i < leg.digests.size() && leg.digests[i] == base.digests[i])
+        continue;
+      ++mismatches;
+      std::fprintf(stderr,
+                   "DIGEST MISMATCH request=%zu compute_threads=%d: %s != %s\n",
+                   i, leg.compute_threads,
+                   i < leg.digests.size() ? leg.digests[i].c_str() : "<none>",
+                   base.digests[i].c_str());
+    }
+  }
+  return mismatches;
+}
+
+std::vector<int> sweep_thread_counts(int max_threads) {
+  std::vector<int> counts;
+  for (int t = 1; t <= max_threads; t *= 2) counts.push_back(t);
+  if (counts.back() != max_threads) counts.push_back(max_threads);
+  return counts;
 }
 
 }  // namespace
@@ -59,20 +188,54 @@ obs::Record scenario_record(const std::string& scenario, int workers,
 int main(int argc, char** argv) {
   using namespace psi;
   const std::string json_path = bench::json_flag(argc, argv, "serve_metrics");
+  bool smoke = false;
+  int max_compute = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--smoke") smoke = true;
+    if ((arg == "--threads" || arg == "--compute-threads") && i + 1 < argc)
+      max_compute = std::max(1, std::atoi(argv[i + 1]));
+  }
+
+  if (smoke) {
+    // CI tier-1 path: tiny catalog, legs {1, max}, digest check, no files.
+    serve::WorkloadOptions workload;
+    workload.structures = 2;
+    workload.nx = 8;
+    workload.requests = 6;
+    workload.window = 1;
+    workload.seed = 3;
+    std::vector<SweepLeg> legs;
+    for (const int threads : std::vector<int>{1, max_compute})
+      legs.push_back(run_sweep_leg(workload, threads, nullptr));
+    const int mismatches = check_digests(legs);
+    for (const SweepLeg& leg : legs)
+      std::printf("smoke compute_threads=%d ok=%lld warm_p50=%.6fs\n",
+                  leg.compute_threads, static_cast<long long>(leg.report.ok),
+                  leg.report.warm_total_s.empty()
+                      ? 0.0
+                      : leg.report.warm_total_s.quantile(0.5));
+    if (mismatches != 0 ||
+        legs.front().report.ok != static_cast<Count>(workload.requests)) {
+      std::fprintf(stderr, "smoke FAILED: %d digest mismatches\n", mismatches);
+      return 1;
+    }
+    std::printf("smoke OK: digests bitwise identical across compute threads "
+                "{1, %d}\n", max_compute);
+    return 0;
+  }
 
   obs::RecordWriter rows;
   rows.open_csv(bench::out_dir() + "/serve.csv");
   rows.open_ndjson(bench::out_dir() + "/serve_rows.ndjson");
+  obs::RecordWriter phase_rows;
+  phase_rows.open_csv(bench::out_dir() + "/serve_phases.csv");
+  phase_rows.open_ndjson(bench::out_dir() + "/serve_phases.ndjson");
   obs::MetricsRegistry registry;
 
   // --- cold vs warm ---------------------------------------------------------
   {
-    serve::WorkloadOptions workload;
-    workload.structures = 6;
-    workload.nx = 20;
-    workload.requests = 48;
-    workload.window = 1;  // strictly sequential: isolate per-request latency
-    workload.seed = 3;
+    const serve::WorkloadOptions workload = sweep_workload();
     serve::Service service(service_config(/*workers=*/1));
     const serve::WorkloadReport report = serve::run_workload(service, workload);
     service.shutdown();
@@ -85,8 +248,59 @@ int main(int argc, char** argv) {
                 static_cast<long long>(cache.hits),
                 static_cast<long long>(cache.misses),
                 static_cast<long long>(cache.evictions));
-    rows.write(psi::scenario_record("cold_vs_warm", 1, workload, report));
+    rows.write(psi::scenario_record("cold_vs_warm", 1, 1, workload, report));
     service.fold_metrics(registry);
+  }
+
+  // --- warm compute-thread sweep --------------------------------------------
+  {
+    const serve::WorkloadOptions workload = sweep_workload();
+    std::vector<SweepLeg> legs;
+    for (const int threads : sweep_thread_counts(max_compute))
+      legs.push_back(run_sweep_leg(workload, threads, &registry));
+
+    const SampleStats& base_total = legs.front().report.total_s;
+    const double base_p50 = base_total.empty() ? 0.0 : base_total.quantile(0.5);
+    std::printf("\n== warm compute sweep (%d structures, nx=%d, 1 worker) ==\n",
+                workload.structures, static_cast<int>(workload.nx));
+    for (const SweepLeg& leg : legs) {
+      const double p50 = leg.report.total_s.empty()
+                             ? 0.0
+                             : leg.report.total_s.quantile(0.5);
+      const double total_mean = leg.phase_s[5].mean();
+      const auto share = [total_mean](const SampleStats& s) {
+        return total_mean > 0.0 ? 100.0 * s.mean() / total_mean : 0.0;
+      };
+      std::printf("compute_threads=%d warm_p50=%.6fs speedup=%.2fx "
+                  "(scatter %.0f%% factor %.0f%% invert %.0f%% of total)\n",
+                  leg.compute_threads, p50, p50 > 0.0 ? base_p50 / p50 : 0.0,
+                  share(leg.phase_s[2]), share(leg.phase_s[3]),
+                  share(leg.phase_s[4]));
+      rows.write(psi::scenario_record("warm_compute_sweep", 1,
+                                      leg.compute_threads, workload,
+                                      leg.report));
+      for (int p = 0; p < 6; ++p) {
+        const SampleStats& s = leg.phase_s[p];
+        obs::Record record;
+        record.add("scenario", "warm_compute_sweep")
+            .add("compute_threads", leg.compute_threads)
+            .add("phase", kPhaseNames[p])
+            .add("count", static_cast<long long>(s.count()))
+            .add("mean_s", s.mean())
+            .add("p50_s", s.empty() ? 0.0 : s.quantile(0.5))
+            .add("p95_s", s.empty() ? 0.0 : s.quantile(0.95))
+            .add("max_s", s.max());
+        phase_rows.write(record);
+      }
+    }
+
+    const int mismatches = check_digests(legs);
+    if (mismatches != 0) {
+      std::fprintf(stderr,
+                   "compute sweep FAILED: %d digest mismatches\n", mismatches);
+      return 1;
+    }
+    std::printf("digests bitwise identical across all compute-thread legs\n");
   }
 
   // --- closed-loop worker sweep --------------------------------------------
@@ -106,15 +320,19 @@ int main(int argc, char** argv) {
     std::printf("\n== closed loop (nx=%d, %d structures, %d workers) ==\n",
                 static_cast<int>(workload.nx), workload.structures, workers);
     serve::print_report(std::cout, report);
-    rows.write(psi::scenario_record("closed_loop", workers, workload, report));
+    rows.write(psi::scenario_record("closed_loop", workers, 1, workload,
+                                    report));
     service.fold_metrics(registry);
   }
 
   rows.flush();
+  phase_rows.flush();
   registry.write_ndjson(bench::out_dir() + "/serve_metrics.ndjson");
   std::printf("\n# rows written to %s/serve.csv (+ serve_rows.ndjson), "
-              "metrics to %s/serve_metrics.ndjson\n",
-              bench::out_dir().c_str(), bench::out_dir().c_str());
+              "phases to %s/serve_phases.csv, metrics to "
+              "%s/serve_metrics.ndjson\n",
+              bench::out_dir().c_str(), bench::out_dir().c_str(),
+              bench::out_dir().c_str());
   bench::write_json_summary(registry, json_path);
   return 0;
 }

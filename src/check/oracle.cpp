@@ -8,6 +8,7 @@
 
 #include "check/schedule.hpp"
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/rng.hpp"
 #include "driver/experiment.hpp"
 #include "fault/fault_plan.hpp"
@@ -190,18 +191,51 @@ CaseResult run_case(const CaseSpec& spec) {
   SupernodalLU lu_seq = SupernodalLU::factor(an);
   const BlockMatrix reference = selected_inversion(lu_seq);
 
+  const auto fail = [&result](std::string signature) {
+    result.passed = false;
+    result.signature = std::move(signature);
+    return result;
+  };
+
+  // Task-parallel numeric legs: the same problem through the shared-memory
+  // task graphs, required to match the sequential reference BITWISE. The
+  // second leg scrambles ready-queue priorities with a spec-derived seed —
+  // the shared-memory twin of the adversarial schedule legs below.
+  {
+    std::uint64_t tie_state = hash_combine(spec.schedule_seed, 0x9a7a11e1);
+    const std::uint64_t scrambled = splitmix64(tie_state);
+    const struct {
+      int threads;
+      std::uint64_t tie_seed;
+    } numeric_legs[] = {{2, 0}, {4, scrambled == 0 ? 1 : scrambled}};
+    for (const auto& leg : numeric_legs) {
+      parallel::ThreadPool pool(leg.threads - 1);
+      numeric::ParallelOptions popt;
+      popt.threads = leg.threads;
+      popt.pool = &pool;
+      popt.tie_break_seed = leg.tie_seed;
+      SupernodalLU lu_par = SupernodalLU::factor_parallel(an, popt);
+      const BlockMatrix parallel_ainv = selinv_parallel(lu_par, popt);
+      result.numeric_parallel_legs += 1;
+      const BlockDiff diff =
+          first_bitwise_diff(reference, parallel_ainv, an.blocks);
+      if (diff.differs)
+        return fail(std::string("numeric-parallel-mismatch threads=") +
+                    std::to_string(leg.threads) +
+                    " tie_seed=" + std::to_string(leg.tie_seed) +
+                    " block=" + std::to_string(diff.row) + "," +
+                    std::to_string(diff.col) +
+                    " reference=" + format_double(diff.lhs) +
+                    " got=" + format_double(diff.rhs));
+    }
+  }
+
   const sim::Machine machine = oracle_machine();
   const dist::ProcessGrid grid(spec.grid_rows, spec.grid_cols);
   const fault::FaultPlan fault_plan = fault_plan_from(spec);
   const pselinv::ValueSymmetry symmetry =
       spec.unsymmetric ? pselinv::ValueSymmetry::kUnsymmetric
                        : pselinv::ValueSymmetry::kSymmetric;
-
-  const auto fail = [&result](std::string signature) {
-    result.passed = false;
-    result.signature = std::move(signature);
-    return result;
-  };
 
   const trees::TreeScheme kSchemes[] = {trees::TreeScheme::kFlat,
                                         trees::TreeScheme::kShiftedBinary,

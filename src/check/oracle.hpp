@@ -13,6 +13,11 @@
 ///     all under the same injected fault sequence, asserted BITWISE
 ///     identical to each other (the resilient protocol's canonical fold
 ///     makes the numbers schedule- and fault-independent).
+/// Before the scheme legs, the trial also runs task-parallel numeric legs —
+/// factor_parallel + selinv_parallel at deterministic thread counts, one
+/// with an adversarial ready-queue tie_break_seed — asserted BITWISE equal
+/// to the sequential reference (the shared-memory analogue of the resilient
+/// fold: canonical-order reductions make results schedule-independent).
 /// Every leg additionally must satisfy the protocol-exhaustion invariants:
 /// run completeness, zero channel inflight, zero leaked timers, byte-exact
 /// volume conservation (received == sent - dropped + duplicated bytes), and
@@ -67,7 +72,10 @@ struct CaseResult {
   /// names the failure kind (e.g. "bitwise-mismatch", "invariant:inflight");
   /// the shrinker treats two failures with the same kind as the same bug.
   std::string signature;
-  std::size_t legs_run = 0;      ///< engine executions performed
+  std::size_t legs_run = 0;      ///< engine (DES) executions performed
+  /// Task-parallel numeric legs executed (factor_parallel + selinv_parallel
+  /// runs compared bitwise against the sequential reference).
+  std::size_t numeric_parallel_legs = 0;
   double max_ref_err = 0.0;      ///< worst |entry| gap vs sequential selinv
   Count events = 0;              ///< DES events summed over all legs
   Count injected_drops = 0;      ///< summed over faulted legs

@@ -8,35 +8,55 @@
 namespace psi::parallel {
 
 namespace {
-/// Set while the current thread is executing a pool task (any pool).
-thread_local bool inside_pool_worker = false;
-}  // namespace
+/// The pool whose worker loop the current thread is running (nullptr on
+/// non-pool threads). Keyed per pool so that a worker of one pool may drive
+/// a different pool (serve worker -> per-request compute pool) while
+/// self-nested submission stays rejected.
+thread_local const ThreadPool* current_worker_pool = nullptr;
 
-int parse_bench_threads(const char* env) {
-  if (env == nullptr) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? static_cast<int>(hw) : 1;
-  }
+/// Shared clamp-with-warning parser for thread-count knobs: unset ->
+/// `fallback`; garbage/zero/negative -> 1 with a stderr warning naming the
+/// variable; values above `max_threads` clamp to the bound.
+int parse_thread_env(const char* name, const char* env, int fallback,
+                     int max_threads) {
+  if (env == nullptr) return fallback;
   char* end = nullptr;
   errno = 0;
   const long value = std::strtol(env, &end, 10);
   const bool parsed = end != env && *end == '\0' && errno == 0;
   if (!parsed || value < 1) {
-    // A bad knob must not kill a bench run mid-harness: warn and fall back
+    // A bad knob must not kill a long run mid-harness: warn and fall back
     // to sequential execution (which is always correct — output is
     // bit-identical for any thread count).
     std::fprintf(stderr,
-                 "# warning: PSI_BENCH_THREADS='%s' is not a positive "
-                 "integer; running with 1 thread\n",
-                 env);
+                 "# warning: %s='%s' is not a positive integer; running "
+                 "with 1 thread\n",
+                 name, env);
     return 1;
   }
-  return value > kMaxBenchThreads ? kMaxBenchThreads
-                                  : static_cast<int>(value);
+  return value > max_threads ? max_threads : static_cast<int>(value);
+}
+}  // namespace
+
+int parse_bench_threads(const char* env) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int fallback = hw > 0 ? static_cast<int>(hw) : 1;
+  return parse_thread_env("PSI_BENCH_THREADS", env, fallback, kMaxBenchThreads);
 }
 
 int bench_threads() {
   return parse_bench_threads(std::getenv("PSI_BENCH_THREADS"));
+}
+
+int parse_compute_threads(const char* env) {
+  // Default 1 (not hardware concurrency): a service that silently grabbed
+  // every core per request would oversubscribe the moment two workers ran.
+  return parse_thread_env("PSI_SERVE_COMPUTE_THREADS", env, /*fallback=*/1,
+                          kMaxComputeThreads);
+}
+
+int compute_threads() {
+  return parse_compute_threads(std::getenv("PSI_SERVE_COMPUTE_THREADS"));
 }
 
 ThreadPool::ThreadPool(int threads) {
@@ -56,9 +76,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
-  PSI_CHECK_MSG(!inside_pool_worker,
-                "ThreadPool::submit called from a pool worker: nested "
-                "submission can deadlock a fixed-size pool and is rejected");
+  PSI_CHECK_MSG(current_worker_pool != this,
+                "ThreadPool::submit called from a worker of the same pool: "
+                "self-nested submission can deadlock a fixed-size pool and "
+                "is rejected");
   PSI_CHECK(task != nullptr);
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -80,7 +101,7 @@ void ThreadPool::wait() {
 }
 
 void ThreadPool::worker_loop() {
-  inside_pool_worker = true;
+  current_worker_pool = this;
   for (;;) {
     std::function<void()> task;
     {

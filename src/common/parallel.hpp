@@ -1,13 +1,17 @@
 /// \file parallel.hpp
-/// \brief Host-side replica parallelism: a fixed-size thread pool and a
-/// parallel_for_each over independent simulation jobs.
+/// \brief Shared-memory worker pools: a fixed-size thread pool usable both
+/// for replica parallelism (independent bench jobs) and as the substrate of
+/// intra-request task graphs (numeric/task_graph.hpp, psi::serve).
 ///
 /// Each sim::Engine remains strictly single-threaded and deterministic; the
-/// pool only runs *independent* engines (one per (scheme, P, repetition)
-/// bench job) concurrently. Determinism of bench output is preserved by the
-/// callers: jobs write into pre-sized result slots keyed by job index and
-/// all printing/CSV emission happens sequentially after the join, so the
-/// output is bit-identical for any thread count.
+/// pool runs *independent* engines (one per (scheme, P, repetition) bench
+/// job) concurrently, or — via TaskGraph — the per-supernode tasks of one
+/// numeric factorization/selected inversion. Determinism of bench output is
+/// preserved by the callers: jobs write into pre-sized result slots keyed by
+/// job index and all printing/CSV emission happens sequentially after the
+/// join, so the output is bit-identical for any thread count. The numeric
+/// task graphs add their own canonical-order reduction discipline on top
+/// (see task_graph.hpp), so serve responses stay bitwise identical too.
 #pragma once
 
 #include <condition_variable>
@@ -27,6 +31,11 @@ namespace psi::parallel {
 /// zero spawning thousands of workers).
 inline constexpr int kMaxBenchThreads = 1024;
 
+/// Upper bound on PSI_SERVE_COMPUTE_THREADS (a serve deployment pins a
+/// bounded number of cores per request; a fat-fingered knob must not spawn
+/// hundreds of threads per service worker).
+inline constexpr int kMaxComputeThreads = 256;
+
 /// Worker threads for the bench harnesses: PSI_BENCH_THREADS env var
 /// (default: hardware concurrency, minimum 1). A value that is not a
 /// positive integer (garbage, 0, negative) is clamped to 1 with a warning
@@ -38,11 +47,27 @@ int bench_threads();
 /// PSI_BENCH_THREADS value (null = unset).
 int parse_bench_threads(const char* env);
 
+/// Intra-request compute threads for the serving numeric phase:
+/// PSI_SERVE_COMPUTE_THREADS env var (default: 1 — parallel numerics are
+/// opt-in; a service should not oversubscribe its host silently). Same
+/// clamp-with-warning discipline as bench_threads(): garbage/zero/negative
+/// values degrade to 1 with a stderr warning, values above
+/// kMaxComputeThreads clamp to the bound.
+int compute_threads();
+
+/// Parsing core of compute_threads(), exposed for testing: `env` is the raw
+/// PSI_SERVE_COMPUTE_THREADS value (null = unset).
+int parse_compute_threads(const char* env);
+
 /// Fixed-size pool of worker threads draining a FIFO task queue.
 ///
-/// Tasks must be independent of each other: submitting from inside a pool
-/// task (nesting) is rejected with psi::Error, since a task blocking on
-/// tasks it cannot steal would deadlock a fixed-size pool.
+/// Tasks must be independent of each other *within one pool*: submitting to
+/// a pool from inside one of its own tasks (self-nesting) is rejected with
+/// psi::Error, since a task blocking on tasks it cannot steal would
+/// deadlock a fixed-size pool. Submitting to a *different* pool is allowed:
+/// a serve worker (a task of the service pool) drives its own dedicated
+/// compute pool through numeric::TaskGraph, which is exactly the two-level
+/// nesting the guard must permit.
 class ThreadPool {
  public:
   /// Spawns `threads` workers (>= 1).
@@ -55,8 +80,8 @@ class ThreadPool {
 
   int thread_count() const { return static_cast<int>(workers_.size()); }
 
-  /// Enqueues a task. Throws psi::Error when called from a worker of any
-  /// ThreadPool (nested submission).
+  /// Enqueues a task. Throws psi::Error when called from a worker of THIS
+  /// pool (self-nested submission); workers of other pools may submit here.
   void submit(std::function<void()> task);
 
   /// Blocks until every submitted task has finished. If any task threw, one

@@ -10,6 +10,7 @@ BlockMatrix::BlockMatrix(const BlockStructure& structure) : structure_(&structur
   const Int nsup = structure.supernode_count();
   cols_.resize(static_cast<std::size_t>(nsup));
   offsets_.resize(static_cast<std::size_t>(nsup));
+  pos_index_.resize(static_cast<std::size_t>(nsup));
   for (Int k = 0; k < nsup; ++k) {
     const Int width = structure.part.size(k);
     auto& offs = offsets_[static_cast<std::size_t>(k)];
@@ -22,10 +23,27 @@ BlockMatrix::BlockMatrix(const BlockStructure& structure) : structure_(&structur
     col.diag.resize(width, width);
     col.lpanel.resize(offs.back(), width);
     col.upanel.resize(width, offs.back());
+
+    // Arithmetic-progression detection (struct lists are ascending): a
+    // single stride shared by every gap turns struct_position into pure
+    // arithmetic; mixed gaps keep stride == 0 -> binary-search fallback.
+    auto& idx = pos_index_[static_cast<std::size_t>(k)];
+    if (str.empty()) {
+      idx = PositionIndex{0, -1, 1};  // empty progression: always absent
+    } else if (str.size() == 1) {
+      idx = PositionIndex{str[0], str[0], 1};
+    } else {
+      const Int stride = str[1] - str[0];
+      bool is_ap = true;
+      for (std::size_t t = 2; t < str.size() && is_ap; ++t)
+        is_ap = str[t] - str[t - 1] == stride;
+      idx = is_ap ? PositionIndex{str.front(), str.back(), stride}
+                  : PositionIndex{0, -1, 0};
+    }
   }
 }
 
-Int BlockMatrix::struct_position(Int k, Int i) const {
+Int BlockMatrix::struct_position_reference(Int k, Int i) const {
   const auto& str = structure_->struct_of[static_cast<std::size_t>(k)];
   const auto it = std::lower_bound(str.begin(), str.end(), i);
   if (it == str.end() || *it != i) return -1;

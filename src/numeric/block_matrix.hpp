@@ -36,8 +36,28 @@ class BlockMatrix {
   /// Row offset of block (i, k) inside lpanel(k) (also the column offset of
   /// (k, i) inside upanel(k)). `i` must be in struct(k).
   Int block_offset(Int k, Int i) const;
-  /// Index of supernode i within struct(k); -1 when absent.
-  Int struct_position(Int k, Int i) const;
+  /// Index of supernode i within struct(k); -1 when absent. Sits under
+  /// every block(), set_block() and add_block() call, which makes it the
+  /// hottest lookup of the numeric phase — the same membership-position
+  /// problem CommTree solves for simulated tree hops, and solved the same
+  /// way: supernode struct lists are overwhelmingly arithmetic
+  /// progressions (consecutive ancestor supernodes), detected once at
+  /// construction so the position is pure arithmetic; non-AP lists fall
+  /// back to binary search.
+  Int struct_position(Int k, Int i) const {
+    const PositionIndex& idx = pos_index_[static_cast<std::size_t>(k)];
+    if (idx.stride > 0) {
+      if (i < idx.first || i > idx.last) return -1;
+      const Int off = i - idx.first;
+      if (off % idx.stride != 0) return -1;
+      return off / idx.stride;
+    }
+    return struct_position_reference(k, i);
+  }
+  /// Search-based reference implementation of struct_position(): the non-AP
+  /// fallback, and the oracle the micro-assert test compares the fast path
+  /// against on every generator structure.
+  Int struct_position_reference(Int k, Int i) const;
   /// Total stacked rows of lpanel(k).
   Int panel_rows(Int k) const;
 
@@ -63,9 +83,20 @@ class BlockMatrix {
     DenseMatrix upanel;
   };
 
+  /// Membership-position index of one supernode's struct list: stride > 0
+  /// means the list is the arithmetic progression first, first + stride,
+  /// ..., last (an empty list is the empty progression with last < first);
+  /// stride == 0 falls back to binary search over the list itself.
+  struct PositionIndex {
+    Int first = 0;
+    Int last = -1;
+    Int stride = 1;
+  };
+
   const BlockStructure* structure_;
   std::vector<BlockColumn> cols_;
   std::vector<std::vector<Int>> offsets_;  ///< per supernode, per struct entry
+  std::vector<PositionIndex> pos_index_;   ///< per supernode
 };
 
 }  // namespace psi

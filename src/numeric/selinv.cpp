@@ -54,6 +54,100 @@ BlockMatrix selected_inversion(SupernodalLU& lu) {
   return ainv;
 }
 
+BlockMatrix selinv_parallel(SupernodalLU& lu,
+                            const numeric::ParallelOptions& options) {
+  const BlockStructure& bs = lu.structure();
+  const auto& part = bs.part;
+  BlockMatrix& f = lu.storage_;
+  BlockMatrix ainv(bs);
+  const Int nsup = bs.supernode_count();
+  if (nsup == 0) {
+    lu.normalized_ = true;
+    return ainv;
+  }
+
+  numeric::TaskGraph graph;
+  const bool normalize = !lu.normalized();
+
+  // Keys descend the supernode order (high supernodes — the elimination
+  // tree roots the sweep starts from — first), with each column's
+  // normalization slotted just before its sweep step.
+  std::vector<numeric::TaskGraph::TaskId> sweep_task(
+      static_cast<std::size_t>(nsup));
+  for (Int k = 0; k < nsup; ++k) {
+    sweep_task[static_cast<std::size_t>(k)] = graph.add(
+        (static_cast<std::uint64_t>(nsup - 1 - k) << 32) + 1,
+        [&f, &ainv, &bs, &part, k] {
+          // Verbatim per-supernode body of selected_inversion(): all sums
+          // are evaluated task-locally in the sequential order, and every
+          // ainv block this task reads was finalized by a sweep task this
+          // one depends on.
+          const Int width = part.size(k);
+          DenseMatrix diag_inv(width, width);
+          for (Int i = 0; i < width; ++i) diag_inv(i, i) = 1.0;
+          trsm(Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0,
+               f.diag(k), diag_inv);
+          trsm(Side::kLeft, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0,
+               f.diag(k), diag_inv);
+
+          DenseMatrix lhat, uhat, contrib, acc;
+          const auto& str = bs.struct_of[static_cast<std::size_t>(k)];
+          for (Int j : str) {
+            acc.resize(part.size(j), width);
+            acc.set_zero();
+            for (Int i : str) {
+              lhat = f.block(i, k);        // L̂_{I,K}
+              contrib = ainv.block(j, i);  // A^{-1}_{J,I}
+              gemm(Trans::kNo, Trans::kNo, -1.0, contrib, lhat, 1.0, acc);
+            }
+            ainv.set_block(j, k, acc);
+
+            acc.resize(width, part.size(j));
+            acc.set_zero();
+            for (Int i : str) {
+              uhat = f.block(k, i);        // Û_{K,I}
+              contrib = ainv.block(i, j);  // A^{-1}_{I,J}
+              gemm(Trans::kNo, Trans::kNo, -1.0, uhat, contrib, 1.0, acc);
+            }
+            ainv.set_block(k, j, acc);
+          }
+
+          for (Int j : str) {
+            uhat = f.block(k, j);
+            contrib = ainv.block(j, k);  // freshly computed above
+            gemm(Trans::kNo, Trans::kNo, -1.0, uhat, contrib, 1.0, diag_inv);
+          }
+          ainv.set_block(k, k, diag_inv);
+        });
+  }
+  for (Int k = 0; k < nsup; ++k) {
+    if (normalize) {
+      // First loop of Algorithm 1, per column: identical trsm calls as
+      // normalize_panels(), fused into the graph so deep columns normalize
+      // while the sweep is already descending elsewhere.
+      const numeric::TaskGraph::TaskId norm = graph.add(
+          static_cast<std::uint64_t>(nsup - 1 - k) << 32, [&f, k] {
+            if (f.lpanel(k).rows() > 0)
+              trsm(Side::kRight, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0,
+                   f.diag(k), f.lpanel(k));
+            if (f.upanel(k).cols() > 0)
+              trsm(Side::kLeft, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0,
+                   f.diag(k), f.upanel(k));
+          });
+      graph.add_edge(norm, sweep_task[static_cast<std::size_t>(k)]);
+    }
+    // Supernode K reads A^{-1} blocks finalized by every supernode in its
+    // ancestor index set C(K).
+    for (Int m : bs.struct_of[static_cast<std::size_t>(k)])
+      graph.add_edge(sweep_task[static_cast<std::size_t>(m)],
+                     sweep_task[static_cast<std::size_t>(k)]);
+  }
+
+  graph.run(options);
+  lu.normalized_ = true;
+  return ainv;
+}
+
 Count selinv_flops(const BlockStructure& structure) {
   const auto& part = structure.part;
   Count total = 0;

@@ -17,6 +17,17 @@ namespace psi {
 /// layout as the factor.
 BlockMatrix selected_inversion(SupernodalLU& lu);
 
+/// Task-parallel Algorithm 1 over a numeric::TaskGraph: per-supernode
+/// normalization tasks (the first loop) feeding per-supernode sweep tasks
+/// that descend the elimination tree (supernode K waits on every supernode
+/// in its ancestor index set C(K), whose selected blocks it reads). Each
+/// sweep task runs the exact sequential per-supernode kernel sequence and
+/// writes only its own block column, so there is no cross-task accumulation
+/// at all: the result is BITWISE identical to selected_inversion() for any
+/// thread count, pool, or tie_break_seed (test-enforced by digest).
+BlockMatrix selinv_parallel(SupernodalLU& lu,
+                            const numeric::ParallelOptions& options);
+
 /// Flops of the selected-inversion sweep over this structure (excludes the
 /// factorization; used by the simulator's compute model).
 Count selinv_flops(const BlockStructure& structure);

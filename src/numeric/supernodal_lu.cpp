@@ -1,8 +1,21 @@
 #include "numeric/supernodal_lu.hpp"
 
+#include <memory>
+#include <mutex>
+#include <utility>
+
 #include "common/check.hpp"
 
 namespace psi {
+
+std::vector<std::vector<Int>> block_row_structure(const BlockStructure& bs) {
+  std::vector<std::vector<Int>> rows(
+      static_cast<std::size_t>(bs.supernode_count()));
+  for (Int s = 0; s < bs.supernode_count(); ++s)
+    for (Int c : bs.struct_of[static_cast<std::size_t>(s)])
+      rows[static_cast<std::size_t>(c)].push_back(s);
+  return rows;  // ascending s per column, by construction
+}
 
 SupernodalLU SupernodalLU::factor(const SymbolicAnalysis& analysis) {
   return factor(analysis.blocks, analysis.matrix);
@@ -54,6 +67,158 @@ SupernodalLU SupernodalLU::factor(
       }
     }
   }
+  return lu;
+}
+
+namespace {
+
+/// The Schur contributions of one (source supernode, target column) pair:
+/// the dense update blocks L_{I,S} U_{S,C} (rows, i >= c) and
+/// L_{C,S} U_{S,J} (cols, j > c), computed task-locally and applied to the
+/// shared storage only under the target column's canonical-order gate.
+struct UpdateBundle {
+  std::vector<Int> rows;  ///< i of block (i, c), i >= c (lower + diagonal)
+  std::vector<DenseMatrix> row_updates;
+  std::vector<Int> cols;  ///< j of block (c, j), j > c (upper)
+  std::vector<DenseMatrix> col_updates;
+};
+
+/// Canonical-order reduction gate of one target column: updates may be
+/// *computed* in any schedule order, but they are *applied* strictly in
+/// ascending source order — the cursor names the next source ordinal the
+/// column expects, and early arrivals wait in the stash. This pins every
+/// floating-point accumulation into the column to the sequential
+/// right-looking order, which is what makes the parallel factorization
+/// bitwise schedule-independent (PR 3's ReduceState discipline, applied to
+/// shared-memory Schur updates).
+struct ColumnGate {
+  std::mutex mutex;
+  std::size_t cursor = 0;
+  std::vector<std::unique_ptr<UpdateBundle>> stash;
+};
+
+void apply_bundle(BlockMatrix& m, Int c, const UpdateBundle& bundle) {
+  for (std::size_t t = 0; t < bundle.rows.size(); ++t)
+    m.add_block(bundle.rows[t], c, bundle.row_updates[t], -1.0);
+  for (std::size_t t = 0; t < bundle.cols.size(); ++t)
+    m.add_block(c, bundle.cols[t], bundle.col_updates[t], -1.0);
+}
+
+}  // namespace
+
+SupernodalLU SupernodalLU::factor_parallel(
+    const SymbolicAnalysis& analysis, const numeric::ParallelOptions& options) {
+  return factor_parallel(analysis.blocks, analysis.matrix, options);
+}
+
+SupernodalLU SupernodalLU::factor_parallel(
+    const BlockStructure& bs, const SparseMatrix& permuted,
+    const numeric::ParallelOptions& options) {
+  PSI_CHECK_MSG(permuted.n() == bs.part.n(),
+                "factor_parallel: matrix dimension "
+                    << permuted.n() << " does not match block structure "
+                    << bs.part.n());
+  return factor_parallel(bs, [&](BlockMatrix& m) { m.load(permuted); },
+                         options);
+}
+
+SupernodalLU SupernodalLU::factor_parallel(
+    const BlockStructure& bs, const std::function<void(BlockMatrix&)>& load,
+    const numeric::ParallelOptions& options) {
+  SupernodalLU lu(bs);
+  BlockMatrix& m = lu.storage_;
+  load(m);
+  const Int nsup = bs.supernode_count();
+  if (nsup == 0) return lu;
+  const auto& part = bs.part;
+
+  const std::vector<std::vector<Int>> row_struct = block_row_structure(bs);
+  std::vector<ColumnGate> gates(static_cast<std::size_t>(nsup));
+  for (Int c = 0; c < nsup; ++c)
+    gates[static_cast<std::size_t>(c)].stash.resize(
+        row_struct[static_cast<std::size_t>(c)].size());
+
+  numeric::TaskGraph graph;
+  // Diag-factor + panel-solve task per supernode. Keys follow the
+  // (postordered) supernode index, with a column's update tasks slotted
+  // right after its factor task, so deterministic tie-breaks walk the
+  // sequential elimination order.
+  std::vector<numeric::TaskGraph::TaskId> factor_task(
+      static_cast<std::size_t>(nsup));
+  for (Int c = 0; c < nsup; ++c) {
+    factor_task[static_cast<std::size_t>(c)] = graph.add(
+        static_cast<std::uint64_t>(c) << 32, [&m, &bs, c] {
+          // Identical kernel calls, in the identical order, as factor():
+          // by the time this task runs, every Schur update into column c
+          // has been applied in ascending source order.
+          getrf_nopivot(m.diag(c));
+          if (m.lpanel(c).rows() > 0)
+            trsm(Side::kRight, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0,
+                 m.diag(c), m.lpanel(c));
+          if (m.upanel(c).cols() > 0)
+            trsm(Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0,
+                 m.diag(c), m.upanel(c));
+        });
+  }
+
+  // Outer-product update task per (source s, target column c in struct(s)).
+  // next_ordinal[c] counts column c's contributors as sources are visited
+  // in ascending s, assigning each update task its canonical drain ordinal.
+  std::vector<std::size_t> next_ordinal(static_cast<std::size_t>(nsup), 0);
+  for (Int s = 0; s < nsup; ++s) {
+    const auto& str = bs.struct_of[static_cast<std::size_t>(s)];
+    for (std::size_t ti = 0; ti < str.size(); ++ti) {
+      const Int c = str[ti];
+      const std::size_t ordinal = next_ordinal[static_cast<std::size_t>(c)]++;
+      const numeric::TaskGraph::TaskId id = graph.add(
+          (static_cast<std::uint64_t>(s) << 32) + 1 + ti,
+          [&m, &bs, &part, &gates, s, c, ordinal] {
+            const auto& src = bs.struct_of[static_cast<std::size_t>(s)];
+            auto bundle = std::make_unique<UpdateBundle>();
+            // Lower + diagonal targets: blocks (i, c), i in struct(s), i >= c.
+            const DenseMatrix u_sc = m.block(s, c);
+            for (const Int i : src) {
+              if (i < c) continue;
+              const DenseMatrix l_is = m.block(i, s);
+              DenseMatrix update(part.size(i), part.size(c));
+              gemm(Trans::kNo, Trans::kNo, 1.0, l_is, u_sc, 0.0, update);
+              bundle->rows.push_back(i);
+              bundle->row_updates.push_back(std::move(update));
+            }
+            // Upper targets: blocks (c, j), j in struct(s), j > c.
+            const DenseMatrix l_cs = m.block(c, s);
+            for (const Int j : src) {
+              if (j <= c) continue;
+              const DenseMatrix u_sj = m.block(s, j);
+              DenseMatrix update(part.size(c), part.size(j));
+              gemm(Trans::kNo, Trans::kNo, 1.0, l_cs, u_sj, 0.0, update);
+              bundle->cols.push_back(j);
+              bundle->col_updates.push_back(std::move(update));
+            }
+            // Canonical-order drain: apply in ascending source order, or
+            // stash until every earlier contribution has been applied.
+            ColumnGate& gate = gates[static_cast<std::size_t>(c)];
+            const std::lock_guard<std::mutex> lock(gate.mutex);
+            if (gate.cursor == ordinal) {
+              apply_bundle(m, c, *bundle);
+              bundle.reset();
+              ++gate.cursor;
+              while (gate.cursor < gate.stash.size() &&
+                     gate.stash[gate.cursor] != nullptr) {
+                apply_bundle(m, c, *gate.stash[gate.cursor]);
+                gate.stash[gate.cursor].reset();
+                ++gate.cursor;
+              }
+            } else {
+              gate.stash[ordinal] = std::move(bundle);
+            }
+          });
+      graph.add_edge(factor_task[static_cast<std::size_t>(s)], id);
+      graph.add_edge(id, factor_task[static_cast<std::size_t>(c)]);
+    }
+  }
+
+  graph.run(options);
   return lu;
 }
 

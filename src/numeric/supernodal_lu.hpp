@@ -7,6 +7,7 @@
 #include <functional>
 
 #include "numeric/block_matrix.hpp"
+#include "numeric/task_graph.hpp"
 #include "symbolic/analysis.hpp"
 
 namespace psi {
@@ -44,6 +45,23 @@ class SupernodalLU {
   static SupernodalLU factor(const BlockStructure& blocks,
                              const std::function<void(BlockMatrix&)>& load);
 
+  /// Task-parallel right-looking factorization over a numeric::TaskGraph:
+  /// one diag-factor/panel-solve task per supernode plus one outer-product
+  /// update task per (source supernode, target column) pair. Schur updates
+  /// are accumulated into each target column strictly in ascending source
+  /// order (a per-column ordinal cursor buffers out-of-order arrivals), so
+  /// every floating-point sum is evaluated in exactly the sequential
+  /// right-looking order: the result is BITWISE identical to factor() for
+  /// any thread count, pool, or tie_break_seed (test-enforced by digest).
+  static SupernodalLU factor_parallel(const BlockStructure& blocks,
+                                      const std::function<void(BlockMatrix&)>& load,
+                                      const numeric::ParallelOptions& options);
+  static SupernodalLU factor_parallel(const BlockStructure& blocks,
+                                      const SparseMatrix& permuted,
+                                      const numeric::ParallelOptions& options);
+  static SupernodalLU factor_parallel(const SymbolicAnalysis& analysis,
+                                      const numeric::ParallelOptions& options);
+
   const BlockStructure& structure() const { return storage_.structure(); }
   const BlockMatrix& blocks() const { return storage_; }
   BlockMatrix& blocks() { return storage_; }
@@ -62,9 +80,21 @@ class SupernodalLU {
  private:
   explicit SupernodalLU(const BlockStructure& structure) : storage_(structure) {}
 
+  /// selinv_parallel fuses the per-column normalization into its task graph
+  /// and flips normalized_ itself.
+  friend BlockMatrix selinv_parallel(SupernodalLU& lu,
+                                     const numeric::ParallelOptions& options);
+
   BlockMatrix storage_;
   bool normalized_ = false;
 };
+
+/// Ascending list, per supernode column c, of the source supernodes s < c
+/// with c in struct(s) — the transpose of BlockStructure::struct_of. These
+/// are exactly the columns whose Schur updates (factorization) or selected
+/// blocks (inversion sweep) column c depends on; both parallel drivers key
+/// their dependency edges off it.
+std::vector<std::vector<Int>> block_row_structure(const BlockStructure& structure);
 
 /// Flop count of the factorization over this structure (used by the
 /// simulator's distributed-LU reference model).

@@ -1,0 +1,205 @@
+#include "numeric/task_graph.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+
+namespace psi::numeric {
+
+void TaskGraphStats::accumulate(const TaskGraphStats& other) {
+  tasks += other.tasks;
+  edges += other.edges;
+  threads = std::max(threads, other.threads);
+  ready_high_water = std::max(ready_high_water, other.ready_high_water);
+  run_seconds += other.run_seconds;
+}
+
+TaskGraph::TaskId TaskGraph::add(std::uint64_t key, std::function<void()> fn) {
+  PSI_CHECK(fn != nullptr);
+  Node node;
+  node.key = key;
+  node.priority = key;
+  node.fn = std::move(fn);
+  nodes_.push_back(std::move(node));
+  return static_cast<TaskId>(nodes_.size()) - 1;
+}
+
+void TaskGraph::add_edge(TaskId before, TaskId after) {
+  PSI_CHECK_MSG(before >= 0 && after >= 0 &&
+                    before < static_cast<TaskId>(nodes_.size()) &&
+                    after < static_cast<TaskId>(nodes_.size()) &&
+                    before != after,
+                "TaskGraph::add_edge(" << before << ", " << after
+                                       << ") out of range");
+  nodes_[static_cast<std::size_t>(before)].dependents.push_back(after);
+  nodes_[static_cast<std::size_t>(after)].indegree += 1;
+  ++edges_;
+}
+
+void TaskGraph::push_ready_locked(TaskId id) {
+  ready_.push_back(id);
+  std::push_heap(ready_.begin(), ready_.end(), [this](TaskId a, TaskId b) {
+    const Node& na = nodes_[static_cast<std::size_t>(a)];
+    const Node& nb = nodes_[static_cast<std::size_t>(b)];
+    // std::push_heap builds a max-heap; invert for a min-heap on
+    // (priority, id). The id tie-break keeps the order total.
+    return na.priority != nb.priority ? na.priority > nb.priority : a > b;
+  });
+  ready_high_water_ = std::max(ready_high_water_, ready_.size());
+}
+
+TaskGraph::TaskId TaskGraph::pop_ready_locked() {
+  std::pop_heap(ready_.begin(), ready_.end(), [this](TaskId a, TaskId b) {
+    const Node& na = nodes_[static_cast<std::size_t>(a)];
+    const Node& nb = nodes_[static_cast<std::size_t>(b)];
+    return na.priority != nb.priority ? na.priority > nb.priority : a > b;
+  });
+  const TaskId id = ready_.back();
+  ready_.pop_back();
+  return id;
+}
+
+void TaskGraph::run(const ParallelOptions& options) {
+  const std::size_t n = nodes_.size();
+  WallTimer timer;
+  if (options.tie_break_seed != 0) {
+    // Adversarial priority permutation: a seeded hash of (seed, key, id)
+    // replaces every priority, scrambling which ready task runs next.
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t state = hash_combine(
+          hash_combine(options.tie_break_seed, nodes_[i].key),
+          static_cast<std::uint64_t>(i));
+      nodes_[i].priority = splitmix64(state);
+    }
+  }
+
+  int threads = std::max(1, options.threads);
+  if (options.pool != nullptr)
+    threads = std::min(threads, options.pool->thread_count() + 1);
+  else
+    threads = 1;
+
+  remaining_ = n;
+  in_flight_ = 0;
+  ready_.clear();
+  ready_.reserve(n);
+  cancelled_ = false;
+  stalled_ = false;
+  first_error_ = nullptr;
+  {
+    // Per-node atomic in-degree counters (decremented lock-free by
+    // completing tasks; the mutex only guards the ready heap).
+    std::vector<std::atomic<int>> deps(n);
+    remaining_deps_.swap(deps);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    remaining_deps_[i].store(nodes_[i].indegree, std::memory_order_relaxed);
+    if (nodes_[i].indegree == 0) push_ready_locked(static_cast<TaskId>(i));
+  }
+  PSI_CHECK_MSG(n == 0 || !ready_.empty(),
+                "TaskGraph::run: no root tasks (dependency cycle?)");
+
+  if (threads == 1) {
+    run_inline();
+  } else {
+    for (int t = 1; t < threads; ++t)
+      options.pool->submit([this] { drain(); });
+    drain();
+    // Wait for the borrowed workers; drain() never throws, so wait() only
+    // rethrows foreign pool-task errors (none on a dedicated compute pool).
+    options.pool->wait();
+  }
+
+  PSI_CHECK_MSG(!stalled_ && (cancelled_ || remaining_ == 0),
+                "TaskGraph::run: " << remaining_
+                                   << " tasks unreachable (dependency cycle)");
+  if (options.stats != nullptr) {
+    TaskGraphStats s;
+    s.tasks = static_cast<Count>(n);
+    s.edges = edges_;
+    s.threads = threads;
+    s.ready_high_water = ready_high_water_;
+    s.run_seconds = timer.seconds();
+    options.stats->accumulate(s);
+  }
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+void TaskGraph::run_inline() {
+  // Single-threaded drain: same heap, no locking. With canonical keys this
+  // executes tasks in exactly the deterministic priority order.
+  while (!ready_.empty()) {
+    const TaskId id = pop_ready_locked();
+    Node& node = nodes_[static_cast<std::size_t>(id)];
+    try {
+      node.fn();
+    } catch (...) {
+      first_error_ = std::current_exception();
+      cancelled_ = true;
+      return;
+    }
+    --remaining_;
+    for (const TaskId dep : node.dependents)
+      if (remaining_deps_[static_cast<std::size_t>(dep)].fetch_sub(
+              1, std::memory_order_acq_rel) == 1)
+        push_ready_locked(dep);
+  }
+}
+
+void TaskGraph::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    wake_.wait(lock, [this] {
+      return cancelled_ || remaining_ == 0 || !ready_.empty();
+    });
+    if (cancelled_ || remaining_ == 0) return;
+    const TaskId id = pop_ready_locked();
+    ++in_flight_;
+    Node& node = nodes_[static_cast<std::size_t>(id)];
+    lock.unlock();
+
+    std::exception_ptr error;
+    try {
+      node.fn();
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    std::vector<TaskId> newly_ready;
+    if (!error) {
+      for (const TaskId dep : node.dependents)
+        if (remaining_deps_[static_cast<std::size_t>(dep)].fetch_sub(
+                1, std::memory_order_acq_rel) == 1)
+          newly_ready.push_back(dep);
+    }
+
+    lock.lock();
+    --in_flight_;
+    if (error) {
+      if (!first_error_) first_error_ = error;
+      cancelled_ = true;
+      wake_.notify_all();
+      return;
+    }
+    --remaining_;
+    for (const TaskId dep : newly_ready) push_ready_locked(dep);
+    if (ready_.empty() && in_flight_ == 0 && remaining_ != 0) {
+      // Nothing ready, nothing running, tasks left: a dependency cycle.
+      // Cancel instead of letting every worker block on the cv forever;
+      // run() turns stalled_ into the unreachable-tasks error.
+      stalled_ = true;
+      cancelled_ = true;
+      wake_.notify_all();
+      return;
+    }
+    if (remaining_ == 0 || cancelled_)
+      wake_.notify_all();
+    else
+      for (std::size_t i = 0; i < newly_ready.size(); ++i) wake_.notify_one();
+  }
+}
+
+}  // namespace psi::numeric

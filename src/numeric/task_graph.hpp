@@ -1,0 +1,130 @@
+/// \file task_graph.hpp
+/// \brief Static dependency-graph task scheduler for the shared-memory
+/// numeric phase (task-parallel factorization and selected inversion).
+///
+/// The graph is built up front — one node per supernode task (diag-factor /
+/// panel-solve, outer-product update bundle, inversion sweep step), one edge
+/// per data dependency — and then drained by the calling thread plus
+/// `threads - 1` workers borrowed from a parallel::ThreadPool. Readiness is
+/// tracked with atomic in-degree counters; ready tasks sit in one shared
+/// min-heap ordered by a caller-chosen 64-bit key (the drivers key tasks by
+/// elimination-tree postorder, so ties between ready tasks break
+/// deterministically toward the sequential elimination order). There is no
+/// per-thread work stealing: at the supernode granularity the heap is
+/// popped a few hundred times per run, so one mutex-protected deque is both
+/// simpler and cheap, and it gives every worker the same global priority
+/// view.
+///
+/// Determinism contract: the scheduler never promises a deterministic
+/// *interleaving* — only the drivers' canonical-order reduction discipline
+/// makes results bitwise reproducible. To let tests attack exactly that
+/// discipline, `tie_break_seed` replaces the priority of every task with a
+/// seeded hash (check::AdversarialSchedule-style), scrambling ready-queue
+/// order arbitrarily; results must stay bitwise identical under any seed,
+/// and tests/test_numeric_parallel.cpp enforces that by digest.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "sparse/types.hpp"
+
+namespace psi::numeric {
+
+/// Per-run scheduler instrumentation, folded into psi::obs metrics by the
+/// serving layer and exported as bench rows by bench_numeric.
+struct TaskGraphStats {
+  Count tasks = 0;        ///< nodes executed
+  Count edges = 0;        ///< dependency edges
+  int threads = 1;        ///< effective worker count (caller included)
+  std::size_t ready_high_water = 0;  ///< max simultaneously ready tasks
+  double run_seconds = 0.0;          ///< wall time of run()
+
+  /// Accumulates another run's numbers (a serve request runs two graphs:
+  /// factorization + inversion sweep).
+  void accumulate(const TaskGraphStats& other);
+};
+
+/// Options shared by the parallel numeric drivers (factor_parallel,
+/// selinv_parallel).
+struct ParallelOptions {
+  /// Total workers draining the graph, caller included. 1 (or a null
+  /// `pool`) runs the graph inline on the caller with no locking.
+  int threads = 1;
+  /// Pool supplying the `threads - 1` extra workers. The pool may be shared
+  /// across requests but must have idle capacity; submission happens from
+  /// the calling thread (which may itself be a worker of a *different*
+  /// pool — see parallel::ThreadPool's self-nesting guard).
+  parallel::ThreadPool* pool = nullptr;
+  /// Non-zero: adversarially permute ready-queue priorities with this seed
+  /// (testing hook; results must be bitwise seed-independent).
+  std::uint64_t tie_break_seed = 0;
+  /// Optional instrumentation out-param (accumulated, not overwritten).
+  TaskGraphStats* stats = nullptr;
+};
+
+/// A static task DAG executed once. Not reusable after run().
+class TaskGraph {
+ public:
+  using TaskId = Int;
+
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a node. `key` orders ready tasks (smaller first); the drivers use
+  /// elimination-tree postorder-derived keys so tie-breaks are
+  /// deterministic and follow the sequential elimination order.
+  TaskId add(std::uint64_t key, std::function<void()> fn);
+
+  /// Declares that `before` must complete before `after` may start.
+  void add_edge(TaskId before, TaskId after);
+
+  Count task_count() const { return static_cast<Count>(nodes_.size()); }
+  Count edge_count() const { return edges_; }
+
+  /// Executes every task. The caller drains too, so `options.threads == n`
+  /// uses the caller plus `n - 1` pool workers. If any task throws, the
+  /// run cancels (already-running tasks finish, nothing new starts) and the
+  /// first exception is rethrown here after all workers quiesce. Tasks
+  /// still pending at cancellation are simply never run — the drivers treat
+  /// a throwing numeric kernel (zero pivot) as fatal for the whole result.
+  void run(const ParallelOptions& options);
+
+ private:
+  struct Node {
+    std::uint64_t key = 0;
+    std::uint64_t priority = 0;  ///< key, or seeded hash of it
+    std::function<void()> fn;
+    int indegree = 0;            ///< static, from add_edge
+    std::vector<TaskId> dependents;
+  };
+
+  void run_inline();
+  void drain();
+  void push_ready_locked(TaskId id);
+  TaskId pop_ready_locked();
+
+  std::vector<Node> nodes_;
+  Count edges_ = 0;
+
+  // run() state.
+  std::vector<std::atomic<int>> remaining_deps_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  /// Binary min-heap of ready TaskIds ordered by (priority, id).
+  std::vector<TaskId> ready_;
+  std::size_t remaining_ = 0;  ///< tasks not yet finished
+  std::size_t in_flight_ = 0;  ///< tasks popped but not yet completed
+  std::size_t ready_high_water_ = 0;
+  bool cancelled_ = false;
+  bool stalled_ = false;  ///< drained dry with tasks unreachable (cycle)
+  std::exception_ptr first_error_;
+};
+
+}  // namespace psi::numeric

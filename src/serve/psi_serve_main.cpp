@@ -31,6 +31,9 @@ void usage(std::ostream& out) {
   out << "psi_serve: request-driven selected-inversion service harness.\n\n"
          "Service options:\n"
          "  --workers N          worker threads (default 2)\n"
+         "  --compute-threads N  task-parallel numeric threads per request\n"
+         "                       (default: PSI_SERVE_COMPUTE_THREADS, else 1;\n"
+         "                       bitwise-identical results for any value)\n"
          "  --queue-capacity N   admission queue slots (default 64)\n"
          "  --max-batch N        same-structure batch size (default 8)\n"
          "  --cache-mb MB        plan cache budget (default 256)\n"
@@ -103,6 +106,8 @@ int main(int argc, char** argv) try {
       return 0;
     } else if (arg == "--workers") {
       config.workers = std::stoi(value());
+    } else if (arg == "--compute-threads") {
+      config.compute_threads = std::stoi(value());
     } else if (arg == "--queue-capacity") {
       config.queue_capacity = static_cast<std::size_t>(std::stoul(value()));
     } else if (arg == "--max-batch") {

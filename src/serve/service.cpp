@@ -1,5 +1,6 @@
 #include "serve/service.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
 
@@ -55,6 +56,10 @@ Service::Service(const Config& config)
   PSI_CHECK_MSG(config_.queue_capacity > 0, "queue_capacity must be > 0");
   PSI_CHECK_MSG(config_.max_batch >= 1,
                 "max_batch must be >= 1, got " << config_.max_batch);
+  compute_threads_ = config_.compute_threads <= 0
+                         ? parallel::compute_threads()
+                         : std::min(config_.compute_threads,
+                                    parallel::kMaxComputeThreads);
   if (!config_.access_log_path.empty())
     access_log_.open_ndjson(config_.access_log_path);
   if (config_.workers > 0) {
@@ -149,6 +154,13 @@ std::vector<Service::Pending> Service::pop_batch_locked() {
 }
 
 void Service::worker_loop(int worker) {
+  // Dedicated numeric pool: the worker thread itself drains the task graphs
+  // too, so compute_threads_ - 1 extra threads give compute_threads_ total.
+  // Per-worker (not shared) so concurrent requests never contend for
+  // compute slots and latency stays independent of sibling traffic.
+  std::optional<parallel::ThreadPool> compute_pool;
+  if (compute_threads_ > 1) compute_pool.emplace(compute_threads_ - 1);
+  parallel::ThreadPool* compute = compute_pool ? &*compute_pool : nullptr;
   for (;;) {
     std::vector<Pending> batch;
     {
@@ -189,18 +201,18 @@ void Service::worker_loop(int worker) {
     const double plan_seconds = plan_timer.seconds();
 
     process(std::move(batch.front()), worker, /*batched=*/false, plan, hit,
-            plan_seconds);
+            plan_seconds, compute);
     if (batch.size() > 1)
       cache_.record_external_hits(static_cast<Count>(batch.size() - 1));
     for (std::size_t i = 1; i < batch.size(); ++i)
       process(std::move(batch[i]), worker, /*batched=*/true, plan,
-              /*cache_hit=*/true, /*plan_seconds=*/0.0);
+              /*cache_hit=*/true, /*plan_seconds=*/0.0, compute);
   }
 }
 
 void Service::process(Pending pending, int worker, bool batched,
                       std::shared_ptr<const ServePlan> plan, bool cache_hit,
-                      double plan_seconds) {
+                      double plan_seconds, parallel::ThreadPool* compute_pool) {
   Response r;
   r.id = pending.request.id;
   r.priority = pending.request.priority;
@@ -211,15 +223,34 @@ void Service::process(Pending pending, int worker, bool batched,
   r.queue_seconds = pending.queue_seconds;
   r.plan_seconds = plan_seconds;
   try {
+    numeric::ParallelOptions opts;
+    opts.threads = compute_threads_;
+    opts.pool = compute_pool;
+    numeric::TaskGraphStats stats;
+    opts.stats = &stats;
+    const bool parallel_numeric = compute_pool != nullptr;
+
     WallTimer timer;
-    SupernodalLU lu = SupernodalLU::factor(
-        plan->analysis.blocks, [&](BlockMatrix& m) {
-          plan->scatter_values(pending.request.matrix.values, m);
-        });
-    r.factor_seconds = timer.seconds();
+    double scatter_seconds = 0.0;
+    const auto load = [&](BlockMatrix& m) {
+      WallTimer scatter_timer;
+      plan->scatter_values(pending.request.matrix.values, m);
+      scatter_seconds = scatter_timer.seconds();
+    };
+    SupernodalLU lu =
+        parallel_numeric
+            ? SupernodalLU::factor_parallel(plan->analysis.blocks, load, opts)
+            : SupernodalLU::factor(plan->analysis.blocks, load);
+    r.scatter_seconds = scatter_seconds;
+    r.factor_seconds = timer.seconds() - scatter_seconds;
     timer.reset();
-    BlockMatrix ainv = selected_inversion(lu);
+    BlockMatrix ainv =
+        parallel_numeric ? selinv_parallel(lu, opts) : selected_inversion(lu);
     r.invert_seconds = timer.seconds();
+    if (parallel_numeric) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      task_stats_.accumulate(stats);
+    }
     r.sim_makespan = plan->trace_makespan;
     r.digest = ainv_digest(ainv);
     if (pending.request.return_ainv) {
@@ -248,6 +279,7 @@ void Service::finish(Pending& pending, Response response) {
     if (response.ok()) {
       queue_s_.add(response.queue_seconds);
       plan_s_.add(response.plan_seconds);
+      scatter_s_.add(response.scatter_seconds);
       factor_s_.add(response.factor_seconds);
       invert_s_.add(response.invert_seconds);
       total_s_.add(response.total_seconds);
@@ -271,6 +303,7 @@ void Service::log_response(const Response& response) {
                         .add("worker", response.worker)
                         .add("queue_s", response.queue_seconds)
                         .add("plan_s", response.plan_seconds)
+                        .add("scatter_s", response.scatter_seconds)
                         .add("factor_s", response.factor_seconds)
                         .add("invert_s", response.invert_seconds)
                         .add("total_s", response.total_seconds)
@@ -323,11 +356,17 @@ SampleStats Service::latency(const std::string& phase) const {
   std::lock_guard<std::mutex> lock(stats_mutex_);
   if (phase == "queue") return queue_s_;
   if (phase == "plan") return plan_s_;
+  if (phase == "scatter") return scatter_s_;
   if (phase == "factor") return factor_s_;
   if (phase == "invert") return invert_s_;
   if (phase == "total") return total_s_;
   PSI_CHECK_MSG(false, "unknown latency phase '" << phase << "'");
   return {};
+}
+
+numeric::TaskGraphStats Service::task_graph_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return task_stats_;
 }
 
 void Service::fold_metrics(obs::MetricsRegistry& registry) const {
@@ -344,14 +383,24 @@ void Service::fold_metrics(obs::MetricsRegistry& registry) const {
   static const std::vector<double> kBounds = {
       1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0};
   const std::pair<const char*, SampleStats> phases[] = {
-      {"queue", latency("queue")},   {"plan", latency("plan")},
-      {"factor", latency("factor")}, {"invert", latency("invert")},
-      {"total", latency("total")}};
+      {"queue", latency("queue")},     {"plan", latency("plan")},
+      {"scatter", latency("scatter")}, {"factor", latency("factor")},
+      {"invert", latency("invert")},   {"total", latency("total")}};
   for (const auto& [name, sample] : phases) {
     obs::Histogram& h = registry.histogram(
         "serve_request_seconds", obs::Labels().phase(name), kBounds);
     for (double v : sample.values()) h.observe(v);
   }
+
+  const numeric::TaskGraphStats ts = task_graph_stats();
+  registry.gauge("serve_compute_threads")
+      .set(static_cast<double>(compute_threads_));
+  registry.counter("serve_taskgraph_tasks").add(ts.tasks);
+  registry.counter("serve_taskgraph_edges").add(ts.edges);
+  registry.gauge("serve_taskgraph_ready_high_water")
+      .set(static_cast<double>(ts.ready_high_water));
+  registry.gauge("serve_taskgraph_run_seconds").set(ts.run_seconds);
+
   cache_.fold_metrics(registry);
 }
 

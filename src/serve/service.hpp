@@ -19,11 +19,15 @@
 /// (request matrix, service PlanConfig). Plans are pure functions of the
 /// pattern+configuration, the cached-plan numeric path is the same code as
 /// the cold path (scatter the request values through the plan's precomputed
-/// load map, factor over the cached block structure, sequential selected
-/// inversion — Algorithm 1 — over the factor), and workers never share
-/// mutable numeric state — so results are bitwise identical for any worker
-/// count, arrival order, batching, or cache history. Tests enforce this via
-/// the response digest.
+/// load map, factor over the cached block structure, selected inversion —
+/// Algorithm 1 — over the factor), and workers never share mutable numeric
+/// state — so results are bitwise identical for any worker count, arrival
+/// order, batching, or cache history. The numeric phase itself may be
+/// task-parallel (Config::compute_threads > 1 drives factor_parallel /
+/// selinv_parallel on a per-worker compute pool), and stays inside the same
+/// contract: canonical-order reductions make the parallel kernels bitwise
+/// identical to the sequential ones, so compute_threads never changes a
+/// digest either. Tests enforce all of this via the response digest.
 ///
 /// The distributed side of the paper is served from the plan cache: the
 /// plan build runs the DES once in kTrace mode (message counts and timing
@@ -48,6 +52,7 @@
 #include "common/stats.hpp"
 #include "common/timer.hpp"
 #include "numeric/block_matrix.hpp"
+#include "numeric/task_graph.hpp"
 #include "obs/metrics.hpp"
 #include "obs/record.hpp"
 #include "serve/plan_cache.hpp"
@@ -89,11 +94,12 @@ struct Response {
   /// supernode order): bitwise-equal results <=> equal digests.
   std::string digest;
 
-  double queue_seconds = 0.0;   ///< admission -> worker pickup
-  double plan_seconds = 0.0;    ///< plan resolution (cache hit: ~0)
-  double factor_seconds = 0.0;  ///< value scatter + numeric factorization
-  double invert_seconds = 0.0;  ///< sequential selected inversion
-  double total_seconds = 0.0;   ///< admission -> response
+  double queue_seconds = 0.0;    ///< admission -> worker pickup
+  double plan_seconds = 0.0;     ///< plan resolution (cache hit: ~0)
+  double scatter_seconds = 0.0;  ///< value scatter through the plan slot map
+  double factor_seconds = 0.0;   ///< numeric factorization (scatter excluded)
+  double invert_seconds = 0.0;   ///< selected inversion sweep
+  double total_seconds = 0.0;    ///< admission -> response
   /// Simulated distributed makespan for this structure — the plan's cached
   /// kTrace result (ServePlan::trace_makespan), not a per-request run.
   double sim_makespan = 0.0;
@@ -118,6 +124,15 @@ class Service {
     /// until shutdown() fails them with kShutdown (deterministic
     /// backpressure testing).
     int workers = 2;
+    /// Compute threads per in-flight request (task-parallel numeric phase).
+    /// 1 = the sequential factor/selinv kernels, untouched. > 1 = each
+    /// service worker drives factor_parallel()/selinv_parallel() with a
+    /// dedicated (compute_threads - 1)-worker pool; the response stays
+    /// bitwise identical either way (canonical-order reductions), so this
+    /// only moves latency, never content. <= 0 resolves
+    /// parallel::compute_threads() (the PSI_SERVE_COMPUTE_THREADS
+    /// environment knob); values above parallel::kMaxComputeThreads clamp.
+    int compute_threads = 1;
     std::size_t queue_capacity = 64;  ///< both priority classes combined
     int max_batch = 8;                ///< leader + followers per pickup
     /// Grid / trees / symmetry / analysis / simulated machine — everything
@@ -159,9 +174,18 @@ class Service {
   PlanCache::Stats cache_stats() const { return cache_.stats(); }
   Counters counters() const;
 
-  /// Copy of the per-phase latency sample ("queue", "plan", "factor",
-  /// "invert", "total") over completed requests.
+  /// Copy of the per-phase latency sample ("queue", "plan", "scatter",
+  /// "factor", "invert", "total") over completed requests.
   SampleStats latency(const std::string& phase) const;
+
+  /// Effective compute threads per request after resolving Config's <= 0
+  /// sentinel and clamping (what the workers actually use).
+  int compute_threads() const { return compute_threads_; }
+
+  /// Accumulated task-graph instrumentation over all parallel numeric runs
+  /// (two graphs per request: factorization + inversion sweep); all-zero
+  /// when compute_threads() == 1.
+  numeric::TaskGraphStats task_graph_stats() const;
 
   /// Folds service counters, phase-latency histograms, and the cache
   /// counters into `registry`. MetricsRegistry is not thread-safe — call
@@ -180,14 +204,17 @@ class Service {
   void worker_loop(int worker);
   /// Pops a leader plus same-fingerprint followers; caller holds mutex_.
   std::vector<Pending> pop_batch_locked();
+  /// `compute_pool` is the worker's dedicated numeric pool (null when
+  /// compute_threads_ == 1 -> sequential kernels).
   void process(Pending pending, int worker, bool batched,
                std::shared_ptr<const ServePlan> plan, bool cache_hit,
-               double plan_seconds);
+               double plan_seconds, parallel::ThreadPool* compute_pool);
   void finish(Pending& pending, Response response);
   void log_response(const Response& response);
   std::size_t queued_count_locked() const;
 
   Config config_;
+  int compute_threads_ = 1;  ///< resolved + clamped at construction
   PlanCache cache_;
 
   std::mutex mutex_;
@@ -197,7 +224,8 @@ class Service {
 
   mutable std::mutex stats_mutex_;
   Counters counters_;
-  SampleStats queue_s_, plan_s_, factor_s_, invert_s_, total_s_;
+  SampleStats queue_s_, plan_s_, scatter_s_, factor_s_, invert_s_, total_s_;
+  numeric::TaskGraphStats task_stats_;
 
   std::mutex log_mutex_;
   obs::RecordWriter access_log_;

@@ -172,6 +172,8 @@ TEST(Oracle, CleanCasePassesWithInvariantsExercised) {
   EXPECT_EQ(result.signature, "");
   // 3 schemes x (1 fast + 1 baseline + K adversarial legs).
   EXPECT_EQ(result.legs_run, 3u * (2u + 2u));
+  // Plus the shared-memory legs: threads=2 natural + threads=4 scrambled.
+  EXPECT_EQ(result.numeric_parallel_legs, 2u);
   EXPECT_GT(result.events, 0);
   EXPECT_GT(result.arena_high_water, 0u);
   EXPECT_LT(result.max_ref_err, 1e-8);

@@ -299,6 +299,20 @@ TEST(ThreadPool, NestedSubmitRejected) {
   EXPECT_TRUE(rejected.load());
 }
 
+TEST(ThreadPool, CrossPoolSubmitAllowed) {
+  // The self-nesting guard is per pool: a worker of one pool may drive a
+  // different pool (a serve worker driving its dedicated compute pool).
+  parallel::ThreadPool outer(1);
+  parallel::ThreadPool inner(1);
+  std::atomic<int> ran{0};
+  outer.submit([&inner, &ran] {
+    inner.submit([&ran] { ran = 1; });
+    inner.wait();
+  });
+  outer.wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
 TEST(ParallelForEach, EmptyRangeIsNoOp) {
   std::vector<int> empty;
   EXPECT_NO_THROW(parallel::parallel_for_each(
@@ -367,6 +381,35 @@ TEST(BenchThreads, BadValuesClampToOneWithWarning) {
   ASSERT_EQ(setenv("PSI_BENCH_THREADS", "0", 1), 0);
   EXPECT_EQ(parallel::bench_threads(), 1);
   ASSERT_EQ(unsetenv("PSI_BENCH_THREADS"), 0);
+}
+
+TEST(ComputeThreads, EnvOverride) {
+  ASSERT_EQ(setenv("PSI_SERVE_COMPUTE_THREADS", "3", 1), 0);
+  EXPECT_EQ(parallel::compute_threads(), 3);
+  // Unset defaults to 1 (a service must opt into grabbing cores), unlike
+  // bench_threads' hardware-concurrency default.
+  ASSERT_EQ(unsetenv("PSI_SERVE_COMPUTE_THREADS"), 0);
+  EXPECT_EQ(parallel::compute_threads(), 1);
+}
+
+TEST(ComputeThreads, BadValuesClampToOneWithWarning) {
+  EXPECT_EQ(parallel::parse_compute_threads("0"), 1);
+  EXPECT_EQ(parallel::parse_compute_threads("-4"), 1);
+  EXPECT_EQ(parallel::parse_compute_threads("garbage"), 1);
+  EXPECT_EQ(parallel::parse_compute_threads(""), 1);
+  EXPECT_EQ(parallel::parse_compute_threads("3x"), 1);  // trailing junk
+  EXPECT_EQ(parallel::parse_compute_threads("2.5"), 1);
+  EXPECT_EQ(parallel::parse_compute_threads("99999999999999999999"), 1);
+
+  EXPECT_EQ(parallel::parse_compute_threads("1"), 1);
+  EXPECT_EQ(parallel::parse_compute_threads("8"), 8);
+  EXPECT_EQ(parallel::parse_compute_threads("1000000"),
+            parallel::kMaxComputeThreads);
+  EXPECT_EQ(parallel::parse_compute_threads(nullptr), 1);  // unset: sequential
+
+  ASSERT_EQ(setenv("PSI_SERVE_COMPUTE_THREADS", "not-a-number", 1), 0);
+  EXPECT_EQ(parallel::compute_threads(), 1);
+  ASSERT_EQ(unsetenv("PSI_SERVE_COMPUTE_THREADS"), 0);
 }
 
 }  // namespace

@@ -39,6 +39,35 @@ TEST(BlockMatrix, LoadAndDenseRoundTrip) {
   EXPECT_LT(max_abs_diff(dense, dense_of(an.matrix)), 1e-14);
 }
 
+TEST(BlockMatrix, StructPositionFastPathMatchesReference) {
+  // The AP fast path must agree with the binary-search reference for EVERY
+  // (supernode, candidate) pair — members and absentees alike — on every
+  // generator family under both orderings (min-degree structures are the
+  // ones that produce non-AP struct lists and exercise the fallback).
+  std::vector<GeneratedMatrix> gens;
+  gens.push_back(laplacian2d(6, 6, 3));
+  gens.push_back(dg2d(4, 4, 3, 7));
+  gens.push_back(dg3d(3, 3, 3, 2, 9));
+  gens.push_back(fem3d(3, 3, 3, 2, 11));
+  gens.push_back(random_symmetric(48, 3.0, 21));
+  for (const GeneratedMatrix& gen : gens) {
+    for (const OrderingMethod method :
+         {OrderingMethod::kMinDegree, OrderingMethod::kNestedDissection}) {
+      AnalysisOptions opt = default_options();
+      opt.ordering.method = method;
+      opt.supernodes.max_size = 6;
+      const SymbolicAnalysis an = analyze(gen, opt);
+      const BlockMatrix bm(an.blocks);
+      const Int nsup = an.blocks.supernode_count();
+      for (Int k = 0; k < nsup; ++k)
+        for (Int i = 0; i < nsup; ++i)
+          ASSERT_EQ(bm.struct_position(k, i),
+                    bm.struct_position_reference(k, i))
+              << "k=" << k << " i=" << i;
+    }
+  }
+}
+
 TEST(BlockMatrix, BlockGetSetRoundTrip) {
   const GeneratedMatrix gen = fem3d(2, 2, 2, 2, 5);
   const SymbolicAnalysis an = analyze(gen, default_options());

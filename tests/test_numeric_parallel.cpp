@@ -1,0 +1,336 @@
+/// Tests for the task-parallel numeric phase: TaskGraph scheduling
+/// semantics, and the bitwise-determinism contract of factor_parallel /
+/// selinv_parallel — identical bytes to the sequential kernels for any
+/// thread count, pool, or adversarial ready-queue permutation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "check/oracle.hpp"
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "numeric/selinv.hpp"
+#include "numeric/supernodal_lu.hpp"
+#include "numeric/task_graph.hpp"
+#include "sparse/generators.hpp"
+
+namespace psi {
+namespace {
+
+using numeric::ParallelOptions;
+using numeric::TaskGraph;
+using numeric::TaskGraphStats;
+
+// ----- TaskGraph scheduling ------------------------------------------------
+
+TEST(TaskGraph, InlineRunsInKeyOrder) {
+  TaskGraph graph;
+  std::vector<int> order;
+  // Insert in reverse key order; the inline drain must follow keys.
+  for (int i = 7; i >= 0; --i)
+    graph.add(static_cast<std::uint64_t>(i),
+              [&order, i] { order.push_back(i); });
+  graph.run(ParallelOptions{});
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(TaskGraph, EdgesOverrideKeyOrder) {
+  TaskGraph graph;
+  std::vector<char> order;
+  const TaskGraph::TaskId low =
+      graph.add(0, [&order] { order.push_back('a'); });
+  const TaskGraph::TaskId high =
+      graph.add(100, [&order] { order.push_back('b'); });
+  // The key-preferred task depends on the key-dispreferred one.
+  graph.add_edge(high, low);
+  graph.run(ParallelOptions{});
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 'b');
+  EXPECT_EQ(order[1], 'a');
+}
+
+TEST(TaskGraph, PooledRunExecutesEveryTaskOnce) {
+  parallel::ThreadPool pool(3);
+  TaskGraph graph;
+  std::atomic<int> runs{0};
+  std::vector<TaskGraph::TaskId> layer;
+  for (int i = 0; i < 16; ++i)
+    layer.push_back(
+        graph.add(static_cast<std::uint64_t>(i), [&runs] { ++runs; }));
+  const TaskGraph::TaskId sink = graph.add(1000, [&runs] { ++runs; });
+  for (const TaskGraph::TaskId id : layer) graph.add_edge(id, sink);
+  ParallelOptions options;
+  options.threads = 4;
+  options.pool = &pool;
+  TaskGraphStats stats;
+  options.stats = &stats;
+  graph.run(options);
+  EXPECT_EQ(runs.load(), 17);
+  EXPECT_EQ(stats.tasks, 17);
+  EXPECT_EQ(stats.edges, 16);
+  EXPECT_EQ(stats.threads, 4);
+  EXPECT_GE(stats.ready_high_water, 1u);
+  EXPECT_GE(stats.run_seconds, 0.0);
+}
+
+TEST(TaskGraph, ErrorCancelsPendingInline) {
+  TaskGraph graph;
+  std::atomic<int> ran{0};
+  const TaskGraph::TaskId boom =
+      graph.add(0, [] { throw Error("kernel failed"); });
+  const TaskGraph::TaskId dependent = graph.add(1, [&ran] { ++ran; });
+  graph.add_edge(boom, dependent);
+  EXPECT_THROW(graph.run(ParallelOptions{}), Error);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(TaskGraph, ErrorCancelsPendingPooled) {
+  parallel::ThreadPool pool(1);
+  TaskGraph graph;
+  std::atomic<int> ran{0};
+  const TaskGraph::TaskId boom =
+      graph.add(0, [] { throw Error("kernel failed"); });
+  const TaskGraph::TaskId dependent = graph.add(1, [&ran] { ++ran; });
+  graph.add_edge(boom, dependent);
+  ParallelOptions options;
+  options.threads = 2;
+  options.pool = &pool;
+  EXPECT_THROW(graph.run(options), Error);
+  EXPECT_EQ(ran.load(), 0);
+}
+
+TEST(TaskGraph, RootlessCycleThrows) {
+  TaskGraph graph;
+  const TaskGraph::TaskId a = graph.add(0, [] {});
+  const TaskGraph::TaskId b = graph.add(1, [] {});
+  graph.add_edge(a, b);
+  graph.add_edge(b, a);
+  EXPECT_THROW(graph.run(ParallelOptions{}), Error);
+}
+
+TEST(TaskGraph, PartialCycleDetectedInline) {
+  TaskGraph graph;
+  graph.add(0, [] {});
+  const TaskGraph::TaskId a = graph.add(1, [] {});
+  const TaskGraph::TaskId b = graph.add(2, [] {});
+  graph.add_edge(a, b);
+  graph.add_edge(b, a);
+  EXPECT_THROW(graph.run(ParallelOptions{}), Error);
+}
+
+TEST(TaskGraph, PartialCycleDetectedPooled) {
+  // The pooled drain must diagnose unreachable tasks instead of parking
+  // every worker on the condition variable forever.
+  parallel::ThreadPool pool(1);
+  TaskGraph graph;
+  graph.add(0, [] {});
+  const TaskGraph::TaskId a = graph.add(1, [] {});
+  const TaskGraph::TaskId b = graph.add(2, [] {});
+  graph.add_edge(a, b);
+  graph.add_edge(b, a);
+  ParallelOptions options;
+  options.threads = 2;
+  options.pool = &pool;
+  EXPECT_THROW(graph.run(options), Error);
+}
+
+TEST(TaskGraph, TieBreakSeedScramblesInlineOrder) {
+  // With a seed the inline drain follows the scrambled priorities — a
+  // deterministic adversarial execution order — yet still runs everything.
+  const auto order_with_seed = [](std::uint64_t seed) {
+    TaskGraph graph;
+    std::vector<int> order;
+    for (int i = 0; i < 12; ++i)
+      graph.add(static_cast<std::uint64_t>(i),
+                [&order, i] { order.push_back(i); });
+    ParallelOptions options;
+    options.tie_break_seed = seed;
+    graph.run(options);
+    return order;
+  };
+  const std::vector<int> natural = order_with_seed(0);
+  const std::vector<int> scrambled = order_with_seed(0x5eed);
+  const std::vector<int> scrambled_again = order_with_seed(0x5eed);
+  ASSERT_EQ(natural.size(), 12u);
+  ASSERT_EQ(scrambled.size(), 12u);
+  EXPECT_NE(scrambled, natural);          // actually adversarial
+  EXPECT_EQ(scrambled, scrambled_again);  // and deterministic
+}
+
+// ----- bitwise identity of the parallel numeric drivers --------------------
+
+/// Byte-compare every stored panel of two block matrices.
+::testing::AssertionResult bitwise_equal(const BlockMatrix& a,
+                                         const BlockMatrix& b) {
+  const auto bytes_equal = [](const DenseMatrix& x, const DenseMatrix& y) {
+    return x.rows() == y.rows() && x.cols() == y.cols() &&
+           std::memcmp(x.data(), y.data(),
+                       static_cast<std::size_t>(x.rows()) *
+                           static_cast<std::size_t>(x.cols()) *
+                           sizeof(double)) == 0;
+  };
+  if (a.supernode_count() != b.supernode_count())
+    return ::testing::AssertionFailure() << "supernode count differs";
+  for (Int k = 0; k < a.supernode_count(); ++k) {
+    if (!bytes_equal(a.diag(k), b.diag(k)))
+      return ::testing::AssertionFailure() << "diag(" << k << ") differs";
+    if (!bytes_equal(a.lpanel(k), b.lpanel(k)))
+      return ::testing::AssertionFailure() << "lpanel(" << k << ") differs";
+    if (!bytes_equal(a.upanel(k), b.upanel(k)))
+      return ::testing::AssertionFailure() << "upanel(" << k << ") differs";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+struct Problem {
+  const char* name;
+  SymbolicAnalysis analysis;
+};
+
+std::vector<Problem> problems() {
+  AnalysisOptions opt;
+  opt.ordering.method = OrderingMethod::kMinDegree;
+  opt.supernodes.max_size = 8;
+  std::vector<Problem> out;
+  out.push_back({"dg2d", analyze(dg2d(6, 6, 3, 7), opt)});
+  out.push_back({"dg3d", analyze(dg3d(3, 3, 3, 2, 9), opt)});
+  out.push_back({"fem3d", analyze(fem3d(4, 4, 4, 2, 11), opt)});
+  return out;
+}
+
+TEST(NumericParallel, FactorBitwiseAcrossThreadCounts) {
+  for (const Problem& problem : problems()) {
+    const SupernodalLU seq = SupernodalLU::factor(problem.analysis);
+    for (const int threads : {1, 2, 4, 8}) {
+      std::optional<parallel::ThreadPool> pool;
+      ParallelOptions options;
+      options.threads = threads;
+      if (threads > 1) {
+        pool.emplace(threads - 1);
+        options.pool = &*pool;
+      }
+      const SupernodalLU par =
+          SupernodalLU::factor_parallel(problem.analysis, options);
+      EXPECT_TRUE(bitwise_equal(seq.blocks(), par.blocks()))
+          << problem.name << " threads=" << threads;
+    }
+  }
+}
+
+TEST(NumericParallel, SelinvBitwiseAcrossThreadCounts) {
+  for (const Problem& problem : problems()) {
+    SupernodalLU seq = SupernodalLU::factor(problem.analysis);
+    const BlockMatrix reference = selected_inversion(seq);
+    for (const int threads : {1, 2, 4, 8}) {
+      std::optional<parallel::ThreadPool> pool;
+      ParallelOptions options;
+      options.threads = threads;
+      if (threads > 1) {
+        pool.emplace(threads - 1);
+        options.pool = &*pool;
+      }
+      SupernodalLU par =
+          SupernodalLU::factor_parallel(problem.analysis, options);
+      const BlockMatrix ainv = selinv_parallel(par, options);
+      EXPECT_TRUE(par.normalized());
+      // Both the selected inverse AND the normalized factors must match the
+      // sequential pipeline byte for byte.
+      EXPECT_TRUE(bitwise_equal(reference, ainv))
+          << problem.name << " ainv threads=" << threads;
+      EXPECT_TRUE(bitwise_equal(seq.blocks(), par.blocks()))
+          << problem.name << " factors threads=" << threads;
+    }
+  }
+}
+
+TEST(NumericParallel, AdversarialTieBreakSeedsAreBitwiseInvariant) {
+  // Scrambled ready-queue priorities reorder task execution (inline: fully
+  // deterministically) — the canonical-ordinal reduction must hide it.
+  for (const Problem& problem : problems()) {
+    SupernodalLU seq = SupernodalLU::factor(problem.analysis);
+    const BlockMatrix reference = selected_inversion(seq);
+    for (const std::uint64_t seed :
+         {std::uint64_t{1}, std::uint64_t{0x9e3779b97f4a7c15ULL},
+          std::uint64_t{0xdecafbadULL}}) {
+      for (const int threads : {1, 3}) {
+        std::optional<parallel::ThreadPool> pool;
+        ParallelOptions options;
+        options.threads = threads;
+        options.tie_break_seed = seed;
+        if (threads > 1) {
+          pool.emplace(threads - 1);
+          options.pool = &*pool;
+        }
+        SupernodalLU par =
+            SupernodalLU::factor_parallel(problem.analysis, options);
+        const BlockMatrix ainv = selinv_parallel(par, options);
+        EXPECT_TRUE(bitwise_equal(reference, ainv))
+            << problem.name << " seed=" << seed << " threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(NumericParallel, LoaderOverloadMatchesSparseOverload) {
+  const Problem problem = problems().front();
+  ParallelOptions options;  // inline
+  const SupernodalLU from_sparse = SupernodalLU::factor_parallel(
+      problem.analysis.blocks, problem.analysis.matrix, options);
+  const SupernodalLU from_loader = SupernodalLU::factor_parallel(
+      problem.analysis.blocks,
+      [&](BlockMatrix& m) { m.load(problem.analysis.matrix); }, options);
+  EXPECT_TRUE(bitwise_equal(from_sparse.blocks(), from_loader.blocks()));
+}
+
+TEST(NumericParallel, StatsAccumulateAcrossBothGraphs) {
+  const Problem problem = problems().front();
+  parallel::ThreadPool pool(1);
+  ParallelOptions options;
+  options.threads = 2;
+  options.pool = &pool;
+  TaskGraphStats stats;
+  options.stats = &stats;
+  SupernodalLU lu = SupernodalLU::factor_parallel(problem.analysis, options);
+  const TaskGraphStats after_factor = stats;
+  EXPECT_GT(after_factor.tasks, 0);
+  EXPECT_GT(after_factor.edges, 0);
+  const BlockMatrix ainv = selinv_parallel(lu, options);
+  EXPECT_GT(stats.tasks, after_factor.tasks);  // selinv's graph accumulated
+  EXPECT_EQ(stats.threads, 2);
+  EXPECT_GT(ainv.supernode_count(), 0);
+}
+
+TEST(NumericParallel, BlockRowStructureIsTransposeOfStructOf) {
+  for (const Problem& problem : problems()) {
+    const BlockStructure& bs = problem.analysis.blocks;
+    const std::vector<std::vector<Int>> rows = block_row_structure(bs);
+    ASSERT_EQ(rows.size(), static_cast<std::size_t>(bs.supernode_count()));
+    // rows[c] lists exactly the s with c in struct(s), ascending.
+    std::vector<std::vector<Int>> expected(rows.size());
+    for (Int s = 0; s < bs.supernode_count(); ++s)
+      for (const Int c : bs.struct_of[static_cast<std::size_t>(s)])
+        expected[static_cast<std::size_t>(c)].push_back(s);
+    EXPECT_EQ(rows, expected) << problem.name;
+  }
+}
+
+TEST(NumericParallel, OracleRunsNumericParallelLegs) {
+  // The differential oracle carries the shared-memory legs on every trial:
+  // factor_parallel + selinv_parallel compared bitwise to the sequential
+  // reference (one natural, one adversarially scrambled).
+  check::CaseSpec spec;
+  spec.matrix_seed = 77;
+  spec.n = 24;
+  spec.degree = 3.0;
+  spec.schedules = 1;
+  const check::CaseResult result = check::run_case(spec);
+  EXPECT_TRUE(result.passed) << result.signature;
+  EXPECT_EQ(result.numeric_parallel_legs, 2u);
+}
+
+}  // namespace
+}  // namespace psi

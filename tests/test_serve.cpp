@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <future>
@@ -285,6 +286,74 @@ TEST(ServeService, BitwiseDeterministicAcrossWorkersAndArrivalOrder) {
       }
     }
   }
+}
+
+TEST(ServeService, BitwiseDeterministicAcrossComputeThreads) {
+  // The task-parallel numeric phase must not move a single bit: every
+  // compute-thread count serves the exact digest the sequential kernels
+  // produce, cold and warm alike.
+  serve::WorkloadOptions workload;
+  workload.structures = 3;
+  workload.nx = 8;
+  workload.requests = 9;
+  workload.zipf_s = 0.5;
+  workload.seed = 7;
+
+  std::map<std::string, std::string> reference;
+  for (const int compute_threads : {1, 2, 4, 8}) {
+    serve::Service::Config config = service_config(/*workers=*/1);
+    config.compute_threads = compute_threads;
+    serve::Service service(config);
+    EXPECT_EQ(service.compute_threads(), compute_threads);
+    std::map<std::string, std::string> digests;
+    for (int i = 0; i < workload.requests; ++i) {
+      const serve::Response r =
+          service.submit(serve::make_request(workload, i)).get();
+      ASSERT_EQ(r.status, serve::Status::kOk) << r.detail;
+      digests[r.id] = r.digest;
+    }
+    if (compute_threads > 1) {
+      const psi::numeric::TaskGraphStats stats = service.task_graph_stats();
+      EXPECT_GT(stats.tasks, 0);  // the parallel path actually ran
+      EXPECT_EQ(stats.threads, compute_threads);
+    }
+    if (reference.empty()) {
+      reference = digests;
+      EXPECT_EQ(reference.size(), 9u);
+    } else {
+      EXPECT_EQ(digests, reference) << "compute_threads=" << compute_threads;
+    }
+  }
+}
+
+TEST(ServeService, ComputeThreadsConfigSentinelResolvesFromEnv) {
+  ASSERT_EQ(setenv("PSI_SERVE_COMPUTE_THREADS", "2", 1), 0);
+  serve::Service::Config config = service_config(/*workers=*/1);
+  config.compute_threads = 0;  // sentinel: resolve from the environment
+  serve::Service service(config);
+  EXPECT_EQ(service.compute_threads(), 2);
+  ASSERT_EQ(unsetenv("PSI_SERVE_COMPUTE_THREADS"), 0);
+
+  serve::Service::Config clamped = service_config(/*workers=*/1);
+  clamped.compute_threads = psi::parallel::kMaxComputeThreads + 1000;
+  serve::Service capped(clamped);
+  EXPECT_EQ(capped.compute_threads(), psi::parallel::kMaxComputeThreads);
+}
+
+TEST(ServeService, ScatterPhaseReportedAndDecomposed) {
+  serve::Service::Config config = service_config(/*workers=*/1);
+  config.compute_threads = 2;
+  serve::Service service(config);
+  const serve::Response r =
+      submit_and_wait(service, small_matrix(6, 21), "phase-probe");
+  ASSERT_EQ(r.status, serve::Status::kOk) << r.detail;
+  EXPECT_GE(r.scatter_seconds, 0.0);
+  EXPECT_GE(r.factor_seconds, 0.0);
+  EXPECT_GT(r.invert_seconds, 0.0);
+  EXPECT_EQ(service.latency("scatter").count(), 1u);
+  service.shutdown();
+  psi::obs::MetricsRegistry registry;
+  service.fold_metrics(registry);  // includes the scatter histogram + graph
 }
 
 TEST(ServeService, StructurallyUnsymmetricMatrixFailsWithReason) {
