@@ -17,6 +17,16 @@
 ///    total) lands in bench_out/serve_phases.csv as its own fixed schema.
 ///  * closed-loop sweep — a Zipf catalog driven closed-loop at several
 ///    worker counts; reports throughput and latency percentiles.
+///  * restart campaign — a Zipf multi-tenant workload over the sharded
+///    front end (psi::store) three ways: COLD (empty plan directory — every
+///    plan built and published), DISK-WARM (a fresh service over the
+///    now-populated directory — plans load from the store, no rebuilds),
+///    and MEM-WARM (the same service again — pure in-memory hits). All
+///    three runs must produce the identical order-independent response
+///    digest (digest_xor) — the bench EXITS NONZERO otherwise — and the
+///    disk-warm leg must actually hit the store. Rows land in
+///    bench_out/store_restart.csv + .ndjson; the scratch plan directory
+///    bench_out/plans_scratch/ is wiped at the start and gitignored.
 ///
 /// Flags:
 ///  * --threads N (or --compute-threads N): the largest compute-thread leg
@@ -37,6 +47,7 @@
 
 #include "serve/service.hpp"
 #include "serve/workload.hpp"
+#include "store/sharded_service.hpp"
 
 namespace psi {
 namespace {
@@ -182,6 +193,136 @@ std::vector<int> sweep_thread_counts(int max_threads) {
   return counts;
 }
 
+// --- restart campaign (psi::store) ------------------------------------------
+
+/// Zipf multi-tenant workload of the restart campaign: skewed popularity so
+/// the store sees both hot and rare structures, three tenants so the
+/// per-tenant SLO metrics carry real samples.
+serve::WorkloadOptions restart_workload() {
+  serve::WorkloadOptions workload;
+  workload.structures = 6;
+  workload.nx = 20;
+  workload.requests = 48;
+  workload.window = 4;
+  workload.zipf_s = 1.0;
+  workload.tenants = 3;
+  workload.seed = 7;
+  return workload;
+}
+
+store::ShardedService::Config restart_config(const std::string& plan_dir) {
+  store::ShardedService::Config config;
+  config.shards = 2;
+  config.service = service_config(/*workers=*/2);
+  config.plan_dir = plan_dir;
+  return config;
+}
+
+struct RestartLeg {
+  const char* scenario;
+  serve::WorkloadReport report;
+  serve::PlanCache::Stats cache;
+};
+
+int run_restart_campaign(obs::RecordWriter& rows,
+                         obs::MetricsRegistry& registry) {
+  const std::string plan_dir = bench::out_dir() + "/plans_scratch";
+  std::filesystem::remove_all(plan_dir);
+  const serve::WorkloadOptions workload = restart_workload();
+  std::vector<RestartLeg> legs;
+
+  {
+    // COLD: empty store — every structure builds and publishes.
+    store::ShardedService service(restart_config(plan_dir));
+    legs.push_back({"restart_cold",
+                    serve::run_workload(service, workload),
+                    service.cache_stats()});
+    service.shutdown();
+    service.fold_metrics(registry);
+  }
+  {
+    // DISK-WARM then MEM-WARM on one fresh process-restart equivalent: the
+    // first pass loads every plan from the directory the cold run wrote,
+    // the second hits the in-memory caches those loads populated.
+    store::ShardedService service(restart_config(plan_dir));
+    legs.push_back({"restart_disk_warm",
+                    serve::run_workload(service, workload),
+                    service.cache_stats()});
+    legs.push_back({"restart_mem_warm",
+                    serve::run_workload(service, workload),
+                    service.cache_stats()});
+    service.shutdown();
+    service.fold_metrics(registry);
+  }
+
+  std::printf("\n== restart campaign (2 shards, 2 workers each, %d tenants, "
+              "zipf %.1f, plan dir %s) ==\n",
+              workload.tenants, workload.zipf_s, plan_dir.c_str());
+  int failures = 0;
+  const std::uint64_t base_digest = legs.front().report.digest_xor;
+  for (const RestartLeg& leg : legs) {
+    const serve::WorkloadReport& r = leg.report;
+    std::printf("%-18s ok=%lld cold=%lld (disk %lld) warm=%lld "
+                "p50=%.6fs p99=%.6fs digest=%016llx\n",
+                leg.scenario, static_cast<long long>(r.ok),
+                static_cast<long long>(r.cold),
+                static_cast<long long>(r.disk),
+                static_cast<long long>(r.warm),
+                r.total_s.empty() ? 0.0 : r.total_s.quantile(0.5),
+                r.total_s.empty() ? 0.0 : r.total_s.quantile(0.99),
+                static_cast<unsigned long long>(r.digest_xor));
+    if (r.digest_xor != base_digest || r.ok != workload.requests) {
+      std::fprintf(stderr, "restart campaign FAILED: %s digest/count "
+                   "mismatch\n", leg.scenario);
+      ++failures;
+    }
+    obs::Record record;
+    record.add("scenario", leg.scenario)
+        .add("shards", 2)
+        .add("workers", 2)
+        .add("tenants", workload.tenants)
+        .add("structures", workload.structures)
+        .add("nx", static_cast<long long>(workload.nx))
+        .add("requests", workload.requests)
+        .add("store_hits", static_cast<long long>(leg.cache.store_hits))
+        .add("store_writes", static_cast<long long>(leg.cache.store_writes));
+    leg.report.append_to(record);
+    rows.write(record);
+  }
+  // The disk-warm run must have loaded (not rebuilt) its plans…
+  const serve::PlanCache::Stats& disk = legs[1].cache;
+  if (disk.store_hits < workload.structures) {
+    std::fprintf(stderr, "restart campaign FAILED: disk-warm run loaded only "
+                 "%lld plans from the store\n",
+                 static_cast<long long>(disk.store_hits));
+    ++failures;
+  }
+  // …and the cold run must have published every structure it built.
+  if (legs[0].cache.store_writes < workload.structures) {
+    std::fprintf(stderr, "restart campaign FAILED: cold run published only "
+                 "%lld plans\n",
+                 static_cast<long long>(legs[0].cache.store_writes));
+    ++failures;
+  }
+  const double disk_p50 = legs[1].report.total_s.empty()
+                              ? 0.0
+                              : legs[1].report.total_s.quantile(0.5);
+  const double mem_p50 = legs[2].report.total_s.empty()
+                             ? 0.0
+                             : legs[2].report.total_s.quantile(0.5);
+  const double cold_p50 = legs[0].report.total_s.empty()
+                              ? 0.0
+                              : legs[0].report.total_s.quantile(0.5);
+  if (mem_p50 > 0.0)
+    std::printf("warm restart: disk p50 / mem p50 = %.2fx, cold p50 / disk "
+                "p50 = %.2fx\n",
+                disk_p50 / mem_p50, disk_p50 > 0.0 ? cold_p50 / disk_p50 : 0.0);
+  if (failures == 0)
+    std::printf("restart digests bitwise identical: cold == disk-warm == "
+                "mem-warm\n");
+  return failures;
+}
+
 }  // namespace
 }  // namespace psi
 
@@ -325,14 +466,24 @@ int main(int argc, char** argv) {
     service.fold_metrics(registry);
   }
 
+  // --- warm restart campaign (persistent plan store) ------------------------
+  int restart_failures = 0;
+  {
+    obs::RecordWriter restart_rows;
+    restart_rows.open_csv(bench::out_dir() + "/store_restart.csv");
+    restart_rows.open_ndjson(bench::out_dir() + "/store_restart.ndjson");
+    restart_failures = psi::run_restart_campaign(restart_rows, registry);
+    restart_rows.flush();
+  }
+
   rows.flush();
   phase_rows.flush();
   registry.write_ndjson(bench::out_dir() + "/serve_metrics.ndjson");
   std::printf("\n# rows written to %s/serve.csv (+ serve_rows.ndjson), "
-              "phases to %s/serve_phases.csv, metrics to "
-              "%s/serve_metrics.ndjson\n",
+              "phases to %s/serve_phases.csv, restart rows to "
+              "%s/store_restart.csv, metrics to %s/serve_metrics.ndjson\n",
               bench::out_dir().c_str(), bench::out_dir().c_str(),
-              bench::out_dir().c_str());
+              bench::out_dir().c_str(), bench::out_dir().c_str());
   bench::write_json_summary(registry, json_path);
-  return 0;
+  return restart_failures == 0 ? 0 : 1;
 }

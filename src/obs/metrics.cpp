@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -59,6 +60,29 @@ void Histogram::observe(double value) {
     ++counts_[i];
   sum_ += value;
   max_ = std::max(max_, value);
+}
+
+double Histogram::quantile(double q) const {
+  PSI_CHECK_MSG(q >= 0.0 && q <= 1.0, "quantile q must be in [0, 1], got " << q);
+  const Count total = total_count();
+  if (total == 0) return 0.0;
+  // Nearest-rank target: the ceil(q * n)-th observation (1-based), clamped
+  // so q = 0 means the first and q = 1 the last.
+  const Count rank = std::max<Count>(
+      1, static_cast<Count>(std::ceil(q * static_cast<double>(total))));
+  std::size_t bucket = 0;
+  while (bucket < counts_.size() && counts_[bucket] < rank) ++bucket;
+  if (bucket >= bounds_.size()) return max_;  // +inf bucket: best bound is max
+  const double hi = bounds_[bucket];
+  const Count below = bucket == 0 ? 0 : counts_[bucket - 1];
+  const Count in_bucket = counts_[bucket] - below;
+  if (in_bucket <= 0) return hi;
+  // Lower edge: previous bound, or 0 for the first bucket of the
+  // nonnegative series this registry records (latencies, byte counts).
+  const double lo = bucket == 0 ? std::min(0.0, hi) : bounds_[bucket - 1];
+  const double frac = static_cast<double>(rank - below) /
+                      static_cast<double>(in_bucket);
+  return lo + (hi - lo) * frac;
 }
 
 MetricsRegistry::Entry& MetricsRegistry::find_or_create(
@@ -158,7 +182,10 @@ std::string MetricsRegistry::to_ndjson() const {
           os << (b ? "," : "") << h.counts()[b];
         os << "],\"sum\":" << format_double(h.sum())
            << ",\"count\":" << h.total_count()
-           << ",\"max\":" << format_double(h.max());
+           << ",\"max\":" << format_double(h.max())
+           << ",\"p50\":" << format_double(h.p50())
+           << ",\"p99\":" << format_double(h.p99())
+           << ",\"p999\":" << format_double(h.p999());
         break;
       }
     }

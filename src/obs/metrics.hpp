@@ -87,6 +87,18 @@ class Histogram {
   double sum() const { return sum_; }
   double max() const { return max_; }
 
+  /// Quantile extraction for SLO reporting (p99/p999 of per-tenant latency
+  /// series). Finds the bucket holding the q-th observation (nearest-rank on
+  /// the cumulative counts, q in [0, 1]) and interpolates linearly inside
+  /// it; the +inf bucket reports max(). Exact whenever the rank lands in a
+  /// single-valued bucket — within a bucket the error is bounded by the
+  /// bucket width, which is why SLO-critical series should pick bounds
+  /// around their objectives. Returns 0 for an empty histogram.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p99() const { return quantile(0.99); }
+  double p999() const { return quantile(0.999); }
+
  private:
   std::vector<double> bounds_;
   std::vector<Count> counts_;  ///< cumulative, size bounds_.size() + 1

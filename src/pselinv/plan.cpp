@@ -205,6 +205,46 @@ Plan::Plan(const BlockStructure& structure, const dist::ProcessGrid& grid,
   }
 }
 
+Plan::Plan(const BlockStructure& structure, const dist::ProcessGrid& grid,
+           RawParts parts)
+    : structure_(&structure),
+      grid_(grid),
+      map_(grid_),
+      tree_options_(parts.tree_options),
+      symmetry_(parts.symmetry),
+      sup_(std::move(parts.sup)),
+      kt_offset_(std::move(parts.kt_offset)),
+      ord_row_(std::move(parts.ord_row)),
+      ord_col_(std::move(parts.ord_col)) {
+  const auto nsup = static_cast<std::size_t>(structure.supernode_count());
+  PSI_CHECK_MSG(sup_.size() == nsup,
+                "plan image has " << sup_.size() << " supernode plans for a "
+                                  << nsup << "-supernode structure");
+  PSI_CHECK_MSG(kt_offset_.size() == nsup + 1,
+                "plan image kt_offset has " << kt_offset_.size()
+                                            << " entries, expected "
+                                            << nsup + 1);
+  for (std::size_t k = 0; k < nsup; ++k) {
+    const auto str_size =
+        static_cast<std::int64_t>(structure.struct_of[k].size());
+    PSI_CHECK_MSG(kt_offset_[k + 1] - kt_offset_[k] == str_size,
+                  "plan image kt_offset disagrees with the block structure at "
+                  "supernode " << k);
+    PSI_CHECK_MSG(
+        sup_[k].col_bcast.size() == structure.struct_of[k].size() &&
+            sup_[k].row_reduce.size() == structure.struct_of[k].size(),
+        "plan image supernode " << k << " has "
+                                << sup_[k].col_bcast.size() << " col-bcast / "
+                                << sup_[k].row_reduce.size()
+                                << " row-reduce trees, expected " << str_size);
+  }
+  PSI_CHECK_MSG(ord_row_.size() == static_cast<std::size_t>(kt_count()) &&
+                    ord_col_.size() == static_cast<std::size_t>(kt_count()),
+                "plan image ordinal tables have "
+                    << ord_row_.size() << "/" << ord_col_.size()
+                    << " entries, expected " << kt_count());
+}
+
 Count Plan::block_bytes(Int i, Int k) const {
   return dense_bytes(structure_->part.size(i), structure_->part.size(k));
 }

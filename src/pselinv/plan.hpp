@@ -107,6 +107,25 @@ class Plan {
        const trees::TreeOptions& tree_options,
        ValueSymmetry symmetry = ValueSymmetry::kSymmetric);
 
+  /// Serialized image of a plan's owned state (everything except the
+  /// referenced BlockStructure and the grid, which the caller re-supplies).
+  /// psi::store round-trips plans through this instead of re-running the
+  /// per-supernode tree construction on load.
+  struct RawParts {
+    trees::TreeOptions tree_options;
+    ValueSymmetry symmetry = ValueSymmetry::kSymmetric;
+    std::vector<SupernodePlan> sup;
+    std::vector<std::int64_t> kt_offset;
+    std::vector<std::int32_t> ord_row;
+    std::vector<std::int32_t> ord_col;
+  };
+  /// Reassembles a plan from previously serialized parts without rebuilding
+  /// any trees. Validates the image's shape against `structure` (throws
+  /// psi::Error on mismatch); content integrity is the serializer's job
+  /// (checksummed sections in the store format).
+  Plan(const BlockStructure& structure, const dist::ProcessGrid& grid,
+       RawParts parts);
+
   ValueSymmetry symmetry() const { return symmetry_; }
 
   const BlockStructure& structure() const { return *structure_; }

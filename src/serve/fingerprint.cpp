@@ -15,6 +15,42 @@ std::string Fingerprint::hex() const {
   return buf;
 }
 
+std::array<std::uint8_t, 16> Fingerprint::to_bytes() const {
+  std::array<std::uint8_t, 16> bytes{};
+  for (int i = 0; i < 8; ++i) {
+    bytes[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(hi >> (56 - 8 * i));
+    bytes[static_cast<std::size_t>(8 + i)] =
+        static_cast<std::uint8_t>(lo >> (56 - 8 * i));
+  }
+  return bytes;
+}
+
+Fingerprint Fingerprint::from_bytes(const std::array<std::uint8_t, 16>& bytes) {
+  Fingerprint fp;
+  for (int i = 0; i < 8; ++i) {
+    fp.hi = (fp.hi << 8) | bytes[static_cast<std::size_t>(i)];
+    fp.lo = (fp.lo << 8) | bytes[static_cast<std::size_t>(8 + i)];
+  }
+  return fp;
+}
+
+std::optional<Fingerprint> Fingerprint::from_hex(const std::string& text) {
+  if (text.size() != 32) return std::nullopt;
+  Fingerprint fp;
+  for (int i = 0; i < 32; ++i) {
+    const char c = text[static_cast<std::size_t>(i)];
+    std::uint64_t digit = 0;
+    if (c >= '0' && c <= '9') digit = static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<std::uint64_t>(c - 'a') + 10;
+    else if (c >= 'A' && c <= 'F') digit = static_cast<std::uint64_t>(c - 'A') + 10;
+    else return std::nullopt;
+    std::uint64_t& lane = i < 16 ? fp.hi : fp.lo;
+    lane = (lane << 4) | digit;
+  }
+  return fp;
+}
+
 FingerprintHasher::FingerprintHasher()
     // Arbitrary distinct lane seeds; fixed so fingerprints are stable
     // across processes (a warm cache file or log can be compared between

@@ -17,7 +17,9 @@
 /// construction.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <optional>
 #include <string>
 
 #include "pselinv/plan.hpp"
@@ -35,6 +37,18 @@ struct Fingerprint {
 
   /// 32 lowercase hex digits (for logs and access records).
   std::string hex() const;
+
+  /// Canonical 16-byte encoding, stable across hosts: `hi` then `lo`, each
+  /// big-endian (most significant byte first), so the byte sequence reads
+  /// exactly like hex() and sorts the same lexicographically. Fingerprints
+  /// name on-disk plan files, so this encoding is a persistent format —
+  /// never change it without bumping the store's format version.
+  std::array<std::uint8_t, 16> to_bytes() const;
+  /// Inverse of to_bytes().
+  static Fingerprint from_bytes(const std::array<std::uint8_t, 16>& bytes);
+  /// Parses a 32-hex-digit string (the hex()/file-name form); nullopt on
+  /// any malformed input (wrong length, non-hex digit).
+  static std::optional<Fingerprint> from_hex(const std::string& text);
 };
 
 struct FingerprintHash {

@@ -112,6 +112,28 @@ ServePlan::ServePlan(const Fingerprint& fp, const PlanConfig& cfg,
       grid(dist::validated_grid(cfg.grid_rows, cfg.grid_cols)),
       plan(analysis.blocks, grid, cfg.tree, cfg.symmetry) {}
 
+ServePlan::ServePlan(const Fingerprint& fp, const PlanConfig& cfg,
+                     SymbolicAnalysis an, pselinv::Plan::RawParts plan_parts)
+    : fingerprint(fp),
+      config(cfg),
+      analysis(std::move(an)),
+      grid(dist::validated_grid(cfg.grid_rows, cfg.grid_cols)),
+      plan(analysis.blocks, grid, std::move(plan_parts)) {}
+
+std::size_t serve_plan_heap_bytes(const ServePlan& plan) {
+  return sizeof(ServePlan) + analysis_bytes(plan.analysis) +
+         vector_bytes(plan.scatter) + plan.plan.memory_bytes();
+}
+
+const char* plan_source_name(PlanSource source) {
+  switch (source) {
+    case PlanSource::kBuilt: return "built";
+    case PlanSource::kDisk: return "disk";
+    case PlanSource::kMemory: return "memory";
+  }
+  return "?";
+}
+
 std::shared_ptr<const ServePlan> build_serve_plan(const SparseMatrix& matrix,
                                                   const PlanConfig& config) {
   PSI_CHECK_MSG(
@@ -131,8 +153,7 @@ std::shared_ptr<const ServePlan> build_serve_plan(const SparseMatrix& matrix,
   ServePlan& p = *plan;
   p.analysis.matrix.values = {};
   p.scatter = build_scatter_map(matrix.pattern, p.analysis);
-  p.bytes = sizeof(ServePlan) + analysis_bytes(p.analysis) +
-            vector_bytes(p.scatter) + p.plan.memory_bytes();
+  p.bytes = serve_plan_heap_bytes(p);
   // Simulate the distributed schedule once, values-free. Requests serve
   // their numeric phase with the sequential algorithm and report this
   // cached makespan — the DES never reruns for a cached structure.
@@ -187,9 +208,9 @@ void PlanCache::insert_locked(const std::shared_ptr<const ServePlan>& plan) {
     stats_.bytes_high_water = stats_.bytes;
 }
 
-std::shared_ptr<const ServePlan> PlanCache::get_or_build(const Fingerprint& fp,
-                                                         const Builder& build,
-                                                         bool* hit_out) {
+std::shared_ptr<const ServePlan> PlanCache::get_or_build(
+    const Fingerprint& fp, const Builder& build, bool* hit_out,
+    PlanSource* source_out) {
   std::shared_future<std::shared_ptr<const ServePlan>> pending;
   std::promise<std::shared_ptr<const ServePlan>> promise;
   {
@@ -197,6 +218,7 @@ std::shared_ptr<const ServePlan> PlanCache::get_or_build(const Fingerprint& fp,
     if (auto plan = lookup_locked(fp)) {
       ++stats_.hits;
       if (hit_out) *hit_out = true;
+      if (source_out) *source_out = PlanSource::kMemory;
       return plan;
     }
     ++stats_.misses;
@@ -204,6 +226,9 @@ std::shared_ptr<const ServePlan> PlanCache::get_or_build(const Fingerprint& fp,
     auto inflight = building_.find(fp);
     if (inflight != building_.end()) {
       ++stats_.coalesced;
+      // Coalesced waiters cannot know whether the owner ends up loading or
+      // building; report the conservative (slower) source.
+      if (source_out) *source_out = PlanSource::kBuilt;
       pending = inflight->second;
     } else {
       building_.emplace(fp, promise.get_future().share());
@@ -212,12 +237,64 @@ std::shared_ptr<const ServePlan> PlanCache::get_or_build(const Fingerprint& fp,
   if (pending.valid()) return pending.get();  // propagates build exceptions
 
   std::shared_ptr<const ServePlan> plan;
+  PlanSource source = PlanSource::kBuilt;
   try {
-    plan = build();
-    PSI_CHECK_MSG(plan != nullptr, "plan builder returned null");
-    PSI_CHECK_MSG(plan->fingerprint == fp,
-                  "plan builder fingerprint mismatch: expected "
-                      << fp.hex() << ", built " << plan->fingerprint.hex());
+    // Read-through: a persisted plan short-circuits the build. Storage
+    // failures of any kind degrade to a rebuild — a corrupt file must never
+    // fail the request it was supposed to accelerate.
+    if (config_.storage != nullptr) {
+      std::string reason;
+      std::shared_ptr<const ServePlan> loaded;
+      try {
+        loaded = config_.storage->fetch(fp, &reason);
+      } catch (const std::exception& e) {
+        loaded = nullptr;
+        reason = e.what();
+      }
+      if (loaded != nullptr && loaded->fingerprint != fp) {
+        reason = "stored plan fingerprint mismatch: expected " + fp.hex() +
+                 ", file carries " + loaded->fingerprint.hex();
+        loaded = nullptr;
+      }
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (loaded != nullptr) {
+        ++stats_.store_hits;
+        plan = std::move(loaded);
+        source = PlanSource::kDisk;
+      } else {
+        ++stats_.store_misses;
+        if (!reason.empty()) {
+          ++stats_.store_load_failures;
+          stats_.last_store_error = reason;
+        }
+      }
+    }
+    if (plan == nullptr) {
+      plan = build();
+      PSI_CHECK_MSG(plan != nullptr, "plan builder returned null");
+      PSI_CHECK_MSG(plan->fingerprint == fp,
+                    "plan builder fingerprint mismatch: expected "
+                        << fp.hex() << ", built " << plan->fingerprint.hex());
+      // Write-through: publish the fresh build so the next process restart
+      // starts warm. Failure is counted, never propagated.
+      if (config_.storage != nullptr) {
+        std::string reason;
+        bool published = false;
+        try {
+          published = config_.storage->publish(*plan, &reason);
+        } catch (const std::exception& e) {
+          published = false;
+          reason = e.what();
+        }
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (published) {
+          ++stats_.store_writes;
+        } else {
+          ++stats_.store_write_failures;
+          if (!reason.empty()) stats_.last_store_error = reason;
+        }
+      }
+    }
   } catch (...) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -226,6 +303,7 @@ std::shared_ptr<const ServePlan> PlanCache::get_or_build(const Fingerprint& fp,
     promise.set_exception(std::current_exception());
     throw;
   }
+  if (source_out) *source_out = source;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     insert_locked(plan);
@@ -262,6 +340,11 @@ void PlanCache::fold_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("serve_cache_evictions").add(s.evictions);
   registry.counter("serve_cache_oversize").add(s.oversize);
   registry.counter("serve_cache_coalesced").add(s.coalesced);
+  registry.counter("serve_store_hits").add(s.store_hits);
+  registry.counter("serve_store_misses").add(s.store_misses);
+  registry.counter("serve_store_load_failures").add(s.store_load_failures);
+  registry.counter("serve_store_writes").add(s.store_writes);
+  registry.counter("serve_store_write_failures").add(s.store_write_failures);
   registry.gauge("serve_cache_bytes").set(static_cast<double>(s.bytes));
   registry.gauge("serve_cache_entries").set(static_cast<double>(s.entries));
   registry.gauge("serve_cache_bytes_high_water")

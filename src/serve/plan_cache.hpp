@@ -92,8 +92,42 @@ struct ServePlan {
   void scatter_values(const std::vector<double>& values, BlockMatrix& m) const;
 
   ServePlan(const Fingerprint& fp, const PlanConfig& cfg, SymbolicAnalysis an);
+  /// Deserialization constructor (psi::store): adopts a previously built
+  /// communication plan instead of re-running the per-supernode tree
+  /// construction. The caller still fills scatter/trace_*/bytes.
+  ServePlan(const Fingerprint& fp, const PlanConfig& cfg, SymbolicAnalysis an,
+            pselinv::Plan::RawParts plan_parts);
   ServePlan(const ServePlan&) = delete;
   ServePlan& operator=(const ServePlan&) = delete;
+};
+
+/// Heap bytes retained by a plan (analysis + scatter map + comm plan) —
+/// the PlanCache budget accounting, shared by the builder and the on-disk
+/// loader so a plan costs the same no matter how it entered the cache.
+std::size_t serve_plan_heap_bytes(const ServePlan& plan);
+
+/// Where a resolved plan came from, reported per response. kMemory also
+/// covers batch followers (their leader resolved the plan for them).
+enum class PlanSource { kBuilt, kDisk, kMemory };
+const char* plan_source_name(PlanSource source);
+
+/// Persistence backend the PlanCache reads through on miss and writes
+/// through on build (implemented by store::PlanStore; kept abstract here so
+/// psi::serve never depends on the store subsystem). Implementations must be
+/// thread-safe — the cache calls from concurrent service workers, though
+/// never concurrently for the SAME fingerprint (single-flight).
+class PlanStorage {
+ public:
+  virtual ~PlanStorage() = default;
+  /// Returns the stored plan for `fp`, or nullptr. A plain miss leaves
+  /// `reason` empty; a failed load (corrupt/truncated/version-mismatched
+  /// file) reports why — it must never throw or abort, the caller falls
+  /// back to a rebuild either way.
+  virtual std::shared_ptr<const ServePlan> fetch(const Fingerprint& fp,
+                                                 std::string* reason) = 0;
+  /// Persists a freshly built plan; returns false with a reason on failure
+  /// (which must not fail the request being served).
+  virtual bool publish(const ServePlan& plan, std::string* reason) = 0;
 };
 
 /// Runs the full pattern-side pipeline (validate, fingerprint, analyze,
@@ -116,6 +150,11 @@ class PlanCache {
     /// than the budget is returned to its requester but never retained
     /// (counted in Stats::oversize).
     std::size_t capacity_bytes = std::size_t{256} << 20;
+    /// Optional persistence backend (non-owning; must outlive the cache).
+    /// On a memory miss the single-flight owner consults it BEFORE building
+    /// (a warm restart is a disk hit, not a rebuild) and publishes every
+    /// freshly built plan to it.
+    PlanStorage* storage = nullptr;
   };
 
   struct Stats {
@@ -124,6 +163,12 @@ class PlanCache {
     Count evictions = 0;   ///< entries dropped to fit the byte budget
     Count oversize = 0;    ///< built plans too large to retain
     Count coalesced = 0;   ///< misses that joined an in-flight build
+    Count store_hits = 0;           ///< misses served from the plan store
+    Count store_misses = 0;         ///< store consulted, no usable file
+    Count store_load_failures = 0;  ///< store files rejected (corrupt/...)
+    Count store_writes = 0;         ///< plans published to the store
+    Count store_write_failures = 0; ///< publishes that failed
+    std::string last_store_error;   ///< most recent load/publish reason
     std::size_t bytes = 0;             ///< currently retained
     std::size_t entries = 0;           ///< currently retained
     std::size_t bytes_high_water = 0;  ///< peak retained bytes
@@ -135,14 +180,19 @@ class PlanCache {
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  /// Returns the cached plan for `fp`, or invokes `build` (outside the
-  /// cache lock; single-flight across threads), retains the result under
-  /// LRU/byte-budget policy, and returns it. A builder exception propagates
-  /// to every waiter and caches nothing. `hit_out` (optional) reports
-  /// whether this call was served from cache.
+  /// Returns the cached plan for `fp`, or resolves it (outside the cache
+  /// lock; single-flight across threads): first from Config::storage when
+  /// attached, then by invoking `build`; the result is retained under
+  /// LRU/byte-budget policy and freshly BUILT plans are written through to
+  /// the storage. A builder exception propagates to every waiter and caches
+  /// nothing; storage failures never propagate (they degrade to a rebuild
+  /// or an unpublished plan, counted in Stats). `hit_out` (optional)
+  /// reports whether this call was served from memory; `source_out`
+  /// (optional) additionally distinguishes disk loads from builds.
   std::shared_ptr<const ServePlan> get_or_build(const Fingerprint& fp,
                                                 const Builder& build,
-                                                bool* hit_out = nullptr);
+                                                bool* hit_out = nullptr,
+                                                PlanSource* source_out = nullptr);
 
   /// Cached plan for `fp`, or nullptr. Touches LRU order and the hit/miss
   /// counters but never builds.

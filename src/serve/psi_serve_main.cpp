@@ -6,13 +6,16 @@
 ///   psi_serve [--workers N] [--queue-capacity N] [--max-batch N]
 ///             [--cache-mb MB] [--grid RxC] [--scheme NAME]
 ///             [--tree-seed S] [--unsymmetric]
+///             [--shards N] [--plan-dir DIR] [--read-only-store]
+///             [--quota-rate R] [--quota-burst B] [--age-promote S]
 ///             [--requests N] [--structures N] [--nx N] [--zipf S]
-///             [--arrival-hz HZ] [--window N] [--interactive-frac F]
-///             [--warm-start] [--seed S]
+///             [--tenants N] [--arrival-hz HZ] [--window N]
+///             [--interactive-frac F] [--warm-start] [--seed S]
 ///             [--access-log PATH] [--metrics PATH] [--summary PATH]
 ///
 /// Exit codes: 0 — workload ran and every request completed or was
 /// rejected by design; 1 — requests failed; 2 — usage error.
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <iostream>
@@ -23,6 +26,7 @@
 #include "obs/record.hpp"
 #include "serve/service.hpp"
 #include "serve/workload.hpp"
+#include "store/sharded_service.hpp"
 #include "trees/comm_tree.hpp"
 
 namespace {
@@ -30,13 +34,13 @@ namespace {
 void usage(std::ostream& out) {
   out << "psi_serve: request-driven selected-inversion service harness.\n\n"
          "Service options:\n"
-         "  --workers N          worker threads (default 2)\n"
+         "  --workers N          worker threads per shard (default 2)\n"
          "  --compute-threads N  task-parallel numeric threads per request\n"
          "                       (default: PSI_SERVE_COMPUTE_THREADS, else 1;\n"
          "                       bitwise-identical results for any value)\n"
-         "  --queue-capacity N   admission queue slots (default 64)\n"
+         "  --queue-capacity N   admission queue slots per shard (default 64)\n"
          "  --max-batch N        same-structure batch size (default 8)\n"
-         "  --cache-mb MB        plan cache budget (default 256)\n"
+         "  --cache-mb MB        plan cache budget per shard (default 256)\n"
          "  --grid RxC           process grid (default 2x2)\n"
          "  --scheme NAME        tree scheme (default shifted-binary)\n"
          "  --tree-seed S        tree shift seed\n"
@@ -44,11 +48,22 @@ void usage(std::ostream& out) {
          "  --ordering NAME      natural|rcm|min-degree|nested-dissection\n"
          "  --leaf N             dissection leaf size\n"
          "  --max-supernode N    supernode width cap\n"
+         "Store / sharding options:\n"
+         "  --shards N           fingerprint-sharded worker pools (default 1)\n"
+         "  --plan-dir DIR       persistent plan store directory; plans are\n"
+         "                       loaded on miss and written on build, so a\n"
+         "                       restart with the same DIR starts warm\n"
+         "  --read-only-store    never write to --plan-dir\n"
+         "  --quota-rate R       per-tenant token rate, req/s (0 = unlimited)\n"
+         "  --quota-burst B      per-tenant token burst (default 8)\n"
+         "  --age-promote S      priority-aging threshold seconds (0 = strict\n"
+         "                       priority; > 0 prevents batch starvation)\n"
          "Workload options:\n"
          "  --requests N         requests to submit (default 32)\n"
          "  --structures N       distinct matrix structures (default 4)\n"
          "  --nx N               base Laplacian edge (default 24)\n"
          "  --zipf S             popularity skew (default 1.0)\n"
+         "  --tenants N          distinct tenants (default 1)\n"
          "  --arrival-hz HZ      open-loop Poisson rate (default: closed)\n"
          "  --window N           closed-loop outstanding window (default 4)\n"
          "  --interactive-frac F fraction at interactive priority\n"
@@ -56,6 +71,7 @@ void usage(std::ostream& out) {
          "  --seed S             workload seed (default 1)\n"
          "Output options:\n"
          "  --access-log PATH    per-request NDJSON access log\n"
+         "                       (suffixed .s<k> per shard when --shards > 1)\n"
          "  --metrics PATH       metrics-registry NDJSON dump\n"
          "  --summary PATH       one-line NDJSON workload summary\n";
 }
@@ -86,9 +102,9 @@ bool parse_grid(const std::string& text, int& rows, int& cols) {
 }  // namespace
 
 int main(int argc, char** argv) try {
-  psi::serve::Service::Config config;
+  psi::store::ShardedService::Config config;
   psi::serve::WorkloadOptions workload;
-  config.plan.machine = psi::driver::timing_machine();
+  config.service.plan.machine = psi::driver::timing_machine();
   std::string metrics_path;
   std::string summary_path;
 
@@ -105,36 +121,52 @@ int main(int argc, char** argv) try {
       usage(std::cout);
       return 0;
     } else if (arg == "--workers") {
-      config.workers = std::stoi(value());
+      config.service.workers = std::stoi(value());
     } else if (arg == "--compute-threads") {
-      config.compute_threads = std::stoi(value());
+      config.service.compute_threads = std::stoi(value());
     } else if (arg == "--queue-capacity") {
-      config.queue_capacity = static_cast<std::size_t>(std::stoul(value()));
+      config.service.queue_capacity =
+          static_cast<std::size_t>(std::stoul(value()));
     } else if (arg == "--max-batch") {
-      config.max_batch = std::stoi(value());
+      config.service.max_batch = std::stoi(value());
     } else if (arg == "--cache-mb") {
-      config.cache.capacity_bytes =
+      config.service.cache.capacity_bytes =
           static_cast<std::size_t>(std::stoul(value())) << 20;
     } else if (arg == "--grid") {
-      if (!parse_grid(value(), config.plan.grid_rows, config.plan.grid_cols)) {
+      if (!parse_grid(value(), config.service.plan.grid_rows,
+                      config.service.plan.grid_cols)) {
         std::cerr << "psi_serve: --grid expects RxC\n";
         return 2;
       }
     } else if (arg == "--scheme") {
-      config.plan.tree.scheme = psi::trees::parse_scheme(value());
+      config.service.plan.tree.scheme = psi::trees::parse_scheme(value());
     } else if (arg == "--tree-seed") {
-      config.plan.tree.seed = std::stoull(value());
+      config.service.plan.tree.seed = std::stoull(value());
     } else if (arg == "--unsymmetric") {
-      config.plan.symmetry = psi::pselinv::ValueSymmetry::kUnsymmetric;
+      config.service.plan.symmetry = psi::pselinv::ValueSymmetry::kUnsymmetric;
     } else if (arg == "--ordering") {
-      if (!parse_ordering(value(), config.plan.analysis.ordering.method)) {
+      if (!parse_ordering(value(),
+                          config.service.plan.analysis.ordering.method)) {
         std::cerr << "psi_serve: unknown ordering\n";
         return 2;
       }
     } else if (arg == "--leaf") {
-      config.plan.analysis.ordering.dissection_leaf_size = std::stoi(value());
+      config.service.plan.analysis.ordering.dissection_leaf_size =
+          std::stoi(value());
     } else if (arg == "--max-supernode") {
-      config.plan.analysis.supernodes.max_size = std::stoi(value());
+      config.service.plan.analysis.supernodes.max_size = std::stoi(value());
+    } else if (arg == "--shards") {
+      config.shards = std::stoi(value());
+    } else if (arg == "--plan-dir") {
+      config.plan_dir = value();
+    } else if (arg == "--read-only-store") {
+      config.read_only_store = true;
+    } else if (arg == "--quota-rate") {
+      config.default_quota.rate_per_s = std::stod(value());
+    } else if (arg == "--quota-burst") {
+      config.default_quota.burst = std::stod(value());
+    } else if (arg == "--age-promote") {
+      config.service.age_promote_seconds = std::stod(value());
     } else if (arg == "--requests") {
       workload.requests = std::stoi(value());
     } else if (arg == "--structures") {
@@ -143,6 +175,8 @@ int main(int argc, char** argv) try {
       workload.nx = std::stoi(value());
     } else if (arg == "--zipf") {
       workload.zipf_s = std::stod(value());
+    } else if (arg == "--tenants") {
+      workload.tenants = std::stoi(value());
     } else if (arg == "--arrival-hz") {
       workload.arrival_hz = std::stod(value());
     } else if (arg == "--window") {
@@ -154,7 +188,7 @@ int main(int argc, char** argv) try {
     } else if (arg == "--seed") {
       workload.seed = std::stoull(value());
     } else if (arg == "--access-log") {
-      config.access_log_path = value();
+      config.service.access_log_path = value();
     } else if (arg == "--metrics") {
       metrics_path = value();
     } else if (arg == "--summary") {
@@ -166,7 +200,7 @@ int main(int argc, char** argv) try {
     }
   }
 
-  psi::serve::Service service(config);
+  psi::store::ShardedService service(config);
   const psi::serve::WorkloadReport report =
       psi::serve::run_workload(service, workload);
   service.shutdown();
@@ -176,6 +210,21 @@ int main(int argc, char** argv) try {
   std::cout << "cache:    " << cache.hits << " hits, " << cache.misses
             << " misses, " << cache.evictions << " evictions, "
             << cache.entries << " entries / " << cache.bytes << " bytes\n";
+  if (!config.plan_dir.empty()) {
+    std::cout << "store:    " << cache.store_hits << " disk hits, "
+              << cache.store_misses << " misses, "
+              << cache.store_load_failures << " load failures, "
+              << cache.store_writes << " writes\n";
+    if (!cache.last_store_error.empty())
+      std::cout << "store:    last error: " << cache.last_store_error << "\n";
+  }
+  if (service.quota_rejected() > 0)
+    std::cout << "quota:    " << service.quota_rejected()
+              << " requests rejected over tenant quota\n";
+  char digest_hex[17];
+  std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                static_cast<unsigned long long>(report.digest_xor));
+  std::cout << "digest:   " << digest_hex << "\n";
 
   if (!metrics_path.empty()) {
     psi::obs::MetricsRegistry registry;
@@ -185,7 +234,12 @@ int main(int argc, char** argv) try {
   if (!summary_path.empty()) {
     psi::obs::RecordWriter writer;
     writer.open_ndjson(summary_path);
-    writer.write(report.to_record());
+    psi::obs::Record record;
+    record.add("store_hits", cache.store_hits)
+        .add("store_writes", cache.store_writes)
+        .add("store_load_failures", cache.store_load_failures);
+    report.append_to(record);
+    writer.write(record);
     writer.flush();
   }
   return report.failed > 0 ? 1 : 0;

@@ -71,6 +71,26 @@ Service::Service(const Config& config)
 
 Service::~Service() { shutdown(); }
 
+int select_queue_class(const double* head_age_seconds, int classes,
+                       double age_promote_seconds) {
+  int pick = -1;
+  for (int c = 0; c < classes; ++c)
+    if (head_age_seconds[c] >= 0.0) {
+      pick = c;
+      break;
+    }
+  if (pick < 0 || age_promote_seconds <= 0.0) return pick;
+  // Aging override: among ALL queue heads older than the threshold, the
+  // oldest wins — an interactive head past the threshold still beats a
+  // younger starving batch head, and vice versa.
+  int oldest = -1;
+  for (int c = 0; c < classes; ++c)
+    if (head_age_seconds[c] > age_promote_seconds &&
+        (oldest < 0 || head_age_seconds[c] > head_age_seconds[oldest]))
+      oldest = c;
+  return oldest >= 0 ? oldest : pick;
+}
+
 std::future<Response> Service::submit(Request request) {
   Pending pending;
   pending.promise = std::promise<Response>();
@@ -78,6 +98,8 @@ std::future<Response> Service::submit(Request request) {
 
   Response early;
   early.id = request.id;
+  early.tenant = request.tenant;
+  early.shard = config_.shard;
   early.priority = request.priority;
   try {
     request.matrix.validate();
@@ -134,21 +156,31 @@ std::size_t Service::queued_count_locked() const {
 
 std::vector<Service::Pending> Service::pop_batch_locked() {
   std::vector<Pending> batch;
-  for (auto& q : queues_) {
-    if (q.empty()) continue;
-    batch.push_back(std::move(q.front()));
-    q.pop_front();
-    const Fingerprint fp = batch.front().fp;
-    for (auto it = q.begin();
-         it != q.end() && static_cast<int>(batch.size()) < config_.max_batch;) {
-      if (it->fp == fp) {
-        batch.push_back(std::move(*it));
-        it = q.erase(it);
-      } else {
-        ++it;
-      }
+  double head_ages[kPriorityCount];
+  int first_nonempty = -1;
+  for (int c = 0; c < kPriorityCount; ++c) {
+    head_ages[c] = queues_[c].empty() ? -1.0 : queues_[c].front().queued.seconds();
+    if (first_nonempty < 0 && !queues_[c].empty()) first_nonempty = c;
+  }
+  const int pick = select_queue_class(head_ages, kPriorityCount,
+                                      config_.age_promote_seconds);
+  if (pick < 0) return batch;
+  if (pick != first_nonempty) {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++counters_.aged_promotions;
+  }
+  auto& q = queues_[pick];
+  batch.push_back(std::move(q.front()));
+  q.pop_front();
+  const Fingerprint fp = batch.front().fp;
+  for (auto it = q.begin();
+       it != q.end() && static_cast<int>(batch.size()) < config_.max_batch;) {
+    if (it->fp == fp) {
+      batch.push_back(std::move(*it));
+      it = q.erase(it);
+    } else {
+      ++it;
     }
-    break;
   }
   return batch;
 }
@@ -175,17 +207,20 @@ void Service::worker_loop(int worker) {
     Pending& leader = batch.front();
     std::shared_ptr<const ServePlan> plan;
     bool hit = false;
+    PlanSource source = PlanSource::kBuilt;
     WallTimer plan_timer;
     try {
       plan = cache_.get_or_build(
           leader.fp,
           [&] { return build_serve_plan(leader.request.matrix, config_.plan); },
-          &hit);
+          &hit, &source);
     } catch (const std::exception& e) {
       const std::string detail = e.what();
       for (std::size_t i = 0; i < batch.size(); ++i) {
         Response r;
         r.id = batch[i].request.id;
+        r.tenant = batch[i].request.tenant;
+        r.shard = config_.shard;
         r.priority = batch[i].request.priority;
         r.status = Status::kFailed;
         r.detail = detail;
@@ -201,23 +236,28 @@ void Service::worker_loop(int worker) {
     const double plan_seconds = plan_timer.seconds();
 
     process(std::move(batch.front()), worker, /*batched=*/false, plan, hit,
-            plan_seconds, compute);
+            source, plan_seconds, compute);
     if (batch.size() > 1)
       cache_.record_external_hits(static_cast<Count>(batch.size() - 1));
     for (std::size_t i = 1; i < batch.size(); ++i)
       process(std::move(batch[i]), worker, /*batched=*/true, plan,
-              /*cache_hit=*/true, /*plan_seconds=*/0.0, compute);
+              /*cache_hit=*/true, PlanSource::kMemory, /*plan_seconds=*/0.0,
+              compute);
   }
 }
 
 void Service::process(Pending pending, int worker, bool batched,
                       std::shared_ptr<const ServePlan> plan, bool cache_hit,
-                      double plan_seconds, parallel::ThreadPool* compute_pool) {
+                      PlanSource plan_source, double plan_seconds,
+                      parallel::ThreadPool* compute_pool) {
   Response r;
   r.id = pending.request.id;
+  r.tenant = pending.request.tenant;
+  r.shard = config_.shard;
   r.priority = pending.request.priority;
   r.fingerprint = pending.fp.hex();
   r.cache_hit = cache_hit;
+  r.plan_source = plan_source;
   r.batched = batched;
   r.worker = worker;
   r.queue_seconds = pending.queue_seconds;
@@ -286,6 +326,7 @@ void Service::finish(Pending& pending, Response response) {
     }
   }
   log_response(response);
+  if (config_.observer) config_.observer(response);
   pending.promise.set_value(std::move(response));
 }
 
@@ -295,11 +336,14 @@ void Service::log_response(const Response& response) {
   access_log_.write(obs::Record()
                         .add("ts_s", uptime_.seconds())
                         .add("id", response.id)
+                        .add("tenant", response.tenant)
                         .add("priority", priority_name(response.priority))
                         .add("status", status_name(response.status))
                         .add("fingerprint", response.fingerprint)
                         .add("cache_hit", response.cache_hit)
+                        .add("plan_source", plan_source_name(response.plan_source))
                         .add("batched", response.batched)
+                        .add("shard", response.shard)
                         .add("worker", response.worker)
                         .add("queue_s", response.queue_seconds)
                         .add("plan_s", response.plan_seconds)
@@ -333,6 +377,8 @@ void Service::shutdown() {
   for (Pending& p : leftovers) {
     Response r;
     r.id = p.request.id;
+    r.tenant = p.request.tenant;
+    r.shard = config_.shard;
     r.priority = p.request.priority;
     r.status = Status::kShutdown;
     r.detail = "service shut down before the request was served";
@@ -377,6 +423,7 @@ void Service::fold_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("serve_requests_rejected").add(c.rejected);
   registry.counter("serve_requests_shutdown").add(c.shutdown_aborted);
   registry.counter("serve_batch_followers").add(c.batch_followers);
+  registry.counter("serve_aged_promotions").add(c.aged_promotions);
   registry.gauge("serve_queue_high_water")
       .set(static_cast<double>(c.queue_high_water));
 

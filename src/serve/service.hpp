@@ -74,6 +74,11 @@ const char* status_name(Status status);
 
 struct Request {
   std::string id;  ///< client-chosen tag for logs (may be empty)
+  /// Tenant this request bills against. The multi-tenant front end
+  /// (store::ShardedService) keys quotas and SLO metrics on it; the service
+  /// itself only carries it through to the response/access log. "" is the
+  /// anonymous tenant.
+  std::string tenant;
   SparseMatrix matrix;
   Priority priority = Priority::kBatch;
   /// Ship the selected inverse in the response (Response::ainv). Off by
@@ -83,12 +88,17 @@ struct Request {
 
 struct Response {
   std::string id;
+  std::string tenant;
   Priority priority = Priority::kBatch;
   Status status = Status::kFailed;
   std::string detail;       ///< reject reason / error message ("" when kOk)
   std::string fingerprint;  ///< structure fingerprint, 32 hex digits
   bool cache_hit = false;   ///< plan served from cache
+  /// Where the plan came from: memory (cache hit / batch follower), disk
+  /// (plan-store load), or a fresh build. Never affects the digest.
+  PlanSource plan_source = PlanSource::kBuilt;
   bool batched = false;     ///< follower of a same-fingerprint batch
+  int shard = 0;            ///< admission shard (Config::shard label)
   int worker = -1;
   /// Deterministic content hash of the selected inverse (all block bytes in
   /// supernode order): bitwise-equal results <=> equal digests.
@@ -117,7 +127,28 @@ struct Response {
 /// supernode order); exposed for tests comparing cached vs fresh results.
 std::string ainv_digest(const BlockMatrix& ainv);
 
-class Service {
+/// Anything requests can be submitted to: the Service itself, or a fronting
+/// layer (store::ShardedService) that routes/gates before delegating.
+/// Workload drivers run against this interface so every harness works with
+/// both.
+class RequestSink {
+ public:
+  virtual ~RequestSink() = default;
+  virtual std::future<Response> submit(Request request) = 0;
+};
+
+/// Queue-class selection with SLO-aware priority aging. `head_age_seconds`
+/// holds the queue-head wait time per priority class, -1 for an empty
+/// class. Normally the highest-priority (lowest-index) nonempty class wins;
+/// when `age_promote_seconds` > 0 and any queue head has waited beyond it,
+/// the OLDEST such head wins instead — so batch traffic keeps flowing under
+/// a sustained interactive storm (no starvation), while fresh batch work
+/// still always yields to interactive work. Returns -1 if every class is
+/// empty. Pure function, exposed for deterministic tests.
+int select_queue_class(const double* head_age_seconds, int classes,
+                       double age_promote_seconds);
+
+class Service : public RequestSink {
  public:
   struct Config {
     /// Worker threads. 0 = admit-only: requests queue but nothing drains
@@ -135,10 +166,23 @@ class Service {
     int compute_threads = 1;
     std::size_t queue_capacity = 64;  ///< both priority classes combined
     int max_batch = 8;                ///< leader + followers per pickup
+    /// Priority aging threshold (seconds): a queued request older than this
+    /// is served ahead of younger higher-priority work (see
+    /// select_queue_class). 0 disables aging (strict priority).
+    double age_promote_seconds = 0.0;
+    /// Shard label this service instance carries (store::ShardedService
+    /// numbers its shards; standalone services report 0). Responses and
+    /// access-log records echo it.
+    int shard = 0;
     /// Grid / trees / symmetry / analysis / simulated machine — everything
     /// plans (and their cached kTrace schedule runs) are built from.
     PlanConfig plan;
-    PlanCache::Config cache;
+    PlanCache::Config cache;  ///< includes the optional PlanStorage backend
+    /// Called with every finished response (after counters/log, before the
+    /// submitter's future is fulfilled), from the finishing thread — must be
+    /// thread-safe and cheap. The multi-tenant front end hooks per-tenant
+    /// SLO accounting here. Null disables.
+    std::function<void(const Response&)> observer;
     /// NDJSON access log (one record per finished request, including
     /// rejections); "" disables.
     std::string access_log_path;
@@ -151,6 +195,7 @@ class Service {
     Count rejected = 0;          ///< kRejected at admission
     Count shutdown_aborted = 0;  ///< kShutdown responses
     Count batch_followers = 0;   ///< requests served as batch followers
+    Count aged_promotions = 0;   ///< pickups won via priority aging
     std::size_t queue_high_water = 0;
   };
 
@@ -164,7 +209,7 @@ class Service {
   /// request finishes. Rejection fulfills it immediately with kRejected /
   /// kShutdown and a reason in Response::detail — submit never throws on
   /// load.
-  std::future<Response> submit(Request request);
+  std::future<Response> submit(Request request) override;
 
   /// Drains the queue, stops the workers, and fails anything still queued
   /// (workers == 0) with kShutdown. Idempotent; called by the destructor.
@@ -203,12 +248,15 @@ class Service {
 
   void worker_loop(int worker);
   /// Pops a leader plus same-fingerprint followers; caller holds mutex_.
+  /// Applies priority aging (Config::age_promote_seconds) to the leader's
+  /// queue-class choice.
   std::vector<Pending> pop_batch_locked();
   /// `compute_pool` is the worker's dedicated numeric pool (null when
   /// compute_threads_ == 1 -> sequential kernels).
   void process(Pending pending, int worker, bool batched,
                std::shared_ptr<const ServePlan> plan, bool cache_hit,
-               double plan_seconds, parallel::ThreadPool* compute_pool);
+               PlanSource plan_source, double plan_seconds,
+               parallel::ThreadPool* compute_pool);
   void finish(Pending& pending, Response response);
   void log_response(const Response& response);
   std::size_t queued_count_locked() const;

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <deque>
 #include <ostream>
 #include <thread>
@@ -46,6 +47,24 @@ double quantile_or_zero(const SampleStats& s, double q) {
   return s.empty() ? 0.0 : s.quantile(q);
 }
 
+/// Host-stable 64-bit FNV-1a over (id, '\0', digest) — the per-response term
+/// of WorkloadReport::digest_xor. Independent of std::hash so the run digest
+/// is comparable across builds and platforms.
+std::uint64_t response_digest_term(const Response& r) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h ^= c;
+      h *= 0x100000001b3ULL;
+    }
+    h ^= 0xff;  // separator (never a hex/ASCII id byte's value alone)
+    h *= 0x100000001b3ULL;
+  };
+  mix(r.id);
+  mix(r.digest);
+  return h;
+}
+
 }  // namespace
 
 Request make_request(const WorkloadOptions& options, int index) {
@@ -59,14 +78,22 @@ Request make_request(const WorkloadOptions& options, int index) {
   const Priority priority = rng.uniform_double() < options.interactive_fraction
                                 ? Priority::kInteractive
                                 : Priority::kBatch;
+  const int tenant =
+      options.tenants > 1
+          ? static_cast<int>(rng.uniform_double() * options.tenants) %
+                options.tenants
+          : 0;
   const std::uint64_t value_seed =
       hash_combine(hash_combine(options.seed, 0x76616c75ULL /*"valu"*/),
                    static_cast<std::uint64_t>(index));
-  return catalog_request(options, structure, value_seed,
-                         "r" + std::to_string(index), priority);
+  Request request = catalog_request(options, structure, value_seed,
+                                    "r" + std::to_string(index), priority);
+  request.tenant = "t" + std::to_string(tenant);
+  return request;
 }
 
-WorkloadReport run_workload(Service& service, const WorkloadOptions& options) {
+WorkloadReport run_workload(RequestSink& service,
+                            const WorkloadOptions& options) {
   if (options.warm_start) {
     for (int i = 0; i < options.structures; ++i) {
       Request warm = catalog_request(
@@ -113,6 +140,7 @@ WorkloadReport run_workload(Service& service, const WorkloadOptions& options) {
       case Status::kShutdown: ++report.shutdown; break;
     }
     if (!r.ok()) continue;
+    report.digest_xor ^= response_digest_term(r);
     report.total_s.add(r.total_seconds);
     report.queue_s.add(r.queue_seconds);
     if (r.cache_hit) {
@@ -121,6 +149,10 @@ WorkloadReport run_workload(Service& service, const WorkloadOptions& options) {
     } else {
       ++report.cold;
       report.cold_total_s.add(r.total_seconds);
+      if (r.plan_source == PlanSource::kDisk) {
+        ++report.disk;
+        report.disk_total_s.add(r.total_seconds);
+      }
     }
   }
   report.throughput_rps = report.wall_seconds > 0.0
@@ -138,6 +170,9 @@ obs::Record WorkloadReport::to_record() const {
 obs::Record& WorkloadReport::append_to(obs::Record& record) const {
   const double cold_p50 = quantile_or_zero(cold_total_s, 0.5);
   const double warm_p50 = quantile_or_zero(warm_total_s, 0.5);
+  char digest_hex[17];
+  std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                static_cast<unsigned long long>(digest_xor));
   return record
       .add("ok", ok)
       .add("failed", failed)
@@ -145,15 +180,19 @@ obs::Record& WorkloadReport::append_to(obs::Record& record) const {
       .add("shutdown", shutdown)
       .add("cold", cold)
       .add("warm", warm)
+      .add("disk", disk)
       .add("wall_s", wall_seconds)
       .add("throughput_rps", throughput_rps)
+      .add("digest_xor", std::string(digest_hex))
       .add("total_p50_s", quantile_or_zero(total_s, 0.5))
       .add("total_p95_s", quantile_or_zero(total_s, 0.95))
       .add("total_p99_s", quantile_or_zero(total_s, 0.99))
+      .add("total_p999_s", quantile_or_zero(total_s, 0.999))
       .add("cold_p50_s", cold_p50)
       .add("cold_p95_s", quantile_or_zero(cold_total_s, 0.95))
       .add("warm_p50_s", warm_p50)
       .add("warm_p95_s", quantile_or_zero(warm_total_s, 0.95))
+      .add("disk_p50_s", quantile_or_zero(disk_total_s, 0.5))
       .add("cold_over_warm_p50",
            warm_p50 > 0.0 ? cold_p50 / warm_p50 : 0.0);
 }
@@ -162,7 +201,8 @@ void print_report(std::ostream& out, const WorkloadReport& report) {
   out << "requests: ok " << report.ok << ", failed " << report.failed
       << ", rejected " << report.rejected << ", shutdown " << report.shutdown
       << "\n";
-  out << "cache:    cold " << report.cold << ", warm " << report.warm;
+  out << "cache:    cold " << report.cold << " (disk " << report.disk
+      << "), warm " << report.warm;
   if (report.cold + report.warm > 0)
     out << " (hit rate "
         << 100.0 * static_cast<double>(report.warm) /
@@ -179,6 +219,7 @@ void print_report(std::ostream& out, const WorkloadReport& report) {
   line("latency:  total", report.total_s);
   line("          cold ", report.cold_total_s);
   line("          warm ", report.warm_total_s);
+  if (!report.disk_total_s.empty()) line("          disk ", report.disk_total_s);
   const double cold_p50 = quantile_or_zero(report.cold_total_s, 0.5);
   const double warm_p50 = quantile_or_zero(report.warm_total_s, 0.5);
   if (cold_p50 > 0.0 && warm_p50 > 0.0)

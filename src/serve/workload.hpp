@@ -34,6 +34,10 @@ struct WorkloadOptions {
   int window = 4;
   /// Fraction of requests submitted at Priority::kInteractive.
   double interactive_fraction = 0.0;
+  /// Distinct tenants; request `i`'s tenant is drawn uniformly from
+  /// {"t0".."t<tenants-1>"} by the per-request RNG. 1 = everything bills to
+  /// "t0".
+  int tenants = 1;
   /// Touch every catalog structure once, waiting for completion, before the
   /// measured phase (a pure-cold warmup wave so the measured phase is warm).
   bool warm_start = false;
@@ -46,12 +50,20 @@ struct WorkloadReport {
   Count shutdown = 0;
   Count cold = 0;  ///< ok responses with cache_hit == false
   Count warm = 0;  ///< ok responses with cache_hit == true
+  Count disk = 0;  ///< cold subset whose plan loaded from the plan store
   double wall_seconds = 0.0;
   double throughput_rps = 0.0;  ///< ok responses per wall second
+  /// Order-independent content digest of the whole run: XOR over ok
+  /// responses of a stable 64-bit hash of (request id, response digest).
+  /// Two runs of the same workload against bitwise-identical services match
+  /// exactly, regardless of completion order, worker/shard counts, or plan
+  /// source — the warm-restart CI gate compares this across restarts.
+  std::uint64_t digest_xor = 0;
 
   SampleStats total_s;       ///< ok responses, end-to-end latency
   SampleStats cold_total_s;  ///< cold subset
   SampleStats warm_total_s;  ///< warm subset
+  SampleStats disk_total_s;  ///< disk-loaded subset of cold
   SampleStats queue_s;       ///< ok responses, admission -> pickup
 
   /// Appends the flat export fields (counts, throughput, p50/p95/p99 of
@@ -66,10 +78,12 @@ struct WorkloadReport {
 /// (seed, index). Exposed so tests can replay exact request sets.
 Request make_request(const WorkloadOptions& options, int index);
 
-/// Drives `service` with the workload and collects every response.
+/// Drives `service` (any RequestSink: a bare Service or the sharded
+/// multi-tenant front end) with the workload and collects every response.
 /// Open loop (arrival_hz > 0) sleeps exponential inter-arrival gaps between
 /// submissions; closed loop keeps at most `window` requests outstanding.
-WorkloadReport run_workload(Service& service, const WorkloadOptions& options);
+WorkloadReport run_workload(RequestSink& service,
+                            const WorkloadOptions& options);
 
 /// Human-readable summary (counts, hit rate, latency percentiles).
 void print_report(std::ostream& out, const WorkloadReport& report);

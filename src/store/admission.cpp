@@ -1,0 +1,128 @@
+#include "store/admission.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace psi::store {
+
+TokenBucket::TokenBucket(double rate_per_s, double burst)
+    : rate_per_s_(rate_per_s),
+      burst_(std::max(burst, 1.0)),
+      tokens_(std::max(burst, 1.0)) {}
+
+void TokenBucket::refill(double now_s) {
+  if (now_s > last_s_) {
+    tokens_ = std::min(burst_, tokens_ + (now_s - last_s_) * rate_per_s_);
+    last_s_ = now_s;
+  }
+}
+
+bool TokenBucket::try_take(double now_s) {
+  if (rate_per_s_ <= 0.0) return true;
+  refill(now_s);
+  if (tokens_ < 1.0) return false;
+  tokens_ -= 1.0;
+  return true;
+}
+
+double TokenBucket::available(double now_s) const {
+  if (rate_per_s_ <= 0.0) return burst_;
+  TokenBucket copy = *this;
+  copy.refill(now_s);
+  return copy.tokens_;
+}
+
+TenantTable::TenantTable(const TenantQuota& default_quota,
+                         const std::map<std::string, TenantQuota>& overrides)
+    : default_quota_(default_quota), overrides_(overrides) {}
+
+TenantTable::Entry& TenantTable::entry_locked(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    const auto quota_it = overrides_.find(tenant);
+    const TenantQuota& quota =
+        quota_it != overrides_.end() ? quota_it->second : default_quota_;
+    Entry entry;
+    entry.bucket = TokenBucket(quota.rate_per_s, quota.burst);
+    entry.stats.tenant = tenant;
+    it = tenants_.emplace(tenant, std::move(entry)).first;
+  }
+  return it->second;
+}
+
+std::optional<std::string> TenantTable::try_admit(const std::string& tenant) {
+  return try_admit_at(tenant, clock_.seconds());
+}
+
+std::optional<std::string> TenantTable::try_admit_at(const std::string& tenant,
+                                                     double now_s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entry_locked(tenant);
+  if (entry.bucket.try_take(now_s)) {
+    ++entry.stats.admitted;
+    return std::nullopt;
+  }
+  ++entry.stats.rejected;
+  std::ostringstream os;
+  os << "tenant \"" << tenant << "\" over quota ("
+     << entry.bucket.rate_per_s() << " req/s, burst "
+     << entry.bucket.burst() << ")";
+  return os.str();
+}
+
+void TenantTable::record(const std::string& tenant, bool ok,
+                         double total_seconds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entry_locked(tenant);
+  if (!ok) return;
+  ++entry.stats.completed;
+  entry.stats.total_s.add(total_seconds);
+}
+
+std::vector<TenantTable::TenantStats> TenantTable::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<TenantStats> out;
+  out.reserve(tenants_.size());
+  for (const auto& [name, entry] : tenants_) out.push_back(entry.stats);
+  return out;
+}
+
+void TenantTable::fold_metrics(obs::MetricsRegistry& registry) const {
+  // Latency buckets spanning sub-ms plan-cache hits through multi-second
+  // cold builds; the exact-quantile gauges below cover SLO points that land
+  // between bounds.
+  static const std::vector<double> kBounds = {
+      1e-4, 2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2,
+      5e-2, 0.1,  0.2,  0.5,  1.0,  2.0,  5.0,  10.0};
+  for (const TenantStats& t : snapshot()) {
+    obs::Labels labels;
+    labels.set("tenant", t.tenant);
+    registry.counter("tenant_admitted", labels).add(t.admitted);
+    registry.counter("tenant_rejected", labels).add(t.rejected);
+    registry.counter("tenant_completed", labels).add(t.completed);
+    obs::Histogram& h =
+        registry.histogram("tenant_total_seconds", labels, kBounds);
+    for (double s : t.total_s.values()) h.observe(s);
+    registry.gauge("tenant_total_p50_s", labels)
+        .set(t.total_s.empty() ? 0.0 : t.total_s.quantile(0.5));
+    registry.gauge("tenant_total_p99_s", labels)
+        .set(t.total_s.empty() ? 0.0 : t.total_s.quantile(0.99));
+    registry.gauge("tenant_total_p999_s", labels)
+        .set(t.total_s.empty() ? 0.0 : t.total_s.quantile(0.999));
+  }
+}
+
+int shard_of_fingerprint(std::uint64_t hi, std::uint64_t lo, int shards) {
+  PSI_CHECK_MSG(shards >= 1, "shard count must be >= 1, got " << shards);
+  std::uint64_t z = hi ^ (lo * 0x9e3779b97f4a7c15ULL);
+  z ^= z >> 30;
+  z *= 0xbf58476d1ce4e5b9ULL;
+  z ^= z >> 27;
+  z *= 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<int>(z % static_cast<std::uint64_t>(shards));
+}
+
+}  // namespace psi::store

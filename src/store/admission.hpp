@@ -1,0 +1,114 @@
+/// \file admission.hpp
+/// \brief Multi-tenant admission primitives for the sharded serving front
+/// end: per-tenant token-bucket quotas with reject-with-reason, per-tenant
+/// SLO accounting (exact p99/p999 latency), and the fingerprint -> shard
+/// routing function.
+///
+/// Determinism note: routing is a pure function of the fingerprint, so a
+/// structure always lands on the same shard — per-shard plan caches never
+/// duplicate a plan, and the response content stays independent of the
+/// shard count (the digest-equality tests sweep shard counts to prove it).
+/// Quotas are the only wall-clock-dependent admission input; tests drive
+/// them through the explicit-time entry points.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "sparse/types.hpp"
+
+namespace psi::store {
+
+/// Classic token bucket: `rate_per_s` tokens accrue per second up to
+/// `burst`; a request takes one token. rate_per_s <= 0 means unlimited.
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate_per_s, double burst);
+
+  /// Takes one token if available at time `now_s` (monotone seconds; calls
+  /// with decreasing time are treated as no elapsed time). Returns false
+  /// when the bucket is empty.
+  bool try_take(double now_s);
+
+  double rate_per_s() const { return rate_per_s_; }
+  double burst() const { return burst_; }
+  /// Tokens available at `now_s` (diagnostics/tests; does not take).
+  double available(double now_s) const;
+
+ private:
+  void refill(double now_s);
+
+  double rate_per_s_ = 0.0;  ///< <= 0: unlimited
+  double burst_ = 1.0;
+  double tokens_ = 1.0;
+  double last_s_ = 0.0;
+};
+
+/// Per-tenant quota configuration. rate_per_s <= 0 admits everything.
+struct TenantQuota {
+  double rate_per_s = 0.0;
+  double burst = 8.0;
+};
+
+/// Thread-safe per-tenant admission + SLO accounting table. Tenants are
+/// created lazily on first sight with the default quota (unless an explicit
+/// override was configured).
+class TenantTable {
+ public:
+  struct TenantStats {
+    std::string tenant;
+    Count admitted = 0;
+    Count rejected = 0;
+    Count completed = 0;  ///< ok responses recorded
+    SampleStats total_s;  ///< end-to-end latency of ok responses
+  };
+
+  TenantTable(const TenantQuota& default_quota,
+              const std::map<std::string, TenantQuota>& overrides);
+
+  /// Admission check against the wall clock. Returns nullopt to admit, or
+  /// the reject reason (naming the tenant and its quota). Counts the
+  /// decision either way.
+  std::optional<std::string> try_admit(const std::string& tenant);
+  /// Deterministic-time variant for tests.
+  std::optional<std::string> try_admit_at(const std::string& tenant,
+                                          double now_s);
+
+  /// Records a finished request for SLO accounting (`ok` responses feed the
+  /// latency sample; failures only count).
+  void record(const std::string& tenant, bool ok, double total_seconds);
+
+  std::vector<TenantStats> snapshot() const;
+
+  /// Per-tenant counters, latency histograms, and exact p99/p999 gauges
+  /// ("tenant_*", labelled tenant=<name>). Call between request waves.
+  void fold_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  struct Entry {
+    TokenBucket bucket;
+    TenantStats stats;
+  };
+
+  Entry& entry_locked(const std::string& tenant);
+
+  TenantQuota default_quota_;
+  std::map<std::string, TenantQuota> overrides_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> tenants_;  ///< ordered: stable export order
+  WallTimer clock_;                       ///< epoch for try_admit()
+};
+
+/// Shard owning `fingerprint` among `shards` pools: a splitmix64-style
+/// finalizer over both lanes, mod shards. Deterministic and uniform; pure.
+int shard_of_fingerprint(std::uint64_t hi, std::uint64_t lo, int shards);
+
+}  // namespace psi::store

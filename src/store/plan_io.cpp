@@ -1,0 +1,661 @@
+#include "store/plan_io.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "ordering/permutation.hpp"
+#include "pselinv/plan.hpp"
+#include "trees/comm_tree.hpp"
+
+namespace psi::store {
+
+namespace {
+
+using serve::Fingerprint;
+using serve::FingerprintHasher;
+using serve::PlanConfig;
+using serve::ServePlan;
+
+constexpr std::size_t kHeaderBytes = 32;        // magic..fingerprint
+constexpr std::size_t kTableEntryBytes = 32;    // id, reserved, off, len, sum
+
+std::uint64_t checksum(const std::uint8_t* data, std::size_t size) {
+  FingerprintHasher hasher;
+  hasher.mix_bytes(data, size);
+  return hasher.finish().lo;
+}
+
+/// Little-endian append-only byte sink.
+class ByteWriter {
+ public:
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+  std::size_t size() const { return bytes_.size(); }
+
+  void u8(std::uint8_t v) { bytes_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) bytes_.push_back((v >> (8 * i)) & 0xff);
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) bytes_.push_back((v >> (8 * i)) & 0xff);
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  template <typename T>
+  void vec_i32(const std::vector<T>& v) {
+    static_assert(sizeof(T) == 4);
+    u64(v.size());
+    for (T x : v) i32(static_cast<std::int32_t>(x));
+  }
+  void vec_i64(const std::vector<std::int64_t>& v) {
+    u64(v.size());
+    for (std::int64_t x : v) i64(x);
+  }
+  void raw(const void* data, std::size_t size) {
+    const auto* p = static_cast<const std::uint8_t*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// Bounds-checked little-endian reader over one section's payload. Every
+/// read that would overrun throws StoreError naming the section.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size, const char* what)
+      : data_(data), size_(size), what_(what) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data_[pos_ + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos_ += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  template <typename T = std::int32_t>
+  std::vector<T> vec_i32() {
+    static_assert(sizeof(T) == 4);
+    const std::uint64_t count = len(4);
+    std::vector<T> v;
+    v.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+      v.push_back(static_cast<T>(i32()));
+    return v;
+  }
+  std::vector<std::int64_t> vec_i64() {
+    const std::uint64_t count = len(8);
+    std::vector<std::int64_t> v;
+    v.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) v.push_back(i64());
+    return v;
+  }
+  void expect_exhausted() const {
+    if (pos_ != size_)
+      throw StoreError(std::string(what_) + ": " +
+                       std::to_string(size_ - pos_) +
+                       " trailing bytes after payload");
+  }
+
+ private:
+  /// Reads an array length and verifies the elements actually fit in what
+  /// remains — a huge bogus count fails here instead of in reserve().
+  std::uint64_t len(std::size_t elem_bytes) {
+    const std::uint64_t count = u64();
+    if (count > remaining() / elem_bytes)
+      throw StoreError(std::string(what_) + ": array length " +
+                       std::to_string(count) + " exceeds section payload");
+    return count;
+  }
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n)
+      throw StoreError(std::string(what_) + ": truncated payload (need " +
+                       std::to_string(n) + " bytes at offset " +
+                       std::to_string(pos_) + " of " + std::to_string(size_) +
+                       ")");
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  const char* what_;
+};
+
+// --- section payloads -------------------------------------------------------
+
+void write_config(ByteWriter& w, const PlanConfig& c) {
+  w.i32(c.grid_rows);
+  w.i32(c.grid_cols);
+  w.i32(static_cast<std::int32_t>(c.tree.scheme));
+  w.i32(c.tree.hybrid_flat_threshold);
+  w.u64(c.tree.seed);
+  w.i32(static_cast<std::int32_t>(c.symmetry));
+  w.i32(static_cast<std::int32_t>(c.analysis.ordering.method));
+  w.i32(static_cast<std::int32_t>(c.analysis.ordering.dissection_leaf_size));
+  w.i32(static_cast<std::int32_t>(c.analysis.supernodes.max_size));
+  w.i32(static_cast<std::int32_t>(c.analysis.supernodes.relax_small));
+  w.i32(c.machine.cores_per_node);
+  w.i32(c.machine.nodes_per_group);
+  w.f64(c.machine.flop_rate);
+  w.f64(c.machine.msg_overhead);
+  w.f64(c.machine.lat_intranode);
+  w.f64(c.machine.bw_intranode);
+  w.f64(c.machine.lat_intragroup);
+  w.f64(c.machine.bw_intragroup);
+  w.f64(c.machine.lat_intergroup);
+  w.f64(c.machine.bw_intergroup);
+  w.f64(c.machine.jitter_sigma);
+  w.u64(c.machine.jitter_seed);
+}
+
+PlanConfig read_config(ByteReader& r) {
+  PlanConfig c;
+  c.grid_rows = r.i32();
+  c.grid_cols = r.i32();
+  const std::int32_t scheme = r.i32();
+  if (scheme < 0 ||
+      scheme > static_cast<std::int32_t>(trees::TreeScheme::kShiftedBinomial))
+    throw StoreError("config: unknown tree scheme " + std::to_string(scheme));
+  c.tree.scheme = static_cast<trees::TreeScheme>(scheme);
+  c.tree.hybrid_flat_threshold = r.i32();
+  c.tree.seed = r.u64();
+  const std::int32_t symmetry = r.i32();
+  if (symmetry < 0 || symmetry > 1)
+    throw StoreError("config: unknown value symmetry " +
+                     std::to_string(symmetry));
+  c.symmetry = static_cast<pselinv::ValueSymmetry>(symmetry);
+  const std::int32_t method = r.i32();
+  if (method < 0 ||
+      method > static_cast<std::int32_t>(OrderingMethod::kGeometricDissection))
+    throw StoreError("config: unknown ordering method " +
+                     std::to_string(method));
+  c.analysis.ordering.method = static_cast<OrderingMethod>(method);
+  c.analysis.ordering.dissection_leaf_size = r.i32();
+  c.analysis.supernodes.max_size = r.i32();
+  c.analysis.supernodes.relax_small = r.i32();
+  c.machine.cores_per_node = r.i32();
+  c.machine.nodes_per_group = r.i32();
+  c.machine.flop_rate = r.f64();
+  c.machine.msg_overhead = r.f64();
+  c.machine.lat_intranode = r.f64();
+  c.machine.bw_intranode = r.f64();
+  c.machine.lat_intragroup = r.f64();
+  c.machine.bw_intragroup = r.f64();
+  c.machine.lat_intergroup = r.f64();
+  c.machine.bw_intergroup = r.f64();
+  c.machine.jitter_sigma = r.f64();
+  c.machine.jitter_seed = r.u64();
+  return c;
+}
+
+void write_tree(ByteWriter& w, const trees::CommTree& tree) {
+  const trees::CommTree::Raw raw = tree.to_raw();
+  w.i32(raw.root);
+  w.vec_i32(raw.order);
+  w.vec_i32(raw.parent);
+  w.vec_i32(raw.children_offsets);
+  w.vec_i32(raw.children_flat);
+  w.vec_i32(raw.pos_to_order);
+  w.i32(raw.ap_first);
+  w.i32(raw.ap_last);
+  w.i32(raw.ap_stride);
+  w.vec_i32(raw.sorted_ranks);
+}
+
+trees::CommTree read_tree(ByteReader& r) {
+  trees::CommTree::Raw raw;
+  raw.root = r.i32();
+  raw.order = r.vec_i32<int>();
+  raw.parent = r.vec_i32<int>();
+  raw.children_offsets = r.vec_i32<int>();
+  raw.children_flat = r.vec_i32<int>();
+  raw.pos_to_order = r.vec_i32<int>();
+  raw.ap_first = r.i32();
+  raw.ap_last = r.i32();
+  raw.ap_stride = r.i32();
+  raw.sorted_ranks = r.vec_i32<int>();
+  return trees::CommTree::from_raw(std::move(raw));
+}
+
+void write_trees(ByteWriter& w, const std::vector<trees::CommTree>& trees) {
+  w.u64(trees.size());
+  for (const auto& t : trees) write_tree(w, t);
+}
+
+std::vector<trees::CommTree> read_trees(ByteReader& r) {
+  const std::uint64_t count = r.u64();
+  if (count > r.remaining() / 4)  // each tree is >= a handful of words
+    throw StoreError("comm_plan: tree count " + std::to_string(count) +
+                     " exceeds section payload");
+  std::vector<trees::CommTree> trees;
+  trees.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) trees.push_back(read_tree(r));
+  return trees;
+}
+
+void write_comm_plan(ByteWriter& w, const pselinv::Plan& plan) {
+  const Int nsup = plan.supernode_count();
+  const std::int64_t kt = plan.kt_count();
+  // Index tables first (fixed stride from the section start).
+  std::vector<std::int64_t> kt_offset(static_cast<std::size_t>(nsup) + 1);
+  for (Int k = 0; k < nsup; ++k)
+    kt_offset[static_cast<std::size_t>(k)] = plan.kt_id(k, 0);
+  kt_offset[static_cast<std::size_t>(nsup)] = kt;
+  std::vector<std::int32_t> ord_row(static_cast<std::size_t>(kt));
+  std::vector<std::int32_t> ord_col(static_cast<std::size_t>(kt));
+  for (std::int64_t t = 0; t < kt; ++t) {
+    ord_row[static_cast<std::size_t>(t)] = plan.row_ordinal(t);
+    ord_col[static_cast<std::size_t>(t)] = plan.col_ordinal(t);
+  }
+  w.vec_i64(kt_offset);
+  w.vec_i32(ord_row);
+  w.vec_i32(ord_col);
+  w.u64(static_cast<std::uint64_t>(nsup));
+  for (Int k = 0; k < nsup; ++k) {
+    const pselinv::SupernodePlan& s = plan.supernode(k);
+    w.vec_i32(s.prows);
+    w.vec_i32(s.pcols);
+    w.vec_i32(s.prow_counts);
+    w.vec_i32(s.pcol_counts);
+    w.vec_i32(s.pcols_a);
+    w.vec_i32(s.prows_b);
+    write_tree(w, s.diag_bcast);
+    write_tree(w, s.col_reduce);
+    write_trees(w, s.col_bcast);
+    write_trees(w, s.row_reduce);
+    w.vec_i32(s.cross_dst);
+    w.vec_i32(s.cross_src);
+    write_tree(w, s.diag_row_bcast);
+    write_trees(w, s.row_bcast);
+    write_trees(w, s.col_reduce_up);
+  }
+}
+
+pselinv::Plan::RawParts read_comm_plan(ByteReader& r, const PlanConfig& cfg) {
+  pselinv::Plan::RawParts parts;
+  parts.tree_options = cfg.tree;
+  parts.symmetry = cfg.symmetry;
+  parts.kt_offset = r.vec_i64();
+  parts.ord_row = r.vec_i32();
+  parts.ord_col = r.vec_i32();
+  const std::uint64_t nsup = r.u64();
+  if (nsup > r.remaining() / 4)
+    throw StoreError("comm_plan: supernode count " + std::to_string(nsup) +
+                     " exceeds section payload");
+  parts.sup.reserve(nsup);
+  for (std::uint64_t k = 0; k < nsup; ++k) {
+    pselinv::SupernodePlan s;
+    s.prows = r.vec_i32<int>();
+    s.pcols = r.vec_i32<int>();
+    s.prow_counts = r.vec_i32();
+    s.pcol_counts = r.vec_i32();
+    s.pcols_a = r.vec_i32<int>();
+    s.prows_b = r.vec_i32<int>();
+    s.diag_bcast = read_tree(r);
+    s.col_reduce = read_tree(r);
+    s.col_bcast = read_trees(r);
+    s.row_reduce = read_trees(r);
+    s.cross_dst = r.vec_i32<int>();
+    s.cross_src = r.vec_i32<int>();
+    s.diag_row_bcast = read_tree(r);
+    s.row_bcast = read_trees(r);
+    s.col_reduce_up = read_trees(r);
+    parts.sup.push_back(std::move(s));
+  }
+  return parts;
+}
+
+void write_scatter(ByteWriter& w, const std::vector<ServePlan::ValueSlot>& s) {
+  w.u64(s.size());
+  // Fixed-width 16-byte slots: a reader can seek to slot p directly.
+  for (const ServePlan::ValueSlot& slot : s) {
+    w.u32(static_cast<std::uint32_t>(slot.kind));
+    w.i32(static_cast<std::int32_t>(slot.sup));
+    w.i32(static_cast<std::int32_t>(slot.row));
+    w.i32(static_cast<std::int32_t>(slot.col));
+  }
+}
+
+std::vector<ServePlan::ValueSlot> read_scatter(ByteReader& r) {
+  const std::uint64_t count = r.u64();
+  if (count > r.remaining() / 16)
+    throw StoreError("scatter: slot count " + std::to_string(count) +
+                     " exceeds section payload");
+  std::vector<ServePlan::ValueSlot> slots;
+  slots.reserve(count);
+  for (std::uint64_t p = 0; p < count; ++p) {
+    const std::uint32_t kind = r.u32();
+    if (kind > static_cast<std::uint32_t>(ServePlan::SlotKind::kUpper))
+      throw StoreError("scatter: unknown slot kind " + std::to_string(kind) +
+                       " at slot " + std::to_string(p));
+    ServePlan::ValueSlot slot;
+    slot.kind = static_cast<ServePlan::SlotKind>(kind);
+    slot.sup = static_cast<Int>(r.i32());
+    slot.row = static_cast<Int>(r.i32());
+    slot.col = static_cast<Int>(r.i32());
+    slots.push_back(slot);
+  }
+  return slots;
+}
+
+// --- header / table ---------------------------------------------------------
+
+struct Section {
+  std::uint32_t id;
+  std::uint64_t offset;
+  std::uint64_t length;
+  std::uint64_t sum;
+};
+
+/// Parses + integrity-checks the fixed header and section table. Returns
+/// the table; every section's bounds and checksum have been verified.
+std::vector<Section> parse_header(const std::uint8_t* data, std::size_t size,
+                                  Fingerprint* fp_out) {
+  if (size < kHeaderBytes + 8)
+    throw StoreError("file too short for a psi-plan header (" +
+                     std::to_string(size) + " bytes)");
+  if (std::memcmp(data, kMagic, sizeof kMagic) != 0)
+    throw StoreError("bad magic: not a psi-plan file");
+  ByteReader head(data + 8, kHeaderBytes - 8, "header");
+  const std::uint32_t version = head.u32();
+  if (version != kFormatVersion)
+    throw StoreError("format version mismatch: file is v" +
+                     std::to_string(version) + ", reader expects v" +
+                     std::to_string(kFormatVersion));
+  const std::uint32_t count = head.u32();
+  if (count == 0 || count > 64)
+    throw StoreError("implausible section count " + std::to_string(count));
+  Fingerprint fp;
+  fp.hi = head.u64();
+  fp.lo = head.u64();
+  if (fp_out != nullptr) *fp_out = fp;
+
+  const std::size_t table_end = kHeaderBytes + kTableEntryBytes * count;
+  if (size < table_end + 8)
+    throw StoreError("file truncated inside the section table");
+  const std::uint64_t expect = checksum(data, table_end);
+  ByteReader sum_reader(data + table_end, 8, "table checksum");
+  if (sum_reader.u64() != expect)
+    throw StoreError("header/table checksum mismatch (corrupt header)");
+
+  std::vector<Section> sections;
+  sections.reserve(count);
+  ByteReader table(data + kHeaderBytes, kTableEntryBytes * count,
+                   "section table");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Section s;
+    s.id = table.u32();
+    table.u32();  // reserved
+    s.offset = table.u64();
+    s.length = table.u64();
+    s.sum = table.u64();
+    if (s.offset > size || s.length > size - s.offset)
+      throw StoreError(std::string("section ") + section_name(s.id) +
+                       ": extent [" + std::to_string(s.offset) + ", +" +
+                       std::to_string(s.length) + ") exceeds file size " +
+                       std::to_string(size));
+    if (checksum(data + s.offset, s.length) != s.sum)
+      throw StoreError(std::string("section ") + section_name(s.id) +
+                       ": checksum mismatch (corrupt payload)");
+    sections.push_back(s);
+  }
+  return sections;
+}
+
+const Section& find_section(const std::vector<Section>& sections,
+                            std::uint32_t id) {
+  const Section* found = nullptr;
+  for (const Section& s : sections) {
+    if (s.id != id) continue;
+    if (found != nullptr)
+      throw StoreError(std::string("duplicate section ") + section_name(id));
+    found = &s;
+  }
+  if (found == nullptr)
+    throw StoreError(std::string("missing section ") + section_name(id));
+  return *found;
+}
+
+}  // namespace
+
+const char* section_name(std::uint32_t id) {
+  switch (id) {
+    case kConfig: return "config";
+    case kPattern: return "pattern";
+    case kPermutation: return "permutation";
+    case kEtree: return "etree";
+    case kBlocks: return "blocks";
+    case kCommPlan: return "comm_plan";
+    case kTrace: return "trace";
+    case kScatter: return "scatter";
+  }
+  return "?";
+}
+
+std::vector<std::uint8_t> encode_plan_config(const PlanConfig& config) {
+  ByteWriter w;
+  write_config(w, config);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_serve_plan(const ServePlan& plan) {
+  // Build each section payload first, then lay the file out.
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> sections;
+  sections.emplace_back(kConfig, encode_plan_config(plan.config));
+  {
+    ByteWriter w;
+    const SparsityPattern& p = plan.analysis.matrix.pattern;
+    w.i32(static_cast<std::int32_t>(p.n));
+    w.vec_i32(p.col_ptr);
+    w.vec_i32(p.row_idx);
+    sections.emplace_back(kPattern, w.take());
+  }
+  {
+    ByteWriter w;
+    w.vec_i32(plan.analysis.perm.old_to_new());
+    sections.emplace_back(kPermutation, w.take());
+  }
+  {
+    ByteWriter w;
+    w.vec_i32(plan.analysis.etree);
+    w.vec_i32(plan.analysis.counts);
+    sections.emplace_back(kEtree, w.take());
+  }
+  {
+    ByteWriter w;
+    const BlockStructure& b = plan.analysis.blocks;
+    w.vec_i32(b.part.starts);
+    w.vec_i32(b.part.sup_of_col);
+    w.vec_i32(b.parent);
+    // struct_of as CSR: offsets then the concatenated ancestor lists.
+    std::vector<std::int64_t> offsets(b.struct_of.size() + 1, 0);
+    std::vector<Int> flat;
+    for (std::size_t k = 0; k < b.struct_of.size(); ++k) {
+      flat.insert(flat.end(), b.struct_of[k].begin(), b.struct_of[k].end());
+      offsets[k + 1] = static_cast<std::int64_t>(flat.size());
+    }
+    w.vec_i64(offsets);
+    w.vec_i32(flat);
+    sections.emplace_back(kBlocks, w.take());
+  }
+  {
+    ByteWriter w;
+    write_comm_plan(w, plan.plan);
+    sections.emplace_back(kCommPlan, w.take());
+  }
+  {
+    ByteWriter w;
+    w.f64(plan.trace_makespan);
+    w.i64(plan.trace_events);
+    w.f64(plan.trace_seconds);
+    w.f64(plan.build_seconds);
+    sections.emplace_back(kTrace, w.take());
+  }
+  {
+    ByteWriter w;
+    write_scatter(w, plan.scatter);
+    sections.emplace_back(kScatter, w.take());
+  }
+
+  ByteWriter out;
+  out.raw(kMagic, sizeof kMagic);
+  out.u32(kFormatVersion);
+  out.u32(static_cast<std::uint32_t>(sections.size()));
+  out.u64(plan.fingerprint.hi);
+  out.u64(plan.fingerprint.lo);
+  std::uint64_t offset = kHeaderBytes + kTableEntryBytes * sections.size() + 8;
+  for (const auto& [id, payload] : sections) {
+    out.u32(id);
+    out.u32(0);  // reserved
+    out.u64(offset);
+    out.u64(payload.size());
+    out.u64(checksum(payload.data(), payload.size()));
+    offset += payload.size();
+  }
+  out.u64(0);  // table checksum placeholder
+  const std::size_t sum_at = out.size() - 8;
+  std::vector<std::uint8_t> bytes = out.take();
+  const std::uint64_t head_sum = checksum(bytes.data(), sum_at);
+  for (int i = 0; i < 8; ++i)
+    bytes[sum_at + static_cast<std::size_t>(i)] = (head_sum >> (8 * i)) & 0xff;
+  for (const auto& [id, payload] : sections)
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+  return bytes;
+}
+
+serve::Fingerprint peek_fingerprint(const std::uint8_t* data,
+                                    std::size_t size) {
+  Fingerprint fp;
+  parse_header(data, size, &fp);
+  return fp;
+}
+
+std::shared_ptr<const ServePlan> decode_serve_plan(const std::uint8_t* data,
+                                                   std::size_t size) {
+  Fingerprint fp;
+  const std::vector<Section> sections = parse_header(data, size, &fp);
+  const auto reader = [&](std::uint32_t id) {
+    const Section& s = find_section(sections, id);
+    return ByteReader(data + s.offset, s.length, section_name(id));
+  };
+
+  ByteReader config_r = reader(kConfig);
+  const PlanConfig config = read_config(config_r);
+  config_r.expect_exhausted();
+
+  SymbolicAnalysis analysis;
+  {
+    ByteReader r = reader(kPattern);
+    analysis.matrix.pattern.n = static_cast<Int>(r.i32());
+    analysis.matrix.pattern.col_ptr = r.vec_i32<Int>();
+    analysis.matrix.pattern.row_idx = r.vec_i32<Int>();
+    r.expect_exhausted();
+    analysis.matrix.pattern.validate();  // throws psi::Error on bad shape
+  }
+  {
+    ByteReader r = reader(kPermutation);
+    analysis.perm = Permutation(r.vec_i32<Int>());  // validates bijectivity
+    r.expect_exhausted();
+    if (analysis.perm.size() != analysis.matrix.pattern.n)
+      throw StoreError("permutation: size " +
+                       std::to_string(analysis.perm.size()) +
+                       " does not match pattern n " +
+                       std::to_string(analysis.matrix.pattern.n));
+  }
+  {
+    ByteReader r = reader(kEtree);
+    analysis.etree = r.vec_i32<Int>();
+    analysis.counts = r.vec_i32<Int>();
+    r.expect_exhausted();
+    const auto n = static_cast<std::size_t>(analysis.matrix.pattern.n);
+    if (analysis.etree.size() != n || analysis.counts.size() != n)
+      throw StoreError("etree: table sizes do not match pattern n");
+  }
+  {
+    ByteReader r = reader(kBlocks);
+    BlockStructure& b = analysis.blocks;
+    b.part.starts = r.vec_i32<Int>();
+    b.part.sup_of_col = r.vec_i32<Int>();
+    b.parent = r.vec_i32<Int>();
+    const std::vector<std::int64_t> offsets = r.vec_i64();
+    const std::vector<Int> flat = r.vec_i32<Int>();
+    r.expect_exhausted();
+    if (offsets.empty() || offsets.front() != 0 ||
+        offsets.back() != static_cast<std::int64_t>(flat.size()))
+      throw StoreError("blocks: struct_of CSR offsets are inconsistent");
+    b.struct_of.resize(offsets.size() - 1);
+    for (std::size_t k = 0; k + 1 < offsets.size(); ++k) {
+      const std::int64_t lo = offsets[k], hi = offsets[k + 1];
+      if (lo < 0 || hi < lo || hi > static_cast<std::int64_t>(flat.size()))
+        throw StoreError("blocks: struct_of CSR offsets are inconsistent");
+      b.struct_of[k].assign(flat.begin() + lo, flat.begin() + hi);
+    }
+    b.part.validate();
+    b.validate();  // throws psi::Error on malformed structure
+    if (b.part.n() != analysis.matrix.pattern.n)
+      throw StoreError("blocks: partition covers " +
+                       std::to_string(b.part.n()) + " columns, pattern has " +
+                       std::to_string(analysis.matrix.pattern.n));
+  }
+
+  ByteReader comm_r = reader(kCommPlan);
+  pselinv::Plan::RawParts parts = read_comm_plan(comm_r, config);
+  comm_r.expect_exhausted();
+
+  // Plan's RawParts constructor cross-checks the image against the block
+  // structure (supernode counts, struct sizes, ordinal table lengths).
+  auto plan = std::make_shared<ServePlan>(fp, config, std::move(analysis),
+                                          std::move(parts));
+  {
+    ByteReader r = reader(kTrace);
+    plan->trace_makespan = r.f64();
+    plan->trace_events = static_cast<Count>(r.i64());
+    plan->trace_seconds = r.f64();
+    plan->build_seconds = r.f64();
+    r.expect_exhausted();
+  }
+  {
+    ByteReader r = reader(kScatter);
+    plan->scatter = read_scatter(r);
+    r.expect_exhausted();
+    if (plan->scatter.size() != plan->analysis.matrix.pattern.row_idx.size())
+      throw StoreError("scatter: " + std::to_string(plan->scatter.size()) +
+                       " slots for a pattern with " +
+                       std::to_string(plan->analysis.matrix.pattern.row_idx.size()) +
+                       " entries");
+  }
+  plan->bytes = serve::serve_plan_heap_bytes(*plan);
+  return plan;
+}
+
+}  // namespace psi::store

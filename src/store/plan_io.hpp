@@ -1,0 +1,99 @@
+/// \file plan_io.hpp
+/// \brief The `psi-plan v1` on-disk plan format: a versioned, sectioned,
+/// checksummed binary image of a full serve::ServePlan.
+///
+/// Layout (all integers little-endian, fixed width):
+///
+///   offset 0   magic           8 bytes  "psiplanf"
+///          8   format_version  u32      kFormatVersion
+///         12   section_count   u32
+///         16   fingerprint.hi  u64      big-endian lanes? No — plain u64 LE;
+///         24   fingerprint.lo  u64      the 16-byte canonical encoding lives
+///                                       in Fingerprint::to_bytes(), here the
+///                                       lanes are ordinary header words.
+///         32   section table   section_count x 32 bytes:
+///                                {u32 id, u32 reserved, u64 offset,
+///                                 u64 length, u64 checksum}
+///          +   table_checksum  u64      over bytes [0, 32 + 32*count)
+///          +   section payloads at their recorded offsets
+///
+/// Every section payload is integrity-checked by a 64-bit checksum (one lane
+/// of the repo's two-lane fingerprint mixer), and the header + table by
+/// table_checksum — so truncation at ANY byte, a flipped bit in any section,
+/// a wrong magic/version, or a zero-length file all fail loading with a
+/// precise StoreError; decode never crashes on hostile bytes (the reader is
+/// bounds-checked everywhere). Sections use fixed-width fields and
+/// length-prefixed arrays, so a reader can map the file and jump straight to
+/// any section from the table.
+///
+/// The format is a persistent contract: any change to section contents or
+/// ordering of fields MUST bump kFormatVersion (old files are then rejected
+/// with a version mismatch, which the plan store treats as a miss → rebuild
+/// and overwrite — never a crash, never silent reinterpretation).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "serve/plan_cache.hpp"
+
+namespace psi::store {
+
+/// All load/decode failures (bad magic, version mismatch, truncation,
+/// checksum mismatch, malformed section contents). Derives from psi::Error
+/// so generic handlers keep working; the message always names the failing
+/// section/offset.
+class StoreError : public Error {
+ public:
+  explicit StoreError(const std::string& what) : Error(what) {}
+};
+
+inline constexpr char kMagic[8] = {'p', 's', 'i', 'p', 'l', 'a', 'n', 'f'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Section ids of psi-plan v1. All eight are required; decode rejects files
+/// missing any of them (or carrying duplicates).
+enum SectionId : std::uint32_t {
+  kConfig = 1,       ///< PlanConfig: grid, trees, symmetry, analysis, machine
+  kPattern = 2,      ///< permuted pattern (analysis.matrix.pattern)
+  kPermutation = 3,  ///< fill ordering old->new
+  kEtree = 4,        ///< scalar etree + column counts
+  kBlocks = 5,       ///< supernode partition + block structure (CSR)
+  kCommPlan = 6,     ///< pselinv::Plan raw parts incl. every CommTree
+  kTrace = 7,        ///< cached kTrace DES artifacts + build time
+  kScatter = 8,      ///< request-CSR -> block-slot map (fixed-width slots)
+};
+inline constexpr int kSectionCount = 8;
+
+const char* section_name(std::uint32_t id);
+
+/// Serializes `plan` to a self-contained psi-plan v1 image.
+std::vector<std::uint8_t> encode_serve_plan(const serve::ServePlan& plan);
+
+/// Parses and validates a psi-plan v1 image, reconstructing the full plan
+/// (symbolic analysis, communication plan with all trees, scatter map,
+/// cached trace artifacts) without re-running any of the build pipeline.
+/// Throws StoreError (or psi::Error from the reassembly validators) on any
+/// malformed input; never crashes or reads out of bounds.
+std::shared_ptr<const serve::ServePlan> decode_serve_plan(
+    const std::uint8_t* data, std::size_t size);
+inline std::shared_ptr<const serve::ServePlan> decode_serve_plan(
+    const std::vector<std::uint8_t>& bytes) {
+  return decode_serve_plan(bytes.data(), bytes.size());
+}
+
+/// Reads just the fingerprint from an image's header (cheap routing /
+/// inventory listing); validates magic, version, and the header checksum.
+serve::Fingerprint peek_fingerprint(const std::uint8_t* data,
+                                    std::size_t size);
+
+/// Canonical byte encoding of a PlanConfig (the kConfig section payload).
+/// Two configs are store-compatible iff their encodings are byte-equal —
+/// the plan store uses this to reject plans built for a different simulated
+/// machine (the fingerprint does not cover the machine).
+std::vector<std::uint8_t> encode_plan_config(const serve::PlanConfig& config);
+
+}  // namespace psi::store

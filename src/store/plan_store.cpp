@@ -1,0 +1,152 @@
+#include "store/plan_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "common/check.hpp"
+#include "store/plan_io.hpp"
+
+namespace psi::store {
+
+namespace fs = std::filesystem;
+
+PlanStore::PlanStore(const Config& config)
+    : config_(config),
+      expected_config_bytes_(encode_plan_config(config.expected)) {
+  PSI_CHECK_MSG(!config_.directory.empty(), "plan store needs a directory");
+  std::error_code ec;
+  fs::create_directories(config_.directory, ec);
+  PSI_CHECK_MSG(!ec, "cannot create plan directory " << config_.directory
+                                                     << ": " << ec.message());
+}
+
+std::string PlanStore::path_for(const serve::Fingerprint& fp) const {
+  return (fs::path(config_.directory) / (fp.hex() + ".plan")).string();
+}
+
+std::shared_ptr<const serve::ServePlan> PlanStore::fetch(
+    const serve::Fingerprint& fp, std::string* reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.fetches;
+  }
+  const std::string path = path_for(fp);
+  std::string why;
+  std::shared_ptr<const serve::ServePlan> plan;
+  bool present = false;
+  try {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      // Plain miss: leave `reason` untouched so the cache counts it as a
+      // miss, not a failure.
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.misses;
+      return nullptr;
+    }
+    present = true;
+    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                    std::istreambuf_iterator<char>());
+    if (in.bad()) throw StoreError("read error on " + path);
+    plan = decode_serve_plan(bytes.data(), bytes.size());
+    if (plan->fingerprint != fp)
+      throw StoreError("file " + path + " carries fingerprint " +
+                       plan->fingerprint.hex() + ", expected " + fp.hex());
+    if (encode_plan_config(plan->config) != expected_config_bytes_)
+      throw StoreError(
+          "file " + path +
+          " was built under a different configuration (machine/grid/"
+          "analysis mismatch); refusing its cached schedule artifacts");
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.hits;
+    stats_.bytes_read += static_cast<Count>(bytes.size());
+    return plan;
+  } catch (const std::exception& e) {
+    why = e.what();
+  } catch (...) {
+    why = "unknown error decoding " + path;
+  }
+  if (reason != nullptr) *reason = why;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (present)
+    ++stats_.load_failures;
+  else
+    ++stats_.misses;
+  stats_.last_error = why;
+  return nullptr;
+}
+
+bool PlanStore::publish(const serve::ServePlan& plan, std::string* reason) {
+  std::string why;
+  try {
+    if (config_.read_only) throw StoreError("plan store is read-only");
+    const std::string path = path_for(plan.fingerprint);
+    const std::string tmp = path + ".tmp";
+    const std::vector<std::uint8_t> bytes = encode_serve_plan(plan);
+    {
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (!out) throw StoreError("cannot open " + tmp + " for writing");
+      out.write(reinterpret_cast<const char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+      out.flush();
+      if (!out) throw StoreError("write error on " + tmp);
+    }
+    // Atomic publish: readers only ever see the final name complete.
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      throw StoreError("rename " + tmp + " -> " + path + " failed");
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.publishes;
+    stats_.bytes_written += static_cast<Count>(bytes.size());
+    return true;
+  } catch (const std::exception& e) {
+    why = e.what();
+  } catch (...) {
+    why = "unknown error publishing plan";
+  }
+  if (reason != nullptr) *reason = why;
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.publish_failures;
+  stats_.last_error = why;
+  return false;
+}
+
+std::vector<serve::Fingerprint> PlanStore::list() const {
+  std::vector<serve::Fingerprint> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(config_.directory, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const fs::path p = entry.path();
+    if (p.extension() != ".plan") continue;
+    if (auto fp = serve::Fingerprint::from_hex(p.stem().string()))
+      out.push_back(*fp);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const serve::Fingerprint& a, const serve::Fingerprint& b) {
+              return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+            });
+  return out;
+}
+
+PlanStore::Stats PlanStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void PlanStore::fold_metrics(obs::MetricsRegistry& registry) const {
+  const Stats s = stats();
+  registry.counter("store_fetches").add(s.fetches);
+  registry.counter("store_fetch_hits").add(s.hits);
+  registry.counter("store_fetch_misses").add(s.misses);
+  registry.counter("store_load_failures").add(s.load_failures);
+  registry.counter("store_publishes").add(s.publishes);
+  registry.counter("store_publish_failures").add(s.publish_failures);
+  registry.counter("store_bytes_read").add(s.bytes_read);
+  registry.counter("store_bytes_written").add(s.bytes_written);
+}
+
+}  // namespace psi::store

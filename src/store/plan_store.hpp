@@ -1,0 +1,97 @@
+/// \file plan_store.hpp
+/// \brief Directory-backed persistent plan store (serve::PlanStorage
+/// implementation): one psi-plan v1 file per fingerprint, atomic
+/// write-then-rename publishing, checksum-verified loads that degrade to a
+/// miss (never a crash) on any corrupt, truncated, or version-mismatched
+/// file.
+///
+/// The store is what survives a service restart: serve::PlanCache reads
+/// through it on a memory miss (a warm restart is a disk load, not a
+/// rebuild) and writes through on every fresh build. Plans are keyed by
+/// their 128-bit structure fingerprint — the file for fingerprint F is
+/// `<dir>/<F.hex()>.plan` — so the directory is shareable between any
+/// services running the SAME PlanConfig. Configs are checked on load: the
+/// fingerprint does not cover the simulated machine, and a plan's cached
+/// kTrace makespan is machine-specific, so a file whose config section
+/// differs from this store's expected config is rejected with a reason
+/// (counted, never fatal).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/plan_cache.hpp"
+
+namespace psi::store {
+
+class PlanStore : public serve::PlanStorage {
+ public:
+  struct Config {
+    std::string directory;  ///< created (recursively) if missing
+    /// Reject publishes (a replica serving from a shared, pre-baked plan
+    /// directory). Loads are unaffected.
+    bool read_only = false;
+    /// The PlanConfig this store's plans must have been built under; loads
+    /// of files with any other config are rejected. (Within one service
+    /// this always matches — the guard catches directories shared across
+    /// differently-configured deployments.)
+    serve::PlanConfig expected;
+  };
+
+  struct Stats {
+    Count fetches = 0;        ///< fetch() calls
+    Count hits = 0;           ///< fetches returning a plan
+    Count misses = 0;         ///< no file for the fingerprint
+    Count load_failures = 0;  ///< file present but rejected (corrupt/...)
+    Count publishes = 0;      ///< successful publish() calls
+    Count publish_failures = 0;
+    Count bytes_read = 0;
+    Count bytes_written = 0;
+    std::string last_error;  ///< most recent load/publish failure reason
+  };
+
+  /// Throws psi::Error if the directory cannot be created.
+  explicit PlanStore(const Config& config);
+
+  const Config& config() const { return config_; }
+
+  /// serve::PlanStorage: checksum-verified load. Missing file -> nullptr
+  /// with `reason` untouched (plain miss); unreadable/corrupt/truncated/
+  /// version-mismatched/config-mismatched file -> nullptr with the precise
+  /// reason. Never throws.
+  std::shared_ptr<const serve::ServePlan> fetch(const serve::Fingerprint& fp,
+                                                std::string* reason) override;
+
+  /// serve::PlanStorage: atomic publish — encode to `<file>.tmp`, fsync-free
+  /// rename over the final name (a crash mid-write never leaves a partial
+  /// file under a live name; a partial tmp file is invisible to fetch and
+  /// overwritten by the next publish). Returns false with a reason on any
+  /// failure (read-only store, I/O error). Never throws.
+  bool publish(const serve::ServePlan& plan, std::string* reason) override;
+
+  /// Path the plan for `fp` lives at (exists or not) — tests use this to
+  /// corrupt files deliberately.
+  std::string path_for(const serve::Fingerprint& fp) const;
+
+  /// Fingerprints with a plan file currently in the directory (by file
+  /// name; contents are not verified). Sorted.
+  std::vector<serve::Fingerprint> list() const;
+
+  Stats stats() const;
+
+  /// Adds the store counters ("store_*") to `registry`. Not thread-safe
+  /// (MetricsRegistry); call between request waves.
+  void fold_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  Config config_;
+  std::vector<std::uint8_t> expected_config_bytes_;
+  mutable std::mutex mutex_;  ///< guards stats_ only; I/O runs unlocked
+  Stats stats_;
+};
+
+}  // namespace psi::store

@@ -1,0 +1,128 @@
+#include "store/sharded_service.hpp"
+
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace psi::store {
+
+ShardedService::ShardedService(const Config& config)
+    : config_(config),
+      tenants_(config.default_quota, config.tenant_quotas) {
+  PSI_CHECK_MSG(config_.shards >= 1,
+                "shard count must be >= 1, got " << config_.shards);
+  if (!config_.plan_dir.empty()) {
+    PlanStore::Config store_config;
+    store_config.directory = config_.plan_dir;
+    store_config.read_only = config_.read_only_store;
+    store_config.expected = config_.service.plan;
+    store_.emplace(store_config);
+  }
+  services_.reserve(static_cast<std::size_t>(config_.shards));
+  for (int s = 0; s < config_.shards; ++s) {
+    serve::Service::Config shard_config = config_.service;
+    shard_config.shard = s;
+    if (store_) shard_config.cache.storage = &*store_;
+    if (!shard_config.access_log_path.empty() && config_.shards > 1)
+      shard_config.access_log_path += ".s" + std::to_string(s);
+    auto caller_observer = std::move(shard_config.observer);
+    shard_config.observer = [this, caller_observer](
+                                const serve::Response& response) {
+      tenants_.record(response.tenant, response.ok(), response.total_seconds);
+      if (caller_observer) caller_observer(response);
+    };
+    services_.push_back(std::make_unique<serve::Service>(shard_config));
+  }
+}
+
+int ShardedService::shard_of(const serve::Fingerprint& fp) const {
+  return shard_of_fingerprint(fp.hi, fp.lo, shards());
+}
+
+std::future<serve::Response> ShardedService::submit(serve::Request request) {
+  if (auto reject = tenants_.try_admit(request.tenant)) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++quota_rejected_;
+    }
+    serve::Response response;
+    response.id = std::move(request.id);
+    response.tenant = std::move(request.tenant);
+    response.priority = request.priority;
+    response.status = serve::Status::kRejected;
+    response.detail = std::move(*reject);
+    std::promise<serve::Response> promise;
+    promise.set_value(std::move(response));
+    return promise.get_future();
+  }
+  const serve::Fingerprint fp = serve::plan_fingerprint(
+      request.matrix.pattern, config_.service.plan);
+  return services_[static_cast<std::size_t>(shard_of(fp))]->submit(
+      std::move(request));
+}
+
+void ShardedService::shutdown() {
+  for (auto& service : services_) service->shutdown();
+}
+
+serve::PlanCache::Stats ShardedService::cache_stats() const {
+  serve::PlanCache::Stats total;
+  for (const auto& service : services_) {
+    const serve::PlanCache::Stats s = service->cache_stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.evictions += s.evictions;
+    total.oversize += s.oversize;
+    total.coalesced += s.coalesced;
+    total.store_hits += s.store_hits;
+    total.store_misses += s.store_misses;
+    total.store_load_failures += s.store_load_failures;
+    total.store_writes += s.store_writes;
+    total.store_write_failures += s.store_write_failures;
+    if (!s.last_store_error.empty()) total.last_store_error = s.last_store_error;
+    total.bytes += s.bytes;
+    total.entries += s.entries;
+    total.bytes_high_water += s.bytes_high_water;
+  }
+  return total;
+}
+
+serve::Service::Counters ShardedService::counters() const {
+  serve::Service::Counters total;
+  for (const auto& service : services_) {
+    const serve::Service::Counters c = service->counters();
+    total.submitted += c.submitted;
+    total.completed += c.completed;
+    total.failed += c.failed;
+    total.rejected += c.rejected;
+    total.shutdown_aborted += c.shutdown_aborted;
+    total.batch_followers += c.batch_followers;
+    total.aged_promotions += c.aged_promotions;
+    total.queue_high_water += c.queue_high_water;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total.rejected += quota_rejected_;
+  }
+  return total;
+}
+
+Count ShardedService::quota_rejected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return quota_rejected_;
+}
+
+void ShardedService::fold_metrics(obs::MetricsRegistry& registry) const {
+  // Shard counters accumulate into the same unlabelled series (counters
+  // add); the per-shard gauges end up reporting the last shard, which is
+  // fine for the cache-byte series (all shards share one budget config).
+  for (const auto& service : services_) service->fold_metrics(registry);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    registry.counter("serve_quota_rejected").add(quota_rejected_);
+  }
+  tenants_.fold_metrics(registry);
+  if (store_) store_->fold_metrics(registry);
+}
+
+}  // namespace psi::store

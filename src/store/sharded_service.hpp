@@ -1,0 +1,85 @@
+/// \file sharded_service.hpp
+/// \brief Sharded multi-tenant serving front end: per-tenant token-quota
+/// admission, fingerprint-sharded routing over independent worker pools,
+/// and a shared persistent plan store behind every shard's cache.
+///
+/// Each shard is a complete serve::Service (its own admission queue, worker
+/// pool, and plan cache). A request routes by a pure hash of its structure
+/// fingerprint, so one structure always lands on one shard — plan caches
+/// never hold duplicates, cross-shard coordination is zero, and responses
+/// stay bitwise identical for any shard count (the fingerprint decides the
+/// plan, never the shard). Tenant quotas gate BEFORE routing; a rejected
+/// request costs no queue slot anywhere. All shards share one PlanStore, so
+/// a restart of the whole front end warms every shard from disk.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+#include "store/admission.hpp"
+#include "store/plan_store.hpp"
+
+namespace psi::store {
+
+class ShardedService : public serve::RequestSink {
+ public:
+  struct Config {
+    int shards = 1;
+    /// Template for every shard; ShardedService overrides per shard: the
+    /// `shard` label, `cache.storage` (pointed at the shared PlanStore when
+    /// `plan_dir` is set), the observer (tenant SLO accounting is chained in
+    /// front of any caller-provided observer), and `access_log_path` (suffix
+    /// ".s<k>" per shard when shards > 1, so logs never interleave).
+    serve::Service::Config service;
+    /// Plan-store directory; "" runs without persistence.
+    std::string plan_dir;
+    bool read_only_store = false;
+    TenantQuota default_quota;  ///< rate 0 = unlimited (default)
+    std::map<std::string, TenantQuota> tenant_quotas;
+  };
+
+  /// Throws psi::Error on invalid configuration (shards < 1, bad plan dir).
+  explicit ShardedService(const Config& config);
+
+  /// Quota-gates, routes by fingerprint, and delegates to the owning shard.
+  /// Quota rejections fulfil the future immediately with kRejected and the
+  /// reason in Response::detail.
+  std::future<serve::Response> submit(serve::Request request) override;
+
+  /// Stops every shard (idempotent; the destructor calls it).
+  void shutdown();
+
+  int shards() const { return static_cast<int>(services_.size()); }
+  serve::Service& shard(int s) { return *services_[static_cast<std::size_t>(s)]; }
+  /// Shard that requests with fingerprint `fp` route to.
+  int shard_of(const serve::Fingerprint& fp) const;
+
+  /// The shared plan store, or nullptr when running without persistence.
+  PlanStore* plan_store() { return store_ ? &*store_ : nullptr; }
+  TenantTable& tenants() { return tenants_; }
+
+  /// Element-wise sums over all shards.
+  serve::PlanCache::Stats cache_stats() const;
+  serve::Service::Counters counters() const;
+  /// Quota rejections made here, before any shard saw the request.
+  Count quota_rejected() const;
+
+  /// Folds every shard's service/cache metrics (counters sum across
+  /// shards), the per-tenant admission/SLO metrics, and the plan-store
+  /// counters into `registry`. Call after shutdown() or between waves.
+  void fold_metrics(obs::MetricsRegistry& registry) const;
+
+ private:
+  Config config_;
+  std::optional<PlanStore> store_;  ///< before services_ (they point at it)
+  TenantTable tenants_;
+  std::vector<std::unique_ptr<serve::Service>> services_;
+  mutable std::mutex mutex_;
+  Count quota_rejected_ = 0;
+};
+
+}  // namespace psi::store

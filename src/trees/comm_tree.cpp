@@ -223,4 +223,54 @@ int CommTree::internal_node_count() const {
   return count;
 }
 
+CommTree::Raw CommTree::to_raw() const {
+  Raw raw;
+  raw.root = root_;
+  raw.order = order_;
+  raw.parent = parent_;
+  raw.children_offsets = children_offsets_;
+  raw.children_flat = children_flat_;
+  raw.pos_to_order = pos_to_order_;
+  raw.ap_first = ap_first_;
+  raw.ap_last = ap_last_;
+  raw.ap_stride = ap_stride_;
+  raw.sorted_ranks = sorted_ranks_;
+  return raw;
+}
+
+CommTree CommTree::from_raw(Raw raw) {
+  const std::size_t np = raw.order.size();
+  PSI_CHECK_MSG(raw.parent.size() == np && raw.pos_to_order.size() == np,
+                "comm tree image: order/parent/pos_to_order sizes disagree ("
+                    << np << "/" << raw.parent.size() << "/"
+                    << raw.pos_to_order.size() << ")");
+  PSI_CHECK_MSG(np == 0 || raw.children_offsets.size() == np + 1,
+                "comm tree image: children_offsets has "
+                    << raw.children_offsets.size() << " entries, expected "
+                    << np + 1);
+  PSI_CHECK_MSG(np == 0 || (raw.children_offsets.front() == 0 &&
+                            static_cast<std::size_t>(
+                                raw.children_offsets.back()) ==
+                                raw.children_flat.size()),
+                "comm tree image: children CSR offsets do not cover the flat "
+                "child array");
+  PSI_CHECK_MSG(raw.ap_stride > 0 ? raw.sorted_ranks.empty()
+                                  : raw.sorted_ranks.size() == np,
+                "comm tree image: membership index shape mismatch");
+  PSI_CHECK_MSG(np == 0 || (!raw.order.empty() && raw.order.front() == raw.root),
+                "comm tree image: order does not start at the root");
+  CommTree tree;
+  tree.root_ = raw.root;
+  tree.order_ = std::move(raw.order);
+  tree.parent_ = std::move(raw.parent);
+  tree.children_offsets_ = std::move(raw.children_offsets);
+  tree.children_flat_ = std::move(raw.children_flat);
+  tree.pos_to_order_ = std::move(raw.pos_to_order);
+  tree.ap_first_ = raw.ap_first;
+  tree.ap_last_ = raw.ap_last;
+  tree.ap_stride_ = raw.ap_stride;
+  tree.sorted_ranks_ = std::move(raw.sorted_ranks);
+  return tree;
+}
+
 }  // namespace psi::trees

@@ -114,6 +114,27 @@ class CommTree {
   /// paper's heuristic aims to diversify).
   int internal_node_count() const;
 
+  /// Flattened tree state for serialization (psi::store's on-disk plan
+  /// format). Field-for-field image of the private representation; a tree
+  /// round-trips bitwise through to_raw()/from_raw().
+  struct Raw {
+    int root = -1;
+    std::vector<int> order;
+    std::vector<int> parent;
+    std::vector<int> children_offsets;
+    std::vector<int> children_flat;
+    std::vector<int> pos_to_order;
+    int ap_first = 0;
+    int ap_last = -1;
+    int ap_stride = 0;
+    std::vector<int> sorted_ranks;
+  };
+  Raw to_raw() const;
+  /// Reassembles a tree from serialized parts. Validates internal size
+  /// consistency (throws psi::Error on a malformed image) but trusts the
+  /// caller for content integrity — the store's section checksums own that.
+  static CommTree from_raw(Raw raw);
+
   /// Heap bytes retained by this tree (the serve plan cache's byte-budget
   /// accounting; excludes sizeof(*this), which the owner counts).
   std::size_t memory_bytes() const {

@@ -74,6 +74,62 @@ TEST(MetricsRegistry, HistogramBucketsAreCumulative) {
   EXPECT_DOUBLE_EQ(h.max(), 10.0);
 }
 
+TEST(Histogram, QuantileEmptyHistogramReportsZero) {
+  Histogram h({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.p99(), 0.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 0.0);
+}
+
+TEST(Histogram, QuantileNearestRankWithLinearInterpolation) {
+  // 990 fast observations in the first bucket, 10 slow ones in the third:
+  // p99 is the last fast observation (bucket upper bound), p999 the 9th of
+  // the 10 slow ones, interpolated inside [0.01, 0.1].
+  Histogram h({0.001, 0.01, 0.1, 1.0});
+  for (int i = 0; i < 990; ++i) h.observe(0.0005);
+  for (int i = 0; i < 10; ++i) h.observe(0.05);
+  EXPECT_DOUBLE_EQ(h.p50(), 0.001 * (500.0 / 990.0));
+  EXPECT_DOUBLE_EQ(h.p99(), 0.001);
+  EXPECT_DOUBLE_EQ(h.p999(), 0.01 + (0.1 - 0.01) * (9.0 / 10.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.1);
+}
+
+TEST(Histogram, QuantileOverflowBucketReportsObservedMax) {
+  // Observations past the last bound have no upper bound to interpolate
+  // against; the best available estimate is the observed max.
+  Histogram h({1.0});
+  h.observe(5.0);
+  h.observe(7.0);
+  EXPECT_DOUBLE_EQ(h.p50(), 7.0);
+  EXPECT_DOUBLE_EQ(h.p999(), 7.0);
+  h.observe(0.5);  // now rank 1 of 3 lands in the first (bounded) bucket,
+  // whose single observation interpolates to the bucket's upper bound —
+  // within-bucket error is bounded by the bucket width by design.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+}
+
+TEST(Histogram, QuantilesAreMonotoneInQ) {
+  Histogram h({0.001, 0.01, 0.1, 1.0, 10.0});
+  for (int i = 0; i < 1000; ++i)
+    h.observe(0.0001 * static_cast<double>((i * 7919) % 100000));
+  double previous = 0.0;
+  for (double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, previous) << "q=" << q;
+    previous = v;
+  }
+  // Interpolation may overshoot the observed max by up to one bucket width
+  // (it reports the bucket's upper bound), never past the last bound.
+  EXPECT_LE(previous, 10.0);
+}
+
+TEST(Histogram, QuantileRejectsOutOfRangeQ) {
+  Histogram h({1.0});
+  h.observe(0.5);
+  EXPECT_THROW(h.quantile(-0.01), psi::Error);
+  EXPECT_THROW(h.quantile(1.01), psi::Error);
+}
+
 TEST(MetricsRegistry, ExportersAreDeterministicInsertionOrder) {
   MetricsRegistry reg;
   reg.counter("events_total", Labels().scheme("Flat")).add(7);

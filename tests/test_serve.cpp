@@ -4,6 +4,8 @@
 /// priority scheduling, batching, and admission backpressure.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
@@ -121,6 +123,64 @@ TEST(ServeFingerprint, SensitiveToEveryConfigKnob) {
   serve::PlanConfig supernodes = base;
   supernodes.analysis.supernodes.max_size = 7;
   EXPECT_NE(fp, serve::plan_fingerprint(a.pattern, supernodes));
+}
+
+TEST(ServeFingerprint, ByteEncodingIsBigEndianHiThenLo) {
+  // to_bytes() is a persistent contract (it names on-disk plan files): `hi`
+  // then `lo`, most significant byte first, reading exactly like hex().
+  serve::Fingerprint fp;
+  fp.hi = 0x0102030405060708ULL;
+  fp.lo = 0x090a0b0c0d0e0f10ULL;
+  const std::array<std::uint8_t, 16> bytes = fp.to_bytes();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(bytes[static_cast<std::size_t>(i)], i + 1);
+    EXPECT_EQ(bytes[static_cast<std::size_t>(8 + i)], 9 + i);
+  }
+  EXPECT_EQ(fp.hex(), "0102030405060708090a0b0c0d0e0f10");
+}
+
+TEST(ServeFingerprint, BytesAndHexRoundTrip) {
+  const serve::Fingerprint cases[] = {
+      {0, 0},
+      {0xffffffffffffffffULL, 0xffffffffffffffffULL},
+      {0xdeadbeefcafef00dULL, 0x0123456789abcdefULL},
+      {1, 0},
+      {0, 1}};
+  for (const serve::Fingerprint& fp : cases) {
+    EXPECT_EQ(serve::Fingerprint::from_bytes(fp.to_bytes()), fp);
+    const auto parsed = serve::Fingerprint::from_hex(fp.hex());
+    ASSERT_TRUE(parsed.has_value()) << fp.hex();
+    EXPECT_EQ(*parsed, fp);
+  }
+}
+
+TEST(ServeFingerprint, ByteOrderSortsLikeHex) {
+  // Lexicographic order of to_bytes() must match lexicographic order of
+  // hex() — directory listings of plan files sort consistently either way.
+  serve::Fingerprint a, b;
+  a.hi = 0x00000000000000ffULL;  // small hi, huge lo
+  a.lo = 0xffffffffffffffffULL;
+  b.hi = 0x0100000000000000ULL;  // larger hi, zero lo
+  b.lo = 0;
+  const auto ab = a.to_bytes(), bb = b.to_bytes();
+  EXPECT_LT(a.hex(), b.hex());
+  EXPECT_TRUE(std::lexicographical_compare(ab.begin(), ab.end(), bb.begin(),
+                                           bb.end()));
+}
+
+TEST(ServeFingerprint, FromHexRejectsMalformedInput) {
+  EXPECT_FALSE(serve::Fingerprint::from_hex("").has_value());
+  EXPECT_FALSE(serve::Fingerprint::from_hex("0123").has_value());
+  EXPECT_FALSE(  // 31 digits
+      serve::Fingerprint::from_hex(std::string(31, 'a')).has_value());
+  EXPECT_FALSE(  // 33 digits
+      serve::Fingerprint::from_hex(std::string(33, 'a')).has_value());
+  std::string bad(32, 'a');
+  bad[15] = 'g';  // non-hex digit
+  EXPECT_FALSE(serve::Fingerprint::from_hex(bad).has_value());
+  bad[15] = ' ';
+  EXPECT_FALSE(serve::Fingerprint::from_hex(bad).has_value());
+  EXPECT_TRUE(serve::Fingerprint::from_hex(std::string(32, 'a')).has_value());
 }
 
 // ---------------------------------------------------------------------------
@@ -546,5 +606,5 @@ TEST(ServeWorkload, WarmStartClosedLoopServesEverythingFromCache) {
   std::ostringstream out;
   serve::print_report(out, report);
   EXPECT_NE(out.str().find("hit rate"), std::string::npos);
-  EXPECT_EQ(report.to_record().keys().size(), 16u);
+  EXPECT_EQ(report.to_record().keys().size(), 20u);
 }
