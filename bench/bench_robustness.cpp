@@ -17,13 +17,25 @@
 /// injected faults appear as marks, and a Chrome trace is written for
 /// chrome://tracing / Perfetto.
 ///
+/// A second, service-layer campaign follows the tree sweep: the seeded
+/// chaos harness (chaos/harness.hpp) drives a live ShardedService through
+/// store I/O faults, torn writes, worker stalls, clock skew, admission
+/// storms, deadlines and client cancellations over a shards x workers grid,
+/// checking the robustness invariants (one terminal outcome per request,
+/// clean drain, every kOk digest bitwise equal to the fault-free run).
+/// The bench EXITS NON-ZERO if any cell violates an invariant — it is a
+/// gate, not just a report.
+///
 /// Environment knobs: PSI_BENCH_SCALE, PSI_BENCH_THREADS, and the
 /// PSI_FAULT_* family (see fault/fault_plan.hpp) for the showcase override.
 #include <cstdio>
+#include <filesystem>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "bench_common.hpp"
+#include "chaos/harness.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
 #include "obs/chrome_trace.hpp"
@@ -126,6 +138,127 @@ void showcase_heaviest(const SymbolicAnalysis& an, int pr, int pc,
   trace_options.class_name = pselinv::comm_class_name;
   obs::write_chrome_trace(recorder, trace_path, trace_options);
   std::printf("# chrome trace written to %s\n\n", trace_path.c_str());
+}
+
+/// Service-layer chaos campaign over a shards x workers grid. Every cell
+/// replays the same seeded fault plan and request population against a live
+/// ShardedService and checks the harness invariants; the fault-free digest
+/// reference is computed once and shared (it depends only on the request
+/// population). Returns the total number of invariant violations.
+int run_serve_chaos(obs::MetricsRegistry* reg) {
+  chaos::CampaignOptions base;
+  base.plan.seed = 0x5eed'c4a0'5ULL;
+  base.plan.store_read_error_rate = 0.10;
+  base.plan.store_write_error_rate = 0.05;
+  base.plan.store_rename_error_rate = 0.05;
+  base.plan.store_torn_write_rate = 0.10;
+  base.plan.stall_rate = 0.02;
+  base.plan.stall_seconds = 0.05;
+  base.plan.clock_skew_rate = 0.05;
+  base.plan.clock_skew_seconds = 0.02;
+  base.requests = 200;
+  base.structures = 4;
+  base.nx = 14;
+  base.tenants = 3;
+  base.stall_budget_seconds = 0.02;
+  base.deadline_fraction = 0.25;
+  base.cancel_fraction = 0.10;
+  base.storm_every = 50;
+  base.storm_size = 24;
+  base.drain_timeout_seconds = 5.0;
+
+  // One fault-free reference for every cell: the digests depend only on the
+  // request population, never on shards/workers/faults.
+  const std::map<std::string, std::string> reference =
+      chaos::reference_digests(base);
+  base.reference = &reference;
+
+  obs::RecordWriter writer;
+  writer.open_csv(out_dir() + "/serve_chaos.csv");
+  writer.open_ndjson(out_dir() + "/serve_chaos.ndjson");
+
+  TextTable table({"cell", "ok", "failed", "rejected", "deadline",
+                   "cancelled", "shutdown", "stalls", "store faults",
+                   "drain (s)", "quarantined", "violations"});
+  int total_violations = 0;
+  for (int shards : {1, 3}) {
+    for (int workers : {1, 2}) {
+      chaos::CampaignOptions options = base;
+      options.shards = shards;
+      options.workers = workers;
+      options.plan_dir = out_dir() + "/serve_chaos_store";
+      std::filesystem::remove_all(options.plan_dir);
+      const chaos::CampaignResult r = chaos::run_chaos_campaign(options);
+      std::filesystem::remove_all(options.plan_dir);
+
+      char cell[32];
+      std::snprintf(cell, sizeof(cell), "s=%d w=%d", shards, workers);
+      const Count store_faults =
+          r.fs.read_errors + r.fs.write_errors + r.fs.rename_errors +
+          r.fs.torn_writes;
+      table.add_row({cell, std::to_string(r.ok), std::to_string(r.failed),
+                     std::to_string(r.rejected), std::to_string(r.deadline),
+                     std::to_string(r.cancelled), std::to_string(r.shutdown),
+                     std::to_string(r.stalls_injected),
+                     std::to_string(store_faults),
+                     TextTable::fmt(r.drain.waited_seconds, 3),
+                     std::to_string(r.post_scan.quarantined),
+                     std::to_string(r.violations.size())});
+      writer.write(obs::Record()
+                       .add("shards", shards)
+                       .add("workers", workers)
+                       .add("requests", options.requests)
+                       .add("ok", static_cast<long long>(r.ok))
+                       .add("failed", static_cast<long long>(r.failed))
+                       .add("rejected", static_cast<long long>(r.rejected))
+                       .add("deadline", static_cast<long long>(r.deadline))
+                       .add("cancelled", static_cast<long long>(r.cancelled))
+                       .add("shutdown", static_cast<long long>(r.shutdown))
+                       .add("stalls_injected",
+                            static_cast<long long>(r.stalls_injected))
+                       .add("clock_jumps",
+                            static_cast<long long>(r.clock_jumps))
+                       .add("store_read_errors",
+                            static_cast<long long>(r.fs.read_errors))
+                       .add("store_write_errors",
+                            static_cast<long long>(r.fs.write_errors))
+                       .add("store_rename_errors",
+                            static_cast<long long>(r.fs.rename_errors))
+                       .add("store_torn_writes",
+                            static_cast<long long>(r.fs.torn_writes))
+                       .add("drain_waited_s", r.drain.waited_seconds)
+                       .add("drain_hard_failed",
+                            static_cast<long long>(r.drain.hard_failed))
+                       .add("quarantined",
+                            static_cast<long long>(r.post_scan.quarantined))
+                       .add("wall_s", r.wall_seconds)
+                       .add("violations",
+                            static_cast<long long>(r.violations.size())));
+      if (reg != nullptr) {
+        obs::Labels labels;
+        labels.set("bench", "serve_chaos")
+            .set("shards", shards)
+            .set("workers", workers);
+        reg->gauge("chaos_ok", labels).set(static_cast<double>(r.ok));
+        reg->gauge("chaos_violations", labels)
+            .set(static_cast<double>(r.violations.size()));
+        reg->gauge("chaos_drain_seconds", labels).set(r.drain.waited_seconds);
+      }
+      for (const std::string& v : r.violations)
+        std::printf("VIOLATION (s=%d w=%d): %s\n", shards, workers, v.c_str());
+      total_violations += static_cast<int>(r.violations.size());
+    }
+  }
+  std::printf(
+      "Service chaos campaign (seed %#llx, %d requests/cell, deadlines + "
+      "cancellations + storms + store faults + stalls + clock skew):\n%s\n",
+      static_cast<unsigned long long>(base.plan.seed), base.requests,
+      table.render().c_str());
+  std::printf(total_violations == 0
+                  ? "serve-chaos: PASS — all robustness invariants held\n\n"
+                  : "serve-chaos: FAIL — %d invariant violation(s)\n\n",
+              total_violations);
+  return total_violations;
 }
 
 }  // namespace
@@ -235,6 +368,7 @@ int main(int argc, char** argv) {
       pr * pc, table.render().c_str());
 
   showcase_heaviest(an, pr, pc, cells.back(), config);
+  const int chaos_violations = run_serve_chaos(reg);
   write_json_summary(registry, json_path);
-  return 0;
+  return chaos_violations == 0 ? 0 : 1;
 }

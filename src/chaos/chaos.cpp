@@ -1,0 +1,156 @@
+#include "chaos/chaos.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.hpp"
+
+namespace psi::chaos {
+
+namespace {
+
+// Per-injector salts: distinct draw streams from one seed.
+constexpr std::uint64_t kSaltRead = 0x63685244ULL;      // "chRD"
+constexpr std::uint64_t kSaltWrite = 0x63685752ULL;     // "chWR"
+constexpr std::uint64_t kSaltTorn = 0x6368544eULL;      // "chTN"
+constexpr std::uint64_t kSaltTornLen = 0x63685440ULL;   // torn-length draw
+constexpr std::uint64_t kSaltRename = 0x6368524eULL;    // "chRN"
+constexpr std::uint64_t kSaltStall = 0x63685354ULL;     // "chST"
+constexpr std::uint64_t kSaltClock = 0x6368434bULL;     // "chCK"
+constexpr std::uint64_t kSaltClockMag = 0x6368434dULL;  // skew magnitude
+
+}  // namespace
+
+double uniform_from(std::uint64_t seed, std::uint64_t counter,
+                    std::uint64_t salt) {
+  std::uint64_t state = hash_combine(hash_combine(seed, counter), salt);
+  return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+}
+
+ChaosFileSystem::ChaosFileSystem(const Plan& plan, store::FileSystem* inner)
+    : plan_(plan),
+      inner_(inner != nullptr ? inner : &store::real_filesystem()) {}
+
+store::FileSystem::ReadResult ChaosFileSystem::read_file(
+    const std::string& path, std::vector<std::uint8_t>& out,
+    std::string* error) {
+  const std::uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.reads;
+  }
+  if (uniform_from(plan_.seed, n, kSaltRead) < plan_.store_read_error_rate) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.read_errors;
+    if (error != nullptr)
+      *error = "chaos: injected transient read error #" + std::to_string(n) +
+               " on " + path;
+    return ReadResult::kError;
+  }
+  return inner_->read_file(path, out, error);
+}
+
+bool ChaosFileSystem::write_file(const std::string& path, const void* data,
+                                 std::size_t size, bool sync,
+                                 std::string* error) {
+  const std::uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.writes;
+  }
+  if (uniform_from(plan_.seed, n, kSaltWrite) < plan_.store_write_error_rate) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.write_errors;
+    if (error != nullptr)
+      *error = "chaos: injected write failure #" + std::to_string(n) + " on " +
+               path;
+    return false;
+  }
+  if (size > 0 &&
+      uniform_from(plan_.seed, n, kSaltTorn) < plan_.store_torn_write_rate) {
+    // Torn write: persist only a prefix but REPORT success — simulating a
+    // crash/lost-tail between write and fsync. The prefix length draw keeps
+    // at least one byte and strictly less than the full payload, so the
+    // checksum layer always has something malformed to catch.
+    const double u = uniform_from(plan_.seed, n, kSaltTornLen);
+    const std::size_t keep = std::max<std::size_t>(
+        1, static_cast<std::size_t>(u * static_cast<double>(size - 1)) + 1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.torn_writes;
+    }
+    inner_->write_file(path, data, std::min(keep, size - 1), sync, nullptr);
+    return true;
+  }
+  return inner_->write_file(path, data, size, sync, error);
+}
+
+bool ChaosFileSystem::rename_file(const std::string& from,
+                                  const std::string& to, std::string* error) {
+  const std::uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.renames;
+  }
+  if (uniform_from(plan_.seed, n, kSaltRename) <
+      plan_.store_rename_error_rate) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.rename_errors;
+    if (error != nullptr)
+      *error = "chaos: injected rename failure #" + std::to_string(n) + " " +
+               from + " -> " + to;
+    return false;
+  }
+  return inner_->rename_file(from, to, error);
+}
+
+bool ChaosFileSystem::remove_file(const std::string& path,
+                                  std::string* error) {
+  return inner_->remove_file(path, error);
+}
+
+bool ChaosFileSystem::create_directories(const std::string& path,
+                                         std::string* error) {
+  return inner_->create_directories(path, error);
+}
+
+bool ChaosFileSystem::list_dir(const std::string& dir,
+                               std::vector<std::string>& out,
+                               std::string* error) {
+  return inner_->list_dir(dir, out, error);
+}
+
+bool ChaosFileSystem::sync_dir(const std::string& dir, std::string* error) {
+  return inner_->sync_dir(dir, error);
+}
+
+ChaosFileSystem::Stats ChaosFileSystem::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+double ChaosClock::now() {
+  if (plan_.clock_skew_rate > 0.0 && plan_.clock_skew_seconds > 0.0) {
+    const std::uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed);
+    if (uniform_from(plan_.seed, n, kSaltClock) < plan_.clock_skew_rate) {
+      skew_.store(plan_.clock_skew_seconds *
+                      uniform_from(plan_.seed, n, kSaltClockMag),
+                  std::memory_order_relaxed);
+      jumps_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return base_.seconds() + skew_.load(std::memory_order_relaxed);
+}
+
+void StallInjector::on_phase(const serve::PhaseEvent& event) {
+  (void)event;
+  if (plan_.stall_rate <= 0.0 || plan_.stall_seconds <= 0.0) return;
+  const std::uint64_t n = counter_.fetch_add(1, std::memory_order_relaxed);
+  if (uniform_from(plan_.seed, n, kSaltStall) >= plan_.stall_rate) return;
+  stalls_.fetch_add(1, std::memory_order_relaxed);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double>(plan_.stall_seconds));
+}
+
+}  // namespace psi::chaos

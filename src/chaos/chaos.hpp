@@ -1,0 +1,149 @@
+/// \file chaos.hpp
+/// \brief Seeded service-layer fault injection: the chaos::Plan and the
+/// injectors that realize it against a live serving stack.
+///
+/// The same stateless-hash discipline as fault::DeterministicInjector (PR 3)
+/// applied one layer up: every injection decision is a pure function of
+/// (plan seed, per-injector event counter, injector salt), so a seed fully
+/// determines the fault STREAM each injector emits — reruns inject the same
+/// read errors at the same read ordinals, the same torn writes, the same
+/// stalls. (Which request a given fault lands on still depends on thread
+/// interleaving; the harness's invariants are exactly the properties that
+/// must survive any interleaving.)
+///
+/// Injectors:
+///  * ChaosFileSystem — wraps a store::FileSystem with injected transient
+///    read errors, failed writes/renames, and TORN writes (a short prefix is
+///    written but success is reported — the on-disk checksum discipline must
+///    catch it later);
+///  * ChaosClock — a deadline clock (serve::Service::Config::clock) with
+///    seeded skew jumps, stressing deadline admission/expiry against a clock
+///    that is not the host's;
+///  * StallInjector — a phase hook (serve::Service::Config::phase_hook) that
+///    sleeps workers at seeded phase boundaries, long enough to trip the
+///    watchdog when the plan says so.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "serve/service.hpp"
+#include "store/filesystem.hpp"
+
+namespace psi::chaos {
+
+/// Seeded chaos plan: rates in [0, 1] per injection opportunity. All-zero
+/// (the default) injects nothing — a ChaosFileSystem over a zero plan is a
+/// transparent proxy.
+struct Plan {
+  std::uint64_t seed = 0;
+
+  // --- store I/O faults (ChaosFileSystem) ---
+  double store_read_error_rate = 0.0;    ///< read_file -> transient kError
+  double store_write_error_rate = 0.0;   ///< write_file fails with a reason
+  double store_rename_error_rate = 0.0;  ///< rename_file fails
+  /// write_file writes only a prefix of the data but REPORTS success — the
+  /// torn-write case fsync-before-rename + checksums must contain.
+  double store_torn_write_rate = 0.0;
+
+  // --- worker stalls (StallInjector) ---
+  double stall_rate = 0.0;     ///< per phase boundary
+  double stall_seconds = 0.0;  ///< injected sleep length
+
+  // --- deadline clock skew (ChaosClock) ---
+  double clock_skew_rate = 0.0;     ///< per clock read: resample the skew
+  double clock_skew_seconds = 0.0;  ///< skew magnitude bound (>= 0)
+};
+
+/// Uniform [0, 1) draw from (seed, counter, salt) — stateless, the fault::
+/// idiom: equal inputs give equal draws on every platform and run.
+double uniform_from(std::uint64_t seed, std::uint64_t counter,
+                    std::uint64_t salt);
+
+/// store::FileSystem decorator realizing the plan's I/O fault rates over an
+/// inner filesystem. Thread-safe; injection draws are keyed by a global
+/// per-operation counter.
+class ChaosFileSystem : public store::FileSystem {
+ public:
+  struct Stats {
+    Count reads = 0;
+    Count read_errors = 0;  ///< injected (not inner) failures
+    Count writes = 0;
+    Count write_errors = 0;
+    Count torn_writes = 0;
+    Count renames = 0;
+    Count rename_errors = 0;
+  };
+
+  /// `inner` null uses store::real_filesystem(). Not owned.
+  explicit ChaosFileSystem(const Plan& plan,
+                           store::FileSystem* inner = nullptr);
+
+  ReadResult read_file(const std::string& path, std::vector<std::uint8_t>& out,
+                       std::string* error) override;
+  bool write_file(const std::string& path, const void* data, std::size_t size,
+                  bool sync, std::string* error) override;
+  bool rename_file(const std::string& from, const std::string& to,
+                   std::string* error) override;
+  bool remove_file(const std::string& path, std::string* error) override;
+  bool create_directories(const std::string& path,
+                          std::string* error) override;
+  bool list_dir(const std::string& dir, std::vector<std::string>& out,
+                std::string* error) override;
+  bool sync_dir(const std::string& dir, std::string* error) override;
+
+  Stats stats() const;
+
+ private:
+  Plan plan_;
+  store::FileSystem* inner_;
+  std::atomic<std::uint64_t> counter_{0};
+  mutable std::mutex mutex_;
+  Stats stats_;
+};
+
+/// Deadline clock with seeded skew: host uptime plus a skew term that is
+/// resampled (uniform in [0, clock_skew_seconds)) at seeded reads. The
+/// resulting clock is NOT monotone — skew can shrink between reads — which
+/// is the point: deadline bookkeeping must degrade to some terminal outcome
+/// (early kDeadline or late expiry), never hang or double-complete. Use via
+/// the callable adapter: `config.clock = [&c] { return c.now(); }`.
+class ChaosClock {
+ public:
+  explicit ChaosClock(const Plan& plan) : plan_(plan) {}
+
+  double now();
+
+  Count skew_jumps() const { return jumps_.load(); }
+
+ private:
+  Plan plan_;
+  WallTimer base_;
+  std::atomic<std::uint64_t> counter_{0};
+  std::atomic<double> skew_{0.0};
+  std::atomic<Count> jumps_{0};
+};
+
+/// Phase-boundary stall injector (serve phase hook): sleeps the calling
+/// worker for plan.stall_seconds at seeded boundaries. Long stalls against a
+/// short Service stall budget exercise the watchdog path end to end.
+class StallInjector {
+ public:
+  explicit StallInjector(const Plan& plan) : plan_(plan) {}
+
+  void on_phase(const serve::PhaseEvent& event);
+
+  Count stalls() const { return stalls_.load(); }
+
+ private:
+  Plan plan_;
+  std::atomic<std::uint64_t> counter_{0};
+  std::atomic<Count> stalls_{0};
+};
+
+}  // namespace psi::chaos

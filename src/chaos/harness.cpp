@@ -1,0 +1,245 @@
+#include "chaos/harness.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+#include <utility>
+
+#include "common/check.hpp"
+#include "common/timer.hpp"
+
+namespace psi::chaos {
+
+namespace {
+
+// Request-level draw salts (distinct from the injector salts in chaos.cpp).
+constexpr std::uint64_t kSaltDeadline = 0x63684452ULL;     // "chDR"
+constexpr std::uint64_t kSaltDeadlineVal = 0x63684456ULL;  // deadline value
+constexpr std::uint64_t kSaltCancel = 0x63684358ULL;       // "chCX"
+constexpr std::uint64_t kSaltCancelDelay = 0x63684359ULL;  // flip distance
+
+serve::WorkloadOptions workload_options(const CampaignOptions& options) {
+  serve::WorkloadOptions w;
+  w.structures = options.structures;
+  w.nx = options.nx;
+  w.requests = options.requests;
+  w.seed = options.workload_seed;
+  w.tenants = options.tenants;
+  return w;
+}
+
+}  // namespace
+
+std::map<std::string, std::string> reference_digests(
+    const CampaignOptions& options) {
+  const serve::WorkloadOptions w = workload_options(options);
+  serve::Service::Config config;
+  config.workers = 1;
+  config.queue_capacity =
+      static_cast<std::size_t>(std::max(options.requests, 1));
+  serve::Service service(config);
+  std::map<std::string, std::string> digests;
+  for (int i = 0; i < options.requests; ++i) {
+    serve::Request request = serve::make_request(w, i);
+    // Reference is fault-free by definition: no deadline, no cancellation.
+    const serve::Response r = service.submit(std::move(request)).get();
+    PSI_CHECK_MSG(r.ok(), "fault-free reference request " << r.id
+                                                          << " failed: "
+                                                          << r.detail);
+    digests[r.id] = r.digest;
+  }
+  return digests;
+}
+
+CampaignResult run_chaos_campaign(const CampaignOptions& options) {
+  PSI_CHECK_MSG(options.requests >= 1, "campaign needs >= 1 request");
+  CampaignResult result;
+  WallTimer wall;
+
+  std::map<std::string, std::string> own_reference;
+  const std::map<std::string, std::string>* reference = options.reference;
+  if (reference == nullptr) {
+    own_reference = reference_digests(options);
+    reference = &own_reference;
+  }
+
+  ChaosFileSystem fs(options.plan);
+  ChaosClock clock(options.plan);
+  StallInjector stalls(options.plan);
+
+  store::ShardedService::Config config;
+  config.shards = options.shards;
+  config.service.workers = options.workers;
+  config.service.queue_capacity = options.queue_capacity;
+  config.service.max_batch = options.max_batch;
+  config.service.stall_budget_seconds = options.stall_budget_seconds;
+  config.service.clock = [&clock] { return clock.now(); };
+  config.service.phase_hook = [&stalls](const serve::PhaseEvent& event) {
+    stalls.on_phase(event);
+  };
+  config.plan_dir = options.plan_dir;
+  if (!options.plan_dir.empty()) config.store_fs = &fs;
+
+  const serve::WorkloadOptions w = workload_options(options);
+  std::vector<serve::Response> responses;
+  responses.reserve(static_cast<std::size_t>(options.requests));
+  {
+    store::ShardedService sharded(config);
+
+    std::deque<std::future<serve::Response>> outstanding;
+    std::deque<std::pair<int, serve::CancelToken>> cancel_schedule;
+    for (int i = 0; i < options.requests; ++i) {
+      // Flip every token scheduled at or before this submission — the
+      // cancelled request may be queued, batched, or mid-phase by now.
+      while (!cancel_schedule.empty() && cancel_schedule.front().first <= i) {
+        cancel_schedule.front().second->store(true);
+        ++result.cancels_flipped;
+        cancel_schedule.pop_front();
+      }
+      serve::Request request = serve::make_request(w, i);
+      const std::uint64_t seed = options.plan.seed;
+      const std::uint64_t idx = static_cast<std::uint64_t>(i);
+      if (uniform_from(seed, idx, kSaltDeadline) < options.deadline_fraction) {
+        const double u = uniform_from(seed, idx, kSaltDeadlineVal);
+        request.timeout_seconds =
+            options.deadline_min_seconds +
+            u * (options.deadline_max_seconds - options.deadline_min_seconds);
+        ++result.deadlines_assigned;
+      }
+      if (uniform_from(seed, idx, kSaltCancel) < options.cancel_fraction) {
+        request.cancel = serve::make_cancel_token();
+        const int delay = 1 + static_cast<int>(
+            uniform_from(seed, idx, kSaltCancelDelay) * 8.0);
+        cancel_schedule.emplace_back(i + delay, request.cancel);
+      }
+      const bool in_storm =
+          options.storm_size > 0 && options.storm_every > 0 &&
+          (i % options.storm_every) < options.storm_size;
+      if (!in_storm) {
+        // Closed loop between storms: bounded outstanding window.
+        while (static_cast<int>(outstanding.size()) >= options.window) {
+          responses.push_back(outstanding.front().get());
+          outstanding.pop_front();
+        }
+      }
+      outstanding.push_back(sharded.submit(std::move(request)));
+    }
+    while (!cancel_schedule.empty()) {
+      cancel_schedule.front().second->store(true);
+      ++result.cancels_flipped;
+      cancel_schedule.pop_front();
+    }
+
+    // Drain while work is still outstanding — the whole point: graceful
+    // completion up to the budget, hard kShutdown past it.
+    result.drain = sharded.drain(options.drain_timeout_seconds);
+    for (int s = 0; s < sharded.shards(); ++s)
+      result.queued_after_drain += sharded.shard(s).queued_depth();
+    sharded.shutdown();
+    for (int s = 0; s < sharded.shards(); ++s)
+      result.in_flight_after_shutdown += sharded.shard(s).in_flight();
+
+    while (!outstanding.empty()) {
+      responses.push_back(outstanding.front().get());
+      outstanding.pop_front();
+    }
+    result.counters = sharded.counters();
+    result.quota_rejected = sharded.quota_rejected();
+  }
+  result.fs = fs.stats();
+  result.stalls_injected = stalls.stalls();
+  result.clock_jumps = clock.skew_jumps();
+
+  const auto violate = [&result](const std::string& what) {
+    result.violations.push_back(what);
+  };
+
+  // Invariant 1a: every future resolved with a known terminal status.
+  for (const serve::Response& r : responses) {
+    switch (r.status) {
+      case serve::Status::kOk: ++result.ok; break;
+      case serve::Status::kFailed: ++result.failed; break;
+      case serve::Status::kRejected: ++result.rejected; break;
+      case serve::Status::kShutdown: ++result.shutdown; break;
+      case serve::Status::kDeadline: ++result.deadline; break;
+      case serve::Status::kCancelled: ++result.cancelled; break;
+      default:
+        violate("request " + r.id + " resolved with unknown status");
+        break;
+    }
+  }
+  if (responses.size() != static_cast<std::size_t>(options.requests))
+    violate("resolved " + std::to_string(responses.size()) + " of " +
+            std::to_string(options.requests) + " submitted requests");
+
+  // Invariant 1b: the service's own books balance — each request counted in
+  // exactly one terminal counter. counters.rejected includes the quota
+  // rejections made before any shard saw the request, hence the adjustment.
+  const serve::Service::Counters& c = result.counters;
+  const Count terminal = c.completed + c.failed + c.rejected +
+                         c.shutdown_aborted + c.deadline_expired + c.cancelled;
+  if (terminal != c.submitted + result.quota_rejected) {
+    std::ostringstream os;
+    os << "terminal-outcome imbalance: submitted " << c.submitted
+       << " + quota_rejected " << result.quota_rejected
+       << " != ok " << c.completed << " + failed " << c.failed
+       << " + rejected " << c.rejected << " + shutdown "
+       << c.shutdown_aborted << " + deadline " << c.deadline_expired
+       << " + cancelled " << c.cancelled;
+    violate(os.str());
+  }
+  // ...and the driver's tally must agree with the service's (a mismatch
+  // means a response was double-counted or dropped somewhere).
+  if (result.ok != c.completed || result.failed != c.failed ||
+      result.rejected != c.rejected ||
+      result.shutdown != c.shutdown_aborted ||
+      result.deadline != c.deadline_expired ||
+      result.cancelled != c.cancelled)
+    violate("driver tally disagrees with service counters");
+
+  // Invariant 2: graceful drain — on time, queue empty, workers idle.
+  if (result.drain.waited_seconds > options.drain_timeout_seconds + 1.0)
+    violate("drain overran its timeout: waited " +
+            std::to_string(result.drain.waited_seconds) + " s of " +
+            std::to_string(options.drain_timeout_seconds) + " s");
+  if (result.queued_after_drain != 0)
+    violate("drain leaked " + std::to_string(result.queued_after_drain) +
+            " queue entries");
+  if (result.in_flight_after_shutdown != 0)
+    violate("shutdown left " +
+            std::to_string(result.in_flight_after_shutdown) +
+            " requests in flight");
+
+  // Invariant 3: faults may fail a request, never corrupt a success.
+  for (const serve::Response& r : responses) {
+    if (!r.ok()) continue;
+    const auto it = reference->find(r.id);
+    if (it == reference->end()) {
+      violate("ok response " + r.id + " has no fault-free reference digest");
+    } else if (r.digest != it->second) {
+      violate("digest mismatch on " + r.id + ": chaos " + r.digest +
+              " vs fault-free " + it->second);
+    }
+  }
+
+  // Invariant 4: plan-dir hygiene — a scan over the REAL filesystem
+  // quarantines every torn/corrupt leftover, and a second scan finds a
+  // clean directory (the first moved, never duplicated or deleted).
+  if (!options.plan_dir.empty()) {
+    store::PlanStore::Config store_config;
+    store_config.directory = options.plan_dir;
+    store_config.expected = config.service.plan;
+    store_config.scan_on_open = false;
+    store::PlanStore store(store_config);
+    result.post_scan = store.scan();
+    const store::PlanStore::ScanReport rescan = store.scan();
+    if (rescan.quarantined != 0)
+      violate("store scan is not idempotent: second pass quarantined " +
+              std::to_string(rescan.quarantined) + " more files");
+  }
+
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace psi::chaos

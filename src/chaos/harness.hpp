@@ -1,0 +1,125 @@
+/// \file harness.hpp
+/// \brief The chaos campaign: drive a live ShardedService through a seeded
+/// storm of faults (store I/O errors, torn writes, worker stalls, deadline
+/// clock skew, admission bursts, client cancellations, per-request
+/// deadlines) and CHECK the robustness invariants instead of just surviving.
+///
+/// Invariants (CampaignResult::violations lists every breach, with the
+/// campaign passing iff it is empty):
+///  1. one terminal outcome per request — every submitted future resolves
+///     with a known Status, and the service counters balance exactly:
+///     submitted == ok + failed + rejected + shutdown + deadline + cancelled;
+///  2. graceful drain — drain(timeout) returns within its budget, and after
+///     it no shard has queued entries; after shutdown no shard has in-flight
+///     work (no queue/worker leaks);
+///  3. correctness under faults — every kOk response digest is bitwise
+///     identical to the fault-free reference run's digest for the same
+///     request (faults may fail requests, but may NEVER corrupt a success);
+///  4. store hygiene — a post-run scan of the plan directory (real
+///     filesystem) never finds a torn file still under a live .plan name
+///     without quarantining it, and quarantine moves never delete data.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "serve/workload.hpp"
+#include "store/plan_store.hpp"
+#include "store/sharded_service.hpp"
+
+namespace psi::chaos {
+
+struct CampaignOptions {
+  Plan plan;  ///< seeded fault rates (see chaos.hpp)
+
+  // --- topology under test ---
+  int shards = 1;
+  int workers = 2;
+  std::size_t queue_capacity = 16;  ///< small: admission storms must reject
+  int max_batch = 4;
+  /// Service stall budget; pick below Plan::stall_seconds to guarantee the
+  /// watchdog fires on injected stalls. 0 disables the watchdog.
+  double stall_budget_seconds = 0.0;
+  /// Plan-store directory ("" = no persistence, store faults moot).
+  std::string plan_dir;
+
+  // --- request population (serve::make_request derivation) ---
+  int requests = 200;
+  int structures = 3;
+  Int nx = 16;
+  int tenants = 3;
+  std::uint64_t workload_seed = 1;
+
+  // --- request-level chaos (drawn from Plan::seed, request index) ---
+  /// Fraction of requests carrying a deadline, drawn uniformly in
+  /// [deadline_min_seconds, deadline_max_seconds]; negative draws exercise
+  /// the admission-time kDeadline rejection.
+  double deadline_fraction = 0.0;
+  double deadline_min_seconds = -0.005;
+  double deadline_max_seconds = 0.05;
+  /// Fraction of requests carrying a cancel token that the driver flips a
+  /// few submissions later (in-queue / in-flight client cancellation).
+  double cancel_fraction = 0.0;
+
+  // --- arrival shape ---
+  int window = 8;       ///< closed-loop outstanding bound between storms
+  int storm_every = 0;  ///< every N submissions, burst without waiting
+  int storm_size = 0;   ///< burst length (0 disables storms)
+
+  // --- lifecycle ---
+  /// drain() budget; the driver calls drain while work is still outstanding
+  /// so the deadline/hard-fail path is actually exercised.
+  double drain_timeout_seconds = 10.0;
+
+  /// Fault-free digests to compare kOk responses against (id -> digest).
+  /// Null: the campaign computes its own reference first (one extra
+  /// single-shard fault-free pass). Share one map across configurations via
+  /// reference_digests() — the reference depends only on the request
+  /// population, never on shards/workers/faults.
+  const std::map<std::string, std::string>* reference = nullptr;
+};
+
+struct CampaignResult {
+  // Terminal-outcome tally over the driver's responses.
+  Count ok = 0;
+  Count failed = 0;
+  Count rejected = 0;
+  Count shutdown = 0;
+  Count deadline = 0;
+  Count cancelled = 0;
+
+  serve::Service::Counters counters;  ///< summed over shards (+ quota)
+  Count quota_rejected = 0;
+  serve::Service::DrainReport drain;
+  std::size_t queued_after_drain = 0;  ///< must be 0
+  int in_flight_after_shutdown = 0;    ///< must be 0
+
+  ChaosFileSystem::Stats fs;  ///< injected store faults
+  Count stalls_injected = 0;
+  Count clock_jumps = 0;
+  Count cancels_flipped = 0;
+  Count deadlines_assigned = 0;
+
+  store::PlanStore::ScanReport post_scan;  ///< plan-dir hygiene after run
+
+  double wall_seconds = 0.0;
+  std::vector<std::string> violations;  ///< empty <=> campaign passed
+
+  bool passed() const { return violations.empty(); }
+};
+
+/// Fault-free reference digests for the campaign's request population:
+/// single shard, single worker, no chaos, no deadlines/cancellation — every
+/// request must complete kOk (the harness refuses a reference with
+/// non-kOk responses). Keyed by request id.
+std::map<std::string, std::string> reference_digests(
+    const CampaignOptions& options);
+
+/// Runs the full campaign (see file comment). Never throws on fault
+/// fallout; configuration errors (bad topology) still throw psi::Error.
+CampaignResult run_chaos_campaign(const CampaignOptions& options);
+
+}  // namespace psi::chaos

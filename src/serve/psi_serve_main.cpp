@@ -15,12 +15,15 @@
 ///
 /// Exit codes: 0 — workload ran and every request completed or was
 /// rejected by design; 1 — requests failed; 2 — usage error.
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <iostream>
+#include <optional>
 #include <string>
 
+#include "chaos/harness.hpp"
 #include "driver/experiment.hpp"
 #include "obs/metrics.hpp"
 #include "obs/record.hpp"
@@ -58,6 +61,20 @@ void usage(std::ostream& out) {
          "  --quota-burst B      per-tenant token burst (default 8)\n"
          "  --age-promote S      priority-aging threshold seconds (0 = strict\n"
          "                       priority; > 0 prevents batch starvation)\n"
+         "Robustness options:\n"
+         "  --stall-budget S     watchdog worker-stall budget seconds (0 =\n"
+         "                       no watchdog)\n"
+         "  --drain-timeout S    finish with drain(S) before shutdown:\n"
+         "                       graceful completion up to S seconds, then\n"
+         "                       hard kShutdown for the rest\n"
+         "  --chaos-seed S       run the seeded chaos campaign instead of the\n"
+         "                       workload: store I/O faults + torn writes +\n"
+         "                       worker stalls + clock skew + admission\n"
+         "                       storms + deadlines + cancellations against\n"
+         "                       this topology; exit 0 iff every robustness\n"
+         "                       invariant held (one terminal outcome per\n"
+         "                       request, clean drain, ok digests bitwise\n"
+         "                       equal to the fault-free run)\n"
          "Workload options:\n"
          "  --requests N         requests to submit (default 32)\n"
          "  --structures N       distinct matrix structures (default 4)\n"
@@ -107,6 +124,8 @@ int main(int argc, char** argv) try {
   config.service.plan.machine = psi::driver::timing_machine();
   std::string metrics_path;
   std::string summary_path;
+  double drain_timeout = -1.0;  ///< < 0: plain shutdown, no drain
+  std::optional<std::uint64_t> chaos_seed;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -167,6 +186,12 @@ int main(int argc, char** argv) try {
       config.default_quota.burst = std::stod(value());
     } else if (arg == "--age-promote") {
       config.service.age_promote_seconds = std::stod(value());
+    } else if (arg == "--stall-budget") {
+      config.service.stall_budget_seconds = std::stod(value());
+    } else if (arg == "--drain-timeout") {
+      drain_timeout = std::stod(value());
+    } else if (arg == "--chaos-seed") {
+      chaos_seed = std::stoull(value());
     } else if (arg == "--requests") {
       workload.requests = std::stoi(value());
     } else if (arg == "--structures") {
@@ -200,9 +225,96 @@ int main(int argc, char** argv) try {
     }
   }
 
+  // Validate flags before spinning up any threads: one-line error, exit 2.
+  if (config.shards < 1) {
+    std::cerr << "psi_serve: --shards must be >= 1, got " << config.shards
+              << "\n";
+    return 2;
+  }
+  if (!std::isfinite(config.service.age_promote_seconds) ||
+      config.service.age_promote_seconds < 0.0) {
+    std::cerr << "psi_serve: --age-promote must be finite and >= 0, got "
+              << config.service.age_promote_seconds << "\n";
+    return 2;
+  }
+  config.default_quota = psi::store::validated_quota(
+      config.default_quota.rate_per_s, config.default_quota.burst);
+
+  if (chaos_seed) {
+    // Chaos-campaign mode: seeded faults against this topology; the
+    // workload flags shape the request population.
+    psi::chaos::CampaignOptions campaign;
+    campaign.plan.seed = *chaos_seed;
+    campaign.plan.store_read_error_rate = 0.10;
+    campaign.plan.store_write_error_rate = 0.05;
+    campaign.plan.store_rename_error_rate = 0.05;
+    campaign.plan.store_torn_write_rate = 0.10;
+    campaign.plan.stall_rate = 0.02;
+    campaign.plan.stall_seconds = 0.05;
+    campaign.plan.clock_skew_rate = 0.05;
+    campaign.plan.clock_skew_seconds = 0.02;
+    campaign.shards = config.shards;
+    campaign.workers = config.service.workers;
+    campaign.queue_capacity = config.service.queue_capacity;
+    campaign.max_batch = config.service.max_batch;
+    campaign.stall_budget_seconds =
+        config.service.stall_budget_seconds > 0.0
+            ? config.service.stall_budget_seconds
+            : 0.02;
+    campaign.plan_dir = config.plan_dir;
+    campaign.requests = workload.requests;
+    campaign.structures = workload.structures;
+    campaign.nx = workload.nx;
+    campaign.tenants = workload.tenants;
+    campaign.workload_seed = workload.seed;
+    campaign.deadline_fraction = 0.25;
+    campaign.cancel_fraction = 0.10;
+    campaign.window = workload.window;
+    campaign.storm_every = 50;
+    campaign.storm_size = 24;
+    campaign.drain_timeout_seconds = drain_timeout > 0.0 ? drain_timeout : 5.0;
+
+    const psi::chaos::CampaignResult result =
+        psi::chaos::run_chaos_campaign(campaign);
+    std::cout << "chaos:    seed " << *chaos_seed << ", " << campaign.requests
+              << " requests over " << campaign.shards << " shard(s) x "
+              << campaign.workers << " worker(s) in " << result.wall_seconds
+              << " s\n"
+              << "outcome:  " << result.ok << " ok, " << result.failed
+              << " failed, " << result.rejected << " rejected, "
+              << result.deadline << " deadline, " << result.cancelled
+              << " cancelled, " << result.shutdown << " shutdown\n"
+              << "faults:   " << result.fs.read_errors << " read errors, "
+              << result.fs.write_errors << " write errors, "
+              << result.fs.rename_errors << " rename errors, "
+              << result.fs.torn_writes << " torn writes, "
+              << result.stalls_injected << " stalls, " << result.clock_jumps
+              << " clock jumps\n"
+              << "lifecycle: drained in " << result.drain.waited_seconds
+              << " s (" << result.drain.completed << " graceful, "
+              << result.drain.hard_failed << " hard-failed), "
+              << result.post_scan.quarantined << " files quarantined\n";
+    if (result.passed()) {
+      std::cout << "verdict:  PASS — all robustness invariants held\n";
+      return 0;
+    }
+    std::cout << "verdict:  FAIL — " << result.violations.size()
+              << " invariant violation(s):\n";
+    for (const std::string& v : result.violations)
+      std::cout << "  - " << v << "\n";
+    return 1;
+  }
+
   psi::store::ShardedService service(config);
   const psi::serve::WorkloadReport report =
       psi::serve::run_workload(service, workload);
+  if (drain_timeout >= 0.0) {
+    const psi::serve::Service::DrainReport drained =
+        service.drain(drain_timeout);
+    std::cout << "drain:    " << drained.completed << " completed, "
+              << drained.hard_failed << " hard-failed in "
+              << drained.waited_seconds << " s\n";
+  }
   service.shutdown();
 
   psi::serve::print_report(std::cout, report);

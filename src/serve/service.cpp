@@ -1,6 +1,8 @@
 #include "serve/service.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <exception>
 #include <utility>
 
@@ -24,6 +26,8 @@ const char* status_name(Status status) {
     case Status::kRejected: return "rejected";
     case Status::kFailed: return "failed";
     case Status::kShutdown: return "shutdown";
+    case Status::kDeadline: return "deadline";
+    case Status::kCancelled: return "cancelled";
   }
   return "?";
 }
@@ -50,18 +54,25 @@ std::string ainv_digest(const BlockMatrix& ainv) {
 }
 
 Service::Service(const Config& config)
-    : config_(config), cache_(config.cache) {
+    : config_(config),
+      cache_(config.cache),
+      worker_states_(static_cast<std::size_t>(std::max(config.workers, 0))) {
   PSI_CHECK_MSG(config_.workers >= 0,
                 "workers must be >= 0, got " << config_.workers);
   PSI_CHECK_MSG(config_.queue_capacity > 0, "queue_capacity must be > 0");
   PSI_CHECK_MSG(config_.max_batch >= 1,
                 "max_batch must be >= 1, got " << config_.max_batch);
+  PSI_CHECK_MSG(std::isfinite(config_.stall_budget_seconds) &&
+                    config_.stall_budget_seconds >= 0.0,
+                "stall_budget_seconds must be finite and >= 0");
   compute_threads_ = config_.compute_threads <= 0
                          ? parallel::compute_threads()
                          : std::min(config_.compute_threads,
                                     parallel::kMaxComputeThreads);
   if (!config_.access_log_path.empty())
     access_log_.open_ndjson(config_.access_log_path);
+  if (config_.stall_budget_seconds > 0.0 && config_.workers > 0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
   if (config_.workers > 0) {
     pool_.emplace(config_.workers);
     for (int w = 0; w < config_.workers; ++w)
@@ -70,6 +81,10 @@ Service::Service(const Config& config)
 }
 
 Service::~Service() { shutdown(); }
+
+double Service::deadline_now() const {
+  return config_.clock ? config_.clock() : uptime_.seconds();
+}
 
 int select_queue_class(const double* head_age_seconds, int classes,
                        double age_promote_seconds) {
@@ -102,6 +117,8 @@ std::future<Response> Service::submit(Request request) {
   early.shard = config_.shard;
   early.priority = request.priority;
   try {
+    PSI_CHECK_MSG(!std::isnan(request.timeout_seconds),
+                  "timeout_seconds must not be NaN");
     request.matrix.validate();
     pending.fp = plan_fingerprint(request.matrix.pattern, config_.plan);
     early.fingerprint = pending.fp.hex();
@@ -117,15 +134,32 @@ std::future<Response> Service::submit(Request request) {
     pending.promise.set_value(std::move(early));
     return future;
   }
+  if (request.timeout_seconds <= 0.0) {
+    // Already-expired budget: reject at admission without a queue slot.
+    early.status = Status::kDeadline;
+    early.detail = "deadline expired before admission (timeout " +
+                   std::to_string(request.timeout_seconds) + " s)";
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++counters_.submitted;
+      ++counters_.deadline_expired;
+    }
+    log_response(early);
+    pending.promise.set_value(std::move(early));
+    return future;
+  }
+  if (request.timeout_seconds < kNoDeadline)
+    pending.deadline = deadline_now() + request.timeout_seconds;
 
   pending.request = std::move(request);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++counters_.submitted;
-    if (closed_) {
+    if (closed_ || draining_) {
       early.status = Status::kShutdown;
-      early.detail = "service is shut down";
+      early.detail = closed_ ? "service is shut down"
+                             : "service is draining; admission stopped";
       ++counters_.shutdown_aborted;
     } else if (queued_count_locked() >= config_.queue_capacity) {
       early.status = Status::kRejected;
@@ -152,6 +186,15 @@ std::size_t Service::queued_count_locked() const {
   std::size_t total = 0;
   for (const auto& q : queues_) total += q.size();
   return total;
+}
+
+std::vector<Service::Pending> Service::take_queued_locked() {
+  std::vector<Pending> taken;
+  for (auto& q : queues_) {
+    for (Pending& p : q) taken.push_back(std::move(p));
+    q.clear();
+  }
+  return taken;
 }
 
 std::vector<Service::Pending> Service::pop_batch_locked() {
@@ -185,6 +228,55 @@ std::vector<Service::Pending> Service::pop_batch_locked() {
   return batch;
 }
 
+std::optional<Service::AbortRequest> Service::forced_abort(
+    const Pending& pending, int worker) const {
+  if (hard_stop_.load(std::memory_order_acquire))
+    return AbortRequest{Status::kShutdown,
+                        "drain timeout: request abandoned at phase boundary"};
+  if (worker >= 0 &&
+      worker < static_cast<int>(worker_states_.size()) &&
+      worker_states_[static_cast<std::size_t>(worker)].cancel.load(
+          std::memory_order_acquire))
+    return AbortRequest{Status::kCancelled,
+                        "watchdog: worker " + std::to_string(worker) +
+                            " stalled past budget; request abandoned"};
+  if (pending.request.cancel &&
+      pending.request.cancel->load(std::memory_order_acquire))
+    return AbortRequest{Status::kCancelled, "cancelled by client token"};
+  if (pending.deadline < kNoDeadline && deadline_now() > pending.deadline)
+    return AbortRequest{Status::kDeadline,
+                        "deadline expired (budget " +
+                            std::to_string(pending.request.timeout_seconds) +
+                            " s)"};
+  return std::nullopt;
+}
+
+std::optional<Service::AbortRequest> Service::phase_boundary(
+    const char* phase, const Pending& pending, int worker) const {
+  if (config_.phase_hook) {
+    PhaseEvent event{phase, worker, pending.request.id,
+                     pending.request.tenant};
+    config_.phase_hook(event);
+  }
+  return forced_abort(pending, worker);
+}
+
+Response Service::abort_response(const Pending& pending, int worker,
+                                 Status status, std::string detail) const {
+  Response r;
+  r.id = pending.request.id;
+  r.tenant = pending.request.tenant;
+  r.shard = config_.shard;
+  r.priority = pending.request.priority;
+  r.status = status;
+  r.detail = std::move(detail);
+  r.fingerprint = pending.fp.hex();
+  r.worker = worker;
+  r.queue_seconds = pending.queue_seconds;
+  r.total_seconds = pending.queued.seconds();
+  return r;
+}
+
 void Service::worker_loop(int worker) {
   // Dedicated numeric pool: the worker thread itself drains the task graphs
   // too, so compute_threads_ - 1 extra threads give compute_threads_ total.
@@ -193,6 +285,7 @@ void Service::worker_loop(int worker) {
   std::optional<parallel::ThreadPool> compute_pool;
   if (compute_threads_ > 1) compute_pool.emplace(compute_threads_ - 1);
   parallel::ThreadPool* compute = compute_pool ? &*compute_pool : nullptr;
+  WorkerState& state = worker_states_[static_cast<std::size_t>(worker)];
   for (;;) {
     std::vector<Pending> batch;
     {
@@ -201,10 +294,40 @@ void Service::worker_loop(int worker) {
                  [this] { return closed_ || queued_count_locked() > 0; });
       if (queued_count_locked() == 0) return;  // closed_ && drained
       batch = pop_batch_locked();
+      in_flight_ += static_cast<int>(batch.size());
     }
     for (Pending& p : batch) p.queue_seconds = p.queued.seconds();
 
-    Pending& leader = batch.front();
+    // One stall episode per pickup: the watchdog counts a worker at most
+    // once per episode, and a leftover cancel flag from a previous stall
+    // must not leak into fresh work.
+    state.cancel.store(false, std::memory_order_release);
+    state.episode.fetch_add(1, std::memory_order_acq_rel);
+    state.busy_since.store(uptime_.seconds(), std::memory_order_release);
+
+    // Pickup boundary: lazy deadline expiry for queued requests, plus
+    // client cancellation and drain hard-stop, all before any plan work.
+    std::vector<Pending> live;
+    live.reserve(batch.size());
+    for (Pending& p : batch) {
+      if (auto abort = phase_boundary("pickup", p, worker)) {
+        finish(p, abort_response(p, worker, abort->status,
+                                 std::move(abort->detail)));
+      } else {
+        live.push_back(std::move(p));
+      }
+    }
+    const int picked = static_cast<int>(batch.size());
+    if (live.empty()) {
+      state.busy_since.store(-1.0, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_ -= picked;
+      if (queued_count_locked() == 0 && in_flight_ == 0)
+        drained_.notify_all();
+      continue;
+    }
+
+    Pending& leader = live.front();
     std::shared_ptr<const ServePlan> plan;
     bool hit = false;
     PlanSource source = PlanSource::kBuilt;
@@ -212,37 +335,47 @@ void Service::worker_loop(int worker) {
     try {
       plan = cache_.get_or_build(
           leader.fp,
-          [&] { return build_serve_plan(leader.request.matrix, config_.plan); },
+          [&] {
+            if (config_.phase_hook) {
+              PhaseEvent event{"build", worker, leader.request.id,
+                               leader.request.tenant};
+              config_.phase_hook(event);
+            }
+            return build_serve_plan(leader.request.matrix, config_.plan);
+          },
           &hit, &source);
     } catch (const std::exception& e) {
       const std::string detail = e.what();
-      for (std::size_t i = 0; i < batch.size(); ++i) {
-        Response r;
-        r.id = batch[i].request.id;
-        r.tenant = batch[i].request.tenant;
-        r.shard = config_.shard;
-        r.priority = batch[i].request.priority;
-        r.status = Status::kFailed;
-        r.detail = detail;
-        r.fingerprint = batch[i].fp.hex();
+      for (std::size_t i = 0; i < live.size(); ++i) {
+        Response r = abort_response(live[i], worker, Status::kFailed, detail);
         r.batched = i > 0;
-        r.worker = worker;
-        r.queue_seconds = batch[i].queue_seconds;
-        r.total_seconds = batch[i].queued.seconds();
-        finish(batch[i], std::move(r));
+        finish(live[i], std::move(r));
       }
+      state.busy_since.store(-1.0, std::memory_order_release);
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_ -= picked;
+      if (queued_count_locked() == 0 && in_flight_ == 0)
+        drained_.notify_all();
       continue;
     }
     const double plan_seconds = plan_timer.seconds();
 
-    process(std::move(batch.front()), worker, /*batched=*/false, plan, hit,
+    process(std::move(live.front()), worker, /*batched=*/false, plan, hit,
             source, plan_seconds, compute);
-    if (batch.size() > 1)
-      cache_.record_external_hits(static_cast<Count>(batch.size() - 1));
-    for (std::size_t i = 1; i < batch.size(); ++i)
-      process(std::move(batch[i]), worker, /*batched=*/true, plan,
+    if (live.size() > 1)
+      cache_.record_external_hits(static_cast<Count>(live.size() - 1));
+    for (std::size_t i = 1; i < live.size(); ++i)
+      process(std::move(live[i]), worker, /*batched=*/true, plan,
               /*cache_hit=*/true, PlanSource::kMemory, /*plan_seconds=*/0.0,
               compute);
+
+    state.busy_since.store(-1.0, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      in_flight_ -= picked;
+      if (queued_count_locked() == 0 && in_flight_ == 0)
+        drained_.notify_all();
+    }
   }
 }
 
@@ -262,6 +395,16 @@ void Service::process(Pending pending, int worker, bool batched,
   r.worker = worker;
   r.queue_seconds = pending.queue_seconds;
   r.plan_seconds = plan_seconds;
+  // The plan build (single-flight, possibly long) sits between the pickup
+  // boundary and here — recheck before committing a worker to the numeric
+  // phase, so a deadline that expired during the build aborts now.
+  if (auto abort = forced_abort(pending, worker)) {
+    r.status = abort->status;
+    r.detail = std::move(abort->detail);
+    r.total_seconds = pending.queued.seconds();
+    finish(pending, std::move(r));
+    return;
+  }
   try {
     numeric::ParallelOptions opts;
     opts.threads = compute_threads_;
@@ -276,6 +419,10 @@ void Service::process(Pending pending, int worker, bool batched,
       WallTimer scatter_timer;
       plan->scatter_values(pending.request.matrix.values, m);
       scatter_seconds = scatter_timer.seconds();
+      // Scatter/factor boundary: load() runs on this thread before the
+      // elimination starts, so throwing here unwinds factor cleanly.
+      if (auto abort = phase_boundary("scatter", pending, worker))
+        throw *abort;
     };
     SupernodalLU lu =
         parallel_numeric
@@ -283,6 +430,7 @@ void Service::process(Pending pending, int worker, bool batched,
             : SupernodalLU::factor(plan->analysis.blocks, load);
     r.scatter_seconds = scatter_seconds;
     r.factor_seconds = timer.seconds() - scatter_seconds;
+    if (auto abort = phase_boundary("factor", pending, worker)) throw *abort;
     timer.reset();
     BlockMatrix ainv =
         parallel_numeric ? selinv_parallel(lu, opts) : selected_inversion(lu);
@@ -298,6 +446,10 @@ void Service::process(Pending pending, int worker, bool batched,
       r.plan = plan;
     }
     r.status = Status::kOk;
+  } catch (const AbortRequest& abort) {
+    r.status = abort.status;
+    r.detail = abort.detail;
+    r.digest.clear();
   } catch (const std::exception& e) {
     r.status = Status::kFailed;
     r.detail = e.what();
@@ -314,6 +466,8 @@ void Service::finish(Pending& pending, Response response) {
       case Status::kFailed: ++counters_.failed; break;
       case Status::kRejected: ++counters_.rejected; break;
       case Status::kShutdown: ++counters_.shutdown_aborted; break;
+      case Status::kDeadline: ++counters_.deadline_expired; break;
+      case Status::kCancelled: ++counters_.cancelled; break;
     }
     if (response.batched) ++counters_.batch_followers;
     if (response.ok()) {
@@ -356,36 +510,140 @@ void Service::log_response(const Response& response) {
                         .add("detail", response.detail));
 }
 
+void Service::watchdog_loop() {
+  const double budget = config_.stall_budget_seconds;
+  double poll = config_.watchdog_poll_seconds;
+  if (poll <= 0.0) poll = std::clamp(budget / 4.0, 1e-3, 1.0);
+  std::vector<std::uint64_t> flagged(worker_states_.size(), 0);
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  for (;;) {
+    if (watchdog_wake_.wait_for(lock, std::chrono::duration<double>(poll),
+                                [this] { return watchdog_stop_; }))
+      return;
+    const double now = uptime_.seconds();
+    int stalled = 0;
+    for (std::size_t w = 0; w < worker_states_.size(); ++w) {
+      WorkerState& state = worker_states_[w];
+      const double since = state.busy_since.load(std::memory_order_acquire);
+      if (since < 0.0 || now - since <= budget) continue;
+      ++stalled;
+      const std::uint64_t episode =
+          state.episode.load(std::memory_order_acquire);
+      if (flagged[w] == episode) continue;  // this stall already counted
+      flagged[w] = episode;
+      state.cancel.store(true, std::memory_order_release);
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++counters_.worker_stalls;
+    }
+    // Every worker wedged: nobody will dequeue, so fail the queue over to
+    // the clients (kRejected = "retry elsewhere/later") instead of letting
+    // queued requests wait on threads that may never come back.
+    if (stalled == static_cast<int>(worker_states_.size()) && stalled > 0)
+      watchdog_failover();
+  }
+}
+
+void Service::watchdog_failover() {
+  std::vector<Pending> taken;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    taken = take_queued_locked();
+  }
+  if (taken.empty()) return;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++counters_.watchdog_failovers;
+  }
+  for (Pending& p : taken) {
+    p.queue_seconds = p.queued.seconds();
+    finish(p, abort_response(p, /*worker=*/-1, Status::kRejected,
+                             "watchdog failover: all workers stalled past "
+                             "budget; retry"));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queued_count_locked() == 0 && in_flight_ == 0) drained_.notify_all();
+}
+
+Service::DrainReport Service::drain(double timeout_seconds) {
+  PSI_CHECK_MSG(timeout_seconds >= 0.0 && !std::isnan(timeout_seconds),
+                "drain timeout must be >= 0, got " << timeout_seconds);
+  WallTimer timer;
+  DrainReport report;
+  std::vector<Pending> leftovers;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    draining_ = true;
+    const auto empty = [this] {
+      return queued_count_locked() == 0 && in_flight_ == 0;
+    };
+    bool drained = empty();
+    if (!drained && config_.workers > 0 && timeout_seconds > 0.0) {
+      if (std::isfinite(timeout_seconds)) {
+        drained = drained_.wait_for(
+            lock, std::chrono::duration<double>(timeout_seconds), empty);
+      } else {
+        drained_.wait(lock, empty);
+        drained = true;
+      }
+    }
+    if (drained) {
+      report.completed = true;
+    } else {
+      // Timeout (or no workers to ever drain it): hard-fail the queue now
+      // and tell in-flight work to bail at its next phase boundary.
+      hard_stop_.store(true, std::memory_order_release);
+      leftovers = take_queued_locked();
+      report.hard_failed = static_cast<Count>(leftovers.size());
+    }
+  }
+  for (Pending& p : leftovers) {
+    p.queue_seconds = p.queued.seconds();
+    finish(p, abort_response(p, /*worker=*/-1, Status::kShutdown,
+                             "drain timeout: request abandoned in queue"));
+  }
+  report.waited_seconds = timer.seconds();
+  return report;
+}
+
+std::size_t Service::queued_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queued_count_locked();
+}
+
+int Service::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return in_flight_;
+}
+
 void Service::shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     closed_ = true;
+    draining_ = true;
   }
   wake_.notify_all();
   if (pool_) {
     pool_->wait();
     pool_.reset();
   }
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_wake_.notify_all();
+    watchdog_.join();
+  }
   std::vector<Pending> leftovers;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    for (auto& q : queues_) {
-      for (Pending& p : q) leftovers.push_back(std::move(p));
-      q.clear();
-    }
+    leftovers = take_queued_locked();
   }
   for (Pending& p : leftovers) {
-    Response r;
-    r.id = p.request.id;
-    r.tenant = p.request.tenant;
-    r.shard = config_.shard;
-    r.priority = p.request.priority;
-    r.status = Status::kShutdown;
-    r.detail = "service shut down before the request was served";
-    r.fingerprint = p.fp.hex();
-    r.queue_seconds = p.queued.seconds();
-    r.total_seconds = r.queue_seconds;
-    finish(p, std::move(r));
+    p.queue_seconds = p.queued.seconds();
+    finish(p, abort_response(p, /*worker=*/-1, Status::kShutdown,
+                             "service shut down before the request was "
+                             "served"));
   }
   {
     std::lock_guard<std::mutex> lock(log_mutex_);
@@ -422,8 +680,12 @@ void Service::fold_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("serve_requests_failed").add(c.failed);
   registry.counter("serve_requests_rejected").add(c.rejected);
   registry.counter("serve_requests_shutdown").add(c.shutdown_aborted);
+  registry.counter("serve_requests_deadline").add(c.deadline_expired);
+  registry.counter("serve_requests_cancelled").add(c.cancelled);
   registry.counter("serve_batch_followers").add(c.batch_followers);
   registry.counter("serve_aged_promotions").add(c.aged_promotions);
+  registry.counter("serve_worker_stalls").add(c.worker_stalls);
+  registry.counter("serve_watchdog_failovers").add(c.watchdog_failovers);
   registry.gauge("serve_queue_high_water")
       .set(static_cast<double>(c.queue_high_water));
 

@@ -38,14 +38,18 @@
 /// sequential inversion.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <condition_variable>
+#include <functional>
 #include <future>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/parallel.hpp"
@@ -64,13 +68,26 @@ inline constexpr int kPriorityCount = 2;
 
 enum class Status {
   kOk,        ///< selected inversion completed
-  kRejected,  ///< admission refused (queue full); detail names the reason
+  kRejected,  ///< admission refused (queue full / quota / watchdog failover)
   kFailed,    ///< pipeline error (invalid matrix, zero pivot, ...)
-  kShutdown,  ///< still queued when the service shut down
+  kShutdown,  ///< abandoned by shutdown / drain timeout
+  kDeadline,  ///< request deadline expired before completion
+  kCancelled, ///< cancelled (client token or watchdog stall recovery)
 };
 
 const char* priority_name(Priority priority);
 const char* status_name(Status status);
+
+/// Shared cancellation token: the client keeps a copy and flips it to true;
+/// the worker observes it at every phase boundary and releases early with
+/// kCancelled instead of finishing the numeric work.
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+inline CancelToken make_cancel_token() {
+  return std::make_shared<std::atomic<bool>>(false);
+}
+
+/// Request::timeout_seconds value meaning "no deadline".
+inline constexpr double kNoDeadline = std::numeric_limits<double>::infinity();
 
 struct Request {
   std::string id;  ///< client-chosen tag for logs (may be empty)
@@ -84,6 +101,17 @@ struct Request {
   /// Ship the selected inverse in the response (Response::ainv). Off by
   /// default: the digest alone identifies the result bitwise.
   bool return_ainv = false;
+  /// Deadline budget, measured on the service clock from admission.
+  /// kNoDeadline (the default) disables it; <= 0 means the deadline had
+  /// already passed when the client submitted — admission rejects it with
+  /// kDeadline without spending a queue slot; NaN is an invalid request
+  /// (kFailed). Queued requests past their deadline are expired lazily at
+  /// dequeue, and in-flight requests are checked between the
+  /// scatter/factor/selinv phases, so an expired request releases its
+  /// worker at the next phase boundary instead of completing.
+  double timeout_seconds = kNoDeadline;
+  /// Optional cancellation token (see CancelToken). Null = not cancellable.
+  CancelToken cancel;
 };
 
 struct Response {
@@ -148,6 +176,19 @@ class RequestSink {
 int select_queue_class(const double* head_age_seconds, int classes,
                        double age_promote_seconds);
 
+/// One request-processing phase boundary, reported to Config::phase_hook
+/// just before the corresponding cancellation check. "build" fires inside
+/// the single-flight plan build; "pickup" right after dequeue; "scatter" /
+/// "factor" after those numeric phases complete. The chaos harness hooks
+/// this to inject worker stalls; tests hook it to hold workers at exact
+/// points.
+struct PhaseEvent {
+  const char* phase;  ///< "build" | "pickup" | "scatter" | "factor"
+  int worker;
+  const std::string& id;      ///< request id (the leader's for "build")
+  const std::string& tenant;  ///< request tenant
+};
+
 class Service : public RequestSink {
  public:
   struct Config {
@@ -174,6 +215,28 @@ class Service : public RequestSink {
     /// numbers its shards; standalone services report 0). Responses and
     /// access-log records echo it.
     int shard = 0;
+    /// Worker-stall budget (seconds). > 0 starts a watchdog thread that
+    /// scans the workers every watchdog_poll_seconds: a worker busy on one
+    /// request longer than the budget is recorded (Counters::worker_stalls)
+    /// and flagged for cancellation at its next phase boundary (the stuck
+    /// request finishes kCancelled and the worker is released); when EVERY
+    /// worker is stalled the watchdog additionally fails the queued
+    /// requests over to the client with kRejected
+    /// (Counters::watchdog_failovers) instead of letting the shard hang.
+    /// 0 disables the watchdog. Must be finite and >= 0.
+    double stall_budget_seconds = 0.0;
+    /// Watchdog scan period; <= 0 derives stall_budget_seconds / 4
+    /// (clamped to [1 ms, 1 s]).
+    double watchdog_poll_seconds = 0.0;
+    /// Deadline clock: monotone seconds, consulted at admission and at
+    /// every cancellation check. Null uses the service's own host-time
+    /// uptime clock. The chaos harness injects skewed clocks here; nothing
+    /// else (queue aging, latency accounting, the watchdog) reads it.
+    std::function<double()> clock;
+    /// Called at every request phase boundary BEFORE the cancellation
+    /// check there (see PhaseEvent), from the worker thread — must be
+    /// thread-safe. The chaos harness injects stalls here. Null disables.
+    std::function<void(const PhaseEvent&)> phase_hook;
     /// Grid / trees / symmetry / analysis / simulated machine — everything
     /// plans (and their cached kTrace schedule runs) are built from.
     PlanConfig plan;
@@ -192,11 +255,24 @@ class Service : public RequestSink {
     Count submitted = 0;
     Count completed = 0;         ///< kOk responses
     Count failed = 0;            ///< kFailed responses
-    Count rejected = 0;          ///< kRejected at admission
+    Count rejected = 0;          ///< kRejected (admission / watchdog failover)
     Count shutdown_aborted = 0;  ///< kShutdown responses
+    Count deadline_expired = 0;  ///< kDeadline responses
+    Count cancelled = 0;         ///< kCancelled responses
     Count batch_followers = 0;   ///< requests served as batch followers
     Count aged_promotions = 0;   ///< pickups won via priority aging
+    Count worker_stalls = 0;     ///< stall episodes the watchdog flagged
+    Count watchdog_failovers = 0;  ///< queue failovers (all workers stalled)
     std::size_t queue_high_water = 0;
+  };
+
+  /// What drain(timeout) did. Every queued request still reaches exactly
+  /// one terminal outcome: drained normally (kOk/kFailed/...) or hard-
+  /// failed with kShutdown when the timeout expired.
+  struct DrainReport {
+    bool completed = false;     ///< queue + in-flight emptied in time
+    Count hard_failed = 0;      ///< queued requests failed with kShutdown
+    double waited_seconds = 0;  ///< host time drain() actually waited
   };
 
   explicit Service(const Config& config);
@@ -207,13 +283,30 @@ class Service : public RequestSink {
 
   /// Admits (or rejects) the request; the future is fulfilled when the
   /// request finishes. Rejection fulfills it immediately with kRejected /
-  /// kShutdown and a reason in Response::detail — submit never throws on
-  /// load.
+  /// kShutdown / kDeadline and a reason in Response::detail — submit never
+  /// throws on load.
   std::future<Response> submit(Request request) override;
 
-  /// Drains the queue, stops the workers, and fails anything still queued
-  /// (workers == 0) with kShutdown. Idempotent; called by the destructor.
+  /// Graceful lifecycle: stops admission (subsequent submits get
+  /// kShutdown), lets the workers finish in-flight and queued work for up
+  /// to `timeout_seconds` (host time), then hard-fails whatever is still
+  /// queued with kShutdown and flags in-flight requests to abandon at
+  /// their next phase boundary. Returns within the timeout (plus
+  /// bookkeeping) — it never joins the worker pool; shutdown() (or the
+  /// destructor) does that. After a drain the queue is empty: zero leaked
+  /// entries, every request with exactly one terminal outcome.
+  DrainReport drain(double timeout_seconds);
+
+  /// Drains the queue, stops the workers and the watchdog, and fails
+  /// anything still queued (workers == 0, or a preceding drain timeout)
+  /// with kShutdown. Idempotent; called by the destructor.
   void shutdown();
+
+  /// Requests currently sitting in the admission queues (diagnostics; the
+  /// chaos invariant checks require 0 after drain()).
+  std::size_t queued_depth() const;
+  /// Requests currently being processed by workers.
+  int in_flight() const;
 
   const Config& config() const { return config_; }
   PlanCache::Stats cache_stats() const { return cache_.stats(); }
@@ -244,9 +337,45 @@ class Service : public RequestSink {
     std::promise<Response> promise;
     WallTimer queued;          ///< started at admission
     double queue_seconds = 0;  ///< fixed at worker pickup
+    double deadline = kNoDeadline;  ///< absolute, on the deadline clock
+  };
+
+  /// Per-worker state the watchdog scans. busy_since is host uptime
+  /// seconds (-1 = idle); episode increments at every batch pickup so the
+  /// watchdog counts each stall once; cancel is set by the watchdog and
+  /// observed at the worker's next phase boundary.
+  struct WorkerState {
+    std::atomic<double> busy_since{-1.0};
+    std::atomic<std::uint64_t> episode{0};
+    std::atomic<bool> cancel{false};
+  };
+
+  /// Internal unwind used to abort a request mid-pipeline (e.g. from the
+  /// scatter callback inside factor()) with a specific terminal status.
+  struct AbortRequest {
+    Status status;
+    std::string detail;
   };
 
   void worker_loop(int worker);
+  void watchdog_loop();
+  /// Fails every queued request with kRejected — the all-workers-stalled
+  /// escape hatch so clients are told to retry instead of hanging.
+  void watchdog_failover();
+  /// Deadline-clock reading (Config::clock or host uptime).
+  double deadline_now() const;
+  /// Terminal status forced on `pending` right now (drain hard-stop,
+  /// watchdog cancel of this worker, client cancel, expired deadline), or
+  /// nullopt to keep going. Called at every phase boundary.
+  std::optional<AbortRequest> forced_abort(const Pending& pending,
+                                           int worker) const;
+  /// Runs Config::phase_hook (if any), then forced_abort.
+  std::optional<AbortRequest> phase_boundary(const char* phase,
+                                             const Pending& pending,
+                                             int worker) const;
+  /// Response skeleton for a request that terminates without numeric work.
+  Response abort_response(const Pending& pending, int worker, Status status,
+                          std::string detail) const;
   /// Pops a leader plus same-fingerprint followers; caller holds mutex_.
   /// Applies priority aging (Config::age_promote_seconds) to the leader's
   /// queue-class choice.
@@ -260,15 +389,21 @@ class Service : public RequestSink {
   void finish(Pending& pending, Response response);
   void log_response(const Response& response);
   std::size_t queued_count_locked() const;
+  /// Moves every queued request out (caller fails them); holds mutex_.
+  std::vector<Pending> take_queued_locked();
 
   Config config_;
   int compute_threads_ = 1;  ///< resolved + clamped at construction
   PlanCache cache_;
 
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
+  std::condition_variable drained_;  ///< queue empty && in-flight == 0
   std::deque<Pending> queues_[kPriorityCount];
   bool closed_ = false;
+  bool draining_ = false;  ///< admission stopped (drain() or shutdown())
+  int in_flight_ = 0;      ///< requests popped but not yet finished
+  std::atomic<bool> hard_stop_{false};  ///< drain timeout: workers bail out
 
   mutable std::mutex stats_mutex_;
   Counters counters_;
@@ -278,6 +413,12 @@ class Service : public RequestSink {
   std::mutex log_mutex_;
   obs::RecordWriter access_log_;
   WallTimer uptime_;
+
+  std::vector<WorkerState> worker_states_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_wake_;
+  bool watchdog_stop_ = false;
+  std::thread watchdog_;  ///< running iff stall_budget > 0 && workers > 0
 
   std::optional<parallel::ThreadPool> pool_;  ///< constructed last
 };

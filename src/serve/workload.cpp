@@ -138,6 +138,8 @@ WorkloadReport run_workload(RequestSink& service,
       case Status::kFailed: ++report.failed; break;
       case Status::kRejected: ++report.rejected; break;
       case Status::kShutdown: ++report.shutdown; break;
+      case Status::kDeadline: ++report.deadline; break;
+      case Status::kCancelled: ++report.cancelled; break;
     }
     if (!r.ok()) continue;
     report.digest_xor ^= response_digest_term(r);
@@ -178,6 +180,8 @@ obs::Record& WorkloadReport::append_to(obs::Record& record) const {
       .add("failed", failed)
       .add("rejected", rejected)
       .add("shutdown", shutdown)
+      .add("deadline", deadline)
+      .add("cancelled", cancelled)
       .add("cold", cold)
       .add("warm", warm)
       .add("disk", disk)
@@ -200,7 +204,8 @@ obs::Record& WorkloadReport::append_to(obs::Record& record) const {
 void print_report(std::ostream& out, const WorkloadReport& report) {
   out << "requests: ok " << report.ok << ", failed " << report.failed
       << ", rejected " << report.rejected << ", shutdown " << report.shutdown
-      << "\n";
+      << ", deadline " << report.deadline << ", cancelled "
+      << report.cancelled << "\n";
   out << "cache:    cold " << report.cold << " (disk " << report.disk
       << "), warm " << report.warm;
   if (report.cold + report.warm > 0)

@@ -48,6 +48,8 @@ struct WorkloadReport {
   Count failed = 0;
   Count rejected = 0;
   Count shutdown = 0;
+  Count deadline = 0;   ///< kDeadline responses
+  Count cancelled = 0;  ///< kCancelled responses
   Count cold = 0;  ///< ok responses with cache_hit == false
   Count warm = 0;  ///< ok responses with cache_hit == true
   Count disk = 0;  ///< cold subset whose plan loaded from the plan store

@@ -1,9 +1,11 @@
 #include "store/admission.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 
 #include "common/check.hpp"
+#include "serve/service.hpp"
 
 namespace psi::store {
 
@@ -32,6 +34,18 @@ double TokenBucket::available(double now_s) const {
   TokenBucket copy = *this;
   copy.refill(now_s);
   return copy.tokens_;
+}
+
+TenantQuota validated_quota(double rate_per_s, double burst) {
+  PSI_CHECK_MSG(std::isfinite(rate_per_s) && rate_per_s >= 0.0,
+                "quota rate must be finite and >= 0 (0 = unlimited), got "
+                    << rate_per_s);
+  PSI_CHECK_MSG(std::isfinite(burst) && burst >= 1.0,
+                "quota burst must be finite and >= 1, got " << burst);
+  TenantQuota quota;
+  quota.rate_per_s = rate_per_s;
+  quota.burst = burst;
+  return quota;
 }
 
 TenantTable::TenantTable(const TenantQuota& default_quota,
@@ -72,13 +86,21 @@ std::optional<std::string> TenantTable::try_admit_at(const std::string& tenant,
   return os.str();
 }
 
-void TenantTable::record(const std::string& tenant, bool ok,
+void TenantTable::record(const std::string& tenant, serve::Status status,
                          double total_seconds) {
   std::lock_guard<std::mutex> lock(mutex_);
   Entry& entry = entry_locked(tenant);
-  if (!ok) return;
-  ++entry.stats.completed;
-  entry.stats.total_s.add(total_seconds);
+  switch (status) {
+    case serve::Status::kOk:
+      ++entry.stats.completed;
+      entry.stats.total_s.add(total_seconds);
+      break;
+    case serve::Status::kFailed: ++entry.stats.failed; break;
+    case serve::Status::kRejected: ++entry.stats.rejected; break;
+    case serve::Status::kShutdown: ++entry.stats.shutdown; break;
+    case serve::Status::kDeadline: ++entry.stats.deadline_expired; break;
+    case serve::Status::kCancelled: ++entry.stats.cancelled; break;
+  }
 }
 
 std::vector<TenantTable::TenantStats> TenantTable::snapshot() const {
@@ -102,6 +124,10 @@ void TenantTable::fold_metrics(obs::MetricsRegistry& registry) const {
     registry.counter("tenant_admitted", labels).add(t.admitted);
     registry.counter("tenant_rejected", labels).add(t.rejected);
     registry.counter("tenant_completed", labels).add(t.completed);
+    registry.counter("tenant_failed", labels).add(t.failed);
+    registry.counter("tenant_deadline", labels).add(t.deadline_expired);
+    registry.counter("tenant_cancelled", labels).add(t.cancelled);
+    registry.counter("tenant_shutdown", labels).add(t.shutdown);
     obs::Histogram& h =
         registry.histogram("tenant_total_seconds", labels, kBounds);
     for (double s : t.total_s.values()) h.observe(s);

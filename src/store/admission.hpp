@@ -24,6 +24,10 @@
 #include "obs/metrics.hpp"
 #include "sparse/types.hpp"
 
+namespace psi::serve {
+enum class Status;  // serve/service.hpp — keep this header light
+}
+
 namespace psi::store {
 
 /// Classic token bucket: `rate_per_s` tokens accrue per second up to
@@ -58,6 +62,14 @@ struct TenantQuota {
   double burst = 8.0;
 };
 
+/// Validated construction for user-supplied quota arguments (psi_serve
+/// flags): rejects NaN or negative rate/burst with a message naming the
+/// offending value — dist::validated_grid style — instead of silently
+/// clamping or misbehaving deep inside the token bucket. rate 0 stays the
+/// "unlimited" sentinel; burst below 1 is rejected (a bucket that can never
+/// hold a whole token admits nothing).
+TenantQuota validated_quota(double rate_per_s, double burst);
+
 /// Thread-safe per-tenant admission + SLO accounting table. Tenants are
 /// created lazily on first sight with the default quota (unless an explicit
 /// override was configured).
@@ -66,8 +78,14 @@ class TenantTable {
   struct TenantStats {
     std::string tenant;
     Count admitted = 0;
+    /// Quota rejections at admission plus downstream kRejected responses
+    /// (queue full, watchdog failover) — a request counts in exactly one.
     Count rejected = 0;
-    Count completed = 0;  ///< ok responses recorded
+    Count completed = 0;         ///< kOk responses recorded
+    Count failed = 0;            ///< kFailed responses
+    Count deadline_expired = 0;  ///< kDeadline responses
+    Count cancelled = 0;         ///< kCancelled responses
+    Count shutdown = 0;          ///< kShutdown responses
     SampleStats total_s;  ///< end-to-end latency of ok responses
   };
 
@@ -82,9 +100,12 @@ class TenantTable {
   std::optional<std::string> try_admit_at(const std::string& tenant,
                                           double now_s);
 
-  /// Records a finished request for SLO accounting (`ok` responses feed the
-  /// latency sample; failures only count).
-  void record(const std::string& tenant, bool ok, double total_seconds);
+  /// Records a finished request's terminal outcome for SLO accounting (kOk
+  /// responses feed the latency sample; every status bumps exactly one
+  /// per-tenant counter — the one-terminal-outcome invariant is auditable
+  /// from the tenant table alone).
+  void record(const std::string& tenant, serve::Status status,
+              double total_seconds);
 
   std::vector<TenantStats> snapshot() const;
 

@@ -1,0 +1,170 @@
+#include "store/filesystem.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define PSI_HAVE_FSYNC 1
+#endif
+
+namespace psi::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+void set_error(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+}
+
+}  // namespace
+
+FileSystem::ReadResult RealFileSystem::read_file(const std::string& path,
+                                                 std::vector<std::uint8_t>& out,
+                                                 std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::error_code ec;
+    if (!fs::exists(path, ec)) return ReadResult::kNotFound;
+    set_error(error, "cannot open " + path + " for reading");
+    return ReadResult::kError;
+  }
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    set_error(error, "read error on " + path);
+    return ReadResult::kError;
+  }
+  return ReadResult::kOk;
+}
+
+bool RealFileSystem::write_file(const std::string& path, const void* data,
+                                std::size_t size, bool sync,
+                                std::string* error) {
+#if PSI_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    set_error(error, "cannot open " + path + " for writing");
+    return false;
+  }
+  const std::uint8_t* p = static_cast<const std::uint8_t*>(data);
+  std::size_t written = 0;
+  while (written < size) {
+    const ::ssize_t n = ::write(fd, p + written, size - written);
+    if (n < 0) {
+      ::close(fd);
+      set_error(error, "write error on " + path);
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (sync && ::fsync(fd) != 0) {
+    ::close(fd);
+    set_error(error, "fsync failed on " + path);
+    return false;
+  }
+  if (::close(fd) != 0) {
+    set_error(error, "close failed on " + path);
+    return false;
+  }
+  return true;
+#else
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    set_error(error, "cannot open " + path + " for writing");
+    return false;
+  }
+  out.write(static_cast<const char*>(data),
+            static_cast<std::streamsize>(size));
+  out.flush();
+  if (!out) {
+    set_error(error, "write error on " + path);
+    return false;
+  }
+  (void)sync;  // no portable fsync without POSIX fds
+  return true;
+#endif
+}
+
+bool RealFileSystem::rename_file(const std::string& from, const std::string& to,
+                                 std::string* error) {
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    set_error(error, "rename " + from + " -> " + to + " failed");
+    return false;
+  }
+  return true;
+}
+
+bool RealFileSystem::remove_file(const std::string& path, std::string* error) {
+  std::error_code ec;
+  fs::remove(path, ec);  // missing file leaves ec clear
+  if (ec) {
+    set_error(error, "remove " + path + " failed: " + ec.message());
+    return false;
+  }
+  return true;
+}
+
+bool RealFileSystem::create_directories(const std::string& path,
+                                        std::string* error) {
+  std::error_code ec;
+  fs::create_directories(path, ec);
+  if (ec) {
+    set_error(error,
+              "cannot create directory " + path + ": " + ec.message());
+    return false;
+  }
+  return true;
+}
+
+bool RealFileSystem::list_dir(const std::string& dir,
+                              std::vector<std::string>& out,
+                              std::string* error) {
+  out.clear();
+  std::error_code ec;
+  fs::directory_iterator it(dir, ec);
+  if (ec) {
+    set_error(error, "cannot list " + dir + ": " + ec.message());
+    return false;
+  }
+  for (const auto& entry : it) {
+    std::error_code entry_ec;
+    if (!entry.is_regular_file(entry_ec)) continue;
+    out.push_back(entry.path().filename().string());
+  }
+  std::sort(out.begin(), out.end());
+  return true;
+}
+
+bool RealFileSystem::sync_dir(const std::string& dir, std::string* error) {
+#if PSI_HAVE_FSYNC
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    set_error(error, "cannot open directory " + dir + " for fsync");
+    return false;
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    set_error(error, "directory fsync failed on " + dir);
+    return false;
+  }
+  return true;
+#else
+  (void)dir;
+  (void)error;
+  return true;  // best effort: no directory fds on this platform
+#endif
+}
+
+FileSystem& real_filesystem() {
+  static RealFileSystem instance;
+  return instance;
+}
+
+}  // namespace psi::store

@@ -1,0 +1,87 @@
+/// \file filesystem.hpp
+/// \brief Injectable filesystem seam under the plan store.
+///
+/// PlanStore does all of its I/O through this interface so that (a) the
+/// durability discipline — write to a temporary name, fsync, rename over the
+/// final name — lives in ONE place and is testable, and (b) the chaos
+/// harness (psi::chaos) can wrap the real filesystem with seeded fault
+/// injection (transient read errors, failed writes/renames, torn writes)
+/// without touching the store logic it is trying to break.
+///
+/// Error contract: no method throws. Failures return false / kError with a
+/// human-readable message in `*error`; callers decide whether a failure is
+/// transient (retry) or terminal (miss / quarantine). kNotFound is NOT an
+/// error — it is the plain-miss signal the store's read path branches on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psi::store {
+
+class FileSystem {
+ public:
+  enum class ReadResult {
+    kOk,        ///< `out` holds the full file contents
+    kNotFound,  ///< no such file (plain miss, not a failure)
+    kError,     ///< I/O error; `*error` says why (possibly transient)
+  };
+
+  virtual ~FileSystem() = default;
+
+  /// Reads the whole file at `path` into `out` (replaced, not appended).
+  virtual ReadResult read_file(const std::string& path,
+                               std::vector<std::uint8_t>& out,
+                               std::string* error) = 0;
+
+  /// Writes `size` bytes to `path`, truncating. When `sync` is set the data
+  /// is fsync'd to stable storage before returning — publish paths set it so
+  /// a rename never exposes a name whose bytes could still be lost.
+  virtual bool write_file(const std::string& path, const void* data,
+                          std::size_t size, bool sync, std::string* error) = 0;
+
+  /// Atomically renames `from` over `to` (POSIX rename semantics: `to` is
+  /// replaced as a unit; readers see the old or the new file, never a mix).
+  virtual bool rename_file(const std::string& from, const std::string& to,
+                           std::string* error) = 0;
+
+  /// Removes the file at `path`. Missing file counts as success.
+  virtual bool remove_file(const std::string& path, std::string* error) = 0;
+
+  /// Creates `path` and any missing parents. Existing directory is success.
+  virtual bool create_directories(const std::string& path,
+                                  std::string* error) = 0;
+
+  /// File names (not paths, no directories) directly inside `dir`, sorted.
+  /// A missing/unreadable directory returns false with a reason.
+  virtual bool list_dir(const std::string& dir, std::vector<std::string>& out,
+                        std::string* error) = 0;
+
+  /// Flushes `dir`'s entry table to stable storage (directory fsync) so a
+  /// just-renamed name survives a crash. Best-effort on platforms without
+  /// directory fds; returns false only on a real error.
+  virtual bool sync_dir(const std::string& dir, std::string* error) = 0;
+};
+
+/// The real filesystem (std::filesystem + POSIX fsync where available).
+class RealFileSystem : public FileSystem {
+ public:
+  ReadResult read_file(const std::string& path, std::vector<std::uint8_t>& out,
+                       std::string* error) override;
+  bool write_file(const std::string& path, const void* data, std::size_t size,
+                  bool sync, std::string* error) override;
+  bool rename_file(const std::string& from, const std::string& to,
+                   std::string* error) override;
+  bool remove_file(const std::string& path, std::string* error) override;
+  bool create_directories(const std::string& path,
+                          std::string* error) override;
+  bool list_dir(const std::string& dir, std::vector<std::string>& out,
+                std::string* error) override;
+  bool sync_dir(const std::string& dir, std::string* error) override;
+};
+
+/// Process-wide RealFileSystem instance (stateless; shareable).
+FileSystem& real_filesystem();
+
+}  // namespace psi::store

@@ -1,10 +1,9 @@
 #include "store/plan_store.hpp"
 
 #include <algorithm>
-#include <cstdio>
+#include <chrono>
 #include <filesystem>
-#include <fstream>
-#include <system_error>
+#include <thread>
 #include <utility>
 
 #include "common/check.hpp"
@@ -14,18 +13,34 @@ namespace psi::store {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+}  // namespace
+
 PlanStore::PlanStore(const Config& config)
     : config_(config),
+      fs_(config.fs != nullptr ? config.fs : &real_filesystem()),
       expected_config_bytes_(encode_plan_config(config.expected)) {
   PSI_CHECK_MSG(!config_.directory.empty(), "plan store needs a directory");
-  std::error_code ec;
-  fs::create_directories(config_.directory, ec);
-  PSI_CHECK_MSG(!ec, "cannot create plan directory " << config_.directory
-                                                     << ": " << ec.message());
+  PSI_CHECK_MSG(config_.read_retries >= 0, "read_retries must be >= 0");
+  std::string error;
+  PSI_CHECK_MSG(fs_->create_directories(config_.directory, &error),
+                "cannot create plan directory " << config_.directory << ": "
+                                                << error);
+  if (config_.scan_on_open && !config_.read_only) scan();
 }
 
 std::string PlanStore::path_for(const serve::Fingerprint& fp) const {
   return (fs::path(config_.directory) / (fp.hex() + ".plan")).string();
+}
+
+std::string PlanStore::quarantine_dir() const {
+  return (fs::path(config_.directory) / "quarantine").string();
 }
 
 std::shared_ptr<const serve::ServePlan> PlanStore::fetch(
@@ -39,8 +54,27 @@ std::shared_ptr<const serve::ServePlan> PlanStore::fetch(
   std::shared_ptr<const serve::ServePlan> plan;
   bool present = false;
   try {
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
+    std::vector<std::uint8_t> bytes;
+    std::string io_error;
+    FileSystem::ReadResult rr = FileSystem::ReadResult::kError;
+    // A transient I/O error (kError) is retried with doubling backoff; a
+    // plain miss (kNotFound) is final immediately.
+    for (int attempt = 0; attempt <= config_.read_retries; ++attempt) {
+      if (attempt > 0) {
+        {
+          std::lock_guard<std::mutex> lock(mutex_);
+          ++stats_.read_retries;
+        }
+        const double backoff =
+            config_.retry_backoff_seconds *
+            static_cast<double>(std::uint64_t{1} << (attempt - 1));
+        if (backoff > 0.0)
+          std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+      }
+      rr = fs_->read_file(path, bytes, &io_error);
+      if (rr != FileSystem::ReadResult::kError) break;
+    }
+    if (rr == FileSystem::ReadResult::kNotFound) {
       // Plain miss: leave `reason` untouched so the cache counts it as a
       // miss, not a failure.
       std::lock_guard<std::mutex> lock(mutex_);
@@ -48,9 +82,10 @@ std::shared_ptr<const serve::ServePlan> PlanStore::fetch(
       return nullptr;
     }
     present = true;
-    std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                                    std::istreambuf_iterator<char>());
-    if (in.bad()) throw StoreError("read error on " + path);
+    if (rr == FileSystem::ReadResult::kError)
+      throw StoreError("read failed after " +
+                       std::to_string(config_.read_retries + 1) +
+                       " attempts: " + io_error);
     plan = decode_serve_plan(bytes.data(), bytes.size());
     if (plan->fingerprint != fp)
       throw StoreError("file " + path + " carries fingerprint " +
@@ -86,19 +121,22 @@ bool PlanStore::publish(const serve::ServePlan& plan, std::string* reason) {
     const std::string path = path_for(plan.fingerprint);
     const std::string tmp = path + ".tmp";
     const std::vector<std::uint8_t> bytes = encode_serve_plan(plan);
-    {
-      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-      if (!out) throw StoreError("cannot open " + tmp + " for writing");
-      out.write(reinterpret_cast<const char*>(bytes.data()),
-                static_cast<std::streamsize>(bytes.size()));
-      out.flush();
-      if (!out) throw StoreError("write error on " + tmp);
+    std::string error;
+    // Crash-consistency order: (1) data to the tmp name, fsync'd, so the
+    // bytes are durable BEFORE any live name can point at them; (2) atomic
+    // rename over the final name; (3) directory fsync so the rename itself
+    // survives a crash. A failure at any step leaves at worst an orphaned
+    // tmp, which the startup scan quarantines.
+    if (!fs_->write_file(tmp, bytes.data(), bytes.size(), /*sync=*/true,
+                         &error)) {
+      fs_->remove_file(tmp, nullptr);
+      throw StoreError(error);
     }
-    // Atomic publish: readers only ever see the final name complete.
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-      std::remove(tmp.c_str());
-      throw StoreError("rename " + tmp + " -> " + path + " failed");
+    if (!fs_->rename_file(tmp, path, &error)) {
+      fs_->remove_file(tmp, nullptr);
+      throw StoreError(error);
     }
+    fs_->sync_dir(config_.directory, nullptr);  // best-effort durability
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.publishes;
     stats_.bytes_written += static_cast<Count>(bytes.size());
@@ -115,14 +153,118 @@ bool PlanStore::publish(const serve::ServePlan& plan, std::string* reason) {
   return false;
 }
 
+void PlanStore::quarantine_file(const std::string& name,
+                                const std::string& reason,
+                                ScanReport& report) {
+  std::string error;
+  if (!fs_->create_directories(quarantine_dir(), &error)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.last_error = "quarantine: " + error;
+    return;
+  }
+  const std::string from = (fs::path(config_.directory) / name).string();
+  // Pick a destination name that does not clobber an earlier quarantine of
+  // the same file (never destroy evidence).
+  std::string dest_name = name;
+  for (int i = 1;; ++i) {
+    const std::string candidate =
+        (fs::path(quarantine_dir()) / dest_name).string();
+    std::vector<std::uint8_t> probe;
+    if (fs_->read_file(candidate, probe, nullptr) ==
+        FileSystem::ReadResult::kNotFound)
+      break;
+    dest_name = name + "." + std::to_string(i);
+  }
+  const std::string dest = (fs::path(quarantine_dir()) / dest_name).string();
+  if (!fs_->rename_file(from, dest, &error)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.last_error = "quarantine: " + error;
+    return;
+  }
+  // Companion reason file: precise, human-readable, best-effort.
+  const std::string note = reason + "\n";
+  fs_->write_file(dest + ".reason", note.data(), note.size(), /*sync=*/false,
+                  nullptr);
+  ++report.quarantined;
+  report.quarantined_files.emplace_back(name, reason);
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.quarantined;
+}
+
+PlanStore::ScanReport PlanStore::scan() {
+  ScanReport report;
+  if (config_.read_only) return report;  // never move files we don't own
+  std::vector<std::string> names;
+  std::string error;
+  if (!fs_->list_dir(config_.directory, names, &error)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.last_error = "scan: " + error;
+    return report;
+  }
+  for (const std::string& name : names) {
+    ++report.scanned;
+    if (ends_with(name, ".tmp")) {
+      quarantine_file(name, "orphaned temporary from an interrupted publish",
+                      report);
+      continue;
+    }
+    if (!ends_with(name, ".plan")) {
+      quarantine_file(name,
+                      "foreign file: not a psi-plan name (*.plan) — moved "
+                      "aside, never deleted",
+                      report);
+      continue;
+    }
+    const std::string stem = name.substr(0, name.size() - 5);
+    const auto named_fp = serve::Fingerprint::from_hex(stem);
+    if (!named_fp) {
+      quarantine_file(
+          name, "plan file name is not a 32-hex-digit fingerprint", report);
+      continue;
+    }
+    const std::string path = (fs::path(config_.directory) / name).string();
+    std::vector<std::uint8_t> bytes;
+    std::string io_error;
+    const FileSystem::ReadResult rr = fs_->read_file(path, bytes, &io_error);
+    if (rr != FileSystem::ReadResult::kOk) {
+      // Unreadable at scan time: leave it — fetch() retries transient
+      // errors with backoff; quarantining on a flaky read would destroy a
+      // possibly healthy plan's availability.
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.last_error = "scan: " + io_error;
+      continue;
+    }
+    try {
+      const auto plan = decode_serve_plan(bytes.data(), bytes.size());
+      if (plan->fingerprint != *named_fp) {
+        quarantine_file(name,
+                        "fingerprint mismatch: file is named " + stem +
+                            " but carries " + plan->fingerprint.hex(),
+                        report);
+        continue;
+      }
+      if (encode_plan_config(plan->config) != expected_config_bytes_) {
+        // Valid plan for a differently-configured deployment sharing this
+        // directory: counted, left in place (fetch rejects it with a
+        // reason; it is not ours to move).
+        ++report.config_mismatch;
+        continue;
+      }
+      ++report.plans_ok;
+    } catch (const std::exception& e) {
+      quarantine_file(name, std::string("corrupt plan: ") + e.what(), report);
+    }
+  }
+  return report;
+}
+
 std::vector<serve::Fingerprint> PlanStore::list() const {
   std::vector<serve::Fingerprint> out;
-  std::error_code ec;
-  for (const auto& entry : fs::directory_iterator(config_.directory, ec)) {
-    if (!entry.is_regular_file()) continue;
-    const fs::path p = entry.path();
-    if (p.extension() != ".plan") continue;
-    if (auto fp = serve::Fingerprint::from_hex(p.stem().string()))
+  std::vector<std::string> names;
+  if (!fs_->list_dir(config_.directory, names, nullptr)) return out;
+  for (const std::string& name : names) {
+    if (!ends_with(name, ".plan")) continue;
+    if (auto fp = serve::Fingerprint::from_hex(name.substr(0, name.size() - 5)))
       out.push_back(*fp);
   }
   std::sort(out.begin(), out.end(),
@@ -143,8 +285,10 @@ void PlanStore::fold_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("store_fetch_hits").add(s.hits);
   registry.counter("store_fetch_misses").add(s.misses);
   registry.counter("store_load_failures").add(s.load_failures);
+  registry.counter("store_read_retries").add(s.read_retries);
   registry.counter("store_publishes").add(s.publishes);
   registry.counter("store_publish_failures").add(s.publish_failures);
+  registry.counter("store_quarantined").add(s.quarantined);
   registry.counter("store_bytes_read").add(s.bytes_read);
   registry.counter("store_bytes_written").add(s.bytes_written);
 }

@@ -1,9 +1,11 @@
 /// \file plan_store.hpp
 /// \brief Directory-backed persistent plan store (serve::PlanStorage
-/// implementation): one psi-plan v1 file per fingerprint, atomic
-/// write-then-rename publishing, checksum-verified loads that degrade to a
+/// implementation): one psi-plan v1 file per fingerprint, crash-consistent
+/// write-fsync-rename publishing, checksum-verified loads that degrade to a
 /// miss (never a crash) on any corrupt, truncated, or version-mismatched
-/// file.
+/// file, bounded retry on transient read errors, and a startup scan that
+/// quarantines damaged or foreign files instead of serving (or deleting)
+/// them.
 ///
 /// The store is what survives a service restart: serve::PlanCache reads
 /// through it on a memory miss (a warm restart is a disk load, not a
@@ -15,16 +17,23 @@
 /// kTrace makespan is machine-specific, so a file whose config section
 /// differs from this store's expected config is rejected with a reason
 /// (counted, never fatal).
+///
+/// All I/O goes through the injectable store::FileSystem seam, so the
+/// durability discipline is testable and the chaos harness can inject
+/// failures (transient read errors, failed writes/renames, torn writes)
+/// underneath an otherwise untouched store.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.hpp"
 #include "serve/plan_cache.hpp"
+#include "store/filesystem.hpp"
 
 namespace psi::store {
 
@@ -33,13 +42,25 @@ class PlanStore : public serve::PlanStorage {
   struct Config {
     std::string directory;  ///< created (recursively) if missing
     /// Reject publishes (a replica serving from a shared, pre-baked plan
-    /// directory). Loads are unaffected.
+    /// directory). Loads are unaffected. Read-only stores also never scan:
+    /// they must not move (quarantine) files another process owns.
     bool read_only = false;
     /// The PlanConfig this store's plans must have been built under; loads
     /// of files with any other config are rejected. (Within one service
     /// this always matches — the guard catches directories shared across
     /// differently-configured deployments.)
     serve::PlanConfig expected;
+    /// Filesystem seam; null uses real_filesystem(). Not owned.
+    FileSystem* fs = nullptr;
+    /// Run scan() at construction (skipped when read_only): quarantine
+    /// corrupt/torn/foreign files before the first fetch can trip on them.
+    bool scan_on_open = true;
+    /// Extra read attempts after a transient I/O error (kError, not a plain
+    /// miss) before fetch gives up and reports a load failure.
+    int read_retries = 2;
+    /// Base backoff before retry attempt k (doubles each attempt:
+    /// base * 2^(k-1)). 0 disables sleeping (tests).
+    double retry_backoff_seconds = 1e-3;
   };
 
   struct Stats {
@@ -47,11 +68,27 @@ class PlanStore : public serve::PlanStorage {
     Count hits = 0;           ///< fetches returning a plan
     Count misses = 0;         ///< no file for the fingerprint
     Count load_failures = 0;  ///< file present but rejected (corrupt/...)
+    Count read_retries = 0;   ///< transient-error retry attempts
     Count publishes = 0;      ///< successful publish() calls
     Count publish_failures = 0;
+    Count quarantined = 0;    ///< files moved to quarantine/ by scan()
     Count bytes_read = 0;
     Count bytes_written = 0;
     std::string last_error;  ///< most recent load/publish failure reason
+  };
+
+  /// What a startup/explicit scan() found. Config-mismatched but otherwise
+  /// valid plans are counted and LEFT IN PLACE (they belong to a sibling
+  /// deployment sharing the directory); everything damaged or foreign is
+  /// moved — never deleted — into `<dir>/quarantine/` next to a
+  /// `<name>.reason` text file naming the precise failure.
+  struct ScanReport {
+    Count scanned = 0;          ///< regular files examined
+    Count plans_ok = 0;         ///< valid plans left in place
+    Count config_mismatch = 0;  ///< valid plans for another config (left)
+    Count quarantined = 0;
+    /// (file name, reason) for every quarantined file, in scan order.
+    std::vector<std::pair<std::string, std::string>> quarantined_files;
   };
 
   /// Throws psi::Error if the directory cannot be created.
@@ -62,20 +99,30 @@ class PlanStore : public serve::PlanStorage {
   /// serve::PlanStorage: checksum-verified load. Missing file -> nullptr
   /// with `reason` untouched (plain miss); unreadable/corrupt/truncated/
   /// version-mismatched/config-mismatched file -> nullptr with the precise
-  /// reason. Never throws.
+  /// reason. Transient read errors are retried (Config::read_retries, with
+  /// doubling backoff) before being declared a load failure. Never throws.
   std::shared_ptr<const serve::ServePlan> fetch(const serve::Fingerprint& fp,
                                                 std::string* reason) override;
 
-  /// serve::PlanStorage: atomic publish — encode to `<file>.tmp`, fsync-free
-  /// rename over the final name (a crash mid-write never leaves a partial
-  /// file under a live name; a partial tmp file is invisible to fetch and
-  /// overwritten by the next publish). Returns false with a reason on any
-  /// failure (read-only store, I/O error). Never throws.
+  /// serve::PlanStorage: crash-consistent publish — encode to `<file>.tmp`,
+  /// fsync the data, rename over the final name, fsync the directory. A
+  /// crash at ANY point leaves either the old file, the new file, or an
+  /// orphaned tmp (which scan() quarantines) — never a torn live name.
+  /// Returns false with a reason on any failure (read-only store, I/O
+  /// error). Never throws.
   bool publish(const serve::ServePlan& plan, std::string* reason) override;
+
+  /// Scans the directory, quarantining corrupt/torn/foreign files (see
+  /// ScanReport). Safe to call repeatedly; read-only stores refuse (empty
+  /// report). Never throws, never deletes.
+  ScanReport scan();
 
   /// Path the plan for `fp` lives at (exists or not) — tests use this to
   /// corrupt files deliberately.
   std::string path_for(const serve::Fingerprint& fp) const;
+
+  /// Where scan() moves damaged files: `<directory>/quarantine`.
+  std::string quarantine_dir() const;
 
   /// Fingerprints with a plan file currently in the directory (by file
   /// name; contents are not verified). Sorted.
@@ -88,7 +135,13 @@ class PlanStore : public serve::PlanStorage {
   void fold_metrics(obs::MetricsRegistry& registry) const;
 
  private:
+  /// Moves `name` into quarantine/ with a .reason file; best-effort (a
+  /// failed move leaves the file where it was and records the failure).
+  void quarantine_file(const std::string& name, const std::string& reason,
+                       ScanReport& report);
+
   Config config_;
+  FileSystem* fs_ = nullptr;  ///< resolved from Config (never null)
   std::vector<std::uint8_t> expected_config_bytes_;
   mutable std::mutex mutex_;  ///< guards stats_ only; I/O runs unlocked
   Stats stats_;

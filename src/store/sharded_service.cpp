@@ -1,5 +1,7 @@
 #include "store/sharded_service.hpp"
 
+#include <algorithm>
+#include <thread>
 #include <utility>
 
 #include "common/check.hpp"
@@ -16,6 +18,8 @@ ShardedService::ShardedService(const Config& config)
     store_config.directory = config_.plan_dir;
     store_config.read_only = config_.read_only_store;
     store_config.expected = config_.service.plan;
+    store_config.fs = config_.store_fs;
+    store_config.scan_on_open = config_.store_scan_on_open;
     store_.emplace(store_config);
   }
   services_.reserve(static_cast<std::size_t>(config_.shards));
@@ -28,7 +32,8 @@ ShardedService::ShardedService(const Config& config)
     auto caller_observer = std::move(shard_config.observer);
     shard_config.observer = [this, caller_observer](
                                 const serve::Response& response) {
-      tenants_.record(response.tenant, response.ok(), response.total_seconds);
+      tenants_.record(response.tenant, response.status,
+                      response.total_seconds);
       if (caller_observer) caller_observer(response);
     };
     services_.push_back(std::make_unique<serve::Service>(shard_config));
@@ -59,6 +64,25 @@ std::future<serve::Response> ShardedService::submit(serve::Request request) {
       request.matrix.pattern, config_.service.plan);
   return services_[static_cast<std::size_t>(shard_of(fp))]->submit(
       std::move(request));
+}
+
+serve::Service::DrainReport ShardedService::drain(double timeout_seconds) {
+  std::vector<serve::Service::DrainReport> reports(services_.size());
+  std::vector<std::thread> drains;
+  drains.reserve(services_.size());
+  for (std::size_t s = 0; s < services_.size(); ++s)
+    drains.emplace_back([this, s, timeout_seconds, &reports] {
+      reports[s] = services_[s]->drain(timeout_seconds);
+    });
+  for (std::thread& t : drains) t.join();
+  serve::Service::DrainReport total;
+  total.completed = true;
+  for (const serve::Service::DrainReport& r : reports) {
+    total.completed = total.completed && r.completed;
+    total.hard_failed += r.hard_failed;
+    total.waited_seconds = std::max(total.waited_seconds, r.waited_seconds);
+  }
+  return total;
 }
 
 void ShardedService::shutdown() {
@@ -96,8 +120,12 @@ serve::Service::Counters ShardedService::counters() const {
     total.failed += c.failed;
     total.rejected += c.rejected;
     total.shutdown_aborted += c.shutdown_aborted;
+    total.deadline_expired += c.deadline_expired;
+    total.cancelled += c.cancelled;
     total.batch_followers += c.batch_followers;
     total.aged_promotions += c.aged_promotions;
+    total.worker_stalls += c.worker_stalls;
+    total.watchdog_failovers += c.watchdog_failovers;
     total.queue_high_water += c.queue_high_water;
   }
   {

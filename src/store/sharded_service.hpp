@@ -38,6 +38,11 @@ class ShardedService : public serve::RequestSink {
     /// Plan-store directory; "" runs without persistence.
     std::string plan_dir;
     bool read_only_store = false;
+    /// Filesystem seam handed to the shared PlanStore (chaos injection);
+    /// null uses the real filesystem. Not owned.
+    FileSystem* store_fs = nullptr;
+    /// Forwarded to PlanStore::Config::scan_on_open.
+    bool store_scan_on_open = true;
     TenantQuota default_quota;  ///< rate 0 = unlimited (default)
     std::map<std::string, TenantQuota> tenant_quotas;
   };
@@ -49,6 +54,12 @@ class ShardedService : public serve::RequestSink {
   /// Quota rejections fulfil the future immediately with kRejected and the
   /// reason in Response::detail.
   std::future<serve::Response> submit(serve::Request request) override;
+
+  /// Graceful lifecycle: drains every shard CONCURRENTLY (one thread per
+  /// shard), so the wall time is bounded by the slowest shard's timeout,
+  /// not the sum. Returns the aggregate: completed iff every shard
+  /// completed, hard_failed summed, waited_seconds = max over shards.
+  serve::Service::DrainReport drain(double timeout_seconds);
 
   /// Stops every shard (idempotent; the destructor calls it).
   void shutdown();

@@ -8,6 +8,7 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -571,6 +572,284 @@ TEST(ServeService, QueueFullRejectsWithReasonAndCounters) {
 }
 
 // ---------------------------------------------------------------------------
+// Deadlines and client cancellation
+
+TEST(ServeDeadline, ExpiredBudgetRejectedAtAdmissionWithoutQueueSlot) {
+  serve::Service::Config config = service_config(/*workers=*/0);
+  config.queue_capacity = 1;
+  serve::Service service(config);
+
+  serve::Request expired;
+  expired.id = "expired";
+  expired.matrix = small_matrix(8, 1);
+  expired.timeout_seconds = -0.5;
+  const serve::Response r = service.submit(std::move(expired)).get();
+  EXPECT_EQ(r.status, serve::Status::kDeadline);
+  EXPECT_NE(r.detail.find("deadline expired before admission"),
+            std::string::npos)
+      << r.detail;
+  EXPECT_EQ(service.counters().deadline_expired, 1);
+
+  // The expired request consumed no slot: the single-slot queue still
+  // admits the next request instead of rejecting it as full.
+  serve::Request next;
+  next.id = "next";
+  next.matrix = small_matrix(8, 1);
+  auto future = service.submit(std::move(next));
+  EXPECT_EQ(service.queued_depth(), 1u);
+  service.shutdown();
+  EXPECT_EQ(future.get().status, serve::Status::kShutdown);
+}
+
+TEST(ServeDeadline, NaNBudgetIsAnInvalidRequest) {
+  serve::Service service(service_config(/*workers=*/0));
+  serve::Request r;
+  r.id = "nan";
+  r.matrix = small_matrix(8, 1);
+  r.timeout_seconds = std::nan("");
+  const serve::Response response = service.submit(std::move(r)).get();
+  EXPECT_EQ(response.status, serve::Status::kFailed);
+  EXPECT_NE(response.detail.find("NaN"), std::string::npos)
+      << response.detail;
+  EXPECT_EQ(service.counters().failed, 1);
+}
+
+TEST(ServeDeadline, QueuedRequestExpiresLazilyAtPickup) {
+  // Deterministic via the pluggable deadline clock: the pickup phase hook
+  // jumps the clock past the deadline before the expiry check runs.
+  std::atomic<double> fake_clock{0.0};
+  serve::Service::Config config = service_config(/*workers=*/1);
+  config.clock = [&fake_clock] { return fake_clock.load(); };
+  config.phase_hook = [&fake_clock](const serve::PhaseEvent& event) {
+    if (std::string(event.phase) == "pickup" && event.id == "doomed")
+      fake_clock.store(100.0);
+  };
+  serve::Service service(config);
+  serve::Request r;
+  r.id = "doomed";
+  r.matrix = small_matrix(8, 1);
+  r.timeout_seconds = 5.0;
+  const serve::Response response = service.submit(std::move(r)).get();
+  EXPECT_EQ(response.status, serve::Status::kDeadline);
+  EXPECT_NE(response.detail.find("deadline expired"), std::string::npos)
+      << response.detail;
+  EXPECT_TRUE(response.digest.empty()) << "expired request ran numeric work";
+  EXPECT_EQ(service.counters().deadline_expired, 1);
+  EXPECT_EQ(service.counters().completed, 0);
+}
+
+TEST(ServeCancel, TokenFlippedAtScatterBoundaryUnwindsTheFactorization) {
+  // The scatter boundary fires inside factor()'s load callback; a cancel
+  // observed there must unwind the factorization cleanly (AbortRequest
+  // through the numeric stack) and terminate with kCancelled.
+  const serve::CancelToken token = serve::make_cancel_token();
+  serve::Service::Config config = service_config(/*workers=*/1);
+  config.phase_hook = [&token](const serve::PhaseEvent& event) {
+    if (std::string(event.phase) == "scatter" && event.id == "cancel-me")
+      token->store(true);
+  };
+  serve::Service service(config);
+  serve::Request r;
+  r.id = "cancel-me";
+  r.matrix = small_matrix(8, 1);
+  r.cancel = token;
+  const serve::Response response = service.submit(std::move(r)).get();
+  EXPECT_EQ(response.status, serve::Status::kCancelled);
+  EXPECT_NE(response.detail.find("cancelled by client token"),
+            std::string::npos)
+      << response.detail;
+  EXPECT_TRUE(response.digest.empty());
+  EXPECT_EQ(service.counters().cancelled, 1);
+
+  // An uncancelled request on the same service still completes.
+  const serve::Response ok = submit_and_wait(service, small_matrix(8, 2), "ok");
+  EXPECT_EQ(ok.status, serve::Status::kOk) << ok.detail;
+
+  service.shutdown();
+  psi::obs::MetricsRegistry registry;
+  service.fold_metrics(registry);
+  const std::string ndjson = registry.to_ndjson();
+  EXPECT_NE(ndjson.find("serve_requests_cancelled"), std::string::npos);
+  EXPECT_NE(ndjson.find("serve_requests_deadline"), std::string::npos);
+}
+
+TEST(ServeCancel, TokenFlippedWhileQueuedCancelsAtPickup) {
+  serve::Service::Config config = service_config(/*workers=*/1);
+  config.max_batch = 1;
+  serve::Service service(config);
+  // A large cold request pins the single worker while "c" waits in queue.
+  auto blocker = [&] {
+    serve::Request r;
+    r.id = "blocker";
+    r.matrix = small_matrix(40, 1);
+    return service.submit(std::move(r));
+  }();
+  serve::Request r;
+  r.id = "c";
+  r.matrix = small_matrix(8, 1);
+  r.cancel = serve::make_cancel_token();
+  const serve::CancelToken token = r.cancel;
+  auto cancelled = service.submit(std::move(r));
+  token->store(true);  // flipped while queued
+  ASSERT_EQ(blocker.get().status, serve::Status::kOk);
+  const serve::Response response = cancelled.get();
+  EXPECT_EQ(response.status, serve::Status::kCancelled);
+  EXPECT_EQ(response.scatter_seconds, 0.0) << "cancelled request ran numeric";
+  EXPECT_EQ(service.counters().cancelled, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Drain and watchdog
+
+TEST(ServeDrain, GracefulDrainCompletesOutstandingWorkThenStopsAdmission) {
+  serve::Service service(service_config(/*workers=*/2));
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < 6; ++i) {
+    serve::Request r;
+    r.id = "d" + std::to_string(i);
+    r.matrix = small_matrix(8, static_cast<std::uint64_t>(i % 2 + 1));
+    futures.push_back(service.submit(std::move(r)));
+  }
+  const serve::Service::DrainReport report = service.drain(60.0);
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.hard_failed, 0);
+  EXPECT_EQ(service.queued_depth(), 0u);
+  EXPECT_EQ(service.in_flight(), 0);
+  for (auto& f : futures) EXPECT_EQ(f.get().status, serve::Status::kOk);
+
+  // Admission is stopped after drain, before shutdown.
+  serve::Request late;
+  late.id = "late";
+  late.matrix = small_matrix(8, 1);
+  const serve::Response r = service.submit(std::move(late)).get();
+  EXPECT_EQ(r.status, serve::Status::kShutdown);
+  EXPECT_NE(r.detail.find("draining"), std::string::npos) << r.detail;
+  service.shutdown();
+}
+
+TEST(ServeDrain, TimeoutHardFailsEveryQueuedRequestWithShutdown) {
+  // Admit-only service: nothing ever drains, so the timeout path is exact.
+  serve::Service service(service_config(/*workers=*/0));
+  std::vector<std::future<serve::Response>> futures;
+  for (int i = 0; i < 3; ++i) {
+    serve::Request r;
+    r.id = "q" + std::to_string(i);
+    r.matrix = small_matrix(8, 1);
+    futures.push_back(service.submit(std::move(r)));
+  }
+  const serve::Service::DrainReport report = service.drain(0.05);
+  EXPECT_FALSE(report.completed);
+  EXPECT_EQ(report.hard_failed, 3);
+  EXPECT_EQ(service.queued_depth(), 0u) << "drain leaked queue entries";
+  for (auto& f : futures) {
+    const serve::Response r = f.get();
+    EXPECT_EQ(r.status, serve::Status::kShutdown);
+    EXPECT_NE(r.detail.find("drain timeout"), std::string::npos) << r.detail;
+  }
+  EXPECT_EQ(service.counters().shutdown_aborted, 3);
+  service.shutdown();
+}
+
+TEST(ServeWatchdog, StalledWorkerIsCancelledAtItsNextPhaseBoundary) {
+  serve::Service::Config config = service_config(/*workers=*/1);
+  config.stall_budget_seconds = 0.02;
+  config.phase_hook = [](const serve::PhaseEvent& event) {
+    if (std::string(event.phase) == "factor" && event.id == "stall")
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  };
+  serve::Service service(config);
+  serve::Request r;
+  r.id = "stall";
+  r.matrix = small_matrix(8, 1);
+  const serve::Response response = service.submit(std::move(r)).get();
+  EXPECT_EQ(response.status, serve::Status::kCancelled);
+  EXPECT_NE(response.detail.find("watchdog"), std::string::npos)
+      << response.detail;
+  const serve::Service::Counters counters = service.counters();
+  EXPECT_GE(counters.worker_stalls, 1);
+
+  // The worker is released and serves fresh work (the stale cancel flag
+  // does not leak into the next pickup).
+  const serve::Response ok =
+      submit_and_wait(service, small_matrix(8, 2), "after-stall");
+  EXPECT_EQ(ok.status, serve::Status::kOk) << ok.detail;
+}
+
+TEST(ServeWatchdog, AllWorkersStalledFailsTheQueueOverToClients) {
+  serve::Service::Config config = service_config(/*workers=*/1);
+  config.stall_budget_seconds = 0.02;
+  config.phase_hook = [](const serve::PhaseEvent& event) {
+    if (std::string(event.phase) == "scatter" && event.id == "stall")
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  };
+  serve::Service service(config);
+  serve::Request stall;
+  stall.id = "stall";
+  stall.matrix = small_matrix(8, 1);
+  auto stalled = service.submit(std::move(stall));
+  serve::Request queued;  // different structure: never batched with "stall"
+  queued.id = "queued";
+  queued.matrix = small_matrix(9, 1);
+  auto waiting = service.submit(std::move(queued));
+
+  const serve::Response failed_over = waiting.get();
+  EXPECT_EQ(failed_over.status, serve::Status::kRejected);
+  EXPECT_NE(failed_over.detail.find("watchdog failover"), std::string::npos)
+      << failed_over.detail;
+  EXPECT_EQ(stalled.get().status, serve::Status::kCancelled);
+  const serve::Service::Counters counters = service.counters();
+  EXPECT_GE(counters.watchdog_failovers, 1);
+  EXPECT_GE(counters.worker_stalls, 1);
+}
+
+TEST(ServeShutdown, DrainTimeoutDuringInflightColdBuildResolvesAllFollowers) {
+  // Regression: destroying the service while a single-flight cold build is
+  // in flight with batched followers behind it must resolve EVERY future
+  // with kShutdown — no hang, no use-after-free. The leader blocks in the
+  // build hook; same-structure followers queue behind it (and coalesce on
+  // the single-flight build from the second worker).
+  std::promise<void> build_started;
+  std::promise<void> release_build;
+  std::shared_future<void> release = release_build.get_future().share();
+  std::atomic<bool> started{false};
+  serve::Service::Config config = service_config(/*workers=*/2);
+  config.max_batch = 4;
+  config.phase_hook = [&](const serve::PhaseEvent& event) {
+    if (std::string(event.phase) == "build" &&
+        !started.exchange(true)) {
+      build_started.set_value();
+      release.wait();
+    }
+  };
+  std::vector<std::future<serve::Response>> futures;
+  {
+    serve::Service service(config);
+    for (int i = 0; i < 3; ++i) {
+      serve::Request r;
+      r.id = "b" + std::to_string(i);
+      r.matrix = small_matrix(8, static_cast<std::uint64_t>(i + 1));
+      futures.push_back(service.submit(std::move(r)));
+      if (i == 0) build_started.get_future().wait();
+    }
+    const serve::Service::DrainReport report = service.drain(0.05);
+    EXPECT_FALSE(report.completed);
+    release_build.set_value();  // let the build finish; hard stop is set
+    service.shutdown();
+    EXPECT_EQ(service.in_flight(), 0);
+    EXPECT_EQ(service.queued_depth(), 0u);
+  }  // destructor runs with every future already terminal
+  int shutdown_count = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)), std::future_status::ready)
+        << "a follower future never resolved";
+    const serve::Response r = f.get();
+    EXPECT_EQ(r.status, serve::Status::kShutdown) << r.detail;
+    ++shutdown_count;
+  }
+  EXPECT_EQ(shutdown_count, 3);
+}
+
+// ---------------------------------------------------------------------------
 // Workload + metrics
 
 TEST(ServeWorkload, WarmStartClosedLoopServesEverythingFromCache) {
@@ -606,5 +885,5 @@ TEST(ServeWorkload, WarmStartClosedLoopServesEverythingFromCache) {
   std::ostringstream out;
   serve::print_report(out, report);
   EXPECT_NE(out.str().find("hit rate"), std::string::npos);
-  EXPECT_EQ(report.to_record().keys().size(), 20u);
+  EXPECT_EQ(report.to_record().keys().size(), 22u);  // + deadline, cancelled
 }
