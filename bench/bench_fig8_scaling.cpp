@@ -39,11 +39,17 @@ Series timed_pselinv(const SymbolicAnalysis& an, int p, trees::TreeScheme scheme
   driver::square_grid(p, pr, pc);
   const pselinv::Plan plan = make_plan(an, pr, pc, scheme);
   SampleStats stats;
+  // Honoring PSI_SIM_PARTITIONS cannot change any number in the figure —
+  // partitioned replay is bitwise identical to sequential by contract.
+  pselinv::RunOptions options;
+  options.partitions = parallel::sim_partitions();
   for (int rep = 0; rep < reps; ++rep) {
     const sim::Machine machine(
         driver::timing_machine(jitter, 1000 + static_cast<std::uint64_t>(rep)));
     pselinv::RunResult run =
-        run_pselinv(plan, machine, pselinv::ExecutionMode::kTrace);
+        run_pselinv(plan, machine, pselinv::ExecutionMode::kTrace,
+                    /*factor=*/nullptr, /*trace_out=*/nullptr,
+                    /*obs_sink=*/nullptr, options);
     stats.add(run.makespan);
     if (last_run != nullptr) *last_run = std::move(run);
   }

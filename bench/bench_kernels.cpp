@@ -10,6 +10,9 @@
 /// the figure benches, so throughput regressions diff in version control.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstring>
+
 #include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "driver/experiment.hpp"
@@ -165,19 +168,54 @@ struct StormResult {
   Count events = 0;
   double wall_seconds = 0.0;
   double events_per_second = 0.0;
+  int partitions = 1;         ///< effective partition count of the run
+  sim::SimTime makespan = 0.0;
+  std::uint64_t digest = 0;   ///< trace digest (0 unless tracing was on)
 };
 
-StormResult run_all_to_all_storm(int nranks, int rounds) {
+/// Order-sensitive digest of the full delivery trace plus the makespan and
+/// event-count bits — any reordering, retiming, or dropped/extra event under
+/// partitioned execution flips it.
+std::uint64_t trace_digest(const sim::Engine& engine) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  for (const sim::TraceEvent& ev : engine.trace()) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(ev.time) == sizeof(bits), "SimTime is 64-bit");
+    std::memcpy(&bits, &ev.time, sizeof(bits));
+    h = hash_combine(h, bits);
+    h = hash_combine(h, static_cast<std::uint64_t>(ev.src));
+    h = hash_combine(h, static_cast<std::uint64_t>(ev.dst));
+    h = hash_combine(h, static_cast<std::uint64_t>(ev.comm_class));
+    h = hash_combine(h, static_cast<std::uint64_t>(ev.bytes));
+    h = hash_combine(h, static_cast<std::uint64_t>(ev.tag));
+  }
+  std::uint64_t mk = 0;
+  const sim::SimTime makespan = engine.makespan();
+  std::memcpy(&mk, &makespan, sizeof(mk));
+  h = hash_combine(h, mk);
+  return hash_combine(h, static_cast<std::uint64_t>(engine.events_processed()));
+}
+
+StormResult storm_result(sim::Engine& engine, bool traced) {
+  engine.run();
+  return {engine.events_processed(),  engine.run_wall_seconds(),
+          engine.events_per_second(), engine.partitions(),
+          engine.makespan(),          traced ? trace_digest(engine) : 0};
+}
+
+StormResult run_all_to_all_storm(int nranks, int rounds, int partitions = 1,
+                                 bool traced = false) {
   const sim::Machine machine(driver::edison_config());
   sim::Engine engine(machine, nranks, 1);
   for (int r = 0; r < nranks; ++r)
     engine.set_rank(r, std::make_unique<AllToAllRank>(nranks, rounds));
-  engine.run();
-  return {engine.events_processed(), engine.run_wall_seconds(),
-          engine.events_per_second()};
+  engine.set_partitions(partitions);
+  if (traced) engine.enable_trace(1u << 22);
+  return storm_result(engine, traced);
 }
 
-StormResult run_bcast_storm(int nranks, int bcasts) {
+StormResult run_bcast_storm(int nranks, int bcasts, int partitions = 1,
+                            bool traced = false) {
   trees::TreeOptions opt =
       driver::tree_options_for(trees::TreeScheme::kShiftedBinary);
   std::vector<trees::CommTree> storms;
@@ -195,9 +233,9 @@ StormResult run_bcast_storm(int nranks, int bcasts) {
   sim::Engine engine(machine, nranks, 1);
   for (int r = 0; r < nranks; ++r)
     engine.set_rank(r, std::make_unique<BcastStormRank>(&storms));
-  engine.run();
-  return {engine.events_processed(), engine.run_wall_seconds(),
-          engine.events_per_second()};
+  engine.set_partitions(partitions);
+  if (traced) engine.enable_trace(1u << 22);
+  return storm_result(engine, traced);
 }
 
 void BM_AllToAllStorm(benchmark::State& state) {
@@ -256,6 +294,79 @@ void report_engine_throughput() {
   }
 }
 
+/// Partition sweep over the storm workloads: every partition count must
+/// reproduce the sequential trace digest bit-for-bit (the determinism
+/// contract of sim::Engine::set_partitions), and the CSV records the honest
+/// single-core overhead of windowed execution. Returns false — and the bench
+/// exits non-zero — on any digest mismatch.
+bool report_partition_sweep() {
+  using psi::bench::out_dir;
+  CsvWriter csv(out_dir() + "/kernels_partition_sweep.csv",
+                {"workload", "ranks", "partitions", "effective_partitions",
+                 "events", "wall_s", "events_per_s", "digest", "match"});
+  struct Workload {
+    const char* name;
+    int ranks;
+    StormResult (*run)(int partitions);
+  };
+  const Workload workloads[] = {
+      {"all_to_all", 64,
+       [](int p) { return run_all_to_all_storm(64, 5, p, /*traced=*/true); }},
+      {"bcast_storm", 128,
+       [](int p) { return run_bcast_storm(128, 256, p, /*traced=*/true); }},
+  };
+  const int sweep[] = {1, 2, 4, 8};
+  // PSI_SIM_PARTITIONS joins the sweep so CI can gate an arbitrary count.
+  const int env_partitions = parallel::sim_partitions();
+  bool ok = true;
+  std::printf("Partition sweep (digest gate vs partitions=1):\n");
+  for (const Workload& w : workloads) {
+    std::uint64_t baseline = 0;
+    for (int partitions : sweep) {
+      const StormResult result = w.run(partitions);
+      if (partitions == 1) baseline = result.digest;
+      const bool match = result.digest == baseline;
+      ok = ok && match;
+      std::printf(
+          "  %-12s ranks=%-4d partitions=%d(eff %d) events=%-8lld %.3fs  "
+          "digest=%016llx %s\n",
+          w.name, w.ranks, partitions, result.partitions,
+          static_cast<long long>(result.events), result.wall_seconds,
+          static_cast<unsigned long long>(result.digest),
+          match ? "ok" : "MISMATCH");
+      csv.write_row({w.name, std::to_string(w.ranks),
+                     std::to_string(partitions),
+                     std::to_string(result.partitions),
+                     std::to_string(result.events),
+                     TextTable::fmt(result.wall_seconds, 4),
+                     TextTable::fmt(result.events_per_second, 0),
+                     std::to_string(result.digest),
+                     match ? "1" : "0"});
+    }
+    if (env_partitions > 1) {
+      const StormResult result = w.run(env_partitions);
+      const bool match = result.digest == baseline;
+      ok = ok && match;
+      std::printf("  %-12s PSI_SIM_PARTITIONS=%d(eff %d) digest=%016llx %s\n",
+                  w.name, env_partitions, result.partitions,
+                  static_cast<unsigned long long>(result.digest),
+                  match ? "ok" : "MISMATCH");
+      csv.write_row({w.name, std::to_string(w.ranks),
+                     std::to_string(env_partitions),
+                     std::to_string(result.partitions),
+                     std::to_string(result.events),
+                     TextTable::fmt(result.wall_seconds, 4),
+                     TextTable::fmt(result.events_per_second, 0),
+                     std::to_string(result.digest),
+                     match ? "1" : "0"});
+    }
+  }
+  if (!ok)
+    std::fprintf(stderr,
+                 "FAIL: partitioned storm trace diverged from sequential\n");
+  return ok;
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_TreeBuild, flat, psi::trees::TreeScheme::kFlat)
@@ -272,10 +383,16 @@ BENCHMARK(BM_AllToAllStorm)->Arg(64)->Arg(256);
 BENCHMARK(BM_BcastStorm)->Arg(256)->Arg(512);
 
 int main(int argc, char** argv) {
+  // `--storm-gate`: run only the partition-determinism gate (CI smoke mode;
+  // exit code reports digest equality) and skip the iterated benchmarks.
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--storm-gate") == 0)
+      return report_partition_sweep() ? 0 : 1;
   report_engine_throughput();
+  const bool partitions_ok = report_partition_sweep();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return partitions_ok ? 0 : 1;
 }

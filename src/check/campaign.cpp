@@ -127,6 +127,8 @@ CampaignResult run_campaign(const CampaignOptions& options,
           .add("legs", static_cast<long long>(result.legs_run))
           .add("numeric_parallel_legs",
                static_cast<long long>(result.numeric_parallel_legs))
+          .add("sim_partition_legs",
+               static_cast<long long>(result.sim_partition_legs))
           .add("events", static_cast<long long>(result.events))
           .add("max_ref_err", result.max_ref_err)
           .add("drops", static_cast<long long>(result.injected_drops))
@@ -147,6 +149,8 @@ CampaignResult run_campaign(const CampaignOptions& options,
       metrics->counter("check.legs").add(static_cast<Count>(result.legs_run));
       metrics->counter("check.numeric_parallel_legs")
           .add(static_cast<Count>(result.numeric_parallel_legs));
+      metrics->counter("check.sim_partition_legs")
+          .add(static_cast<Count>(result.sim_partition_legs));
       metrics->counter("check.events").add(result.events);
       metrics->counter("check.injected_drops").add(result.injected_drops);
       metrics->counter("check.injected_duplicates")

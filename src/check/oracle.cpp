@@ -249,10 +249,14 @@ CaseResult run_case(const CaseSpec& spec) {
     // ("" when clean) and hands the gathered inverse back via `out`.
     const auto run_leg = [&](const char* leg_tag, bool resilient,
                              bool faulted, std::uint64_t sched_seed,
-                             std::unique_ptr<BlockMatrix>* out) -> std::string {
+                             std::unique_ptr<BlockMatrix>* out,
+                             int partitions = 1,
+                             sim::SimTime* makespan_out =
+                                 nullptr) -> std::string {
       SupernodalLU lu = SupernodalLU::factor(an);
       pselinv::RunOptions options;
       options.resilience.enabled = resilient;
+      options.partitions = partitions;
       fault::DeterministicInjector injector(fault_plan);
       if (faulted) options.injector = &injector;
       AdversarialSchedule schedule(sched_seed, spec.delay_bound);
@@ -261,7 +265,9 @@ CaseResult run_case(const CaseSpec& spec) {
           run_pselinv(plan, machine, pselinv::ExecutionMode::kNumeric, &lu,
                       nullptr, nullptr, options);
       result.legs_run += 1;
+      if (partitions > 1) result.sim_partition_legs += 1;
       result.events += run.events;
+      if (makespan_out != nullptr) *makespan_out = run.makespan;
       result.arena_high_water =
           std::max(result.arena_high_water, run.arena_high_water);
       const auto tag = [&](const char* kind) {
@@ -308,9 +314,11 @@ CaseResult run_case(const CaseSpec& spec) {
 
     // Fast-mode clean leg: tolerance against the sequential reference.
     std::unique_ptr<BlockMatrix> fast;
+    sim::SimTime fast_makespan = 0.0;
     if (std::string sig =
             run_leg("fast", /*resilient=*/false, /*faulted=*/false,
-                    /*sched_seed=*/0, &fast);
+                    /*sched_seed=*/0, &fast, /*partitions=*/1,
+                    &fast_makespan);
         !sig.empty())
       return fail(std::move(sig));
     const double fast_gap = max_ref_gap(*fast, reference, an.blocks);
@@ -318,6 +326,33 @@ CaseResult run_case(const CaseSpec& spec) {
     if (fast_gap > kRefTolerance)
       return fail(std::string("ref-mismatch scheme=") + scheme_tag +
                   " leg=fast err=" + format_double(fast_gap));
+
+    // Partitioned-engine twin of the fast leg (shifted-binary only, so a
+    // trial pays for exactly two partitioned legs): the partitioned DES must
+    // reproduce the sequential leg BITWISE — same gathered inverse, same
+    // makespan (DESIGN.md §14).
+    if (scheme == trees::TreeScheme::kShiftedBinary) {
+      std::unique_ptr<BlockMatrix> fast_p;
+      sim::SimTime fast_p_makespan = 0.0;
+      if (std::string sig =
+              run_leg("fast-p2", /*resilient=*/false, /*faulted=*/false,
+                      /*sched_seed=*/0, &fast_p, /*partitions=*/2,
+                      &fast_p_makespan);
+          !sig.empty())
+        return fail(std::move(sig));
+      if (fast_p_makespan != fast_makespan)
+        return fail(std::string("sim-partition-mismatch scheme=") +
+                    scheme_tag + " leg=fast-p2 makespan=" +
+                    format_double(fast_p_makespan) +
+                    " sequential=" + format_double(fast_makespan));
+      const BlockDiff diff = first_bitwise_diff(*fast, *fast_p, an.blocks);
+      if (diff.differs)
+        return fail(std::string("sim-partition-mismatch scheme=") +
+                    scheme_tag + " leg=fast-p2 block=" +
+                    std::to_string(diff.row) + "," + std::to_string(diff.col) +
+                    " sequential=" + format_double(diff.lhs) +
+                    " got=" + format_double(diff.rhs));
+    }
 
     // Resilient legs: faulted baseline plus K adversarial schedules, all
     // required to agree bitwise.
@@ -332,6 +367,28 @@ CaseResult run_case(const CaseSpec& spec) {
     if (base_gap > kRefTolerance)
       return fail(std::string("ref-mismatch scheme=") + scheme_tag +
                   " leg=resilient0 err=" + format_double(base_gap));
+
+    // Second partitioned leg: resilient + faulted + adversarial schedule on
+    // four partitions. Resilient-mode accumulation is canonical-order, so
+    // its inverse must match the faulted baseline bitwise no matter the
+    // schedule or the partitioning.
+    if (scheme == trees::TreeScheme::kShiftedBinary) {
+      std::unique_ptr<BlockMatrix> adversarial_p;
+      if (std::string sig = run_leg(
+              "resilient-p4", /*resilient=*/true, /*faulted=*/true,
+              leg_seed(spec.schedule_seed, 1), &adversarial_p,
+              /*partitions=*/4);
+          !sig.empty())
+        return fail(std::move(sig));
+      const BlockDiff diff =
+          first_bitwise_diff(*baseline, *adversarial_p, an.blocks);
+      if (diff.differs)
+        return fail(std::string("sim-partition-mismatch scheme=") +
+                    scheme_tag + " leg=resilient-p4 block=" +
+                    std::to_string(diff.row) + "," + std::to_string(diff.col) +
+                    " baseline=" + format_double(diff.lhs) +
+                    " got=" + format_double(diff.rhs));
+    }
 
     for (int i = 1; i <= spec.schedules; ++i) {
       const std::string leg_tag = "resilient" + std::to_string(i);

@@ -76,6 +76,9 @@ struct CaseResult {
   /// Task-parallel numeric legs executed (factor_parallel + selinv_parallel
   /// runs compared bitwise against the sequential reference).
   std::size_t numeric_parallel_legs = 0;
+  /// Partitioned-engine legs executed (sim::Engine::set_partitions > 1 runs
+  /// compared bitwise against their sequential twins).
+  std::size_t sim_partition_legs = 0;
   double max_ref_err = 0.0;      ///< worst |entry| gap vs sequential selinv
   Count events = 0;              ///< DES events summed over all legs
   Count injected_drops = 0;      ///< summed over faulted legs

@@ -11,16 +11,17 @@ AdversarialSchedule::AdversarialSchedule(std::uint64_t seed,
   PSI_CHECK_MSG(delay_bound >= 0.0, "delay_bound must be non-negative");
 }
 
-std::uint64_t AdversarialSchedule::tie_priority(std::uint64_t seq) {
-  if (seed_ == 0) return seq;
-  std::uint64_t state = seed_ ^ (seq * 0x9e3779b97f4a7c15ULL);
+std::uint64_t AdversarialSchedule::tie_priority(std::uint64_t key) {
+  if (seed_ == 0) return key;
+  std::uint64_t state = seed_ ^ (key * 0x9e3779b97f4a7c15ULL);
   return splitmix64(state);
 }
 
 sim::SimTime AdversarialSchedule::network_delay(int src, int dst,
                                                 std::int64_t tag, Count bytes,
                                                 int comm_class,
-                                                sim::SimTime post) {
+                                                sim::SimTime post,
+                                                std::uint64_t draw_id) {
   (void)src;
   (void)dst;
   (void)tag;
@@ -28,11 +29,11 @@ sim::SimTime AdversarialSchedule::network_delay(int src, int dst,
   (void)comm_class;
   (void)post;
   if (seed_ == 0 || delay_bound_ <= 0.0) return 0.0;
-  // The draw depends only on (seed, stream position): the engine consults
-  // the policy in its deterministic send order, so the jitter sequence is a
-  // pure function of the seed, independent of wall clock or host.
+  // The draw depends only on (seed, draw_id): the engine's draw_id is a
+  // pure function of the sender's causal history, so the jitter a message
+  // sees is identical across runs, hosts, and engine partition counts.
   std::uint64_t state =
-      hash_combine(hash_combine(seed_, std::uint64_t{0xde1a}), delay_draws_++);
+      hash_combine(hash_combine(seed_, std::uint64_t{0xde1a}), draw_id);
   const double u = static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
   return delay_bound_ * u;
 }

@@ -2,13 +2,16 @@
 /// \brief Seeded adversarial schedule: the concrete sim::SchedulePolicy the
 /// check subsystem explores schedule space with.
 ///
-/// Seed semantics: seed 0 is the identity schedule (FIFO tie-break, zero
-/// jitter) — the engine's native order, usable as the baseline leg of a
-/// differential trial. Any other seed permutes same-timestamp pop order via
-/// a stateless hash of the event sequence number and, when `delay_bound` is
-/// positive, adds an independent uniform wire delay in [0, delay_bound) to
-/// every network message. Both streams are pure functions of (seed, draw
-/// index), so a schedule replays exactly: same seed, same schedule.
+/// Seed semantics: seed 0 is the identity schedule (the engine's stable-key
+/// tie-break, zero jitter) — the engine's native order, usable as the
+/// baseline leg of a differential trial. Any other seed permutes
+/// same-timestamp pop order via a stateless hash of the event key and, when
+/// `delay_bound` is positive, adds an independent uniform wire delay in
+/// [0, delay_bound) to every network message, hashed from the engine's
+/// counter-stable draw_id. Both streams are pure functions of
+/// (seed, identity), so a schedule replays exactly — same seed, same
+/// schedule — for any engine partition count, and the policy is safely
+/// shared across partition threads (it holds no mutable state).
 #pragma once
 
 #include <cstdint>
@@ -25,14 +28,14 @@ class AdversarialSchedule final : public sim::SchedulePolicy {
   std::uint64_t seed() const { return seed_; }
   sim::SimTime delay_bound() const { return delay_bound_; }
 
-  std::uint64_t tie_priority(std::uint64_t seq) override;
+  std::uint64_t tie_priority(std::uint64_t key) override;
   sim::SimTime network_delay(int src, int dst, std::int64_t tag, Count bytes,
-                             int comm_class, sim::SimTime post) override;
+                             int comm_class, sim::SimTime post,
+                             std::uint64_t draw_id) override;
 
  private:
   std::uint64_t seed_;
   sim::SimTime delay_bound_;
-  std::uint64_t delay_draws_ = 0;  ///< per-post delay stream position
 };
 
 }  // namespace psi::check

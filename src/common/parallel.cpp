@@ -14,11 +14,12 @@ namespace {
 /// self-nested submission stays rejected.
 thread_local const ThreadPool* current_worker_pool = nullptr;
 
-/// Shared clamp-with-warning parser for thread-count knobs: unset ->
+/// Shared clamp-with-warning parser for positive-count knobs: unset ->
 /// `fallback`; garbage/zero/negative -> 1 with a stderr warning naming the
-/// variable; values above `max_threads` clamp to the bound.
-int parse_thread_env(const char* name, const char* env, int fallback,
-                     int max_threads) {
+/// variable (`noun` names the unit, e.g. "thread" or "partition"); values
+/// above `max_count` clamp to the bound.
+int parse_count_env(const char* name, const char* noun, const char* env,
+                    int fallback, int max_count) {
   if (env == nullptr) return fallback;
   char* end = nullptr;
   errno = 0;
@@ -27,21 +28,22 @@ int parse_thread_env(const char* name, const char* env, int fallback,
   if (!parsed || value < 1) {
     // A bad knob must not kill a long run mid-harness: warn and fall back
     // to sequential execution (which is always correct — output is
-    // bit-identical for any thread count).
+    // bit-identical for any thread or partition count).
     std::fprintf(stderr,
                  "# warning: %s='%s' is not a positive integer; running "
-                 "with 1 thread\n",
-                 name, env);
+                 "with 1 %s\n",
+                 name, env, noun);
     return 1;
   }
-  return value > max_threads ? max_threads : static_cast<int>(value);
+  return value > max_count ? max_count : static_cast<int>(value);
 }
 }  // namespace
 
 int parse_bench_threads(const char* env) {
   const unsigned hw = std::thread::hardware_concurrency();
   const int fallback = hw > 0 ? static_cast<int>(hw) : 1;
-  return parse_thread_env("PSI_BENCH_THREADS", env, fallback, kMaxBenchThreads);
+  return parse_count_env("PSI_BENCH_THREADS", "thread", env, fallback,
+                         kMaxBenchThreads);
 }
 
 int bench_threads() {
@@ -51,12 +53,23 @@ int bench_threads() {
 int parse_compute_threads(const char* env) {
   // Default 1 (not hardware concurrency): a service that silently grabbed
   // every core per request would oversubscribe the moment two workers ran.
-  return parse_thread_env("PSI_SERVE_COMPUTE_THREADS", env, /*fallback=*/1,
-                          kMaxComputeThreads);
+  return parse_count_env("PSI_SERVE_COMPUTE_THREADS", "thread", env,
+                         /*fallback=*/1, kMaxComputeThreads);
 }
 
 int compute_threads() {
   return parse_compute_threads(std::getenv("PSI_SERVE_COMPUTE_THREADS"));
+}
+
+int parse_sim_partitions(const char* env) {
+  // Default 1: partitioned simulation is opt-in (results are bitwise
+  // identical either way; the knob only trades wall-clock for threads).
+  return parse_count_env("PSI_SIM_PARTITIONS", "partition", env,
+                         /*fallback=*/1, kMaxSimPartitions);
+}
+
+int sim_partitions() {
+  return parse_sim_partitions(std::getenv("PSI_SIM_PARTITIONS"));
 }
 
 ThreadPool::ThreadPool(int threads) {

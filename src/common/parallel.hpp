@@ -36,6 +36,11 @@ inline constexpr int kMaxBenchThreads = 1024;
 /// hundreds of threads per service worker).
 inline constexpr int kMaxComputeThreads = 256;
 
+/// Upper bound on PSI_SIM_PARTITIONS. The engine clamps further to the rank
+/// count, so the bound only guards against typo-sized values spawning a
+/// thousand partition threads.
+inline constexpr int kMaxSimPartitions = 64;
+
 /// Worker threads for the bench harnesses: PSI_BENCH_THREADS env var
 /// (default: hardware concurrency, minimum 1). A value that is not a
 /// positive integer (garbage, 0, negative) is clamped to 1 with a warning
@@ -58,6 +63,18 @@ int compute_threads();
 /// Parsing core of compute_threads(), exposed for testing: `env` is the raw
 /// PSI_SERVE_COMPUTE_THREADS value (null = unset).
 int parse_compute_threads(const char* env);
+
+/// Event-queue partitions for the simulation engine: PSI_SIM_PARTITIONS env
+/// var (default: 1 — partitioned execution is opt-in; output is bitwise
+/// identical for any value, so the knob only trades wall-clock). Same
+/// clamp-with-warning discipline as the thread knobs: garbage/zero/negative
+/// values degrade to 1 with a stderr warning, values above
+/// kMaxSimPartitions clamp to the bound.
+int sim_partitions();
+
+/// Parsing core of sim_partitions(), exposed for testing: `env` is the raw
+/// PSI_SIM_PARTITIONS value (null = unset).
+int parse_sim_partitions(const char* env);
 
 /// Fixed-size pool of worker threads draining a FIFO task queue.
 ///

@@ -8,10 +8,10 @@ namespace psi::fault {
 
 namespace {
 
-/// Uniform in [0, 1) from a stateless hash of (seed, counter, salt).
-double uniform_from(std::uint64_t seed, std::uint64_t counter,
+/// Uniform in [0, 1) from a stateless hash of (seed, draw_id, salt).
+double uniform_from(std::uint64_t seed, std::uint64_t draw_id,
                     std::uint64_t salt) {
-  std::uint64_t state = hash_combine(hash_combine(seed, counter), salt);
+  std::uint64_t state = hash_combine(hash_combine(seed, draw_id), salt);
   return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
 }
 
@@ -20,12 +20,12 @@ double uniform_from(std::uint64_t seed, std::uint64_t counter,
 sim::FaultDecision DeterministicInjector::on_send(int src, int dst,
                                                   std::int64_t tag,
                                                   Count bytes, int comm_class,
-                                                  sim::SimTime post) {
+                                                  sim::SimTime post,
+                                                  std::uint64_t draw_id) {
   (void)src;
   (void)dst;
   (void)tag;
-  stats_.consulted += 1;
-  const std::uint64_t draw_id = counter_++;
+  consulted_.fetch_add(1, std::memory_order_relaxed);
   sim::FaultDecision decision;
   const auto& rules = plan_->rules();
   for (std::size_t i = 0; i < rules.size(); ++i) {
@@ -47,12 +47,17 @@ sim::FaultDecision DeterministicInjector::on_send(int src, int dst,
       decision.delay += rule.delay;
   }
   if (decision.drop) {
-    stats_.dropped += 1;
-    stats_.dropped_bytes += bytes;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    dropped_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   }
-  stats_.duplicated += static_cast<Count>(decision.duplicates);
-  stats_.duplicated_bytes += static_cast<Count>(decision.duplicates) * bytes;
-  if (decision.delay > 0.0) stats_.delayed += 1;
+  if (decision.duplicates > 0) {
+    duplicated_.fetch_add(static_cast<Count>(decision.duplicates),
+                          std::memory_order_relaxed);
+    duplicated_bytes_.fetch_add(
+        static_cast<Count>(decision.duplicates) * bytes,
+        std::memory_order_relaxed);
+  }
+  if (decision.delay > 0.0) delayed_.fetch_add(1, std::memory_order_relaxed);
   return decision;
 }
 

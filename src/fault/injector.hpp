@@ -2,6 +2,7 @@
 /// \brief Deterministic realization of a FaultPlan's message-fault rules.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 
 #include "fault/fault_plan.hpp"
@@ -10,11 +11,13 @@
 namespace psi::fault {
 
 /// sim::FaultInjector that realizes a FaultPlan's message rules. Every
-/// per-message draw is derived from (plan seed, rule index, message
-/// counter) with stateless hashing: the engine consults the injector in its
-/// deterministic send order, so the same plan injects the exact same fault
-/// sequence every run — the foundation of the "same seed, same makespan"
-/// reproducibility guarantee.
+/// per-message draw is derived from (plan seed, rule index, the engine's
+/// counter-stable draw_id) with stateless hashing: the decision for a given
+/// message depends only on the sender's causal history, so the same plan
+/// injects the exact same fault sequence every run AND for any engine
+/// partition count — the foundation of the "same seed, same makespan"
+/// reproducibility guarantee. The injector keeps no draw state of its own;
+/// statistics are atomic so partitioned engines may consult it concurrently.
 class DeterministicInjector : public sim::FaultInjector {
  public:
   struct Stats {
@@ -33,14 +36,31 @@ class DeterministicInjector : public sim::FaultInjector {
   explicit DeterministicInjector(const FaultPlan& plan) : plan_(&plan) {}
 
   sim::FaultDecision on_send(int src, int dst, std::int64_t tag, Count bytes,
-                             int comm_class, sim::SimTime post) override;
+                             int comm_class, sim::SimTime post,
+                             std::uint64_t draw_id) override;
 
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of the (atomic) counters. Totals are sums of per-message
+  /// contributions, so they are identical for any partitioning.
+  Stats stats() const {
+    Stats snapshot;
+    snapshot.consulted = consulted_.load(std::memory_order_relaxed);
+    snapshot.dropped = dropped_.load(std::memory_order_relaxed);
+    snapshot.duplicated = duplicated_.load(std::memory_order_relaxed);
+    snapshot.delayed = delayed_.load(std::memory_order_relaxed);
+    snapshot.dropped_bytes = dropped_bytes_.load(std::memory_order_relaxed);
+    snapshot.duplicated_bytes =
+        duplicated_bytes_.load(std::memory_order_relaxed);
+    return snapshot;
+  }
 
  private:
   const FaultPlan* plan_;
-  Stats stats_;
-  std::uint64_t counter_ = 0;
+  std::atomic<Count> consulted_{0};
+  std::atomic<Count> dropped_{0};
+  std::atomic<Count> duplicated_{0};
+  std::atomic<Count> delayed_{0};
+  std::atomic<Count> dropped_bytes_{0};
+  std::atomic<Count> duplicated_bytes_{0};
 };
 
 }  // namespace psi::fault

@@ -61,9 +61,7 @@ struct Shared {
   const SupernodalLU* factor = nullptr;
   BlockMatrix* sink = nullptr;  // numeric gather target
   obs::Sink* obs = nullptr;     // observability sink (may be null)
-  Count blocks_finalized = 0;
   trees::ResilienceConfig res;          // resilient-protocol config
-  trees::ChannelStats channel_stats;    // summed over all rank channels
 
   const BlockStructure& bs() const { return plan->structure(); }
   bool numeric() const { return mode == ExecutionMode::kNumeric; }
@@ -81,7 +79,7 @@ class PSelInvRank : public sim::Rank {
         me_(rank),
         my_prow_(shared.plan->grid().row_of(rank)),
         my_pcol_(shared.plan->grid().col_of(rank)) {
-    channel_.configure(shared.res, rank, &shared.channel_stats);
+    channel_.configure(shared.res, rank, &channel_stats_);
     build_local_index();
   }
 
@@ -199,6 +197,10 @@ class PSelInvRank : public sim::Rank {
 
   /// Tracked sends still awaiting an ack (0 after a healthy run).
   std::size_t channel_inflight() const { return channel_.inflight(); }
+  /// Blocks this rank finalized (kept per rank so partitioned engines never
+  /// contend on a shared counter; the driver sums them).
+  Count blocks_finalized() const { return blocks_finalized_; }
+  const trees::ChannelStats& channel_stats() const { return channel_stats_; }
 
  private:
   // ----- loop 1: panel normalization -------------------------------------
@@ -631,9 +633,8 @@ class PSelInvRank : public sim::Rank {
     DiagSlot& ds = diag_slot(k);
     ds.diag_payload.reset();
     if (sh_->obs != nullptr) {
-      sh_->obs->on_span(
-          obs::SpanEvent{ctx.rank(), "supernode", k, ds.span_begin, ctx.now()});
-      sh_->obs->on_mark(obs::MarkEvent{ctx.rank(), "diag-final", k, ctx.now()});
+      ctx.span("supernode", k, ds.span_begin, ctx.now());
+      ctx.mark("diag-final", k, ctx.now());
     }
   }
 
@@ -642,7 +643,7 @@ class PSelInvRank : public sim::Rank {
                       const std::shared_ptr<const DenseMatrix>& value) {
     PSI_ASSERT(!is_final(id));
     set_final(id);
-    ++sh_->blocks_finalized;
+    ++blocks_finalized_;
     if (sh_->numeric()) {
       PSI_CHECK(value != nullptr);
       values_[id] = value;
@@ -854,6 +855,8 @@ class PSelInvRank : public sim::Rank {
   /// Reliable-delivery endpoint; a transparent pass-through when the
   /// resilient protocol is off.
   trees::ResilientChannel channel_;
+  Count blocks_finalized_ = 0;
+  trees::ChannelStats channel_stats_;
 
   // Dense per-rank state arenas (see build_local_index):
   std::vector<std::int32_t> base_a_;  ///< per-supernode base into a_* arenas
@@ -916,6 +919,7 @@ RunResult run_pselinv(const Plan& plan, const sim::Machine& machine,
   if (options.perturbation != nullptr)
     engine.set_perturbation(options.perturbation);
   if (options.schedule != nullptr) engine.set_schedule_policy(options.schedule);
+  engine.set_partitions(options.partitions);
   std::vector<const PSelInvRank*> rank_programs;
   rank_programs.reserve(static_cast<std::size_t>(plan.grid().size()));
   for (int r = 0; r < plan.grid().size(); ++r) {
@@ -930,16 +934,18 @@ RunResult run_pselinv(const Plan& plan, const sim::Machine& machine,
   result.makespan = makespan;
   result.events = engine.events_processed();
   result.events_per_second = engine.events_per_second();
-  result.blocks_finalized = shared.blocks_finalized;
+  for (const PSelInvRank* program : rank_programs)
+    result.blocks_finalized += program->blocks_finalized();
   result.expected_blocks =
       2 * plan.structure().block_count() - plan.structure().supernode_count();
   result.rank_stats.reserve(static_cast<std::size_t>(plan.grid().size()));
   for (int r = 0; r < plan.grid().size(); ++r)
     result.rank_stats.push_back(engine.stats(r));
   result.ainv = std::move(sink);
-  result.channel_stats = shared.channel_stats;
-  for (const PSelInvRank* program : rank_programs)
+  for (const PSelInvRank* program : rank_programs) {
+    result.channel_stats.merge(program->channel_stats());
     result.channel_inflight += program->channel_inflight();
+  }
   result.leaked_timers = engine.leaked_timers();
   result.arena_high_water = engine.arena_high_water();
   PSI_CHECK_MSG(result.complete(),

@@ -63,6 +63,11 @@ struct RunOptions {
   /// Resilient-protocol configuration. `ack_comm_class` is overridden to
   /// kProtoAck by the engine.
   trees::ResilienceConfig resilience;
+  /// Partition-parallel simulation (sim::Engine::set_partitions): contiguous
+  /// rank blocks executed on a thread pool under conservative lookahead
+  /// windows. Every output — makespan, trace, obs stream, numeric Ainv — is
+  /// bitwise identical to the sequential engine for any value.
+  int partitions = 1;
 };
 
 struct RunResult {

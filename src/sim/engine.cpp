@@ -1,12 +1,17 @@
 #include "sim/engine.hpp"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/check.hpp"
+#include "common/parallel.hpp"
 #include "common/timer.hpp"
-#include "obs/sink.hpp"
 
 namespace psi::sim {
+
+namespace {
+constexpr SimTime kInfTime = std::numeric_limits<SimTime>::infinity();
+}  // namespace
 
 void Context::compute(SimTime seconds) {
   PSI_CHECK(seconds >= 0.0);
@@ -35,9 +40,26 @@ std::uint64_t Context::set_timer(SimTime delay, std::int64_t tag) {
 }
 
 void Context::cancel_timer(std::uint64_t id) {
-  PSI_CHECK_MSG(id < engine_->next_seq_,
-                "cancel_timer: unknown timer id " << id);
-  engine_->cancelled_timers_.insert(id);
+  // Timer ids are the timer event's stable key: the low bits name the rank
+  // that set it (timers always fire on their setter), the high bits its
+  // per-rank counter. Validate both so a garbage id fails loudly instead of
+  // silently never matching.
+  const int owner = static_cast<int>(id & Engine::kRankMask);
+  PSI_CHECK_MSG(
+      owner == rank_ &&
+          (id >> Engine::kRankBits) <
+              engine_->rank_keys_[static_cast<std::size_t>(rank_)],
+      "cancel_timer: unknown timer id " << id << " on rank " << rank_);
+  engine_->part_of(*this).cancelled.insert(id);
+}
+
+void Context::span(const char* name, std::int64_t id, SimTime begin,
+                   SimTime end) {
+  engine_->post_span(*this, name, id, begin, end);
+}
+
+void Context::mark(const char* name, std::int64_t id, SimTime time) {
+  engine_->post_mark(*this, name, id, time);
 }
 
 void Rank::on_timer(Context& ctx, std::int64_t tag) {
@@ -51,10 +73,19 @@ Engine::Engine(const Machine& machine, int rank_count, int comm_classes)
     : machine_(&machine), comm_classes_(comm_classes) {
   PSI_CHECK(rank_count > 0);
   PSI_CHECK(comm_classes > 0);
+  PSI_CHECK_MSG(rank_count < (1 << kRankBits),
+                "rank count " << rank_count
+                              << " exceeds the stable-key rank field");
   programs_.resize(static_cast<std::size_t>(rank_count));
   states_.resize(static_cast<std::size_t>(rank_count));
   for (auto& state : states_)
     state.stats.per_class.resize(static_cast<std::size_t>(comm_classes));
+  rank_keys_.assign(static_cast<std::size_t>(rank_count), 0);
+  rank_draws_.assign(static_cast<std::size_t>(rank_count), 0);
+  parts_.resize(1);
+  parts_[0].end_rank = rank_count;
+  parts_[0].outbox.resize(1);
+  part_of_rank_.assign(static_cast<std::size_t>(rank_count), 0);
 }
 
 void Engine::enable_trace(std::size_t max_events) {
@@ -84,29 +115,37 @@ void Engine::set_schedule_policy(SchedulePolicy* policy) {
   schedule_ = policy;
 }
 
+void Engine::set_partitions(int partitions) {
+  PSI_CHECK(!ran_);
+  PSI_CHECK_MSG(partitions >= 1 && partitions <= kMaxPartitions,
+                "partition count " << partitions << " out of range [1, "
+                                   << kMaxPartitions << "]");
+  requested_partitions_ = partitions;
+}
+
 void Engine::set_rank(int rank, std::unique_ptr<Rank> program) {
   PSI_CHECK(rank >= 0 && rank < rank_count());
   PSI_CHECK(!ran_);
   programs_[static_cast<std::size_t>(rank)] = std::move(program);
 }
 
-void Engine::heap_push(Handle handle) {
-  std::size_t i = heap_.size();
-  heap_.push_back(handle);
+void Engine::heap_push(Partition& p, Handle handle) {
+  std::size_t i = p.heap.size();
+  p.heap.push_back(handle);
   while (i > 0) {
     const std::size_t parent = (i - 1) >> 2;
-    if (!earlier(handle, heap_[parent])) break;
-    heap_[i] = heap_[parent];
+    if (!earlier(p, handle, p.heap[parent])) break;
+    p.heap[i] = p.heap[parent];
     i = parent;
   }
-  heap_[i] = handle;
+  p.heap[i] = handle;
 }
 
-Engine::Handle Engine::heap_pop() {
-  const Handle top = heap_.front();
-  const Handle last = heap_.back();
-  heap_.pop_back();
-  const std::size_t n = heap_.size();
+Engine::Handle Engine::heap_pop(Partition& p) {
+  const Handle top = p.heap.front();
+  const Handle last = p.heap.back();
+  p.heap.pop_back();
+  const std::size_t n = p.heap.size();
   if (n > 0) {
     std::size_t i = 0;
     for (;;) {
@@ -115,107 +154,109 @@ Engine::Handle Engine::heap_pop() {
       std::size_t best = first;
       const std::size_t end = std::min(first + 4, n);
       for (std::size_t c = first + 1; c < end; ++c)
-        if (earlier(heap_[c], heap_[best])) best = c;
-      if (!earlier(heap_[best], last)) break;
-      heap_[i] = heap_[best];
+        if (earlier(p, p.heap[c], p.heap[best])) best = c;
+      if (!earlier(p, p.heap[best], last)) break;
+      p.heap[i] = p.heap[best];
       i = best;
     }
-    heap_[i] = last;
+    p.heap[i] = last;
   }
   return top;
 }
 
-std::uint64_t Engine::enqueue(SimTime time, const EventSlot& slot) {
+std::uint64_t Engine::next_key(int rank) {
+  std::uint64_t& counter = rank_keys_[static_cast<std::size_t>(rank)];
+  PSI_CHECK_MSG(counter < (std::uint64_t{1} << (64 - kRankBits)),
+                "per-rank event counter overflow on rank " << rank);
+  return (counter++ << kRankBits) | static_cast<std::uint64_t>(rank);
+}
+
+void Engine::enqueue(Partition& p, SimTime time, const EventSlot& slot,
+                     std::uint64_t pri, std::uint64_t key64,
+                     std::uint64_t id) {
   std::uint32_t idx;
-  if (!free_slots_.empty()) {
-    idx = free_slots_.back();
-    free_slots_.pop_back();
+  if (!p.free_slots.empty()) {
+    idx = p.free_slots.back();
+    p.free_slots.pop_back();
   } else {
-    idx = static_cast<std::uint32_t>(pool_.size());
+    idx = static_cast<std::uint32_t>(p.pool.size());
     PSI_CHECK_MSG(idx <= kSlotMask,
                   "event arena exhausted: more than 2^"
                       << kSlotBits
                       << " live events; rebuild with a larger "
                          "PSI_SIM_SLOT_BITS or drain sends faster");
-    pool_.push_back(EventSlot{});
+    p.pool.push_back(EventSlot{});
+    p.meta.push_back(SlotMeta{});
   }
-  pool_[idx] = slot;
-  PSI_CHECK_MSG(next_seq_ < (std::uint64_t{1} << (64 - kSlotBits)),
-                "event sequence number overflow");
-  const std::uint64_t seq = next_seq_++;
-  std::uint64_t order = seq;
-  if (schedule_ != nullptr) {
-    // The handle's high bits become the policy's tie-break priority; the
-    // real seq is parked per slot for dispatch. Keys stay unique among live
-    // events (the slot index disambiguates priority collisions), so the pop
-    // order is still a strict deterministic total order. Self-sends keep
-    // FIFO: they model the rank's own task queue, which a network adversary
-    // cannot reorder (and whose order the resilient mode's canonical
-    // accumulation relies on).
-    if (slot_seq_.size() < pool_.size()) slot_seq_.resize(pool_.size());
-    slot_seq_[idx] = seq;
-    if (slot.src != slot.dst)
-      order = schedule_->tie_priority(seq) &
-              ((std::uint64_t{1} << (64 - kSlotBits)) - 1);
-  }
-  const Handle handle{time, (order << kSlotBits) | idx};
-  if (earlier(handle, horizon_))
-    heap_push(handle);
+  p.pool[idx] = slot;
+  p.meta[idx] = SlotMeta{pri, key64, id};
+  const Handle handle{time, ((pri & kOrderMask) << kSlotBits) | idx};
+  if (key_earlier(OrderKey{time, pri, key64}, p.horizon))
+    heap_push(p, handle);
   else
-    overflow_.push_back(handle);
-  return seq;
+    p.overflow.push_back(handle);
 }
 
-void Engine::refill_heap() {
-  PSI_ASSERT(heap_.empty() && overflow_begin_ < overflow_.size());
-  const auto live = overflow_.begin() +
-                    static_cast<std::ptrdiff_t>(overflow_begin_);
-  const std::size_t n = overflow_.size() - overflow_begin_;
+void Engine::refill_heap(Partition& p) {
+  PSI_ASSERT(p.heap.empty() && p.overflow_begin < p.overflow.size());
+  const auto cmp = [this, &p](const Handle& a, const Handle& b) {
+    return earlier(p, a, b);
+  };
+  const auto live = p.overflow.begin() +
+                    static_cast<std::ptrdiff_t>(p.overflow_begin);
+  const std::size_t n = p.overflow.size() - p.overflow_begin;
   // Chunk size balances heap residency (16k handles = 256 KiB) against how
   // often the buffer is rescanned (each event survives ~16 refill scans at
   // most before it is selected).
   std::size_t chunk = std::max<std::size_t>(16384, n / 16);
+  Handle boundary;
   if (chunk >= n) {
     chunk = n;
-    horizon_ = *std::max_element(live, overflow_.end(), earlier);
+    boundary = *std::max_element(live, p.overflow.end(), cmp);
   } else {
-    // nth_element over the strict total (time, seq) order: the chunk's
-    // membership — the `chunk` globally earliest events — is unique, so the
-    // pop sequence is independent of the buffer's internal arrangement.
+    // nth_element over the strict total event order: the chunk's membership
+    // — the `chunk` earliest pending events — is unique, so the pop
+    // sequence is independent of the buffer's internal arrangement.
     // (Partitioning the chunk to the tail with a reversed comparator to
     // consume it by resize() was measured 2.3x SLOWER overall: the
     // descending-ordered survivors make every subsequent nth_element and
     // heap_push pathological, so the chunk goes to the front instead.)
     std::nth_element(live, live + static_cast<std::ptrdiff_t>(chunk - 1),
-                     overflow_.end(), earlier);
-    horizon_ = live[static_cast<std::ptrdiff_t>(chunk - 1)];
+                     p.overflow.end(), cmp);
+    boundary = live[static_cast<std::ptrdiff_t>(chunk - 1)];
   }
+  // Materialize the horizon from the boundary's live metadata: the slot
+  // itself recycles once the boundary event pops, so a Handle copy would
+  // dangle exactly when a later enqueue ties with it on the packed key.
+  const SlotMeta& bm = p.meta[boundary.key & kSlotMask];
+  p.horizon = OrderKey{boundary.time, bm.pri, bm.key64};
   for (std::size_t i = 0; i < chunk; ++i)
-    heap_push(live[static_cast<std::ptrdiff_t>(i)]);
+    heap_push(p, live[static_cast<std::ptrdiff_t>(i)]);
   // Consume the chunk by cursor; compact the dead prefix only once it
   // crosses half the buffer, so consumption is amortized O(1) per event.
-  overflow_begin_ += chunk;
-  if (overflow_begin_ >= overflow_.size()) {
-    overflow_.clear();
-    overflow_begin_ = 0;
-  } else if (overflow_begin_ > overflow_.size() / 2) {
-    overflow_.erase(overflow_.begin(),
-                    overflow_.begin() +
-                        static_cast<std::ptrdiff_t>(overflow_begin_));
-    overflow_begin_ = 0;
+  p.overflow_begin += chunk;
+  if (p.overflow_begin >= p.overflow.size()) {
+    p.overflow.clear();
+    p.overflow_begin = 0;
+  } else if (p.overflow_begin > p.overflow.size() / 2) {
+    p.overflow.erase(p.overflow.begin(),
+                     p.overflow.begin() +
+                         static_cast<std::ptrdiff_t>(p.overflow_begin));
+    p.overflow_begin = 0;
   }
 }
 
-std::int32_t Engine::register_payload(std::shared_ptr<const DenseMatrix> data) {
+std::int32_t Engine::register_payload(
+    Partition& p, std::shared_ptr<const DenseMatrix> data) {
   if (!data) return kNoPayload;
   std::int32_t payload;
-  if (!free_payloads_.empty()) {
-    payload = free_payloads_.back();
-    free_payloads_.pop_back();
-    payloads_[static_cast<std::size_t>(payload)] = std::move(data);
+  if (!p.free_payloads.empty()) {
+    payload = p.free_payloads.back();
+    p.free_payloads.pop_back();
+    p.payloads[static_cast<std::size_t>(payload)] = std::move(data);
   } else {
-    payload = static_cast<std::int32_t>(payloads_.size());
-    payloads_.push_back(std::move(data));
+    payload = static_cast<std::int32_t>(p.payloads.size());
+    p.payloads.push_back(std::move(data));
   }
   return payload;
 }
@@ -231,6 +272,7 @@ void Engine::post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
                 "send with invalid comm class " << comm_class << " (have "
                                                 << comm_classes_ << ")");
   const int src = ctx.rank_;
+  Partition& p = part_of(ctx);
   auto& src_state = states_[static_cast<std::size_t>(src)];
 
   SimTime deliver_at;
@@ -243,8 +285,23 @@ void Engine::post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
     deliver_at = ctx.now_;
     xfer_start = xfer_end = ctx.now_;
   } else {
-    if (injector_ != nullptr)
-      fault = injector_->on_send(src, dst, tag, bytes, comm_class, ctx.now_);
+    // One counter-stable draw per posted network message: the id depends
+    // only on the sender's causal history, so injector and schedule draws
+    // are identical for any partitioning (and any arrival interleaving).
+    const std::uint64_t draw_id =
+        (rank_draws_[static_cast<std::size_t>(src)]++ << kRankBits) |
+        static_cast<std::uint64_t>(src);
+    if (injector_ != nullptr) {
+      fault = injector_->on_send(src, dst, tag, bytes, comm_class, ctx.now_,
+                                 draw_id);
+      // The conservative lookahead bound (DESIGN.md §14) requires that no
+      // injected fault shortens a wire: a negative delay could deliver a
+      // cross-partition message inside the current window.
+      if (partitioned_)
+        PSI_CHECK_MSG(fault.delay >= 0.0 && fault.duplicate_delay >= 0.0,
+                      "fault injector returned a negative delay in a "
+                      "partitioned run");
+    }
     auto& counters =
         src_state.stats.per_class[static_cast<std::size_t>(comm_class)];
     counters.bytes_sent += bytes;
@@ -262,13 +319,17 @@ void Engine::post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
     if (schedule_ != nullptr) {
       // Adversarial wire jitter, on top of any injected fault delay.
       const SimTime extra = schedule_->network_delay(src, dst, tag, bytes,
-                                                     comm_class, ctx.now_);
+                                                     comm_class, ctx.now_,
+                                                     draw_id);
       PSI_CHECK_MSG(extra >= 0.0,
                     "schedule policy returned negative delay " << extra);
       deliver_at += extra;
     }
   }
 
+  const bool cross =
+      partitioned_ &&
+      part_of_rank_[static_cast<std::size_t>(dst)] != p.index;
   // Deliver the original (unless dropped) plus any duplicated copies. Each
   // queued copy owns its own payload-pool entry so slot recycling on
   // dispatch stays one-owner.
@@ -277,14 +338,33 @@ void Engine::post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
     const SimTime at =
         deliver_at + static_cast<double>(copy + (fault.drop ? 1 : 0)) *
                          fault.duplicate_delay;
-    const std::int32_t payload =
-        register_payload(copy + 1 == copies ? std::move(data) : data);
-    const std::uint64_t seq = enqueue(
-        at, EventSlot{tag, env, bytes, src, dst, comm_class, payload});
+    const std::uint64_t key = next_key(src);
+    const std::uint64_t pri = (schedule_ != nullptr && src != dst)
+                                  ? schedule_->tie_priority(key)
+                                  : key;
+    const std::uint64_t id =
+        partitioned_ ? (static_cast<std::uint64_t>(p.index) << 48) |
+                           p.next_eid++
+                     : next_seq_++;
+    if (cross) {
+      // Queued at the destination partition between windows; the lookahead
+      // bound guarantees `at` lands at or beyond the current window's end.
+      const EventSlot slot{tag, env, bytes, src, dst, comm_class, kNoPayload};
+      p.outbox[static_cast<std::size_t>(
+                   part_of_rank_[static_cast<std::size_t>(dst)])]
+          .push_back(MailboxEntry{at, slot, pri, key, id,
+                                  copy + 1 == copies ? std::move(data)
+                                                     : data});
+    } else {
+      const std::int32_t payload =
+          register_payload(p, copy + 1 == copies ? std::move(data) : data);
+      enqueue(p, at, EventSlot{tag, env, bytes, src, dst, comm_class, payload},
+              pri, key, id);
+    }
     if (sink_ != nullptr) {
       obs::MsgSend ev;
-      ev.seq = seq;
-      ev.emitter = dispatching_seq_;
+      ev.seq = id;  // partitioned: the eid; relabelled densely at the merge
+      ev.emitter = partitioned_ ? obs::kNoEvent : dispatching_seq_;
       ev.src = src;
       ev.dst = dst;
       ev.tag = tag;
@@ -294,7 +374,13 @@ void Engine::post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
       ev.xfer_start = xfer_start;
       ev.xfer_end = xfer_end;
       ev.arrival = at;
-      sink_->on_send(ev);
+      if (partitioned_) {
+        p.rec_order.push_back(
+            {RecordRef::kSend, static_cast<std::uint32_t>(p.rec_sends.size())});
+        p.rec_sends.push_back(ev);
+      } else {
+        sink_->on_send(ev);
+      }
     }
   }
   if (sink_ != nullptr && fault.any()) {
@@ -302,34 +388,43 @@ void Engine::post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
     mark.rank = src;
     mark.id = tag;
     mark.time = ctx.now_;
-    if (fault.drop) {
-      mark.name = "fault-drop";
-      sink_->on_mark(mark);
-    }
-    if (fault.duplicates > 0) {
-      mark.name = "fault-dup";
-      sink_->on_mark(mark);
-    }
-    if (fault.delay > 0.0) {
-      mark.name = "fault-delay";
-      sink_->on_mark(mark);
-    }
+    const auto emit = [&](const char* name) {
+      mark.name = name;
+      if (partitioned_) {
+        p.rec_order.push_back(
+            {RecordRef::kMark, static_cast<std::uint32_t>(p.rec_marks.size())});
+        p.rec_marks.push_back(mark);
+      } else {
+        sink_->on_mark(mark);
+      }
+    };
+    if (fault.drop) emit("fault-drop");
+    if (fault.duplicates > 0) emit("fault-dup");
+    if (fault.delay > 0.0) emit("fault-delay");
   }
 }
 
 std::uint64_t Engine::post_timer(Context& ctx, SimTime delay,
                                  std::int64_t tag) {
   PSI_CHECK_MSG(delay >= 0.0, "set_timer with negative delay " << delay);
+  Partition& p = part_of(ctx);
   const SimTime fire = ctx.now_ + delay;
-  const std::uint64_t seq = enqueue(
-      fire, EventSlot{tag, 0, 0, kTimerSrc, ctx.rank_, 0, kNoPayload});
+  const std::uint64_t key = next_key(ctx.rank_);
+  const std::uint64_t pri =
+      schedule_ != nullptr ? schedule_->tie_priority(key) : key;
+  const std::uint64_t id =
+      partitioned_
+          ? (static_cast<std::uint64_t>(p.index) << 48) | p.next_eid++
+          : next_seq_++;
+  enqueue(p, fire, EventSlot{tag, 0, 0, kTimerSrc, ctx.rank_, 0, kNoPayload},
+          pri, key, id);
   if (sink_ != nullptr) {
     // Synthetic send record so the causal graph links the timer handler
     // back to the handler that armed it; the [post, arrival) gap is the
     // timer wait, not network time.
     obs::MsgSend ev;
-    ev.seq = seq;
-    ev.emitter = dispatching_seq_;
+    ev.seq = id;
+    ev.emitter = partitioned_ ? obs::kNoEvent : dispatching_seq_;
     ev.src = kTimerSrc;
     ev.dst = ctx.rank_;
     ev.tag = tag;
@@ -339,17 +434,70 @@ std::uint64_t Engine::post_timer(Context& ctx, SimTime delay,
     ev.xfer_start = ctx.now_;
     ev.xfer_end = ctx.now_;
     ev.arrival = fire;
-    sink_->on_send(ev);
+    if (partitioned_) {
+      p.rec_order.push_back(
+          {RecordRef::kSend, static_cast<std::uint32_t>(p.rec_sends.size())});
+      p.rec_sends.push_back(ev);
+    } else {
+      sink_->on_send(ev);
+    }
   }
-  return seq;
+  return key;
 }
 
-void Engine::dispatch(SimTime time, std::uint64_t seq, const EventSlot& slot,
+void Engine::post_span(Context& ctx, const char* name, std::int64_t id,
+                       SimTime begin, SimTime end) {
+  if (sink_ == nullptr) return;
+  obs::SpanEvent ev;
+  ev.rank = ctx.rank_;
+  ev.name = name;
+  ev.id = id;
+  ev.begin = begin;
+  ev.end = end;
+  if (partitioned_) {
+    Partition& p = part_of(ctx);
+    p.rec_order.push_back(
+        {RecordRef::kSpan, static_cast<std::uint32_t>(p.rec_spans.size())});
+    p.rec_spans.push_back(ev);
+  } else {
+    sink_->on_span(ev);
+  }
+}
+
+void Engine::post_mark(Context& ctx, const char* name, std::int64_t id,
+                       SimTime time) {
+  if (sink_ == nullptr) return;
+  obs::MarkEvent ev;
+  ev.rank = ctx.rank_;
+  ev.name = name;
+  ev.id = id;
+  ev.time = time;
+  if (partitioned_) {
+    Partition& p = part_of(ctx);
+    p.rec_order.push_back(
+        {RecordRef::kMark, static_cast<std::uint32_t>(p.rec_marks.size())});
+    p.rec_marks.push_back(ev);
+  } else {
+    sink_->on_mark(ev);
+  }
+}
+
+void Engine::dispatch(Partition& p, SimTime time, const EventSlot& slot,
+                      const SlotMeta& meta,
                       std::shared_ptr<const DenseMatrix> payload) {
   auto& state = states_[static_cast<std::size_t>(slot.dst)];
+  const bool network = slot.dst != slot.src && slot.src >= 0;
+  const bool buffering = partitioned_ && (sink_ != nullptr || tracing_);
+  std::size_t bundle_index = 0;
+  if (buffering) {
+    bundle_index = p.bundles.size();
+    p.bundles.push_back(Bundle{time, meta.pri, meta.key64, meta.id,
+                               static_cast<std::uint32_t>(p.rec_order.size()),
+                               0, false, TraceEvent{}});
+  }
 
   SimTime ready = time;
-  if (slot.dst != slot.src && slot.src >= 0) {
+  if (network) {
     // Receiver NIC serialization: the payload occupies the receiving NIC for
     // its occupancy time as well, so a rank bombarded by many concurrent
     // senders (e.g. a flat-tree reduce root) drains them one at a time.
@@ -361,14 +509,22 @@ void Engine::dispatch(SimTime time, std::uint64_t seq, const EventSlot& slot,
         state.stats.per_class[static_cast<std::size_t>(slot.comm_class)];
     counters.bytes_received += slot.bytes;
     counters.messages_received += 1;
-    if (tracing_ && trace_.size() < trace_limit_)
-      trace_.push_back(TraceEvent{ready, slot.src, slot.dst, slot.comm_class,
-                                  slot.bytes, slot.tag});
+    if (tracing_) {
+      const TraceEvent te{ready,      slot.src,   slot.dst,
+                          slot.comm_class, slot.bytes, slot.tag};
+      if (buffering) {
+        p.bundles[bundle_index].has_trace = true;
+        p.bundles[bundle_index].trace = te;
+      } else if (trace_.size() < trace_limit_) {
+        trace_.push_back(te);
+      }
+    }
   }
   const SimTime start = std::max(ready, state.busy_until);
 
   Context ctx(*this, slot.dst, start);
-  if (slot.src >= 0 && slot.dst != slot.src) {
+  ctx.part_ = &p;
+  if (network) {
     // Receiver CPU overhead.
     ctx.now_ += machine_->config().msg_overhead;
     state.stats.overhead_seconds += machine_->config().msg_overhead;
@@ -377,7 +533,7 @@ void Engine::dispatch(SimTime time, std::uint64_t seq, const EventSlot& slot,
   PSI_CHECK_MSG(program != nullptr,
                 "no program installed for rank " << slot.dst);
   const double compute_before = state.stats.compute_seconds;
-  dispatching_seq_ = seq;
+  if (!partitioned_) dispatching_seq_ = meta.id;
   if (slot.src == kTimerSrc) {
     program->on_timer(ctx, slot.tag);
   } else if (slot.src < 0) {
@@ -393,16 +549,16 @@ void Engine::dispatch(SimTime time, std::uint64_t seq, const EventSlot& slot,
     msg.data = std::move(payload);
     program->on_message(ctx, msg);
   }
-  dispatching_seq_ = ~std::uint64_t{0};
+  if (!partitioned_) dispatching_seq_ = ~std::uint64_t{0};
 
   state.busy_until = ctx.now_;
   state.stats.finish_time = std::max(state.stats.finish_time, ctx.now_);
   state.stats.events_handled += 1;
-  makespan_ = std::max(makespan_, ctx.now_);
-  ++events_processed_;
+  p.makespan = std::max(p.makespan, ctx.now_);
+  ++p.events;
   if (sink_ != nullptr) {
     obs::HandlerRun ev;
-    ev.seq = seq;
+    ev.seq = partitioned_ ? obs::kNoEvent : meta.id;
     ev.rank = slot.dst;
     ev.src = slot.src;
     ev.tag = slot.tag;
@@ -413,7 +569,207 @@ void Engine::dispatch(SimTime time, std::uint64_t seq, const EventSlot& slot,
     ev.start = start;
     ev.end = ctx.now_;
     ev.compute = state.stats.compute_seconds - compute_before;
-    sink_->on_handler(ev);
+    if (partitioned_) {
+      p.rec_order.push_back({RecordRef::kHandler,
+                             static_cast<std::uint32_t>(p.rec_handlers.size())});
+      p.rec_handlers.push_back(ev);
+    } else {
+      sink_->on_handler(ev);
+    }
+  }
+  if (buffering)
+    p.bundles[bundle_index].rec_end =
+        static_cast<std::uint32_t>(p.rec_order.size());
+}
+
+void Engine::setup_partitions() {
+  const int ranks = rank_count();
+  int count = std::min(requested_partitions_, ranks);
+  lookahead_ = 0.0;
+  // Balanced contiguous rank blocks: partition p owns [begins[p], begins[p+1]).
+  std::vector<int> begins(static_cast<std::size_t>(count) + 1, 0);
+  for (int p = 0; p <= count; ++p)
+    begins[static_cast<std::size_t>(p)] =
+        p * (ranks / count) + std::min(p, ranks % count);
+  if (count > 1) {
+    // Conservative lookahead: node and group membership are monotone in the
+    // rank index and partitions are contiguous, so the closest possible
+    // cross-partition pair sits at a block boundary. Wire latency carries
+    // no jitter (only occupancy does), so this bound is exact.
+    SimTime lookahead = kInfTime;
+    for (int p = 1; p < count; ++p) {
+      const int boundary = begins[static_cast<std::size_t>(p)];
+      lookahead = std::min(lookahead, machine_->latency(boundary - 1, boundary));
+    }
+    if (lookahead > 0.0) {
+      lookahead_ = lookahead;
+    } else {
+      // A zero-latency machine admits no conservative window: fall back to
+      // the (always correct, bitwise-identical) sequential engine.
+      count = 1;
+    }
+  }
+  partitioned_ = count > 1;
+  parts_.assign(static_cast<std::size_t>(count), Partition{});
+  for (int p = 0; p < count; ++p) {
+    Partition& part = parts_[static_cast<std::size_t>(p)];
+    part.index = p;
+    part.begin_rank = partitioned_ ? begins[static_cast<std::size_t>(p)] : 0;
+    part.end_rank =
+        partitioned_ ? begins[static_cast<std::size_t>(p) + 1] : ranks;
+    part.outbox.resize(static_cast<std::size_t>(count));
+    for (int r = part.begin_rank; r < part.end_rank; ++r)
+      part_of_rank_[static_cast<std::size_t>(r)] = p;
+  }
+}
+
+void Engine::seed_starts() {
+  // Seed a start event for every rank at t = 0 (src = kStartSrc marks it),
+  // in rank order so rank r's start is event r in both execution modes.
+  for (Partition& p : parts_) {
+    for (int r = p.begin_rank; r < p.end_rank; ++r) {
+      const std::uint64_t key = next_key(r);
+      const std::uint64_t pri =
+          schedule_ != nullptr ? schedule_->tie_priority(key) : key;
+      const std::uint64_t id =
+          partitioned_
+              ? (static_cast<std::uint64_t>(p.index) << 48) | p.next_eid++
+              : next_seq_++;
+      enqueue(p, 0.0, EventSlot{0, 0, 0, kStartSrc, r, 0, kNoPayload}, pri,
+              key, id);
+    }
+  }
+}
+
+SimTime Engine::run_window(Partition& p, SimTime w_end) {
+  for (;;) {
+    if (p.heap.empty()) {
+      if (p.overflow_begin >= p.overflow.size()) return kInfTime;
+      refill_heap(p);
+    }
+    // The heap front is the partition's earliest pending event (the heap
+    // holds everything ordered before the horizon, the overflow everything
+    // after). The window boundary is a pure time: every event strictly
+    // before w_end runs now, everything else waits for the next window.
+    if (!(p.heap.front().time < w_end)) return p.heap.front().time;
+    const Handle handle = heap_pop(p);
+    const std::uint32_t idx =
+        static_cast<std::uint32_t>(handle.key & kSlotMask);
+    // Copy the slot and metadata out and recycle the slot before dispatch:
+    // the handler's sends may grow or reuse the arena.
+    const EventSlot slot = p.pool[idx];
+    const SlotMeta meta = p.meta[idx];
+    p.free_slots.push_back(idx);
+    if (slot.src == kTimerSrc && !p.cancelled.empty()) {
+      const auto cancelled = p.cancelled.find(meta.key64);
+      if (cancelled != p.cancelled.end()) {
+        // Cancelled timer: discard without running a handler, so it neither
+        // occupies the rank nor extends the makespan.
+        p.cancelled.erase(cancelled);
+        continue;
+      }
+    }
+    std::shared_ptr<const DenseMatrix> payload;
+    if (slot.payload != kNoPayload) {
+      payload = std::move(p.payloads[static_cast<std::size_t>(slot.payload)]);
+      p.free_payloads.push_back(slot.payload);
+    }
+    dispatch(p, handle.time, slot, meta, std::move(payload));
+  }
+}
+
+void Engine::merge_window() {
+  // P-way merge of the per-partition bundle streams. Each stream is already
+  // in canonical order (a partition pops by the same strict total order the
+  // sequential engine uses, and all events of one rank live in one
+  // partition), and every bundle of this window precedes every event of any
+  // later window, so emitting window by window reproduces the sequential
+  // emission order exactly.
+  std::vector<std::size_t> pos(parts_.size(), 0);
+  for (;;) {
+    int best = -1;
+    for (int q = 0; q < static_cast<int>(parts_.size()); ++q) {
+      const auto& bundles = parts_[static_cast<std::size_t>(q)].bundles;
+      const std::size_t i = pos[static_cast<std::size_t>(q)];
+      if (i >= bundles.size()) continue;
+      if (best < 0) {
+        best = q;
+        continue;
+      }
+      const Bundle& a = bundles[i];
+      const Bundle& b = parts_[static_cast<std::size_t>(best)]
+                            .bundles[pos[static_cast<std::size_t>(best)]];
+      if (key_earlier(OrderKey{a.time, a.pri, a.key64},
+                      OrderKey{b.time, b.pri, b.key64}))
+        best = q;
+    }
+    if (best < 0) break;
+    Partition& p = parts_[static_cast<std::size_t>(best)];
+    const Bundle& b = p.bundles[pos[static_cast<std::size_t>(best)]++];
+
+    // Dense seq reconstruction: the bundle's event id was registered when
+    // its MsgSend record was replayed (starts are pre-registered), and each
+    // send replayed below claims the next seq — exactly the sequential
+    // engine's assignment, because sequential seqs are handed out at
+    // enqueue time, i.e. in this same emission order.
+    std::uint64_t seq = obs::kNoEvent;
+    if (sink_ != nullptr) {
+      const auto it = eid_seq_.find(b.eid);
+      PSI_ASSERT(it != eid_seq_.end());
+      seq = it->second;
+      eid_seq_.erase(it);
+    }
+    if (b.has_trace && trace_.size() < trace_limit_) trace_.push_back(b.trace);
+    for (std::uint32_t i = b.rec_begin; i < b.rec_end; ++i) {
+      const RecordRef ref = p.rec_order[i];
+      switch (ref.kind) {
+        case RecordRef::kSend: {
+          obs::MsgSend ev = p.rec_sends[ref.index];
+          eid_seq_.emplace(ev.seq, next_seq_);  // ev.seq held the child eid
+          ev.seq = next_seq_++;
+          ev.emitter = seq;
+          sink_->on_send(ev);
+          break;
+        }
+        case RecordRef::kHandler: {
+          obs::HandlerRun ev = p.rec_handlers[ref.index];
+          ev.seq = seq;
+          sink_->on_handler(ev);
+          break;
+        }
+        case RecordRef::kSpan:
+          sink_->on_span(p.rec_spans[ref.index]);
+          break;
+        case RecordRef::kMark:
+          sink_->on_mark(p.rec_marks[ref.index]);
+          break;
+      }
+    }
+  }
+  for (Partition& p : parts_) {
+    p.bundles.clear();
+    p.rec_order.clear();
+    p.rec_sends.clear();
+    p.rec_handlers.clear();
+    p.rec_spans.clear();
+    p.rec_marks.clear();
+  }
+}
+
+void Engine::drain_mailboxes() {
+  for (Partition& src : parts_) {
+    for (std::size_t d = 0; d < parts_.size(); ++d) {
+      auto& box = src.outbox[d];
+      if (box.empty()) continue;
+      Partition& dst = parts_[d];
+      for (MailboxEntry& entry : box) {
+        EventSlot slot = entry.slot;
+        slot.payload = register_payload(dst, std::move(entry.payload));
+        enqueue(dst, entry.time, slot, entry.pri, entry.key64, entry.eid);
+        dst.next_time = std::min(dst.next_time, entry.time);
+      }
+      box.clear();
+    }
   }
 }
 
@@ -421,39 +777,51 @@ SimTime Engine::run() {
   PSI_CHECK_MSG(!ran_, "Engine::run() may only be called once");
   ran_ = true;
   const WallTimer timer;
-  // Seed a start event for every rank at t = 0 (src = kStartSrc marks it).
-  for (int r = 0; r < rank_count(); ++r)
-    enqueue(0.0, EventSlot{0, 0, 0, kStartSrc, r, 0, kNoPayload});
-  for (;;) {
-    if (heap_.empty()) {
-      if (overflow_begin_ >= overflow_.size()) break;
-      refill_heap();
+  setup_partitions();
+  if (!partitioned_) {
+    seed_starts();
+    run_window(parts_.front(), kInfTime);
+  } else {
+    if (sink_ != nullptr) {
+      // Pre-register the dense seqs of the start events (the only events
+      // enqueued outside any handler): rank r's start is event r, exactly
+      // as in the sequential engine.
+      for (const Partition& p : parts_)
+        for (int r = p.begin_rank; r < p.end_rank; ++r)
+          eid_seq_.emplace((static_cast<std::uint64_t>(p.index) << 48) |
+                               static_cast<std::uint64_t>(r - p.begin_rank),
+                           static_cast<std::uint64_t>(r));
+      next_seq_ = static_cast<std::uint64_t>(rank_count());
     }
-    const Handle handle = heap_pop();
-    const std::uint32_t idx = static_cast<std::uint32_t>(handle.key & kSlotMask);
-    // Copy the slot out and recycle it before dispatch: the handler's sends
-    // may grow or reuse the arena.
-    const EventSlot slot = pool_[idx];
-    free_slots_.push_back(idx);
-    // Under a schedule policy the key's high bits are the adversarial
-    // priority, not the seq — recover the real seq from the side table.
-    const std::uint64_t seq =
-        schedule_ != nullptr ? slot_seq_[idx] : (handle.key >> kSlotBits);
-    if (slot.src == kTimerSrc && !cancelled_timers_.empty()) {
-      const auto cancelled = cancelled_timers_.find(seq);
-      if (cancelled != cancelled_timers_.end()) {
-        // Cancelled timer: discard without running a handler, so it neither
-        // occupies the rank nor extends the makespan.
-        cancelled_timers_.erase(cancelled);
-        continue;
+    seed_starts();
+    parallel::ThreadPool pool(static_cast<int>(parts_.size()));
+    for (;;) {
+      SimTime window = kInfTime;
+      for (const Partition& p : parts_)
+        window = std::min(window, p.next_time);
+      if (window == kInfTime) break;
+      const SimTime w_end = window + lookahead_;
+      // At astronomically large simulated times the lookahead could round
+      // away entirely (w + L == w in floating point); the window would then
+      // make no progress, so fail loudly instead of spinning.
+      PSI_CHECK_MSG(w_end > window,
+                    "lookahead " << lookahead_
+                                 << " rounds to zero at t=" << window);
+      for (Partition& p : parts_) {
+        Partition* part = &p;
+        pool.submit([this, part, w_end] {
+          part->next_time = run_window(*part, w_end);
+        });
       }
+      pool.wait();
+      if (sink_ != nullptr || tracing_) merge_window();
+      drain_mailboxes();
     }
-    std::shared_ptr<const DenseMatrix> payload;
-    if (slot.payload != kNoPayload) {
-      payload = std::move(payloads_[static_cast<std::size_t>(slot.payload)]);
-      free_payloads_.push_back(slot.payload);
-    }
-    dispatch(handle.time, seq, slot, std::move(payload));
+    eid_seq_.clear();
+  }
+  for (const Partition& p : parts_) {
+    events_processed_ += p.events;
+    makespan_ = std::max(makespan_, p.makespan);
   }
   wall_seconds_ = timer.seconds();
   return makespan_;
@@ -462,6 +830,23 @@ SimTime Engine::run() {
 const RankStats& Engine::stats(int rank) const {
   PSI_CHECK(rank >= 0 && rank < rank_count());
   return states_[static_cast<std::size_t>(rank)].stats;
+}
+
+std::size_t Engine::leaked_timers() const {
+  std::size_t total = 0;
+  for (const Partition& p : parts_) total += p.cancelled.size();
+  return total;
+}
+
+std::size_t Engine::leaked_timers(int partition) const {
+  PSI_CHECK(partition >= 0 && partition < static_cast<int>(parts_.size()));
+  return parts_[static_cast<std::size_t>(partition)].cancelled.size();
+}
+
+std::size_t Engine::arena_high_water() const {
+  std::size_t total = 0;
+  for (const Partition& p : parts_) total += p.pool.size();
+  return total;
 }
 
 }  // namespace psi::sim

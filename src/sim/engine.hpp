@@ -1,6 +1,6 @@
 /// \file engine.hpp
 /// \brief Deterministic discrete-event simulator with MPI-like asynchronous
-/// point-to-point messaging.
+/// point-to-point messaging, sequential or partition-parallel.
 ///
 /// Each simulated MPI rank is a reactive program (sim::Rank): it receives a
 /// start callback at t=0 and a callback per delivered message, and during a
@@ -16,38 +16,50 @@
 ///    (serializing concurrent sends — the flat-tree root bottleneck), takes
 ///    the wire latency of the tier, and then occupies the receiver NIC.
 ///
-/// The engine is single-threaded and deterministic: ties are broken by a
-/// global event sequence number.
+/// Determinism: every queued event carries a stable 64-bit key derived from
+/// (emitting rank, per-rank enqueue counter) — not from global arrival
+/// order — and same-timestamp ties are broken by that key (optionally
+/// permuted by a SchedulePolicy). Because the key of an event depends only
+/// on the causal history of its emitting rank, the tie-break order is
+/// identical whether the engine runs sequentially or partitioned.
+///
+/// Partitioned execution (set_partitions > 1): ranks are split into
+/// contiguous partitions, each with its own event queue and arena, executed
+/// on a parallel::ThreadPool in conservative windows [W, W + L) where the
+/// lookahead L is the minimum cross-partition wire latency (latency carries
+/// no jitter, so every cross-partition delivery lands at or beyond the
+/// window end). Cross-partition sends travel through single-writer mailboxes
+/// drained at the window barrier; observability events are buffered per
+/// partition as bundles and merged into the canonical sequential order
+/// between windows. Event order, obs output, fault draws, and numeric
+/// results are bitwise identical to the sequential engine for any partition
+/// count and seed (test-enforced; see DESIGN.md §14).
 ///
 /// Hot-path layout: pending events live in a pooled arena of POD slots with
 /// free-list reuse; the scheduling queue is two-tier — an indexed 4-ary
-/// min-heap over 16-byte {time, seq|slot} handles for the near future, plus
-/// an unsorted far-future buffer beyond a moving horizon. A storm with
+/// min-heap over 16-byte {time, key} handles for the near future, plus an
+/// unsorted far-future buffer beyond a moving horizon. A storm with
 /// millions of pending events keeps the heap cache-resident: far sends are
 /// O(1) appends, and when the heap drains the smallest chunk of the buffer
-/// is selected (nth_element over the total (time, seq) order — membership
-/// is unique, so pop order stays deterministic) and re-heaped. Numeric-mode
-/// payloads (shared_ptr<DenseMatrix>) sit in a separate pool indexed from
-/// the slot — a trace-mode send is pure POD and produces no shared_ptr
-/// refcount traffic anywhere in the event loop.
+/// is selected (nth_element over the strict total event order) and
+/// re-heaped. Numeric-mode payloads (shared_ptr<DenseMatrix>) sit in a
+/// separate pool indexed from the slot — a trace-mode send is pure POD and
+/// produces no shared_ptr refcount traffic anywhere in the event loop.
 #pragma once
 
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
-#include <unordered_set>
-
+#include "obs/sink.hpp"
 #include "sim/fault.hpp"
 #include "sim/machine.hpp"
 #include "sim/schedule.hpp"
 #include "sparse/dense.hpp"
 #include "sparse/types.hpp"
-
-namespace psi::obs {
-class Sink;
-}
 
 namespace psi::sim {
 
@@ -121,17 +133,25 @@ class Context {
   /// through the same deterministic event queue. Timers pay no NIC or
   /// message overhead. Returns an id usable with cancel_timer().
   std::uint64_t set_timer(SimTime delay, std::int64_t tag);
-  /// Cancels a pending timer. A cancelled timer is discarded without
-  /// running a handler and does not extend the makespan. `id` must refer to
-  /// a timer that has not fired yet (cancelling an already-fired timer
-  /// leaks a bookkeeping entry for the rest of the run).
+  /// Cancels a pending timer set by THIS rank. A cancelled timer is
+  /// discarded without running a handler and does not extend the makespan.
+  /// `id` must refer to a timer that has not fired yet (cancelling an
+  /// already-fired timer leaks a bookkeeping entry for the rest of the run).
   void cancel_timer(std::uint64_t id);
+
+  /// Emits a named interval on this rank's timeline into the attached obs
+  /// sink (no-op without one). Routed through the engine so partitioned
+  /// runs observe spans in the canonical sequential order.
+  void span(const char* name, std::int64_t id, SimTime begin, SimTime end);
+  /// Emits an instant marker on this rank's timeline (see span()).
+  void mark(const char* name, std::int64_t id, SimTime time);
 
  private:
   friend class Engine;
   Engine* engine_;
   int rank_;
   SimTime now_;  ///< advances as the handler computes/sends
+  void* part_ = nullptr;  ///< owning Engine::Partition (set at dispatch)
 };
 
 /// A reactive rank program.
@@ -167,13 +187,17 @@ class Engine {
   /// and handler execution with its full timing decomposition. Call before
   /// run(); the sink must outlive it. Null (the default) disables
   /// instrumentation: the event loop then pays only one predictable branch
-  /// per send/dispatch.
+  /// per send/dispatch. The sink is always invoked from the run() thread in
+  /// canonical event order, even in partitioned mode.
   void set_sink(obs::Sink* sink);
 
   /// Attaches a fault injector consulted once per posted network message
   /// (self-sends and timers are never faulted). Call before run(); the
   /// injector must outlive it. Injected faults are emitted to the sink as
   /// marks ("fault-drop", "fault-dup", "fault-delay") on the sender rank.
+  /// In partitioned mode the injector is consulted concurrently from the
+  /// partition threads; the draws themselves stay deterministic because the
+  /// engine passes a counter-stable draw_id (see FaultInjector::on_send).
   void set_fault_injector(FaultInjector* injector);
 
   /// Attaches a dynamic machine perturbation: compute() durations are
@@ -185,8 +209,23 @@ class Engine {
   /// Attaches an adversarial schedule policy (see schedule.hpp): seeded
   /// permutation of the pop order among same-timestamp events plus bounded
   /// extra network delays. Call before run(); the policy must outlive it.
-  /// Null (the default) keeps the FIFO tie-break and costs nothing.
+  /// Null (the default) keeps the stable-key tie-break and costs nothing.
   void set_schedule_policy(SchedulePolicy* policy);
+
+  /// Requests partition-parallel execution across `partitions` contiguous
+  /// rank blocks (1 = sequential, the default). Call before run(). The
+  /// effective count is clamped to rank_count(), and the engine falls back
+  /// to sequential execution when the machine offers no positive lookahead
+  /// (zero inter-partition latency). All outputs are bitwise identical to
+  /// the sequential engine for any value.
+  void set_partitions(int partitions);
+  /// Effective partition count (after run(); the requested count before).
+  int partitions() const {
+    return ran_ ? static_cast<int>(parts_.size()) : requested_partitions_;
+  }
+  /// Conservative lookahead window width used by the last partitioned run
+  /// (0 when sequential): the minimum cross-partition wire latency.
+  SimTime lookahead() const { return lookahead_; }
 
   /// Runs to completion (event queue drained). Returns the makespan: the
   /// time the last handler finished.
@@ -205,20 +244,25 @@ class Engine {
   }
   SimTime makespan() const { return makespan_; }
 
-  /// Cancel-after-fire bookkeeping entries left behind (see cancel_timer).
-  /// A clean protocol run leaves zero; the check oracle asserts it.
-  std::size_t leaked_timers() const { return cancelled_timers_.size(); }
-  /// Peak number of simultaneously-live event slots the arena ever held (it
-  /// only grows). Bounded by 2^PSI_SIM_SLOT_BITS; the check oracle records
-  /// it per trial and sanity-checks it against the event count.
-  std::size_t arena_high_water() const { return pool_.size(); }
+  /// Cancel-after-fire bookkeeping entries left behind (see cancel_timer),
+  /// summed over all partitions. A clean protocol run leaves zero; the
+  /// check oracle asserts it.
+  std::size_t leaked_timers() const;
+  /// Leaked-timer entries of one partition (0 <= partition < partitions()).
+  std::size_t leaked_timers(int partition) const;
+  /// Peak number of simultaneously-live event slots the arenas ever held
+  /// (they only grow), summed over partitions. Bounded per partition by
+  /// 2^PSI_SIM_SLOT_BITS; the check oracle records it per trial and
+  /// sanity-checks it against the event count.
+  std::size_t arena_high_water() const;
 
  private:
   friend class Context;
 
   /// POD core of a queued message. The numeric-mode payload is referenced by
-  /// index into payloads_ (kNoPayload when absent) so that queuing a
-  /// trace-mode event never constructs, copies, or destroys a shared_ptr.
+  /// index into the owning partition's payload pool (kNoPayload when absent)
+  /// so that queuing a trace-mode event never constructs, copies, or
+  /// destroys a shared_ptr.
   struct EventSlot {
     std::int64_t tag;
     std::int64_t env;
@@ -230,13 +274,14 @@ class Engine {
   };
   static constexpr std::int32_t kNoPayload = -1;
 
-  /// 16-byte heap entry. `key` packs the global sequence number (high
-  /// 64 - kSlotBits bits) over the arena slot (low kSlotBits bits):
-  /// comparing keys compares seqs, giving the deterministic FIFO tie-break,
-  /// and the popped key still recovers the slot. kSlotBits caps *live*
-  /// events (default 2^24 = 16.7M); exceeding it fails loudly in enqueue()
-  /// rather than silently corrupting the packed key. The compile-time knob
-  /// exists so the exhaustion path can be regression-tested cheaply.
+  /// 16-byte heap entry. `key` packs the low (64 - kSlotBits) bits of the
+  /// event's tie-break priority over the arena slot index: most ties
+  /// resolve on the packed bits alone, and the popped key still recovers
+  /// the slot. Exact collisions fall through to the per-slot SlotMeta side
+  /// table (see earlier()). kSlotBits caps *live* events per partition
+  /// (default 2^24 = 16.7M); exceeding it fails loudly in enqueue() rather
+  /// than silently corrupting the packed key. The compile-time knob exists
+  /// so the exhaustion path can be regression-tested cheaply.
   struct Handle {
     SimTime time;
     std::uint64_t key;
@@ -249,10 +294,44 @@ class Engine {
                 "PSI_SIM_SLOT_BITS out of range");
   static constexpr std::uint64_t kSlotMask =
       (std::uint64_t{1} << kSlotBits) - 1;
+  /// Bits of the priority that fit in a handle key above the slot index.
+  static constexpr std::uint64_t kOrderMask =
+      (std::uint64_t{1} << (64 - kSlotBits)) - 1;
 
-  static bool earlier(const Handle& a, const Handle& b) {
+  /// Stable event keys: the low kRankBits bits carry the emitting rank, the
+  /// high bits its per-rank enqueue counter. A key therefore depends only
+  /// on the emitting rank's causal history — never on global arrival order
+  /// — which is what makes the tie-break partition-invariant.
+  static constexpr int kRankBits = 20;
+  static constexpr std::uint64_t kRankMask =
+      (std::uint64_t{1} << kRankBits) - 1;
+  /// Hard cap on partitions (event ids pack the partition index above a
+  /// 48-bit per-partition counter; practical counts are far smaller).
+  static constexpr int kMaxPartitions = 1024;
+
+  /// Per-slot event metadata consulted on exact handle-key ties and at pop.
+  struct SlotMeta {
+    std::uint64_t pri;    ///< full tie-break priority
+    std::uint64_t key64;  ///< stable event key (unique within the run)
+    std::uint64_t id;     ///< dense obs seq (sequential) or eid (partitioned)
+  };
+
+  /// A fully materialized position in the strict total event order
+  /// (time, pri & kOrderMask, pri, key64) — used for the refill horizon,
+  /// which must not dangle into the recyclable slot arena.
+  struct OrderKey {
+    SimTime time;
+    std::uint64_t pri;
+    std::uint64_t key64;
+  };
+
+  static bool key_earlier(const OrderKey& a, const OrderKey& b) {
     if (a.time != b.time) return a.time < b.time;
-    return a.key < b.key;
+    const std::uint64_t oa = a.pri & kOrderMask;
+    const std::uint64_t ob = b.pri & kOrderMask;
+    if (oa != ob) return oa < ob;
+    if (a.pri != b.pri) return a.pri < b.pri;
+    return a.key64 < b.key64;
   }
 
   struct RankState {
@@ -262,14 +341,115 @@ class Engine {
     RankStats stats;
   };
 
+  /// One buffered observability record of a partitioned run, replayed to
+  /// the sink in canonical order at the window merge. Kind tags an index
+  /// into the per-partition typed record pools.
+  struct RecordRef {
+    enum Kind : std::uint8_t { kSend, kHandler, kSpan, kMark };
+    Kind kind;
+    std::uint32_t index;
+  };
+
+  /// One dispatched event of a partitioned run: everything the merge needs
+  /// to replay it — its position in the total order, its event id, its
+  /// buffered records, and its trace entry.
+  struct Bundle {
+    SimTime time;
+    std::uint64_t pri;
+    std::uint64_t key64;
+    std::uint64_t eid;
+    std::uint32_t rec_begin;
+    std::uint32_t rec_end;
+    bool has_trace;
+    TraceEvent trace;
+  };
+
+  /// A cross-partition message in flight between windows. The payload rides
+  /// as a shared_ptr (refcounts are atomic) and is re-registered in the
+  /// destination partition's pool at the drain.
+  struct MailboxEntry {
+    SimTime time;
+    EventSlot slot;  ///< payload == kNoPayload; the real one rides below
+    std::uint64_t pri;
+    std::uint64_t key64;
+    std::uint64_t eid;
+    std::shared_ptr<const DenseMatrix> payload;
+  };
+
+  /// One contiguous block of ranks with its own event queue, arena, and
+  /// observability buffers. Sequential execution is the 1-partition case.
+  struct Partition {
+    int index = 0;
+    int begin_rank = 0;
+    int end_rank = 0;  ///< exclusive
+
+    std::vector<Handle> heap;      ///< 4-ary min-heap: events before horizon
+    std::vector<Handle> overflow;  ///< unsorted events at/after horizon
+    std::size_t overflow_begin = 0;  ///< consumed prefix of overflow
+    /// Pushes not earlier than this go to overflow. Starts below every real
+    /// event so the heap only ever holds refill-selected chunks.
+    OrderKey horizon{-std::numeric_limits<SimTime>::infinity(), 0, 0};
+
+    std::vector<EventSlot> pool;            ///< stable event arena
+    std::vector<SlotMeta> meta;             ///< parallel to pool
+    std::vector<std::uint32_t> free_slots;  ///< reusable arena slots
+    std::vector<std::shared_ptr<const DenseMatrix>> payloads;
+    std::vector<std::int32_t> free_payloads;
+
+    /// key64s of cancelled-but-not-yet-popped timers; entries are erased
+    /// when the timer's event is popped and discarded.
+    std::unordered_set<std::uint64_t> cancelled;
+
+    /// Partitioned-mode event id counter (ids are (index << 48) | counter).
+    std::uint64_t next_eid = 0;
+
+    Count events = 0;        ///< handlers dispatched in this partition
+    SimTime makespan = 0.0;  ///< latest handler completion in this partition
+
+    /// Observability buffers of the current window (partitioned mode).
+    std::vector<Bundle> bundles;
+    std::vector<RecordRef> rec_order;
+    std::vector<obs::MsgSend> rec_sends;
+    std::vector<obs::HandlerRun> rec_handlers;
+    std::vector<obs::SpanEvent> rec_spans;
+    std::vector<obs::MarkEvent> rec_marks;
+
+    /// Outboxes, one per destination partition; only this partition's
+    /// thread writes them during a window.
+    std::vector<std::vector<MailboxEntry>> outbox;
+
+    /// Earliest pending event time after the last window (refreshed by
+    /// run_window and the mailbox drain).
+    SimTime next_time = 0.0;
+  };
+
+  bool earlier(const Partition& p, const Handle& a, const Handle& b) const {
+    if (a.time != b.time) return a.time < b.time;
+    const std::uint64_t oa = a.key >> kSlotBits;
+    const std::uint64_t ob = b.key >> kSlotBits;
+    if (oa != ob) return oa < ob;
+    const SlotMeta& ma = p.meta[a.key & kSlotMask];
+    const SlotMeta& mb = p.meta[b.key & kSlotMask];
+    if (ma.pri != mb.pri) return ma.pri < mb.pri;
+    return ma.key64 < mb.key64;
+  }
+
   void post_send(Context& ctx, int dst, std::int64_t tag, Count bytes,
                  int comm_class, std::shared_ptr<const DenseMatrix> data,
                  std::int64_t env);
   std::uint64_t post_timer(Context& ctx, SimTime delay, std::int64_t tag);
-  /// Returns the queued event's global sequence number.
-  std::uint64_t enqueue(SimTime time, const EventSlot& slot);
-  /// Registers a numeric payload in the pool; kNoPayload for null.
-  std::int32_t register_payload(std::shared_ptr<const DenseMatrix> data);
+  void post_span(Context& ctx, const char* name, std::int64_t id,
+                 SimTime begin, SimTime end);
+  void post_mark(Context& ctx, const char* name, std::int64_t id,
+                 SimTime time);
+  /// Allocates a fresh stable key for an event emitted by `rank`.
+  std::uint64_t next_key(int rank);
+  /// Queues an event into partition `p` at `time` with full metadata.
+  void enqueue(Partition& p, SimTime time, const EventSlot& slot,
+               std::uint64_t pri, std::uint64_t key64, std::uint64_t id);
+  /// Registers a numeric payload in `p`'s pool; kNoPayload for null.
+  std::int32_t register_payload(Partition& p,
+                                std::shared_ptr<const DenseMatrix> data);
   double compute_factor(int rank, SimTime t) const {
     return perturbation_ != nullptr ? perturbation_->compute_factor(rank, t)
                                     : 1.0;
@@ -283,46 +463,71 @@ class Engine {
                                               machine_->node_of(dst), t);
     return occupancy;
   }
-  void dispatch(SimTime time, std::uint64_t seq, const EventSlot& slot,
+  void dispatch(Partition& p, SimTime time, const EventSlot& slot,
+                const SlotMeta& meta,
                 std::shared_ptr<const DenseMatrix> payload);
 
-  void heap_push(Handle handle);
-  Handle heap_pop();
-  /// Moves the earliest chunk of overflow_ into the (empty) heap and
-  /// advances horizon_. Called when the heap drains with far events pending.
-  void refill_heap();
+  void heap_push(Partition& p, Handle handle);
+  Handle heap_pop(Partition& p);
+  /// Moves the earliest chunk of p.overflow into the (empty) heap and
+  /// advances p.horizon. Called when the heap drains with far events
+  /// pending.
+  void refill_heap(Partition& p);
+
+  Partition& part_of(Context& ctx) {
+    return ctx.part_ != nullptr
+               ? *static_cast<Partition*>(ctx.part_)
+               : parts_[static_cast<std::size_t>(
+                     part_of_rank_[static_cast<std::size_t>(ctx.rank_)])];
+  }
+
+  /// Lays out the effective partitions for run(): clamps the requested
+  /// count, computes the lookahead, and falls back to sequential execution
+  /// when no positive lookahead exists.
+  void setup_partitions();
+  /// Seeds the t=0 start event of every rank into its partition.
+  void seed_starts();
+  /// Processes p's events with time < w_end; returns the earliest pending
+  /// event time afterwards (+inf when the partition drained).
+  SimTime run_window(Partition& p, SimTime w_end);
+  /// Replays the window's buffered obs/trace bundles to the sink in
+  /// canonical order, reconstructing the dense sequential seq labels.
+  void merge_window();
+  /// Moves every outbox entry into its destination partition's queue.
+  void drain_mailboxes();
 
   const Machine* machine_;
   int comm_classes_;
   std::vector<std::unique_ptr<Rank>> programs_;
   std::vector<RankState> states_;
 
-  std::vector<Handle> heap_;      ///< 4-ary min-heap: events before horizon_
-  std::vector<Handle> overflow_;  ///< unsorted events at/after horizon_
-  std::size_t overflow_begin_ = 0;  ///< consumed prefix of overflow_
-  /// Pushes not earlier than this go to overflow_. Starts below every real
-  /// event so the heap only ever holds refill-selected chunks.
-  Handle horizon_{-std::numeric_limits<SimTime>::infinity(), 0};
-  std::vector<EventSlot> pool_;            ///< stable event arena
-  std::vector<std::uint32_t> free_slots_;  ///< reusable arena slots
-  /// With a schedule policy the handle key carries the policy's tie-break
-  /// priority instead of the sequence number, so the real seq of each live
-  /// event is kept here, indexed by arena slot (sized lazily; empty when no
-  /// policy is attached).
-  std::vector<std::uint64_t> slot_seq_;
-  std::vector<std::shared_ptr<const DenseMatrix>> payloads_;
-  std::vector<std::int32_t> free_payloads_;
+  std::vector<Partition> parts_;   ///< 1 partition until set_partitions
+  std::vector<int> part_of_rank_;  ///< owning partition per rank
+  int requested_partitions_ = 1;
+  bool partitioned_ = false;  ///< effective mode of the current run
+  SimTime lookahead_ = 0.0;
 
+  /// Per-rank stable-key counters (enqueues) and fault/schedule draw
+  /// counters (network posts). Only the owning partition's thread touches a
+  /// rank's entries.
+  std::vector<std::uint64_t> rank_keys_;
+  std::vector<std::uint64_t> rank_draws_;
+
+  /// Dense obs seq assignment. Sequential mode: assigned at enqueue.
+  /// Partitioned mode: assigned at the merge, in canonical emission order;
+  /// eid_seq_ carries eid -> seq for events whose MsgSend has been emitted
+  /// but whose handler has not yet run.
   std::uint64_t next_seq_ = 0;
+  std::unordered_map<std::uint64_t, std::uint64_t> eid_seq_;
+
   obs::Sink* sink_ = nullptr;
   FaultInjector* injector_ = nullptr;
   const Perturbation* perturbation_ = nullptr;
   SchedulePolicy* schedule_ = nullptr;
-  /// Seqs of cancelled-but-not-yet-popped timers; entries are erased when
-  /// the timer's event is popped and discarded.
-  std::unordered_set<std::uint64_t> cancelled_timers_;
   /// Sequence of the event whose handler is currently dispatching (the
-  /// causal emitter of any sends it posts); ~0 outside dispatch.
+  /// causal emitter of any sends it posts); ~0 outside dispatch. Only
+  /// meaningful in sequential mode — partitioned runs recover emitters at
+  /// the merge.
   std::uint64_t dispatching_seq_ = ~std::uint64_t{0};
   bool tracing_ = false;
   std::size_t trace_limit_ = 0;

@@ -3,9 +3,11 @@
 /// machine-state perturbation.
 ///
 /// The engine stays deterministic under faults: the injector is consulted
-/// exactly once per posted network message, in the engine's (deterministic)
-/// send order, so a seeded injector reproduces the same decision sequence
-/// every run. Perturbation is a pure function of (rank/node pair, simulated
+/// exactly once per posted network message with a counter-stable draw_id
+/// (unique per post, derived from the sender's causal history — identical
+/// across sequential and partitioned execution), so a seeded injector
+/// reproduces the same decision per message every run and for any partition
+/// count. Perturbation is a pure function of (rank/node pair, simulated
 /// time), looked up on the compute and transfer paths.
 ///
 /// Semantics:
@@ -41,14 +43,21 @@ struct FaultDecision {
 };
 
 /// Consulted by the engine for every posted network message (self-sends and
-/// timers excluded). Implementations must be deterministic functions of
-/// their own seeded state plus the arguments; the engine calls in a fixed
-/// order, so determinism of the injector implies determinism of the run.
+/// timers excluded). Implementations must be pure functions of their seed
+/// and the call's arguments — `draw_id` is the engine's counter-stable
+/// identity for the post (unique; low bits name the sender, high bits its
+/// per-sender post counter), so deriving randomness from (seed, draw_id)
+/// yields identical decisions for any partitioning. Partitioned runs call
+/// concurrently from the partition threads, so implementations must also be
+/// thread-safe (pure draws; any statistics behind atomics). In partitioned
+/// runs every returned delay must be >= 0 (a negative delay would violate
+/// the conservative lookahead bound; the engine checks).
 class FaultInjector {
  public:
   virtual ~FaultInjector() = default;
   virtual FaultDecision on_send(int src, int dst, std::int64_t tag,
-                                Count bytes, int comm_class, SimTime post) = 0;
+                                Count bytes, int comm_class, SimTime post,
+                                std::uint64_t draw_id) = 0;
 };
 
 /// Dynamic machine-state perturbation: per-rank compute slowdown windows and

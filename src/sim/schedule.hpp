@@ -1,15 +1,15 @@
 /// \file schedule.hpp
 /// \brief Adversarial schedule-space exploration hook for the engine.
 ///
-/// The engine's event queue is a strict (time, seq) total order: events with
-/// equal timestamps pop in FIFO order. That FIFO tie-break is an arbitrary
-/// choice among the schedules a real asynchronous network could produce —
-/// the correctness claims of the tree protocols (and the resilient layer's
-/// bitwise fault-independence) must hold for EVERY legal schedule, not just
-/// the one the queue happens to realize. A SchedulePolicy lets a test
-/// harness explore that space deterministically:
+/// The engine's event queue is a strict (time, key) total order: events with
+/// equal timestamps pop by their stable per-rank key. That tie-break is an
+/// arbitrary choice among the schedules a real asynchronous network could
+/// produce — the correctness claims of the tree protocols (and the resilient
+/// layer's bitwise fault-independence) must hold for EVERY legal schedule,
+/// not just the one the queue happens to realize. A SchedulePolicy lets a
+/// test harness explore that space deterministically:
 ///
-///  * tie_priority() replaces the FIFO sequence number as the tie-break key
+///  * tie_priority() replaces the stable event key as the tie-break value
 ///    among same-timestamp events, seeded-permuting their pop order. Local
 ///    hand-offs (self-sends) are exempt: they model a rank's own task queue,
 ///    whose order is program-controlled, not a network artifact.
@@ -17,13 +17,17 @@
 ///    message, perturbing arrival order across ranks the way real link
 ///    jitter does. Self-sends and timers are never delayed.
 ///
-/// A policy must be a pure deterministic function of its own seeded state:
-/// the engine consults it in its deterministic enqueue/post order, so the
-/// same policy seed reproduces the same schedule exactly. Composes with
-/// FaultInjector (faults draw first; the adversarial delay adds on top) and
-/// with the timer queue (timers are reordered among ties but never delayed
-/// — a retry deadline is rank-local, not a network event). Unset, the hook
-/// costs one predictable branch per enqueue/send.
+/// A policy must be a pure function of its seed and the call's arguments —
+/// never of internal call-order counters or mutable state. The engine hands
+/// every call a counter-stable identity (the event key, or a per-sender
+/// draw_id) that is identical whether the engine runs sequentially or
+/// partitioned, so a pure policy reproduces the same schedule exactly in
+/// both modes; in partitioned runs it is invoked concurrently from the
+/// partition threads. Composes with FaultInjector (faults draw first; the
+/// adversarial delay adds on top) and with the timer queue (timers are
+/// reordered among ties but never delayed — a retry deadline is rank-local,
+/// not a network event). Unset, the hook costs one predictable branch per
+/// enqueue/send.
 #pragma once
 
 #include <cstdint>
@@ -37,17 +41,22 @@ class SchedulePolicy {
  public:
   virtual ~SchedulePolicy() = default;
 
-  /// Tie-break priority of the event with global sequence number `seq`.
-  /// Events queued for the same timestamp pop in ascending priority order
-  /// (residual ties broken by arena slot). Return `seq` for FIFO.
-  virtual std::uint64_t tie_priority(std::uint64_t seq) = 0;
+  /// Tie-break priority of the event with stable key `key` (unique per
+  /// event; low bits name the emitting rank, high bits its per-rank
+  /// counter). Events queued for the same timestamp pop in ascending
+  /// priority order (residual ties broken by the key itself). Return `key`
+  /// for the engine's default order. Must be pure and thread-safe.
+  virtual std::uint64_t tie_priority(std::uint64_t key) = 0;
 
   /// Extra delivery delay (>= 0, bounded) for one posted network message.
-  /// Called once per post, after the fault injector, in deterministic send
-  /// order.
+  /// Called once per post, after the fault injector. `draw_id` is the
+  /// engine's counter-stable draw identity for this post (unique; low bits
+  /// name the sender, high bits its per-sender post counter) — derive all
+  /// randomness from (seed, draw_id), never from call order. Must be pure
+  /// and thread-safe.
   virtual SimTime network_delay(int src, int dst, std::int64_t tag,
-                                Count bytes, int comm_class,
-                                SimTime post) = 0;
+                                Count bytes, int comm_class, SimTime post,
+                                std::uint64_t draw_id) = 0;
 };
 
 }  // namespace psi::sim

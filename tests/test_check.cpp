@@ -37,7 +37,7 @@ TEST(AdversarialSchedule, SeedZeroIsIdentity) {
   for (std::uint64_t seq : {0ull, 1ull, 17ull, 123456789ull})
     EXPECT_EQ(schedule.tie_priority(seq), seq);
   for (int i = 0; i < 8; ++i)
-    EXPECT_EQ(schedule.network_delay(0, 1, i, 100, 0, 0.0), 0.0);
+    EXPECT_EQ(schedule.network_delay(0, 1, i, 100, 0, 0.0, i), 0.0);
 }
 
 TEST(AdversarialSchedule, SameSeedSameStreams) {
@@ -46,8 +46,8 @@ TEST(AdversarialSchedule, SameSeedSameStreams) {
   for (std::uint64_t seq = 0; seq < 64; ++seq)
     EXPECT_EQ(a.tie_priority(seq), b.tie_priority(seq));
   for (int i = 0; i < 64; ++i) {
-    const double da = a.network_delay(0, 1, i, 100, 0, 0.0);
-    const double db = b.network_delay(0, 1, i, 100, 0, 0.0);
+    const double da = a.network_delay(0, 1, i, 100, 0, 0.0, i);
+    const double db = b.network_delay(0, 1, i, 100, 0, 0.0, i);
     EXPECT_EQ(da, db);
     EXPECT_GE(da, 0.0);
     EXPECT_LT(da, 1e-4);
@@ -170,10 +170,12 @@ TEST(Oracle, CleanCasePassesWithInvariantsExercised) {
   const CaseResult result = run_case(spec);
   EXPECT_TRUE(result.passed) << result.signature;
   EXPECT_EQ(result.signature, "");
-  // 3 schemes x (1 fast + 1 baseline + K adversarial legs).
-  EXPECT_EQ(result.legs_run, 3u * (2u + 2u));
+  // 3 schemes x (1 fast + 1 baseline + K adversarial legs), plus the two
+  // partitioned-engine legs on the shifted-binary scheme.
+  EXPECT_EQ(result.legs_run, 3u * (2u + 2u) + 2u);
   // Plus the shared-memory legs: threads=2 natural + threads=4 scrambled.
   EXPECT_EQ(result.numeric_parallel_legs, 2u);
+  EXPECT_EQ(result.sim_partition_legs, 2u);
   EXPECT_GT(result.events, 0);
   EXPECT_GT(result.arena_high_water, 0u);
   EXPECT_LT(result.max_ref_err, 1e-8);

@@ -174,12 +174,12 @@ TEST(DeterministicInjector, RatesWindowsAndClassesRespected) {
   int dropped_in = 0;
   const int trials = 20000;
   for (int i = 0; i < trials; ++i)
-    if (injector.on_send(0, 1, i, 100, 1, 0.5).drop) ++dropped_in;
+    if (injector.on_send(0, 1, i, 100, 1, 0.5, i).drop) ++dropped_in;
   EXPECT_NEAR(static_cast<double>(dropped_in) / trials, 0.2, 0.02);
 
   for (int i = 0; i < 100; ++i) {
-    EXPECT_FALSE(injector.on_send(0, 1, i, 100, 0, 0.5).drop);  // class miss
-    EXPECT_FALSE(injector.on_send(0, 1, i, 100, 1, 2.0).drop);  // window miss
+    EXPECT_FALSE(injector.on_send(0, 1, i, 100, 0, 0.5, i).drop);  // class miss
+    EXPECT_FALSE(injector.on_send(0, 1, i, 100, 1, 2.0, i).drop);  // window miss
   }
   EXPECT_EQ(injector.stats().dropped, static_cast<Count>(dropped_in));
 }
@@ -191,8 +191,8 @@ TEST(DeterministicInjector, SameSeedSameSequence) {
                                              /*dup_prob=*/0.1);
   DeterministicInjector a(plan), b(plan);
   for (int i = 0; i < 5000; ++i) {
-    const sim::FaultDecision da = a.on_send(0, 1, i, 64, 0, 0.0);
-    const sim::FaultDecision db = b.on_send(0, 1, i, 64, 0, 0.0);
+    const sim::FaultDecision da = a.on_send(0, 1, i, 64, 0, 0.0, i);
+    const sim::FaultDecision db = b.on_send(0, 1, i, 64, 0, 0.0, i);
     EXPECT_EQ(da.drop, db.drop);
     EXPECT_EQ(da.duplicates, db.duplicates);
     EXPECT_EQ(da.delay, db.delay);
@@ -229,8 +229,8 @@ class Catcher : public sim::Rank {
 
 struct FixedInjector : sim::FaultInjector {
   sim::FaultDecision decision;
-  sim::FaultDecision on_send(int, int, std::int64_t, Count, int,
-                             sim::SimTime) override {
+  sim::FaultDecision on_send(int, int, std::int64_t, Count, int, sim::SimTime,
+                             std::uint64_t) override {
     return decision;
   }
 };

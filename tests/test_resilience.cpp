@@ -247,7 +247,7 @@ struct Blackhole : sim::FaultInjector {
   int dst = -1;
   sim::SimTime until = 0.0;
   sim::FaultDecision on_send(int, int d, std::int64_t, Count, int,
-                             sim::SimTime post) override {
+                             sim::SimTime post, std::uint64_t) override {
     sim::FaultDecision decision;
     decision.drop = (d == dst && post < until);
     return decision;

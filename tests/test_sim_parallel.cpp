@@ -1,0 +1,533 @@
+/// Golden-trace differential suite for the partitioned engine: every
+/// observable output of a partitioned run — makespan, event trace, the full
+/// obs record stream with its causal links, per-rank stats, fault draws,
+/// and numeric selected-inversion digests — must be BITWISE identical to
+/// the sequential engine for any partition count and seed (DESIGN.md §14).
+/// Also the regression tests for timer set/cancel straddling a two-tier
+/// refill boundary and the per-partition leaked_timers() accounting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "check/schedule.hpp"
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "driver/experiment.hpp"
+#include "driver/paper_matrices.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "numeric/supernodal_lu.hpp"
+#include "obs/recorder.hpp"
+#include "pselinv/engine.hpp"
+#include "sim/engine.hpp"
+
+namespace psi::sim {
+namespace {
+
+MachineConfig storm_config() {
+  // Small nodes/groups so a couple of dozen ranks span all three latency
+  // tiers; any contiguous split then has a positive cross-partition
+  // latency, i.e. a positive lookahead.
+  MachineConfig config;
+  config.cores_per_node = 4;
+  config.nodes_per_group = 2;
+  config.flop_rate = 1e9;
+  config.msg_overhead = 1e-6;
+  return config;
+}
+
+// ----- full bitwise capture of a run's observable output --------------------
+
+struct Capture {
+  SimTime makespan = 0.0;
+  Count events = 0;
+  int partitions = 0;
+  std::vector<TraceEvent> trace;
+  std::vector<obs::EventRecord> records;
+  std::vector<obs::SpanEvent> spans;
+  std::vector<obs::MarkEvent> marks;
+  std::vector<RankStats> stats;
+  fault::DeterministicInjector::Stats fault_stats;
+};
+
+/// EXPECT_EQ on doubles is bitwise-exact (no tolerance) — exactly the
+/// contract under test.
+void expect_identical(const Capture& a, const Capture& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events, b.events);
+
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].time, b.trace[i].time) << "trace[" << i << "]";
+    EXPECT_EQ(a.trace[i].src, b.trace[i].src) << "trace[" << i << "]";
+    EXPECT_EQ(a.trace[i].dst, b.trace[i].dst) << "trace[" << i << "]";
+    EXPECT_EQ(a.trace[i].comm_class, b.trace[i].comm_class);
+    EXPECT_EQ(a.trace[i].bytes, b.trace[i].bytes);
+    EXPECT_EQ(a.trace[i].tag, b.trace[i].tag);
+  }
+
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const obs::EventRecord& x = a.records[i];
+    const obs::EventRecord& y = b.records[i];
+    EXPECT_EQ(x.post, y.post) << "record[" << i << "]";
+    EXPECT_EQ(x.xfer_start, y.xfer_start) << "record[" << i << "]";
+    EXPECT_EQ(x.xfer_end, y.xfer_end) << "record[" << i << "]";
+    EXPECT_EQ(x.arrival, y.arrival) << "record[" << i << "]";
+    EXPECT_EQ(x.ready, y.ready) << "record[" << i << "]";
+    EXPECT_EQ(x.start, y.start) << "record[" << i << "]";
+    EXPECT_EQ(x.end, y.end) << "record[" << i << "]";
+    EXPECT_EQ(x.compute, y.compute) << "record[" << i << "]";
+    EXPECT_EQ(x.emitter, y.emitter) << "record[" << i << "]";
+    EXPECT_EQ(x.prev_on_rank, y.prev_on_rank) << "record[" << i << "]";
+    EXPECT_EQ(x.tag, y.tag) << "record[" << i << "]";
+    EXPECT_EQ(x.bytes, y.bytes) << "record[" << i << "]";
+    EXPECT_EQ(x.src, y.src) << "record[" << i << "]";
+    EXPECT_EQ(x.dst, y.dst) << "record[" << i << "]";
+    EXPECT_EQ(x.comm_class, y.comm_class) << "record[" << i << "]";
+    EXPECT_EQ(x.handled, y.handled) << "record[" << i << "]";
+  }
+
+  ASSERT_EQ(a.spans.size(), b.spans.size());
+  for (std::size_t i = 0; i < a.spans.size(); ++i) {
+    EXPECT_EQ(a.spans[i].rank, b.spans[i].rank) << "span[" << i << "]";
+    EXPECT_EQ(std::string_view(a.spans[i].name),
+              std::string_view(b.spans[i].name));
+    EXPECT_EQ(a.spans[i].id, b.spans[i].id) << "span[" << i << "]";
+    EXPECT_EQ(a.spans[i].begin, b.spans[i].begin) << "span[" << i << "]";
+    EXPECT_EQ(a.spans[i].end, b.spans[i].end) << "span[" << i << "]";
+  }
+  ASSERT_EQ(a.marks.size(), b.marks.size());
+  for (std::size_t i = 0; i < a.marks.size(); ++i) {
+    EXPECT_EQ(a.marks[i].rank, b.marks[i].rank) << "mark[" << i << "]";
+    EXPECT_EQ(std::string_view(a.marks[i].name),
+              std::string_view(b.marks[i].name));
+    EXPECT_EQ(a.marks[i].id, b.marks[i].id) << "mark[" << i << "]";
+    EXPECT_EQ(a.marks[i].time, b.marks[i].time) << "mark[" << i << "]";
+  }
+
+  ASSERT_EQ(a.stats.size(), b.stats.size());
+  for (std::size_t r = 0; r < a.stats.size(); ++r) {
+    EXPECT_EQ(a.stats[r].compute_seconds, b.stats[r].compute_seconds);
+    EXPECT_EQ(a.stats[r].overhead_seconds, b.stats[r].overhead_seconds);
+    EXPECT_EQ(a.stats[r].finish_time, b.stats[r].finish_time);
+    EXPECT_EQ(a.stats[r].events_handled, b.stats[r].events_handled);
+    ASSERT_EQ(a.stats[r].per_class.size(), b.stats[r].per_class.size());
+    for (std::size_t c = 0; c < a.stats[r].per_class.size(); ++c) {
+      EXPECT_EQ(a.stats[r].per_class[c].bytes_sent,
+                b.stats[r].per_class[c].bytes_sent);
+      EXPECT_EQ(a.stats[r].per_class[c].bytes_received,
+                b.stats[r].per_class[c].bytes_received);
+      EXPECT_EQ(a.stats[r].per_class[c].messages_sent,
+                b.stats[r].per_class[c].messages_sent);
+      EXPECT_EQ(a.stats[r].per_class[c].messages_received,
+                b.stats[r].per_class[c].messages_received);
+    }
+  }
+
+  EXPECT_EQ(a.fault_stats.consulted, b.fault_stats.consulted);
+  EXPECT_EQ(a.fault_stats.dropped, b.fault_stats.dropped);
+  EXPECT_EQ(a.fault_stats.duplicated, b.fault_stats.duplicated);
+  EXPECT_EQ(a.fault_stats.delayed, b.fault_stats.delayed);
+  EXPECT_EQ(a.fault_stats.dropped_bytes, b.fault_stats.dropped_bytes);
+  EXPECT_EQ(a.fault_stats.duplicated_bytes, b.fault_stats.duplicated_bytes);
+}
+
+// ----- synthetic storm program ----------------------------------------------
+
+/// Deterministic hash-driven traffic generator: every rank fans out seeded
+/// sends at t = 0 (with a self-send and an occasional timer mixed in) and
+/// forwards each received message a bounded number of hops to a hashed next
+/// destination. Exercises all three latency tiers, NIC contention,
+/// same-timestamp ties, self-sends, and timers in one program.
+class StormRank : public Rank {
+ public:
+  StormRank(int rank_count, int fanout, std::uint64_t seed)
+      : ranks_(rank_count), fanout_(fanout), seed_(seed) {}
+
+  void on_start(Context& ctx) override {
+    for (int i = 0; i < fanout_; ++i) {
+      const int dst = peer(ctx.rank(), i, 0);
+      const Count bytes = 128 + static_cast<Count>(
+                                    mix(ctx.rank(), i, 17) % 4096);
+      ctx.send(dst, /*tag=*/3, bytes, static_cast<int>(mix(i, 3, 5) % 2));
+    }
+    ctx.send(ctx.rank(), /*tag=*/1, 64, 0);  // local hand-off leg
+    if (ctx.rank() % 3 == 0) ctx.set_timer(1.5e-4, /*tag=*/-7);
+  }
+
+  void on_message(Context& ctx, const Message& msg) override {
+    ctx.compute(2.0e-8 * static_cast<double>(1 + msg.bytes % 7));
+    if (msg.tag > 0) {
+      const int dst = peer(ctx.rank(), msg.src, msg.bytes);
+      ctx.send(dst, msg.tag - 1, msg.bytes / 2 + 64, msg.comm_class);
+    }
+  }
+
+  void on_timer(Context& ctx, std::int64_t tag) override {
+    (void)tag;
+    ctx.compute(1.0e-8);
+  }
+
+ private:
+  std::uint64_t mix(std::uint64_t a, std::uint64_t b, std::uint64_t c) const {
+    std::uint64_t state = hash_combine(hash_combine(seed_ ^ a, b), c);
+    return splitmix64(state);
+  }
+  int peer(int self, std::uint64_t a, std::uint64_t b) const {
+    const int dst =
+        static_cast<int>(mix(static_cast<std::uint64_t>(self), a, b) %
+                         static_cast<std::uint64_t>(ranks_));
+    return dst == self ? (dst + 1) % ranks_ : dst;
+  }
+
+  int ranks_;
+  int fanout_;
+  std::uint64_t seed_;
+};
+
+fault::FaultPlan storm_fault_plan(std::uint64_t seed) {
+  fault::FaultPlan plan(seed);
+  fault::MessageFaultRule rule;
+  rule.drop_prob = 0.05;
+  rule.dup_prob = 0.05;
+  rule.dup_spacing = 1.0e-6;
+  rule.delay_prob = 0.10;
+  rule.delay = 2.0e-6;
+  plan.add_rule(rule);
+  return plan;
+}
+
+struct StormOptions {
+  int ranks = 24;
+  int partitions = 1;
+  std::uint64_t seed = 1;
+  bool faulted = false;
+  std::uint64_t schedule_seed = 0;  ///< 0: engine-native tie-break
+};
+
+Capture run_storm(const StormOptions& opt) {
+  const Machine machine(storm_config());
+  Engine engine(machine, opt.ranks, 2);
+  engine.set_partitions(opt.partitions);
+  engine.enable_trace();
+  obs::Recorder recorder;
+  engine.set_sink(&recorder);
+  const fault::FaultPlan plan = storm_fault_plan(opt.seed);
+  fault::DeterministicInjector injector(plan);
+  if (opt.faulted) engine.set_fault_injector(&injector);
+  check::AdversarialSchedule schedule(opt.schedule_seed, 1.0e-6);
+  if (opt.schedule_seed != 0) engine.set_schedule_policy(&schedule);
+  for (int r = 0; r < opt.ranks; ++r)
+    engine.set_rank(r, std::make_unique<StormRank>(opt.ranks, 6, opt.seed));
+
+  Capture capture;
+  capture.makespan = engine.run();
+  capture.events = engine.events_processed();
+  capture.partitions = engine.partitions();
+  capture.trace = engine.trace();
+  capture.records = recorder.events();
+  capture.spans = recorder.spans();
+  capture.marks = recorder.marks();
+  for (int r = 0; r < opt.ranks; ++r) capture.stats.push_back(engine.stats(r));
+  capture.fault_stats = injector.stats();
+  EXPECT_EQ(engine.leaked_timers(), 0u);
+  for (int p = 0; p < engine.partitions(); ++p)
+    EXPECT_EQ(engine.leaked_timers(p), 0u) << "partition " << p;
+  return capture;
+}
+
+TEST(PartitionedStorm, BitwiseIdenticalAcrossPartitionCounts) {
+  for (const std::uint64_t seed : {std::uint64_t{1}, std::uint64_t{77}}) {
+    StormOptions opt;
+    opt.seed = seed;
+    const Capture sequential = run_storm(opt);
+    ASSERT_GT(sequential.trace.size(), 100u);
+    for (const int partitions : {2, 4, 8}) {
+      opt.partitions = partitions;
+      const Capture partitioned = run_storm(opt);
+      EXPECT_EQ(partitioned.partitions, partitions) << "seed " << seed;
+      expect_identical(sequential, partitioned);
+    }
+  }
+}
+
+TEST(PartitionedStorm, FaultDrawsAreCounterStableAcrossPartitions) {
+  for (const std::uint64_t seed : {std::uint64_t{9}, std::uint64_t{123}}) {
+    StormOptions opt;
+    opt.seed = seed;
+    opt.faulted = true;
+    const Capture sequential = run_storm(opt);
+    // The plan actually fired (otherwise the leg tests nothing).
+    EXPECT_GT(sequential.fault_stats.dropped, 0u);
+    EXPECT_GT(sequential.fault_stats.duplicated, 0u);
+    EXPECT_GT(sequential.fault_stats.delayed, 0u);
+    for (const int partitions : {2, 4}) {
+      opt.partitions = partitions;
+      expect_identical(sequential, run_storm(opt));
+    }
+  }
+}
+
+TEST(PartitionedStorm, AdversarialScheduleIsPartitionInvariant) {
+  StormOptions opt;
+  opt.schedule_seed = 0xabcdef;
+  const Capture sequential = run_storm(opt);
+  for (const int partitions : {2, 4, 8}) {
+    opt.partitions = partitions;
+    expect_identical(sequential, run_storm(opt));
+  }
+  // And the combined worst case: faults + adversarial schedule.
+  opt.faulted = true;
+  opt.partitions = 1;
+  const Capture faulted_sequential = run_storm(opt);
+  opt.partitions = 4;
+  expect_identical(faulted_sequential, run_storm(opt));
+}
+
+// ----- engine fallbacks and clamps ------------------------------------------
+
+TEST(PartitionedEngine, ZeroLookaheadFallsBackToSequential) {
+  // Every rank on one node with zero intra-node latency: no conservative
+  // window exists, so the engine must refuse to partition (and still run).
+  MachineConfig config = storm_config();
+  config.cores_per_node = 64;
+  config.lat_intranode = 0.0;
+  const Machine machine(config);
+  Engine engine(machine, 8, 2);
+  engine.set_partitions(4);
+  for (int r = 0; r < 8; ++r)
+    engine.set_rank(r, std::make_unique<StormRank>(8, 3, 5));
+  engine.run();
+  EXPECT_EQ(engine.partitions(), 1);
+  EXPECT_EQ(engine.lookahead(), 0.0);
+}
+
+TEST(PartitionedEngine, PartitionCountClampsToRankCount) {
+  const Machine machine(storm_config());
+  Engine engine(machine, 3, 2);
+  engine.set_partitions(8);
+  for (int r = 0; r < 3; ++r)
+    engine.set_rank(r, std::make_unique<StormRank>(3, 2, 5));
+  engine.run();
+  EXPECT_LE(engine.partitions(), 3);
+  EXPECT_GT(engine.lookahead(), 0.0);
+}
+
+TEST(PartitionedEngine, EnvKnobParsesAndClamps) {
+  EXPECT_EQ(parallel::parse_sim_partitions(nullptr), 1);
+  EXPECT_EQ(parallel::parse_sim_partitions("4"), 4);
+  EXPECT_EQ(parallel::parse_sim_partitions("garbage"), 1);
+  EXPECT_EQ(parallel::parse_sim_partitions("0"), 1);
+  EXPECT_EQ(parallel::parse_sim_partitions("-3"), 1);
+  EXPECT_EQ(parallel::parse_sim_partitions("100000"),
+            parallel::kMaxSimPartitions);
+}
+
+// ----- timer set/cancel straddling a refill boundary ------------------------
+
+/// Rank 0 floods far-future timers (more than one refill chunk's worth, so
+/// the two-tier queue must select them across several nth_element refills),
+/// then cancels every other one from a near-future trigger timer — the
+/// cancelled set straddles the refill boundary that partitioned safe-time
+/// advancement leans on. Other ranks ping across partitions so windows keep
+/// advancing.
+class TimerFlood : public Rank {
+ public:
+  static constexpr int kTimers = 20000;  // > one 16384-handle refill chunk
+  TimerFlood(int rank_count, std::vector<std::int64_t>* fired)
+      : ranks_(rank_count), fired_(fired) {}
+
+  void on_start(Context& ctx) override {
+    if (ctx.rank() == 0) {
+      ids_.reserve(kTimers);
+      for (int i = 0; i < kTimers; ++i) {
+        // Fire times spread over [1, 2): far beyond the first horizon.
+        const SimTime delay =
+            1.0 + static_cast<double>(splitmix64_mix(i)) * 0x1.0p-64;
+        ids_.push_back(ctx.set_timer(delay, i));
+      }
+      ctx.set_timer(0.5, /*tag=*/-1);  // the cancellation trigger
+    } else {
+      ctx.send((ctx.rank() + 1) % ranks_, /*tag=*/4, 256, 0);
+    }
+  }
+
+  void on_message(Context& ctx, const Message& msg) override {
+    if (msg.tag > 0)
+      ctx.send((ctx.rank() + 3) % ranks_, msg.tag - 1, msg.bytes, 0);
+  }
+
+  void on_timer(Context& ctx, std::int64_t tag) override {
+    if (tag == -1) {
+      // Cancel every other pending flood timer (all fire at t >= 1.0, so
+      // none has fired yet — every cancel is a clean pre-fire cancel).
+      for (std::size_t i = 0; i < ids_.size(); i += 2) ctx.cancel_timer(ids_[i]);
+      return;
+    }
+    fired_->push_back(tag);
+  }
+
+ private:
+  static std::uint64_t splitmix64_mix(std::uint64_t i) {
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL * (i + 1);
+    return splitmix64(state);
+  }
+
+  int ranks_;
+  std::vector<std::int64_t>* fired_;
+  std::vector<std::uint64_t> ids_;
+};
+
+TEST(TimerRefillBoundary, CancelStraddlingRefillIsExactAndPartitionInvariant) {
+  const auto run = [](int partitions) {
+    const Machine machine(storm_config());
+    Engine engine(machine, 8, 1);
+    engine.set_partitions(partitions);
+    std::vector<std::int64_t> fired;
+    for (int r = 0; r < 8; ++r)
+      engine.set_rank(r, std::make_unique<TimerFlood>(8, &fired));
+    const SimTime makespan = engine.run();
+    // Exactly the uncancelled half fired, none leaked, in identical order.
+    EXPECT_EQ(fired.size(),
+              static_cast<std::size_t>(TimerFlood::kTimers / 2));
+    EXPECT_EQ(engine.leaked_timers(), 0u);
+    for (int p = 0; p < engine.partitions(); ++p)
+      EXPECT_EQ(engine.leaked_timers(p), 0u) << "partition " << p;
+    return std::make_pair(makespan, fired);
+  };
+  const auto sequential = run(1);
+  for (const int partitions : {2, 4}) {
+    const auto partitioned = run(partitions);
+    EXPECT_EQ(sequential.first, partitioned.first);
+    EXPECT_EQ(sequential.second, partitioned.second);
+  }
+}
+
+/// Cancelling a timer that already fired leaks one bookkeeping entry — and
+/// leaked_timers(partition) must localize it to the cancelling rank's
+/// partition.
+class LateCancel : public Rank {
+ public:
+  explicit LateCancel(int victim) : victim_(victim) {}
+  void on_start(Context& ctx) override {
+    if (ctx.rank() != victim_) return;
+    id_ = ctx.set_timer(0.0, 1);   // fires first (earlier stable key)...
+    ctx.send(ctx.rank(), 2, 0, 0);  // ...then this handler cancels it
+  }
+  void on_message(Context& ctx, const Message&) override {
+    ctx.cancel_timer(id_);
+  }
+  void on_timer(Context&, std::int64_t) override {}
+
+ private:
+  int victim_;
+  std::uint64_t id_ = 0;
+};
+
+TEST(TimerRefillBoundary, LeakedTimersAreAttributedPerPartition) {
+  const Machine machine(storm_config());
+  Engine engine(machine, 8, 1);
+  engine.set_partitions(2);
+  for (int r = 0; r < 8; ++r)
+    engine.set_rank(r, std::make_unique<LateCancel>(/*victim=*/6));
+  engine.run();
+  ASSERT_EQ(engine.partitions(), 2);
+  EXPECT_EQ(engine.leaked_timers(0), 0u);  // victim rank 6 lives in [4, 8)
+  EXPECT_EQ(engine.leaked_timers(1), 1u);
+  EXPECT_EQ(engine.leaked_timers(), 1u);
+}
+
+// ----- full PSelInv replays across {Flat, Binary, Shifted-Binary} -----------
+
+class PselinvPartitioned : public ::testing::TestWithParam<trees::TreeScheme> {
+};
+
+TEST_P(PselinvPartitioned, TraceAndObsBitwiseIdenticalAcrossPartitions) {
+  const GeneratedMatrix gen =
+      driver::make_paper_matrix(driver::PaperMatrix::kDgWater, 0.5);
+  const SymbolicAnalysis an = analyze(gen, driver::default_analysis_options());
+  const pselinv::Plan plan(an.blocks, dist::ProcessGrid(4, 4),
+                           driver::tree_options_for(GetParam()));
+  const Machine machine(driver::timing_machine(0.25, 1001));
+
+  const auto replay = [&](int partitions) {
+    std::vector<TraceEvent> trace;
+    obs::Recorder recorder;
+    pselinv::RunOptions options;
+    options.partitions = partitions;
+    const pselinv::RunResult run =
+        run_pselinv(plan, machine, pselinv::ExecutionMode::kTrace, nullptr,
+                    &trace, &recorder, options);
+    Capture capture;
+    capture.makespan = run.makespan;
+    capture.events = run.events;
+    capture.trace = std::move(trace);
+    capture.records = recorder.events();
+    capture.spans = recorder.spans();
+    capture.marks = recorder.marks();
+    capture.stats = run.rank_stats;
+    EXPECT_EQ(run.leaked_timers, 0u);
+    EXPECT_TRUE(run.complete());
+    return capture;
+  };
+
+  const Capture sequential = replay(1);
+  ASSERT_GT(sequential.trace.size(), 0u);
+  ASSERT_GT(sequential.spans.size(), 0u);  // supernode spans came through
+  for (const int partitions : {2, 4, 8})
+    expect_identical(sequential, replay(partitions));
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, PselinvPartitioned,
+                         ::testing::Values(trees::TreeScheme::kFlat,
+                                           trees::TreeScheme::kBinary,
+                                           trees::TreeScheme::kShiftedBinary),
+                         [](const auto& info) {
+                           std::string name(trees::scheme_name(info.param));
+                           for (char& c : name)
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           return name;
+                         });
+
+TEST(PselinvPartitioned, NumericSelectedInverseBitwiseIdentical) {
+  const GeneratedMatrix gen =
+      driver::make_paper_matrix(driver::PaperMatrix::kDgWater, 0.4);
+  const SymbolicAnalysis an = analyze(gen, driver::default_analysis_options());
+  const pselinv::Plan plan(
+      an.blocks, dist::ProcessGrid(3, 3),
+      driver::tree_options_for(trees::TreeScheme::kShiftedBinary));
+  const Machine machine(driver::timing_machine(0.25, 7));
+
+  const auto invert = [&](int partitions) {
+    SupernodalLU lu = SupernodalLU::factor(an);
+    pselinv::RunOptions options;
+    options.partitions = partitions;
+    pselinv::RunResult run =
+        run_pselinv(plan, machine, pselinv::ExecutionMode::kNumeric, &lu,
+                    nullptr, nullptr, options);
+    EXPECT_TRUE(run.complete());
+    PSI_CHECK(run.ainv != nullptr);
+    return std::make_pair(run.makespan, run.ainv->to_dense());
+  };
+
+  const auto sequential = invert(1);
+  for (const int partitions : {2, 4}) {
+    const auto partitioned = invert(partitions);
+    EXPECT_EQ(sequential.first, partitioned.first);
+    const DenseMatrix& ref = sequential.second;
+    const DenseMatrix& got = partitioned.second;
+    ASSERT_EQ(ref.rows(), got.rows());
+    ASSERT_EQ(ref.cols(), got.cols());
+    for (Int c = 0; c < ref.cols(); ++c)
+      for (Int r = 0; r < ref.rows(); ++r)
+        ASSERT_EQ(ref(r, c), got(r, c))  // bitwise, no tolerance
+            << "partitions=" << partitions << " at (" << r << "," << c << ")";
+  }
+}
+
+}  // namespace
+}  // namespace psi::sim
