@@ -1,0 +1,295 @@
+/// \file bench_nsym.cpp
+/// \brief Non-symmetric selected inversion benchmark: row-side vs
+/// column-side tree traffic and makespan across the three tree schemes and
+/// several process grids, on the structurally non-symmetric generator
+/// families (dg2d/dg3d/fem3d one-directional coupling drops).
+///
+/// Two outputs:
+///  * a volume/makespan grid (per problem x grid x scheme: column-side,
+///    row-side, and cross bytes, the per-supernode side-imbalance
+///    distribution |row-col|/(row+col), plan inventory, trace-mode
+///    makespan/events) in bench_out/nsym_trees.csv + .ndjson;
+///  * a determinism digest gate (bench_out/nsym_digest.csv + .ndjson):
+///    task-parallel factor+sweep digests at threads {2, 4} must equal the
+///    sequential restricted sweep BITWISE, resilient engine runs at
+///    partitions {1, 4} must agree bitwise with identical makespans, and
+///    each scheme's fast engine leg must match the sequential sweep to
+///    1e-8. Any violation exits nonzero, so the committed artifacts are a
+///    determinism witness.
+///
+/// `--smoke` shrinks to one tiny problem and runs the digest gate only
+/// (registered as the tier-1 ctest `bench_nsym_smoke`, label `nsym`).
+#include "bench_common.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nsym/engine.hpp"
+#include "nsym/selinv.hpp"
+#include "nsym/structure.hpp"
+#include "nsym/volume.hpp"
+#include "serve/service.hpp"
+#include "sparse/generators.hpp"
+
+namespace psi {
+namespace {
+
+struct Problem {
+  std::string name;
+  GeneratedMatrix gen;
+  Int group;  ///< coupling-group width = supernode cap (keeps drops visible)
+};
+
+std::vector<Problem> problems(bool smoke) {
+  std::vector<Problem> out;
+  if (smoke) {
+    out.push_back({"dg2d_3x3b4_drop07", dg2d_nonsym(3, 3, 4, 7, 0.7), 4});
+    return out;
+  }
+  out.push_back({"dg2d_8x8b4", dg2d_nonsym(8, 8, 4, 11), 4});
+  out.push_back({"dg3d_4x4x4b3", dg3d_nonsym(4, 4, 4, 3, 12), 3});
+  out.push_back({"fem3d_6x6x6d2", fem3d_nonsym(6, 6, 6, 2, 13), 2});
+  return out;
+}
+
+nsym::NsymAnalysis analyze_problem(const Problem& problem) {
+  AnalysisOptions opt;
+  opt.ordering.method = OrderingMethod::kNestedDissection;
+  // Cap supernodes at the coupling-group width: amalgamating past it would
+  // re-symmetrize the directed drops at block granularity and the restricted
+  // paths under test would never fire.
+  opt.supernodes.max_size = problem.group;
+  return nsym::analyze_nsym(problem.gen, opt);
+}
+
+sim::Machine bench_machine() {
+  sim::MachineConfig config;
+  config.cores_per_node = 4;
+  config.nodes_per_group = 4;
+  return sim::Machine(config);
+}
+
+constexpr trees::TreeScheme kSchemes[] = {trees::TreeScheme::kFlat,
+                                          trees::TreeScheme::kBinary,
+                                          trees::TreeScheme::kShiftedBinary};
+
+/// Worst entry gap over both triangles of the union structure.
+double union_gap(const BlockMatrix& got, const BlockMatrix& ref,
+                 const BlockStructure& bs) {
+  double gap = 0.0;
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    gap = std::max(gap, max_abs_diff(got.block(k, k), ref.block(k, k)));
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)]) {
+      gap = std::max(gap, max_abs_diff(got.block(i, k), ref.block(i, k)));
+      gap = std::max(gap, max_abs_diff(got.block(k, i), ref.block(k, i)));
+    }
+  }
+  return gap;
+}
+
+/// The determinism/accuracy gate; returns the number of violations (0 = ok)
+/// and appends one row per leg to `rows`.
+int digest_gate(const Problem& problem, const nsym::NsymAnalysis& an,
+                obs::RecordWriter& rows) {
+  int violations = 0;
+  const sim::Machine machine = bench_machine();
+  const BlockStructure& bs = an.sym.blocks;
+
+  const auto emit = [&](const std::string& leg, double seconds, bool ok,
+                        const std::string& digest) {
+    obs::Record record;
+    record.add("structure", problem.name)
+        .add("n", an.matrix.n())
+        .add("supernodes", bs.supernode_count())
+        .add("leg", leg)
+        .add("wall_s", seconds)
+        .add("ok", ok)
+        .add("digest", digest);
+    rows.write(record);
+    if (!ok) {
+      ++violations;
+      std::fprintf(stderr, "DIGEST GATE FAILED %s leg=%s\n",
+                   problem.name.c_str(), leg.c_str());
+    }
+  };
+
+  // Sequential reference: restricted factorization + restricted sweep.
+  WallTimer timer;
+  nsym::NsymSupernodalLU lu_seq = nsym::NsymSupernodalLU::factor(an);
+  const double factor_s = timer.seconds();
+  timer.reset();
+  const BlockMatrix reference = nsym::nsym_selected_inversion(lu_seq);
+  const double selinv_s = timer.seconds();
+  const std::string ref_digest = serve::ainv_digest(reference);
+  emit("seq_factor", factor_s, true, "");
+  emit("seq_selinv", selinv_s, true, ref_digest);
+
+  // Task-parallel legs: bitwise against the sequential sweep.
+  for (const int threads : {2, 4}) {
+    parallel::ThreadPool pool(threads - 1);
+    numeric::ParallelOptions popt;
+    popt.threads = threads;
+    popt.pool = &pool;
+    timer.reset();
+    nsym::NsymSupernodalLU lu_par =
+        nsym::NsymSupernodalLU::factor_parallel(an, popt);
+    const BlockMatrix par = nsym::nsym_selinv_parallel(lu_par, popt);
+    const std::string digest = serve::ainv_digest(par);
+    emit("task_parallel_t" + std::to_string(threads), timer.seconds(),
+         digest == ref_digest, digest);
+  }
+
+  // Fast engine legs per scheme: tolerance against the sequential sweep
+  // (fast mode folds in arrival order; bitwise is for resilient mode).
+  const dist::ProcessGrid grid(2, 2);
+  for (const trees::TreeScheme scheme : kSchemes) {
+    const nsym::NsymPlan plan(bs, an.structure, grid,
+                              driver::tree_options_for(scheme));
+    nsym::NsymSupernodalLU lu = nsym::NsymSupernodalLU::factor(an);
+    timer.reset();
+    pselinv::RunResult run = nsym::run_nsym(
+        plan, machine, pselinv::ExecutionMode::kNumeric, &lu);
+    const double gap = union_gap(*run.ainv, reference, bs);
+    emit(std::string("engine_fast_") + trees::scheme_name(scheme),
+         timer.seconds(), run.complete() && gap <= 1e-8, "");
+  }
+
+  // Resilient engine legs at partitions {1, 4}: bitwise identical results
+  // and identical makespans (DESIGN.md §14/§15).
+  std::string p1_digest;
+  sim::SimTime p1_makespan = 0.0;
+  for (const int partitions : {1, 4}) {
+    const nsym::NsymPlan plan(
+        bs, an.structure, grid,
+        driver::tree_options_for(trees::TreeScheme::kShiftedBinary));
+    nsym::NsymSupernodalLU lu = nsym::NsymSupernodalLU::factor(an);
+    pselinv::RunOptions options;
+    options.resilience.enabled = true;
+    options.partitions = partitions;
+    timer.reset();
+    pselinv::RunResult run = nsym::run_nsym(
+        plan, machine, pselinv::ExecutionMode::kNumeric, &lu, nullptr,
+        nullptr, options);
+    const std::string digest = serve::ainv_digest(*run.ainv);
+    if (partitions == 1) {
+      p1_digest = digest;
+      p1_makespan = run.makespan;
+      emit("engine_resilient_p1", timer.seconds(), run.complete(), digest);
+    } else {
+      emit("engine_resilient_p4", timer.seconds(),
+           run.complete() && digest == p1_digest &&
+               run.makespan == p1_makespan,
+           digest);
+    }
+  }
+  return violations;
+}
+
+}  // namespace
+}  // namespace psi
+
+int main(int argc, char** argv) {
+  using namespace psi;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  const std::string json_path = bench::json_flag(argc, argv, "nsym");
+
+  obs::RecordWriter digest_rows;
+  digest_rows.open_csv(bench::out_dir() + "/nsym_digest.csv");
+  digest_rows.open_ndjson(bench::out_dir() + "/nsym_digest.ndjson");
+  obs::MetricsRegistry registry;
+
+  int violations = 0;
+  std::vector<std::pair<Problem, nsym::NsymAnalysis>> analyzed;
+  for (Problem& problem : problems(smoke)) {
+    nsym::NsymAnalysis an = analyze_problem(problem);
+    std::printf("== %s: n=%d supernodes=%d lower_blocks=%lld "
+                "upper_blocks=%lld ==\n",
+                problem.name.c_str(), an.matrix.n(),
+                an.sym.blocks.supernode_count(),
+                static_cast<long long>(an.structure.lower_block_count()),
+                static_cast<long long>(an.structure.upper_block_count()));
+    violations += digest_gate(problem, an, digest_rows);
+    registry.counter("nsym.digest_problems").add(1);
+    analyzed.emplace_back(std::move(problem), std::move(an));
+  }
+  digest_rows.flush();
+
+  if (!smoke) {
+    // Volume/makespan grid: per problem x grid x scheme, trace mode.
+    obs::RecordWriter rows;
+    rows.open_csv(bench::out_dir() + "/nsym_trees.csv");
+    rows.open_ndjson(bench::out_dir() + "/nsym_trees.ndjson");
+    const sim::Machine machine = bench_machine();
+    const std::pair<int, int> grids[] = {{2, 2}, {4, 4}, {2, 8}};
+    for (const auto& [problem, an] : analyzed) {
+      for (const auto& [pr, pc] : grids) {
+        for (const trees::TreeScheme scheme : kSchemes) {
+          const nsym::NsymPlan plan(an.sym.blocks, an.structure,
+                                    dist::ProcessGrid(pr, pc),
+                                    driver::tree_options_for(scheme));
+          const nsym::NsymVolumeReport volume = nsym::analyze_nsym_volume(plan);
+          pselinv::RunResult run =
+              nsym::run_nsym(plan, machine, pselinv::ExecutionMode::kTrace);
+          const SampleStats imbalance =
+              nsym::NsymVolumeReport::summarize(volume.side_imbalance());
+          Count cross = 0;
+          for (const Count c : volume.cross_bytes) cross += c;
+          std::printf("  %s grid=%dx%d scheme=%s col=%lld row=%lld "
+                      "cross=%lld imb_med=%.3f makespan=%.6fs\n",
+                      problem.name.c_str(), pr, pc,
+                      trees::scheme_name(scheme),
+                      static_cast<long long>(volume.total_col_side()),
+                      static_cast<long long>(volume.total_row_side()),
+                      static_cast<long long>(cross), imbalance.median(),
+                      run.makespan);
+          obs::Record record;
+          record.add("structure", problem.name)
+              .add("n", an.matrix.n())
+              .add("supernodes", an.sym.blocks.supernode_count())
+              .add("grid", std::to_string(pr) + "x" + std::to_string(pc))
+              .add("scheme", trees::scheme_name(scheme))
+              .add("col_side_bytes",
+                   static_cast<long long>(volume.total_col_side()))
+              .add("row_side_bytes",
+                   static_cast<long long>(volume.total_row_side()))
+              .add("cross_bytes", static_cast<long long>(cross))
+              .add("imbalance_min", imbalance.min())
+              .add("imbalance_median", imbalance.median())
+              .add("imbalance_mean", imbalance.mean())
+              .add("imbalance_max", imbalance.max())
+              .add("imbalance_stddev", imbalance.stddev())
+              .add("distinct_communicators",
+                   static_cast<long long>(plan.distinct_communicators()))
+              .add("total_collectives",
+                   static_cast<long long>(plan.total_collectives()))
+              .add("plan_bytes", static_cast<long long>(plan.memory_bytes()))
+              .add("makespan_s", run.makespan)
+              .add("events", static_cast<long long>(run.events));
+          rows.write(record);
+          registry.counter("nsym.grid_rows").add(1);
+        }
+      }
+    }
+    rows.flush();
+    std::printf("\n# rows written to %s/nsym_trees.csv (+ .ndjson)\n",
+                bench::out_dir().c_str());
+  }
+
+  std::printf("# digest rows written to %s/nsym_digest.csv (+ .ndjson)\n",
+              bench::out_dir().c_str());
+  bench::write_json_summary(registry, json_path);
+  if (violations != 0) {
+    std::fprintf(stderr, "bench_nsym FAILED: %d digest-gate violations\n",
+                 violations);
+    return 1;
+  }
+  std::printf("# digest gate passed: task-parallel and partitioned legs "
+              "bitwise identical, fast legs within 1e-8\n");
+  return 0;
+}

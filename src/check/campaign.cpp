@@ -129,6 +129,7 @@ CampaignResult run_campaign(const CampaignOptions& options,
                static_cast<long long>(result.numeric_parallel_legs))
           .add("sim_partition_legs",
                static_cast<long long>(result.sim_partition_legs))
+          .add("nsym_legs", static_cast<long long>(result.nsym_legs))
           .add("events", static_cast<long long>(result.events))
           .add("max_ref_err", result.max_ref_err)
           .add("drops", static_cast<long long>(result.injected_drops))
@@ -151,6 +152,8 @@ CampaignResult run_campaign(const CampaignOptions& options,
           .add(static_cast<Count>(result.numeric_parallel_legs));
       metrics->counter("check.sim_partition_legs")
           .add(static_cast<Count>(result.sim_partition_legs));
+      metrics->counter("check.nsym_legs")
+          .add(static_cast<Count>(result.nsym_legs));
       metrics->counter("check.events").add(result.events);
       metrics->counter("check.injected_drops").add(result.injected_drops);
       metrics->counter("check.injected_duplicates")

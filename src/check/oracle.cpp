@@ -1,6 +1,7 @@
 #include "check/oracle.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -13,9 +14,13 @@
 #include "driver/experiment.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/injector.hpp"
+#include "nsym/engine.hpp"
+#include "nsym/selinv.hpp"
+#include "nsym/structure.hpp"
 #include "numeric/selinv.hpp"
 #include "numeric/supernodal_lu.hpp"
 #include "pselinv/engine.hpp"
+#include "sparse/dense.hpp"
 #include "sparse/generators.hpp"
 #include "symbolic/analysis.hpp"
 #include "trees/comm_tree.hpp"
@@ -408,6 +413,197 @@ CaseResult run_case(const CaseSpec& spec) {
                     " baseline=" + format_double(diff.lhs) +
                     " got=" + format_double(diff.rhs));
     }
+  }
+
+  // Non-symmetric differential: a directed companion problem through
+  // psi::nsym under the same fault plan and schedule family. Tiny supernodes
+  // keep the scalar one-directional drops visible at block granularity, so
+  // the restricted recurrences (and their placeholder/zero-block paths) are
+  // genuinely exercised rather than collapsing to the symmetric case.
+  {
+    std::uint64_t nsym_state = hash_combine(spec.matrix_seed, 0x5135);
+    const GeneratedMatrix ngen = random_nonsym(
+        spec.n, spec.degree, splitmix64(nsym_state), /*drop_prob=*/0.5);
+    AnalysisOptions nopt;
+    nopt.ordering.method = OrderingMethod::kMinDegree;
+    nopt.supernodes.max_size = 2;
+    const nsym::NsymAnalysis nan = nsym::analyze_nsym(ngen, nopt);
+    const BlockStructure& nbs = nan.sym.blocks;
+
+    // Sequential restricted sweep, checked against the dense inverse on the
+    // union pattern (the one oracle here that does not depend on any psi
+    // code path shared with the legs under test).
+    nsym::NsymSupernodalLU nlu_seq = nsym::NsymSupernodalLU::factor(nan);
+    const BlockMatrix nref = nsym::nsym_selected_inversion(nlu_seq);
+    {
+      DenseMatrix dense(nan.matrix.n(), nan.matrix.n());
+      for (Int j = 0; j < nan.matrix.n(); ++j)
+        for (Int p = nan.matrix.pattern.col_ptr[static_cast<std::size_t>(j)];
+             p < nan.matrix.pattern.col_ptr[static_cast<std::size_t>(j) + 1];
+             ++p)
+          dense(nan.matrix.pattern.row_idx[static_cast<std::size_t>(p)], j) =
+              nan.matrix.values[static_cast<std::size_t>(p)];
+      const DenseMatrix full_inv = inverse(dense);
+      double gap = 0.0;
+      const auto check_block = [&](Int i, Int k) {
+        const DenseMatrix blk = nref.block(i, k);
+        const Int r0 = nbs.part.first_col(i);
+        const Int c0 = nbs.part.first_col(k);
+        for (Int c = 0; c < blk.cols(); ++c)
+          for (Int r = 0; r < blk.rows(); ++r)
+            gap = std::max(gap,
+                           std::abs(blk(r, c) - full_inv(r0 + r, c0 + c)));
+      };
+      for (Int k = 0; k < nbs.supernode_count(); ++k) {
+        check_block(k, k);
+        for (Int i : nbs.struct_of[static_cast<std::size_t>(k)]) {
+          check_block(i, k);
+          check_block(k, i);
+        }
+      }
+      result.max_ref_err = std::max(result.max_ref_err, gap);
+      if (gap > kRefTolerance)
+        return fail(std::string("nsym-dense-mismatch err=") +
+                    format_double(gap));
+    }
+
+    // Worst entry gap against the sequential restricted sweep, both
+    // triangles of the union structure (nsym materializes both sides).
+    const auto nsym_ref_gap = [&](const BlockMatrix& got) {
+      double gap = 0.0;
+      for (Int k = 0; k < nbs.supernode_count(); ++k) {
+        gap = std::max(gap, max_abs_diff(got.block(k, k), nref.block(k, k)));
+        for (Int i : nbs.struct_of[static_cast<std::size_t>(k)]) {
+          gap = std::max(gap, max_abs_diff(got.block(i, k), nref.block(i, k)));
+          gap = std::max(gap, max_abs_diff(got.block(k, i), nref.block(k, i)));
+        }
+      }
+      return gap;
+    };
+
+    // Task-parallel nsym leg with an adversarial tie-break seed, required
+    // to match the sequential sweep BITWISE.
+    {
+      parallel::ThreadPool pool(2);
+      numeric::ParallelOptions popt;
+      popt.threads = 3;
+      popt.pool = &pool;
+      popt.tie_break_seed = leg_seed(spec.schedule_seed, 17);
+      nsym::NsymSupernodalLU nlu_par =
+          nsym::NsymSupernodalLU::factor_parallel(nan, popt);
+      const BlockMatrix npar = nsym::nsym_selinv_parallel(nlu_par, popt);
+      result.nsym_legs += 1;
+      const BlockDiff diff = first_bitwise_diff(nref, npar, nbs);
+      if (diff.differs)
+        return fail(std::string("nsym-numeric-parallel-mismatch block=") +
+                    std::to_string(diff.row) + "," + std::to_string(diff.col) +
+                    " reference=" + format_double(diff.lhs) +
+                    " got=" + format_double(diff.rhs));
+    }
+
+    // One nsym engine leg: shares the symmetric legs' invariant battery.
+    const auto run_nsym_leg =
+        [&](trees::TreeScheme scheme, const char* leg_tag, bool resilient,
+            bool faulted, std::uint64_t sched_seed,
+            std::unique_ptr<BlockMatrix>* out) -> std::string {
+      const char* scheme_tag = trees::scheme_name(scheme);
+      const nsym::NsymPlan nplan(nbs, nan.structure, grid,
+                                 driver::tree_options_for(scheme));
+      nsym::NsymSupernodalLU nlu = nsym::NsymSupernodalLU::factor(nan);
+      pselinv::RunOptions options;
+      options.resilience.enabled = resilient;
+      fault::DeterministicInjector injector(fault_plan);
+      if (faulted) options.injector = &injector;
+      AdversarialSchedule schedule(sched_seed, spec.delay_bound);
+      if (sched_seed != 0) options.schedule = &schedule;
+      pselinv::RunResult run =
+          nsym::run_nsym(nplan, machine, pselinv::ExecutionMode::kNumeric,
+                         &nlu, nullptr, nullptr, options);
+      result.nsym_legs += 1;
+      result.events += run.events;
+      result.arena_high_water =
+          std::max(result.arena_high_water, run.arena_high_water);
+      const auto tag = [&](const char* kind) {
+        std::string s("nsym-");
+        s += kind;
+        s += " scheme=";
+        s += scheme_tag;
+        s += " leg=";
+        s += leg_tag;
+        return s;
+      };
+      if (!run.complete())
+        return tag("invariant:incomplete") +
+               " finalized=" + std::to_string(run.blocks_finalized) +
+               " expected=" + std::to_string(run.expected_blocks);
+      if (run.channel_inflight != 0)
+        return tag("invariant:inflight") +
+               " inflight=" + std::to_string(run.channel_inflight);
+      if (run.leaked_timers != 0)
+        return tag("invariant:timers") +
+               " leaked=" + std::to_string(run.leaked_timers);
+      const VolumeTotals volume = sum_volume(run);
+      const Count dropped = injector.stats().dropped_bytes;
+      const Count duplicated = injector.stats().duplicated_bytes;
+      if (faulted) {
+        result.injected_drops += injector.stats().dropped;
+        result.injected_duplicates += injector.stats().duplicated;
+      }
+      if (volume.received != volume.sent - dropped + duplicated)
+        return tag("invariant:volume") +
+               " sent=" + std::to_string(volume.sent) +
+               " received=" + std::to_string(volume.received) +
+               " dropped=" + std::to_string(dropped) +
+               " duplicated=" + std::to_string(duplicated);
+      PSI_CHECK(run.ainv != nullptr);
+      *out = std::move(run.ainv);
+      return "";
+    };
+
+    // Fast-mode scheme sweep against the sequential restricted sweep.
+    for (const trees::TreeScheme scheme : kSchemes) {
+      std::unique_ptr<BlockMatrix> fast;
+      if (std::string sig = run_nsym_leg(scheme, "fast", /*resilient=*/false,
+                                         /*faulted=*/false, /*sched_seed=*/0,
+                                         &fast);
+          !sig.empty())
+        return fail(std::move(sig));
+      const double gap = nsym_ref_gap(*fast);
+      result.max_ref_err = std::max(result.max_ref_err, gap);
+      if (gap > kRefTolerance)
+        return fail(std::string("nsym-ref-mismatch scheme=") +
+                    trees::scheme_name(scheme) +
+                    " leg=fast err=" + format_double(gap));
+    }
+
+    // Resilient faulted baseline plus one adversarially scheduled leg,
+    // required to agree BITWISE (shifted-binary keeps the trial's cost to
+    // one resilient pair).
+    std::unique_ptr<BlockMatrix> baseline;
+    if (std::string sig = run_nsym_leg(
+            trees::TreeScheme::kShiftedBinary, "resilient0",
+            /*resilient=*/true, /*faulted=*/true, /*sched_seed=*/0, &baseline);
+        !sig.empty())
+      return fail(std::move(sig));
+    const double base_gap = nsym_ref_gap(*baseline);
+    result.max_ref_err = std::max(result.max_ref_err, base_gap);
+    if (base_gap > kRefTolerance)
+      return fail(std::string("nsym-ref-mismatch scheme=shifted-binary") +
+                  " leg=resilient0 err=" + format_double(base_gap));
+    std::unique_ptr<BlockMatrix> adversarial;
+    if (std::string sig = run_nsym_leg(
+            trees::TreeScheme::kShiftedBinary, "resilient1",
+            /*resilient=*/true, /*faulted=*/true,
+            leg_seed(spec.schedule_seed, 23), &adversarial);
+        !sig.empty())
+      return fail(std::move(sig));
+    const BlockDiff diff = first_bitwise_diff(*baseline, *adversarial, nbs);
+    if (diff.differs)
+      return fail(std::string("nsym-bitwise-mismatch scheme=shifted-binary") +
+                  " leg=resilient1 block=" + std::to_string(diff.row) + "," +
+                  std::to_string(diff.col) +
+                  " baseline=" + format_double(diff.lhs) +
+                  " got=" + format_double(diff.rhs));
   }
 
   result.passed = true;

@@ -23,6 +23,15 @@
 /// volume conservation (received == sent - dropped + duplicated bytes), and
 /// an event-arena high water inside a sane envelope.
 ///
+/// After the symmetric legs, the trial derives a structurally NON-symmetric
+/// companion problem (random_nonsym over the same n/degree, small supernodes
+/// so the directed drops survive at block granularity) and pushes it through
+/// psi::nsym: the sequential restricted sweep is checked against the dense
+/// inverse on the union pattern, a task-parallel nsym leg must match it
+/// bitwise, each tree scheme's fast engine leg must match it to tolerance,
+/// and a resilient faulted baseline plus one adversarially scheduled leg
+/// must agree bitwise — all under the trial's fault plan and invariants.
+///
 /// Failures come back as a deterministic one-line signature — a pure
 /// function of the spec — so a shrunk repro replays to the byte-identical
 /// signature on any host.
@@ -79,6 +88,11 @@ struct CaseResult {
   /// Partitioned-engine legs executed (sim::Engine::set_partitions > 1 runs
   /// compared bitwise against their sequential twins).
   std::size_t sim_partition_legs = 0;
+  /// Non-symmetric legs executed (the psi::nsym differential: a directed
+  /// companion problem through the task-parallel sweep, the three-scheme
+  /// fast legs against the sequential restricted sweep, and the resilient
+  /// baseline + adversarial pair asserted bitwise identical).
+  std::size_t nsym_legs = 0;
   double max_ref_err = 0.0;      ///< worst |entry| gap vs sequential selinv
   Count events = 0;              ///< DES events summed over all legs
   Count injected_drops = 0;      ///< summed over faulted legs

@@ -1,0 +1,194 @@
+#include "nsym/block_matrix.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace psi::nsym {
+
+namespace {
+
+Int list_position(const std::vector<Int>& list, Int i) {
+  const auto it = std::lower_bound(list.begin(), list.end(), i);
+  if (it == list.end() || *it != i) return -1;
+  return static_cast<Int>(it - list.begin());
+}
+
+}  // namespace
+
+NsymBlockMatrix::NsymBlockMatrix(const BlockStructure& blocks,
+                                 const NsymStructure& structure)
+    : blocks_(&blocks), structure_(&structure) {
+  const Int nsup = blocks.supernode_count();
+  PSI_CHECK(structure.supernode_count() == nsup);
+  cols_.resize(static_cast<std::size_t>(nsup));
+  loffsets_.resize(static_cast<std::size_t>(nsup));
+  uoffsets_.resize(static_cast<std::size_t>(nsup));
+  for (Int k = 0; k < nsup; ++k) {
+    const Int width = blocks.part.size(k);
+    const auto& lstr = structure.lstruct_of[static_cast<std::size_t>(k)];
+    const auto& ustr = structure.ustruct_of[static_cast<std::size_t>(k)];
+    auto& loffs = loffsets_[static_cast<std::size_t>(k)];
+    loffs.resize(lstr.size() + 1);
+    loffs[0] = 0;
+    for (std::size_t t = 0; t < lstr.size(); ++t)
+      loffs[t + 1] = loffs[t] + blocks.part.size(lstr[t]);
+    auto& uoffs = uoffsets_[static_cast<std::size_t>(k)];
+    uoffs.resize(ustr.size() + 1);
+    uoffs[0] = 0;
+    for (std::size_t t = 0; t < ustr.size(); ++t)
+      uoffs[t + 1] = uoffs[t] + blocks.part.size(ustr[t]);
+    auto& col = cols_[static_cast<std::size_t>(k)];
+    col.diag.resize(width, width);
+    col.lpanel.resize(loffs.back(), width);
+    col.upanel.resize(width, uoffs.back());
+  }
+}
+
+Int NsymBlockMatrix::lpos(Int k, Int i) const {
+  return list_position(structure_->lstruct_of[static_cast<std::size_t>(k)], i);
+}
+
+Int NsymBlockMatrix::upos(Int k, Int i) const {
+  return list_position(structure_->ustruct_of[static_cast<std::size_t>(k)], i);
+}
+
+Int NsymBlockMatrix::lower_offset(Int k, Int i) const {
+  const Int pos = lpos(k, i);
+  PSI_CHECK_MSG(pos >= 0, "L block (" << i << "," << k << ") not in lstruct");
+  return loffsets_[static_cast<std::size_t>(k)][static_cast<std::size_t>(pos)];
+}
+
+Int NsymBlockMatrix::upper_offset(Int k, Int i) const {
+  const Int pos = upos(k, i);
+  PSI_CHECK_MSG(pos >= 0, "U block (" << k << "," << i << ") not in ustruct");
+  return uoffsets_[static_cast<std::size_t>(k)][static_cast<std::size_t>(pos)];
+}
+
+Int NsymBlockMatrix::lower_rows(Int k) const {
+  return loffsets_[static_cast<std::size_t>(k)].back();
+}
+
+Int NsymBlockMatrix::upper_cols(Int k) const {
+  return uoffsets_[static_cast<std::size_t>(k)].back();
+}
+
+DenseMatrix NsymBlockMatrix::block(Int i, Int k) const {
+  const auto& part = blocks_->part;
+  if (i == k) return diag(k);
+  if (i > k) {
+    const Int off = lower_offset(k, i);
+    DenseMatrix out(part.size(i), part.size(k));
+    const DenseMatrix& panel = lpanel(k);
+    for (Int c = 0; c < out.cols(); ++c)
+      for (Int r = 0; r < out.rows(); ++r) out(r, c) = panel(off + r, c);
+    return out;
+  }
+  // i < k: upper block (i, k), stored in upanel(i) at the column offset of k.
+  const Int off = upper_offset(i, k);
+  DenseMatrix out(part.size(i), part.size(k));
+  const DenseMatrix& panel = upanel(i);
+  for (Int c = 0; c < out.cols(); ++c)
+    for (Int r = 0; r < out.rows(); ++r) out(r, c) = panel(r, off + c);
+  return out;
+}
+
+void NsymBlockMatrix::set_block(Int i, Int k, const DenseMatrix& value) {
+  const auto& part = blocks_->part;
+  PSI_CHECK(value.rows() == part.size(i) && value.cols() == part.size(k));
+  if (i == k) {
+    diag(k) = value;
+    return;
+  }
+  if (i > k) {
+    const Int off = lower_offset(k, i);
+    DenseMatrix& panel = lpanel(k);
+    for (Int c = 0; c < value.cols(); ++c)
+      for (Int r = 0; r < value.rows(); ++r) panel(off + r, c) = value(r, c);
+    return;
+  }
+  const Int off = upper_offset(i, k);
+  DenseMatrix& panel = upanel(i);
+  for (Int c = 0; c < value.cols(); ++c)
+    for (Int r = 0; r < value.rows(); ++r) panel(r, off + c) = value(r, c);
+}
+
+void NsymBlockMatrix::add_block(Int i, Int k, const DenseMatrix& value,
+                                double scale) {
+  const auto& part = blocks_->part;
+  PSI_CHECK(value.rows() == part.size(i) && value.cols() == part.size(k));
+  if (i == k) {
+    DenseMatrix& d = diag(k);
+    for (Int c = 0; c < value.cols(); ++c)
+      for (Int r = 0; r < value.rows(); ++r) d(r, c) += scale * value(r, c);
+    return;
+  }
+  if (i > k) {
+    const Int off = lower_offset(k, i);
+    DenseMatrix& panel = lpanel(k);
+    for (Int c = 0; c < value.cols(); ++c)
+      for (Int r = 0; r < value.rows(); ++r)
+        panel(off + r, c) += scale * value(r, c);
+    return;
+  }
+  const Int off = upper_offset(i, k);
+  DenseMatrix& panel = upanel(i);
+  for (Int c = 0; c < value.cols(); ++c)
+    for (Int r = 0; r < value.rows(); ++r)
+      panel(r, off + c) += scale * value(r, c);
+}
+
+void NsymBlockMatrix::load(const SparseMatrix& a) {
+  const auto& part = blocks_->part;
+  PSI_CHECK(a.n() == part.n());
+  for (Int j = 0; j < a.n(); ++j) {
+    const Int k = part.sup_of_col[static_cast<std::size_t>(j)];
+    const Int jc = j - part.first_col(k);
+    for (Int p = a.pattern.col_ptr[j]; p < a.pattern.col_ptr[j + 1]; ++p) {
+      const Int row = a.pattern.row_idx[p];
+      const double v = a.values[static_cast<std::size_t>(p)];
+      const Int bi = part.sup_of_col[static_cast<std::size_t>(row)];
+      const Int ir = row - part.first_col(bi);
+      if (bi == k) {
+        diag(k)(ir, jc) = v;
+      } else if (bi > k) {
+        lpanel(k)(lower_offset(k, bi) + ir, jc) = v;
+      } else {
+        upanel(bi)(ir, upper_offset(bi, k) + jc) = v;
+      }
+    }
+  }
+}
+
+DenseMatrix NsymBlockMatrix::to_dense() const {
+  const auto& part = blocks_->part;
+  const Int n = part.n();
+  DenseMatrix out(n, n);
+  for (Int k = 0; k < supernode_count(); ++k) {
+    const Int col0 = part.first_col(k);
+    const Int width = part.size(k);
+    for (Int c = 0; c < width; ++c)
+      for (Int r = 0; r < width; ++r) out(col0 + r, col0 + c) = diag(k)(r, c);
+    const auto& lstr = structure_->lstruct_of[static_cast<std::size_t>(k)];
+    for (std::size_t t = 0; t < lstr.size(); ++t) {
+      const Int i = lstr[t];
+      const Int row0 = part.first_col(i);
+      const Int off = loffsets_[static_cast<std::size_t>(k)][t];
+      for (Int c = 0; c < width; ++c)
+        for (Int r = 0; r < part.size(i); ++r)
+          out(row0 + r, col0 + c) = lpanel(k)(off + r, c);
+    }
+    const auto& ustr = structure_->ustruct_of[static_cast<std::size_t>(k)];
+    for (std::size_t t = 0; t < ustr.size(); ++t) {
+      const Int i = ustr[t];
+      const Int ucol0 = part.first_col(i);
+      const Int off = uoffsets_[static_cast<std::size_t>(k)][t];
+      for (Int c = 0; c < part.size(i); ++c)
+        for (Int r = 0; r < width; ++r)
+          out(col0 + r, ucol0 + c) = upanel(k)(r, off + c);
+    }
+  }
+  return out;
+}
+
+}  // namespace psi::nsym

@@ -1,0 +1,77 @@
+/// \file block_matrix.hpp
+/// \brief Restricted supernodal block storage for the non-symmetric factor.
+///
+/// Mirrors numeric::BlockMatrix but with *independent* lower and upper
+/// structures: for each supernode K,
+///  * diag   — the dense width(K) x width(K) diagonal block (packed L\U
+///             after factorization),
+///  * lpanel — the stacked dense blocks (I, K) for I in lstruct(K),
+///  * upanel — the dense blocks (K, I) side by side for I in ustruct(K).
+/// On a structurally symmetric input (lstruct == ustruct == struct) the
+/// layout coincides with BlockMatrix exactly.
+#pragma once
+
+#include "nsym/structure.hpp"
+#include "sparse/dense.hpp"
+
+namespace psi::nsym {
+
+class NsymBlockMatrix {
+ public:
+  /// Allocates zeroed storage shaped by the restricted structure (both kept
+  /// by reference; the caller guarantees they outlive the matrix).
+  NsymBlockMatrix(const BlockStructure& blocks, const NsymStructure& structure);
+
+  const BlockStructure& blocks() const { return *blocks_; }
+  const NsymStructure& structure() const { return *structure_; }
+  Int supernode_count() const { return blocks_->supernode_count(); }
+
+  DenseMatrix& diag(Int k) { return cols_[static_cast<std::size_t>(k)].diag; }
+  const DenseMatrix& diag(Int k) const { return cols_[static_cast<std::size_t>(k)].diag; }
+  DenseMatrix& lpanel(Int k) { return cols_[static_cast<std::size_t>(k)].lpanel; }
+  const DenseMatrix& lpanel(Int k) const { return cols_[static_cast<std::size_t>(k)].lpanel; }
+  DenseMatrix& upanel(Int k) { return cols_[static_cast<std::size_t>(k)].upanel; }
+  const DenseMatrix& upanel(Int k) const { return cols_[static_cast<std::size_t>(k)].upanel; }
+
+  /// Row offset of block (i, k) inside lpanel(k). `i` must be in lstruct(k).
+  Int lower_offset(Int k, Int i) const;
+  /// Column offset of block (k, i) inside upanel(k). `i` must be in
+  /// ustruct(k).
+  Int upper_offset(Int k, Int i) const;
+  /// Total stacked rows of lpanel(k) / total columns of upanel(k).
+  Int lower_rows(Int k) const;
+  Int upper_cols(Int k) const;
+
+  /// Copy of the dense block (i, k): i == k -> diagonal, i > k -> from
+  /// lpanel(k) (requires i in lstruct(k)), i < k -> from upanel(i)
+  /// (requires k in ustruct(i)).
+  DenseMatrix block(Int i, Int k) const;
+  void set_block(Int i, Int k, const DenseMatrix& value);
+  void add_block(Int i, Int k, const DenseMatrix& value, double scale = 1.0);
+
+  /// Loads the values of `a` (the analyzed, permuted *directed* matrix).
+  /// Every stored entry lands inside the restricted structure by
+  /// construction (the structure is seeded from this matrix).
+  void load(const SparseMatrix& a);
+
+  /// Dense expansion (tests; small problems only).
+  DenseMatrix to_dense() const;
+
+ private:
+  struct BlockColumn {
+    DenseMatrix diag;
+    DenseMatrix lpanel;
+    DenseMatrix upanel;
+  };
+
+  Int lpos(Int k, Int i) const;
+  Int upos(Int k, Int i) const;
+
+  const BlockStructure* blocks_;
+  const NsymStructure* structure_;
+  std::vector<BlockColumn> cols_;
+  std::vector<std::vector<Int>> loffsets_;  ///< per supernode, per lstruct entry
+  std::vector<std::vector<Int>> uoffsets_;  ///< per supernode, per ustruct entry
+};
+
+}  // namespace psi::nsym

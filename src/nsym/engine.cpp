@@ -1,0 +1,931 @@
+#include "nsym/engine.hpp"
+
+#include <algorithm>
+#include <span>
+#include <unordered_map>
+
+#include "common/check.hpp"
+#include "obs/sink.hpp"
+#include "trees/protocol.hpp"
+#include "trees/resilient.hpp"
+
+namespace psi::nsym {
+
+namespace {
+
+using pselinv::kColBcast;
+using pselinv::kColReduce;
+using pselinv::kColReduceUp;
+using pselinv::kCrossSend;
+using pselinv::kCrossSendU;
+using pselinv::kDiagBcast;
+using pselinv::kDiagRowBcast;
+using pselinv::kProtoAck;
+using pselinv::kRowBcast;
+using pselinv::kRowReduce;
+
+/// Message kinds (high bits of the tag); values shared with the symmetric
+/// engine's vocabulary where the phases coincide.
+enum MsgKind : int {
+  kMsgDiagBcast = 0,
+  kMsgCross = 1,
+  kMsgColBcast = 2,
+  kMsgRowReduce = 3,
+  kMsgColReduce = 4,
+  /// Self-send: one L-side GEMM task (k, ti, tj) — local tasks go through
+  /// the event queue one at a time so a rank interleaves computation with
+  /// message forwarding (the MPI_Test-polling analogue).
+  kMsgGemmTask = 6,
+  kMsgDiagRowBcast = 7,
+  kMsgCrossU = 8,
+  kMsgRowBcast = 9,
+  kMsgColReduceUp = 10,
+  kMsgGemmUTask = 11,
+};
+
+std::int64_t make_tag(int kind, Int k, Int t) {
+  return (static_cast<std::int64_t>(kind) << 48) |
+         (static_cast<std::int64_t>(k) << 24) | static_cast<std::int64_t>(t);
+}
+std::int64_t make_gemm_tag(int kind, Int k, Int ti, Int tj) {
+  return (static_cast<std::int64_t>(kind) << 48) |
+         (static_cast<std::int64_t>(k) << 24) |
+         (static_cast<std::int64_t>(ti) << 12) | static_cast<std::int64_t>(tj);
+}
+int tag_kind(std::int64_t tag) { return static_cast<int>(tag >> 48); }
+Int tag_supernode(std::int64_t tag) {
+  return static_cast<Int>((tag >> 24) & 0xffffff);
+}
+Int tag_index(std::int64_t tag) { return static_cast<Int>(tag & 0xffffff); }
+Int tag_ti(std::int64_t tag) { return static_cast<Int>((tag >> 12) & 0xfff); }
+Int tag_tj(std::int64_t tag) { return static_cast<Int>(tag & 0xfff); }
+
+/// Host-side state shared by every simulated rank (single-threaded DES; the
+/// distributed semantics are preserved because each entry is only touched by
+/// the handlers of the rank that owns it).
+struct Shared {
+  const NsymPlan* plan = nullptr;
+  ExecutionMode mode = ExecutionMode::kTrace;
+  const NsymSupernodalLU* factor = nullptr;
+  BlockMatrix* sink = nullptr;  // numeric gather target
+  obs::Sink* obs = nullptr;     // observability sink (may be null)
+  trees::ResilienceConfig res;  // resilient-protocol config
+
+  const BlockStructure& bs() const { return plan->blocks(); }
+  const NsymStructure& st() const { return plan->structure(); }
+  bool numeric() const { return mode == ExecutionMode::kNumeric; }
+  bool resilient() const { return res.enabled; }
+};
+
+class NsymRank : public sim::Rank {
+ public:
+  NsymRank(Shared& shared, int rank)
+      : sh_(&shared),
+        me_(rank),
+        my_prow_(shared.plan->grid().row_of(rank)),
+        my_pcol_(shared.plan->grid().col_of(rank)) {
+    channel_.configure(shared.res, rank, &channel_stats_);
+    build_local_index();
+  }
+
+  void on_start(sim::Context& ctx) override {
+    const BlockStructure& bs = sh_->bs();
+    const NsymStructure& st = sh_->st();
+    for (Int k = 0; k < bs.supernode_count(); ++k) {
+      const auto& sp = sh_->plan->supernode(k);
+      const auto& uni = bs.struct_of[static_cast<std::size_t>(k)];
+      const auto& lstr = st.lstruct_of[static_cast<std::size_t>(k)];
+      const auto& ustr = st.ustruct_of[static_cast<std::size_t>(k)];
+
+      // Every diagonal owner launches its supernode's broadcasts at t=0;
+      // pipelining across supernodes is bounded only by data dependencies.
+      if (sh_->plan->map().owner(k, k) == me_) {
+        if (sh_->obs != nullptr) diag_slot(k).span_begin = ctx.now();
+        if (uni.empty()) {
+          finalize_diag(ctx, k, /*acc=*/nullptr);
+        } else {
+          std::shared_ptr<const DenseMatrix> payload;
+          if (sh_->numeric())
+            payload =
+                std::make_shared<DenseMatrix>(sh_->factor->storage().diag(k));
+          diag_slot(k).diag_payload = payload;
+          if (!lstr.empty()) {
+            channel_.bcast_forward(ctx, sp.diag_bcast,
+                                   make_tag(kMsgDiagBcast, k, 0),
+                                   sh_->plan->block_bytes(k, k), kDiagBcast,
+                                   payload);
+            normalize_panel(ctx, k, payload);
+          }
+          if (!ustr.empty()) {
+            channel_.bcast_forward(ctx, sp.diag_row_bcast,
+                                   make_tag(kMsgDiagRowBcast, k, 0),
+                                   sh_->plan->block_bytes(k, k), kDiagRowBcast,
+                                   payload);
+            normalize_upanel(ctx, k, payload);
+          } else {
+            // No diagonal-update terms exist: A^{-1}_{K,K} = U^{-1} L^{-1}.
+            finalize_diag(ctx, k, /*acc=*/nullptr);
+          }
+        }
+      }
+
+      // A side with an empty restricted structure contributes no recurrence
+      // terms: its result blocks are exact zeros, finalized locally by their
+      // owners with no communication.
+      if (uni.empty() || (!lstr.empty() && !ustr.empty())) continue;
+      const Int wk = bs.part.size(k);
+      for (Int t = 0; t < static_cast<Int>(uni.size()); ++t) {
+        const Int j = uni[static_cast<std::size_t>(t)];
+        const Int wj = bs.part.size(j);
+        if (lstr.empty() && sh_->plan->map().owner(j, k) == me_) {
+          std::shared_ptr<const DenseMatrix> zero;
+          if (sh_->numeric()) zero = std::make_shared<DenseMatrix>(wj, wk);
+          finalize_block(ctx, j, k, sh_->plan->lower_block_id(k, t), zero);
+          if (sh_->plan->upos(sh_->plan->kt_id(k, t)) >= 0) {
+            // The zero lower block still feeds a diagonal-update term
+            // Û_{K,J}·0; run it once the Û cross payload is here so the
+            // Col-Reduce accounting stays uniform.
+            UCrossSlot& cross = ucross_slot(k, t);
+            if (cross.seen) {
+              diag_term_ready(ctx, k, t);
+            } else {
+              cross.deferred_diag = true;
+            }
+          }
+        }
+        if (ustr.empty() && sh_->plan->map().owner(k, j) == me_) {
+          std::shared_ptr<const DenseMatrix> zero;
+          if (sh_->numeric()) zero = std::make_shared<DenseMatrix>(wk, wj);
+          finalize_block(ctx, k, j, sh_->plan->upper_block_id(k, t), zero);
+        }
+      }
+    }
+  }
+
+  void on_message(sim::Context& ctx, const sim::Message& msg) override {
+    // Resilient mode: acks are consumed and duplicates suppressed here, so
+    // the protocol logic below sees each logical message exactly once.
+    if (!channel_.on_message(ctx, msg)) return;
+    const Int k = tag_supernode(msg.tag);
+    const Int t = tag_index(msg.tag);
+    switch (tag_kind(msg.tag)) {
+      case kMsgDiagBcast: {
+        channel_.bcast_forward(ctx, sh_->plan->supernode(k).diag_bcast,
+                               msg.tag, msg.bytes, kDiagBcast, msg.data);
+        normalize_panel(ctx, k, msg.data);
+        break;
+      }
+      case kMsgCross:
+        on_cross(ctx, k, t, msg.data);
+        break;
+      case kMsgColBcast: {
+        channel_.bcast_forward(ctx, sh_->plan->supernode(k).col_bcast[
+                                   static_cast<std::size_t>(t)],
+                               msg.tag, msg.bytes, kColBcast, msg.data);
+        consume_ubcast(ctx, k, t, msg.data);
+        break;
+      }
+      case kMsgRowReduce: {
+        RowState& rs = row_state(k, t);
+        if (rs.reduce.add_child_from(msg.src, msg.data))
+          row_reduce_complete(ctx, k, t);
+        break;
+      }
+      case kMsgColReduce: {
+        DiagSlot& ds = diag_state(k);
+        if (ds.reduce.add_child_from(msg.src, msg.data))
+          col_reduce_complete(ctx, k);
+        break;
+      }
+      case kMsgGemmTask:
+        do_gemm(ctx, k, tag_ti(msg.tag), tag_tj(msg.tag));
+        break;
+      case kMsgDiagRowBcast: {
+        channel_.bcast_forward(ctx, sh_->plan->supernode(k).diag_row_bcast,
+                               msg.tag, msg.bytes, kDiagRowBcast, msg.data);
+        normalize_upanel(ctx, k, msg.data);
+        break;
+      }
+      case kMsgCrossU:
+        on_cross_u(ctx, k, t, msg.data);
+        break;
+      case kMsgRowBcast: {
+        channel_.bcast_forward(ctx, sh_->plan->supernode(k).row_bcast[
+                                   static_cast<std::size_t>(t)],
+                               msg.tag, msg.bytes, kRowBcast, msg.data);
+        consume_rowbcast(ctx, k, t, msg.data);
+        break;
+      }
+      case kMsgColReduceUp: {
+        UpperState& us = upper_state(k, t);
+        if (us.reduce.add_child_from(msg.src, msg.data))
+          col_reduce_up_complete(ctx, k, t);
+        break;
+      }
+      case kMsgGemmUTask:
+        do_gemm_u(ctx, k, tag_ti(msg.tag), tag_tj(msg.tag));
+        break;
+      default:
+        PSI_CHECK_MSG(false, "unknown message kind");
+    }
+  }
+
+  void on_timer(sim::Context& ctx, std::int64_t tag) override {
+    PSI_CHECK_MSG(channel_.on_timer(ctx, tag), "unexpected program timer");
+  }
+
+  std::size_t channel_inflight() const { return channel_.inflight(); }
+  Count blocks_finalized() const { return blocks_finalized_; }
+  const trees::ChannelStats& channel_stats() const { return channel_stats_; }
+
+ private:
+  // ----- loop 1: L-panel normalization ------------------------------------
+  void normalize_panel(sim::Context& ctx, Int k,
+                       const std::shared_ptr<const DenseMatrix>& diag) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& sp = sh_->plan->supernode(k);
+    const auto& uni = bs.struct_of[static_cast<std::size_t>(k)];
+    const Int wk = bs.part.size(k);
+    if (sh_->plan->map().pcol_of(k) != my_pcol_) return;
+
+    for (Int t = 0; t < static_cast<Int>(uni.size()); ++t) {
+      if (sh_->plan->lpos(sh_->plan->kt_id(k, t)) < 0) continue;
+      const Int j = uni[static_cast<std::size_t>(t)];
+      if (sh_->plan->map().prow_of(j) != my_prow_) continue;
+      const Int wj = bs.part.size(j);
+      ctx.compute_flops(trsm_flops(wk, wj));  // L̂_{J,K} = L_{J,K} L_KK^{-1}
+      std::shared_ptr<const DenseMatrix> payload;
+      if (sh_->numeric()) {
+        PSI_CHECK(diag != nullptr);
+        DenseMatrix lblock = sh_->factor->storage().block(j, k);
+        trsm(Side::kRight, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0, *diag,
+             lblock);
+        payload = std::make_shared<DenseMatrix>(std::move(lblock));
+      }
+      channel_.send(ctx, sp.cross_dst[static_cast<std::size_t>(t)],
+                    make_tag(kMsgCross, k, t), sh_->plan->block_bytes(j, k),
+                    kCrossSend, payload, /*idempotent=*/true);
+    }
+  }
+
+  /// Loop 1 for the U factor: normalize this rank's U-panel blocks of
+  /// supernode K and cross-send each Û_{K,I} to the L-side owner (which
+  /// roots the Row-Bcast and needs Û for the diagonal update).
+  void normalize_upanel(sim::Context& ctx, Int k,
+                        const std::shared_ptr<const DenseMatrix>& diag) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& sp = sh_->plan->supernode(k);
+    const auto& uni = bs.struct_of[static_cast<std::size_t>(k)];
+    const Int wk = bs.part.size(k);
+    if (sh_->plan->map().prow_of(k) != my_prow_) return;
+
+    for (Int t = 0; t < static_cast<Int>(uni.size()); ++t) {
+      if (sh_->plan->upos(sh_->plan->kt_id(k, t)) < 0) continue;
+      const Int i = uni[static_cast<std::size_t>(t)];
+      if (sh_->plan->map().pcol_of(i) != my_pcol_) continue;
+      ctx.compute_flops(trsm_flops(wk, bs.part.size(i)));  // Û = U_KK^{-1} U
+      std::shared_ptr<const DenseMatrix> uhat;
+      if (sh_->numeric()) {
+        PSI_CHECK(diag != nullptr);
+        DenseMatrix ublock = sh_->factor->storage().block(k, i);
+        trsm(Side::kLeft, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0, *diag,
+             ublock);
+        uhat = std::make_shared<DenseMatrix>(std::move(ublock));
+      }
+      channel_.send(ctx, sp.cross_src[static_cast<std::size_t>(t)],
+                    make_tag(kMsgCrossU, k, t), sh_->plan->block_bytes(i, k),
+                    kCrossSendU, uhat, /*idempotent=*/true);
+    }
+  }
+
+  /// Û_{K,I} arrived at the L-side owner (pr(I),pc(K)): root the Row-Bcast
+  /// along processor row pr(I), keep the payload for the diagonal term, and
+  /// drain a diagonal term that was waiting for it.
+  void on_cross_u(sim::Context& ctx, Int k, Int t,
+                  const std::shared_ptr<const DenseMatrix>& uhat) {
+    const auto& sp = sh_->plan->supernode(k);
+    const Int i = sh_->bs().struct_of[static_cast<std::size_t>(k)]
+                                     [static_cast<std::size_t>(t)];
+    UCrossSlot& cross = ucross_slot(k, t);
+    cross.seen = true;
+    if (sh_->numeric()) cross.payload = uhat;
+    channel_.bcast_forward(ctx, sp.row_bcast[static_cast<std::size_t>(t)],
+                           make_tag(kMsgRowBcast, k, t),
+                           sh_->plan->block_bytes(i, k), kRowBcast, uhat);
+    consume_rowbcast(ctx, k, t, uhat);
+    UCrossSlot& after = ucross_slot(k, t);
+    if (after.deferred_diag) {
+      after.deferred_diag = false;
+      diag_term_ready(ctx, k, t);
+    }
+  }
+
+  /// Local consumption of a Row-Bcast Û_{K,I}: one GEMM per target block
+  /// column J in U(K) that this rank owns in processor row pr(I).
+  void consume_rowbcast(sim::Context& ctx, Int k, Int t,
+                        const std::shared_ptr<const DenseMatrix>& uhat) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& uni = bs.struct_of[static_cast<std::size_t>(k)];
+    const Int i = uni[static_cast<std::size_t>(t)];
+
+    int targets = 0;
+    for (Int tj = 0; tj < static_cast<Int>(uni.size()); ++tj)
+      if (sh_->plan->map().pcol_of(uni[static_cast<std::size_t>(tj)]) == my_pcol_)
+        ++targets;
+    if (targets == 0) return;  // pure forwarder
+
+    UCache& cache = a_ucache_row_[a_slot(k, t)];
+    cache.payload = uhat;
+    cache.remaining = targets;
+
+    for (Int tj = 0; tj < static_cast<Int>(uni.size()); ++tj) {
+      const Int j = uni[static_cast<std::size_t>(tj)];
+      if (sh_->plan->map().pcol_of(j) != my_pcol_) continue;
+      // The GEMM needs A^{-1}_{I,J} (which this rank owns) to be final.
+      const std::int64_t dep = sh_->plan->block_id(i, j);
+      if (is_final(dep)) {
+        gemm_ready(ctx, k, t, tj, /*upper=*/true);
+      } else {
+        waiting_[dep].push_back(Pending{k, t, tj, /*upper=*/true});
+      }
+    }
+  }
+
+  /// contribution(K, J) -= Û_{K,I} A^{-1}_{I,J} (upper target, I ∈ ustruct).
+  void do_gemm_u(sim::Context& ctx, Int k, Int ti, Int tj) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& uni = bs.struct_of[static_cast<std::size_t>(k)];
+    const Int i = uni[static_cast<std::size_t>(ti)];
+    const Int j = uni[static_cast<std::size_t>(tj)];
+    const Int wk = bs.part.size(k), wi = bs.part.size(i), wj = bs.part.size(j);
+    ctx.compute_flops(gemm_flops(wk, wj, wi));
+
+    UpperState& us = upper_state(k, tj);
+    UCache& cache = a_ucache_row_[a_slot(k, ti)];
+    if (sh_->numeric()) {
+      if (!us.acc) us.acc = std::make_shared<DenseMatrix>(wk, wj);
+      const auto it = values_.find(sh_->plan->block_id(i, j));
+      PSI_ASSERT(it != values_.end() && it->second != nullptr);
+      PSI_CHECK(cache.payload != nullptr);
+      gemm(Trans::kNo, Trans::kNo, -1.0, *cache.payload, *it->second, 1.0,
+           *us.acc);
+    }
+    if (--cache.remaining == 0) cache.payload.reset();
+
+    PSI_ASSERT(us.remaining_gemms > 0);
+    if (--us.remaining_gemms == 0) {
+      const bool done = us.reduce.add_local(std::move(us.acc));
+      if (done) col_reduce_up_complete(ctx, k, tj);
+    }
+  }
+
+  /// Col-Reduce-Up completion: the root owns the upper block A^{-1}_{K,J}.
+  void col_reduce_up_complete(sim::Context& ctx, Int k, Int tj) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& sp = sh_->plan->supernode(k);
+    const trees::CommTree& tree = sp.col_reduce_up[static_cast<std::size_t>(tj)];
+    UpperState& us = upper_state(k, tj);
+    const Int j = bs.struct_of[static_cast<std::size_t>(k)]
+                              [static_cast<std::size_t>(tj)];
+    auto value = us.reduce.accumulated();
+    if (me_ != tree.root()) {
+      channel_.send(ctx, tree.parent_of(me_), make_tag(kMsgColReduceUp, k, tj),
+                    sh_->plan->block_bytes(j, k), kColReduceUp, value,
+                    /*idempotent=*/false);
+      us = UpperState();  // collective done on this rank; release memory
+      return;
+    }
+    finalize_block(ctx, k, j, sh_->plan->upper_block_id(k, tj), value);
+    upper_state(k, tj) = UpperState();
+  }
+
+  // ----- loop 2: L-side broadcast + GEMMs ---------------------------------
+  void on_cross(sim::Context& ctx, Int k, Int t,
+                const std::shared_ptr<const DenseMatrix>& lhat) {
+    // I am owner(K, I): root of the Col-Bcast of L̂_{I,K}.
+    const auto& sp = sh_->plan->supernode(k);
+    const Int i = sh_->bs().struct_of[static_cast<std::size_t>(k)]
+                                     [static_cast<std::size_t>(t)];
+    channel_.bcast_forward(ctx, sp.col_bcast[static_cast<std::size_t>(t)],
+                           make_tag(kMsgColBcast, k, t),
+                           sh_->plan->block_bytes(i, k), kColBcast, lhat);
+    consume_ubcast(ctx, k, t, lhat);
+  }
+
+  /// Local consumption of a Col-Bcast L̂_{I,K}: one GEMM per target block
+  /// row J in U(K) that this rank owns in processor column pc(I).
+  void consume_ubcast(sim::Context& ctx, Int k, Int t,
+                      const std::shared_ptr<const DenseMatrix>& lhat) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& uni = bs.struct_of[static_cast<std::size_t>(k)];
+    const Int i = uni[static_cast<std::size_t>(t)];
+
+    int targets = 0;
+    for (Int tj = 0; tj < static_cast<Int>(uni.size()); ++tj)
+      if (sh_->plan->map().prow_of(uni[static_cast<std::size_t>(tj)]) == my_prow_)
+        ++targets;
+    if (targets == 0) return;  // pure forwarder
+
+    UCache& cache = b_ucache_[b_slot(k, t)];
+    cache.payload = lhat;
+    cache.remaining = targets;
+
+    PSI_CHECK_MSG(static_cast<Int>(uni.size()) <= 0xfff,
+                  "supernode structure too large for the GEMM task tag");
+    for (Int tj = 0; tj < static_cast<Int>(uni.size()); ++tj) {
+      const Int j = uni[static_cast<std::size_t>(tj)];
+      if (sh_->plan->map().prow_of(j) != my_prow_) continue;
+      // The GEMM needs A^{-1}_{J,I} (which this rank owns) to be final.
+      const std::int64_t dep = sh_->plan->block_id(j, i);
+      if (is_final(dep)) {
+        gemm_ready(ctx, k, t, tj, /*upper=*/false);
+      } else {
+        waiting_[dep].push_back(Pending{k, t, tj, /*upper=*/false});
+      }
+    }
+  }
+
+  /// All inputs of GEMM (k, ti, tj) are available. Historical mode: enqueue
+  /// it immediately (arrival-order accumulation). Resilient mode: park it in
+  /// the target reduction state's ready table — indexed by the *restricted*
+  /// ordinal, since only lstruct (ustruct) entries produce L-side (U-side)
+  /// GEMMs — and enqueue the contiguous ordinal prefix, so contributions
+  /// fold canonically regardless of message timing.
+  void gemm_ready(sim::Context& ctx, Int k, Int ti, Int tj, bool upper) {
+    if (!sh_->resilient()) {
+      ctx.send(me_,
+               make_gemm_tag(upper ? kMsgGemmUTask : kMsgGemmTask, k, ti, tj),
+               0, upper ? kRowBcast : kColBcast);
+      return;
+    }
+    const NsymPlan& plan = *sh_->plan;
+    if (upper) {
+      UpperState& us = upper_state(k, tj);
+      us.ready[static_cast<std::size_t>(
+          plan.urow_ordinal(plan.kt_id(k, ti)))] = ti + 1;
+      while (us.cursor < static_cast<Int>(us.ready.size()) &&
+             us.ready[static_cast<std::size_t>(us.cursor)] != 0) {
+        const Int next = us.ready[static_cast<std::size_t>(us.cursor)] - 1;
+        ++us.cursor;
+        ctx.send(me_, make_gemm_tag(kMsgGemmUTask, k, next, tj), 0, kRowBcast);
+      }
+    } else {
+      RowState& rs = row_state(k, tj);
+      rs.ready[static_cast<std::size_t>(
+          plan.lcol_ordinal(plan.kt_id(k, ti)))] = ti + 1;
+      while (rs.cursor < static_cast<Int>(rs.ready.size()) &&
+             rs.ready[static_cast<std::size_t>(rs.cursor)] != 0) {
+        const Int next = rs.ready[static_cast<std::size_t>(rs.cursor)] - 1;
+        ++rs.cursor;
+        ctx.send(me_, make_gemm_tag(kMsgGemmTask, k, next, tj), 0, kColBcast);
+      }
+    }
+  }
+
+  /// A diagonal-update term (k, tj), tj ∈ ustruct(K), became runnable.
+  /// Resilient mode folds the terms in restricted-ordinal order.
+  void diag_term_ready(sim::Context& ctx, Int k, Int tj) {
+    if (!sh_->resilient()) {
+      add_diag_contribution(ctx, k, tj);
+      return;
+    }
+    const NsymPlan& plan = *sh_->plan;
+    DiagSlot& ds = diag_state(k);
+    ds.term_ready[static_cast<std::size_t>(
+        plan.urow_ordinal(plan.kt_id(k, tj)))] = tj + 1;
+    while (ds.term_cursor < static_cast<Int>(ds.term_ready.size()) &&
+           ds.term_ready[static_cast<std::size_t>(ds.term_cursor)] != 0) {
+      const Int next =
+          ds.term_ready[static_cast<std::size_t>(ds.term_cursor)] - 1;
+      ++ds.term_cursor;
+      add_diag_contribution(ctx, k, next);
+    }
+  }
+
+  /// contribution(K, J) -= A^{-1}_{J,I} L̂_{I,K} (lower target, I ∈ lstruct).
+  void do_gemm(sim::Context& ctx, Int k, Int ti, Int tj) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& uni = bs.struct_of[static_cast<std::size_t>(k)];
+    const Int i = uni[static_cast<std::size_t>(ti)];
+    const Int j = uni[static_cast<std::size_t>(tj)];
+    const Int wk = bs.part.size(k), wi = bs.part.size(i), wj = bs.part.size(j);
+    ctx.compute_flops(gemm_flops(wj, wk, wi));
+
+    RowState& rs = row_state(k, tj);
+    UCache& cache = b_ucache_[b_slot(k, ti)];
+    if (sh_->numeric()) {
+      if (!rs.acc) rs.acc = std::make_shared<DenseMatrix>(wj, wk);
+      const auto it = values_.find(sh_->plan->block_id(j, i));
+      PSI_ASSERT(it != values_.end() && it->second != nullptr);
+      PSI_CHECK(cache.payload != nullptr);
+      gemm(Trans::kNo, Trans::kNo, -1.0, *it->second, *cache.payload, 1.0,
+           *rs.acc);
+    }
+    // Release the broadcast payload once all local GEMMs consumed it.
+    if (--cache.remaining == 0) cache.payload.reset();
+
+    PSI_ASSERT(rs.remaining_gemms > 0);
+    if (--rs.remaining_gemms == 0) {
+      // Move the accumulator out first: row_reduce_complete() resets the
+      // state this reference points into.
+      const bool done = rs.reduce.add_local(std::move(rs.acc));
+      if (done) row_reduce_complete(ctx, k, tj);
+    }
+  }
+
+  // ----- Row-Reduce completion --------------------------------------------
+  void row_reduce_complete(sim::Context& ctx, Int k, Int tj) {
+    const BlockStructure& bs = sh_->bs();
+    const auto& sp = sh_->plan->supernode(k);
+    const trees::CommTree& tree = sp.row_reduce[static_cast<std::size_t>(tj)];
+    RowState& rs = row_state(k, tj);
+    const Int j = bs.struct_of[static_cast<std::size_t>(k)]
+                              [static_cast<std::size_t>(tj)];
+    auto value = rs.reduce.accumulated();
+    if (me_ != tree.root()) {
+      channel_.send(ctx, tree.parent_of(me_), make_tag(kMsgRowReduce, k, tj),
+                    sh_->plan->block_bytes(j, k), kRowReduce, value,
+                    /*idempotent=*/false);
+      rs = RowState();  // collective done on this rank; release memory
+      return;
+    }
+    // Root: A^{-1}_{J,K} is complete.
+    std::shared_ptr<const DenseMatrix> final_value = value;
+    finalize_block(ctx, j, k, sh_->plan->lower_block_id(k, tj), final_value);
+    // Diagonal contribution Û_{K,J} A^{-1}_{J,K} exists only for J in
+    // ustruct(K); it needs the Û cross payload.
+    if (sh_->plan->upos(sh_->plan->kt_id(k, tj)) >= 0) {
+      UCrossSlot& cross = ucross_slot(k, tj);
+      if (cross.seen) {
+        diag_term_ready(ctx, k, tj);
+      } else {
+        cross.deferred_diag = true;
+      }
+    }
+    row_state(k, tj) = RowState();
+  }
+
+  void add_diag_contribution(sim::Context& ctx, Int k, Int tj) {
+    const BlockStructure& bs = sh_->bs();
+    const Int j = bs.struct_of[static_cast<std::size_t>(k)]
+                              [static_cast<std::size_t>(tj)];
+    const Int wk = bs.part.size(k), wj = bs.part.size(j);
+    ctx.compute_flops(gemm_flops(wk, wk, wj));
+    DiagSlot& ds = diag_state(k);
+    if (sh_->numeric()) {
+      if (!ds.acc) ds.acc = std::make_shared<DenseMatrix>(wk, wk);
+      const auto it = values_.find(sh_->plan->lower_block_id(k, tj));
+      PSI_ASSERT(it != values_.end());
+      const auto& uhat = ucross_slot(k, tj).payload;
+      PSI_CHECK(uhat != nullptr);
+      gemm(Trans::kNo, Trans::kNo, 1.0, *uhat, *it->second, 1.0, *ds.acc);
+    }
+    PSI_ASSERT(ds.remaining_terms > 0);
+    if (--ds.remaining_terms == 0) {
+      // Move out before col_reduce_complete(), which resets the state.
+      const bool done = ds.reduce.add_local(std::move(ds.acc));
+      if (done) col_reduce_complete(ctx, k);
+    }
+  }
+
+  // ----- Col-Reduce completion / diagonal ---------------------------------
+  void col_reduce_complete(sim::Context& ctx, Int k) {
+    const auto& sp = sh_->plan->supernode(k);
+    DiagSlot& ds = diag_state(k);
+    auto value = ds.reduce.accumulated();
+    if (me_ != sp.col_reduce.root()) {
+      channel_.send(ctx, sp.col_reduce.parent_of(me_),
+                    make_tag(kMsgColReduce, k, 0),
+                    sh_->plan->block_bytes(k, k), kColReduce, value,
+                    /*idempotent=*/false);
+      ds.release();
+      return;
+    }
+    finalize_diag(ctx, k, value);
+    diag_slot(k).release();
+  }
+
+  /// A^{-1}_{K,K} = U_KK^{-1} L_KK^{-1} - accumulated.
+  void finalize_diag(sim::Context& ctx, Int k,
+                     const std::shared_ptr<DenseMatrix>& acc) {
+    const Int wk = sh_->bs().part.size(k);
+    ctx.compute_flops(2 * trsm_flops(wk, wk));
+    std::shared_ptr<const DenseMatrix> result;
+    if (sh_->numeric()) {
+      const DenseMatrix& packed = sh_->factor->storage().diag(k);
+      auto inv = std::make_shared<DenseMatrix>(wk, wk);
+      for (Int d = 0; d < wk; ++d) (*inv)(d, d) = 1.0;
+      trsm(Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0, packed,
+           *inv);
+      trsm(Side::kLeft, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0, packed,
+           *inv);
+      if (acc) {
+        PSI_CHECK(acc->rows() == wk && acc->cols() == wk);
+        for (Int c = 0; c < wk; ++c)
+          for (Int r = 0; r < wk; ++r) (*inv)(r, c) -= (*acc)(r, c);
+      }
+      result = inv;
+    }
+    finalize_block(ctx, k, k, sh_->plan->diag_block_id(k), result);
+    DiagSlot& ds = diag_slot(k);
+    ds.diag_payload.reset();
+    if (sh_->obs != nullptr) {
+      ctx.span("supernode", k, ds.span_begin, ctx.now());
+      ctx.mark("diag-final", k, ctx.now());
+    }
+  }
+
+  // ----- block finalization & dependency flushing -------------------------
+  void finalize_block(sim::Context& ctx, Int row, Int col, std::int64_t id,
+                      const std::shared_ptr<const DenseMatrix>& value) {
+    PSI_ASSERT(!is_final(id));
+    set_final(id);
+    ++blocks_finalized_;
+    if (sh_->numeric()) {
+      PSI_CHECK(value != nullptr);
+      values_[id] = value;
+      sh_->sink->set_block(row, col, *value);
+    }
+    auto it = waiting_.find(id);
+    if (it != waiting_.end()) {
+      const std::vector<Pending> pending = std::move(it->second);
+      waiting_.erase(it);
+      for (const Pending& p : pending) gemm_ready(ctx, p.k, p.ti, p.tj, p.upper);
+    }
+  }
+
+  // ----- dense per-collective state ---------------------------------------
+  struct UCache {
+    std::shared_ptr<const DenseMatrix> payload;
+    int remaining = 0;
+  };
+  struct RowState {
+    trees::ReduceState reduce;
+    std::shared_ptr<DenseMatrix> acc;
+    int remaining_gemms = 0;
+    bool initialized = false;
+    // Resilient mode: ready[lcol_ordinal(ti)] = ti + 1 once GEMM (k, ti, tj)
+    // is runnable; the cursor enqueues the contiguous prefix in order.
+    std::vector<Int> ready;
+    Int cursor = 0;
+  };
+  struct DiagSlot {
+    trees::ReduceState reduce;
+    std::shared_ptr<DenseMatrix> acc;
+    std::shared_ptr<const DenseMatrix> diag_payload;  ///< owner only (numeric)
+    std::vector<Int> term_ready;  ///< resilient mode; keyed by urow_ordinal
+    Int term_cursor = 0;
+    int remaining_terms = 0;
+    bool initialized = false;
+    sim::SimTime span_begin = 0.0;  ///< broadcast launch (obs span, owner)
+
+    void release() {
+      reduce = trees::ReduceState();
+      acc.reset();
+    }
+  };
+  struct Pending {
+    Int k, ti, tj;
+    bool upper;  ///< true: U-side GEMM
+  };
+  struct UpperState {
+    trees::ReduceState reduce;
+    std::shared_ptr<DenseMatrix> acc;
+    int remaining_gemms = 0;
+    bool initialized = false;
+    std::vector<Int> ready;  ///< resilient mode; keyed by urow_ordinal(ti)
+    Int cursor = 0;
+  };
+  struct UCrossSlot {
+    std::shared_ptr<const DenseMatrix> payload;
+    bool seen = false;
+    bool deferred_diag = false;
+  };
+
+  /// Builds the per-rank dense slot bases from the plan's per-supernode
+  /// union counts (identical layout to the symmetric engine; the restricted
+  /// sides index into union slots via lpos/upos ordinals).
+  void build_local_index() {
+    const NsymPlan& plan = *sh_->plan;
+    const Int nsup = plan.supernode_count();
+    base_a_.resize(static_cast<std::size_t>(nsup));
+    base_b_.resize(static_cast<std::size_t>(nsup));
+    base_d_.resize(static_cast<std::size_t>(nsup));
+    std::int32_t na = 0, nb = 0, nd = 0;
+    for (Int k = 0; k < nsup; ++k) {
+      const NsymSupernodePlan& sp = plan.supernode(k);
+      base_a_[static_cast<std::size_t>(k)] = na;
+      base_b_[static_cast<std::size_t>(k)] = nb;
+      base_d_[static_cast<std::size_t>(k)] = nd;
+      if (std::binary_search(sp.pcols_a.begin(), sp.pcols_a.end(), my_pcol_)) {
+        const auto it =
+            std::lower_bound(sp.prows.begin(), sp.prows.end(), my_prow_);
+        if (it != sp.prows.end() && *it == my_prow_)
+          na += sp.prow_counts[static_cast<std::size_t>(it - sp.prows.begin())];
+      }
+      if (std::binary_search(sp.prows_b.begin(), sp.prows_b.end(), my_prow_)) {
+        const auto it =
+            std::lower_bound(sp.pcols.begin(), sp.pcols.end(), my_pcol_);
+        if (it != sp.pcols.end() && *it == my_pcol_)
+          nb += sp.pcol_counts[static_cast<std::size_t>(it - sp.pcols.begin())];
+        if (plan.map().pcol_of(k) == my_pcol_) nd += 1;
+      }
+    }
+    a_row_.resize(static_cast<std::size_t>(na));
+    a_ucache_row_.resize(static_cast<std::size_t>(na));
+    a_ucross_.resize(static_cast<std::size_t>(na));
+    b_ucache_.resize(static_cast<std::size_t>(nb));
+    b_upper_.resize(static_cast<std::size_t>(nb));
+    d_diag_.resize(static_cast<std::size_t>(nd));
+    final_bits_.assign(
+        static_cast<std::size_t>((plan.block_id_count() + 63) / 64), 0);
+  }
+
+  std::size_t a_slot(Int k, Int t) const {
+    return static_cast<std::size_t>(
+        base_a_[static_cast<std::size_t>(k)] +
+        sh_->plan->row_ordinal(sh_->plan->kt_id(k, t)));
+  }
+  std::size_t b_slot(Int k, Int t) const {
+    return static_cast<std::size_t>(
+        base_b_[static_cast<std::size_t>(k)] +
+        sh_->plan->col_ordinal(sh_->plan->kt_id(k, t)));
+  }
+  std::size_t d_slot(Int k) const {
+    return static_cast<std::size_t>(base_d_[static_cast<std::size_t>(k)]);
+  }
+
+  bool is_final(std::int64_t id) const {
+    return (final_bits_[static_cast<std::size_t>(id >> 6)] >> (id & 63)) & 1u;
+  }
+  void set_final(std::int64_t id) {
+    final_bits_[static_cast<std::size_t>(id >> 6)] |= 1ull << (id & 63);
+  }
+
+  DiagSlot& diag_slot(Int k) { return d_diag_[d_slot(k)]; }
+  UCrossSlot& ucross_slot(Int k, Int t) { return a_ucross_[a_slot(k, t)]; }
+
+  RowState& row_state(Int k, Int tj) {
+    RowState& rs = a_row_[a_slot(k, tj)];
+    if (!rs.initialized) {
+      rs.initialized = true;
+      const NsymStructure& st = sh_->st();
+      const trees::CommTree& tree =
+          sh_->plan->supernode(k).row_reduce[static_cast<std::size_t>(tj)];
+      const std::span<const int> children =
+          tree.participates(me_) ? tree.children_of(me_)
+                                 : std::span<const int>{};
+      rs.reduce = sh_->resilient()
+                      ? trees::ReduceState(children)
+                      : trees::ReduceState(static_cast<int>(children.size()));
+      for (Int i : st.lstruct_of[static_cast<std::size_t>(k)])
+        if (sh_->plan->map().pcol_of(i) == my_pcol_) ++rs.remaining_gemms;
+      if (sh_->resilient())
+        rs.ready.assign(static_cast<std::size_t>(rs.remaining_gemms), 0);
+      // A root outside the contributor columns has no local GEMMs: publish
+      // an empty local contribution right away.
+      if (rs.remaining_gemms == 0) rs.reduce.add_local(nullptr);
+      // (completion cannot trigger here: the tree then has >= 1 child.)
+    }
+    return rs;
+  }
+
+  UpperState& upper_state(Int k, Int tj) {
+    UpperState& us = b_upper_[b_slot(k, tj)];
+    if (!us.initialized) {
+      us.initialized = true;
+      const NsymStructure& st = sh_->st();
+      const trees::CommTree& tree =
+          sh_->plan->supernode(k).col_reduce_up[static_cast<std::size_t>(tj)];
+      const std::span<const int> children =
+          tree.participates(me_) ? tree.children_of(me_)
+                                 : std::span<const int>{};
+      us.reduce = sh_->resilient()
+                      ? trees::ReduceState(children)
+                      : trees::ReduceState(static_cast<int>(children.size()));
+      for (Int i : st.ustruct_of[static_cast<std::size_t>(k)])
+        if (sh_->plan->map().prow_of(i) == my_prow_) ++us.remaining_gemms;
+      if (sh_->resilient())
+        us.ready.assign(static_cast<std::size_t>(us.remaining_gemms), 0);
+      if (us.remaining_gemms == 0) us.reduce.add_local(nullptr);
+    }
+    return us;
+  }
+
+  DiagSlot& diag_state(Int k) {
+    DiagSlot& ds = diag_slot(k);
+    if (!ds.initialized) {
+      ds.initialized = true;
+      const NsymStructure& st = sh_->st();
+      const trees::CommTree& tree = sh_->plan->supernode(k).col_reduce;
+      const std::span<const int> children =
+          tree.participates(me_) ? tree.children_of(me_)
+                                 : std::span<const int>{};
+      ds.reduce = sh_->resilient()
+                      ? trees::ReduceState(children)
+                      : trees::ReduceState(static_cast<int>(children.size()));
+      for (Int j : st.ustruct_of[static_cast<std::size_t>(k)])
+        if (sh_->plan->map().prow_of(j) == my_prow_) ++ds.remaining_terms;
+      if (sh_->resilient())
+        ds.term_ready.assign(static_cast<std::size_t>(ds.remaining_terms), 0);
+      if (ds.remaining_terms == 0) ds.reduce.add_local(nullptr);
+    }
+    return ds;
+  }
+
+  Shared* sh_;
+  int me_;
+  int my_prow_;
+  int my_pcol_;
+  trees::ResilientChannel channel_;
+  Count blocks_finalized_ = 0;
+  trees::ChannelStats channel_stats_;
+
+  // Dense per-rank state arenas (see build_local_index):
+  std::vector<std::int32_t> base_a_;
+  std::vector<std::int32_t> base_b_;
+  std::vector<std::int32_t> base_d_;
+  std::vector<RowState> a_row_;
+  std::vector<UCache> a_ucache_row_;
+  std::vector<UCrossSlot> a_ucross_;
+  std::vector<UCache> b_ucache_;
+  std::vector<UpperState> b_upper_;
+  std::vector<DiagSlot> d_diag_;
+
+  /// Finalized-block bitmap over the plan's global dense block ids.
+  std::vector<std::uint64_t> final_bits_;
+  /// Finalized block values (numeric mode only), keyed by global block id.
+  std::unordered_map<std::int64_t, std::shared_ptr<const DenseMatrix>> values_;
+  /// GEMMs parked on a not-yet-final A^{-1} operand, keyed by global block
+  /// id — the one genuinely sparse map left on the message path.
+  std::unordered_map<std::int64_t, std::vector<Pending>> waiting_;
+};
+
+}  // namespace
+
+RunResult run_nsym(const NsymPlan& plan, const sim::Machine& machine,
+                   ExecutionMode mode, const NsymSupernodalLU* factor,
+                   std::vector<sim::TraceEvent>* trace_out,
+                   obs::Sink* obs_sink, const RunOptions& options) {
+  Shared shared;
+  shared.plan = &plan;
+  shared.mode = mode;
+  shared.factor = factor;
+  shared.obs = obs_sink;
+  shared.res = options.resilience;
+  shared.res.ack_comm_class = kProtoAck;
+
+  std::unique_ptr<BlockMatrix> sink;
+  if (mode == ExecutionMode::kNumeric) {
+    PSI_CHECK_MSG(factor != nullptr,
+                  "numeric mode requires the sequential factorization");
+    PSI_CHECK_MSG(!factor->normalized(),
+                  "pass the unnormalized factor; the engine runs loop 1 itself");
+    sink = std::make_unique<BlockMatrix>(plan.blocks());
+    shared.sink = sink.get();
+  }
+
+  sim::Engine engine(machine, plan.grid().size(), kCommClassCount);
+  if (trace_out != nullptr) engine.enable_trace();
+  if (obs_sink != nullptr) engine.set_sink(obs_sink);
+  if (options.injector != nullptr) engine.set_fault_injector(options.injector);
+  if (options.perturbation != nullptr)
+    engine.set_perturbation(options.perturbation);
+  if (options.schedule != nullptr) engine.set_schedule_policy(options.schedule);
+  engine.set_partitions(options.partitions);
+  std::vector<const NsymRank*> rank_programs;
+  rank_programs.reserve(static_cast<std::size_t>(plan.grid().size()));
+  for (int r = 0; r < plan.grid().size(); ++r) {
+    auto program = std::make_unique<NsymRank>(shared, r);
+    rank_programs.push_back(program.get());
+    engine.set_rank(r, std::move(program));
+  }
+  const sim::SimTime makespan = engine.run();
+  if (trace_out != nullptr) *trace_out = engine.trace();
+
+  RunResult result;
+  result.makespan = makespan;
+  result.events = engine.events_processed();
+  result.events_per_second = engine.events_per_second();
+  for (const NsymRank* program : rank_programs)
+    result.blocks_finalized += program->blocks_finalized();
+  result.expected_blocks =
+      static_cast<Count>(plan.supernode_count() + 2 * plan.kt_count());
+  result.rank_stats.reserve(static_cast<std::size_t>(plan.grid().size()));
+  for (int r = 0; r < plan.grid().size(); ++r)
+    result.rank_stats.push_back(engine.stats(r));
+  result.ainv = std::move(sink);
+  for (const NsymRank* program : rank_programs) {
+    result.channel_stats.merge(program->channel_stats());
+    result.channel_inflight += program->channel_inflight();
+  }
+  result.leaked_timers = engine.leaked_timers();
+  result.arena_high_water = engine.arena_high_water();
+  PSI_CHECK_MSG(result.complete(),
+                "nsym selected inversion did not finalize every block: "
+                    << result.blocks_finalized << " of "
+                    << result.expected_blocks);
+  return result;
+}
+
+}  // namespace psi::nsym

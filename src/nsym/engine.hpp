@@ -1,0 +1,56 @@
+/// \file engine.hpp
+/// \brief Distributed non-symmetric selected inversion: the restricted
+/// Algorithm 1 analogue executed by asynchronous per-rank state machines
+/// over the simulator, with every collective routed through the NsymPlan's
+/// paired row-side and column-side trees.
+///
+/// Control flow mirrors pselinv's unsymmetric-values mode, with the sums
+/// restricted to the factor's directed structures:
+///  * the L-side chain (DiagBcast → trsm → CrossSend → ColBcast → GEMMs →
+///    RowReduce) runs per lstruct(K) entry and produces the lower blocks
+///    A^{-1}_{U(K),K};
+///  * the U-side chain (DiagRowBcast → trsm → CrossSendU → RowBcast → GEMMs
+///    → ColReduceUp) runs per ustruct(K) entry and produces the upper blocks
+///    A^{-1}_{K,U(K)};
+///  * the diagonal update reduces Û_{K,ustruct} A^{-1}_{ustruct,K} up
+///    column pc(K).
+/// A union entry absent from one side owns an exact-zero result block on
+/// that side (its restricted sum is empty); such blocks are finalized
+/// locally by their owners at start with no communication, and a supernode
+/// with an empty ustruct finalizes its diagonal as U_KK^{-1} L_KK^{-1}
+/// directly.
+///
+/// Execution modes, fault injection, the resilient protocol (canonical-
+/// ordinal accumulation → bitwise fault-immune results), partition-parallel
+/// simulation, and observability all compose exactly as in run_pselinv.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nsym/factor.hpp"
+#include "nsym/plan.hpp"
+#include "pselinv/engine.hpp"
+#include "sim/engine.hpp"
+
+namespace psi::nsym {
+
+using pselinv::ExecutionMode;
+using pselinv::RunOptions;
+using pselinv::RunResult;
+
+/// Runs distributed non-symmetric selected inversion on the simulated
+/// machine. `factor` must be the *unnormalized* sequential NsymSupernodalLU
+/// of the same analysis the plan was built from (numeric mode; may be null
+/// for kTrace) — the engine performs both panel normalizations itself,
+/// including their broadcast communication. Numeric results must match
+/// nsym_selected_inversion() (tests enforce tolerance in the historical
+/// mode and bitwise stability across faults/schedules in resilient mode).
+RunResult run_nsym(const NsymPlan& plan, const sim::Machine& machine,
+                   ExecutionMode mode,
+                   const NsymSupernodalLU* factor = nullptr,
+                   std::vector<sim::TraceEvent>* trace_out = nullptr,
+                   obs::Sink* obs_sink = nullptr,
+                   const RunOptions& options = {});
+
+}  // namespace psi::nsym

@@ -1,0 +1,295 @@
+#include "nsym/factor.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace psi::nsym {
+
+namespace {
+
+/// Sorted merge of lstruct(s) and ustruct(s): every target column whose
+/// storage receives a Schur contribution from source s (directly or via the
+/// opposite-side panel).
+std::vector<Int> lu_union(const NsymStructure& st, Int s) {
+  const auto& l = st.lstruct_of[static_cast<std::size_t>(s)];
+  const auto& u = st.ustruct_of[static_cast<std::size_t>(s)];
+  std::vector<Int> merged;
+  merged.reserve(l.size() + u.size());
+  std::set_union(l.begin(), l.end(), u.begin(), u.end(),
+                 std::back_inserter(merged));
+  return merged;
+}
+
+/// The Schur contributions of one (source, target column) pair, computed
+/// task-locally and applied under the column's canonical-order gate
+/// (mirrors the symmetric UpdateBundle — the lists just come from the
+/// restricted structures).
+struct UpdateBundle {
+  std::vector<Int> rows;  ///< i of block (i, c), i >= c (lower + diagonal)
+  std::vector<DenseMatrix> row_updates;
+  std::vector<Int> cols;  ///< j of block (c, j), j > c (upper)
+  std::vector<DenseMatrix> col_updates;
+};
+
+struct ColumnGate {
+  std::mutex mutex;
+  std::size_t cursor = 0;
+  std::vector<std::unique_ptr<UpdateBundle>> stash;
+};
+
+void apply_bundle(NsymBlockMatrix& m, Int c, const UpdateBundle& bundle) {
+  for (std::size_t t = 0; t < bundle.rows.size(); ++t)
+    m.add_block(bundle.rows[t], c, bundle.row_updates[t], -1.0);
+  for (std::size_t t = 0; t < bundle.cols.size(); ++t)
+    m.add_block(c, bundle.cols[t], bundle.col_updates[t], -1.0);
+}
+
+}  // namespace
+
+NsymSupernodalLU NsymSupernodalLU::factor(const NsymAnalysis& analysis) {
+  return factor(analysis.sym.blocks, analysis.structure, analysis.matrix);
+}
+
+NsymSupernodalLU NsymSupernodalLU::factor(const BlockStructure& bs,
+                                          const NsymStructure& st,
+                                          const SparseMatrix& permuted) {
+  PSI_CHECK_MSG(permuted.n() == bs.part.n(),
+                "nsym factor: matrix dimension " << permuted.n()
+                    << " does not match block structure " << bs.part.n());
+  return factor(bs, st, [&](NsymBlockMatrix& m) { m.load(permuted); });
+}
+
+NsymSupernodalLU NsymSupernodalLU::factor(
+    const BlockStructure& bs, const NsymStructure& st,
+    const std::function<void(NsymBlockMatrix&)>& load) {
+  NsymSupernodalLU lu(bs, st);
+  NsymBlockMatrix& m = lu.storage_;
+  load(m);
+  const Int nsup = bs.supernode_count();
+
+  DenseMatrix lik, ukj, update;
+  for (Int k = 0; k < nsup; ++k) {
+    // 1. Factor the diagonal block: diag(k) <- packed L_KK \ U_KK.
+    getrf_nopivot(m.diag(k));
+
+    // 2. Panel solves over the restricted panels.
+    if (m.lpanel(k).rows() > 0)
+      trsm(Side::kRight, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0,
+           m.diag(k), m.lpanel(k));
+    if (m.upanel(k).cols() > 0)
+      trsm(Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0,
+           m.diag(k), m.upanel(k));
+
+    // 3. Right-looking trailing update: for I in lstruct(K), J in
+    //    ustruct(K), A_{I,J} -= L_{I,K} U_{K,J}. Every target (I, J) is
+    //    storable by the directed fill rule. On a symmetric structure this
+    //    is the identical loop (and kernel-call order) of the symmetric
+    //    factor.
+    const auto& lstr = st.lstruct_of[static_cast<std::size_t>(k)];
+    const auto& ustr = st.ustruct_of[static_cast<std::size_t>(k)];
+    for (const Int j : ustr) {
+      ukj = m.block(k, j);  // U_{K,J} slice of upanel(k)
+      for (const Int i : lstr) {
+        lik = m.block(i, k);  // L_{I,K} slice of lpanel(k)
+        update.resize(bs.part.size(i), bs.part.size(j));
+        update.set_zero();
+        gemm(Trans::kNo, Trans::kNo, 1.0, lik, ukj, 0.0, update);
+        m.add_block(i, j, update, -1.0);
+      }
+    }
+  }
+  return lu;
+}
+
+NsymSupernodalLU NsymSupernodalLU::factor_parallel(
+    const NsymAnalysis& analysis, const numeric::ParallelOptions& options) {
+  return factor_parallel(analysis.sym.blocks, analysis.structure,
+                         analysis.matrix, options);
+}
+
+NsymSupernodalLU NsymSupernodalLU::factor_parallel(
+    const BlockStructure& bs, const NsymStructure& st,
+    const SparseMatrix& permuted, const numeric::ParallelOptions& options) {
+  PSI_CHECK_MSG(permuted.n() == bs.part.n(),
+                "nsym factor_parallel: matrix dimension "
+                    << permuted.n() << " does not match block structure "
+                    << bs.part.n());
+  NsymSupernodalLU lu(bs, st);
+  NsymBlockMatrix& m = lu.storage_;
+  m.load(permuted);
+  const Int nsup = bs.supernode_count();
+  if (nsup == 0) return lu;
+  const auto& part = bs.part;
+
+  // Contributor sources per target column over the merged structure (the
+  // nsym analogue of block_row_structure); sizes the gate stashes.
+  std::vector<std::vector<Int>> targets(static_cast<std::size_t>(nsup));
+  std::vector<std::size_t> contributors(static_cast<std::size_t>(nsup), 0);
+  for (Int s = 0; s < nsup; ++s) {
+    targets[static_cast<std::size_t>(s)] = lu_union(st, s);
+    for (Int c : targets[static_cast<std::size_t>(s)])
+      contributors[static_cast<std::size_t>(c)] += 1;
+  }
+  std::vector<ColumnGate> gates(static_cast<std::size_t>(nsup));
+  for (Int c = 0; c < nsup; ++c)
+    gates[static_cast<std::size_t>(c)].stash.resize(
+        contributors[static_cast<std::size_t>(c)]);
+
+  numeric::TaskGraph graph;
+  std::vector<numeric::TaskGraph::TaskId> factor_task(
+      static_cast<std::size_t>(nsup));
+  for (Int c = 0; c < nsup; ++c) {
+    factor_task[static_cast<std::size_t>(c)] = graph.add(
+        static_cast<std::uint64_t>(c) << 32, [&m, c] {
+          getrf_nopivot(m.diag(c));
+          if (m.lpanel(c).rows() > 0)
+            trsm(Side::kRight, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0,
+                 m.diag(c), m.lpanel(c));
+          if (m.upanel(c).cols() > 0)
+            trsm(Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0,
+                 m.diag(c), m.upanel(c));
+        });
+  }
+
+  // One update task per (source s, target column c in lstruct(s)∪ustruct(s)).
+  // A task exists even when one side is absent — the target column may only
+  // receive row updates (c in ustruct(s)) or only column updates (c in
+  // lstruct(s)); either way it occupies its canonical ordinal so the drain
+  // order is a pure function of the structure.
+  std::vector<std::size_t> next_ordinal(static_cast<std::size_t>(nsup), 0);
+  for (Int s = 0; s < nsup; ++s) {
+    const std::vector<Int>& tlist = targets[static_cast<std::size_t>(s)];
+    for (std::size_t ti = 0; ti < tlist.size(); ++ti) {
+      const Int c = tlist[ti];
+      const std::size_t ordinal = next_ordinal[static_cast<std::size_t>(c)]++;
+      const numeric::TaskGraph::TaskId id = graph.add(
+          (static_cast<std::uint64_t>(s) << 32) + 1 + ti,
+          [&m, &st, &part, &gates, s, c, ordinal] {
+            const auto& lstr = st.lstruct_of[static_cast<std::size_t>(s)];
+            const auto& ustr = st.ustruct_of[static_cast<std::size_t>(s)];
+            auto bundle = std::make_unique<UpdateBundle>();
+            // Lower + diagonal targets: blocks (i, c), i in lstruct(s),
+            // i >= c — these need U_{S,C}, present iff c in ustruct(s).
+            if (st.in_ustruct(s, c)) {
+              const DenseMatrix u_sc = m.block(s, c);
+              for (const Int i : lstr) {
+                if (i < c) continue;
+                const DenseMatrix l_is = m.block(i, s);
+                DenseMatrix update(part.size(i), part.size(c));
+                gemm(Trans::kNo, Trans::kNo, 1.0, l_is, u_sc, 0.0, update);
+                bundle->rows.push_back(i);
+                bundle->row_updates.push_back(std::move(update));
+              }
+            }
+            // Upper targets: blocks (c, j), j in ustruct(s), j > c — these
+            // need L_{C,S}, present iff c in lstruct(s).
+            if (st.in_lstruct(s, c)) {
+              const DenseMatrix l_cs = m.block(c, s);
+              for (const Int j : ustr) {
+                if (j <= c) continue;
+                const DenseMatrix u_sj = m.block(s, j);
+                DenseMatrix update(part.size(c), part.size(j));
+                gemm(Trans::kNo, Trans::kNo, 1.0, l_cs, u_sj, 0.0, update);
+                bundle->cols.push_back(j);
+                bundle->col_updates.push_back(std::move(update));
+              }
+            }
+            ColumnGate& gate = gates[static_cast<std::size_t>(c)];
+            const std::lock_guard<std::mutex> lock(gate.mutex);
+            if (gate.cursor == ordinal) {
+              apply_bundle(m, c, *bundle);
+              bundle.reset();
+              ++gate.cursor;
+              while (gate.cursor < gate.stash.size() &&
+                     gate.stash[gate.cursor] != nullptr) {
+                apply_bundle(m, c, *gate.stash[gate.cursor]);
+                gate.stash[gate.cursor].reset();
+                ++gate.cursor;
+              }
+            } else {
+              gate.stash[ordinal] = std::move(bundle);
+            }
+          });
+      graph.add_edge(factor_task[static_cast<std::size_t>(s)], id);
+      graph.add_edge(id, factor_task[static_cast<std::size_t>(c)]);
+    }
+  }
+
+  graph.run(options);
+  return lu;
+}
+
+std::vector<double> NsymSupernodalLU::solve(const std::vector<double>& b) const {
+  PSI_CHECK(!normalized_);
+  const BlockStructure& bs = storage_.blocks();
+  const NsymStructure& st = storage_.structure();
+  const auto& part = bs.part;
+  const Int n = part.n();
+  PSI_CHECK(static_cast<Int>(b.size()) == n);
+  std::vector<double> x = b;
+
+  // Forward solve L y = b over the restricted lower panels.
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    const Int col0 = part.first_col(k);
+    const Int width = part.size(k);
+    const DenseMatrix& d = storage_.diag(k);
+    for (Int c = 0; c < width; ++c)
+      for (Int r = c + 1; r < width; ++r)
+        x[static_cast<std::size_t>(col0 + r)] -=
+            d(r, c) * x[static_cast<std::size_t>(col0 + c)];
+    const DenseMatrix& panel = storage_.lpanel(k);
+    Int off = 0;
+    for (Int i : st.lstruct_of[static_cast<std::size_t>(k)]) {
+      const Int row0 = part.first_col(i);
+      for (Int c = 0; c < width; ++c)
+        for (Int r = 0; r < part.size(i); ++r)
+          x[static_cast<std::size_t>(row0 + r)] -=
+              panel(off + r, c) * x[static_cast<std::size_t>(col0 + c)];
+      off += part.size(i);
+    }
+  }
+
+  // Backward solve U x = y over the restricted upper panels.
+  for (Int k = bs.supernode_count() - 1; k >= 0; --k) {
+    const Int col0 = part.first_col(k);
+    const Int width = part.size(k);
+    const DenseMatrix& panel = storage_.upanel(k);
+    Int off = 0;
+    for (Int i : st.ustruct_of[static_cast<std::size_t>(k)]) {
+      const Int row0 = part.first_col(i);
+      for (Int cc = 0; cc < part.size(i); ++cc)
+        for (Int r = 0; r < width; ++r)
+          x[static_cast<std::size_t>(col0 + r)] -=
+              panel(r, off + cc) * x[static_cast<std::size_t>(row0 + cc)];
+      off += part.size(i);
+    }
+    const DenseMatrix& d = storage_.diag(k);
+    for (Int c = width - 1; c >= 0; --c) {
+      x[static_cast<std::size_t>(col0 + c)] /= d(c, c);
+      for (Int r = 0; r < c; ++r)
+        x[static_cast<std::size_t>(col0 + r)] -=
+            d(r, c) * x[static_cast<std::size_t>(col0 + c)];
+    }
+  }
+  return x;
+}
+
+void NsymSupernodalLU::normalize_panels() {
+  PSI_CHECK_MSG(!normalized_, "normalize_panels() called twice");
+  const Int nsup = storage_.supernode_count();
+  for (Int k = 0; k < nsup; ++k) {
+    if (storage_.lpanel(k).rows() > 0)
+      trsm(Side::kRight, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0,
+           storage_.diag(k), storage_.lpanel(k));
+    if (storage_.upanel(k).cols() > 0)
+      trsm(Side::kLeft, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0,
+           storage_.diag(k), storage_.upanel(k));
+  }
+  normalized_ = true;
+}
+
+}  // namespace psi::nsym

@@ -1,0 +1,82 @@
+/// \file factor.hpp
+/// \brief Structurally non-symmetric supernodal LU over the restricted
+/// L/U block structures, plus the bitwise-deterministic task-parallel
+/// variant.
+#pragma once
+
+#include <functional>
+
+#include "nsym/block_matrix.hpp"
+#include "numeric/block_matrix.hpp"
+#include "numeric/task_graph.hpp"
+
+namespace psi::nsym {
+
+/// Supernodal right-looking LU over the restricted structure.
+///
+/// After factor():
+///  * diag(K) packs the unit-lower L_KK (below diagonal) and U_KK
+///    (on/above);
+///  * lpanel(K) holds L_{I,K} for I in lstruct(K);
+///  * upanel(K) holds U_{K,I} for I in ustruct(K).
+/// A = L U exactly (up to roundoff) on the restricted pattern — the
+/// directed fill rule guarantees every Schur update target is storable.
+/// On a structurally symmetric input the kernel sequence is *identical*
+/// to numeric::SupernodalLU::factor(), so the results agree bitwise.
+class NsymSupernodalLU {
+ public:
+  /// Factorizes analysis.matrix; throws psi::Error on a zero pivot.
+  static NsymSupernodalLU factor(const NsymAnalysis& analysis);
+
+  /// Numeric-refresh overload over a previously computed structure;
+  /// `permuted` must already be in the analyzed order. Both structure
+  /// references must outlive the returned factor.
+  static NsymSupernodalLU factor(const BlockStructure& blocks,
+                                 const NsymStructure& structure,
+                                 const SparseMatrix& permuted);
+
+  /// Loader-callback overload (mirrors SupernodalLU::factor).
+  static NsymSupernodalLU factor(
+      const BlockStructure& blocks, const NsymStructure& structure,
+      const std::function<void(NsymBlockMatrix&)>& load);
+
+  /// Task-parallel right-looking factorization with the canonical-ordinal
+  /// gating discipline of SupernodalLU::factor_parallel: one update-bundle
+  /// task per (source, target column in lstruct ∪ ustruct) pair, applied
+  /// strictly in ascending source order under a per-column gate. BITWISE
+  /// identical to factor() for any thread count, pool, or tie_break_seed.
+  static NsymSupernodalLU factor_parallel(
+      const BlockStructure& blocks, const NsymStructure& structure,
+      const SparseMatrix& permuted, const numeric::ParallelOptions& options);
+  static NsymSupernodalLU factor_parallel(
+      const NsymAnalysis& analysis, const numeric::ParallelOptions& options);
+
+  const BlockStructure& blocks() const { return storage_.blocks(); }
+  const NsymStructure& structure() const { return storage_.structure(); }
+  const NsymBlockMatrix& storage() const { return storage_; }
+  NsymBlockMatrix& storage() { return storage_; }
+
+  /// Solve A x = b with the factors (forward + back substitution over the
+  /// restricted panels); used by tests to validate the factorization.
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  /// The normalized factors consumed by selected inversion:
+  ///   L̂_{I,K} = L_{I,K} (L_KK)^{-1},   Û_{K,I} = (U_KK)^{-1} U_{K,I}.
+  /// Overwrites the panels in place (diag stays packed).
+  void normalize_panels();
+  bool normalized() const { return normalized_; }
+
+ private:
+  NsymSupernodalLU(const BlockStructure& blocks, const NsymStructure& structure)
+      : storage_(blocks, structure) {}
+
+  /// nsym_selinv_parallel fuses the per-column normalization into its task
+  /// graph and flips normalized_ itself.
+  friend BlockMatrix nsym_selinv_parallel(NsymSupernodalLU& lu,
+                                          const numeric::ParallelOptions& options);
+
+  NsymBlockMatrix storage_;
+  bool normalized_ = false;
+};
+
+}  // namespace psi::nsym

@@ -1,0 +1,324 @@
+#include "nsym/plan.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/check.hpp"
+#include "sparse/dense.hpp"
+
+namespace psi::nsym {
+
+namespace {
+
+/// Deterministic collective id for the shifted scheme's per-tree seed.
+/// Kind values are pselinv::CommClass, so nsym tree seeds line up with the
+/// symmetric plan's for the phases both share.
+std::uint64_t collective_id(int kind, Int k, Int idx) {
+  return (static_cast<std::uint64_t>(kind) << 56) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k)) << 24) |
+         static_cast<std::uint64_t>(static_cast<std::uint32_t>(idx));
+}
+
+std::vector<int> receivers_without_root(std::vector<int> ranks, int root) {
+  ranks.erase(std::remove(ranks.begin(), ranks.end(), root), ranks.end());
+  return ranks;
+}
+
+std::vector<int> unique_sorted(std::vector<int> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+NsymPlan::NsymPlan(const BlockStructure& blocks, const NsymStructure& structure,
+                   const dist::ProcessGrid& grid,
+                   const trees::TreeOptions& tree_options)
+    : blocks_(&blocks),
+      structure_(&structure),
+      grid_(grid),
+      map_(grid_),
+      tree_options_(tree_options) {
+  const Int nsup = blocks.supernode_count();
+  PSI_CHECK(structure.supernode_count() == nsup);
+  sup_.resize(static_cast<std::size_t>(nsup));
+
+  kt_offset_.resize(static_cast<std::size_t>(nsup) + 1, 0);
+  for (Int k = 0; k < nsup; ++k)
+    kt_offset_[static_cast<std::size_t>(k) + 1] =
+        kt_offset_[static_cast<std::size_t>(k)] +
+        static_cast<std::int64_t>(
+            blocks.struct_of[static_cast<std::size_t>(k)].size());
+  ord_row_.resize(static_cast<std::size_t>(kt_count()));
+  ord_col_.resize(static_cast<std::size_t>(kt_count()));
+  lpos_.assign(static_cast<std::size_t>(kt_count()), -1);
+  upos_.assign(static_cast<std::size_t>(kt_count()), -1);
+  ord_lcol_.assign(static_cast<std::size_t>(kt_count()), -1);
+  ord_urow_.assign(static_cast<std::size_t>(kt_count()), -1);
+  // Scratch counters per grid row/column, reused across supernodes.
+  std::vector<std::int32_t> row_seen(static_cast<std::size_t>(grid_.prows()), 0);
+  std::vector<std::int32_t> col_seen(static_cast<std::size_t>(grid_.pcols()), 0);
+
+  for (Int k = 0; k < nsup; ++k) {
+    NsymSupernodePlan& plan = sup_[static_cast<std::size_t>(k)];
+    const auto& uni = blocks.struct_of[static_cast<std::size_t>(k)];
+    const auto& lstr = structure.lstruct_of[static_cast<std::size_t>(k)];
+    const auto& ustr = structure.ustruct_of[static_cast<std::size_t>(k)];
+    const int diag_owner = map_.owner(k, k);
+    const int my_pcol = map_.pcol_of(k);
+    const int my_prow = map_.prow_of(k);
+
+    // Unique grid rows/columns covering U(K) and the restricted sides.
+    plan.prows.reserve(uni.size());
+    plan.pcols.reserve(uni.size());
+    for (Int j : uni) plan.prows.push_back(map_.prow_of(j));
+    for (Int i : uni) plan.pcols.push_back(map_.pcol_of(i));
+    plan.prows = unique_sorted(std::move(plan.prows));
+    plan.pcols = unique_sorted(std::move(plan.pcols));
+    for (Int i : lstr) plan.prows_l.push_back(map_.prow_of(i));
+    for (Int i : lstr) plan.pcols_l.push_back(map_.pcol_of(i));
+    for (Int i : ustr) plan.prows_u.push_back(map_.prow_of(i));
+    for (Int i : ustr) plan.pcols_u.push_back(map_.pcol_of(i));
+    plan.prows_l = unique_sorted(std::move(plan.prows_l));
+    plan.pcols_l = unique_sorted(std::move(plan.pcols_l));
+    plan.prows_u = unique_sorted(std::move(plan.prows_u));
+    plan.pcols_u = unique_sorted(std::move(plan.pcols_u));
+
+    // Dense-state index tables over the union set.
+    for (Int t = 0; t < static_cast<Int>(uni.size()); ++t) {
+      const Int b = uni[static_cast<std::size_t>(t)];
+      const auto g = static_cast<std::size_t>(kt_id(k, t));
+      ord_row_[g] = row_seen[static_cast<std::size_t>(map_.prow_of(b))]++;
+      ord_col_[g] = col_seen[static_cast<std::size_t>(map_.pcol_of(b))]++;
+    }
+    plan.prow_counts.reserve(plan.prows.size());
+    for (int pr : plan.prows) {
+      plan.prow_counts.push_back(row_seen[static_cast<std::size_t>(pr)]);
+      row_seen[static_cast<std::size_t>(pr)] = 0;
+    }
+    plan.pcol_counts.reserve(plan.pcols.size());
+    for (int pc : plan.pcols) {
+      plan.pcol_counts.push_back(col_seen[static_cast<std::size_t>(pc)]);
+      col_seen[static_cast<std::size_t>(pc)] = 0;
+    }
+
+    // Restricted positions + ordinals. lstruct/ustruct are ascending subsets
+    // of the union list, so one forward scan aligns them.
+    {
+      std::size_t li = 0, ui = 0;
+      for (Int t = 0; t < static_cast<Int>(uni.size()); ++t) {
+        const Int b = uni[static_cast<std::size_t>(t)];
+        const auto g = static_cast<std::size_t>(kt_id(k, t));
+        if (li < lstr.size() && lstr[li] == b) {
+          lpos_[g] = static_cast<std::int32_t>(li++);
+          ord_lcol_[g] = col_seen[static_cast<std::size_t>(map_.pcol_of(b))]++;
+        }
+        if (ui < ustr.size() && ustr[ui] == b) {
+          upos_[g] = static_cast<std::int32_t>(ui++);
+          ord_urow_[g] = row_seen[static_cast<std::size_t>(map_.prow_of(b))]++;
+        }
+      }
+      PSI_ASSERT(li == lstr.size() && ui == ustr.size());
+      plan.pcol_l_counts.reserve(plan.pcols_l.size());
+      for (int pc : plan.pcols_l) {
+        plan.pcol_l_counts.push_back(col_seen[static_cast<std::size_t>(pc)]);
+        col_seen[static_cast<std::size_t>(pc)] = 0;
+      }
+      plan.prow_u_counts.reserve(plan.prows_u.size());
+      for (int pr : plan.prows_u) {
+        plan.prow_u_counts.push_back(row_seen[static_cast<std::size_t>(pr)]);
+        row_seen[static_cast<std::size_t>(pr)] = 0;
+      }
+    }
+
+    plan.pcols_a = plan.pcols;
+    if (!std::binary_search(plan.pcols_a.begin(), plan.pcols_a.end(), my_pcol))
+      plan.pcols_a.insert(
+          std::lower_bound(plan.pcols_a.begin(), plan.pcols_a.end(), my_pcol),
+          my_pcol);
+    plan.prows_b = plan.prows;
+    if (!std::binary_search(plan.prows_b.begin(), plan.prows_b.end(), my_prow))
+      plan.prows_b.insert(
+          std::lower_bound(plan.prows_b.begin(), plan.prows_b.end(), my_prow),
+          my_prow);
+
+    // Column side: diag broadcast to L-panel owner rows; row side: diag
+    // broadcast to U-panel owner columns; diagonal-update reduce over the
+    // rows holding A^{-1}_{ustruct,K}.
+    std::vector<int> lpanel_ranks;
+    lpanel_ranks.reserve(plan.prows_l.size());
+    for (int pr : plan.prows_l) lpanel_ranks.push_back(grid_.rank_of(pr, my_pcol));
+    plan.diag_bcast = trees::CommTree::build(
+        tree_options_, diag_owner,
+        receivers_without_root(lpanel_ranks, diag_owner),
+        collective_id(pselinv::kDiagBcast, k, 0));
+
+    std::vector<int> upanel_ranks;
+    upanel_ranks.reserve(plan.pcols_u.size());
+    for (int pc : plan.pcols_u) upanel_ranks.push_back(grid_.rank_of(my_prow, pc));
+    plan.diag_row_bcast = trees::CommTree::build(
+        tree_options_, diag_owner,
+        receivers_without_root(upanel_ranks, diag_owner),
+        collective_id(pselinv::kDiagRowBcast, k, 0));
+
+    std::vector<int> diag_contributors;
+    diag_contributors.reserve(plan.prows_u.size());
+    for (int pr : plan.prows_u)
+      diag_contributors.push_back(grid_.rank_of(pr, my_pcol));
+    plan.col_reduce = trees::CommTree::build(
+        tree_options_, diag_owner,
+        receivers_without_root(diag_contributors, diag_owner),
+        collective_id(pselinv::kColReduce, k, 0));
+
+    plan.col_bcast.reserve(uni.size());
+    plan.row_reduce.reserve(uni.size());
+    plan.row_bcast.reserve(uni.size());
+    plan.col_reduce_up.reserve(uni.size());
+    plan.cross_src.reserve(uni.size());
+    plan.cross_dst.reserve(uni.size());
+    for (Int t = 0; t < static_cast<Int>(uni.size()); ++t) {
+      const Int b = uni[static_cast<std::size_t>(t)];
+      const auto g = static_cast<std::size_t>(kt_id(k, t));
+      plan.cross_src.push_back(map_.owner(b, k));
+      plan.cross_dst.push_back(map_.owner(k, b));
+
+      // Col-Bcast of L̂_{B,K} down column pc(B) to every union grid row
+      // (the A^{-1}_{J,B} operand owners). Real only for lstruct entries.
+      const int cb_root = map_.owner(k, b);
+      std::vector<int> cb_consumers;
+      if (lpos_[g] >= 0) {
+        cb_consumers.reserve(plan.prows.size());
+        for (int pr : plan.prows)
+          cb_consumers.push_back(grid_.rank_of(pr, map_.pcol_of(b)));
+      }
+      plan.col_bcast.push_back(trees::CommTree::build(
+          tree_options_, cb_root,
+          receivers_without_root(std::move(cb_consumers), cb_root),
+          collective_id(pselinv::kColBcast, k, t)));
+
+      // Row-Reduce of A^{-1}_{B,K} along row pr(B): contributions live only
+      // in the grid columns hosting lstruct entries. Placeholder when
+      // lstruct(K) is empty (the block is an exact zero, finalized locally).
+      const int rr_root = map_.owner(b, k);
+      std::vector<int> rr_contributors;
+      if (!lstr.empty()) {
+        rr_contributors.reserve(plan.pcols_l.size());
+        for (int pc : plan.pcols_l)
+          rr_contributors.push_back(grid_.rank_of(map_.prow_of(b), pc));
+        std::sort(rr_contributors.begin(), rr_contributors.end());
+      }
+      plan.row_reduce.push_back(trees::CommTree::build(
+          tree_options_, rr_root,
+          receivers_without_root(std::move(rr_contributors), rr_root),
+          collective_id(pselinv::kRowReduce, k, t)));
+
+      // Row-Bcast of Û_{K,B} along row pr(B) to every union grid column
+      // (the A^{-1}_{B,J} operand owners). Real only for ustruct entries.
+      std::vector<int> rb_consumers;
+      if (upos_[g] >= 0) {
+        rb_consumers.reserve(plan.pcols.size());
+        for (int pc : plan.pcols)
+          rb_consumers.push_back(grid_.rank_of(map_.prow_of(b), pc));
+        std::sort(rb_consumers.begin(), rb_consumers.end());
+      }
+      plan.row_bcast.push_back(trees::CommTree::build(
+          tree_options_, rr_root,
+          receivers_without_root(std::move(rb_consumers), rr_root),
+          collective_id(pselinv::kRowBcast, k, t)));
+
+      // Col-Reduce-Up of A^{-1}_{K,B} down column pc(B): contributions only
+      // from the grid rows hosting ustruct entries. Placeholder when
+      // ustruct(K) is empty.
+      std::vector<int> cu_contributors;
+      if (!ustr.empty()) {
+        cu_contributors.reserve(plan.prows_u.size());
+        for (int pr : plan.prows_u)
+          cu_contributors.push_back(grid_.rank_of(pr, map_.pcol_of(b)));
+        std::sort(cu_contributors.begin(), cu_contributors.end());
+      }
+      plan.col_reduce_up.push_back(trees::CommTree::build(
+          tree_options_, cb_root,
+          receivers_without_root(std::move(cu_contributors), cb_root),
+          collective_id(pselinv::kColReduceUp, k, t)));
+    }
+  }
+}
+
+Count NsymPlan::block_bytes(Int i, Int k) const {
+  return dense_bytes(blocks_->part.size(i), blocks_->part.size(k));
+}
+
+std::int64_t NsymPlan::block_id(Int row, Int col) const {
+  if (row == col) return diag_block_id(row);
+  const Int c = std::min(row, col);
+  const Int r = std::max(row, col);
+  const auto& str = blocks_->struct_of[static_cast<std::size_t>(c)];
+  const auto it = std::lower_bound(str.begin(), str.end(), r);
+  PSI_ASSERT(it != str.end() && *it == r);
+  const Int t = static_cast<Int>(it - str.begin());
+  return row > col ? lower_block_id(c, t) : upper_block_id(c, t);
+}
+
+Count NsymPlan::distinct_communicators() const {
+  std::unordered_set<std::uint64_t> seen;
+  auto note = [&](const trees::CommTree& tree) {
+    if (tree.participant_count() < 2) return;
+    std::vector<int> ranks = tree.participants();
+    std::sort(ranks.begin(), ranks.end());
+    std::uint64_t h = 0x811c9dc5ULL;
+    for (int r : ranks) h = (h ^ static_cast<std::uint64_t>(r)) * 0x100000001b3ULL;
+    seen.insert(h);
+  };
+  for (const NsymSupernodePlan& plan : sup_) {
+    note(plan.diag_bcast);
+    note(plan.diag_row_bcast);
+    note(plan.col_reduce);
+    for (const auto& tree : plan.col_bcast) note(tree);
+    for (const auto& tree : plan.row_reduce) note(tree);
+    for (const auto& tree : plan.row_bcast) note(tree);
+    for (const auto& tree : plan.col_reduce_up) note(tree);
+  }
+  return static_cast<Count>(seen.size());
+}
+
+Count NsymPlan::total_collectives() const {
+  Count total = 0;
+  for (const NsymSupernodePlan& plan : sup_)
+    total += 3 + static_cast<Count>(plan.col_bcast.size()) +
+             static_cast<Count>(plan.row_reduce.size()) +
+             static_cast<Count>(plan.row_bcast.size()) +
+             static_cast<Count>(plan.col_reduce_up.size());
+  return total;
+}
+
+std::size_t NsymPlan::memory_bytes() const {
+  const auto tree_bytes = [](const trees::CommTree& tree) {
+    return sizeof(trees::CommTree) + tree.memory_bytes();
+  };
+  std::size_t bytes =
+      sup_.capacity() * sizeof(NsymSupernodePlan) +
+      kt_offset_.capacity() * sizeof(std::int64_t) +
+      (ord_row_.capacity() + ord_col_.capacity() + lpos_.capacity() +
+       upos_.capacity() + ord_lcol_.capacity() + ord_urow_.capacity()) *
+          sizeof(std::int32_t);
+  for (const NsymSupernodePlan& plan : sup_) {
+    bytes += (plan.prows.size() + plan.pcols.size() + plan.pcols_a.size() +
+              plan.prows_b.size() + plan.prows_l.size() + plan.pcols_l.size() +
+              plan.prows_u.size() + plan.pcols_u.size() +
+              plan.cross_dst.size() + plan.cross_src.size()) *
+                 sizeof(int) +
+             (plan.prow_counts.size() + plan.pcol_counts.size() +
+              plan.pcol_l_counts.size() + plan.prow_u_counts.size()) *
+                 sizeof(std::int32_t);
+    bytes += tree_bytes(plan.diag_bcast) + tree_bytes(plan.diag_row_bcast) +
+             tree_bytes(plan.col_reduce);
+    for (const auto& tree : plan.col_bcast) bytes += tree_bytes(tree);
+    for (const auto& tree : plan.row_reduce) bytes += tree_bytes(tree);
+    for (const auto& tree : plan.row_bcast) bytes += tree_bytes(tree);
+    for (const auto& tree : plan.col_reduce_up) bytes += tree_bytes(tree);
+  }
+  return bytes;
+}
+
+}  // namespace psi::nsym

@@ -1,0 +1,179 @@
+/// \file plan.hpp
+/// \brief Communication plan for non-symmetric selected inversion: paired
+/// row-side and column-side restricted collectives per supernode.
+///
+/// The symmetric-structure plan (pselinv::Plan) hosts one tree family per
+/// supernode because lstruct(K) == ustruct(K) == C(K). With a structurally
+/// non-symmetric factorization the two sides differ, so every supernode K
+/// carries *paired* trees over the union ancestor set U(K) = lstruct(K) ∪
+/// ustruct(K):
+///
+///  column side (L factor / lower triangle of A^{-1}):
+///   * DiagBcast   — packed diag down column pc(K) to L-panel owner rows
+///                   prows_l (skipped when lstruct(K) is empty).
+///   * CrossSend   — L̂_{I,K} from (pr(I),pc(K)) to (pr(K),pc(I)), I∈lstruct.
+///   * ColBcast    — L̂_{I,K} down column pc(I) to the owners of the
+///                   A^{-1}_{*,I} operand blocks (per lstruct entry).
+///   * RowReduce   — Σ_I A^{-1}_{J,I} L̂_{I,K} along row pr(J) onto
+///                   (pr(J),pc(K)), contributions only from columns pcols_l.
+///
+///  row side (U factor / upper triangle of A^{-1}):
+///   * DiagRowBcast — packed diag along row pr(K) to U-panel owner columns
+///                    pcols_u (skipped when ustruct(K) is empty).
+///   * CrossSendU   — Û_{K,I} from (pr(K),pc(I)) to (pr(I),pc(K)),
+///                    I∈ustruct (also feeds the diagonal update terms).
+///   * RowBcast     — Û_{K,I} along row pr(I) to the owners of the
+///                    A^{-1}_{I,*} operand blocks (per ustruct entry).
+///   * ColReduceUp  — Σ_I Û_{K,I} A^{-1}_{I,J} down column pc(J) onto
+///                    (pr(K),pc(J)), contributions only from rows prows_u.
+///   * ColReduce    — diagonal update Σ_J Û_{K,J} A^{-1}_{J,K} up column
+///                    pc(K) onto the diagonal owner, rows prows_u.
+///
+/// Entries of U(K) outside a side's restricted structure still own result
+/// blocks of A^{-1} (exact zeros when the matching restricted sum is empty);
+/// their trees on the absent side are root-only placeholders so that tree
+/// vectors stay aligned with U(K) and contribute nothing to traffic.
+#pragma once
+
+#include <vector>
+
+#include "dist/process_grid.hpp"
+#include "nsym/structure.hpp"
+#include "pselinv/plan.hpp"
+#include "trees/comm_tree.hpp"
+
+namespace psi::nsym {
+
+/// Traffic classes are shared with the symmetric engine so observability,
+/// volume reports, and fault rules use one vocabulary.
+using pselinv::CommClass;
+using pselinv::kCommClassCount;
+
+struct NsymSupernodePlan {
+  /// Unique grid rows/columns hosting blocks of the union set U(K).
+  std::vector<int> prows;
+  std::vector<int> pcols;
+  /// Per-grid-row/column U(K) entry counts, aligned with prows/pcols.
+  std::vector<std::int32_t> prow_counts;
+  std::vector<std::int32_t> pcol_counts;
+  /// pcols ∪ {pc(K)} and prows ∪ {pr(K)}, ascending (state-arena support).
+  std::vector<int> pcols_a;
+  std::vector<int> prows_b;
+
+  /// Restricted participant lists: grid rows/columns of lstruct(K) and
+  /// ustruct(K) entries (ascending, unique).
+  std::vector<int> prows_l;
+  std::vector<int> pcols_l;
+  std::vector<int> prows_u;
+  std::vector<int> pcols_u;
+  /// Per-column lstruct entry counts (aligned with pcols_l) and per-row
+  /// ustruct entry counts (aligned with prows_u) — resilient ready-table
+  /// and reduce-state sizing.
+  std::vector<std::int32_t> pcol_l_counts;
+  std::vector<std::int32_t> prow_u_counts;
+
+  trees::CommTree diag_bcast;      ///< root: diag owner, rows prows_l
+  trees::CommTree diag_row_bcast;  ///< root: diag owner, columns pcols_u
+  trees::CommTree col_reduce;      ///< root: diag owner, rows prows_u
+
+  /// All four aligned with U(K); root-only placeholders on the absent side.
+  std::vector<trees::CommTree> col_bcast;
+  std::vector<trees::CommTree> row_reduce;
+  std::vector<trees::CommTree> row_bcast;
+  std::vector<trees::CommTree> col_reduce_up;
+  std::vector<int> cross_dst;  ///< owner(K, B) per union entry
+  std::vector<int> cross_src;  ///< owner(B, K) per union entry
+};
+
+class NsymPlan {
+ public:
+  /// Builds the full plan; `blocks` (the union structure) and `structure`
+  /// must outlive the plan.
+  NsymPlan(const BlockStructure& blocks, const NsymStructure& structure,
+           const dist::ProcessGrid& grid,
+           const trees::TreeOptions& tree_options);
+
+  const BlockStructure& blocks() const { return *blocks_; }
+  const NsymStructure& structure() const { return *structure_; }
+  const dist::ProcessGrid& grid() const { return grid_; }
+  const dist::BlockCyclicMap& map() const { return map_; }
+  const trees::TreeOptions& tree_options() const { return tree_options_; }
+
+  const NsymSupernodePlan& supernode(Int k) const {
+    return sup_[static_cast<std::size_t>(k)];
+  }
+  Int supernode_count() const { return static_cast<Int>(sup_.size()); }
+
+  Count block_bytes(Int i, Int k) const;
+
+  // --- dense local-state indexing (union set; see pselinv::Plan) ----------
+  std::int64_t kt_id(Int k, Int t) const {
+    return kt_offset_[static_cast<std::size_t>(k)] + t;
+  }
+  std::int64_t kt_count() const { return kt_offset_.back(); }
+  std::int32_t row_ordinal(std::int64_t kt) const {
+    return ord_row_[static_cast<std::size_t>(kt)];
+  }
+  std::int32_t col_ordinal(std::int64_t kt) const {
+    return ord_col_[static_cast<std::size_t>(kt)];
+  }
+
+  /// Position of union entry `kt` within lstruct(K) / ustruct(K), or -1
+  /// when the block is absent from that side.
+  std::int32_t lpos(std::int64_t kt) const {
+    return lpos_[static_cast<std::size_t>(kt)];
+  }
+  std::int32_t upos(std::int64_t kt) const {
+    return upos_[static_cast<std::size_t>(kt)];
+  }
+  /// Ordinal of a *lstruct* entry among same-grid-column lstruct entries of
+  /// its supernode (-1 for non-lstruct entries); indexes RowReduce ready
+  /// tables.
+  std::int32_t lcol_ordinal(std::int64_t kt) const {
+    return ord_lcol_[static_cast<std::size_t>(kt)];
+  }
+  /// Ordinal of a *ustruct* entry among same-grid-row ustruct entries of
+  /// its supernode (-1 otherwise); indexes ColReduceUp / diagonal-term
+  /// ready tables.
+  std::int32_t urow_ordinal(std::int64_t kt) const {
+    return ord_urow_[static_cast<std::size_t>(kt)];
+  }
+
+  /// Global dense block ids over the union pattern: diagonals, then lower,
+  /// then upper blocks (both triangles of every union entry exist in the
+  /// selected inverse).
+  std::int64_t block_id_count() const {
+    return supernode_count() + 2 * kt_count();
+  }
+  std::int64_t diag_block_id(Int k) const { return k; }
+  std::int64_t lower_block_id(Int k, Int t) const {
+    return supernode_count() + kt_id(k, t);
+  }
+  std::int64_t upper_block_id(Int k, Int t) const {
+    return supernode_count() + kt_count() + kt_id(k, t);
+  }
+  std::int64_t block_id(Int row, Int col) const;
+
+  /// Distinct-communicator audit over every (non-placeholder) collective.
+  Count distinct_communicators() const;
+  /// Messages a flat scheme would need (row + column sides).
+  Count total_collectives() const;
+  std::size_t memory_bytes() const;
+
+ private:
+  const BlockStructure* blocks_;
+  const NsymStructure* structure_;
+  dist::ProcessGrid grid_;
+  dist::BlockCyclicMap map_;
+  trees::TreeOptions tree_options_;
+  std::vector<NsymSupernodePlan> sup_;
+  std::vector<std::int64_t> kt_offset_;
+  std::vector<std::int32_t> ord_row_;
+  std::vector<std::int32_t> ord_col_;
+  std::vector<std::int32_t> lpos_;
+  std::vector<std::int32_t> upos_;
+  std::vector<std::int32_t> ord_lcol_;
+  std::vector<std::int32_t> ord_urow_;
+};
+
+}  // namespace psi::nsym

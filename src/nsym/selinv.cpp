@@ -1,0 +1,120 @@
+#include "nsym/selinv.hpp"
+
+#include "common/check.hpp"
+
+namespace psi::nsym {
+
+namespace {
+
+/// The per-supernode sweep body shared verbatim by the sequential driver
+/// and the parallel sweep tasks (task-local sums in sequential order keep
+/// the two bitwise identical).
+void sweep_supernode(const NsymBlockMatrix& f, BlockMatrix& ainv, Int k) {
+  const BlockStructure& bs = f.blocks();
+  const NsymStructure& st = f.structure();
+  const auto& part = bs.part;
+  const Int width = part.size(k);
+
+  // Seed the diagonal: U_KK^{-1} L_KK^{-1}.
+  DenseMatrix diag_inv(width, width);
+  for (Int i = 0; i < width; ++i) diag_inv(i, i) = 1.0;
+  trsm(Side::kLeft, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0, f.diag(k),
+       diag_inv);
+  trsm(Side::kLeft, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0, f.diag(k),
+       diag_inv);
+
+  DenseMatrix lhat, uhat, contrib, acc;
+  const auto& uni = bs.struct_of[static_cast<std::size_t>(k)];
+  const auto& lstr = st.lstruct_of[static_cast<std::size_t>(k)];
+  const auto& ustr = st.ustruct_of[static_cast<std::size_t>(k)];
+  // A^{-1}_{J,K} = - sum_{I in lstruct} A^{-1}_{J,I} L̂_{I,K}   (lower)
+  // A^{-1}_{K,J} = - sum_{I in ustruct} Û_{K,I} A^{-1}_{I,J}   (upper)
+  // J walks the union ancestor set; an empty restricted sum leaves the
+  // block exactly zero (the factor panel vanished, so the recurrence does).
+  for (Int j : uni) {
+    acc.resize(part.size(j), width);
+    acc.set_zero();
+    for (Int i : lstr) {
+      lhat = f.block(i, k);        // L̂_{I,K}
+      contrib = ainv.block(j, i);  // A^{-1}_{J,I}
+      gemm(Trans::kNo, Trans::kNo, -1.0, contrib, lhat, 1.0, acc);
+    }
+    ainv.set_block(j, k, acc);
+
+    acc.resize(width, part.size(j));
+    acc.set_zero();
+    for (Int i : ustr) {
+      uhat = f.block(k, i);        // Û_{K,I}
+      contrib = ainv.block(i, j);  // A^{-1}_{I,J}
+      gemm(Trans::kNo, Trans::kNo, -1.0, uhat, contrib, 1.0, acc);
+    }
+    ainv.set_block(k, j, acc);
+  }
+
+  // A^{-1}_{K,K} = U_KK^{-1} L_KK^{-1} - Û_{K,ustruct} A^{-1}_{ustruct,K}.
+  for (Int j : ustr) {
+    uhat = f.block(k, j);
+    contrib = ainv.block(j, k);  // freshly computed above
+    gemm(Trans::kNo, Trans::kNo, -1.0, uhat, contrib, 1.0, diag_inv);
+  }
+  ainv.set_block(k, k, diag_inv);
+}
+
+}  // namespace
+
+BlockMatrix nsym_selected_inversion(NsymSupernodalLU& lu) {
+  if (!lu.normalized()) lu.normalize_panels();
+  const BlockStructure& bs = lu.blocks();
+  BlockMatrix ainv(bs);
+  for (Int k = bs.supernode_count() - 1; k >= 0; --k)
+    sweep_supernode(lu.storage(), ainv, k);
+  return ainv;
+}
+
+BlockMatrix nsym_selinv_parallel(NsymSupernodalLU& lu,
+                                 const numeric::ParallelOptions& options) {
+  const BlockStructure& bs = lu.blocks();
+  NsymBlockMatrix& f = lu.storage_;
+  BlockMatrix ainv(bs);
+  const Int nsup = bs.supernode_count();
+  if (nsup == 0) {
+    lu.normalized_ = true;
+    return ainv;
+  }
+
+  numeric::TaskGraph graph;
+  const bool normalize = !lu.normalized();
+
+  std::vector<numeric::TaskGraph::TaskId> sweep_task(
+      static_cast<std::size_t>(nsup));
+  for (Int k = 0; k < nsup; ++k) {
+    sweep_task[static_cast<std::size_t>(k)] = graph.add(
+        (static_cast<std::uint64_t>(nsup - 1 - k) << 32) + 1,
+        [&f, &ainv, k] { sweep_supernode(f, ainv, k); });
+  }
+  for (Int k = 0; k < nsup; ++k) {
+    if (normalize) {
+      const numeric::TaskGraph::TaskId norm = graph.add(
+          static_cast<std::uint64_t>(nsup - 1 - k) << 32, [&f, k] {
+            if (f.lpanel(k).rows() > 0)
+              trsm(Side::kRight, UpLo::kLower, Trans::kNo, Diag::kUnit, 1.0,
+                   f.diag(k), f.lpanel(k));
+            if (f.upanel(k).cols() > 0)
+              trsm(Side::kLeft, UpLo::kUpper, Trans::kNo, Diag::kNonUnit, 1.0,
+                   f.diag(k), f.upanel(k));
+          });
+      graph.add_edge(norm, sweep_task[static_cast<std::size_t>(k)]);
+    }
+    // Supernode K reads A^{-1} blocks finalized by every supernode in its
+    // union ancestor set (the restricted sums index into those columns).
+    for (Int m : bs.struct_of[static_cast<std::size_t>(k)])
+      graph.add_edge(sweep_task[static_cast<std::size_t>(m)],
+                     sweep_task[static_cast<std::size_t>(k)]);
+  }
+
+  graph.run(options);
+  lu.normalized_ = true;
+  return ainv;
+}
+
+}  // namespace psi::nsym

@@ -1,0 +1,36 @@
+/// \file selinv.hpp
+/// \brief Non-symmetric selected inversion (the restricted Algorithm 1
+/// analogue of the companion paper).
+///
+/// Given the restricted LU factors, computes every block of A^{-1} on the
+/// *union* (symmetric-closure) block pattern. The recurrences sum only over
+/// the restricted structures,
+///   A^{-1}_{J,K} = - Σ_{I ∈ lstruct(K)} A^{-1}_{J,I} L̂_{I,K}
+///   A^{-1}_{K,J} = - Σ_{I ∈ ustruct(K)} Û_{K,I} A^{-1}_{I,J}
+///   A^{-1}_{K,K} = U_KK^{-1} L_KK^{-1} - Σ_{J ∈ ustruct(K)} Û_{K,J} A^{-1}_{J,K}
+/// with J ranging over the union ancestor set — blocks of A^{-1} outside
+/// lstruct/ustruct are generally nonzero and the union closure makes every
+/// summand block addressable. On a symmetric structure this is exactly
+/// Algorithm 1.
+#pragma once
+
+#include "numeric/block_matrix.hpp"
+#include "nsym/factor.hpp"
+
+namespace psi::nsym {
+
+/// Runs the restricted sweep sequentially. Normalizes the factor panels in
+/// place if the caller has not done so. The selected inverse comes back as
+/// a plain numeric::BlockMatrix over the union structure (both triangles).
+BlockMatrix nsym_selected_inversion(NsymSupernodalLU& lu);
+
+/// Task-parallel sweep over a numeric::TaskGraph (the nsym analogue of
+/// selinv_parallel): per-supernode normalization tasks feeding sweep tasks
+/// descending the union elimination structure. Each sweep task runs the
+/// exact sequential per-supernode kernel sequence and writes only its own
+/// block column, so the result is BITWISE identical to
+/// nsym_selected_inversion() for any thread count, pool, or tie_break_seed.
+BlockMatrix nsym_selinv_parallel(NsymSupernodalLU& lu,
+                                 const numeric::ParallelOptions& options);
+
+}  // namespace psi::nsym

@@ -1,0 +1,202 @@
+#include "nsym/structure.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "sparse/dense.hpp"
+
+namespace psi::nsym {
+
+namespace {
+
+bool sorted_contains(const std::vector<Int>& list, Int value) {
+  return std::binary_search(list.begin(), list.end(), value);
+}
+
+/// Symmetrized copy of `a`: pattern of A + A^T, values taken from A where
+/// present and 0 on the transposed-only fill positions. Only the pattern
+/// feeds the symbolic pipeline; the values just keep SparseMatrix valid.
+SparseMatrix symmetrized_matrix(const SparseMatrix& a) {
+  SparseMatrix sym;
+  sym.pattern = a.pattern.symmetrized();
+  sym.values.resize(sym.pattern.row_idx.size(), 0.0);
+  std::size_t p = 0;
+  for (Int j = 0; j < sym.pattern.n; ++j) {
+    const Int end = sym.pattern.col_ptr[static_cast<std::size_t>(j) + 1];
+    for (Int q = sym.pattern.col_ptr[static_cast<std::size_t>(j)]; q < end;
+         ++q, ++p)
+      sym.values[p] = a.value_at(sym.pattern.row_idx[static_cast<std::size_t>(q)], j);
+  }
+  return sym;
+}
+
+NsymStructure build_structure(const BlockStructure& blocks,
+                              const SparseMatrix& permuted) {
+  const Int nsup = blocks.supernode_count();
+  NsymStructure st;
+  st.lstruct_of.assign(static_cast<std::size_t>(nsup), {});
+  st.ustruct_of.assign(static_cast<std::size_t>(nsup), {});
+
+  // Seed with the blocks of the permuted directed input: a scalar entry
+  // (r, c) lands in block (sup(r), sup(c)) — below the block diagonal it is
+  // an L block of column sup(c), above it a U block of row sup(r).
+  const std::vector<Int>& sup_of = blocks.part.sup_of_col;
+  const SparsityPattern& pattern = permuted.pattern;
+  for (Int c = 0; c < pattern.n; ++c) {
+    const Int kc = sup_of[static_cast<std::size_t>(c)];
+    const Int end = pattern.col_ptr[static_cast<std::size_t>(c) + 1];
+    for (Int q = pattern.col_ptr[static_cast<std::size_t>(c)]; q < end; ++q) {
+      const Int kr = sup_of[static_cast<std::size_t>(pattern.row_idx[static_cast<std::size_t>(q)])];
+      if (kr > kc)
+        st.lstruct_of[static_cast<std::size_t>(kc)].push_back(kr);
+      else if (kr < kc)
+        st.ustruct_of[static_cast<std::size_t>(kr)].push_back(kc);
+    }
+  }
+
+  // Directed block fill, ascending over pivots: eliminating supernode k
+  // couples every L target i with every U target j. All produced targets
+  // are > k, so by the time a supernode becomes the pivot its lists are
+  // final and one sort+unique per pivot suffices.
+  for (Int k = 0; k < nsup; ++k) {
+    std::vector<Int>& lk = st.lstruct_of[static_cast<std::size_t>(k)];
+    std::vector<Int>& uk = st.ustruct_of[static_cast<std::size_t>(k)];
+    std::sort(lk.begin(), lk.end());
+    lk.erase(std::unique(lk.begin(), lk.end()), lk.end());
+    std::sort(uk.begin(), uk.end());
+    uk.erase(std::unique(uk.begin(), uk.end()), uk.end());
+    for (Int i : lk) {
+      for (Int j : uk) {
+        if (i > j)
+          st.lstruct_of[static_cast<std::size_t>(j)].push_back(i);
+        else if (i < j)
+          st.ustruct_of[static_cast<std::size_t>(i)].push_back(j);
+      }
+    }
+  }
+  return st;
+}
+
+}  // namespace
+
+bool NsymStructure::in_lstruct(Int k, Int i) const {
+  return sorted_contains(lstruct_of[static_cast<std::size_t>(k)], i);
+}
+
+bool NsymStructure::in_ustruct(Int k, Int i) const {
+  return sorted_contains(ustruct_of[static_cast<std::size_t>(k)], i);
+}
+
+Count NsymStructure::lower_block_count() const {
+  Count total = 0;
+  for (const std::vector<Int>& list : lstruct_of)
+    total += static_cast<Count>(list.size());
+  return total;
+}
+
+Count NsymStructure::upper_block_count() const {
+  Count total = 0;
+  for (const std::vector<Int>& list : ustruct_of)
+    total += static_cast<Count>(list.size());
+  return total;
+}
+
+void NsymStructure::validate(const BlockStructure& blocks) const {
+  const Int nsup = blocks.supernode_count();
+  PSI_CHECK_MSG(supernode_count() == nsup,
+                "nsym structure: supernode count mismatch");
+  for (Int k = 0; k < nsup; ++k) {
+    const std::vector<Int>& uni = blocks.struct_of[static_cast<std::size_t>(k)];
+    for (const std::vector<Int>* list :
+         {&lstruct_of[static_cast<std::size_t>(k)],
+          &ustruct_of[static_cast<std::size_t>(k)]}) {
+      PSI_CHECK_MSG(std::is_sorted(list->begin(), list->end()),
+                    "nsym structure: unsorted list at supernode " << k);
+      PSI_CHECK_MSG(
+          std::adjacent_find(list->begin(), list->end()) == list->end(),
+          "nsym structure: duplicate entry at supernode " << k);
+      for (Int i : *list) {
+        PSI_CHECK_MSG(i > k && i < nsup,
+                      "nsym structure: out-of-range target " << i
+                          << " at supernode " << k);
+        PSI_CHECK_MSG(std::binary_search(uni.begin(), uni.end(), i),
+                      "nsym structure: target " << i << " of supernode " << k
+                          << " not in the union structure");
+      }
+    }
+  }
+}
+
+NsymAnalysis analyze_nsym(const SparseMatrix& a, const AnalysisOptions& options,
+                          const std::vector<std::array<double, 3>>& coords) {
+  a.validate();
+  for (Int i = 0; i < a.n(); ++i)
+    PSI_CHECK_MSG(a.pattern.has_entry(i, i),
+                  "analyze_nsym: missing diagonal entry at row " << i);
+  NsymAnalysis an;
+  an.sym = analyze(symmetrized_matrix(a), options, coords);
+  an.matrix = permute_symmetric(a, an.sym.perm.old_to_new());
+  an.structure = build_structure(an.sym.blocks, an.matrix);
+  an.structure.validate(an.sym.blocks);
+  return an;
+}
+
+NsymAnalysis analyze_nsym(const GeneratedMatrix& gen,
+                          const AnalysisOptions& options) {
+  return analyze_nsym(gen.matrix, options, gen.coords);
+}
+
+Count nsym_factorization_flops(const BlockStructure& blocks,
+                               const NsymStructure& structure) {
+  const Int nsup = blocks.supernode_count();
+  Count total = 0;
+  for (Int k = 0; k < nsup; ++k) {
+    const Int w = blocks.part.size(k);
+    total += getrf_flops(w);
+    Int lrows = 0;
+    for (Int i : structure.lstruct_of[static_cast<std::size_t>(k)])
+      lrows += blocks.part.size(i);
+    Int ucols = 0;
+    for (Int j : structure.ustruct_of[static_cast<std::size_t>(k)])
+      ucols += blocks.part.size(j);
+    if (lrows > 0) total += trsm_flops(w, lrows);
+    if (ucols > 0) total += trsm_flops(w, ucols);
+    for (Int j : structure.ustruct_of[static_cast<std::size_t>(k)])
+      for (Int i : structure.lstruct_of[static_cast<std::size_t>(k)])
+        total += gemm_flops(blocks.part.size(i), blocks.part.size(j), w);
+  }
+  return total;
+}
+
+Count nsym_selinv_flops(const BlockStructure& blocks,
+                        const NsymStructure& structure) {
+  const Int nsup = blocks.supernode_count();
+  Count total = 0;
+  for (Int k = 0; k < nsup; ++k) {
+    const Int w = blocks.part.size(k);
+    // Panel normalization (the first loop of the algorithm).
+    Int lrows = 0;
+    for (Int i : structure.lstruct_of[static_cast<std::size_t>(k)])
+      lrows += blocks.part.size(i);
+    Int ucols = 0;
+    for (Int j : structure.ustruct_of[static_cast<std::size_t>(k)])
+      ucols += blocks.part.size(j);
+    if (lrows > 0) total += trsm_flops(w, lrows);
+    if (ucols > 0) total += trsm_flops(w, ucols);
+    // Diagonal seed A^{-1}_{K,K} = U_KK^{-1} L_KK^{-1} (two triangular
+    // solves against the identity).
+    total += 2 * trsm_flops(w, w);
+    for (Int j : blocks.struct_of[static_cast<std::size_t>(k)]) {
+      const Int wj = blocks.part.size(j);
+      for (Int i : structure.lstruct_of[static_cast<std::size_t>(k)])
+        total += gemm_flops(wj, w, blocks.part.size(i));
+      for (Int i : structure.ustruct_of[static_cast<std::size_t>(k)])
+        total += gemm_flops(w, wj, blocks.part.size(i));
+    }
+    for (Int j : structure.ustruct_of[static_cast<std::size_t>(k)])
+      total += gemm_flops(w, w, blocks.part.size(j));
+  }
+  return total;
+}
+
+}  // namespace psi::nsym

@@ -1,0 +1,88 @@
+/// \file structure.hpp
+/// \brief Symbolic analysis for structurally non-symmetric selected
+/// inversion (the companion paper's "PSelInv — the non-symmetric case").
+///
+/// The non-symmetric pipeline reuses the symmetric machinery on the
+/// symmetrized pattern A + A^T — exactly what SuperLU_DIST does for its
+/// column elimination tree — and then *restricts* the factor structure to
+/// the directed pattern: for each supernode K,
+///   * lstruct(K) ⊆ struct(K): supernodes I > K with a nonzero block
+///     L_{I,K} (column structure of L),
+///   * ustruct(K) ⊆ struct(K): supernodes I > K with a nonzero block
+///     U_{K,I} (row structure of U).
+/// Both lists are computed by the directed block fill rule
+///   i ∈ lstruct(k), j ∈ ustruct(k), i > j  =>  i ∈ lstruct(j)
+///   i ∈ lstruct(k), j ∈ ustruct(k), i < j  =>  j ∈ ustruct(i)
+/// seeded from the blocks of the permuted input. On a structurally
+/// symmetric input, lstruct == ustruct == struct, and the whole pipeline
+/// collapses to the symmetric one.
+///
+/// The selected inverse is computed on the *union* structure (the symmetric
+/// closure): blocks of A^{-1} outside lstruct/ustruct are generally nonzero
+/// even when the corresponding factor blocks vanish, and the union is
+/// exactly the set the restricted recurrences close over.
+#pragma once
+
+#include <vector>
+
+#include "symbolic/analysis.hpp"
+
+namespace psi::nsym {
+
+/// Directed L/U block structure over a symmetric-closure BlockStructure.
+struct NsymStructure {
+  /// lstruct_of[K]: ascending supernodes I > K with L block (I, K) nonzero.
+  std::vector<std::vector<Int>> lstruct_of;
+  /// ustruct_of[K]: ascending supernodes I > K with U block (K, I) nonzero.
+  std::vector<std::vector<Int>> ustruct_of;
+
+  Int supernode_count() const { return static_cast<Int>(lstruct_of.size()); }
+
+  bool in_lstruct(Int k, Int i) const;
+  bool in_ustruct(Int k, Int i) const;
+
+  /// Nonzero blocks of L below the diagonal (sum of lstruct sizes).
+  Count lower_block_count() const;
+  /// Nonzero blocks of U above the diagonal (sum of ustruct sizes).
+  Count upper_block_count() const;
+
+  /// Checks both lists are sorted, in range, and subsets of the union
+  /// structure `blocks`; throws psi::Error on violation.
+  void validate(const BlockStructure& blocks) const;
+};
+
+/// Complete non-symmetric symbolic analysis.
+struct NsymAnalysis {
+  /// Symmetric analysis of the symmetrized pattern A + A^T. `sym.blocks` is
+  /// the union structure; `sym.matrix` is the symmetrized matrix (used only
+  /// for the permutation pipeline, not for numeric values).
+  SymbolicAnalysis sym;
+  /// The *original* (directed) matrix permuted by sym.perm; this is what the
+  /// numeric factorization loads.
+  SparseMatrix matrix;
+  NsymStructure structure;
+};
+
+/// Runs the non-symmetric pipeline: symmetrize the pattern, analyze with
+/// the symmetric machinery, permute the directed input, and compute the
+/// restricted L/U block structures via the directed fill rule. The matrix
+/// must have a full diagonal (the unpivoted factorization requires it).
+NsymAnalysis analyze_nsym(const SparseMatrix& a, const AnalysisOptions& options,
+                          const std::vector<std::array<double, 3>>& coords = {});
+
+/// Convenience overload for generated matrices.
+NsymAnalysis analyze_nsym(const GeneratedMatrix& gen,
+                          const AnalysisOptions& options);
+
+/// Flops of the non-symmetric factorization over the restricted structure
+/// (getrf on diagonals, one-sided trsms on each panel, gemm per
+/// (lstruct x ustruct) update pair).
+Count nsym_factorization_flops(const BlockStructure& blocks,
+                               const NsymStructure& structure);
+
+/// Flops of the non-symmetric selected-inversion sweep (the restricted
+/// Algorithm 1 analogue over the union structure).
+Count nsym_selinv_flops(const BlockStructure& blocks,
+                        const NsymStructure& structure);
+
+}  // namespace psi::nsym

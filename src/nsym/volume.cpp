@@ -1,0 +1,113 @@
+#include "nsym/volume.hpp"
+
+#include <cmath>
+
+namespace psi::nsym {
+
+namespace {
+
+/// Total bytes a broadcast or reduction moves over a tree: every non-root
+/// participant receives (bcast) or sends (reduce) the payload exactly once.
+Count tree_total(const trees::CommTree& tree, Count bytes) {
+  if (tree.participant_count() <= 1) return 0;
+  return bytes * static_cast<Count>(tree.participant_count() - 1);
+}
+
+}  // namespace
+
+Count NsymVolumeReport::total_col_side() const {
+  Count total = 0;
+  for (const Count b : col_side_bytes) total += b;
+  return total;
+}
+
+Count NsymVolumeReport::total_row_side() const {
+  Count total = 0;
+  for (const Count b : row_side_bytes) total += b;
+  return total;
+}
+
+std::vector<double> NsymVolumeReport::side_imbalance() const {
+  std::vector<double> out(col_side_bytes.size(), 0.0);
+  for (std::size_t k = 0; k < out.size(); ++k) {
+    const double row = static_cast<double>(row_side_bytes[k]);
+    const double col = static_cast<double>(col_side_bytes[k]);
+    if (row + col > 0.0) out[k] = std::abs(row - col) / (row + col);
+  }
+  return out;
+}
+
+SampleStats NsymVolumeReport::summarize(const std::vector<double>& values) {
+  return SampleStats(values);
+}
+
+NsymVolumeReport analyze_nsym_volume(const NsymPlan& plan) {
+  using pselinv::kColBcast;
+  using pselinv::kColReduce;
+  using pselinv::kColReduceUp;
+  using pselinv::kCrossSend;
+  using pselinv::kCrossSendU;
+  using pselinv::kDiagBcast;
+  using pselinv::kDiagRowBcast;
+  using pselinv::kRowBcast;
+  using pselinv::kRowReduce;
+
+  NsymVolumeReport report;
+  report.per_class.assign(kCommClassCount,
+                          trees::VolumeAccumulator(plan.grid().size()));
+  const Int nsup = plan.supernode_count();
+  report.col_side_bytes.assign(static_cast<std::size_t>(nsup), 0);
+  report.row_side_bytes.assign(static_cast<std::size_t>(nsup), 0);
+  report.cross_bytes.assign(static_cast<std::size_t>(nsup), 0);
+
+  const BlockStructure& bs = plan.blocks();
+  for (Int k = 0; k < nsup; ++k) {
+    const NsymSupernodePlan& sp = plan.supernode(k);
+    const auto& uni = bs.struct_of[static_cast<std::size_t>(k)];
+    const Count diag_bytes = plan.block_bytes(k, k);
+    Count& col_side = report.col_side_bytes[static_cast<std::size_t>(k)];
+    Count& row_side = report.row_side_bytes[static_cast<std::size_t>(k)];
+    Count& cross = report.cross_bytes[static_cast<std::size_t>(k)];
+
+    report.per_class[kDiagBcast].add_bcast(sp.diag_bcast, diag_bytes);
+    col_side += tree_total(sp.diag_bcast, diag_bytes);
+    report.per_class[kDiagRowBcast].add_bcast(sp.diag_row_bcast, diag_bytes);
+    row_side += tree_total(sp.diag_row_bcast, diag_bytes);
+    report.per_class[kColReduce].add_reduce(sp.col_reduce, diag_bytes);
+    col_side += tree_total(sp.col_reduce, diag_bytes);
+
+    for (Int t = 0; t < static_cast<Int>(uni.size()); ++t) {
+      const Int b = uni[static_cast<std::size_t>(t)];
+      const Count bytes = plan.block_bytes(b, k);
+      const std::int64_t kt = plan.kt_id(k, t);
+      const int src = sp.cross_src[static_cast<std::size_t>(t)];
+      const int dst = sp.cross_dst[static_cast<std::size_t>(t)];
+      // The engine cross-sends L̂ only for lstruct entries and Û only for
+      // ustruct entries.
+      if (plan.lpos(kt) >= 0) {
+        report.per_class[kCrossSend].add_p2p(src, dst, bytes);
+        if (src != dst) cross += bytes;
+      }
+      if (plan.upos(kt) >= 0) {
+        report.per_class[kCrossSendU].add_p2p(dst, src, bytes);
+        if (src != dst) cross += bytes;
+      }
+      report.per_class[kColBcast].add_bcast(
+          sp.col_bcast[static_cast<std::size_t>(t)], bytes);
+      col_side += tree_total(sp.col_bcast[static_cast<std::size_t>(t)], bytes);
+      report.per_class[kRowReduce].add_reduce(
+          sp.row_reduce[static_cast<std::size_t>(t)], bytes);
+      col_side += tree_total(sp.row_reduce[static_cast<std::size_t>(t)], bytes);
+      report.per_class[kRowBcast].add_bcast(
+          sp.row_bcast[static_cast<std::size_t>(t)], bytes);
+      row_side += tree_total(sp.row_bcast[static_cast<std::size_t>(t)], bytes);
+      report.per_class[kColReduceUp].add_reduce(
+          sp.col_reduce_up[static_cast<std::size_t>(t)], bytes);
+      row_side +=
+          tree_total(sp.col_reduce_up[static_cast<std::size_t>(t)], bytes);
+    }
+  }
+  return report;
+}
+
+}  // namespace psi::nsym

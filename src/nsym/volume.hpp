@@ -1,0 +1,57 @@
+/// \file volume.hpp
+/// \brief Analytic per-rank and per-supernode communication volumes of an
+/// NsymPlan, including the row-side vs column-side load split.
+///
+/// A structurally non-symmetric plan moves different byte counts through
+/// its column-side collectives (DiagBcast / ColBcast / RowReduce /
+/// ColReduce, driven by lstruct) and its row-side collectives (DiagRowBcast
+/// / RowBcast / ColReduceUp, driven by ustruct). The per-supernode split
+/// quantifies how skewed the two sides are — the load-balancing question
+/// the paired-tree design answers.
+#pragma once
+
+#include <vector>
+
+#include "common/stats.hpp"
+#include "nsym/plan.hpp"
+#include "trees/volume.hpp"
+
+namespace psi::nsym {
+
+struct NsymVolumeReport {
+  /// Per pselinv::CommClass: per-rank bytes sent / received.
+  std::vector<trees::VolumeAccumulator> per_class;
+
+  /// Per-supernode total bytes moved by the column-side collectives
+  /// (DiagBcast + ColBcast + RowReduce + ColReduce).
+  std::vector<Count> col_side_bytes;
+  /// Per-supernode total bytes moved by the row-side collectives
+  /// (DiagRowBcast + RowBcast + ColReduceUp).
+  std::vector<Count> row_side_bytes;
+  /// Per-supernode point-to-point cross bytes (both directions, excluding
+  /// self-sends).
+  std::vector<Count> cross_bytes;
+
+  const trees::VolumeAccumulator& of(int comm_class) const {
+    return per_class[static_cast<std::size_t>(comm_class)];
+  }
+
+  Count total_col_side() const;
+  Count total_row_side() const;
+
+  /// Per-supernode side imbalance |row - col| / (row + col) in [0, 1]
+  /// (zero when the supernode moves no bytes on either side). A symmetric
+  /// structure with symmetric tree schemes sits near zero; dropped
+  /// off-diagonal blocks push individual supernodes toward one.
+  std::vector<double> side_imbalance() const;
+
+  /// min/max/median/stddev summary of a per-supernode metric.
+  static SampleStats summarize(const std::vector<double>& values);
+};
+
+/// Walks every collective of the plan and accumulates exact traffic.
+/// Placeholder trees (absent sides) and self cross-sends contribute zero,
+/// matching what the engine actually puts on the network.
+NsymVolumeReport analyze_nsym_volume(const NsymPlan& plan);
+
+}  // namespace psi::nsym

@@ -227,6 +227,75 @@ GeneratedMatrix dg3d(Int ex, Int ey, Int ez, Int block, std::uint64_t seed,
           std::to_string(ez) + "_b" + std::to_string(block));
 }
 
+GeneratedMatrix make_nonsym(GeneratedMatrix symmetric_input, std::uint64_t seed,
+                            double drop_prob, Int group_size) {
+  PSI_CHECK_MSG(drop_prob >= 0.0 && drop_prob <= 1.0,
+                "drop_prob must be in [0, 1], got " << drop_prob);
+  PSI_CHECK_MSG(group_size >= 1, "group_size must be >= 1, got " << group_size);
+  const SparseMatrix& a = symmetric_input.matrix;
+  PSI_CHECK_MSG(a.pattern.is_structurally_symmetric(),
+                "make_nonsym requires a structurally symmetric input");
+  const Int n = a.n();
+  TripletBuilder builder(n);
+  for (Int j = 0; j < n; ++j) {
+    for (Int p = a.pattern.col_ptr[j]; p < a.pattern.col_ptr[j + 1]; ++p) {
+      const Int i = a.pattern.row_idx[p];
+      // Drops act on whole coupling groups (elements for the DG meshes,
+      // nodes for fem3d, scalars when group_size == 1) so that the
+      // resulting structural asymmetry survives at block/supernode
+      // granularity — a one-scalar drop inside a dense coupling block
+      // would leave the *block* structure symmetric.
+      const Int gi = i / group_size, gj = j / group_size;
+      if (gi == gj) {
+        builder.add(i, j, 0.0);  // diagonal group always survives intact
+        continue;
+      }
+      // One hash per unordered group pair decides the pair's fate; both
+      // directions consult the same hash, so exactly one survives a drop.
+      const Int lo = std::min(gi, gj), hi = std::max(gi, gj);
+      const std::uint64_t h = hash_combine(
+          seed ^ 0x9e3779b97f4a7c15ull,
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(lo)) << 32) |
+              static_cast<std::uint32_t>(hi));
+      const double u = static_cast<double>(h >> 11) * 0x1.0p-53;
+      if (u >= drop_prob) {
+        builder.add(i, j, 0.0);  // pair survives intact
+        continue;
+      }
+      const bool keep_lower = (h & 1) != 0;
+      if ((gi > gj) == keep_lower) builder.add(i, j, 0.0);
+    }
+  }
+  GeneratedMatrix out;
+  out.matrix = builder.compile();
+  assign_dd_values(out.matrix, hash_combine(seed, 0x5eedull),
+                   ValueKind::kUnsymmetric);
+  out.coords = std::move(symmetric_input.coords);
+  out.name = symmetric_input.name + "_nonsym";
+  PSI_CHECK(out.matrix.n() == n);
+  return out;
+}
+
+GeneratedMatrix dg2d_nonsym(Int ex, Int ey, Int block, std::uint64_t seed,
+                            double drop_prob) {
+  return make_nonsym(dg2d(ex, ey, block, seed), seed, drop_prob, block);
+}
+
+GeneratedMatrix dg3d_nonsym(Int ex, Int ey, Int ez, Int block,
+                            std::uint64_t seed, double drop_prob) {
+  return make_nonsym(dg3d(ex, ey, ez, block, seed), seed, drop_prob, block);
+}
+
+GeneratedMatrix fem3d_nonsym(Int nx, Int ny, Int nz, Int dofs,
+                             std::uint64_t seed, double drop_prob) {
+  return make_nonsym(fem3d(nx, ny, nz, dofs, seed), seed, drop_prob, dofs);
+}
+
+GeneratedMatrix random_nonsym(Int n, double avg_degree, std::uint64_t seed,
+                              double drop_prob) {
+  return make_nonsym(random_symmetric(n, avg_degree, seed), seed, drop_prob);
+}
+
 GeneratedMatrix random_symmetric(Int n, double avg_degree, std::uint64_t seed,
                                  ValueKind values) {
   PSI_CHECK(n > 0);

@@ -80,4 +80,33 @@ GeneratedMatrix random_symmetric(Int n, double avg_degree, std::uint64_t seed,
 /// symmetric pattern (used by all generators; exposed for tests).
 void assign_dd_values(SparseMatrix& a, std::uint64_t seed, ValueKind values);
 
+// --- structurally non-symmetric variants -----------------------------------
+// Each takes a structurally symmetric generated matrix and drops exactly ONE
+// direction of a seeded subset of its off-diagonal coupling-group pairs
+// (probability `drop_prob` per unordered pair; the surviving direction is
+// hash-chosen), keeping the full block diagonal, then assigns fresh
+// unsymmetric diagonally-dominant values. Groups are whole mesh couplings —
+// elements for dg2d/dg3d, nodes for fem3d, scalars for random — so the
+// asymmetry survives at block/supernode granularity. The result has a
+// genuinely non-symmetric sparsity pattern whose symmetric closure is the
+// original pattern — the input class of psi::nsym. Coordinates and mesh
+// geometry are preserved.
+
+/// The shared transform; exposed for tests and custom patterns. Rows i and j
+/// belong to the same coupling group iff i / group_size == j / group_size.
+GeneratedMatrix make_nonsym(GeneratedMatrix symmetric_input, std::uint64_t seed,
+                            double drop_prob, Int group_size = 1);
+
+/// dg2d / dg3d / fem3d with seeded one-directional coupling drops.
+GeneratedMatrix dg2d_nonsym(Int ex, Int ey, Int block, std::uint64_t seed = 1,
+                            double drop_prob = 0.35);
+GeneratedMatrix dg3d_nonsym(Int ex, Int ey, Int ez, Int block,
+                            std::uint64_t seed = 1, double drop_prob = 0.35);
+GeneratedMatrix fem3d_nonsym(Int nx, Int ny, Int nz, Int dofs,
+                             std::uint64_t seed = 1, double drop_prob = 0.35);
+
+/// Non-symmetric variant of random_symmetric (property tests / fuzzing).
+GeneratedMatrix random_nonsym(Int n, double avg_degree, std::uint64_t seed,
+                              double drop_prob = 0.35);
+
 }  // namespace psi

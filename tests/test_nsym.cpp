@@ -1,0 +1,796 @@
+/// Tests for psi::nsym — structurally non-symmetric selected inversion.
+///
+/// Covers the non-symmetric generators, the directed L/U symbolic
+/// structure, the restricted supernodal LU (sequential + task-parallel,
+/// bitwise), the restricted Algorithm 1 sweep against the dense inverse,
+/// the symmetric-input consistency gate (nsym path on a symmetric matrix is
+/// bitwise identical to the symmetric path), and the distributed engine:
+/// numeric correctness across schemes and grids, trace/numeric agreement,
+/// partition-parallel and resilient-faulted bitwise determinism, and the
+/// analytic volume report against the simulator's per-class counters.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "check/schedule.hpp"
+#include "common/check.hpp"
+#include "common/parallel.hpp"
+#include "driver/experiment.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/injector.hpp"
+#include "numeric/selinv.hpp"
+#include "numeric/supernodal_lu.hpp"
+#include "nsym/engine.hpp"
+#include "nsym/plan.hpp"
+#include "nsym/selinv.hpp"
+#include "nsym/structure.hpp"
+#include "nsym/volume.hpp"
+#include "sparse/generators.hpp"
+
+namespace psi::nsym {
+namespace {
+
+using trees::TreeScheme;
+
+AnalysisOptions small_options() {
+  AnalysisOptions opt;
+  opt.ordering.method = OrderingMethod::kNestedDissection;
+  opt.ordering.dissection_leaf_size = 8;
+  // Cap supernodes at the generators' coupling-group width so directed
+  // drops survive amalgamation and genuinely restrict lstruct/ustruct.
+  opt.supernodes.max_size = 4;
+  return opt;
+}
+
+/// Scalar supernodes — maximally restricted structures for the zero-block
+/// and placeholder-tree paths.
+AnalysisOptions tiny_options() {
+  AnalysisOptions opt = small_options();
+  opt.supernodes.max_size = 1;
+  return opt;
+}
+
+/// Heavy scalar drops on a 2-D Laplacian: with scalar supernodes several
+/// supernodes lose an entire restricted side while union ancestors remain —
+/// the exact-zero / placeholder-tree regime.
+GeneratedMatrix empty_side_case() {
+  return make_nonsym(laplacian2d(5, 5, 13), 13, 0.6);
+}
+
+AnalysisOptions random_options() {
+  AnalysisOptions opt;
+  opt.ordering.method = OrderingMethod::kMinDegree;
+  opt.supernodes.max_size = 12;
+  return opt;
+}
+
+sim::Machine test_machine() {
+  sim::MachineConfig config;
+  config.cores_per_node = 4;
+  config.nodes_per_group = 4;
+  return sim::Machine(config);
+}
+
+NsymPlan make_plan(const NsymAnalysis& an, int pr, int pc, TreeScheme scheme) {
+  return NsymPlan(an.sym.blocks, an.structure, dist::ProcessGrid(pr, pc),
+                  driver::tree_options_for(scheme));
+}
+
+DenseMatrix dense_of(const SparseMatrix& a) {
+  DenseMatrix d(a.n(), a.n());
+  for (Int j = 0; j < a.n(); ++j)
+    for (Int p = a.pattern.col_ptr[static_cast<std::size_t>(j)];
+         p < a.pattern.col_ptr[static_cast<std::size_t>(j) + 1]; ++p)
+      d(a.pattern.row_idx[static_cast<std::size_t>(p)], j) =
+          a.values[static_cast<std::size_t>(p)];
+  return d;
+}
+
+/// Expands the (unnormalized) restricted factor into dense unit-lower L and
+/// upper U for reconstruction checks.
+void dense_factors(const NsymSupernodalLU& lu, Int n, DenseMatrix& l,
+                   DenseMatrix& u) {
+  const BlockStructure& bs = lu.blocks();
+  const NsymStructure& str = lu.structure();
+  l = DenseMatrix(n, n);
+  u = DenseMatrix(n, n);
+  for (Int i = 0; i < n; ++i) l(i, i) = 1.0;
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    const Int c0 = bs.part.first_col(k);
+    const DenseMatrix& d = lu.storage().diag(k);
+    for (Int c = 0; c < d.cols(); ++c)
+      for (Int r = 0; r < d.rows(); ++r)
+        (r > c ? l : u)(c0 + r, c0 + c) = d(r, c);
+    for (Int i : str.lstruct_of[static_cast<std::size_t>(k)]) {
+      const DenseMatrix blk = lu.storage().block(i, k);
+      const Int r0 = bs.part.first_col(i);
+      for (Int c = 0; c < blk.cols(); ++c)
+        for (Int r = 0; r < blk.rows(); ++r) l(r0 + r, c0 + c) = blk(r, c);
+    }
+    for (Int i : str.ustruct_of[static_cast<std::size_t>(k)]) {
+      const DenseMatrix blk = lu.storage().block(k, i);
+      const Int j0 = bs.part.first_col(i);
+      for (Int c = 0; c < blk.cols(); ++c)
+        for (Int r = 0; r < blk.rows(); ++r) u(c0 + r, j0 + c) = blk(r, c);
+    }
+  }
+}
+
+void expect_block_bitwise(const DenseMatrix& lhs, const DenseMatrix& rhs,
+                          Int row, Int col) {
+  ASSERT_EQ(lhs.rows(), rhs.rows());
+  ASSERT_EQ(lhs.cols(), rhs.cols());
+  const std::size_t bytes = static_cast<std::size_t>(lhs.rows()) *
+                            static_cast<std::size_t>(lhs.cols()) *
+                            sizeof(double);
+  EXPECT_EQ(std::memcmp(lhs.data(), rhs.data(), bytes), 0)
+      << "block (" << row << ", " << col << ") differs";
+}
+
+/// Bitwise equality over every union block (diag + both triangles).
+void expect_union_bitwise(const BlockMatrix& a, const BlockMatrix& b,
+                          const BlockStructure& bs) {
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    expect_block_bitwise(a.block(k, k), b.block(k, k), k, k);
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)]) {
+      expect_block_bitwise(a.block(i, k), b.block(i, k), i, k);
+      expect_block_bitwise(a.block(k, i), b.block(k, i), k, i);
+    }
+  }
+}
+
+double max_union_diff(const BlockMatrix& a, const BlockMatrix& b,
+                      const BlockStructure& bs) {
+  double err = 0.0;
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    err = std::max(err, max_abs_diff(a.block(k, k), b.block(k, k)));
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)]) {
+      err = std::max(err, max_abs_diff(a.block(i, k), b.block(i, k)));
+      err = std::max(err, max_abs_diff(a.block(k, i), b.block(k, i)));
+    }
+  }
+  return err;
+}
+
+// ----- non-symmetric generators ---------------------------------------------
+
+TEST(NonsymGenerators, AsymmetricPatternWithSymmetricClosure) {
+  struct Pair {
+    GeneratedMatrix base, nonsym;
+  };
+  const std::vector<Pair> cases = {
+      {dg2d(3, 3, 4, 7), dg2d_nonsym(3, 3, 4, 7)},
+      {dg3d(2, 2, 2, 3, 7), dg3d_nonsym(2, 2, 2, 3, 7)},
+      {fem3d(3, 3, 2, 2, 7), fem3d_nonsym(3, 3, 2, 2, 7)},
+      {random_symmetric(80, 4.0, 7), random_nonsym(80, 4.0, 7)},
+  };
+  for (const Pair& c : cases) {
+    SCOPED_TRACE(c.nonsym.name);
+    EXPECT_FALSE(c.nonsym.matrix.pattern.is_structurally_symmetric());
+    EXPECT_LT(c.nonsym.matrix.pattern.nnz(), c.base.matrix.pattern.nnz());
+    // The symmetric closure recovers the base pattern exactly.
+    const SparsityPattern closure = c.nonsym.matrix.pattern.symmetrized();
+    EXPECT_EQ(closure.col_ptr, c.base.matrix.pattern.col_ptr);
+    EXPECT_EQ(closure.row_idx, c.base.matrix.pattern.row_idx);
+    // Full diagonal survives every drop.
+    for (Int j = 0; j < c.nonsym.matrix.n(); ++j) {
+      bool has_diag = false;
+      for (Int p = c.nonsym.matrix.pattern.col_ptr[static_cast<std::size_t>(j)];
+           p < c.nonsym.matrix.pattern.col_ptr[static_cast<std::size_t>(j) + 1];
+           ++p)
+        has_diag |=
+            c.nonsym.matrix.pattern.row_idx[static_cast<std::size_t>(p)] == j;
+      ASSERT_TRUE(has_diag) << "column " << j;
+    }
+    // Mesh geometry and naming are preserved.
+    EXPECT_EQ(c.nonsym.coords.size(), c.base.coords.size());
+    EXPECT_EQ(c.nonsym.name, c.base.name + "_nonsym");
+  }
+}
+
+TEST(NonsymGenerators, ValuesAreUnsymmetricOnSurvivingPairs) {
+  const GeneratedMatrix gen = dg2d_nonsym(3, 3, 4, 7, /*drop_prob=*/0.2);
+  const DenseMatrix d = dense_of(gen.matrix);
+  int both = 0, unequal = 0;
+  for (Int j = 0; j < gen.matrix.n(); ++j)
+    for (Int i = 0; i < j; ++i)
+      if (d(i, j) != 0.0 && d(j, i) != 0.0) {
+        ++both;
+        unequal += d(i, j) != d(j, i);
+      }
+  ASSERT_GT(both, 0);
+  EXPECT_GT(unequal, both / 2);
+}
+
+TEST(NonsymGenerators, DeterministicAndSeedSensitive) {
+  const GeneratedMatrix a = fem3d_nonsym(3, 3, 2, 2, 11);
+  const GeneratedMatrix b = fem3d_nonsym(3, 3, 2, 2, 11);
+  EXPECT_EQ(a.matrix.pattern.row_idx, b.matrix.pattern.row_idx);
+  EXPECT_EQ(a.matrix.values, b.matrix.values);
+  const GeneratedMatrix c = fem3d_nonsym(3, 3, 2, 2, 12);
+  EXPECT_NE(a.matrix.pattern.row_idx, c.matrix.pattern.row_idx);
+}
+
+TEST(NonsymGenerators, DropProbZeroKeepsThePattern) {
+  const GeneratedMatrix base = dg2d(3, 3, 3, 5);
+  const GeneratedMatrix kept = make_nonsym(dg2d(3, 3, 3, 5), 5, 0.0);
+  EXPECT_TRUE(kept.matrix.pattern.is_structurally_symmetric());
+  EXPECT_EQ(kept.matrix.pattern.row_idx, base.matrix.pattern.row_idx);
+}
+
+// ----- directed symbolic structure ------------------------------------------
+
+TEST(Structure, RestrictedListsAreSubsetsAndGenuinelyRestricted) {
+  const NsymAnalysis an =
+      analyze_nsym(dg2d_nonsym(3, 3, 4, 5), small_options());
+  EXPECT_NO_THROW(an.structure.validate(an.sym.blocks));
+  bool restricted = false;
+  for (Int k = 0; k < an.structure.supernode_count(); ++k) {
+    const auto& uni = an.sym.blocks.struct_of[static_cast<std::size_t>(k)];
+    const auto& ls = an.structure.lstruct_of[static_cast<std::size_t>(k)];
+    const auto& us = an.structure.ustruct_of[static_cast<std::size_t>(k)];
+    for (Int i : ls)
+      EXPECT_TRUE(std::binary_search(uni.begin(), uni.end(), i));
+    for (Int i : us)
+      EXPECT_TRUE(std::binary_search(uni.begin(), uni.end(), i));
+    restricted |= ls.size() < uni.size() || us.size() < uni.size();
+  }
+  EXPECT_TRUE(restricted) << "dropped blocks must restrict some supernode";
+  EXPECT_GT(nsym_factorization_flops(an.sym.blocks, an.structure), 0);
+  EXPECT_GT(nsym_selinv_flops(an.sym.blocks, an.structure), 0);
+}
+
+TEST(Structure, SymmetricInputCollapsesToTheSymmetricStructure) {
+  const GeneratedMatrix gen = laplacian2d(6, 6, 1);
+  const NsymAnalysis an = analyze_nsym(gen, small_options());
+  for (Int k = 0; k < an.structure.supernode_count(); ++k) {
+    const auto& uni = an.sym.blocks.struct_of[static_cast<std::size_t>(k)];
+    EXPECT_EQ(an.structure.lstruct_of[static_cast<std::size_t>(k)], uni);
+    EXPECT_EQ(an.structure.ustruct_of[static_cast<std::size_t>(k)], uni);
+  }
+}
+
+// ----- restricted LU --------------------------------------------------------
+
+TEST(Factor, ReconstructsThePermutedMatrix) {
+  const NsymAnalysis an =
+      analyze_nsym(dg2d_nonsym(3, 3, 3, 5), small_options());
+  const NsymSupernodalLU lu = NsymSupernodalLU::factor(an);
+  const Int n = an.matrix.n();
+  DenseMatrix l, u;
+  dense_factors(lu, n, l, u);
+  DenseMatrix prod(n, n);
+  gemm(Trans::kNo, Trans::kNo, 1.0, l, u, 0.0, prod);
+  EXPECT_LT(max_abs_diff(prod, dense_of(an.matrix)), 1e-10);
+}
+
+TEST(Factor, SolveReachesResidualTolerance) {
+  const NsymAnalysis an =
+      analyze_nsym(fem3d_nonsym(3, 3, 2, 2, 9), small_options());
+  const NsymSupernodalLU lu = NsymSupernodalLU::factor(an);
+  const Int n = an.matrix.n();
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (Int i = 0; i < n; ++i)
+    b[static_cast<std::size_t>(i)] = std::sin(static_cast<double>(i) + 1.0);
+  const std::vector<double> x = lu.solve(b);
+  const DenseMatrix a = dense_of(an.matrix);
+  double resid = 0.0;
+  for (Int i = 0; i < n; ++i) {
+    double ax = 0.0;
+    for (Int j = 0; j < n; ++j) ax += a(i, j) * x[static_cast<std::size_t>(j)];
+    resid = std::max(resid, std::abs(ax - b[static_cast<std::size_t>(i)]));
+  }
+  EXPECT_LT(resid, 1e-9);
+}
+
+// ----- sequential selected inversion vs the dense inverse -------------------
+
+struct DenseCase {
+  std::string label;
+  GeneratedMatrix gen;
+  AnalysisOptions options;
+};
+
+class NsymSelinvDense : public ::testing::TestWithParam<DenseCase> {};
+
+TEST_P(NsymSelinvDense, MatchesDenseInverseOnTheUnionPattern) {
+  const NsymAnalysis an = analyze_nsym(GetParam().gen, GetParam().options);
+  NsymSupernodalLU lu = NsymSupernodalLU::factor(an);
+  const BlockMatrix ainv = nsym_selected_inversion(lu);
+  EXPECT_TRUE(lu.normalized());
+
+  const DenseMatrix full_inv = inverse(dense_of(an.matrix));
+  const BlockStructure& bs = an.sym.blocks;
+  double err = 0.0;
+  const auto check = [&](Int i, Int k) {
+    const DenseMatrix blk = ainv.block(i, k);
+    const Int r0 = bs.part.first_col(i);
+    const Int c0 = bs.part.first_col(k);
+    for (Int c = 0; c < blk.cols(); ++c)
+      for (Int r = 0; r < blk.rows(); ++r)
+        err = std::max(err, std::abs(blk(r, c) - full_inv(r0 + r, c0 + c)));
+  };
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    check(k, k);
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)]) {
+      check(i, k);
+      check(k, i);
+    }
+  }
+  EXPECT_LT(err, 1e-10) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Generators, NsymSelinvDense,
+    ::testing::Values(
+        DenseCase{"dg2d", dg2d_nonsym(3, 3, 3, 5), small_options()},
+        DenseCase{"dg3d", dg3d_nonsym(2, 2, 2, 3, 9), small_options()},
+        DenseCase{"fem3d", fem3d_nonsym(3, 3, 2, 2, 11), small_options()},
+        DenseCase{"fem3d_heavy_drop", fem3d_nonsym(3, 2, 2, 2, 13, 0.7),
+                  small_options()},
+        DenseCase{"random", random_nonsym(70, 4.0, 13), random_options()},
+        DenseCase{"empty_sides", empty_side_case(), tiny_options()},
+        DenseCase{"symmetric_input", laplacian2d(6, 6, 1), small_options()}),
+    [](const ::testing::TestParamInfo<DenseCase>& info) {
+      return info.param.label;
+    });
+
+TEST(Selinv, EmptyRestrictedColumnYieldsExactZeroBlocks) {
+  // With heavy drops some supernode loses its whole lstruct (or ustruct)
+  // while union ancestors remain; the corresponding A^{-1} blocks are
+  // exact zeros (empty restricted sum), not merely small.
+  const NsymAnalysis an = analyze_nsym(empty_side_case(), tiny_options());
+  NsymSupernodalLU lu = NsymSupernodalLU::factor(an);
+  const BlockMatrix ainv = nsym_selected_inversion(lu);
+  int zero_sides = 0;
+  for (Int k = 0; k < an.structure.supernode_count(); ++k) {
+    const auto& uni = an.sym.blocks.struct_of[static_cast<std::size_t>(k)];
+    if (uni.empty()) continue;
+    if (an.structure.lstruct_of[static_cast<std::size_t>(k)].empty()) {
+      ++zero_sides;
+      for (Int j : uni) {
+        const DenseMatrix blk = ainv.block(j, k);
+        for (Int c = 0; c < blk.cols(); ++c)
+          for (Int r = 0; r < blk.rows(); ++r) ASSERT_EQ(blk(r, c), 0.0);
+      }
+    }
+    if (an.structure.ustruct_of[static_cast<std::size_t>(k)].empty()) {
+      ++zero_sides;
+      for (Int j : uni) {
+        const DenseMatrix blk = ainv.block(k, j);
+        for (Int c = 0; c < blk.cols(); ++c)
+          for (Int r = 0; r < blk.rows(); ++r) ASSERT_EQ(blk(r, c), 0.0);
+      }
+    }
+  }
+  EXPECT_GT(zero_sides, 0) << "case must exercise an empty restricted side";
+}
+
+// ----- symmetric-input consistency gate -------------------------------------
+
+TEST(Consistency, SymmetricInputBitwiseMatchesTheSymmetricPath) {
+  // On a structurally symmetric matrix the nsym kernels execute the exact
+  // same call sequence as the symmetric path, so factors AND selected
+  // inverses agree bitwise — the cheapest possible differential oracle.
+  const GeneratedMatrix gen = fem3d(3, 3, 2, 2, 3);
+  const NsymAnalysis an = analyze_nsym(gen, small_options());
+
+  psi::SupernodalLU lu_sym =
+      psi::SupernodalLU::factor(an.sym.blocks, an.matrix);
+  NsymSupernodalLU lu_nsym =
+      NsymSupernodalLU::factor(an.sym.blocks, an.structure, an.matrix);
+
+  const BlockStructure& bs = an.sym.blocks;
+  for (Int k = 0; k < bs.supernode_count(); ++k) {
+    expect_block_bitwise(lu_sym.blocks().block(k, k),
+                         lu_nsym.storage().diag(k), k, k);
+    for (Int i : bs.struct_of[static_cast<std::size_t>(k)]) {
+      expect_block_bitwise(lu_sym.blocks().block(i, k),
+                           lu_nsym.storage().block(i, k), i, k);
+      expect_block_bitwise(lu_sym.blocks().block(k, i),
+                           lu_nsym.storage().block(k, i), k, i);
+    }
+  }
+
+  const BlockMatrix ainv_sym = psi::selected_inversion(lu_sym);
+  const BlockMatrix ainv_nsym = nsym_selected_inversion(lu_nsym);
+  expect_union_bitwise(ainv_nsym, ainv_sym, bs);
+}
+
+// ----- task-parallel bitwise determinism ------------------------------------
+
+TEST(Parallel, FactorAndSelinvBitwiseMatchSequential) {
+  const NsymAnalysis an =
+      analyze_nsym(fem3d_nonsym(3, 3, 2, 2, 5), small_options());
+  // One unnormalized sequential factor for storage comparison and one
+  // sequential sweep (which normalizes its own copy) for the inverse.
+  const NsymSupernodalLU lu_seq = NsymSupernodalLU::factor(an);
+  NsymSupernodalLU lu_sweep = NsymSupernodalLU::factor(an);
+  const BlockMatrix ainv_seq = nsym_selected_inversion(lu_sweep);
+  parallel::ThreadPool pool(3);
+  for (const int threads : {2, 4}) {
+    for (const std::uint64_t seed : {0ull, 0x9e3779b97f4a7c15ull}) {
+      numeric::ParallelOptions options;
+      options.threads = threads;
+      options.pool = &pool;
+      options.tie_break_seed = seed;
+      NsymSupernodalLU lu_par = NsymSupernodalLU::factor_parallel(an, options);
+      const BlockStructure& bs = an.sym.blocks;
+      for (Int k = 0; k < bs.supernode_count(); ++k) {
+        expect_block_bitwise(lu_par.storage().diag(k), lu_seq.storage().diag(k),
+                             k, k);
+        for (Int i : an.structure.lstruct_of[static_cast<std::size_t>(k)])
+          expect_block_bitwise(lu_par.storage().block(i, k),
+                               lu_seq.storage().block(i, k), i, k);
+        for (Int i : an.structure.ustruct_of[static_cast<std::size_t>(k)])
+          expect_block_bitwise(lu_par.storage().block(k, i),
+                               lu_seq.storage().block(k, i), k, i);
+      }
+      const BlockMatrix ainv_par = nsym_selinv_parallel(lu_par, options);
+      EXPECT_TRUE(lu_par.normalized());
+      expect_union_bitwise(ainv_par, ainv_seq, bs);
+    }
+  }
+}
+
+// ----- distributed engine: plan invariants ----------------------------------
+
+/// Full per-supernode audit of the paired trees; returns the number of
+/// absent-side placeholder trees encountered.
+int audit_plan(const NsymAnalysis& an, const NsymPlan& plan) {
+  int placeholders = 0;
+  const auto& grid = plan.grid();
+  const auto& map = plan.map();
+  for (Int k = 0; k < plan.supernode_count(); ++k) {
+    const auto& sp = plan.supernode(k);
+    const auto& uni = an.sym.blocks.struct_of[static_cast<std::size_t>(k)];
+    EXPECT_EQ(sp.diag_bcast.root(), map.owner(k, k));
+    EXPECT_EQ(sp.diag_row_bcast.root(), map.owner(k, k));
+    EXPECT_EQ(sp.col_reduce.root(), map.owner(k, k));
+    for (int r : sp.diag_bcast.participants())
+      EXPECT_EQ(grid.col_of(r), map.pcol_of(k));
+    for (int r : sp.diag_row_bcast.participants())
+      EXPECT_EQ(grid.row_of(r), map.prow_of(k));
+    for (int r : sp.col_reduce.participants())
+      EXPECT_EQ(grid.col_of(r), map.pcol_of(k));
+    for (Int t = 0; t < static_cast<Int>(uni.size()); ++t) {
+      const Int b = uni[static_cast<std::size_t>(t)];
+      const std::int64_t kt = plan.kt_id(k, t);
+      EXPECT_EQ(sp.cross_src[static_cast<std::size_t>(t)], map.owner(b, k));
+      EXPECT_EQ(sp.cross_dst[static_cast<std::size_t>(t)], map.owner(k, b));
+      const auto& cb = sp.col_bcast[static_cast<std::size_t>(t)];
+      const auto& rr = sp.row_reduce[static_cast<std::size_t>(t)];
+      const auto& rb = sp.row_bcast[static_cast<std::size_t>(t)];
+      const auto& cru = sp.col_reduce_up[static_cast<std::size_t>(t)];
+      const auto& lstr =
+          an.structure.lstruct_of[static_cast<std::size_t>(k)];
+      const auto& ustr =
+          an.structure.ustruct_of[static_cast<std::size_t>(k)];
+      // Panel broadcasts exist only where the factor block exists.
+      if (plan.lpos(kt) >= 0) {
+        EXPECT_EQ(cb.root(), map.owner(k, b));
+        for (int r : cb.participants())
+          EXPECT_EQ(grid.col_of(r), map.pcol_of(b));
+      } else {
+        // Absent-side placeholders never carry traffic.
+        ++placeholders;
+        EXPECT_LE(cb.participant_count(), 1);
+      }
+      if (plan.upos(kt) >= 0) {
+        EXPECT_EQ(rb.root(), map.owner(b, k));
+        for (int r : rb.participants())
+          EXPECT_EQ(grid.row_of(r), map.prow_of(b));
+      } else {
+        ++placeholders;
+        EXPECT_LE(rb.participant_count(), 1);
+      }
+      // Result-block reductions exist for EVERY union entry as long as the
+      // driving restricted list is nonempty (the sum ranges over lstruct /
+      // ustruct, the target over the whole union set).
+      if (!lstr.empty()) {
+        EXPECT_EQ(rr.root(), map.owner(b, k));
+        for (int r : rr.participants())
+          EXPECT_EQ(grid.row_of(r), map.prow_of(b));
+      } else {
+        ++placeholders;
+        EXPECT_LE(rr.participant_count(), 1);
+      }
+      if (!ustr.empty()) {
+        EXPECT_EQ(cru.root(), map.owner(k, b));
+        for (int r : cru.participants())
+          EXPECT_EQ(grid.col_of(r), map.pcol_of(b));
+      } else {
+        ++placeholders;
+        EXPECT_LE(cru.participant_count(), 1);
+      }
+      // lpos/upos agree with the restricted lists.
+      EXPECT_EQ(plan.lpos(kt) >= 0, an.structure.in_lstruct(k, b));
+      EXPECT_EQ(plan.upos(kt) >= 0, an.structure.in_ustruct(k, b));
+    }
+  }
+  EXPECT_GT(plan.distinct_communicators(), 0);
+  EXPECT_GT(plan.total_collectives(), 0);
+  EXPECT_GT(plan.memory_bytes(), 0u);
+  return placeholders;
+}
+
+TEST(Plan, PairedTreesLiveInTheRightGridGroups) {
+  const NsymAnalysis an =
+      analyze_nsym(fem3d_nonsym(4, 3, 3, 2, 3), small_options());
+  const NsymPlan plan = make_plan(an, 3, 4, TreeScheme::kShiftedBinary);
+  // The restricted structure must produce at least one absent side.
+  EXPECT_GT(audit_plan(an, plan), 0);
+}
+
+TEST(Plan, EmptySidedSupernodesGetPlaceholderTrees) {
+  const NsymAnalysis an = analyze_nsym(empty_side_case(), tiny_options());
+  const NsymPlan plan = make_plan(an, 2, 3, TreeScheme::kBinary);
+  EXPECT_GT(audit_plan(an, plan), 0);
+}
+
+TEST(Plan, BlockIdsRoundTrip) {
+  const NsymAnalysis an =
+      analyze_nsym(dg2d_nonsym(3, 3, 3, 5), small_options());
+  const NsymPlan plan = make_plan(an, 2, 2, TreeScheme::kFlat);
+  for (Int k = 0; k < plan.supernode_count(); ++k) {
+    EXPECT_EQ(plan.block_id(k, k), plan.diag_block_id(k));
+    const auto& uni = an.sym.blocks.struct_of[static_cast<std::size_t>(k)];
+    for (Int t = 0; t < static_cast<Int>(uni.size()); ++t) {
+      const Int b = uni[static_cast<std::size_t>(t)];
+      EXPECT_EQ(plan.block_id(b, k), plan.lower_block_id(k, t));
+      EXPECT_EQ(plan.block_id(k, b), plan.upper_block_id(k, t));
+    }
+  }
+}
+
+// ----- distributed engine: end-to-end numeric correctness -------------------
+
+struct EngineCase {
+  std::string label;
+  GeneratedMatrix gen;
+  AnalysisOptions options;
+  int pr, pc;
+  TreeScheme scheme;
+};
+
+class NsymEngineEndToEnd : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(NsymEngineEndToEnd, MatchesTheSequentialSweep) {
+  const auto& param = GetParam();
+  const NsymAnalysis an = analyze_nsym(param.gen, param.options);
+
+  NsymSupernodalLU lu_seq = NsymSupernodalLU::factor(an);
+  const BlockMatrix reference = nsym_selected_inversion(lu_seq);
+
+  NsymSupernodalLU lu_dist = NsymSupernodalLU::factor(an);
+  const NsymPlan plan = make_plan(an, param.pr, param.pc, param.scheme);
+  const RunResult result =
+      run_nsym(plan, test_machine(), ExecutionMode::kNumeric, &lu_dist);
+  ASSERT_TRUE(result.complete());
+  ASSERT_NE(result.ainv, nullptr);
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_LT(max_union_diff(*result.ainv, reference, an.sym.blocks), 1e-10)
+      << param.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridsAndSchemes, NsymEngineEndToEnd,
+    ::testing::Values(
+        EngineCase{"dg2d_1x1_flat", dg2d_nonsym(3, 3, 3, 5), small_options(),
+                   1, 1, TreeScheme::kFlat},
+        EngineCase{"dg2d_2x2_flat", dg2d_nonsym(3, 3, 3, 5), small_options(),
+                   2, 2, TreeScheme::kFlat},
+        EngineCase{"dg2d_3x3_binary", dg2d_nonsym(3, 3, 4, 7), small_options(),
+                   3, 3, TreeScheme::kBinary},
+        EngineCase{"dg3d_4x4_shifted", dg3d_nonsym(2, 2, 2, 3, 9),
+                   small_options(), 4, 4, TreeScheme::kShiftedBinary},
+        EngineCase{"fem3d_3x4_shifted", fem3d_nonsym(3, 3, 2, 2, 11),
+                   small_options(), 3, 4, TreeScheme::kShiftedBinary},
+        EngineCase{"fem3d_2x3_binary", fem3d_nonsym(3, 2, 3, 2, 13),
+                   small_options(), 2, 3, TreeScheme::kBinary},
+        EngineCase{"heavy_drop_3x2_shifted", dg2d_nonsym(3, 3, 4, 7, 0.7),
+                   small_options(), 3, 2, TreeScheme::kShiftedBinary},
+        EngineCase{"empty_sides_2x2_shifted", empty_side_case(),
+                   tiny_options(), 2, 2, TreeScheme::kShiftedBinary},
+        EngineCase{"empty_sides_3x3_flat", empty_side_case(), tiny_options(),
+                   3, 3, TreeScheme::kFlat},
+        EngineCase{"symmetric_3x3_flat", fem3d(3, 3, 2, 2, 3), small_options(),
+                   3, 3, TreeScheme::kFlat}),
+    [](const ::testing::TestParamInfo<EngineCase>& info) {
+      return info.param.label;
+    });
+
+TEST(Engine, TraceMatchesNumericTraffic) {
+  const NsymAnalysis an =
+      analyze_nsym(fem3d_nonsym(3, 2, 2, 2, 27), small_options());
+  const NsymPlan plan = make_plan(an, 2, 3, TreeScheme::kBinary);
+  NsymSupernodalLU lu = NsymSupernodalLU::factor(an);
+  const RunResult numeric =
+      run_nsym(plan, test_machine(), ExecutionMode::kNumeric, &lu);
+  const RunResult trace = run_nsym(plan, test_machine(), ExecutionMode::kTrace);
+  ASSERT_TRUE(trace.complete());
+  EXPECT_EQ(trace.events, numeric.events);
+  EXPECT_DOUBLE_EQ(trace.makespan, numeric.makespan);
+  for (int r = 0; r < plan.grid().size(); ++r)
+    for (int c = 0; c < kCommClassCount; ++c)
+      EXPECT_EQ(trace.rank_stats[static_cast<std::size_t>(r)]
+                    .per_class[static_cast<std::size_t>(c)].bytes_sent,
+                numeric.rank_stats[static_cast<std::size_t>(r)]
+                    .per_class[static_cast<std::size_t>(c)].bytes_sent);
+}
+
+TEST(Engine, NumericModeValidatesTheFactor) {
+  const NsymAnalysis an =
+      analyze_nsym(dg2d_nonsym(3, 3, 3, 5), small_options());
+  const NsymPlan plan = make_plan(an, 2, 2, TreeScheme::kFlat);
+  EXPECT_THROW(
+      run_nsym(plan, test_machine(), ExecutionMode::kNumeric, nullptr), Error);
+  // A pre-normalized factor must be rejected (the engine normalizes).
+  NsymSupernodalLU lu = NsymSupernodalLU::factor(an);
+  lu.normalize_panels();
+  EXPECT_THROW(run_nsym(plan, test_machine(), ExecutionMode::kNumeric, &lu),
+               Error);
+}
+
+TEST(Engine, PartitionedRunsAreBitwiseIdentical) {
+  // Heavy drops so partitioned runs also cross the zero-side finalization
+  // and deferred-diagonal paths.
+  const NsymAnalysis an =
+      analyze_nsym(dg2d_nonsym(3, 3, 4, 7, 0.7), small_options());
+  const NsymPlan plan = make_plan(an, 3, 4, TreeScheme::kShiftedBinary);
+
+  NsymSupernodalLU lu_ref = NsymSupernodalLU::factor(an);
+  const RunResult reference =
+      run_nsym(plan, test_machine(), ExecutionMode::kNumeric, &lu_ref);
+  ASSERT_TRUE(reference.complete());
+
+  for (const int partitions : {1, 4}) {
+    SCOPED_TRACE(partitions);
+    RunOptions options;
+    options.partitions = partitions;
+    NsymSupernodalLU lu = NsymSupernodalLU::factor(an);
+    const RunResult run = run_nsym(plan, test_machine(),
+                                   ExecutionMode::kNumeric, &lu, nullptr,
+                                   nullptr, options);
+    ASSERT_TRUE(run.complete());
+    EXPECT_EQ(run.makespan, reference.makespan);
+    EXPECT_EQ(run.events, reference.events);
+    expect_union_bitwise(*run.ainv, *reference.ainv, an.sym.blocks);
+  }
+}
+
+TEST(Engine, ResilientFaultyAndAdversarialRunsAreBitwiseIdentical) {
+  const NsymAnalysis an =
+      analyze_nsym(fem3d_nonsym(4, 3, 3, 2, 3), small_options());
+  const NsymPlan plan = make_plan(an, 4, 4, TreeScheme::kShiftedBinary);
+
+  trees::ResilienceConfig resilience;
+  resilience.enabled = true;
+  const fault::FaultPlan fault_plan = fault::FaultPlan::scenario(
+      /*seed=*/0xfa17, /*rank_count=*/16, /*stragglers=*/2, /*slowdown=*/8.0,
+      /*drop_prob=*/0.02, /*dup_prob=*/0.01);
+  const sim::Perturbation perturbation = fault_plan.perturbation();
+
+  struct Outcome {
+    sim::SimTime makespan;
+    std::unique_ptr<BlockMatrix> ainv;
+    trees::ChannelStats stats;
+  };
+  const auto run = [&](bool faulty, std::uint64_t schedule_seed) {
+    NsymSupernodalLU lu = NsymSupernodalLU::factor(an);
+    RunOptions options;
+    options.resilience = resilience;
+    fault::DeterministicInjector injector(fault_plan);
+    check::AdversarialSchedule schedule(schedule_seed);
+    if (faulty) {
+      options.injector = &injector;
+      options.perturbation = &perturbation;
+    }
+    if (schedule_seed != 0) options.schedule = &schedule;
+    RunResult result = run_nsym(plan, test_machine(), ExecutionMode::kNumeric,
+                                &lu, nullptr, nullptr, options);
+    EXPECT_TRUE(result.complete());
+    return Outcome{result.makespan, std::move(result.ainv),
+                   result.channel_stats};
+  };
+
+  const Outcome clean = run(false, 0);
+  const Outcome faulty = run(true, 0);
+  const Outcome faulty_again = run(true, 0);
+  const Outcome adversarial = run(true, 0xadbeef);
+
+  EXPECT_EQ(faulty.makespan, faulty_again.makespan);
+  EXPECT_GT(faulty.makespan, clean.makespan);
+  expect_union_bitwise(*faulty.ainv, *clean.ainv, an.sym.blocks);
+  expect_union_bitwise(*faulty.ainv, *faulty_again.ainv, an.sym.blocks);
+  expect_union_bitwise(*adversarial.ainv, *clean.ainv, an.sym.blocks);
+  EXPECT_GT(faulty.stats.tracked_sends, 0);
+}
+
+// ----- analytic volume vs simulator counters --------------------------------
+
+TEST(Volume, MatchesSimulatorCounters) {
+  struct VolumeProblem {
+    NsymAnalysis an;
+    int pr, pc;
+  };
+  VolumeProblem problems[] = {
+      {analyze_nsym(fem3d_nonsym(3, 3, 3, 1, 4), small_options()), 3, 4},
+      {analyze_nsym(empty_side_case(), tiny_options()), 2, 3},
+  };
+  for (const VolumeProblem& prob : problems) {
+    for (TreeScheme scheme : {TreeScheme::kFlat, TreeScheme::kBinary,
+                              TreeScheme::kShiftedBinary}) {
+      const NsymPlan plan = make_plan(prob.an, prob.pr, prob.pc, scheme);
+      const NsymVolumeReport report = analyze_nsym_volume(plan);
+      const RunResult run =
+          run_nsym(plan, test_machine(), ExecutionMode::kTrace);
+      ASSERT_TRUE(run.complete());
+      for (int r = 0; r < plan.grid().size(); ++r)
+        for (int c = 0; c < kCommClassCount; ++c) {
+          EXPECT_EQ(report.of(c).bytes_sent()[static_cast<std::size_t>(r)],
+                    run.rank_stats[static_cast<std::size_t>(r)]
+                        .per_class[static_cast<std::size_t>(c)].bytes_sent)
+              << trees::scheme_name(scheme) << " class "
+              << pselinv::comm_class_name(c) << " rank " << r;
+          EXPECT_EQ(report.of(c).bytes_received()[static_cast<std::size_t>(r)],
+                    run.rank_stats[static_cast<std::size_t>(r)]
+                        .per_class[static_cast<std::size_t>(c)].bytes_received)
+              << trees::scheme_name(scheme) << " class "
+              << pselinv::comm_class_name(c) << " rank " << r;
+        }
+    }
+  }
+}
+
+TEST(Volume, RowAndColumnSidesSplitTheTraffic) {
+  const NsymAnalysis nonsym =
+      analyze_nsym(fem3d_nonsym(3, 3, 2, 2, 13, 0.5), small_options());
+  const NsymPlan plan = make_plan(nonsym, 3, 3, TreeScheme::kShiftedBinary);
+  const NsymVolumeReport report = analyze_nsym_volume(plan);
+  EXPECT_GT(report.total_col_side(), 0u);
+  EXPECT_GT(report.total_row_side(), 0u);
+  const std::vector<double> imbalance = report.side_imbalance();
+  ASSERT_EQ(imbalance.size(),
+            static_cast<std::size_t>(plan.supernode_count()));
+  for (double v : imbalance) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  const SampleStats stats = NsymVolumeReport::summarize(imbalance);
+  EXPECT_GT(stats.max(), 0.0);
+
+  // The same mesh without drops is structurally balanced: dropping blocks
+  // must push the per-supernode imbalance distribution upward.
+  const NsymAnalysis sym = analyze_nsym(fem3d(3, 3, 2, 2, 13), small_options());
+  const NsymPlan splan = make_plan(sym, 3, 3, TreeScheme::kShiftedBinary);
+  const SampleStats sym_stats = NsymVolumeReport::summarize(
+      analyze_nsym_volume(splan).side_imbalance());
+  EXPECT_GT(stats.mean(), sym_stats.mean());
+}
+
+TEST(Volume, SchemePreservesTotalVolumePerClass) {
+  // Trees change WHO forwards, not how much data each receiver consumes.
+  const NsymAnalysis an =
+      analyze_nsym(fem3d_nonsym(4, 3, 3, 1, 8), small_options());
+  const auto received_total = [&](TreeScheme scheme, int comm_class) {
+    const NsymPlan plan = make_plan(an, 4, 4, scheme);
+    const NsymVolumeReport report = analyze_nsym_volume(plan);
+    Count total = 0;
+    for (Count b : report.of(comm_class).bytes_received()) total += b;
+    return total;
+  };
+  for (int c : {pselinv::kColBcast, pselinv::kRowBcast, pselinv::kRowReduce,
+                pselinv::kColReduce}) {
+    EXPECT_EQ(received_total(TreeScheme::kFlat, c),
+              received_total(TreeScheme::kShiftedBinary, c))
+        << pselinv::comm_class_name(c);
+  }
+}
+
+}  // namespace
+}  // namespace psi::nsym
